@@ -1,0 +1,314 @@
+// Package opd's root benchmark harness regenerates every table and figure
+// of the paper's evaluation (one benchmark per exhibit, over a reduced
+// workload so a full -bench=. pass stays tractable) and measures the
+// throughput of each pipeline stage: VM interpretation, trace IO, the
+// oracle, the detectors, and scoring. cmd/phasebench runs the same
+// experiments at full scale with rendered output.
+package opd
+
+import (
+	"bytes"
+	"testing"
+
+	"opd/internal/baseline"
+	"opd/internal/core"
+	"opd/internal/experiments"
+	"opd/internal/score"
+	"opd/internal/synth"
+	"opd/internal/trace"
+	"opd/internal/vm"
+)
+
+// benchOptions is the reduced experiment configuration used by the
+// per-table benchmarks.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Scale:      1,
+		Benchmarks: []string{"compress", "db", "jack"},
+		MPLs:       []int64{250, 500, 1000},
+		CWSizes:    []int{100, 250, 500, 1000, 2500},
+	}
+}
+
+func BenchmarkTable1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).Table1a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).Table1b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).Table2a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).Table2b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).Fig7a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).Fig7b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- extension experiments ----
+
+func BenchmarkSkipSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).SkipSweep(500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProfileSources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).ProfileSources(500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClientBenefit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).ClientBenefit(500, 100, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeedVariance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(benchOptions()).SeedVariance(500, []int32{7, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- pipeline stage micro-benchmarks ----
+
+var benchWorkload struct {
+	branches trace.Trace
+	events   trace.Events
+}
+
+func workload(b *testing.B) (trace.Trace, trace.Events) {
+	b.Helper()
+	if benchWorkload.branches == nil {
+		branches, events, err := synth.Run("db", 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWorkload.branches = branches
+		benchWorkload.events = events
+	}
+	return benchWorkload.branches, benchWorkload.events
+}
+
+// BenchmarkVMInterp measures raw interpreter + instrumentation throughput
+// (one complete jlex run per iteration).
+func BenchmarkVMInterp(b *testing.B) {
+	bench, ok := synth.ByName("jlex")
+	if !ok {
+		b.Fatal("jlex missing")
+	}
+	p := bench.Build(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := vm.Execute(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracle measures baseline.Compute over a cached call-loop trace.
+func BenchmarkOracle(b *testing.B) {
+	branches, events := workload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Compute(events, int64(len(branches)), 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Detector throughput over a cached trace, per policy combination. The
+// per-op metric is one full pass over the trace; b.SetBytes reports
+// elements processed so ns/element is derivable.
+func benchmarkDetector(b *testing.B, cfg core.Config) {
+	branches, _ := workload(b)
+	b.SetBytes(int64(len(branches)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cfg.MustNew()
+		core.RunTrace(d, branches)
+	}
+}
+
+func BenchmarkDetectorUnweightedConstant(b *testing.B) {
+	benchmarkDetector(b, core.Config{CWSize: 1000, TW: core.ConstantTW,
+		Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6})
+}
+
+func BenchmarkDetectorWeightedConstant(b *testing.B) {
+	benchmarkDetector(b, core.Config{CWSize: 1000, TW: core.ConstantTW,
+		Model: core.WeightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6})
+}
+
+func BenchmarkDetectorUnweightedAdaptive(b *testing.B) {
+	benchmarkDetector(b, core.Config{CWSize: 1000, TW: core.AdaptiveTW,
+		Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6})
+}
+
+func BenchmarkDetectorWeightedAdaptive(b *testing.B) {
+	benchmarkDetector(b, core.Config{CWSize: 1000, TW: core.AdaptiveTW,
+		Model: core.WeightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6})
+}
+
+func BenchmarkDetectorFixedInterval(b *testing.B) {
+	benchmarkDetector(b, core.FixedInterval(1000, core.UnweightedModel, core.ThresholdAnalyzer, 0.5))
+}
+
+// BenchmarkDetectorSkipSweep is the ablation for the skip-factor
+// cost/accuracy trade-off (§4.2): the same detector at skip factors 1, 8,
+// 64, and CW.
+func BenchmarkDetectorSkipSweep(b *testing.B) {
+	for _, skip := range []int{1, 8, 64, 1000} {
+		b.Run(skipName(skip), func(b *testing.B) {
+			benchmarkDetector(b, core.Config{CWSize: 1000, SkipFactor: skip, TW: core.ConstantTW,
+				Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6})
+		})
+	}
+}
+
+func skipName(skip int) string {
+	switch skip {
+	case 1000:
+		return "skip=cw"
+	case 1:
+		return "skip=1"
+	case 8:
+		return "skip=8"
+	default:
+		return "skip=64"
+	}
+}
+
+// BenchmarkOracleMerging is the ablation for the oracle's distance-one CRI
+// merging (DESIGN.md §5): with and without combining perfect nests and
+// call runs.
+func BenchmarkOracleMerging(b *testing.B) {
+	branches, events := workload(b)
+	for _, sub := range []struct {
+		name string
+		opts baseline.Options
+	}{
+		{"merged", baseline.Options{}},
+		{"unmerged", baseline.Options{DisableMerging: true}},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.ComputeWithOptions(events, int64(len(branches)), 1000, sub.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScoreEvaluate measures the accuracy metric itself.
+func BenchmarkScoreEvaluate(b *testing.B) {
+	branches, events := workload(b)
+	sol, err := baseline.Compute(events, int64(len(branches)), 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := core.Config{CWSize: 500, TW: core.ConstantTW,
+		Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6}.MustNew()
+	core.RunTrace(d, branches)
+	phases := d.Phases()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		score.Evaluate(phases, sol)
+	}
+}
+
+// BenchmarkTraceIO measures binary trace serialization round trips.
+func BenchmarkTraceIO(b *testing.B) {
+	branches, _ := workload(b)
+	b.SetBytes(int64(len(branches)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := trace.WriteBranches(&buf, branches); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.ReadBranches(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

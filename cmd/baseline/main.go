@@ -1,0 +1,100 @@
+// Baseline runs the offline oracle over a call-loop trace and prints the
+// phases it identifies at one or more MPL values.
+//
+// Usage:
+//
+//	baseline -trace /tmp/compress -mpl 1000,10000 [-phases] [-cris]
+//
+// reads /tmp/compress.branches and /tmp/compress.events as written by
+// tracegen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"opd/internal/baseline"
+	"opd/internal/trace"
+)
+
+func main() {
+	var (
+		prefix  = flag.String("trace", "", "trace path prefix (expects <prefix>.branches and <prefix>.events)")
+		mpllist = flag.String("mpl", "1000,5000,10000,25000,50000,100000", "comma-separated MPL values")
+		phases  = flag.Bool("phases", false, "print each phase interval")
+		cris    = flag.Bool("cris", false, "print the raw complete repetitive instances")
+		hier    = flag.Bool("hierarchy", false, "print the phase hierarchy (repetition containment forest)")
+	)
+	flag.Parse()
+	if *prefix == "" {
+		fmt.Fprintln(os.Stderr, "baseline: -trace is required")
+		os.Exit(2)
+	}
+	branches, events, err := load(*prefix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baseline:", err)
+		os.Exit(1)
+	}
+	if *cris {
+		list, err := baseline.ExtractCRIs(events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "baseline:", err)
+			os.Exit(1)
+		}
+		for _, c := range list {
+			fmt.Printf("%-9s id=%-6d %v len=%d count=%d\n", c.Kind, c.ID, c.Interval, c.Len(), c.Count)
+		}
+	}
+	if *hier {
+		roots, err := baseline.Hierarchy(events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Print(baseline.FormatHierarchy(roots))
+	}
+	fmt.Printf("%-8s  %8s  %10s\n", "MPL", "# phases", "% in phase")
+	for _, field := range strings.Split(*mpllist, ",") {
+		mpl, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "baseline: bad MPL %q: %v\n", field, err)
+			os.Exit(2)
+		}
+		sol, err := baseline.Compute(events, int64(len(branches)), mpl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8d  %8d  %9.2f%%\n", mpl, sol.NumPhases(), sol.PercentInPhase())
+		if *phases {
+			for i, p := range sol.Phases {
+				fmt.Printf("  phase %3d: %v (len %d)\n", i, p, p.Len())
+			}
+		}
+	}
+}
+
+func load(prefix string) (trace.Trace, trace.Events, error) {
+	bf, err := os.Open(prefix + ".branches")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer bf.Close()
+	branches, err := trace.ReadBranches(bf)
+	if err != nil {
+		return nil, nil, err
+	}
+	ef, err := os.Open(prefix + ".events")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ef.Close()
+	events, err := trace.ReadEvents(ef)
+	if err != nil {
+		return nil, nil, err
+	}
+	return branches, events, nil
+}

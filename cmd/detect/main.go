@@ -1,0 +1,180 @@
+// Detect runs one online phase detector over a branch trace and prints the
+// phases it finds; with an accompanying call-loop trace and an MPL value
+// it also scores the detector against the oracle.
+//
+// Usage:
+//
+//	detect -trace /tmp/compress -cw 5000 -tw adaptive -model unweighted \
+//	       -analyzer threshold -param 0.6 -mpl 10000
+//
+// The related-work detectors are available through -preset:
+//
+//	detect -trace /tmp/compress -preset dhodapkar -cw 10000 -mpl 10000
+//	detect -trace /tmp/compress -preset lu -cw 4096
+//	detect -trace /tmp/compress -preset das -cw 4096 -param 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opd/internal/baseline"
+	"opd/internal/core"
+	"opd/internal/detectors"
+	"opd/internal/score"
+	"opd/internal/trace"
+)
+
+func main() {
+	var (
+		prefix   = flag.String("trace", "", "trace path prefix (expects <prefix>.branches; .events needed for -mpl)")
+		cw       = flag.Int("cw", 5000, "current window size (sample window for -preset lu/das)")
+		tw       = flag.Int("tw", 0, "trailing window size (0 = same as -cw)")
+		skip     = flag.Int("skip", 1, "skip factor: elements consumed per similarity computation")
+		policy   = flag.String("policy", "constant", "trailing window policy: constant | adaptive | fixedinterval")
+		model    = flag.String("model", "unweighted", "similarity model: unweighted | weighted")
+		analyzer = flag.String("analyzer", "threshold", "analyzer: threshold | average")
+		param    = flag.Float64("param", 0.6, "analyzer parameter (threshold value or average delta)")
+		anchor   = flag.String("anchor", "rn", "adaptive anchor policy: rn | lnn")
+		resize   = flag.String("resize", "slide", "adaptive resize policy: slide | move")
+		preset   = flag.String("preset", "", "related-work preset: dhodapkar | lu | das | kistler | bbv")
+		mpl      = flag.Int64("mpl", 0, "score against the oracle at this MPL (0 = no scoring)")
+		show     = flag.Bool("phases", false, "print each detected phase")
+		adjusted = flag.Bool("adjusted", false, "use anchor-corrected phase starts for printing and scoring")
+	)
+	flag.Parse()
+	if *prefix == "" {
+		fmt.Fprintln(os.Stderr, "detect: -trace is required")
+		os.Exit(2)
+	}
+	branches, err := loadBranches(*prefix + ".branches")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detect:", err)
+		os.Exit(1)
+	}
+
+	d, desc, err := build(*preset, *cw, *tw, *skip, *policy, *model, *analyzer, *param, *anchor, *resize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detect:", err)
+		os.Exit(2)
+	}
+	core.RunTrace(d, branches)
+	phases := d.Phases()
+	if *adjusted {
+		phases = d.AdjustedPhases()
+	}
+	fmt.Printf("detector:            %s\n", desc)
+	fmt.Printf("elements consumed:   %d\n", d.Consumed())
+	fmt.Printf("similarity computes: %d\n", d.SimilarityComputations())
+	fmt.Printf("phases detected:     %d\n", len(phases))
+	if *show {
+		for i, p := range phases {
+			fmt.Printf("  phase %3d: %v (len %d)\n", i, p, p.Len())
+		}
+	}
+	if *mpl > 0 {
+		events, err := loadEvents(*prefix + ".events")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detect:", err)
+			os.Exit(1)
+		}
+		sol, err := baseline.Compute(events, int64(len(branches)), *mpl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detect:", err)
+			os.Exit(1)
+		}
+		res := score.Evaluate(phases, sol)
+		fmt.Printf("oracle phases:       %d (MPL %d)\n", sol.NumPhases(), *mpl)
+		fmt.Println(res)
+		lat := score.MeasureLatency(phases, sol)
+		fmt.Printf("detection lag:       starts mean %.0f max %d, ends mean %.0f max %d (elements, %d/%d boundaries matched)\n",
+			lat.MeanStartLag, lat.MaxStartLag, lat.MeanEndLag, lat.MaxEndLag,
+			lat.MatchedStarts+lat.MatchedEnds, res.BaselineBoundaries)
+	}
+}
+
+func build(preset string, cw, tw, skip int, policy, model, analyzer string, param float64, anchor, resize string) (*core.Detector, string, error) {
+	switch preset {
+	case "dhodapkar":
+		cfg := detectors.DhodapkarSmith(cw)
+		d, err := cfg.New()
+		return d, cfg.ID(), err
+	case "lu":
+		return detectors.NewLu(cw, 7, 2.0), fmt.Sprintf("lu/window%d/history7/band2.0", cw), nil
+	case "das":
+		return detectors.NewDas(cw, param), fmt.Sprintf("das/window%d/pearson%g", cw, param), nil
+	case "kistler":
+		cfg := detectors.KistlerFranz(cw, param)
+		d, err := cfg.New()
+		return d, cfg.ID(), err
+	case "bbv":
+		return detectors.NewBBV(cw, param), fmt.Sprintf("bbv/window%d/thr%g", cw, param), nil
+	case "":
+		cfg := core.Config{CWSize: cw, TWSize: tw, SkipFactor: skip, Param: param}
+		switch policy {
+		case "constant":
+			cfg.TW = core.ConstantTW
+		case "adaptive":
+			cfg.TW = core.AdaptiveTW
+		case "fixedinterval":
+			cfg = core.FixedInterval(cw, cfg.Model, cfg.Analyzer, param)
+		default:
+			return nil, "", fmt.Errorf("unknown policy %q", policy)
+		}
+		switch model {
+		case "unweighted":
+			cfg.Model = core.UnweightedModel
+		case "weighted":
+			cfg.Model = core.WeightedModel
+		default:
+			return nil, "", fmt.Errorf("unknown model %q", model)
+		}
+		switch analyzer {
+		case "threshold":
+			cfg.Analyzer = core.ThresholdAnalyzer
+		case "average":
+			cfg.Analyzer = core.AverageAnalyzer
+		default:
+			return nil, "", fmt.Errorf("unknown analyzer %q", analyzer)
+		}
+		switch anchor {
+		case "rn":
+			cfg.Anchor = core.AnchorRN
+		case "lnn":
+			cfg.Anchor = core.AnchorLNN
+		default:
+			return nil, "", fmt.Errorf("unknown anchor %q", anchor)
+		}
+		switch resize {
+		case "slide":
+			cfg.Resize = core.ResizeSlide
+		case "move":
+			cfg.Resize = core.ResizeMove
+		default:
+			return nil, "", fmt.Errorf("unknown resize %q", resize)
+		}
+		d, err := cfg.New()
+		return d, cfg.ID(), err
+	default:
+		return nil, "", fmt.Errorf("unknown preset %q", preset)
+	}
+}
+
+func loadBranches(path string) (trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadBranches(f)
+}
+
+func loadEvents(path string) (trace.Events, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadEvents(f)
+}

@@ -1,0 +1,110 @@
+// Vmrun assembles a VM program from textual assembly, optionally runs the
+// optimizing compiler pass over it, executes it, and — when asked — feeds
+// the live branch profile through an online phase detector, printing state
+// changes as they happen.
+//
+// Usage:
+//
+//	vmrun prog.asm
+//	vmrun -optimize -disasm prog.asm
+//	vmrun -detect -cw 500 prog.asm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opd/internal/core"
+	"opd/internal/trace"
+	"opd/internal/vm"
+)
+
+func main() {
+	var (
+		optimize = flag.Bool("optimize", false, "run the optimizing compiler pass before execution")
+		inline   = flag.Bool("inline", false, "run the inlining pass before optimizing")
+		disasm   = flag.Bool("disasm", false, "print the (possibly optimized) program before running")
+		cfg      = flag.Bool("cfg", false, "print each function's control-flow graph and natural loops")
+		detect   = flag.Bool("detect", false, "run an online phase detector over the live branch profile")
+		cw       = flag.Int("cw", 500, "detector current window size (with -detect)")
+		param    = flag.Float64("param", 0.6, "detector similarity threshold (with -detect)")
+		maxSteps = flag.Int64("maxsteps", 1e9, "instruction budget")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vmrun [flags] prog.asm")
+		os.Exit(2)
+	}
+	src, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmrun:", err)
+		os.Exit(1)
+	}
+	program, err := vm.Assemble(src)
+	src.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmrun:", err)
+		os.Exit(1)
+	}
+	if *inline {
+		program = vm.Inline(program, vm.InlineBudget{})
+	}
+	if *optimize {
+		program = vm.Optimize(program)
+	}
+	if *disasm {
+		fmt.Print(program.Disassemble())
+	}
+	if *cfg {
+		for _, fn := range program.Functions {
+			g, err := vm.BuildCFG(fn)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vmrun:", err)
+				os.Exit(1)
+			}
+			fmt.Print(g)
+			for _, l := range g.NaturalLoops() {
+				fmt.Printf("  loop: header b%d (pc %d), back edge from b%d, body %v\n",
+					l.Header, l.HeadPC, l.Back, l.Blocks)
+			}
+		}
+	}
+
+	opts := []vm.Option{vm.WithMaxSteps(*maxSteps)}
+	var detector *core.Detector
+	if *detect {
+		detector = core.Config{
+			CWSize:   *cw,
+			TW:       core.AdaptiveTW,
+			Model:    core.UnweightedModel,
+			Analyzer: core.ThresholdAnalyzer,
+			Param:    *param,
+		}.MustNew()
+		last := core.Transition
+		opts = append(opts, vm.WithInstrumentation(vm.Instrumentation{
+			OnBranch: func(b trace.Branch) {
+				if state := detector.Process(b); state != last {
+					fmt.Printf("@%-9d %v -> %v\n", detector.Consumed(), last, state)
+					last = state
+				}
+			},
+		}))
+	}
+	interp := vm.NewInterp(program, opts...)
+	if err := interp.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vmrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("executed: %d dynamic branches\n", interp.BranchCount())
+	if g := interp.Globals(); len(g) > 0 {
+		fmt.Printf("globals:  %v\n", g)
+	}
+	if detector != nil {
+		detector.Finish()
+		fmt.Printf("phases:   %d detected\n", len(detector.Phases()))
+		for i, p := range detector.Phases() {
+			fmt.Printf("  phase %d: %v\n", i, p)
+		}
+	}
+}

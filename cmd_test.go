@@ -1,0 +1,124 @@
+package opd
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the repository's executables once per test run and
+// returns the directory holding them.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"tracegen", "baseline", "detect", "phasebench", "vmrun"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	return dir
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the executables")
+	}
+	bins := buildCmds(t)
+	prefix := filepath.Join(t.TempDir(), "jlex")
+
+	// tracegen: list, stats, and trace emission.
+	listOut := runCmd(t, filepath.Join(bins, "tracegen"), "-list")
+	for _, b := range []string{"compress", "mpegaudio", "jlex"} {
+		if !strings.Contains(listOut, b) {
+			t.Errorf("tracegen -list missing %s:\n%s", b, listOut)
+		}
+	}
+	genOut := runCmd(t, filepath.Join(bins, "tracegen"),
+		"-bench", "jlex", "-scale", "2", "-out", prefix, "-stats")
+	if !strings.Contains(genOut, "dynamic branches") || !strings.Contains(genOut, "wrote") {
+		t.Errorf("tracegen output:\n%s", genOut)
+	}
+	if _, err := os.Stat(prefix + ".branches"); err != nil {
+		t.Fatal(err)
+	}
+
+	// baseline: phase table over the generated trace.
+	baseOut := runCmd(t, filepath.Join(bins, "baseline"),
+		"-trace", prefix, "-mpl", "500,1000", "-phases")
+	if !strings.Contains(baseOut, "# phases") || !strings.Contains(baseOut, "phase   0") {
+		t.Errorf("baseline output:\n%s", baseOut)
+	}
+	crisOut := runCmd(t, filepath.Join(bins, "baseline"),
+		"-trace", prefix, "-mpl", "1000", "-cris")
+	if !strings.Contains(crisOut, "loop") {
+		t.Errorf("baseline -cris output:\n%s", crisOut)
+	}
+	hierOut := runCmd(t, filepath.Join(bins, "baseline"),
+		"-trace", prefix, "-mpl", "1000", "-hierarchy")
+	if !strings.Contains(hierOut, "loop id=") {
+		t.Errorf("baseline -hierarchy output:\n%s", hierOut)
+	}
+
+	// detect: framework config and every preset, scored against the oracle.
+	detOut := runCmd(t, filepath.Join(bins, "detect"),
+		"-trace", prefix, "-cw", "500", "-policy", "adaptive", "-mpl", "1000", "-phases")
+	for _, want := range []string{"adaptive/cw500", "phases detected", "score=", "oracle phases"} {
+		if !strings.Contains(detOut, want) {
+			t.Errorf("detect output missing %q:\n%s", want, detOut)
+		}
+	}
+	for _, preset := range []string{"dhodapkar", "lu", "das"} {
+		out := runCmd(t, filepath.Join(bins, "detect"),
+			"-trace", prefix, "-preset", preset, "-cw", "500", "-mpl", "1000")
+		if !strings.Contains(out, "score=") {
+			t.Errorf("detect -preset %s output:\n%s", preset, out)
+		}
+	}
+
+	// phasebench: the cheapest experiments at the smallest scale.
+	pbOut := runCmd(t, filepath.Join(bins, "phasebench"),
+		"-scale", "1", "-benchmarks", "jlex,db", "-exp", "table1b")
+	if !strings.Contains(pbOut, "Table 1(b)") || !strings.Contains(pbOut, "jlex") {
+		t.Errorf("phasebench output:\n%s", pbOut)
+	}
+	jsonOut := runCmd(t, filepath.Join(bins, "phasebench"),
+		"-scale", "1", "-benchmarks", "jlex", "-exp", "table1a", "-json")
+	if !strings.Contains(jsonOut, `"DynamicBranches"`) {
+		t.Errorf("phasebench -json output:\n%s", jsonOut)
+	}
+
+	// vmrun: assemble, optimize, and execute the matrix-multiply sample.
+	vmOut := runCmd(t, filepath.Join(bins, "vmrun"), "-optimize", "testdata/matmul.asm")
+	if !strings.Contains(vmOut, "executed: 722 dynamic branches") {
+		t.Errorf("vmrun output:\n%s", vmOut)
+	}
+	// C[0][0] = sum_k A[0k]*B[k0] with A[i]=3i+1, B[i]=i^5: spot-check one
+	// output cell of the multiply.
+	if !strings.Contains(vmOut, " 4044 ") {
+		t.Errorf("vmrun result missing C[0][0]=4044:\n%s", vmOut)
+	}
+	vmDetect := runCmd(t, filepath.Join(bins, "vmrun"), "-detect", "-cw", "50", "testdata/matmul.asm")
+	if !strings.Contains(vmDetect, "phases:") {
+		t.Errorf("vmrun -detect output:\n%s", vmDetect)
+	}
+	vmCFG := runCmd(t, filepath.Join(bins, "vmrun"), "-cfg", "-inline", "testdata/matmul.asm")
+	if !strings.Contains(vmCFG, "natural") && !strings.Contains(vmCFG, "loop: header") {
+		t.Errorf("vmrun -cfg output:\n%s", vmCFG)
+	}
+	if !strings.Contains(vmCFG, "executed: 722 dynamic branches") {
+		t.Errorf("vmrun -inline changed semantics:\n%s", vmCFG)
+	}
+}

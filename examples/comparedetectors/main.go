@@ -1,0 +1,75 @@
+// Comparedetectors scores a spread of framework instantiations — plus the
+// three related-work detectors of §6 — on one workload, against the oracle
+// at one MPL. It is a single-workload slice of what cmd/phasebench does in
+// bulk.
+//
+// Run with: go run ./examples/comparedetectors
+package main
+
+import (
+	"fmt"
+
+	"opd/internal/baseline"
+	"opd/internal/core"
+	"opd/internal/detectors"
+	"opd/internal/report"
+	"opd/internal/score"
+	"opd/internal/synth"
+)
+
+func main() {
+	const (
+		bench = "db"
+		scale = 4
+		mpl   = 5000
+	)
+	branches, events, err := synth.Run(bench, scale)
+	if err != nil {
+		panic(err)
+	}
+	oracle, err := baseline.Compute(events, int64(len(branches)), mpl)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("workload %s (scale %d): %d elements, %d oracle phases at MPL %d\n\n",
+		bench, scale, len(branches), oracle.NumPhases(), mpl)
+
+	type entry struct {
+		name string
+		det  *core.Detector
+	}
+	cw := mpl / 2
+	var entries []entry
+	for _, c := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"constant/unweighted/thr0.6", core.Config{CWSize: cw, TW: core.ConstantTW, Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6}},
+		{"constant/weighted/thr0.6", core.Config{CWSize: cw, TW: core.ConstantTW, Model: core.WeightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6}},
+		{"adaptive/unweighted/thr0.8", core.Config{CWSize: cw, TW: core.AdaptiveTW, Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.8}},
+		{"adaptive/unweighted/avg0.05", core.Config{CWSize: cw, TW: core.AdaptiveTW, Model: core.UnweightedModel, Analyzer: core.AverageAnalyzer, Param: 0.05}},
+		{"fixedinterval/unweighted/thr0.5 (Dhodapkar-Smith)", detectors.DhodapkarSmith(cw)},
+	} {
+		entries = append(entries, entry{c.name, c.cfg.MustNew()})
+	}
+	entries = append(entries,
+		entry{"lu avg-PC (window 2500, band 2.0)", detectors.NewLu(2500, 7, 2.0)},
+		entry{"das pearson (window 2500, r 0.8)", detectors.NewDas(2500, 0.8)},
+	)
+
+	headers := []string{"Detector", "Phases", "Score", "Corr", "Sens", "FP"}
+	var rows [][]string
+	for _, e := range entries {
+		core.RunTrace(e.det, branches)
+		res := score.Evaluate(e.det.Phases(), oracle)
+		rows = append(rows, []string{
+			e.name,
+			fmt.Sprintf("%d", len(e.det.Phases())),
+			fmt.Sprintf("%.4f", res.Score),
+			fmt.Sprintf("%.4f", res.Correlation),
+			fmt.Sprintf("%.4f", res.Sensitivity),
+			fmt.Sprintf("%.4f", res.FalsePositives),
+		})
+	}
+	fmt.Print(report.Table(headers, rows))
+}

@@ -1,0 +1,87 @@
+// Jitguard demonstrates the paper's motivating client: a dynamic
+// optimization system that specializes code during stable phases and must
+// reconsider its decisions at phase transitions.
+//
+// A mock JIT consumes the detector's online state stream. Entering a phase
+// costs a fixed specialization budget (compilation); every element spent
+// inside a *real* phase (per the oracle) with specialization active earns
+// a speedup credit; specialization active outside a real phase earns
+// nothing (the specialized code's assumptions no longer hold); a phase
+// that ends before the budget is recouped is a net loss — exactly the MPL
+// trade-off of §3.1.
+//
+// Run with: go run ./examples/jitguard
+package main
+
+import (
+	"fmt"
+
+	"opd/internal/baseline"
+	"opd/internal/core"
+	"opd/internal/synth"
+)
+
+// The client's economics: specializing costs the equivalent of
+// specializeCost elements; specialized execution of an in-phase element
+// saves speedup fraction of its cost.
+const (
+	specializeCost = 2000.0
+	speedup        = 0.25
+)
+
+func main() {
+	const bench = "mpegaudio"
+	branches, events, err := synth.Run(bench, 4)
+	if err != nil {
+		panic(err)
+	}
+	// The client cares about phases long enough to amortize
+	// specializeCost/speedup = 8000 elements: pick MPL 10000.
+	const mpl = 10000
+	oracle, err := baseline.Compute(events, int64(len(branches)), mpl)
+	if err != nil {
+		panic(err)
+	}
+
+	configs := map[string]core.Config{
+		"fixed-interval (prior work)": core.FixedInterval(int(mpl)/2, core.UnweightedModel, core.ThresholdAnalyzer, 0.5),
+		"constant TW, skip 1":         {CWSize: mpl / 2, TW: core.ConstantTW, Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6},
+		"adaptive TW, skip 1":         {CWSize: mpl / 2, TW: core.AdaptiveTW, Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.8},
+	}
+
+	fmt.Printf("workload %s: %d elements, %d oracle phases at MPL %d (%.1f%% in phase)\n\n",
+		bench, len(branches), oracle.NumPhases(), mpl, oracle.PercentInPhase())
+	fmt.Printf("%-28s %14s %14s %12s\n", "detector", "specializations", "useful elems", "net benefit")
+
+	// The unreachable ideal: specialize exactly at oracle phases.
+	idealBenefit := 0.0
+	for _, p := range oracle.Phases {
+		idealBenefit += speedup*float64(p.Len()) - specializeCost
+	}
+
+	for name, cfg := range configs {
+		d := cfg.MustNew()
+		core.RunTrace(d, branches)
+		specializations := 0
+		useful := int64(0)
+		benefit := 0.0
+		for _, p := range d.Phases() {
+			specializations++
+			benefit -= specializeCost
+			// Credit only the elements that really are inside an oracle
+			// phase: specialization outside a stable phase is wasted.
+			for t := p.Start; t < p.End; t++ {
+				if oracle.InPhase(t) {
+					useful++
+				}
+			}
+		}
+		benefit += speedup * float64(useful)
+		fmt.Printf("%-28s %14d %14d %12.0f\n", name, specializations, useful, benefit)
+	}
+	fmt.Printf("%-28s %14d %14d %12.0f\n", "oracle (offline ideal)",
+		oracle.NumPhases(), oracle.InPhaseElements(), idealBenefit)
+	fmt.Println("\nnet benefit is in element-cost units; higher is better. A detector")
+	fmt.Println("that fires on every flicker pays specializeCost repeatedly; one that")
+	fmt.Println("lags too far misses the useful elements.")
+}

@@ -1,0 +1,61 @@
+// Localregions demonstrates per-region (local) phase detection in the
+// style of Das et al. (§6 of the paper): one detector per method over
+// that method's own sub-stream of profile elements. A region-targeted
+// optimization cares about the stability of exactly its code; a global
+// detector can miss a cold method's behaviour change entirely because the
+// hot methods dominate its windows.
+//
+// Run with: go run ./examples/localregions
+package main
+
+import (
+	"fmt"
+
+	"opd/internal/core"
+	"opd/internal/detectors"
+	"opd/internal/synth"
+	"opd/internal/viz"
+)
+
+func main() {
+	branches, _, err := synth.Run("javac", 2)
+	if err != nil {
+		panic(err)
+	}
+	regional := detectors.NewRegionDetector(func() *core.Detector {
+		return core.Config{
+			CWSize:   200,
+			TW:       core.AdaptiveTW,
+			Model:    core.UnweightedModel,
+			Analyzer: core.ThresholdAnalyzer,
+			Param:    0.6,
+		}.MustNew()
+	})
+	global := core.Config{
+		CWSize: 1000, TW: core.AdaptiveTW,
+		Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6,
+	}.MustNew()
+	for _, e := range branches {
+		regional.Process(e)
+		global.Process(e)
+	}
+	regional.Finish()
+	global.Finish()
+
+	fmt.Printf("workload javac: %d elements, %d regions (methods)\n\n",
+		len(branches), len(regional.Regions()))
+	tl := viz.NewTimeline(int64(len(branches)), 100)
+	tl.Add("global", global.Phases())
+	for _, id := range regional.Regions() {
+		phases := regional.RegionPhases(id)
+		if len(phases) == 0 {
+			continue
+		}
+		tl.Add(fmt.Sprintf("method %d", id), phases)
+	}
+	fmt.Print(tl.Render())
+	fmt.Println("\nEach region row shows when THAT method's behaviour was stable,")
+	fmt.Println("in global time; regions overlap because they interleave — the")
+	fmt.Println("locality a region-targeted optimizer needs, which the single")
+	fmt.Println("global row cannot express.")
+}

@@ -1,0 +1,57 @@
+// Phaseviz draws an ASCII timeline of a workload's execution, comparing
+// the oracle's phases with a detector's output bucket by bucket. It makes
+// the detector's characteristic lateness — and any spurious phases —
+// visible at a glance, and shows how anchor-corrected starts recover the
+// lateness.
+//
+// Run with: go run ./examples/phaseviz
+package main
+
+import (
+	"fmt"
+
+	"opd/internal/baseline"
+	"opd/internal/core"
+	"opd/internal/score"
+	"opd/internal/synth"
+	"opd/internal/viz"
+)
+
+func main() {
+	const (
+		bench   = "compress"
+		scale   = 2
+		mpl     = 2500
+		columns = 100
+	)
+	branches, events, err := synth.Run(bench, scale)
+	if err != nil {
+		panic(err)
+	}
+	oracle, err := baseline.Compute(events, int64(len(branches)), mpl)
+	if err != nil {
+		panic(err)
+	}
+	det := core.Config{
+		CWSize:   mpl / 2,
+		TW:       core.AdaptiveTW,
+		Model:    core.WeightedModel, // compress is the weighted model's benchmark
+		Analyzer: core.ThresholdAnalyzer,
+		Param:    0.7,
+	}.MustNew()
+	core.RunTrace(det, branches)
+
+	fmt.Printf("workload %s (scale %d): %d elements; oracle %d phases at MPL %d; detector %d phases\n\n",
+		bench, scale, len(branches), oracle.NumPhases(), mpl, len(det.Phases()))
+
+	fmt.Print(viz.NewTimeline(int64(len(branches)), columns).
+		Add("oracle", oracle.Phases).
+		Add("detected", det.Phases()).
+		Add("adjusted", det.AdjustedPhases()).
+		Render())
+
+	res := score.Evaluate(det.Phases(), oracle)
+	adj := score.Evaluate(det.AdjustedPhases(), oracle)
+	fmt.Printf("\nraw boundaries:      %v\n", res)
+	fmt.Printf("adjusted boundaries: %v\n", adj)
+}

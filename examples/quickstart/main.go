@@ -1,0 +1,85 @@
+// Quickstart shows the minimal end-to-end flow: build a program for the
+// instrumented VM, stream its conditional branch profile into an online
+// phase detector *while the program runs*, and report the detected phases.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"opd/internal/core"
+	"opd/internal/trace"
+	"opd/internal/vm"
+)
+
+func main() {
+	// A program with two clearly different stable behaviours: a long
+	// summation loop, then a long bit-mixing loop, separated by a little
+	// irregular glue code.
+	pb := vm.NewProgramBuilder().SetGlobalSize(8)
+	f := pb.Function("main", 0, 0)
+	i := f.NewLocal()
+	acc := f.NewLocal()
+	f.Const(0).Store(acc)
+	f.ForRange(i, 0, 4000, func() {
+		f.Load(acc).Load(i).Op(vm.OpAdd).Store(acc)
+		f.IfElse(
+			func() { f.Load(i).Const(1).Op(vm.OpAnd) },
+			func() { f.Load(acc).Const(1).Op(vm.OpShr).Store(acc) },
+			func() { f.Load(acc).Const(3).Op(vm.OpAdd).Store(acc) },
+		)
+	})
+	f.ForRange(i, 0, 50, func() { // glue: short, different sites
+		f.Load(acc).Const(7).Op(vm.OpXor).Store(acc)
+	})
+	f.ForRange(i, 0, 4000, func() {
+		f.IfElse(
+			func() { f.Load(acc).Const(4).Op(vm.OpAnd) },
+			func() { f.Load(acc).Const(5).Op(vm.OpMul).Const(0xFFFF).Op(vm.OpAnd).Store(acc) },
+			func() { f.Load(acc).Const(11).Op(vm.OpAdd).Store(acc) },
+		)
+	})
+	f.Const(0).Load(acc).Op(vm.OpGlobalStore)
+	f.Ret()
+	program := pb.MustBuild()
+
+	// An online detector: adaptive trailing window, unweighted set model,
+	// 0.6 similarity threshold, one similarity computation per element.
+	detector := core.Config{
+		CWSize:   500,
+		TW:       core.AdaptiveTW,
+		Model:    core.UnweightedModel,
+		Analyzer: core.ThresholdAnalyzer,
+		Param:    0.6,
+	}.MustNew()
+
+	// Stream the branch profile into the detector as the program executes
+	// and log every state change live.
+	last := core.Transition
+	interp := vm.NewInterp(program, vm.WithInstrumentation(vm.Instrumentation{
+		OnBranch: func(b trace.Branch) {
+			state := detector.Process(b)
+			if state != last {
+				fmt.Printf("  @%-7d %v -> %v\n", detector.Consumed(), last, state)
+				last = state
+			}
+		},
+	}))
+	fmt.Println("state changes while the program runs:")
+	if err := interp.Run(); err != nil {
+		panic(err)
+	}
+	detector.Finish()
+
+	fmt.Printf("\nprogram result: %d (after %d dynamic branches)\n",
+		interp.Globals()[0], interp.BranchCount())
+	fmt.Println("\ndetected phases:")
+	for idx, p := range detector.Phases() {
+		fmt.Printf("  phase %d: elements %v (%d elements)\n", idx, p, p.Len())
+	}
+	fmt.Println("\nanchor-corrected phases (where each phase actually began):")
+	for idx, p := range detector.AdjustedPhases() {
+		fmt.Printf("  phase %d: elements %v\n", idx, p)
+	}
+}

@@ -1,0 +1,52 @@
+// Recurring demonstrates the repository's implementation of the paper's
+// first future-work item (§7): detecting phases that *repeat themselves*,
+// so a dynamic optimization system can record the efficacy of a
+// phase-based optimization and reapply the decision when the same phase
+// recurs.
+//
+// The mpegaudio workload decodes frames through a small set of repeated
+// code paths; the RecurringDetector assigns each detected phase a
+// behaviour ID by matching its working-set signature against previously
+// seen phases.
+//
+// Run with: go run ./examples/recurring
+package main
+
+import (
+	"fmt"
+
+	"opd/internal/core"
+	"opd/internal/synth"
+)
+
+func main() {
+	branches, _, err := synth.Run("mpegaudio", 2)
+	if err != nil {
+		panic(err)
+	}
+	rd, err := core.NewRecurringDetector(core.Config{
+		CWSize:   500,
+		TW:       core.AdaptiveTW, // adaptive TW holds the whole phase => good signatures
+		Model:    core.UnweightedModel,
+		Analyzer: core.ThresholdAnalyzer,
+		Param:    0.7,
+	}, 0.6)
+	if err != nil {
+		panic(err)
+	}
+	core.RunTrace(rd.Detector, branches)
+
+	fmt.Printf("workload mpegaudio: %d elements\n", len(branches))
+	fmt.Printf("phase occurrences: %d, distinct behaviours: %d\n\n",
+		len(rd.Records()), rd.DistinctPhases())
+	fmt.Printf("%-4s %-18s %-9s %-7s %s\n", "#", "interval", "behaviour", "repeat", "match similarity")
+	for i, r := range rd.Records() {
+		repeat := ""
+		if r.Repeat {
+			repeat = "yes"
+		}
+		fmt.Printf("%-4d %-18v id %-6d %-7s %.3f\n", i, r.Interval, r.ID, repeat, r.Similarity)
+	}
+	fmt.Println("\nA dynamic optimizer keyed on the behaviour ID could reuse the")
+	fmt.Println("optimization decision from the first occurrence at every repeat.")
+}

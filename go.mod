@@ -1,0 +1,3 @@
+module opd
+
+go 1.22

@@ -1,0 +1,166 @@
+package opd
+
+import (
+	"bytes"
+	"testing"
+
+	"opd/internal/baseline"
+	"opd/internal/core"
+	"opd/internal/detectors"
+	"opd/internal/interval"
+	"opd/internal/score"
+	"opd/internal/synth"
+	"opd/internal/trace"
+	"opd/internal/vm"
+)
+
+// TestOracleScoresPerfectlyAgainstItself pins the contract between the
+// oracle and the metric: feeding the oracle's own phases back into the
+// scorer must yield a perfect score on every benchmark and MPL.
+func TestOracleScoresPerfectlyAgainstItself(t *testing.T) {
+	for _, name := range synth.Names() {
+		branches, events, err := synth.Run(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mpl := range []int64{250, 1000, 5000} {
+			sol, err := baseline.Compute(events, int64(len(branches)), mpl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := score.Evaluate(sol.Phases, sol)
+			if res.Score != 1 {
+				t.Errorf("%s MPL %d: self-score = %v", name, mpl, res)
+			}
+		}
+	}
+}
+
+// TestFullPipeline drives the complete system end to end on one workload:
+// generate traces, serialize and re-read them, compute the oracle, run a
+// spread of detectors (framework + related work), and check every score is
+// well-formed and the skip-1 framework detectors beat an intentionally
+// terrible one.
+func TestFullPipeline(t *testing.T) {
+	branches, events, err := synth.Run("mpegaudio", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialization round trip, as cmd/tracegen + cmd/detect do.
+	var bbuf, ebuf bytes.Buffer
+	if err := trace.WriteBranches(&bbuf, branches); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteEvents(&ebuf, events); err != nil {
+		t.Fatal(err)
+	}
+	branches2, err := trace.ReadBranches(&bbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events2, err := trace.ReadEvents(&ebuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const mpl = 2500
+	sol, err := baseline.Compute(events2, int64(len(branches2)), mpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.NumPhases() == 0 {
+		t.Fatal("oracle found no phases")
+	}
+
+	good := core.Config{CWSize: mpl / 2, TW: core.AdaptiveTW,
+		Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.7}.MustNew()
+	// A deliberately bad detector: CW far larger than the MPL, so it can
+	// barely ever fill its windows inside a phase.
+	bad := core.Config{CWSize: 10 * mpl, TW: core.ConstantTW,
+		Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.7}.MustNew()
+	lu := detectors.NewLu(500, 7, 2.0)
+	das := detectors.NewDas(500, 0.8)
+
+	results := map[string]score.Result{}
+	for name, d := range map[string]*core.Detector{"good": good, "bad": bad, "lu": lu, "das": das} {
+		core.RunTrace(d, branches2)
+		if err := interval.Validate(d.Phases(), int64(len(branches2))); err != nil {
+			t.Fatalf("%s: malformed phases: %v", name, err)
+		}
+		results[name] = score.Evaluate(d.Phases(), sol)
+	}
+	for name, r := range results {
+		if r.Score < 0 || r.Score > 1 {
+			t.Errorf("%s: score %f out of range", name, r.Score)
+		}
+	}
+	if results["good"].Score <= results["bad"].Score {
+		t.Errorf("well-sized detector (%.4f) did not beat oversized CW (%.4f)",
+			results["good"].Score, results["bad"].Score)
+	}
+}
+
+// TestDetectionSurvivesRecompilation: an adaptive VM recompiles code
+// mid-flight (inlining, optimization), changing the static site set a
+// detector sees. Run the same workload before and after the full
+// recompilation pipeline and check phase detection quality holds on both:
+// the phase structure is a property of the program's behaviour, not of a
+// particular compilation.
+func TestDetectionSurvivesRecompilation(t *testing.T) {
+	bench, _ := synth.ByName("compress")
+	orig := bench.Build(2)
+	recompiled := vm.Optimize(vm.Inline(orig, vm.InlineBudget{}))
+
+	evaluate := func(p *vm.Program) float64 {
+		branches, events, err := vm.Execute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := baseline.Compute(events, int64(len(branches)), 2500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.NumPhases() == 0 {
+			t.Fatal("no oracle phases")
+		}
+		d := core.Config{CWSize: 1250, TW: core.AdaptiveTW,
+			Model: core.WeightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.7}.MustNew()
+		core.RunTrace(d, branches)
+		return score.Evaluate(d.AdjustedPhases(), sol).Score
+	}
+	before := evaluate(orig)
+	after := evaluate(recompiled)
+	if before < 0.5 || after < 0.5 {
+		t.Errorf("detection quality collapsed: before %.3f, after %.3f", before, after)
+	}
+	if after < before-0.25 {
+		t.Errorf("recompilation destroyed detectability: %.3f -> %.3f", before, after)
+	}
+}
+
+// TestRecurringPhasesOnRealWorkload exercises the recurrence-tracking
+// extension on mpegaudio, whose frames repeat the same behaviour: the
+// tracker must find far fewer distinct behaviours than phase occurrences.
+func TestRecurringPhasesOnRealWorkload(t *testing.T) {
+	branches, _, err := synth.Run("mpegaudio", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := core.NewRecurringDetector(core.Config{
+		CWSize: 500, TW: core.AdaptiveTW,
+		Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.7,
+	}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.RunTrace(rd.Detector, branches)
+	records := rd.Records()
+	if len(records) < 3 {
+		t.Skipf("only %d phase occurrences at this scale", len(records))
+	}
+	if rd.DistinctPhases() >= len(records) {
+		t.Errorf("%d distinct behaviours for %d occurrences: recurrence not detected",
+			rd.DistinctPhases(), len(records))
+	}
+}

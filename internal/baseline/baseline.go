@@ -1,0 +1,351 @@
+// Package baseline implements the paper's oracle (§3.1): an offline,
+// multi-pass analysis of a program's dynamic call-loop trace that marks
+// periods of actual repetition as phases. It is not an online detector —
+// it exploits a global view of the whole execution — and serves as the
+// ground truth against which online phase detectors are scored.
+//
+// The oracle identifies complete repetitive instances (CRIs): entire loop
+// executions (all iterations), recursive executions rooted at an
+// invocation with no other instance of the same method on the stack, and
+// maximal runs of temporally adjacent sequential invocations of the same
+// method. CRIs with the same static identifier separated by at most one
+// profile element are combined (merging perfect loop nests and
+// back-to-back calls), and a minimum phase length (MPL) parameter then
+// selects, innermost first, the repetition instances long enough to count
+// as phases.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"opd/internal/interval"
+	"opd/internal/trace"
+)
+
+// Interval aliases the shared half-open index interval.
+type Interval = interval.Interval
+
+// CRIKind distinguishes the three repetition constructs.
+type CRIKind uint8
+
+const (
+	// LoopCRI is one complete execution of a static loop.
+	LoopCRI CRIKind = iota
+	// RecursionCRI is one recursive execution: the span of a recursion
+	// root invocation.
+	RecursionCRI
+	// CallRunCRI is a maximal run of temporally adjacent (distance <= 1)
+	// sequential invocations of the same method.
+	CallRunCRI
+)
+
+// String names the kind.
+func (k CRIKind) String() string {
+	switch k {
+	case LoopCRI:
+		return "loop"
+	case RecursionCRI:
+		return "recursion"
+	case CallRunCRI:
+		return "callrun"
+	}
+	return fmt.Sprintf("CRIKind(%d)", uint8(k))
+}
+
+// A CRI is one complete repetitive instance.
+type CRI struct {
+	Kind CRIKind
+	ID   uint32 // static identifier: loop ID or method ID
+	Interval
+	// Count is the number of underlying instances a merged CRI covers
+	// (loop executions or invocations combined at distance <= 1).
+	Count int
+}
+
+// staticKey identifies a CRI's static construct across both ID spaces.
+type staticKey struct {
+	kind CRIKind
+	id   uint32
+}
+
+// ExtractCRIs derives the complete repetitive instances of a call-loop
+// trace, before MPL-based merging and selection. The trace must be
+// balanced (trace.Events.Validate).
+func ExtractCRIs(events trace.Events) ([]CRI, error) {
+	if err := events.Validate(); err != nil {
+		return nil, err
+	}
+	var cris []CRI
+
+	type frame struct {
+		kind      trace.EventKind
+		id        uint32
+		start     int64
+		recursive bool // method frames: a same-method invocation occurred beneath
+	}
+	var stack []frame
+	methodDepth := map[uint32]int{}
+
+	// Per-method invocation intervals at each point, for call-run
+	// detection: we record every completed top-level-of-its-run
+	// invocation and group them afterwards.
+	var invocations []CRI
+
+	for _, e := range events {
+		switch e.Kind {
+		case trace.LoopEnter:
+			stack = append(stack, frame{kind: trace.LoopEnter, id: e.ID, start: e.Time})
+		case trace.LoopExit:
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cris = append(cris, CRI{Kind: LoopCRI, ID: e.ID, Interval: Interval{Start: f.start, End: e.Time}, Count: 1})
+		case trace.MethodEnter:
+			if methodDepth[e.ID] > 0 {
+				// Mark the outermost same-method frame recursive.
+				for i := range stack {
+					if stack[i].kind == trace.MethodEnter && stack[i].id == e.ID {
+						stack[i].recursive = true
+						break
+					}
+				}
+			}
+			methodDepth[e.ID]++
+			stack = append(stack, frame{kind: trace.MethodEnter, id: e.ID, start: e.Time})
+		case trace.MethodExit:
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			methodDepth[e.ID]--
+			if f.recursive && methodDepth[e.ID] == 0 {
+				cris = append(cris, CRI{Kind: RecursionCRI, ID: e.ID, Interval: Interval{Start: f.start, End: e.Time}, Count: 1})
+			}
+			if methodDepth[e.ID] == 0 {
+				// A completed outermost invocation: candidate member of a
+				// sequential call run.
+				invocations = append(invocations, CRI{Kind: CallRunCRI, ID: e.ID, Interval: Interval{Start: f.start, End: e.Time}, Count: 1})
+			}
+		}
+	}
+
+	// Group sequential invocations of the same method that are adjacent
+	// (gap <= 1); runs of at least two invocations form CRIs. Single
+	// invocations are not repetition and are dropped.
+	byMethod := map[uint32][]CRI{}
+	for _, inv := range invocations {
+		byMethod[inv.ID] = append(byMethod[inv.ID], inv)
+	}
+	methods := make([]uint32, 0, len(byMethod))
+	for id := range byMethod {
+		methods = append(methods, id)
+	}
+	sort.Slice(methods, func(i, j int) bool { return methods[i] < methods[j] })
+	for _, id := range methods {
+		invs := byMethod[id]
+		sort.Slice(invs, func(i, j int) bool { return invs[i].Start < invs[j].Start })
+		run := invs[0]
+		for _, inv := range invs[1:] {
+			if inv.Start-run.End <= 1 {
+				run.End = inv.End
+				run.Count++
+				continue
+			}
+			if run.Count >= 2 {
+				cris = append(cris, run)
+			}
+			run = inv
+		}
+		if run.Count >= 2 {
+			cris = append(cris, run)
+		}
+	}
+
+	sort.Slice(cris, func(i, j int) bool {
+		if cris[i].Start != cris[j].Start {
+			return cris[i].Start < cris[j].Start
+		}
+		return cris[i].End > cris[j].End
+	})
+	return cris, nil
+}
+
+// mergeAdjacent combines CRIs with the same static identifier whose
+// temporal distance is at most one profile element. This folds the
+// executions of a perfectly nested inner loop — and back-to-back
+// re-executions of the same construct — into a single repetition interval,
+// mirroring the paper's distance-one combination rule.
+func mergeAdjacent(cris []CRI) []CRI {
+	byKey := map[staticKey][]CRI{}
+	var keys []staticKey
+	for _, c := range cris {
+		k := staticKey{c.Kind, c.ID}
+		if _, seen := byKey[k]; !seen {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], c)
+	}
+	var merged []CRI
+	for _, k := range keys {
+		group := byKey[k]
+		sort.Slice(group, func(i, j int) bool { return group[i].Start < group[j].Start })
+		cur := group[0]
+		for _, c := range group[1:] {
+			if c.Start-cur.End <= 1 && c.Start >= cur.End {
+				cur.End = c.End
+				cur.Count += c.Count
+				continue
+			}
+			if c.Overlaps(cur.Interval) {
+				// Nested executions of the same static construct (e.g. a
+				// recursion root inside a recursion root cannot happen, but
+				// a loop re-entered via recursion can): keep the outer.
+				if c.End > cur.End {
+					cur.End = c.End
+				}
+				cur.Count += c.Count
+				continue
+			}
+			merged = append(merged, cur)
+			cur = c
+		}
+		merged = append(merged, cur)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Start != merged[j].Start {
+			return merged[i].Start < merged[j].Start
+		}
+		return merged[i].End > merged[j].End
+	})
+	return merged
+}
+
+// A Solution is the oracle's answer for one trace and one MPL value: the
+// disjoint, sorted list of phases. Every position outside a phase is in
+// transition.
+type Solution struct {
+	MPL      int64
+	TraceLen int64
+	Phases   []Interval
+}
+
+// Options controls oracle variations used by ablation studies.
+type Options struct {
+	// DisableMerging skips the distance-one combination of same-identifier
+	// CRIs (§3.1). Without it, perfect loop nests and back-to-back call
+	// runs fragment into many sub-MPL instances, which is precisely why
+	// the paper's oracle merges them.
+	DisableMerging bool
+}
+
+// Compute runs the oracle: extract CRIs, merge at distance one, and select
+// phases of at least MPL profile elements, innermost first. traceLen is
+// the length of the corresponding branch trace.
+func Compute(events trace.Events, traceLen int64, mpl int64) (*Solution, error) {
+	return ComputeWithOptions(events, traceLen, mpl, Options{})
+}
+
+// ComputeWithOptions is Compute with ablation switches.
+func ComputeWithOptions(events trace.Events, traceLen int64, mpl int64, opts Options) (*Solution, error) {
+	if mpl <= 0 {
+		return nil, fmt.Errorf("baseline: MPL must be positive, got %d", mpl)
+	}
+	if traceLen < 0 {
+		return nil, fmt.Errorf("baseline: negative trace length %d", traceLen)
+	}
+	cris, err := ExtractCRIs(events)
+	if err != nil {
+		return nil, err
+	}
+	merged := cris
+	if !opts.DisableMerging {
+		merged = mergeAdjacent(cris)
+	}
+
+	// Innermost-first selection: sort candidates by length ascending so a
+	// nested repetition that satisfies the MPL wins over its containers;
+	// a candidate that overlaps an already selected phase is skipped (its
+	// repetition is represented by the inner phase).
+	sort.Slice(merged, func(i, j int) bool {
+		li, lj := merged[i].Len(), merged[j].Len()
+		if li != lj {
+			return li < lj
+		}
+		return merged[i].Start < merged[j].Start
+	})
+	var phases []Interval
+	for _, c := range merged {
+		if c.Len() < mpl {
+			continue
+		}
+		conflict := false
+		for _, p := range phases {
+			if c.Overlaps(p) {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			phases = append(phases, c.Interval)
+		}
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].Start < phases[j].Start })
+	return &Solution{MPL: mpl, TraceLen: traceLen, Phases: phases}, nil
+}
+
+// NumPhases returns the number of phases the oracle identified.
+func (s *Solution) NumPhases() int { return len(s.Phases) }
+
+// InPhaseElements returns the total number of profile elements inside
+// phases.
+func (s *Solution) InPhaseElements() int64 {
+	var n int64
+	for _, p := range s.Phases {
+		n += p.Len()
+	}
+	return n
+}
+
+// PercentInPhase returns the percentage of the trace that is in phase —
+// the "% in Phase" column of Table 1(b).
+func (s *Solution) PercentInPhase() float64 {
+	if s.TraceLen == 0 {
+		return 0
+	}
+	return 100 * float64(s.InPhaseElements()) / float64(s.TraceLen)
+}
+
+// InPhase reports whether profile element t is inside a phase.
+func (s *Solution) InPhase(t int64) bool {
+	i := sort.Search(len(s.Phases), func(i int) bool { return s.Phases[i].End > t })
+	return i < len(s.Phases) && s.Phases[i].Contains(t)
+}
+
+// States expands the solution into one boolean per profile element
+// (true = in phase). Intended for tests and visualization; scoring works
+// on the interval representation directly.
+func (s *Solution) States() []bool {
+	states := make([]bool, s.TraceLen)
+	for _, p := range s.Phases {
+		for t := p.Start; t < p.End && t < s.TraceLen; t++ {
+			states[t] = true
+		}
+	}
+	return states
+}
+
+// CountRecursionRoots counts recursion roots per the paper's definition:
+// invocations of a method that later recurs while no other instance of
+// that method is on the stack. This is the "Recursion Roots" column of
+// Table 1(a).
+func CountRecursionRoots(events trace.Events) int64 {
+	cris, err := ExtractCRIs(events)
+	if err != nil {
+		return 0
+	}
+	var n int64
+	for _, c := range cris {
+		if c.Kind == RecursionCRI {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,366 @@
+package baseline
+
+import (
+	"testing"
+
+	"opd/internal/synth"
+	"opd/internal/trace"
+)
+
+func mustCompute(t *testing.T, es trace.Events, traceLen, mpl int64) *Solution {
+	t.Helper()
+	s, err := Compute(es, traceLen, mpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSingleLoopPhase(t *testing.T) {
+	es := trace.Events{
+		{Kind: trace.MethodEnter, ID: 0, Time: 0},
+		{Kind: trace.LoopEnter, ID: 1, Time: 5},
+		{Kind: trace.LoopExit, ID: 1, Time: 105},
+		{Kind: trace.MethodExit, ID: 0, Time: 110},
+	}
+	s := mustCompute(t, es, 110, 50)
+	if s.NumPhases() != 1 {
+		t.Fatalf("phases = %v, want one", s.Phases)
+	}
+	if s.Phases[0] != (Interval{Start: 5, End: 105}) {
+		t.Errorf("phase = %v, want [5,105)", s.Phases[0])
+	}
+	if got := s.InPhaseElements(); got != 100 {
+		t.Errorf("in-phase elements = %d, want 100", got)
+	}
+	if got := s.PercentInPhase(); got < 90.8 || got > 91.0 {
+		t.Errorf("percent in phase = %f, want ~90.9", got)
+	}
+
+	// Larger MPL: the loop no longer qualifies.
+	s = mustCompute(t, es, 110, 101)
+	if s.NumPhases() != 0 {
+		t.Errorf("phases at MPL 101 = %v, want none", s.Phases)
+	}
+}
+
+func TestPerfectNestMergesInner(t *testing.T) {
+	// Outer loop [0, 301); three inner executions with exactly one
+	// element between them (the outer back edge): distance-1 merging
+	// must fold them into a single repetition interval.
+	es := trace.Events{
+		{Kind: trace.MethodEnter, ID: 0, Time: 0},
+		{Kind: trace.LoopEnter, ID: 1, Time: 0},
+		{Kind: trace.LoopEnter, ID: 2, Time: 1},
+		{Kind: trace.LoopExit, ID: 2, Time: 100},
+		{Kind: trace.LoopEnter, ID: 2, Time: 101},
+		{Kind: trace.LoopExit, ID: 2, Time: 200},
+		{Kind: trace.LoopEnter, ID: 2, Time: 201},
+		{Kind: trace.LoopExit, ID: 2, Time: 300},
+		{Kind: trace.LoopExit, ID: 1, Time: 301},
+		{Kind: trace.MethodExit, ID: 0, Time: 301},
+	}
+	s := mustCompute(t, es, 301, 150)
+	if s.NumPhases() != 1 {
+		t.Fatalf("phases = %v, want one merged phase", s.Phases)
+	}
+	// The merged inner run [1,300) (length 299 >= 150) is innermost and
+	// wins over the outer [0,301).
+	if s.Phases[0] != (Interval{Start: 1, End: 300}) {
+		t.Errorf("phase = %v, want [1,300)", s.Phases[0])
+	}
+}
+
+func TestSeparatedInnerExecutionsAreDistinctPhases(t *testing.T) {
+	// Two executions of loop 2 separated by 50 elements of other work:
+	// each qualifies on its own.
+	es := trace.Events{
+		{Kind: trace.MethodEnter, ID: 0, Time: 0},
+		{Kind: trace.LoopEnter, ID: 1, Time: 0},
+		{Kind: trace.LoopEnter, ID: 2, Time: 10},
+		{Kind: trace.LoopExit, ID: 2, Time: 110},
+		{Kind: trace.LoopEnter, ID: 2, Time: 160},
+		{Kind: trace.LoopExit, ID: 2, Time: 260},
+		{Kind: trace.LoopExit, ID: 1, Time: 280},
+		{Kind: trace.MethodExit, ID: 0, Time: 280},
+	}
+	s := mustCompute(t, es, 280, 80)
+	if s.NumPhases() != 2 {
+		t.Fatalf("phases = %v, want two", s.Phases)
+	}
+	if s.Phases[0] != (Interval{Start: 10, End: 110}) || s.Phases[1] != (Interval{Start: 160, End: 260}) {
+		t.Errorf("phases = %v", s.Phases)
+	}
+
+	// With MPL 150 neither inner execution qualifies, so the outer loop
+	// becomes the phase.
+	s = mustCompute(t, es, 280, 150)
+	if s.NumPhases() != 1 || s.Phases[0] != (Interval{Start: 0, End: 280}) {
+		t.Errorf("phases at MPL 150 = %v, want [0,280)", s.Phases)
+	}
+}
+
+func TestRecursionRootCRI(t *testing.T) {
+	// main -> foo -> bar -> foo: the root recursive execution is the
+	// first foo invocation.
+	es := trace.Events{
+		{Kind: trace.MethodEnter, ID: 0, Time: 0},  // main
+		{Kind: trace.MethodEnter, ID: 1, Time: 10}, // foo (root)
+		{Kind: trace.MethodEnter, ID: 2, Time: 20}, // bar
+		{Kind: trace.MethodEnter, ID: 1, Time: 30}, // foo again
+		{Kind: trace.MethodExit, ID: 1, Time: 140},
+		{Kind: trace.MethodExit, ID: 2, Time: 150},
+		{Kind: trace.MethodExit, ID: 1, Time: 160},
+		{Kind: trace.MethodExit, ID: 0, Time: 170},
+	}
+	cris, err := ExtractCRIs(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []CRI
+	for _, c := range cris {
+		if c.Kind == RecursionCRI {
+			recs = append(recs, c)
+		}
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recursion CRIs = %v, want one", recs)
+	}
+	if recs[0].ID != 1 || recs[0].Interval != (Interval{Start: 10, End: 160}) {
+		t.Errorf("recursion CRI = %+v, want foo [10,160)", recs[0])
+	}
+	if got := CountRecursionRoots(es); got != 1 {
+		t.Errorf("CountRecursionRoots = %d, want 1", got)
+	}
+
+	s := mustCompute(t, es, 170, 100)
+	if s.NumPhases() != 1 || s.Phases[0] != (Interval{Start: 10, End: 160}) {
+		t.Errorf("phases = %v, want the recursive execution [10,160)", s.Phases)
+	}
+}
+
+func TestSequentialCallRun(t *testing.T) {
+	// Three back-to-back invocations of method 5 (gap 1), then an
+	// isolated one far away. The run forms a CRI; the singleton does not.
+	es := trace.Events{
+		{Kind: trace.MethodEnter, ID: 0, Time: 0},
+		{Kind: trace.MethodEnter, ID: 5, Time: 10},
+		{Kind: trace.MethodExit, ID: 5, Time: 50},
+		{Kind: trace.MethodEnter, ID: 5, Time: 51},
+		{Kind: trace.MethodExit, ID: 5, Time: 90},
+		{Kind: trace.MethodEnter, ID: 5, Time: 91},
+		{Kind: trace.MethodExit, ID: 5, Time: 130},
+		{Kind: trace.MethodEnter, ID: 5, Time: 400},
+		{Kind: trace.MethodExit, ID: 5, Time: 440},
+		{Kind: trace.MethodExit, ID: 0, Time: 500},
+	}
+	cris, err := ExtractCRIs(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []CRI
+	for _, c := range cris {
+		if c.Kind == CallRunCRI {
+			runs = append(runs, c)
+		}
+	}
+	if len(runs) != 1 {
+		t.Fatalf("call runs = %v, want one", runs)
+	}
+	if runs[0].Interval != (Interval{Start: 10, End: 130}) || runs[0].Count != 3 {
+		t.Errorf("call run = %+v, want [10,130) count 3", runs[0])
+	}
+
+	s := mustCompute(t, es, 500, 100)
+	if s.NumPhases() != 1 || s.Phases[0] != (Interval{Start: 10, End: 130}) {
+		t.Errorf("phases = %v, want [10,130)", s.Phases)
+	}
+}
+
+func TestInnermostWinsOverOuter(t *testing.T) {
+	// An inner loop of 120 elements inside an outer of 400, separated
+	// executions: with MPL 100 the inner qualifies and the outer must not
+	// also be reported.
+	es := trace.Events{
+		{Kind: trace.MethodEnter, ID: 0, Time: 0},
+		{Kind: trace.LoopEnter, ID: 1, Time: 0},
+		{Kind: trace.LoopEnter, ID: 2, Time: 100},
+		{Kind: trace.LoopExit, ID: 2, Time: 220},
+		{Kind: trace.LoopExit, ID: 1, Time: 400},
+		{Kind: trace.MethodExit, ID: 0, Time: 400},
+	}
+	s := mustCompute(t, es, 400, 100)
+	if s.NumPhases() != 1 {
+		t.Fatalf("phases = %v, want one", s.Phases)
+	}
+	if s.Phases[0] != (Interval{Start: 100, End: 220}) {
+		t.Errorf("phase = %v, want inner [100,220)", s.Phases[0])
+	}
+}
+
+func TestMPLIncreaseCanDecreaseAndIncreaseCoverage(t *testing.T) {
+	// The paper notes percent-in-phase does not vary monotonically with
+	// MPL. Construct the canonical case: an inner loop [100,220) inside
+	// an outer [0,400). MPL 100: inner is the phase (coverage 120/400).
+	// MPL 150: inner too small, outer becomes the phase (coverage 1.0).
+	// MPL 401: nothing qualifies (coverage 0).
+	es := trace.Events{
+		{Kind: trace.MethodEnter, ID: 0, Time: 0},
+		{Kind: trace.LoopEnter, ID: 1, Time: 0},
+		{Kind: trace.LoopEnter, ID: 2, Time: 100},
+		{Kind: trace.LoopExit, ID: 2, Time: 220},
+		{Kind: trace.LoopExit, ID: 1, Time: 400},
+		{Kind: trace.MethodExit, ID: 0, Time: 400},
+	}
+	cov := func(mpl int64) float64 { return mustCompute(t, es, 400, mpl).PercentInPhase() }
+	if c := cov(100); c != 30 {
+		t.Errorf("coverage at MPL 100 = %f, want 30", c)
+	}
+	if c := cov(150); c != 100 {
+		t.Errorf("coverage at MPL 150 = %f, want 100", c)
+	}
+	if c := cov(401); c != 0 {
+		t.Errorf("coverage at MPL 401 = %f, want 0", c)
+	}
+}
+
+func TestInPhaseAndStates(t *testing.T) {
+	s := &Solution{MPL: 10, TraceLen: 30, Phases: []Interval{{Start: 5, End: 10}, {Start: 20, End: 25}}}
+	wantIn := map[int64]bool{4: false, 5: true, 9: true, 10: false, 19: false, 20: true, 24: true, 25: false}
+	for pos, want := range wantIn {
+		if got := s.InPhase(pos); got != want {
+			t.Errorf("InPhase(%d) = %v, want %v", pos, got, want)
+		}
+	}
+	states := s.States()
+	if len(states) != 30 {
+		t.Fatalf("States() length = %d", len(states))
+	}
+	for pos := int64(0); pos < 30; pos++ {
+		if states[pos] != s.InPhase(pos) {
+			t.Errorf("States()[%d] = %v disagrees with InPhase", pos, states[pos])
+		}
+	}
+}
+
+func TestDisableMergingAblation(t *testing.T) {
+	// The perfect-nest trace of TestPerfectNestMergesInner: with merging,
+	// the three inner executions fold into [1,300) and win; without it,
+	// each inner execution (99 elements) is below MPL 150 and the outer
+	// loop [0,301) becomes the phase instead.
+	es := trace.Events{
+		{Kind: trace.MethodEnter, ID: 0, Time: 0},
+		{Kind: trace.LoopEnter, ID: 1, Time: 0},
+		{Kind: trace.LoopEnter, ID: 2, Time: 1},
+		{Kind: trace.LoopExit, ID: 2, Time: 100},
+		{Kind: trace.LoopEnter, ID: 2, Time: 101},
+		{Kind: trace.LoopExit, ID: 2, Time: 200},
+		{Kind: trace.LoopEnter, ID: 2, Time: 201},
+		{Kind: trace.LoopExit, ID: 2, Time: 300},
+		{Kind: trace.LoopExit, ID: 1, Time: 301},
+		{Kind: trace.MethodExit, ID: 0, Time: 301},
+	}
+	noMerge, err := ComputeWithOptions(es, 301, 150, Options{DisableMerging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noMerge.NumPhases() != 1 || noMerge.Phases[0] != (Interval{Start: 0, End: 301}) {
+		t.Errorf("without merging: phases = %v, want outer [0,301)", noMerge.Phases)
+	}
+	withMerge := mustCompute(t, es, 301, 150)
+	if withMerge.Phases[0] == noMerge.Phases[0] {
+		t.Error("merging ablation had no effect")
+	}
+
+	// With small MPL and no merging, the inner executions fragment into
+	// three separate phases.
+	noMerge, err = ComputeWithOptions(es, 301, 80, Options{DisableMerging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noMerge.NumPhases() != 3 {
+		t.Errorf("without merging at MPL 80: %d phases, want 3", noMerge.NumPhases())
+	}
+	if merged := mustCompute(t, es, 301, 80); merged.NumPhases() != 1 {
+		t.Errorf("with merging at MPL 80: %d phases, want 1", merged.NumPhases())
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, 10, 0); err == nil {
+		t.Error("MPL 0 accepted")
+	}
+	if _, err := Compute(nil, -1, 10); err == nil {
+		t.Error("negative trace length accepted")
+	}
+	bad := trace.Events{{Kind: trace.LoopExit, ID: 1, Time: 0}}
+	if _, err := Compute(bad, 10, 10); err == nil {
+		t.Error("invalid events accepted")
+	}
+	if _, err := ExtractCRIs(bad); err == nil {
+		t.Error("ExtractCRIs accepted invalid events")
+	}
+	if got := CountRecursionRoots(bad); got != 0 {
+		t.Errorf("CountRecursionRoots on invalid events = %d, want 0", got)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Start: 5, End: 10}
+	if iv.Len() != 5 {
+		t.Errorf("Len = %d", iv.Len())
+	}
+	if !iv.Contains(5) || iv.Contains(10) || iv.Contains(4) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if !iv.Overlaps(Interval{Start: 9, End: 12}) || iv.Overlaps(Interval{Start: 10, End: 12}) {
+		t.Error("Overlaps boundary behaviour wrong")
+	}
+	if iv.String() != "[5,10)" {
+		t.Errorf("String = %q", iv.String())
+	}
+	for _, k := range []CRIKind{LoopCRI, RecursionCRI, CallRunCRI} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+	if CRIKind(9).String() != "CRIKind(9)" {
+		t.Errorf("unknown kind = %q", CRIKind(9).String())
+	}
+}
+
+// Oracle invariants on real synthetic workloads: phases are disjoint,
+// sorted, long enough, and within the trace; phase counts weakly decrease
+// as MPL grows.
+func TestOracleInvariantsOnBenchmarks(t *testing.T) {
+	mpls := []int64{100, 500, 1000, 5000, 10000}
+	for _, name := range synth.Names() {
+		branches, events, err := synth.Run(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevCount := -1
+		_ = prevCount
+		for _, mpl := range mpls {
+			s := mustCompute(t, events, int64(len(branches)), mpl)
+			var last Interval
+			for i, p := range s.Phases {
+				if p.Len() < mpl {
+					t.Errorf("%s MPL %d: phase %v shorter than MPL", name, mpl, p)
+				}
+				if p.Start < 0 || p.End > int64(len(branches)) {
+					t.Errorf("%s MPL %d: phase %v outside trace", name, mpl, p)
+				}
+				if i > 0 && p.Start < last.End {
+					t.Errorf("%s MPL %d: phases overlap or unsorted: %v then %v", name, mpl, last, p)
+				}
+				last = p
+			}
+		}
+		// Every benchmark must exhibit phases at the smallest tested MPL.
+		s := mustCompute(t, events, int64(len(branches)), 100)
+		if s.NumPhases() == 0 {
+			t.Errorf("%s: no phases at MPL 100", name)
+		}
+	}
+}

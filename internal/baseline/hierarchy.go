@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"opd/internal/trace"
+)
+
+// The paper notes (§2) that profile elements form a hierarchy of phases —
+// the shape one expects from nested loop structure — and that an ideal
+// detector would expose it, even though its own detectors (and oracle
+// output) are deliberately flat because extant clients cannot consume a
+// hierarchy. This file provides that hierarchy as an offline analysis: the
+// merged repetition instances of a call-loop trace arranged into a forest
+// by containment, so a client (or a researcher) can inspect which
+// repetition nests inside which.
+
+// A Node is one repetition instance in the phase hierarchy; its children
+// are the repetition instances nested inside it, in temporal order.
+type Node struct {
+	CRI      CRI
+	Children []*Node
+}
+
+// Depth returns the height of the subtree rooted at n (a leaf has depth
+// 1).
+func (n *Node) Depth() int {
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Walk visits the subtree rooted at n in pre-order, passing each node's
+// nesting level (the root is level 0).
+func (n *Node) Walk(fn func(node *Node, level int)) {
+	n.walk(fn, 0)
+}
+
+func (n *Node) walk(fn func(*Node, int), level int) {
+	fn(n, level)
+	for _, c := range n.Children {
+		c.walk(fn, level+1)
+	}
+}
+
+// Hierarchy arranges the merged repetition instances of a call-loop trace
+// into a containment forest. Roots are the outermost repetition
+// instances; every child's interval is contained in its parent's.
+func Hierarchy(events trace.Events) ([]*Node, error) {
+	cris, err := ExtractCRIs(events)
+	if err != nil {
+		return nil, err
+	}
+	merged := mergeAdjacent(cris)
+	// Sorted by (start asc, end desc): parents precede children.
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Start != merged[j].Start {
+			return merged[i].Start < merged[j].Start
+		}
+		return merged[i].End > merged[j].End
+	})
+	var roots []*Node
+	var stack []*Node
+	var rootEnd int64 = -1 << 62
+	for _, c := range merged {
+		node := &Node{CRI: c}
+		for len(stack) > 0 && !contains(stack[len(stack)-1].CRI.Interval, c.Interval) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			if c.Start < rootEnd {
+				// A merged call run can straddle structural boundaries
+				// (distance-one merging joins invocations across a loop
+				// edge); such an instance cannot be placed in a tree and
+				// is dropped from the hierarchy view.
+				continue
+			}
+			roots = append(roots, node)
+			rootEnd = c.End
+		} else {
+			parent := stack[len(stack)-1]
+			if n := len(parent.Children); n > 0 && c.Start < parent.Children[n-1].CRI.End {
+				continue // straddles the previous sibling: not nestable
+			}
+			parent.Children = append(parent.Children, node)
+		}
+		stack = append(stack, node)
+	}
+	return roots, nil
+}
+
+// contains reports whether outer fully contains inner (boundary-sharing
+// counts as containment).
+func contains(outer, inner Interval) bool {
+	return outer.Start <= inner.Start && inner.End <= outer.End
+}
+
+// LevelIntervals collects the intervals of all hierarchy nodes at exactly
+// the given nesting level (0 = roots), in temporal order — a flat slice
+// through the hierarchy, which is what a flat-phase client would see if it
+// asked for that granularity.
+func LevelIntervals(roots []*Node, level int) []Interval {
+	var out []Interval
+	for _, r := range roots {
+		r.Walk(func(n *Node, l int) {
+			if l == level {
+				out = append(out, n.CRI.Interval)
+			}
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// FormatHierarchy renders the forest as an indented outline, for
+// inspection tools.
+func FormatHierarchy(roots []*Node) string {
+	var sb strings.Builder
+	for _, r := range roots {
+		r.Walk(func(n *Node, level int) {
+			fmt.Fprintf(&sb, "%s%s id=%d %v len=%d count=%d\n",
+				strings.Repeat("  ", level), n.CRI.Kind, n.CRI.ID, n.CRI.Interval, n.CRI.Len(), n.CRI.Count)
+		})
+	}
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"opd/internal/synth"
+	"opd/internal/trace"
+)
+
+func nestedEvents() trace.Events {
+	// main { loop1 [0,400) { loop2 [50,150), loop2 [200,300) { loop3 [210,290) } } }
+	return trace.Events{
+		{Kind: trace.MethodEnter, ID: 0, Time: 0},
+		{Kind: trace.LoopEnter, ID: 1, Time: 0},
+		{Kind: trace.LoopEnter, ID: 2, Time: 50},
+		{Kind: trace.LoopExit, ID: 2, Time: 150},
+		{Kind: trace.LoopEnter, ID: 2, Time: 200},
+		{Kind: trace.LoopEnter, ID: 3, Time: 210},
+		{Kind: trace.LoopExit, ID: 3, Time: 290},
+		{Kind: trace.LoopExit, ID: 2, Time: 300},
+		{Kind: trace.LoopExit, ID: 1, Time: 400},
+		{Kind: trace.MethodExit, ID: 0, Time: 400},
+	}
+}
+
+func TestHierarchyStructure(t *testing.T) {
+	roots, err := Hierarchy(nestedEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1 (the outer loop)", len(roots))
+	}
+	outer := roots[0]
+	if outer.CRI.ID != 1 || outer.CRI.Kind != LoopCRI {
+		t.Errorf("root = %+v, want loop 1", outer.CRI)
+	}
+	if len(outer.Children) != 2 {
+		t.Fatalf("outer children = %d, want 2 executions of loop 2", len(outer.Children))
+	}
+	second := outer.Children[1]
+	if len(second.Children) != 1 || second.Children[0].CRI.ID != 3 {
+		t.Errorf("loop 3 not nested under second loop-2 execution: %+v", second)
+	}
+	if got := outer.Depth(); got != 3 {
+		t.Errorf("depth = %d, want 3", got)
+	}
+}
+
+func TestLevelIntervals(t *testing.T) {
+	roots, err := Hierarchy(nestedEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	level0 := LevelIntervals(roots, 0)
+	if len(level0) != 1 || level0[0] != (Interval{Start: 0, End: 400}) {
+		t.Errorf("level 0 = %v", level0)
+	}
+	level1 := LevelIntervals(roots, 1)
+	if len(level1) != 2 || level1[0] != (Interval{Start: 50, End: 150}) || level1[1] != (Interval{Start: 200, End: 300}) {
+		t.Errorf("level 1 = %v", level1)
+	}
+	level2 := LevelIntervals(roots, 2)
+	if len(level2) != 1 || level2[0] != (Interval{Start: 210, End: 290}) {
+		t.Errorf("level 2 = %v", level2)
+	}
+	if got := LevelIntervals(roots, 9); len(got) != 0 {
+		t.Errorf("level 9 = %v, want empty", got)
+	}
+}
+
+func TestFormatHierarchy(t *testing.T) {
+	roots, err := Hierarchy(nestedEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatHierarchy(roots)
+	if !strings.Contains(out, "loop id=1") || !strings.Contains(out, "    loop id=3") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestHierarchyErrors(t *testing.T) {
+	if _, err := Hierarchy(trace.Events{{Kind: trace.LoopExit, ID: 1, Time: 0}}); err == nil {
+		t.Error("invalid events accepted")
+	}
+}
+
+func TestHierarchyInvariantsOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"compress", "javac", "mpegaudio"} {
+		_, events, err := synth.Run(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots, err := Hierarchy(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(roots) == 0 {
+			t.Errorf("%s: empty hierarchy", name)
+		}
+		// Invariant: every child is contained in its parent; siblings are
+		// in temporal order.
+		var check func(n *Node)
+		check = func(n *Node) {
+			var prevEnd int64 = -1 << 62
+			for _, c := range n.Children {
+				if !contains(n.CRI.Interval, c.CRI.Interval) {
+					t.Errorf("%s: child %v escapes parent %v", name, c.CRI.Interval, n.CRI.Interval)
+				}
+				if c.CRI.Start < prevEnd {
+					t.Errorf("%s: siblings overlap near %v", name, c.CRI.Interval)
+				}
+				prevEnd = c.CRI.End
+				check(c)
+			}
+		}
+		for _, r := range roots {
+			check(r)
+		}
+	}
+}

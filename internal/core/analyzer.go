@@ -1,0 +1,146 @@
+package core
+
+// Analyzer is the framework's similarity analyzer component: it decides,
+// for each similarity value, whether execution is in phase or in
+// transition. The detector calls ResetStats when a phase begins and
+// UpdateStats with each similarity value observed while the phase
+// continues, enabling adaptive analyzers.
+type Analyzer interface {
+	ProcessValue(sim float64) State
+	ResetStats()
+	UpdateStats(sim float64)
+}
+
+// Threshold is the fixed-threshold analyzer used by most prior work: P
+// whenever similarity meets the threshold.
+type Threshold struct {
+	T float64
+}
+
+var _ Analyzer = (*Threshold)(nil)
+
+// NewThreshold returns a fixed-threshold analyzer.
+func NewThreshold(t float64) *Threshold { return &Threshold{T: t} }
+
+// ProcessValue implements Analyzer.
+func (a *Threshold) ProcessValue(sim float64) State {
+	if sim >= a.T {
+		return InPhase
+	}
+	return Transition
+}
+
+// Boundary returns the analyzer's current accept threshold, enabling the
+// detector's confidence reporting.
+func (a *Threshold) Boundary() float64 { return a.T }
+
+// ResetStats implements Analyzer (stateless, no-op).
+func (a *Threshold) ResetStats() {}
+
+// UpdateStats implements Analyzer (stateless, no-op).
+func (a *Threshold) UpdateStats(float64) {}
+
+// Hysteresis is an additional framework instantiation beyond the paper's
+// two analyzer families: it uses distinct enter and exit thresholds
+// (enter >= exit), so a phase begins only on strong similarity but
+// survives moderate dips — the classic debouncing scheme for noisy
+// signals. With Enter == Exit it degenerates to Threshold.
+type Hysteresis struct {
+	Enter, Exit float64
+
+	inPhase bool
+}
+
+var _ Analyzer = (*Hysteresis)(nil)
+
+// NewHysteresis returns a two-threshold analyzer. It panics if
+// enter < exit (a construction error: the phase could never be left).
+func NewHysteresis(enter, exit float64) *Hysteresis {
+	if enter < exit {
+		panic("core: hysteresis enter threshold below exit threshold")
+	}
+	return &Hysteresis{Enter: enter, Exit: exit}
+}
+
+// ProcessValue implements Analyzer.
+func (a *Hysteresis) ProcessValue(sim float64) State {
+	if a.inPhase {
+		a.inPhase = sim >= a.Exit
+	} else {
+		a.inPhase = sim >= a.Enter
+	}
+	if a.inPhase {
+		return InPhase
+	}
+	return Transition
+}
+
+// Boundary returns the currently active threshold, enabling confidence
+// reporting.
+func (a *Hysteresis) Boundary() float64 {
+	if a.inPhase {
+		return a.Exit
+	}
+	return a.Enter
+}
+
+// ResetStats implements Analyzer. The detector resets stats at phase
+// *start*, so the in-phase flag is set, keeping the analyzer's view
+// aligned with the detector's.
+func (a *Hysteresis) ResetStats() { a.inPhase = true }
+
+// UpdateStats implements Analyzer (no running statistics).
+func (a *Hysteresis) UpdateStats(float64) {}
+
+// Average is the paper's adaptive analyzer: it keeps a running average of
+// the similarity values of the current phase and reports P while the
+// incoming value stays within Delta below that average. Before any
+// in-phase history exists, the entry threshold is 1-Delta — the natural
+// bootstrap, since a perfectly stable phase has similarity 1 and the
+// analyzer accepts values up to Delta below the expected level.
+type Average struct {
+	Delta float64
+
+	count int64
+	sum   float64
+}
+
+var _ Analyzer = (*Average)(nil)
+
+// NewAverage returns an adaptive running-average analyzer with the given
+// delta.
+func NewAverage(delta float64) *Average { return &Average{Delta: delta} }
+
+// ProcessValue implements Analyzer.
+func (a *Average) ProcessValue(sim float64) State {
+	threshold := 1 - a.Delta
+	if a.count > 0 {
+		threshold = a.sum/float64(a.count) - a.Delta
+	}
+	if sim >= threshold {
+		return InPhase
+	}
+	return Transition
+}
+
+// Boundary returns the analyzer's current accept threshold, enabling the
+// detector's confidence reporting.
+func (a *Average) Boundary() float64 {
+	if a.count > 0 {
+		return a.sum/float64(a.count) - a.Delta
+	}
+	return 1 - a.Delta
+}
+
+// ResetStats implements Analyzer: a new phase starts with no history.
+func (a *Average) ResetStats() {
+	a.count = 0
+	a.sum = 0
+}
+
+// UpdateStats implements Analyzer: fold the value into the running
+// average for the current phase.
+func (a *Average) UpdateStats(sim float64) {
+	a.count++
+	a.sum += sim
+}

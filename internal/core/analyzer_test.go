@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"opd/internal/trace"
+)
+
+func TestThresholdBoundary(t *testing.T) {
+	a := NewThreshold(0.6)
+	if a.Boundary() != 0.6 {
+		t.Errorf("Boundary = %f", a.Boundary())
+	}
+	if a.ProcessValue(0.6) != InPhase {
+		t.Error("threshold is inclusive")
+	}
+	if a.ProcessValue(0.59) != Transition {
+		t.Error("below threshold not transition")
+	}
+	a.ResetStats()
+	a.UpdateStats(0.1) // no-ops must not change behaviour
+	if a.ProcessValue(0.6) != InPhase {
+		t.Error("stateless analyzer changed behaviour")
+	}
+}
+
+func TestAverageBoundaryTracksHistory(t *testing.T) {
+	a := NewAverage(0.1)
+	if a.Boundary() != 0.9 {
+		t.Errorf("bootstrap boundary = %f, want 0.9", a.Boundary())
+	}
+	a.UpdateStats(0.8)
+	a.UpdateStats(0.6)
+	if b := a.Boundary(); b < 0.599 || b > 0.601 {
+		t.Errorf("boundary = %f, want 0.6 (avg 0.7 - delta 0.1)", b)
+	}
+}
+
+func TestHysteresisDebounces(t *testing.T) {
+	a := NewHysteresis(0.8, 0.5)
+	if a.ProcessValue(0.7) != Transition {
+		t.Error("0.7 entered below the enter threshold")
+	}
+	if a.ProcessValue(0.85) != InPhase {
+		t.Error("0.85 did not enter")
+	}
+	// A dip to 0.6 stays in phase (above exit), a dip to 0.4 leaves.
+	if a.ProcessValue(0.6) != InPhase {
+		t.Error("moderate dip ended the phase")
+	}
+	if a.ProcessValue(0.4) != Transition {
+		t.Error("deep dip did not end the phase")
+	}
+	// Back at 0.6: not enough to re-enter.
+	if a.ProcessValue(0.6) != Transition {
+		t.Error("re-entered below the enter threshold")
+	}
+	if a.Boundary() != 0.8 {
+		t.Errorf("out-of-phase boundary = %f, want enter", a.Boundary())
+	}
+	a.ProcessValue(0.9)
+	if a.Boundary() != 0.5 {
+		t.Errorf("in-phase boundary = %f, want exit", a.Boundary())
+	}
+}
+
+func TestHysteresisPanicsOnInvertedThresholds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for enter < exit")
+		}
+	}()
+	NewHysteresis(0.4, 0.6)
+}
+
+func TestHysteresisInDetector(t *testing.T) {
+	// On a noisy stream, hysteresis yields fewer, longer phases than a
+	// plain threshold at the enter level.
+	var tr trace.Trace
+	rng := int64(99)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int(rng >> 40)
+		if v < 0 {
+			v = -v
+		}
+		return v % n
+	}
+	for i := 0; i < 2000; i++ {
+		site := 1
+		if next(10) == 0 { // 10% noise from a second site
+			site = 2
+		}
+		tr = append(tr, el(site))
+	}
+	run := func(an Analyzer) int {
+		d := NewDetector(NewSetModel(WeightedModel, 50, 50, ConstantTW, AnchorRN, ResizeSlide), an, 1)
+		RunTrace(d, tr)
+		return len(d.Phases())
+	}
+	plain := run(NewThreshold(0.92))
+	hyst := run(NewHysteresis(0.92, 0.75))
+	if hyst > plain {
+		t.Errorf("hysteresis produced more phases (%d) than plain threshold (%d)", hyst, plain)
+	}
+	if hyst == 0 {
+		t.Error("hysteresis detected nothing")
+	}
+}

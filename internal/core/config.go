@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is a declarative description of one framework instantiation: the
+// window, model, and analyzer policies plus their parameters. The sweep
+// machinery enumerates Configs; Config.New builds the runnable detector.
+type Config struct {
+	// CWSize is the current window capacity in profile elements.
+	CWSize int
+	// TWSize is the trailing window's (initial) capacity. Zero means
+	// "same as CWSize", the common parameterization.
+	TWSize int
+	// SkipFactor is the number of elements consumed per similarity
+	// computation. Zero means 1.
+	SkipFactor int
+	// TW selects the trailing window policy.
+	TW TWPolicy
+	// Anchor selects the anchor policy applied at phase starts.
+	Anchor AnchorPolicy
+	// Resize selects the Adaptive TW resize policy applied at phase
+	// starts.
+	Resize ResizePolicy
+	// Model selects the similarity model.
+	Model ModelKind
+	// Analyzer selects the analyzer policy.
+	Analyzer AnalyzerKind
+	// Param is the analyzer parameter: the threshold value for Threshold,
+	// the delta for Average.
+	Param float64
+}
+
+// FixedInterval returns the configuration used by most prior systems
+// (e.g. Dhodapkar & Smith): Constant TW with skipFactor = CW size = TW
+// size, so the profile is partitioned into fixed intervals and adjacent
+// intervals are compared.
+func FixedInterval(cwSize int, model ModelKind, analyzer AnalyzerKind, param float64) Config {
+	return Config{
+		CWSize:     cwSize,
+		TWSize:     cwSize,
+		SkipFactor: cwSize,
+		TW:         ConstantTW,
+		Model:      model,
+		Analyzer:   analyzer,
+		Param:      param,
+	}
+}
+
+// withDefaults resolves the zero-value conventions.
+func (c Config) withDefaults() Config {
+	if c.TWSize == 0 {
+		c.TWSize = c.CWSize
+	}
+	if c.SkipFactor == 0 {
+		c.SkipFactor = 1
+	}
+	return c
+}
+
+// IsFixedInterval reports whether the configuration is the fixed-interval
+// scheme (Constant TW, skip = CW = TW).
+func (c Config) IsFixedInterval() bool {
+	c = c.withDefaults()
+	return c.TW == ConstantTW && c.SkipFactor == c.CWSize && c.TWSize == c.CWSize
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.CWSize <= 0 {
+		return fmt.Errorf("core: config: CW size must be positive, got %d", c.CWSize)
+	}
+	if c.TWSize <= 0 {
+		return fmt.Errorf("core: config: TW size must be positive, got %d", c.TWSize)
+	}
+	if c.SkipFactor <= 0 {
+		return fmt.Errorf("core: config: skip factor must be positive, got %d", c.SkipFactor)
+	}
+	if c.SkipFactor > c.CWSize {
+		return fmt.Errorf("core: config: skip factor %d exceeds CW size %d", c.SkipFactor, c.CWSize)
+	}
+	if c.TW != ConstantTW && c.TW != AdaptiveTW {
+		return fmt.Errorf("core: config: unknown TW policy %d", c.TW)
+	}
+	if c.Anchor != AnchorRN && c.Anchor != AnchorLNN {
+		return fmt.Errorf("core: config: unknown anchor policy %d", c.Anchor)
+	}
+	if c.Resize != ResizeSlide && c.Resize != ResizeMove {
+		return fmt.Errorf("core: config: unknown resize policy %d", c.Resize)
+	}
+	if c.Model != UnweightedModel && c.Model != WeightedModel {
+		return fmt.Errorf("core: config: unknown model %d", c.Model)
+	}
+	switch c.Analyzer {
+	case ThresholdAnalyzer:
+		if c.Param <= 0 || c.Param > 1 {
+			return fmt.Errorf("core: config: threshold %g outside (0, 1]", c.Param)
+		}
+	case AverageAnalyzer:
+		if c.Param <= 0 || c.Param >= 1 {
+			return fmt.Errorf("core: config: average delta %g outside (0, 1)", c.Param)
+		}
+	default:
+		return fmt.Errorf("core: config: unknown analyzer %d", c.Analyzer)
+	}
+	return nil
+}
+
+// New validates the configuration and builds its detector.
+func (c Config) New() (*Detector, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c = c.withDefaults()
+	model := NewSetModel(c.Model, c.CWSize, c.TWSize, c.TW, c.Anchor, c.Resize)
+	var analyzer Analyzer
+	if c.Analyzer == ThresholdAnalyzer {
+		analyzer = NewThreshold(c.Param)
+	} else {
+		analyzer = NewAverage(c.Param)
+	}
+	return NewDetector(model, analyzer, c.SkipFactor), nil
+}
+
+// MustNew is New for configurations known valid; it panics on error.
+func (c Config) MustNew() *Detector {
+	d, err := c.New()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ID returns a compact, unique, human-readable identifier for the
+// configuration, e.g. "adaptive/cw5000/tw5000/skip1/unweighted/thr0.6/rn/slide".
+func (c Config) ID() string {
+	c = c.withDefaults()
+	var sb strings.Builder
+	if c.IsFixedInterval() {
+		sb.WriteString("fixedinterval")
+	} else {
+		sb.WriteString(c.TW.String())
+	}
+	fmt.Fprintf(&sb, "/cw%d/tw%d/skip%d/%s", c.CWSize, c.TWSize, c.SkipFactor, c.Model)
+	if c.Analyzer == ThresholdAnalyzer {
+		fmt.Fprintf(&sb, "/thr%g", c.Param)
+	} else {
+		fmt.Fprintf(&sb, "/avg%g", c.Param)
+	}
+	if c.TW == AdaptiveTW {
+		fmt.Fprintf(&sb, "/%s/%s", c.Anchor, c.Resize)
+	}
+	return sb.String()
+}

@@ -1,0 +1,167 @@
+// Package core implements the paper's online phase detection framework
+// (CGO'06, §2): a detector consumes a stream of profile elements through a
+// similarity model — which maintains a trailing window (TW) of older
+// elements and a current window (CW) of the most recent ones, and turns
+// each consumed group of skipFactor elements into a similarity value — and
+// a similarity analyzer, which maps each similarity value to a state:
+// in phase (P) or in transition (T).
+//
+// Three orthogonal policy axes instantiate the framework into a concrete
+// algorithm:
+//
+//   - Window policy: skipFactor, CW size, and trailing window management
+//     (Constant TW, Adaptive TW that grows to hold the whole current
+//     phase, or the Fixed Interval scheme of prior work where skipFactor =
+//     CW size = TW size). The Adaptive TW additionally chooses an anchor
+//     policy (rightmost-noisy-plus-one or leftmost-non-noisy) and a resize
+//     policy (Slide or Move) applied when a phase starts.
+//   - Model policy: unweighted set similarity (the fraction of distinct CW
+//     elements also present in the TW) or weighted set similarity (the
+//     summed minimum relative weight of each element in the two windows).
+//   - Analyzer policy: a fixed similarity threshold, or an adaptive
+//     threshold a fixed delta below the running average similarity of the
+//     current phase.
+package core
+
+import "fmt"
+
+// State is the detector's per-element output: in transition or in phase.
+type State uint8
+
+const (
+	// Transition marks elements between phases (T).
+	Transition State = iota
+	// InPhase marks elements inside a stable phase (P).
+	InPhase
+)
+
+// String renders the state as the paper's T / P letters.
+func (s State) String() string {
+	if s == InPhase {
+		return "P"
+	}
+	return "T"
+}
+
+// IsPhase reports whether the state is P.
+func (s State) IsPhase() bool { return s == InPhase }
+
+// IsTransition reports whether the state is T.
+func (s State) IsTransition() bool { return s == Transition }
+
+// TWPolicy selects how the trailing window is managed.
+type TWPolicy uint8
+
+const (
+	// ConstantTW keeps the trailing window at a fixed size.
+	ConstantTW TWPolicy = iota
+	// AdaptiveTW grows the trailing window to cover the entire current
+	// phase once a phase begins, and re-anchors it at phase starts.
+	AdaptiveTW
+)
+
+// String names the policy.
+func (p TWPolicy) String() string {
+	switch p {
+	case ConstantTW:
+		return "constant"
+	case AdaptiveTW:
+		return "adaptive"
+	}
+	return fmt.Sprintf("TWPolicy(%d)", uint8(p))
+}
+
+// AnchorPolicy selects where, within the trailing window, a newly detected
+// phase is considered to start (§5). Noisy elements are those present in
+// the TW but absent from the CW.
+type AnchorPolicy uint8
+
+const (
+	// AnchorRN places the anchor one element right of the rightmost noisy
+	// element (the paper's RN policy, more aggressive at trimming phase
+	// warm-up).
+	AnchorRN AnchorPolicy = iota
+	// AnchorLNN places the anchor at the leftmost non-noisy element.
+	AnchorLNN
+)
+
+// String names the policy.
+func (p AnchorPolicy) String() string {
+	switch p {
+	case AnchorRN:
+		return "rn"
+	case AnchorLNN:
+		return "lnn"
+	}
+	return fmt.Sprintf("AnchorPolicy(%d)", uint8(p))
+}
+
+// ResizePolicy selects how the windows are restructured around the anchor
+// point when an Adaptive TW detector starts a phase (§5).
+type ResizePolicy uint8
+
+const (
+	// ResizeSlide slides the TW right so its left boundary sits at the
+	// anchor, temporarily shrinking the CW (which then refills).
+	ResizeSlide ResizePolicy = iota
+	// ResizeMove moves the TW's left boundary right to the anchor,
+	// shrinking the TW and leaving the CW untouched.
+	ResizeMove
+)
+
+// String names the policy.
+func (p ResizePolicy) String() string {
+	switch p {
+	case ResizeSlide:
+		return "slide"
+	case ResizeMove:
+		return "move"
+	}
+	return fmt.Sprintf("ResizePolicy(%d)", uint8(p))
+}
+
+// ModelKind selects the similarity computation.
+type ModelKind uint8
+
+const (
+	// UnweightedModel computes asymmetric working-set similarity: the
+	// percentage of distinct CW elements also present in the TW.
+	UnweightedModel ModelKind = iota
+	// WeightedModel computes symmetric weighted-set similarity: the sum
+	// over elements of the minimum of the element's relative weight in
+	// each window.
+	WeightedModel
+)
+
+// String names the model.
+func (m ModelKind) String() string {
+	switch m {
+	case UnweightedModel:
+		return "unweighted"
+	case WeightedModel:
+		return "weighted"
+	}
+	return fmt.Sprintf("ModelKind(%d)", uint8(m))
+}
+
+// AnalyzerKind selects the analyzer policy.
+type AnalyzerKind uint8
+
+const (
+	// ThresholdAnalyzer reports P when similarity meets a fixed threshold.
+	ThresholdAnalyzer AnalyzerKind = iota
+	// AverageAnalyzer reports P when similarity is within a fixed delta
+	// below the running average similarity of the current phase.
+	AverageAnalyzer
+)
+
+// String names the analyzer.
+func (a AnalyzerKind) String() string {
+	switch a {
+	case ThresholdAnalyzer:
+		return "threshold"
+	case AverageAnalyzer:
+		return "average"
+	}
+	return fmt.Sprintf("AnalyzerKind(%d)", uint8(a))
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"opd/internal/interval"
+	"opd/internal/trace"
+)
+
+// Detector is an instantiated online phase detection algorithm: a model, an
+// analyzer, and a skip factor. It follows the framework's processProfile
+// protocol (Figure 3 of the paper) and additionally records the detected
+// phases as intervals over the element stream, both with raw boundaries
+// (the positions at which the state actually changed) and with
+// anchor-adjusted starts (where the model judged the phase to have begun).
+type Detector struct {
+	model    Model
+	analyzer Analyzer
+	skip     int
+
+	state   State
+	n       int64 // elements consumed
+	pending []trace.Branch
+
+	phases      []interval.Interval
+	adjPhases   []interval.Interval
+	inPhase     bool
+	curStart    int64
+	curAdjStart int64
+	finished    bool
+
+	simCount int64 // similarity computations performed (overhead proxy)
+
+	lastSim      float64 // most recent similarity value
+	haveSim      bool
+	onPhaseStart func(adjStart int64, sig []trace.Branch)
+	onPhaseEnd   func(interval.Interval, []trace.Branch)
+}
+
+// NewDetector assembles a detector from a model, an analyzer, and a skip
+// factor. It panics on a non-positive skip factor (a construction error).
+func NewDetector(model Model, analyzer Analyzer, skip int) *Detector {
+	if skip <= 0 {
+		panic(fmt.Sprintf("core: skip factor must be positive, got %d", skip))
+	}
+	return &Detector{model: model, analyzer: analyzer, skip: skip, state: Transition}
+}
+
+// SkipFactor returns the detector's skip factor.
+func (d *Detector) SkipFactor() int { return d.skip }
+
+// State returns the detector's current state.
+func (d *Detector) State() State { return d.state }
+
+// Consumed returns the number of profile elements consumed so far.
+func (d *Detector) Consumed() int64 { return d.n }
+
+// SimilarityComputations returns how many times the model computed a
+// similarity value — the dominant run-time cost of a detector and the
+// quantity the skip factor trades against accuracy.
+func (d *Detector) SimilarityComputations() int64 { return d.simCount }
+
+// ProcessProfile consumes the next group of profile elements (normally
+// exactly skipFactor of them; the final group of a trace may be shorter)
+// and returns the detector's state, which applies to every element of the
+// group. This is the paper's processProfile entry point.
+func (d *Detector) ProcessProfile(elems []trace.Branch) State {
+	if d.finished {
+		panic("core: ProcessProfile after Finish")
+	}
+	if len(elems) == 0 {
+		return d.state
+	}
+	groupStart := d.n
+	d.n += int64(len(elems))
+
+	d.model.UpdateWindows(elems)
+	newState := Transition
+	if sim, ok := d.model.ComputeSimilarity(); ok {
+		d.simCount++
+		d.lastSim, d.haveSim = sim, true
+		newState = d.analyzer.ProcessValue(sim)
+
+		switch {
+		case d.state.IsTransition() && newState.IsPhase():
+			// A phase begins: anchor the trailing window at its start and
+			// reset the analyzer's phase statistics.
+			adj := d.model.AnchorTrailingWindow()
+			d.analyzer.ResetStats()
+			d.beginPhase(groupStart, adj)
+			if d.onPhaseStart != nil {
+				d.onPhaseStart(d.curAdjStart, d.phaseSignature())
+			}
+		case d.state.IsPhase() && newState.IsTransition():
+			// The phase ends: capture its signature for recurrence
+			// tracking, then flush the windows.
+			sig := d.phaseSignature()
+			d.model.ClearWindows()
+			d.endPhase(groupStart, sig)
+		case d.state.IsPhase():
+			d.analyzer.UpdateStats(sim)
+		}
+	} else if d.state.IsPhase() {
+		// The model reports not-ready (windows flushed mid-phase by an
+		// external reset); treat as transition.
+		d.endPhase(groupStart, d.phaseSignature())
+	}
+	d.state = newState
+	return d.state
+}
+
+// SetPhaseStartHook registers a callback invoked when a phase begins,
+// with the anchor-corrected start position and the model's current
+// signature (the elements of the young phase's windows) — the information
+// an adaptive optimizer uses to recognize a recurring phase *as it
+// starts*, before committing to a fresh compilation.
+func (d *Detector) SetPhaseStartHook(fn func(adjStart int64, sig []trace.Branch)) {
+	d.onPhaseStart = fn
+}
+
+// SetPhaseEndHook registers a callback invoked at the end of every
+// detected phase with the phase's anchor-corrected interval and, when the
+// model supports signatures, the phase's distinct-element signature.
+func (d *Detector) SetPhaseEndHook(fn func(interval.Interval, []trace.Branch)) {
+	d.onPhaseEnd = fn
+}
+
+// phaseSignature captures the current phase's signature if a hook and a
+// signature-capable model are present.
+func (d *Detector) phaseSignature() []trace.Branch {
+	if d.onPhaseEnd == nil && d.onPhaseStart == nil {
+		return nil
+	}
+	if s, ok := d.model.(Signaturer); ok {
+		return s.PhaseSignature()
+	}
+	return nil
+}
+
+// Confidence returns the detector's confidence in its current state: the
+// distance of the most recent similarity value from the analyzer's
+// accept/reject boundary, in [0, 1]. Zero before any similarity value has
+// been computed or for analyzers that do not expose a threshold.
+func (d *Detector) Confidence() float64 {
+	if !d.haveSim {
+		return 0
+	}
+	type boundaried interface{ Boundary() float64 }
+	ba, ok := d.analyzer.(boundaried)
+	if !ok {
+		return 0
+	}
+	conf := d.lastSim - ba.Boundary()
+	if conf < 0 {
+		conf = -conf
+	}
+	if conf > 1 {
+		conf = 1
+	}
+	return conf
+}
+
+// Process consumes a single profile element, buffering until a full
+// skip-factor group is available. It returns the detector's current state.
+func (d *Detector) Process(e trace.Branch) State {
+	d.pending = append(d.pending, e)
+	if len(d.pending) == d.skip {
+		d.ProcessProfile(d.pending)
+		d.pending = d.pending[:0]
+	}
+	return d.state
+}
+
+func (d *Detector) beginPhase(groupStart, adjStart int64) {
+	d.inPhase = true
+	d.curStart = groupStart
+	// The anchor looks back into the trailing window, but never before the
+	// end of the previously recorded phase.
+	if n := len(d.adjPhases); n > 0 && adjStart < d.adjPhases[n-1].End {
+		adjStart = d.adjPhases[n-1].End
+	}
+	if adjStart > groupStart {
+		adjStart = groupStart
+	}
+	if adjStart < 0 {
+		adjStart = 0
+	}
+	d.curAdjStart = adjStart
+}
+
+func (d *Detector) endPhase(end int64, sig []trace.Branch) {
+	if !d.inPhase {
+		return
+	}
+	d.inPhase = false
+	if end > d.curStart {
+		d.phases = append(d.phases, interval.Interval{Start: d.curStart, End: end})
+	}
+	if end > d.curAdjStart {
+		adj := interval.Interval{Start: d.curAdjStart, End: end}
+		d.adjPhases = append(d.adjPhases, adj)
+		if d.onPhaseEnd != nil {
+			d.onPhaseEnd(adj, sig)
+		}
+	}
+}
+
+// Finish flushes any buffered partial group and closes a phase still open
+// at the end of the stream. Further ProcessProfile calls panic.
+func (d *Detector) Finish() {
+	if d.finished {
+		return
+	}
+	if len(d.pending) > 0 {
+		d.ProcessProfile(d.pending)
+		d.pending = d.pending[:0]
+	}
+	d.endPhase(d.n, d.phaseSignature())
+	d.finished = true
+}
+
+// Phases returns the detected phases with raw boundaries: the positions at
+// which the detector's output state changed. Valid after Finish.
+func (d *Detector) Phases() []interval.Interval { return d.phases }
+
+// AdjustedPhases returns the detected phases with anchor-corrected start
+// boundaries (§5, Figure 8): each phase starts where the model's anchoring
+// policy placed the beginning of the phase rather than where the detector
+// first reported P. Valid after Finish.
+func (d *Detector) AdjustedPhases() []interval.Interval { return d.adjPhases }
+
+// RunTrace drives a fresh pass of the whole trace through the detector in
+// skip-factor groups and finishes it. It returns the detector for
+// chaining.
+func RunTrace(d *Detector, tr trace.Trace) *Detector {
+	skip := d.skip
+	for i := 0; i < len(tr); i += skip {
+		end := i + skip
+		if end > len(tr) {
+			end = len(tr)
+		}
+		d.ProcessProfile(tr[i:end])
+	}
+	d.Finish()
+	return d
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"opd/internal/interval"
+	"opd/internal/trace"
+)
+
+// seg appends n copies of the element at offset off.
+func seg(tr trace.Trace, off, n int) trace.Trace {
+	for i := 0; i < n; i++ {
+		tr = append(tr, el(off))
+	}
+	return tr
+}
+
+// twoPhaseTrace returns a stream with two stable regions separated by a
+// switch: 60 x A, 60 x B.
+func twoPhaseTrace() trace.Trace {
+	tr := seg(nil, 1, 60)
+	return seg(tr, 2, 60)
+}
+
+func cfgConstant() Config {
+	return Config{CWSize: 8, TWSize: 8, SkipFactor: 1, TW: ConstantTW,
+		Model: UnweightedModel, Analyzer: ThresholdAnalyzer, Param: 0.6}
+}
+
+func TestDetectorFindsStablePhases(t *testing.T) {
+	d := cfgConstant().MustNew()
+	RunTrace(d, twoPhaseTrace())
+	phases := d.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %v, want two", phases)
+	}
+	// Phase one: detected after the windows fill (16 elements), ends when
+	// B elements reach the CW.
+	p0, p1 := phases[0], phases[1]
+	if p0.Start < 15 || p0.Start > 17 {
+		t.Errorf("phase 0 start = %d, want ~16", p0.Start)
+	}
+	if p0.End < 60 || p0.End > 70 {
+		t.Errorf("phase 0 end = %d, want shortly after 60", p0.End)
+	}
+	// Phase two: after the windows flush and refill with B.
+	if p1.Start < p0.End || p1.Start > 90 {
+		t.Errorf("phase 1 start = %d, want within refill distance", p1.Start)
+	}
+	if p1.End != 120 {
+		t.Errorf("phase 1 end = %d, want 120 (trace end)", p1.End)
+	}
+	if err := interval.Validate(phases, 120); err != nil {
+		t.Errorf("phases malformed: %v", err)
+	}
+	if err := interval.Validate(d.AdjustedPhases(), 120); err != nil {
+		t.Errorf("adjusted phases malformed: %v", err)
+	}
+}
+
+func TestDetectorStateMachineOutput(t *testing.T) {
+	d := cfgConstant().MustNew()
+	tr := twoPhaseTrace()
+	var states []State
+	for _, e := range tr {
+		states = append(states, d.Process(e))
+	}
+	d.Finish()
+	// Until the windows fill, output must be T.
+	for i := 0; i < 15; i++ {
+		if states[i] != Transition {
+			t.Fatalf("state[%d] = %v before windows filled", i, states[i])
+		}
+	}
+	// Deep inside region A the state must be P.
+	for i := 30; i < 55; i++ {
+		if states[i] != InPhase {
+			t.Errorf("state[%d] = %v, want P", i, states[i])
+		}
+	}
+	// At the region switch the state must return to T at some point.
+	sawT := false
+	for i := 60; i < 80; i++ {
+		if states[i] == Transition {
+			sawT = true
+			break
+		}
+	}
+	if !sawT {
+		t.Error("no transition reported at region switch")
+	}
+}
+
+func TestAdjustedPhasesStartEarlier(t *testing.T) {
+	cfg := cfgConstant()
+	cfg.TW = AdaptiveTW
+	cfg.Anchor = AnchorRN
+	cfg.Resize = ResizeSlide
+	d := cfg.MustNew()
+	RunTrace(d, twoPhaseTrace())
+	raw := d.Phases()
+	adj := d.AdjustedPhases()
+	if len(raw) != len(adj) {
+		t.Fatalf("raw %d phases, adjusted %d", len(raw), len(adj))
+	}
+	for i := range raw {
+		if adj[i].Start > raw[i].Start {
+			t.Errorf("adjusted start %d later than raw %d", adj[i].Start, raw[i].Start)
+		}
+		if adj[i].End != raw[i].End {
+			t.Errorf("adjusted end %d differs from raw %d", adj[i].End, raw[i].End)
+		}
+	}
+	// The first region is pure A elements, so anchoring should pull the
+	// start all the way back to the trailing window's base.
+	if adj[0].Start > 8 {
+		t.Errorf("adjusted phase 0 start = %d, want within the first TW", adj[0].Start)
+	}
+}
+
+func TestFixedIntervalComputesFewerSimilarities(t *testing.T) {
+	tr := twoPhaseTrace()
+	skip1 := cfgConstant().MustNew()
+	RunTrace(skip1, tr)
+	fixed := FixedInterval(8, UnweightedModel, ThresholdAnalyzer, 0.6).MustNew()
+	RunTrace(fixed, tr)
+	if fixed.SimilarityComputations() >= skip1.SimilarityComputations() {
+		t.Errorf("fixed interval %d computations, skip-1 %d; fixed must be fewer",
+			fixed.SimilarityComputations(), skip1.SimilarityComputations())
+	}
+	if got := skip1.SimilarityComputations(); got < 90 {
+		t.Errorf("skip-1 computations = %d, want ~one per element after fill", got)
+	}
+	if got := fixed.SimilarityComputations(); got > 15 {
+		t.Errorf("fixed-interval computations = %d, want ~one per interval", got)
+	}
+}
+
+func TestAdaptiveDetectsLikeConstantOnCleanStream(t *testing.T) {
+	tr := twoPhaseTrace()
+	for _, cfg := range []Config{
+		{CWSize: 8, TW: AdaptiveTW, Model: UnweightedModel, Analyzer: ThresholdAnalyzer, Param: 0.6},
+		{CWSize: 8, TW: AdaptiveTW, Model: WeightedModel, Analyzer: ThresholdAnalyzer, Param: 0.6},
+		{CWSize: 8, TW: AdaptiveTW, Model: UnweightedModel, Analyzer: AverageAnalyzer, Param: 0.1},
+		{CWSize: 8, TW: ConstantTW, Model: WeightedModel, Analyzer: AverageAnalyzer, Param: 0.1},
+	} {
+		d := cfg.MustNew()
+		RunTrace(d, tr)
+		if len(d.Phases()) != 2 {
+			t.Errorf("%s: phases = %v, want 2", cfg.ID(), d.Phases())
+		}
+	}
+}
+
+func TestAverageAnalyzerAdaptsThreshold(t *testing.T) {
+	a := NewAverage(0.05)
+	// Bootstrap: accepts values >= 0.95.
+	if a.ProcessValue(0.96) != InPhase {
+		t.Error("bootstrap rejected 0.96")
+	}
+	if a.ProcessValue(0.90) != Transition {
+		t.Error("bootstrap accepted 0.90")
+	}
+	// With history averaging 0.88, the paper's example: accepts >= 0.86...
+	a.ResetStats()
+	a.UpdateStats(0.88)
+	a.UpdateStats(0.88)
+	if a.ProcessValue(0.86) != InPhase {
+		t.Error("0.86 rejected with average 0.88 and delta 0.05")
+	}
+	if a.ProcessValue(0.82) != Transition {
+		t.Error("0.82 accepted with average 0.88 and delta 0.05")
+	}
+	// ResetStats returns to the bootstrap threshold.
+	a.ResetStats()
+	if a.ProcessValue(0.90) != Transition {
+		t.Error("reset did not restore bootstrap threshold")
+	}
+}
+
+func TestProcessEqualsProcessProfile(t *testing.T) {
+	tr := twoPhaseTrace()
+	one := cfgConstant().MustNew()
+	for _, e := range tr {
+		one.Process(e)
+	}
+	one.Finish()
+	batch := cfgConstant().MustNew()
+	RunTrace(batch, tr)
+	p1, p2 := one.Phases(), batch.Phases()
+	if len(p1) != len(p2) {
+		t.Fatalf("phase counts differ: %v vs %v", p1, p2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Errorf("phase %d differs: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestSkipFactorGroupsStates(t *testing.T) {
+	cfg := cfgConstant()
+	cfg.SkipFactor = 4
+	d := cfg.MustNew()
+	RunTrace(d, twoPhaseTrace())
+	for _, p := range d.Phases() {
+		if p.Start%4 != 0 || p.End%4 != 0 {
+			t.Errorf("phase %v not aligned to skip groups", p)
+		}
+	}
+}
+
+func TestFinishClosesOpenPhase(t *testing.T) {
+	d := cfgConstant().MustNew()
+	RunTrace(d, seg(nil, 1, 50))
+	phases := d.Phases()
+	if len(phases) != 1 {
+		t.Fatalf("phases = %v, want one", phases)
+	}
+	if phases[0].End != 50 {
+		t.Errorf("open phase closed at %d, want 50", phases[0].End)
+	}
+	// Finish is idempotent; processing afterwards panics.
+	d.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Error("ProcessProfile after Finish did not panic")
+		}
+	}()
+	d.ProcessProfile([]trace.Branch{el(1)})
+}
+
+func TestEmptyGroupIsNoOp(t *testing.T) {
+	d := cfgConstant().MustNew()
+	if st := d.ProcessProfile(nil); st != Transition {
+		t.Errorf("empty group returned %v", st)
+	}
+	if d.Consumed() != 0 {
+		t.Errorf("consumed = %d after empty group", d.Consumed())
+	}
+}
+
+func TestNewDetectorPanicsOnBadSkip(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDetector with skip 0 did not panic")
+		}
+	}()
+	NewDetector(NewSetModel(UnweightedModel, 4, 4, ConstantTW, AnchorRN, ResizeSlide), NewThreshold(0.5), 0)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := cfgConstant()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Config)
+		want   string
+	}{
+		{func(c *Config) { c.CWSize = -1 }, "CW size"},
+		{func(c *Config) { c.TWSize = -2 }, "TW size"},
+		{func(c *Config) { c.SkipFactor = -1 }, "skip factor"},
+		{func(c *Config) { c.SkipFactor = 99 }, "exceeds CW size"},
+		{func(c *Config) { c.TW = TWPolicy(9) }, "TW policy"},
+		{func(c *Config) { c.Anchor = AnchorPolicy(9) }, "anchor policy"},
+		{func(c *Config) { c.Resize = ResizePolicy(9) }, "resize policy"},
+		{func(c *Config) { c.Model = ModelKind(9) }, "model"},
+		{func(c *Config) { c.Analyzer = AnalyzerKind(9) }, "analyzer"},
+		{func(c *Config) { c.Param = 0 }, "threshold"},
+		{func(c *Config) { c.Param = 1.5 }, "threshold"},
+		{func(c *Config) { c.Analyzer = AverageAnalyzer; c.Param = 1.0 }, "delta"},
+	}
+	for _, cse := range cases {
+		c := cfgConstant()
+		cse.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("mutation expecting %q accepted", cse.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), cse.want) {
+			t.Errorf("error %q does not mention %q", err, cse.want)
+		}
+		if _, err := c.New(); err == nil {
+			t.Error("New accepted invalid config")
+		}
+	}
+}
+
+func TestConfigIDAndFixedInterval(t *testing.T) {
+	fi := FixedInterval(5000, UnweightedModel, ThresholdAnalyzer, 0.5)
+	if !fi.IsFixedInterval() {
+		t.Error("FixedInterval config not recognized")
+	}
+	if !strings.Contains(fi.ID(), "fixedinterval") {
+		t.Errorf("ID = %q", fi.ID())
+	}
+	c := cfgConstant()
+	if c.IsFixedInterval() {
+		t.Error("skip-1 constant config misclassified as fixed interval")
+	}
+	c.TW = AdaptiveTW
+	id := c.ID()
+	for _, want := range []string{"adaptive", "cw8", "skip1", "unweighted", "thr0.6", "rn", "slide"} {
+		if !strings.Contains(id, want) {
+			t.Errorf("ID %q missing %q", id, want)
+		}
+	}
+	// Defaults: TWSize=0 -> CWSize, SkipFactor=0 -> 1.
+	d := Config{CWSize: 16, Model: UnweightedModel, Analyzer: ThresholdAnalyzer, Param: 0.5}
+	if err := d.Validate(); err != nil {
+		t.Errorf("defaulted config rejected: %v", err)
+	}
+	if !strings.Contains(d.ID(), "tw16/skip1") {
+		t.Errorf("defaulted ID = %q", d.ID())
+	}
+	if c.MustNew() == nil {
+		t.Error("MustNew returned nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew on invalid config did not panic")
+		}
+	}()
+	Config{}.MustNew()
+}
+
+func TestStateAndPolicyStrings(t *testing.T) {
+	if Transition.String() != "T" || InPhase.String() != "P" {
+		t.Error("state strings wrong")
+	}
+	if !InPhase.IsPhase() || InPhase.IsTransition() || !Transition.IsTransition() {
+		t.Error("state predicates wrong")
+	}
+	for _, s := range []string{
+		ConstantTW.String(), AdaptiveTW.String(), TWPolicy(9).String(),
+		AnchorRN.String(), AnchorLNN.String(), AnchorPolicy(9).String(),
+		ResizeSlide.String(), ResizeMove.String(), ResizePolicy(9).String(),
+		UnweightedModel.String(), WeightedModel.String(), ModelKind(9).String(),
+		ThresholdAnalyzer.String(), AverageAnalyzer.String(), AnalyzerKind(9).String(),
+	} {
+		if s == "" {
+			t.Error("empty policy name")
+		}
+	}
+}

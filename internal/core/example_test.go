@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"opd/internal/core"
+	"opd/internal/trace"
+)
+
+// ExampleConfig shows the declarative way to build a detector and run it
+// over a branch trace with two stable regions.
+func ExampleConfig() {
+	var tr trace.Trace
+	for i := 0; i < 60; i++ {
+		tr = append(tr, trace.MakeBranch(0, 1, true))
+	}
+	for i := 0; i < 60; i++ {
+		tr = append(tr, trace.MakeBranch(0, 2, true))
+	}
+
+	detector := core.Config{
+		CWSize:   8,
+		TW:       core.AdaptiveTW,
+		Model:    core.UnweightedModel,
+		Analyzer: core.ThresholdAnalyzer,
+		Param:    0.6,
+	}.MustNew()
+	core.RunTrace(detector, tr)
+	for i, p := range detector.Phases() {
+		fmt.Printf("phase %d: %v\n", i, p)
+	}
+	// Output:
+	// phase 0: [15,60)
+	// phase 1: [75,120)
+}
+
+// ExampleDetector_Process streams elements one at a time, as a live
+// profiling hook would, and reports each state change.
+func ExampleDetector_Process() {
+	detector := core.Config{
+		CWSize:   4,
+		TW:       core.ConstantTW,
+		Model:    core.UnweightedModel,
+		Analyzer: core.ThresholdAnalyzer,
+		Param:    0.6,
+	}.MustNew()
+
+	last := core.Transition
+	emit := func(site int, n int) {
+		for i := 0; i < n; i++ {
+			state := detector.Process(trace.MakeBranch(0, site, true))
+			if state != last {
+				fmt.Printf("element %d: %v -> %v\n", detector.Consumed(), last, state)
+				last = state
+			}
+		}
+	}
+	emit(1, 20) // stable region A
+	emit(9, 20) // stable region B
+	detector.Finish()
+	// Output:
+	// element 8: T -> P
+	// element 21: P -> T
+	// element 28: T -> P
+}

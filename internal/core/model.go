@@ -1,0 +1,97 @@
+package core
+
+import "opd/internal/trace"
+
+// Model is the framework's similarity model component. It consumes profile
+// elements, maintains its window representation, and produces one
+// similarity value per consumed group.
+type Model interface {
+	// UpdateWindows consumes the next skipFactor profile elements.
+	UpdateWindows(elems []trace.Branch)
+	// ComputeSimilarity returns the similarity of the current windows.
+	// ok is false while the windows have not yet filled, during which the
+	// detector outputs T without consulting the analyzer.
+	ComputeSimilarity() (sim float64, ok bool)
+	// AnchorTrailingWindow is invoked when a new phase begins. It returns
+	// the global stream position at which the model judges the phase to
+	// have started (the anchor point), and — for models with an adaptive
+	// trailing window — restructures the windows around that point.
+	AnchorTrailingWindow() int64
+	// ClearWindows is invoked when a phase ends: the model flushes its
+	// windows and restarts from the most recent elements.
+	ClearWindows()
+}
+
+// SetModel is the paper's set-based similarity model family, covering both
+// the unweighted (working set) and weighted variants over the Constant and
+// Adaptive trailing-window policies.
+type SetModel struct {
+	kind   ModelKind
+	anchor AnchorPolicy
+	resize ResizePolicy
+	win    *windows
+	intern map[trace.Branch]int32
+	last   []int32
+}
+
+var _ Model = (*SetModel)(nil)
+
+// NewSetModel constructs a set model. cwSize and twSize are the window
+// capacities (twSize is the Adaptive TW's initial and nominal size).
+func NewSetModel(kind ModelKind, cwSize, twSize int, policy TWPolicy, anchor AnchorPolicy, resize ResizePolicy) *SetModel {
+	return &SetModel{
+		kind:   kind,
+		anchor: anchor,
+		resize: resize,
+		win:    newWindows(cwSize, twSize, policy),
+		intern: make(map[trace.Branch]int32),
+	}
+}
+
+// id interns a profile element as a dense small integer, so the window
+// machinery can use slice-indexed counters.
+func (m *SetModel) id(e trace.Branch) int32 {
+	if id, ok := m.intern[e]; ok {
+		return id
+	}
+	id := int32(len(m.intern))
+	m.intern[e] = id
+	return id
+}
+
+// UpdateWindows pushes the batch into the windows and remembers it for
+// window reinitialization at the next phase end.
+func (m *SetModel) UpdateWindows(elems []trace.Branch) {
+	m.last = m.last[:0]
+	for _, e := range elems {
+		id := m.id(e)
+		m.win.push(id)
+		m.last = append(m.last, id)
+	}
+}
+
+// ComputeSimilarity implements Model.
+func (m *SetModel) ComputeSimilarity() (float64, bool) {
+	if !m.win.ready() {
+		return 0, false
+	}
+	if m.kind == WeightedModel {
+		return m.win.weightedSimilarity(), true
+	}
+	return m.win.unweightedSimilarity(), true
+}
+
+// AnchorTrailingWindow implements Model.
+func (m *SetModel) AnchorTrailingWindow() int64 {
+	idx := m.win.anchorIndex(m.anchor)
+	return m.win.anchorAt(idx, m.resize)
+}
+
+// ClearWindows implements Model.
+func (m *SetModel) ClearWindows() {
+	m.win.clear(m.last)
+}
+
+// Consumed returns the number of elements the model has consumed; the
+// anchor positions it reports are indices in this stream.
+func (m *SetModel) Consumed() int64 { return m.win.nextIndex }

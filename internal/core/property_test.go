@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"opd/internal/interval"
+	"opd/internal/trace"
+)
+
+// randomStream builds a stream of stable runs of random sites with random
+// lengths, deterministic in seed.
+func randomStream(seed int64, n int) trace.Trace {
+	rng := seed
+	next := func(m int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int(rng >> 40)
+		if v < 0 {
+			v = -v
+		}
+		return v % m
+	}
+	var tr trace.Trace
+	for len(tr) < n {
+		site := next(20)
+		run := next(60) + 1
+		for i := 0; i < run && len(tr) < n; i++ {
+			tr = append(tr, el(site))
+		}
+	}
+	return tr
+}
+
+// TestDetectorOutputInvariants drives every policy combination over random
+// streams and checks the structural invariants any detector must satisfy:
+// phases and adjusted phases are sorted, disjoint, within the trace; every
+// adjusted phase starts no later than its raw counterpart; output is
+// deterministic.
+func TestDetectorOutputInvariants(t *testing.T) {
+	configs := []Config{}
+	for _, tw := range []TWPolicy{ConstantTW, AdaptiveTW} {
+		for _, model := range []ModelKind{UnweightedModel, WeightedModel} {
+			for _, anchor := range []AnchorPolicy{AnchorRN, AnchorLNN} {
+				for _, resize := range []ResizePolicy{ResizeSlide, ResizeMove} {
+					configs = append(configs,
+						Config{CWSize: 12, TWSize: 12, SkipFactor: 3, TW: tw, Anchor: anchor,
+							Resize: resize, Model: model, Analyzer: ThresholdAnalyzer, Param: 0.6},
+						Config{CWSize: 10, TWSize: 20, SkipFactor: 1, TW: tw, Anchor: anchor,
+							Resize: resize, Model: model, Analyzer: AverageAnalyzer, Param: 0.1},
+					)
+				}
+			}
+		}
+	}
+	f := func(seed int64) bool {
+		tr := randomStream(seed, 600)
+		for _, cfg := range configs {
+			d := cfg.MustNew()
+			RunTrace(d, tr)
+			n := int64(len(tr))
+			if err := interval.Validate(d.Phases(), n); err != nil {
+				t.Logf("%s: %v", cfg.ID(), err)
+				return false
+			}
+			if err := interval.Validate(d.AdjustedPhases(), n); err != nil {
+				t.Logf("%s (adjusted): %v", cfg.ID(), err)
+				return false
+			}
+			raw, adj := d.Phases(), d.AdjustedPhases()
+			if len(raw) != len(adj) {
+				t.Logf("%s: %d raw vs %d adjusted phases", cfg.ID(), len(raw), len(adj))
+				return false
+			}
+			for i := range raw {
+				if adj[i].Start > raw[i].Start || adj[i].End != raw[i].End {
+					t.Logf("%s: adjusted %v vs raw %v", cfg.ID(), adj[i], raw[i])
+					return false
+				}
+			}
+			// Determinism: a second run produces identical output.
+			d2 := cfg.MustNew()
+			RunTrace(d2, tr)
+			if len(d2.Phases()) != len(raw) {
+				t.Logf("%s: non-deterministic", cfg.ID())
+				return false
+			}
+			for i := range raw {
+				if d2.Phases()[i] != raw[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

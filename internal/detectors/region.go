@@ -1,0 +1,112 @@
+package detectors
+
+import (
+	"sort"
+
+	"opd/internal/core"
+	"opd/internal/interval"
+	"opd/internal/trace"
+)
+
+// Das et al. (§6 of the paper) advocate *local* phase detection: instead
+// of one detector over the global profile, each program region (here: each
+// method) gets its own detector over the sub-stream of elements it
+// produced, so a region-targeted optimization can track the stability of
+// exactly the code it affects. RegionDetector implements that scheme on
+// top of any framework configuration.
+
+// RegionDetector routes profile elements to a per-region detector keyed by
+// the element's method ID and maps each region's detected phases back to
+// global element time.
+type RegionDetector struct {
+	factory func() *core.Detector
+
+	regions map[uint32]*regionState
+	order   []uint32 // region IDs in first-seen order
+	n       int64    // global elements consumed
+}
+
+type regionState struct {
+	det   *core.Detector
+	times []int64 // global index of each element routed to this region
+}
+
+// NewRegionDetector creates a region detector; factory builds the
+// per-region detector instance (one per distinct method).
+func NewRegionDetector(factory func() *core.Detector) *RegionDetector {
+	return &RegionDetector{factory: factory, regions: map[uint32]*regionState{}}
+}
+
+// Process consumes one global profile element, routing it to its region.
+func (r *RegionDetector) Process(e trace.Branch) {
+	id := e.Method()
+	st, ok := r.regions[id]
+	if !ok {
+		st = &regionState{det: r.factory()}
+		r.regions[id] = st
+		r.order = append(r.order, id)
+	}
+	st.times = append(st.times, r.n)
+	st.det.Process(e)
+	r.n++
+}
+
+// Finish finalizes every region's detector.
+func (r *RegionDetector) Finish() {
+	for _, st := range r.regions {
+		st.det.Finish()
+	}
+}
+
+// Regions returns the region IDs in first-seen order.
+func (r *RegionDetector) Regions() []uint32 {
+	out := make([]uint32, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// RegionPhases returns one region's detected phases mapped into global
+// element time: a phase over the region's local sub-stream [i, j) becomes
+// the global interval [times[i], times[j]).
+func (r *RegionDetector) RegionPhases(id uint32) []interval.Interval {
+	st, ok := r.regions[id]
+	if !ok {
+		return nil
+	}
+	var out []interval.Interval
+	for _, p := range st.det.Phases() {
+		start := st.times[p.Start]
+		var end int64
+		if int(p.End) < len(st.times) {
+			end = st.times[p.End]
+		} else {
+			end = st.times[len(st.times)-1] + 1
+		}
+		if end > start {
+			out = append(out, interval.Interval{Start: start, End: end})
+		}
+	}
+	return out
+}
+
+// AllPhases returns every region's global-time phases merged into one
+// sorted list tagged by region.
+type RegionPhase struct {
+	Region uint32
+	interval.Interval
+}
+
+// AllPhases returns the merged, time-sorted phase occurrences across all
+// regions. Phases of different regions may overlap in global time — a
+// region can be stable while another, interleaved with it, is not; that
+// is precisely the locality Das et al. argue for.
+func (r *RegionDetector) AllPhases() []RegionPhase {
+	var out []RegionPhase
+	for _, id := range r.order {
+		for _, p := range r.RegionPhases(id) {
+			out = append(out, RegionPhase{Region: id, Interval: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,126 @@
+package detectors
+
+import (
+	"testing"
+
+	"opd/internal/core"
+	"opd/internal/trace"
+)
+
+func elm(method uint32, off int) trace.Branch { return trace.MakeBranch(method, off, true) }
+
+func regionFactory() *core.Detector {
+	return core.Config{CWSize: 8, TW: core.ConstantTW,
+		Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6}.MustNew()
+}
+
+func TestRegionDetectorRoutesAndMaps(t *testing.T) {
+	rd := NewRegionDetector(regionFactory)
+	// Interleave two methods: method 1 alternates behaviour (unstable at
+	// region level is avoided: keep each method internally stable).
+	// method 1 emits site 1 throughout; method 2 emits site 5 then site 6.
+	for i := 0; i < 200; i++ {
+		rd.Process(elm(1, 1))
+		if i < 100 {
+			rd.Process(elm(2, 5))
+		} else {
+			rd.Process(elm(2, 6))
+		}
+	}
+	rd.Finish()
+
+	regions := rd.Regions()
+	if len(regions) != 2 || regions[0] != 1 || regions[1] != 2 {
+		t.Fatalf("regions = %v", regions)
+	}
+
+	// Method 1 is one long stable phase.
+	p1 := rd.RegionPhases(1)
+	if len(p1) != 1 {
+		t.Fatalf("region 1 phases = %v, want one", p1)
+	}
+	// Method 2 splits at its behaviour change, which happens at global
+	// element ~200 (100 interleaved pairs).
+	p2 := rd.RegionPhases(2)
+	if len(p2) != 2 {
+		t.Fatalf("region 2 phases = %v, want two", p2)
+	}
+	if p2[0].End < 180 || p2[0].End > 260 {
+		t.Errorf("region 2 first phase ends at %d, want near 200 (global time)", p2[0].End)
+	}
+
+	// Global mapping: all phases lie within the consumed range, and
+	// phases of different regions overlap in global time (the point of
+	// local detection).
+	all := rd.AllPhases()
+	if len(all) != 3 {
+		t.Fatalf("all phases = %v", all)
+	}
+	for _, p := range all {
+		if p.Start < 0 || p.End > 400 {
+			t.Errorf("phase %v outside global range", p)
+		}
+	}
+	overlap := false
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].Region != all[j].Region && all[i].Overlaps(all[j].Interval) {
+				overlap = true
+			}
+		}
+	}
+	if !overlap {
+		t.Error("no cross-region overlap: local detection degenerated to global")
+	}
+}
+
+func TestRegionDetectorUnknownRegion(t *testing.T) {
+	rd := NewRegionDetector(regionFactory)
+	if rd.RegionPhases(42) != nil {
+		t.Error("phases for unseen region")
+	}
+	rd.Finish() // no regions: must not panic
+}
+
+func TestRegionDetectorLocalVsGlobalSensitivity(t *testing.T) {
+	// A behaviour change in a rarely-executed method is invisible to a
+	// global weighted-model detector (the hot method dominates the weight
+	// mass) but obvious to the cold method's local detector.
+	rd := NewRegionDetector(regionFactory)
+	global := core.Config{CWSize: 200, TW: core.ConstantTW,
+		Model: core.WeightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6}.MustNew()
+	n := 0
+	emit := func(e trace.Branch) {
+		rd.Process(e)
+		global.Process(e)
+		n++
+	}
+	for i := 0; i < 3000; i++ {
+		emit(elm(1, 1)) // hot method, perfectly stable
+		if i%50 == 0 {
+			if i < 1500 {
+				emit(elm(2, 5))
+			} else {
+				emit(elm(2, 6)) // cold method changes behaviour half-way
+			}
+		}
+	}
+	rd.Finish()
+	global.Finish()
+
+	cold := rd.RegionPhases(2)
+	if len(cold) != 2 {
+		t.Fatalf("cold region phases = %v, want a split at the change", cold)
+	}
+	// The global detector sees one essentially uninterrupted phase: the
+	// cold method's elements are too sparse to drop global similarity
+	// (1 in 51 elements, unweighted similarity stays at ~2/3 of distinct
+	// sites >= 0.6 threshold... verify it did NOT split into 2+ phases at
+	// the cold change point with a boundary near it).
+	for _, p := range global.Phases() {
+		mid := int64(1500 * 51 / 50)
+		if p.Start > mid-100 && p.Start < mid+100 {
+			t.Errorf("global detector caught the cold-region change at %v; expected it to miss", p)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"opd/internal/core"
+	"opd/internal/interval"
+	"opd/internal/sweep"
+)
+
+// The client-benefit experiment casts detector accuracy in the terms of
+// the paper's motivating client — a dynamic optimizer that pays a fixed
+// cost to specialize at each detected phase start and earns a per-element
+// saving only while execution really is inside an oracle phase. The MPL
+// encodes the client's break-even horizon (§3.1: a 100K-branch
+// optimization applied to a 50K-branch phase is a net loss); this
+// experiment makes that economics measurable per window family, a step
+// toward the paper's future-work question of how to set the MPL for a
+// particular client.
+
+// ClientPoint is one window family's aggregate economics across the
+// benchmark suite.
+type ClientPoint struct {
+	Family          sweep.WindowFamily
+	Specializations int
+	UsefulElements  int64
+	NetBenefit      float64
+}
+
+// ClientResult is the full client-benefit comparison at one MPL.
+type ClientResult struct {
+	MPL            int64
+	SpecializeCost float64
+	Speedup        float64
+	Points         []ClientPoint
+	OraclePhases   int
+	OracleBenefit  float64
+}
+
+// ClientBenefit evaluates, for each window family, the family's best
+// detector (by score, at CW <= MPL/2) on every benchmark and accumulates
+// the mock client's economics: each detected phase costs specializeCost,
+// and every detected element inside an oracle phase earns speedup.
+// The oracle row is the unreachable offline ideal.
+func (c *Context) ClientBenefit(mpl int64, specializeCost, speedup float64) (*ClientResult, error) {
+	res := &ClientResult{MPL: mpl, SpecializeCost: specializeCost, Speedup: speedup}
+	families := []sweep.WindowFamily{sweep.FamilyFixedInterval, sweep.FamilyConstant, sweep.FamilyAdaptive}
+	for _, fam := range families {
+		pt := ClientPoint{Family: fam}
+		for _, bench := range c.mustBenchmarks() {
+			runs, err := c.Runs(bench)
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
+			sol, err := c.Baseline(bench, mpl)
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
+			pred := func(cfg core.Config) bool {
+				return sweep.Family(cfg) == fam && defaultAnchoring(cfg) && int64(cfg.CWSize) <= mpl/2
+			}
+			_, bestRun, ok := sweep.Best(sweep.Filter(runs, pred), sol, false)
+			if !ok {
+				continue
+			}
+			pt.Specializations += len(bestRun.Phases)
+			useful := interval.OverlapTotal(bestRun.Phases, sol.Phases)
+			pt.UsefulElements += useful
+			pt.NetBenefit += speedup*float64(useful) - specializeCost*float64(len(bestRun.Phases))
+		}
+		res.Points = append(res.Points, pt)
+	}
+	// Oracle ideal across the suite.
+	for _, bench := range c.mustBenchmarks() {
+		sol, err := c.Baseline(bench, mpl)
+		if err != nil {
+			return nil, errBench(bench, err)
+		}
+		res.OraclePhases += sol.NumPhases()
+		res.OracleBenefit += speedup*float64(sol.InPhaseElements()) - specializeCost*float64(sol.NumPhases())
+	}
+	return res, nil
+}

@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"testing"
+
+	"opd/internal/sweep"
+)
+
+// testContext builds a small-scale context shared by the tests in this
+// file; the qualitative assertions mirror the paper's headline claims.
+func testContext() *Context {
+	return New(Options{
+		Scale:      1,
+		Benchmarks: []string{"compress", "db", "jack"},
+		MPLs:       []int64{250, 500, 1000},
+		CWSizes:    []int{100, 250, 500, 1000, 2500},
+	})
+}
+
+var sharedCtx = testContext()
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 8 {
+		t.Errorf("default scale = %d", o.Scale)
+	}
+	if len(o.Benchmarks) != 8 {
+		t.Errorf("default benchmarks = %v", o.Benchmarks)
+	}
+	if len(o.MPLs) != 6 || o.MPLs[0] != 1000 || o.MPLs[5] != 100000 {
+		t.Errorf("default MPLs = %v", o.MPLs)
+	}
+	// CW ladder contains every MPL and every half-MPL, sorted, unique.
+	want := map[int]bool{500: true, 1000: true, 2500: true, 5000: true, 10000: true,
+		12500: true, 25000: true, 50000: true, 100000: true}
+	if len(o.CWSizes) != len(want) {
+		t.Errorf("default CW ladder = %v", o.CWSizes)
+	}
+	for i := 1; i < len(o.CWSizes); i++ {
+		if o.CWSizes[i] <= o.CWSizes[i-1] {
+			t.Errorf("CW ladder unsorted: %v", o.CWSizes)
+		}
+	}
+	small := Options{Scale: 2}.withDefaults()
+	if small.MPLs[0] != 250 {
+		t.Errorf("small-scale MPLs = %v", small.MPLs)
+	}
+}
+
+func TestTable1a(t *testing.T) {
+	rows, err := sharedCtx.Table1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DynamicBranches <= 0 || r.LoopExecutions <= 0 || r.MethodInvocations <= 0 {
+			t.Errorf("%s: non-positive counts: %+v", r.Bench, r)
+		}
+	}
+	if rows[0].Bench != "compress" || rows[0].RecursionRoots != 0 {
+		t.Errorf("compress row wrong: %+v", rows[0])
+	}
+	if rows[2].Bench != "jack" || rows[2].RecursionRoots == 0 {
+		t.Errorf("jack should have recursion roots: %+v", rows[2])
+	}
+}
+
+func TestTable1b(t *testing.T) {
+	rows, err := sharedCtx.Table1b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Counts) != 3 {
+			t.Fatalf("%s: %d MPL cells", r.Bench, len(r.Counts))
+		}
+		first, last := r.Counts[0], r.Counts[len(r.Counts)-1]
+		if first.NumPhases == 0 {
+			t.Errorf("%s: no phases at smallest MPL", r.Bench)
+		}
+		if last.NumPhases > first.NumPhases {
+			t.Errorf("%s: phase count grew with MPL: %d -> %d", r.Bench, first.NumPhases, last.NumPhases)
+		}
+		for _, cell := range r.Counts {
+			if cell.PctInPhase < 0 || cell.PctInPhase > 100 {
+				t.Errorf("%s MPL %d: pct = %f", r.Bench, cell.MPL, cell.PctInPhase)
+			}
+		}
+	}
+}
+
+func TestTable2aShape(t *testing.T) {
+	rows, err := sharedCtx.Table2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[len(rows)-1].Bench != "Average" {
+		t.Fatal("missing Average row")
+	}
+	avg := rows[len(rows)-1].Improvement
+	for _, fam := range []sweep.WindowFamily{sweep.FamilyAdaptive, sweep.FamilyConstant, sweep.FamilyFixedInterval} {
+		imp, ok := avg[fam]
+		if !ok {
+			t.Fatalf("family %v missing from average", fam)
+		}
+		// The paper's headline: CW at or below the MPL beats CW above it
+		// on average. Allow slack for the small test scale.
+		if imp[0] < -5 {
+			t.Errorf("%v: smaller-than-MPL improvement = %f, want ≳ 0", fam, imp[0])
+		}
+	}
+}
+
+func TestTable2bShape(t *testing.T) {
+	res, err := sharedCtx.Table2b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fam, s := range res.Scores {
+		for i, v := range s {
+			if v < 0 || v > 1 {
+				t.Errorf("%v[%d] = %f outside [0,1]", fam, i, v)
+			}
+		}
+		// smaller-than-MPL should not lose badly to equal-to-MPL.
+		if s[0] < s[1]-0.05 {
+			t.Errorf("%v: smaller %f ≪ equal %f", fam, s[0], s[1])
+		}
+	}
+}
+
+func TestFig4FixedIntervalLoses(t *testing.T) {
+	points, err := sharedCtx.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // 3 MPLs + doubled tail
+		t.Fatalf("points = %d", len(points))
+	}
+	// The paper's central claim: skip factor 1 beats skip = CW size.
+	// Assert it on the cross-MPL average (individual MPLs may wobble at
+	// test scale).
+	var fixed, constant, adaptive float64
+	for _, p := range points {
+		fixed += p.Scores[sweep.FamilyFixedInterval]
+		constant += p.Scores[sweep.FamilyConstant]
+		adaptive += p.Scores[sweep.FamilyAdaptive]
+	}
+	if fixed >= constant {
+		t.Errorf("fixed interval (%f) not below constant TW (%f) on average", fixed, constant)
+	}
+	if fixed >= adaptive {
+		t.Errorf("fixed interval (%f) not below adaptive TW (%f) on average", fixed, adaptive)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	points, err := sharedCtx.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no Fig5 points; CW ladder lacks MPL halves")
+	}
+	for _, p := range points {
+		for _, v := range []float64{p.Weighted, p.Unweighted, p.WeightedNoCompress, p.UnweightedNoCompress} {
+			if v < 0 || v > 1 {
+				t.Errorf("MPL %d %v: score %f outside [0,1]", p.MPL, p.Family, v)
+			}
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	points, err := sharedCtx.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 families x figure MPLs x 10 analyzers.
+	mpls := sharedCtx.figureMPLs()
+	if want := 2 * len(mpls) * 10; len(points) != want {
+		t.Fatalf("points = %d, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.Score < 0 || p.Score > 1 {
+			t.Errorf("score %f outside [0,1]", p.Score)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	a, err := sharedCtx.Fig7a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharedCtx.Fig7b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("points: %d, %d", len(a), len(b))
+	}
+	for _, p := range append(a, b...) {
+		if p.Improvement < -100 || p.Improvement > 100 {
+			t.Errorf("improvement %f implausible", p.Improvement)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	points, err := sharedCtx.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no Fig8 points")
+	}
+	for _, p := range points {
+		if p.Constant < 0 || p.Constant > 1 || p.Adaptive < 0 || p.Adaptive > 1 {
+			t.Errorf("MPL %d: scores outside [0,1]: %+v", p.MPL, p)
+		}
+	}
+}
+
+func TestSkipSweep(t *testing.T) {
+	points, err := sharedCtx.SkipSweep(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 4 {
+		t.Fatalf("points = %v", points)
+	}
+	if points[0].Skip != 1 {
+		t.Errorf("first skip = %d, want 1", points[0].Skip)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Skip <= points[i-1].Skip {
+			t.Errorf("skips not increasing: %v", points)
+		}
+		// Cost must fall monotonically with the skip factor.
+		if points[i].ComputationsPer1000 > points[i-1].ComputationsPer1000 {
+			t.Errorf("computation rate grew with skip: %v", points)
+		}
+	}
+	// Skip 1 computes a similarity for most elements (the shortfall is
+	// the window refill gap after each phase end and the initial fill).
+	if points[0].ComputationsPer1000 < 500 {
+		t.Errorf("skip-1 rate = %f per 1000, want most elements", points[0].ComputationsPer1000)
+	}
+	// And it must compute at least an order of magnitude more often than
+	// skip = CW.
+	last := points[len(points)-1]
+	if points[0].ComputationsPer1000 < 10*last.ComputationsPer1000 {
+		t.Errorf("skip-1 rate %f not ≫ skip=CW rate %f",
+			points[0].ComputationsPer1000, last.ComputationsPer1000)
+	}
+	// The paper's headline: accuracy at skip 1 is not worse than at
+	// skip = CW.
+	if points[0].Score < last.Score-0.02 {
+		t.Errorf("skip 1 score %f well below skip=CW score %f", points[0].Score, last.Score)
+	}
+}
+
+func TestProfileSources(t *testing.T) {
+	points, err := sharedCtx.ProfileSources(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.BranchScore <= 0 || p.BranchScore > 1 {
+			t.Errorf("%s: branch score %f", p.Bench, p.BranchScore)
+		}
+		if p.MethodScore < 0 || p.MethodScore > 1 {
+			t.Errorf("%s: method score %f", p.Bench, p.MethodScore)
+		}
+		if p.MethodLen >= p.BranchLen {
+			t.Errorf("%s: method stream (%d) not sparser than branch stream (%d)",
+				p.Bench, p.MethodLen, p.BranchLen)
+		}
+	}
+	branch, method := MeanSourceScores(points)
+	if branch <= 0 || method < 0 {
+		t.Errorf("mean scores: branch %f method %f", branch, method)
+	}
+}
+
+func TestClientBenefit(t *testing.T) {
+	res, err := sharedCtx.ClientBenefit(500, 100, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Specializations <= 0 {
+			t.Errorf("%v: no specializations", p.Family)
+		}
+		if p.UsefulElements <= 0 {
+			t.Errorf("%v: no useful elements", p.Family)
+		}
+		// No online detector can beat the offline ideal.
+		if p.NetBenefit > res.OracleBenefit {
+			t.Errorf("%v: benefit %f exceeds oracle ideal %f", p.Family, p.NetBenefit, res.OracleBenefit)
+		}
+	}
+	if res.OraclePhases <= 0 || res.OracleBenefit <= 0 {
+		t.Errorf("oracle row: %d phases, benefit %f", res.OraclePhases, res.OracleBenefit)
+	}
+}
+
+func TestSeedVariance(t *testing.T) {
+	points, err := sharedCtx.SeedVariance(500, []int32{7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Seeds != 2 {
+			t.Errorf("%s: seeds = %d, want 2", p.Bench, p.Seeds)
+		}
+		if p.Mean <= 0 || p.Mean > 1 {
+			t.Errorf("%s: mean = %f", p.Bench, p.Mean)
+		}
+		if p.Min > p.Mean || p.Mean > p.Max {
+			t.Errorf("%s: min/mean/max out of order: %+v", p.Bench, p)
+		}
+		if p.StdDev < 0 || p.StdDev > 0.5 {
+			t.Errorf("%s: stddev = %f implausible", p.Bench, p.StdDev)
+		}
+	}
+}
+
+func TestContextDeterminism(t *testing.T) {
+	other := testContext()
+	a, err := sharedCtx.Table2b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := other.Table2b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fam := range a.Scores {
+		if a.Scores[fam] != b.Scores[fam] {
+			t.Errorf("%v: non-deterministic Table2b: %v vs %v", fam, a.Scores[fam], b.Scores[fam])
+		}
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	bad := New(Options{Scale: 1, Benchmarks: []string{"nope"}, MPLs: []int64{100}, CWSizes: []int{50}})
+	if _, err := bad.Table1a(); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := bad.Table1b(); err == nil {
+		t.Error("unknown benchmark accepted by Table1b")
+	}
+	if _, _, err := bad.Workload("nope"); err == nil {
+		t.Error("Workload accepted unknown benchmark")
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"opd/internal/core"
+	"opd/internal/stats"
+	"opd/internal/sweep"
+)
+
+// Fig4Point is one MPL group of Figure 4: the average (over benchmarks)
+// best score of each window family with CW size below half the MPL.
+type Fig4Point struct {
+	MPL    int64
+	Scores map[sweep.WindowFamily]float64
+}
+
+// Fig4 reproduces Figure 4: Fixed Interval (skip = CW) versus Constant and
+// Adaptive TW at skip factor 1, across the MPL ladder extended by one
+// doubled value (the paper's 200K point).
+func (c *Context) Fig4() ([]Fig4Point, error) {
+	mpls := append(append([]int64{}, c.opts.MPLs...), 2*c.opts.MPLs[len(c.opts.MPLs)-1])
+	var points []Fig4Point
+	for _, mpl := range mpls {
+		pt := Fig4Point{MPL: mpl, Scores: map[sweep.WindowFamily]float64{}}
+		for _, fam := range []sweep.WindowFamily{sweep.FamilyFixedInterval, sweep.FamilyConstant, sweep.FamilyAdaptive} {
+			var scores []float64
+			for _, bench := range c.mustBenchmarks() {
+				pred := func(cfg core.Config) bool {
+					return sweep.Family(cfg) == fam && defaultAnchoring(cfg) && int64(cfg.CWSize) <= mpl/2
+				}
+				best, ok, err := c.bestScore(bench, mpl, false, pred)
+				if err != nil {
+					return nil, errBench(bench, err)
+				}
+				if ok {
+					scores = append(scores, best.Score)
+				}
+			}
+			pt.Scores[fam] = stats.Mean(scores)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// Fig5Point is one (MPL, family) group of Figure 5: average best scores
+// of the weighted and unweighted models, with and without the
+// compress-like benchmark.
+type Fig5Point struct {
+	MPL    int64
+	Family sweep.WindowFamily
+
+	Weighted             float64
+	Unweighted           float64
+	WeightedNoCompress   float64
+	UnweightedNoCompress float64
+}
+
+// Fig5 reproduces Figure 5: the model comparison. CW sizes are bounded by
+// half the MPL, per the paper's §4.2 conclusion.
+func (c *Context) Fig5() ([]Fig5Point, error) {
+	var points []Fig5Point
+	for _, mpl := range c.figureMPLs() {
+		for _, fam := range []sweep.WindowFamily{sweep.FamilyConstant, sweep.FamilyAdaptive} {
+			pt := Fig5Point{MPL: mpl, Family: fam}
+			for _, model := range []core.ModelKind{core.WeightedModel, core.UnweightedModel} {
+				var all, noCompress []float64
+				for _, bench := range c.mustBenchmarks() {
+					pred := func(cfg core.Config) bool {
+						return sweep.Family(cfg) == fam && defaultAnchoring(cfg) &&
+							cfg.Model == model && int64(cfg.CWSize) <= mpl/2
+					}
+					best, ok, err := c.bestScore(bench, mpl, false, pred)
+					if err != nil {
+						return nil, errBench(bench, err)
+					}
+					if !ok {
+						continue
+					}
+					all = append(all, best.Score)
+					if bench != "compress" {
+						noCompress = append(noCompress, best.Score)
+					}
+				}
+				if model == core.WeightedModel {
+					pt.Weighted = stats.Mean(all)
+					pt.WeightedNoCompress = stats.Mean(noCompress)
+				} else {
+					pt.Unweighted = stats.Mean(all)
+					pt.UnweightedNoCompress = stats.Mean(noCompress)
+				}
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// Fig6Point is one bar of Figure 6: the average best score of one
+// analyzer setting (unweighted model) at one MPL for one family.
+type Fig6Point struct {
+	MPL      int64
+	Family   sweep.WindowFamily
+	Analyzer sweep.AnalyzerSetting
+	Score    float64
+}
+
+// Fig6 reproduces Figure 6: the analyzer comparison over the ten paper
+// settings, for the Constant TW (subfigure a) and Adaptive TW (subfigure
+// b) families, using the unweighted model.
+func (c *Context) Fig6() ([]Fig6Point, error) {
+	var points []Fig6Point
+	for _, fam := range []sweep.WindowFamily{sweep.FamilyConstant, sweep.FamilyAdaptive} {
+		for _, mpl := range c.figureMPLs() {
+			for _, an := range sweep.PaperAnalyzers() {
+				var scores []float64
+				for _, bench := range c.mustBenchmarks() {
+					pred := func(cfg core.Config) bool {
+						return sweep.Family(cfg) == fam && defaultAnchoring(cfg) &&
+							cfg.Model == core.UnweightedModel &&
+							cfg.Analyzer == an.Kind && cfg.Param == an.Param &&
+							int64(cfg.CWSize) <= mpl/2
+					}
+					best, ok, err := c.bestScore(bench, mpl, false, pred)
+					if err != nil {
+						return nil, errBench(bench, err)
+					}
+					if ok {
+						scores = append(scores, best.Score)
+					}
+				}
+				points = append(points, Fig6Point{MPL: mpl, Family: fam, Analyzer: an, Score: stats.Mean(scores)})
+			}
+		}
+	}
+	return points, nil
+}
+
+// Fig7Point is one MPL group of Figure 7: the average percent improvement
+// of one Adaptive TW anchoring choice over another.
+type Fig7Point struct {
+	MPL         int64
+	Improvement float64
+}
+
+// Fig7a reproduces Figure 7(a): percent improvement in best score of the
+// Slide resize policy over Move, with RN anchoring, per MPL.
+func (c *Context) Fig7a() ([]Fig7Point, error) {
+	return c.fig7(func(cfg core.Config) bool {
+		return cfg.Anchor == core.AnchorRN && cfg.Resize == core.ResizeSlide
+	}, func(cfg core.Config) bool {
+		return cfg.Anchor == core.AnchorRN && cfg.Resize == core.ResizeMove
+	})
+}
+
+// Fig7b reproduces Figure 7(b): percent improvement in best score of RN
+// anchoring over LNN, with the Slide resize policy, per MPL.
+func (c *Context) Fig7b() ([]Fig7Point, error) {
+	return c.fig7(func(cfg core.Config) bool {
+		return cfg.Anchor == core.AnchorRN && cfg.Resize == core.ResizeSlide
+	}, func(cfg core.Config) bool {
+		return cfg.Anchor == core.AnchorLNN && cfg.Resize == core.ResizeSlide
+	})
+}
+
+func (c *Context) fig7(better, base func(core.Config) bool) ([]Fig7Point, error) {
+	var points []Fig7Point
+	for _, mpl := range c.opts.MPLs {
+		var imps []float64
+		for _, bench := range c.mustBenchmarks() {
+			pred := func(anchor func(core.Config) bool) func(core.Config) bool {
+				return func(cfg core.Config) bool {
+					return cfg.TW == core.AdaptiveTW && anchor(cfg) && int64(cfg.CWSize) <= mpl/2
+				}
+			}
+			a, okA, err := c.bestScore(bench, mpl, false, pred(better))
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
+			b, okB, err := c.bestScore(bench, mpl, false, pred(base))
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
+			if okA && okB && b.Score > 0 {
+				imps = append(imps, stats.PercentImprovement(a.Score, b.Score))
+			}
+		}
+		points = append(points, Fig7Point{MPL: mpl, Improvement: stats.Mean(imps)})
+	}
+	return points, nil
+}
+
+// Fig8Point is one MPL group of Figure 8: average best score using
+// anchor-corrected phase-start boundaries, per family.
+type Fig8Point struct {
+	MPL      int64
+	Constant float64
+	Adaptive float64
+}
+
+// Fig8 reproduces Figure 8: scoring the anchor-corrected boundaries
+// (which identify where each detected phase actually began) for the
+// Constant and Adaptive TW families, across the MPL ladder extended by
+// one doubled value.
+func (c *Context) Fig8() ([]Fig8Point, error) {
+	mpls := append([]int64{}, c.figureMPLs()...)
+	mpls = append(mpls, 2*c.opts.MPLs[len(c.opts.MPLs)-1])
+	var points []Fig8Point
+	for _, mpl := range mpls {
+		pt := Fig8Point{MPL: mpl}
+		for _, fam := range []sweep.WindowFamily{sweep.FamilyConstant, sweep.FamilyAdaptive} {
+			var scores []float64
+			for _, bench := range c.mustBenchmarks() {
+				pred := func(cfg core.Config) bool {
+					return sweep.Family(cfg) == fam && defaultAnchoring(cfg) &&
+						cfg.Model == core.UnweightedModel && int64(cfg.CWSize) <= mpl/2
+				}
+				best, ok, err := c.bestScore(bench, mpl, true, pred)
+				if err != nil {
+					return nil, errBench(bench, err)
+				}
+				if ok {
+					scores = append(scores, best.Score)
+				}
+			}
+			if fam == sweep.FamilyConstant {
+				pt.Constant = stats.Mean(scores)
+			} else {
+				pt.Adaptive = stats.Mean(scores)
+			}
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

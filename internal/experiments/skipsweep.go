@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"opd/internal/core"
+	"opd/internal/stats"
+	"opd/internal/sweep"
+)
+
+// SkipPoint is one skip-factor setting's accuracy/cost pair: the average
+// (over benchmarks) best score and the average number of similarity
+// computations per thousand profile elements — the detector's dominant
+// run-time cost.
+type SkipPoint struct {
+	Skip                int
+	Score               float64
+	ComputationsPer1000 float64
+}
+
+// SkipSweep quantifies the overhead/accuracy trade-off the paper
+// identifies as future work (§7) and touches in §4.2: it evaluates the
+// Constant TW family at CW = MPL/2 across a ladder of skip factors
+// between the paper's two extremes (1 and CW), reporting best score and
+// similarity-computation rate for each. Skip 0 in the returned ladder
+// stands for "skip = CW" (the fixed-interval extreme).
+func (c *Context) SkipSweep(mpl int64) ([]SkipPoint, error) {
+	cw := int(mpl / 2)
+	if cw < 2 {
+		cw = 2
+	}
+	skips := []int{1, 4, 16, 64, 256, cw}
+	var out []SkipPoint
+	for _, skip := range skips {
+		if skip > cw {
+			continue
+		}
+		var configs []core.Config
+		for _, model := range []core.ModelKind{core.UnweightedModel, core.WeightedModel} {
+			for _, an := range sweep.PaperAnalyzers() {
+				configs = append(configs, core.Config{
+					CWSize: cw, TWSize: cw, SkipFactor: skip, TW: core.ConstantTW,
+					Model: model, Analyzer: an.Kind, Param: an.Param,
+				})
+			}
+		}
+		var scores, rates []float64
+		for _, bench := range c.mustBenchmarks() {
+			tr, _, err := c.Workload(bench)
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
+			sol, err := c.Baseline(bench, mpl)
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
+			runs := sweep.RunConfigs(tr, configs, c.opts.Workers)
+			best, bestRun, ok := sweep.Best(runs, sol, false)
+			if !ok {
+				continue
+			}
+			scores = append(scores, best.Score)
+			rates = append(rates, 1000*float64(bestRun.SimComputations)/float64(len(tr)))
+		}
+		out = append(out, SkipPoint{
+			Skip:                skip,
+			Score:               stats.Mean(scores),
+			ComputationsPer1000: stats.Mean(rates),
+		})
+	}
+	return out, nil
+}

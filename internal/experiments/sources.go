@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"opd/internal/core"
+	"opd/internal/interval"
+	"opd/internal/score"
+	"opd/internal/stats"
+	"opd/internal/sweep"
+	"opd/internal/trace"
+)
+
+// SourcePoint compares two profile sources feeding the same detector
+// family on one benchmark: the conditional branch trace (the paper's
+// choice) and the method-invocation trace (one of the alternatives §2
+// lists). Scores are against the same branch-time oracle; method-stream
+// phases are mapped into branch time through the invocation timestamps.
+type SourcePoint struct {
+	Bench       string
+	BranchScore float64
+	MethodScore float64
+	BranchLen   int
+	MethodLen   int
+}
+
+// ProfileSources runs the extension experiment: per benchmark, the best
+// Constant TW skip-1 detector (over both models and all analyzers) on the
+// branch stream versus the method-invocation stream, scored at the given
+// MPL. The method stream's window sizes are scaled by the stream-length
+// ratio so both detectors see comparably sized windows in wall-clock
+// (branch-time) terms.
+func (c *Context) ProfileSources(mpl int64) ([]SourcePoint, error) {
+	var out []SourcePoint
+	for _, bench := range c.mustBenchmarks() {
+		branches, events, err := c.Workload(bench)
+		if err != nil {
+			return nil, errBench(bench, err)
+		}
+		sol, err := c.Baseline(bench, mpl)
+		if err != nil {
+			return nil, errBench(bench, err)
+		}
+
+		mkConfigs := func(cw int) []core.Config {
+			if cw < 4 {
+				cw = 4
+			}
+			var configs []core.Config
+			for _, model := range []core.ModelKind{core.UnweightedModel, core.WeightedModel} {
+				for _, an := range sweep.PaperAnalyzers() {
+					configs = append(configs, core.Config{
+						CWSize: cw, TWSize: cw, SkipFactor: 1, TW: core.ConstantTW,
+						Model: model, Analyzer: an.Kind, Param: an.Param,
+					})
+				}
+			}
+			return configs
+		}
+
+		// Branch stream at CW = MPL/2.
+		branchRuns := sweep.RunConfigs(branches, mkConfigs(int(mpl/2)), c.opts.Workers)
+		branchBest, _, _ := sweep.Best(branchRuns, sol, false)
+
+		// Method stream: scale the window by stream density.
+		profile := trace.NewMethodProfile(events)
+		pt := SourcePoint{Bench: bench, BranchLen: len(branches), MethodLen: profile.Len(),
+			BranchScore: branchBest.Score}
+		if profile.Len() >= 32 {
+			ratio := float64(profile.Len()) / float64(len(branches))
+			cw := int(float64(mpl/2) * ratio)
+			methodBest := 0.0
+			for _, cfg := range mkConfigs(cw) {
+				d := cfg.MustNew()
+				core.RunTrace(d, profile.Elements)
+				var phases []interval.Interval
+				for _, p := range d.Phases() {
+					s, e := profile.ToBranchTime(int(p.Start), int(p.End), int64(len(branches)))
+					if e > s {
+						phases = append(phases, interval.Interval{Start: s, End: e})
+					}
+				}
+				if res := score.Evaluate(phases, sol); res.Score > methodBest {
+					methodBest = res.Score
+				}
+			}
+			pt.MethodScore = methodBest
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// MeanSourceScores averages the two columns of a ProfileSources result.
+func MeanSourceScores(points []SourcePoint) (branch, method float64) {
+	var bs, ms []float64
+	for _, p := range points {
+		bs = append(bs, p.BranchScore)
+		if p.MethodScore > 0 {
+			ms = append(ms, p.MethodScore)
+		}
+	}
+	return stats.Mean(bs), stats.Mean(ms)
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"opd/internal/baseline"
+	"opd/internal/core"
+	"opd/internal/stats"
+	"opd/internal/sweep"
+)
+
+// BenchStats is one row of Table 1(a): the dynamic execution
+// characteristics of a benchmark.
+type BenchStats struct {
+	Bench             string
+	DynamicBranches   int64
+	LoopExecutions    int64
+	MethodInvocations int64
+	RecursionRoots    int64
+	DistinctSites     int
+}
+
+// Table1a reproduces Table 1(a): per-benchmark dynamic branches, loop
+// executions, method invocations, and recursion roots.
+func (c *Context) Table1a() ([]BenchStats, error) {
+	var rows []BenchStats
+	for _, bench := range c.mustBenchmarks() {
+		tr, ev, err := c.Workload(bench)
+		if err != nil {
+			return nil, errBench(bench, err)
+		}
+		loops, methods := ev.Counts()
+		rows = append(rows, BenchStats{
+			Bench:             bench,
+			DynamicBranches:   int64(len(tr)),
+			LoopExecutions:    loops,
+			MethodInvocations: methods,
+			RecursionRoots:    baseline.CountRecursionRoots(ev),
+			DistinctSites:     tr.DistinctSites(),
+		})
+	}
+	return rows, nil
+}
+
+// PhaseCount is one cell pair of Table 1(b).
+type PhaseCount struct {
+	MPL        int64
+	NumPhases  int
+	PctInPhase float64
+}
+
+// Table1bRow is one benchmark's row of Table 1(b).
+type Table1bRow struct {
+	Bench  string
+	Counts []PhaseCount
+}
+
+// Table1b reproduces Table 1(b): the number of oracle phases and the
+// percentage of profile elements in phase, per benchmark and MPL.
+func (c *Context) Table1b() ([]Table1bRow, error) {
+	var rows []Table1bRow
+	for _, bench := range c.mustBenchmarks() {
+		row := Table1bRow{Bench: bench}
+		for _, mpl := range c.opts.MPLs {
+			sol, err := c.Baseline(bench, mpl)
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
+			row.Counts = append(row.Counts, PhaseCount{
+				MPL:        mpl,
+				NumPhases:  sol.NumPhases(),
+				PctInPhase: sol.PercentInPhase(),
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CWRelation classifies a CW size against an MPL value.
+type CWRelation uint8
+
+// The three CW/MPL relations of Table 2(a).
+const (
+	CWSmaller CWRelation = iota
+	CWEqual
+	CWLarger
+)
+
+// String names the relation.
+func (r CWRelation) String() string {
+	switch r {
+	case CWSmaller:
+		return "Smaller"
+	case CWEqual:
+		return "Equal"
+	case CWLarger:
+		return "Larger"
+	}
+	return "CWRelation(?)"
+}
+
+func relationPred(rel CWRelation, mpl int64) func(core.Config) bool {
+	return func(cfg core.Config) bool {
+		cw := int64(cfg.CWSize)
+		switch rel {
+		case CWSmaller:
+			return cw < mpl
+		case CWEqual:
+			return cw == mpl
+		default:
+			return cw > mpl
+		}
+	}
+}
+
+// Table2aRow is one benchmark's row of Table 2(a): for each window
+// family, the average (over MPLs) percent improvement in best score when
+// the CW is smaller than — and equal to — the MPL, relative to a CW
+// larger than the MPL.
+type Table2aRow struct {
+	Bench       string
+	Improvement map[sweep.WindowFamily][2]float64 // [smaller, equal]
+}
+
+// Table2a reproduces Table 2(a). The final row (Bench == "Average")
+// averages the per-benchmark improvements.
+func (c *Context) Table2a() ([]Table2aRow, error) {
+	families := []sweep.WindowFamily{sweep.FamilyAdaptive, sweep.FamilyConstant, sweep.FamilyFixedInterval}
+	var rows []Table2aRow
+	sums := map[sweep.WindowFamily][2]float64{}
+	for _, bench := range c.mustBenchmarks() {
+		row := Table2aRow{Bench: bench, Improvement: map[sweep.WindowFamily][2]float64{}}
+		for _, fam := range families {
+			var smaller, equal []float64
+			for _, mpl := range c.opts.MPLs {
+				larger, okL, err := c.bestScore(bench, mpl, false, c.famRelPred(fam, CWLarger, mpl))
+				if err != nil {
+					return nil, errBench(bench, err)
+				}
+				if !okL || larger.Score == 0 {
+					continue // no CW above this MPL in the ladder
+				}
+				if sm, ok, err := c.bestScore(bench, mpl, false, c.famRelPred(fam, CWSmaller, mpl)); err != nil {
+					return nil, errBench(bench, err)
+				} else if ok {
+					smaller = append(smaller, stats.PercentImprovement(sm.Score, larger.Score))
+				}
+				if eq, ok, err := c.bestScore(bench, mpl, false, c.famRelPred(fam, CWEqual, mpl)); err != nil {
+					return nil, errBench(bench, err)
+				} else if ok {
+					equal = append(equal, stats.PercentImprovement(eq.Score, larger.Score))
+				}
+			}
+			imp := [2]float64{stats.Mean(smaller), stats.Mean(equal)}
+			row.Improvement[fam] = imp
+			s := sums[fam]
+			s[0] += imp[0]
+			s[1] += imp[1]
+			sums[fam] = s
+		}
+		rows = append(rows, row)
+	}
+	avg := Table2aRow{Bench: "Average", Improvement: map[sweep.WindowFamily][2]float64{}}
+	n := float64(len(c.mustBenchmarks()))
+	for fam, s := range sums {
+		avg.Improvement[fam] = [2]float64{s[0] / n, s[1] / n}
+	}
+	rows = append(rows, avg)
+	return rows, nil
+}
+
+// famRelPred combines family membership, default anchoring, and the
+// CW/MPL relation.
+func (c *Context) famRelPred(fam sweep.WindowFamily, rel CWRelation, mpl int64) func(core.Config) bool {
+	relP := relationPred(rel, mpl)
+	return func(cfg core.Config) bool {
+		return sweep.Family(cfg) == fam && defaultAnchoring(cfg) && relP(cfg)
+	}
+}
+
+// Table2bResult holds Table 2(b): the average of best scores across all
+// benchmarks and MPLs for CW sizes smaller than, equal to, and at most
+// half the MPL, per window family.
+type Table2bResult struct {
+	// Scores[family] = [smaller, equal, halfOrLess]
+	Scores map[sweep.WindowFamily][3]float64
+}
+
+// Table2b reproduces Table 2(b).
+func (c *Context) Table2b() (*Table2bResult, error) {
+	families := []sweep.WindowFamily{sweep.FamilyAdaptive, sweep.FamilyConstant, sweep.FamilyFixedInterval}
+	res := &Table2bResult{Scores: map[sweep.WindowFamily][3]float64{}}
+	for _, fam := range families {
+		var smaller, equal, half []float64
+		for _, bench := range c.mustBenchmarks() {
+			for _, mpl := range c.opts.MPLs {
+				collect := func(dst *[]float64, pred func(core.Config) bool) error {
+					best, ok, err := c.bestScore(bench, mpl, false, pred)
+					if err != nil {
+						return errBench(bench, err)
+					}
+					if ok {
+						*dst = append(*dst, best.Score)
+					}
+					return nil
+				}
+				if err := collect(&smaller, c.famRelPred(fam, CWSmaller, mpl)); err != nil {
+					return nil, err
+				}
+				if err := collect(&equal, c.famRelPred(fam, CWEqual, mpl)); err != nil {
+					return nil, err
+				}
+				halfPred := func(cfg core.Config) bool {
+					return sweep.Family(cfg) == fam && defaultAnchoring(cfg) && int64(cfg.CWSize) <= mpl/2
+				}
+				if err := collect(&half, halfPred); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Scores[fam] = [3]float64{stats.Mean(smaller), stats.Mean(equal), stats.Mean(half)}
+	}
+	return res, nil
+}

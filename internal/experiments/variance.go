@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"opd/internal/baseline"
+	"opd/internal/core"
+	"opd/internal/stats"
+	"opd/internal/sweep"
+	"opd/internal/synth"
+)
+
+// VariancePoint reports one benchmark's best-score statistics across
+// workload input seeds, for the Constant TW skip-1 family at CW = MPL/2.
+// It answers the reproduction-quality question the single-seed headline
+// numbers cannot: how much of a score is the workload's particular random
+// input rather than the detector?
+type VariancePoint struct {
+	Bench  string
+	Seeds  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// SeedVariance reruns each benchmark under the given seeds and reports
+// per-benchmark best-score spread at the given MPL. Seeds are applied to
+// the workloads' data PRNG; the program structure is fixed.
+func (c *Context) SeedVariance(mpl int64, seeds []int32) ([]VariancePoint, error) {
+	var configs []core.Config
+	for _, model := range []core.ModelKind{core.UnweightedModel, core.WeightedModel} {
+		for _, an := range sweep.PaperAnalyzers() {
+			configs = append(configs, core.Config{
+				CWSize: int(mpl / 2), TWSize: int(mpl / 2), SkipFactor: 1, TW: core.ConstantTW,
+				Model: model, Analyzer: an.Kind, Param: an.Param,
+			})
+		}
+	}
+	var out []VariancePoint
+	for _, bench := range c.mustBenchmarks() {
+		var scores []float64
+		for _, seed := range seeds {
+			branches, events, err := synth.RunSeeded(bench, c.opts.Scale, seed)
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
+			sol, err := baseline.Compute(events, int64(len(branches)), mpl)
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
+			runs := sweep.RunConfigs(branches, configs, c.opts.Workers)
+			best, _, ok := sweep.Best(runs, sol, false)
+			if ok {
+				scores = append(scores, best.Score)
+			}
+		}
+		out = append(out, VariancePoint{
+			Bench:  bench,
+			Seeds:  len(scores),
+			Mean:   stats.Mean(scores),
+			StdDev: stats.StdDev(scores),
+			Min:    stats.Min(scores),
+			Max:    stats.Max(scores),
+		})
+	}
+	return out, nil
+}

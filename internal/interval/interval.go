@@ -1,0 +1,80 @@
+// Package interval provides the half-open index interval shared by the
+// oracle (phase ground truth), the online detectors (detected phases), and
+// the scoring metric.
+package interval
+
+import "fmt"
+
+// An Interval is a half-open range [Start, End) of profile-element
+// indices.
+type Interval struct {
+	Start, End int64
+}
+
+// Len returns the number of profile elements the interval spans.
+func (iv Interval) Len() int64 { return iv.End - iv.Start }
+
+// Contains reports whether position t lies inside the interval.
+func (iv Interval) Contains(t int64) bool { return t >= iv.Start && t < iv.End }
+
+// Overlaps reports whether the two intervals share any position.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// String renders the interval as [start,end).
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Start, iv.End) }
+
+// TotalLen sums the lengths of a set of intervals.
+func TotalLen(ivs []Interval) int64 {
+	var n int64
+	for _, iv := range ivs {
+		n += iv.Len()
+	}
+	return n
+}
+
+// OverlapTotal returns the total number of positions covered by both
+// interval sets. Both must be sorted by start and internally disjoint.
+func OverlapTotal(a, b []Interval) int64 {
+	var total int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i].End <= b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// Validate checks that the intervals are non-empty, sorted by start,
+// mutually disjoint, and within [0, traceLen].
+func Validate(ivs []Interval, traceLen int64) error {
+	var prevEnd int64 = -1 << 62
+	for _, iv := range ivs {
+		if iv.Start >= iv.End {
+			return fmt.Errorf("interval: empty or inverted interval %v", iv)
+		}
+		if iv.Start < prevEnd {
+			return fmt.Errorf("interval: unsorted or overlapping at %v", iv)
+		}
+		if iv.Start < 0 || iv.End > traceLen {
+			return fmt.Errorf("interval: %v outside trace of %d elements", iv, traceLen)
+		}
+		prevEnd = iv.End
+	}
+	return nil
+}

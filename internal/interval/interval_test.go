@@ -1,0 +1,110 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func iv(a, b int64) Interval { return Interval{Start: a, End: b} }
+
+func TestOverlapTotal(t *testing.T) {
+	cases := []struct {
+		a, b []Interval
+		want int64
+	}{
+		{nil, nil, 0},
+		{[]Interval{iv(0, 10)}, nil, 0},
+		{[]Interval{iv(0, 10)}, []Interval{iv(5, 15)}, 5},
+		{[]Interval{iv(0, 10), iv(20, 30)}, []Interval{iv(5, 25)}, 10},
+		{[]Interval{iv(0, 100)}, []Interval{iv(10, 20), iv(30, 40)}, 20},
+		{[]Interval{iv(0, 10)}, []Interval{iv(10, 20)}, 0},
+		{[]Interval{iv(0, 10)}, []Interval{iv(0, 10)}, 10},
+	}
+	for _, c := range cases {
+		if got := OverlapTotal(c.a, c.b); got != c.want {
+			t.Errorf("OverlapTotal(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		// Symmetry.
+		if got := OverlapTotal(c.b, c.a); got != c.want {
+			t.Errorf("OverlapTotal(%v, %v) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestOverlapTotalProperty(t *testing.T) {
+	// Against a brute-force per-position count on random disjoint sets.
+	mk := func(seed int64) []Interval {
+		rng := seed
+		next := func(n int64) int64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := rng >> 33
+			if v < 0 {
+				v = -v
+			}
+			return v % n
+		}
+		var out []Interval
+		pos := int64(0)
+		for pos < 190 {
+			s := pos + next(10) + 1
+			e := s + next(20) + 1
+			if e > 200 {
+				break
+			}
+			out = append(out, iv(s, e))
+			pos = e
+		}
+		return out
+	}
+	f := func(s1, s2 int64) bool {
+		a, b := mk(s1), mk(s2)
+		var brute int64
+		for pos := int64(0); pos < 200; pos++ {
+			inA, inB := false, false
+			for _, i := range a {
+				if i.Contains(pos) {
+					inA = true
+				}
+			}
+			for _, i := range b {
+				if i.Contains(pos) {
+					inB = true
+				}
+			}
+			if inA && inB {
+				brute++
+			}
+		}
+		return OverlapTotal(a, b) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]Interval{iv(0, 5), iv(5, 9)}, 10); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	for name, bad := range map[string][]Interval{
+		"empty interval": {iv(3, 3)},
+		"inverted":       {iv(5, 2)},
+		"overlap":        {iv(0, 5), iv(4, 8)},
+		"unsorted":       {iv(5, 8), iv(0, 3)},
+		"past end":       {iv(0, 11)},
+		"negative":       {iv(-1, 5)},
+	} {
+		if err := Validate(bad, 10); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestTotalLen(t *testing.T) {
+	if got := TotalLen([]Interval{iv(0, 5), iv(10, 12)}); got != 7 {
+		t.Errorf("TotalLen = %d, want 7", got)
+	}
+	if TotalLen(nil) != 0 {
+		t.Error("TotalLen(nil) != 0")
+	}
+}

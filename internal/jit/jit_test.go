@@ -1,0 +1,150 @@
+package jit
+
+import (
+	"testing"
+
+	"opd/internal/core"
+	"opd/internal/synth"
+	"opd/internal/trace"
+	"opd/internal/vm"
+)
+
+func config() Config {
+	return Config{
+		Detector: core.Config{
+			CWSize: 16, TW: core.AdaptiveTW,
+			Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6,
+		},
+		MatchThreshold: 0.5,
+		CompileCost:    50,
+		Speedup:        0.25,
+	}
+}
+
+// abTrace alternates two behaviours N times.
+func abTrace(reps, runLen int) trace.Trace {
+	var tr trace.Trace
+	for r := 0; r < reps; r++ {
+		site := 1
+		if r%2 == 1 {
+			site = 10
+		}
+		for i := 0; i < runLen; i++ {
+			tr = append(tr, trace.MakeBranch(0, site, true))
+			tr = append(tr, trace.MakeBranch(0, site+1, i%2 == 0))
+		}
+	}
+	return tr
+}
+
+func TestSystemRecognizesRecurrences(t *testing.T) {
+	s, err := New(config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range abTrace(8, 150) {
+		s.Process(e)
+	}
+	s.Finish()
+	r := s.Report()
+	if r.Phases < 6 {
+		t.Fatalf("phases = %d, want one per run: %v", r.Phases, r)
+	}
+	if r.Behaviours != 2 {
+		t.Errorf("behaviours = %d, want 2 (A and B)", r.Behaviours)
+	}
+	if r.Reuses == 0 {
+		t.Error("no plans reused despite recurring behaviours")
+	}
+	if r.Compiles+r.Reuses != r.Phases {
+		t.Errorf("compiles %d + reuses %d != phases %d", r.Compiles, r.Reuses, r.Phases)
+	}
+	// Recognition strictly beats compiling every phase.
+	if r.NetBenefit <= r.NaiveBenefit {
+		t.Errorf("recognizing manager (%f) did not beat naive (%f)", r.NetBenefit, r.NaiveBenefit)
+	}
+	// Decision log is consistent: reused decisions reference an already
+	// compiled behaviour.
+	seen := map[int]bool{}
+	for _, d := range s.Decisions() {
+		if d.Reused && !seen[d.Behaviour] {
+			t.Errorf("reused behaviour %d before it was ever registered", d.Behaviour)
+		}
+		seen[d.Behaviour] = true
+	}
+}
+
+func TestSystemOnVMWorkload(t *testing.T) {
+	// Drive the full stack: VM executes mpegaudio, the branch hook feeds
+	// the manager online.
+	bench, _ := synth.ByName("mpegaudio")
+	p := bench.Build(2)
+	cfg := config()
+	cfg.Detector.CWSize = 500
+	cfg.Detector.Param = 0.7
+	cfg.MatchThreshold = 0.6
+	cfg.CompileCost = 2000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := vmInterp(t, p, s)
+	if err := interp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Finish()
+	r := s.Report()
+	if r.Phases == 0 {
+		t.Fatal("no phases on mpegaudio")
+	}
+	if r.Behaviours >= r.Phases {
+		t.Errorf("no recurrence found: %v", r)
+	}
+	if r.NetBenefit < r.NaiveBenefit {
+		t.Errorf("recognition hurt: %v", r)
+	}
+	if r.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	bad := config()
+	bad.Detector.CWSize = -1
+	if _, err := New(bad); err == nil {
+		t.Error("bad detector config accepted")
+	}
+	bad = config()
+	bad.MatchThreshold = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero match threshold accepted")
+	}
+	bad = config()
+	bad.CompileCost = -5
+	if _, err := New(bad); err == nil {
+		t.Error("negative compile cost accepted")
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	s, err := New(config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range abTrace(2, 100) {
+		s.Process(e)
+	}
+	s.Finish()
+	s.Finish()
+	if s.Report().Phases == 0 {
+		t.Error("no phases")
+	}
+}
+
+// vmInterp wires a VM interpreter's branch hook into the manager.
+func vmInterp(t *testing.T, p *vm.Program, s *System) *vm.Interp {
+	t.Helper()
+	return vm.NewInterp(p, vm.WithInstrumentation(vm.Instrumentation{
+		OnBranch: func(b trace.Branch) { s.Process(b) },
+	}))
+}

@@ -1,0 +1,245 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"opd/internal/core"
+	"opd/internal/experiments"
+	"opd/internal/sweep"
+)
+
+// RenderTable1a renders the benchmark characteristics table.
+func RenderTable1a(rows []experiments.BenchStats) string {
+	headers := []string{"Benchmark", "Dynamic Branches", "Loop Executions", "Method Invocations", "Recursion Roots"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Bench,
+			fmt.Sprintf("%d", r.DynamicBranches),
+			fmt.Sprintf("%d", r.LoopExecutions),
+			fmt.Sprintf("%d", r.MethodInvocations),
+			fmt.Sprintf("%d", r.RecursionRoots),
+		})
+	}
+	return "Table 1(a): Benchmark Characteristics\n\n" + Table(headers, cells)
+}
+
+// RenderTable1b renders the per-MPL oracle phase table.
+func RenderTable1b(rows []experiments.Table1bRow) string {
+	if len(rows) == 0 {
+		return "Table 1(b): (no data)\n"
+	}
+	headers := []string{"Benchmark"}
+	for _, c := range rows[0].Counts {
+		headers = append(headers, "MPL="+MPLLabel(c.MPL)+" #", "% in")
+	}
+	var cells [][]string
+	for _, r := range rows {
+		row := []string{r.Bench}
+		for _, c := range r.Counts {
+			row = append(row, fmt.Sprintf("%d", c.NumPhases), fmt.Sprintf("%.2f", c.PctInPhase))
+		}
+		cells = append(cells, row)
+	}
+	return "Table 1(b): Baseline phases per MPL (count, % of elements in phase)\n\n" + Table(headers, cells)
+}
+
+// RenderTable2a renders the window-size comparison table.
+func RenderTable2a(rows []experiments.Table2aRow) string {
+	headers := []string{"Benchmark",
+		"Adaptive Smaller", "Adaptive Equal",
+		"Constant Smaller", "Constant Equal",
+		"FixedInt Smaller", "FixedInt Equal"}
+	var cells [][]string
+	for _, r := range rows {
+		a := r.Improvement[sweep.FamilyAdaptive]
+		c := r.Improvement[sweep.FamilyConstant]
+		f := r.Improvement[sweep.FamilyFixedInterval]
+		cells = append(cells, []string{
+			r.Bench,
+			fmt.Sprintf("%+.2f", a[0]), fmt.Sprintf("%+.2f", a[1]),
+			fmt.Sprintf("%+.2f", c[0]), fmt.Sprintf("%+.2f", c[1]),
+			fmt.Sprintf("%+.2f", f[0]), fmt.Sprintf("%+.2f", f[1]),
+		})
+	}
+	return "Table 2(a): % improvement in best score of CW smaller/equal to MPL vs CW larger than MPL\n\n" +
+		Table(headers, cells)
+}
+
+// RenderTable2b renders the average best-score table.
+func RenderTable2b(res *experiments.Table2bResult) string {
+	headers := []string{"TW policy", "Smaller", "Equal", "<= 1/2 MPL"}
+	var cells [][]string
+	for _, fam := range []sweep.WindowFamily{sweep.FamilyAdaptive, sweep.FamilyConstant, sweep.FamilyFixedInterval} {
+		s := res.Scores[fam]
+		cells = append(cells, []string{
+			fam.String(),
+			fmt.Sprintf("%.3f", s[0]), fmt.Sprintf("%.3f", s[1]), fmt.Sprintf("%.3f", s[2]),
+		})
+	}
+	return "Table 2(b): Average best scores by CW size relative to MPL\n\n" + Table(headers, cells)
+}
+
+// RenderFig4 renders the skip-factor / window-policy comparison chart.
+func RenderFig4(points []experiments.Fig4Point) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: Avg best score vs MPL (CW <= 1/2 MPL)\n\n")
+	for _, p := range points {
+		sb.WriteString("MPL " + MPLLabel(p.MPL) + ":\n")
+		labels := []string{"Fixed Intervals (skip=CW)", "Constant TW (skip=1)", "Adaptive TW (skip=1)"}
+		values := []float64{
+			p.Scores[sweep.FamilyFixedInterval],
+			p.Scores[sweep.FamilyConstant],
+			p.Scores[sweep.FamilyAdaptive],
+		}
+		sb.WriteString(Bars(labels, values, 50))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderFig5 renders the model comparison chart.
+func RenderFig5(points []experiments.Fig5Point) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: Weighted vs unweighted model (avg best score)\n\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "MPL %s, %s:\n", MPLLabel(p.MPL), p.Family)
+		labels := []string{"Weighted", "Unweighted", "Weighted w/o compress", "Unweighted w/o compress"}
+		values := []float64{p.Weighted, p.Unweighted, p.WeightedNoCompress, p.UnweightedNoCompress}
+		sb.WriteString(Bars(labels, values, 50))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderFig6 renders the analyzer comparison chart.
+func RenderFig6(points []experiments.Fig6Point) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: Analyzer comparison (unweighted model, avg best score)\n")
+	byGroup := map[string][]experiments.Fig6Point{}
+	var order []string
+	for _, p := range points {
+		key := fmt.Sprintf("%s, MPL %s", p.Family, MPLLabel(p.MPL))
+		if _, ok := byGroup[key]; !ok {
+			order = append(order, key)
+		}
+		byGroup[key] = append(byGroup[key], p)
+	}
+	for _, key := range order {
+		sb.WriteString("\n" + key + ":\n")
+		var labels []string
+		var values []float64
+		for _, p := range byGroup[key] {
+			kind := "Thr"
+			if p.Analyzer.Kind == core.AverageAnalyzer {
+				kind = "Avg"
+			}
+			labels = append(labels, fmt.Sprintf("%s %.2f", kind, p.Analyzer.Param))
+			values = append(values, p.Score)
+		}
+		sb.WriteString(Bars(labels, values, 50))
+	}
+	return sb.String()
+}
+
+// RenderFig7 renders one of the anchoring-improvement charts.
+func RenderFig7(title string, points []experiments.Fig7Point) string {
+	var labels []string
+	var values []float64
+	for _, p := range points {
+		labels = append(labels, "MPL "+MPLLabel(p.MPL))
+		values = append(values, p.Improvement)
+	}
+	return title + "\n\n" + SignedBars(labels, values, 40)
+}
+
+// RenderSkipSweep renders the accuracy/overhead trade-off table for the
+// skip-factor sweep extension.
+func RenderSkipSweep(mpl int64, points []experiments.SkipPoint) string {
+	headers := []string{"Skip factor", "Avg best score", "Similarity computations / 1000 elements"}
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", p.Skip),
+			fmt.Sprintf("%.4f", p.Score),
+			fmt.Sprintf("%.1f", p.ComputationsPer1000),
+		})
+	}
+	return fmt.Sprintf("Skip-factor sweep (extension): accuracy vs overhead at MPL %s\n\n", MPLLabel(mpl)) +
+		Table(headers, cells)
+}
+
+// RenderProfileSources renders the branch-trace vs method-trace profile
+// source comparison (extension).
+func RenderProfileSources(mpl int64, points []experiments.SourcePoint) string {
+	headers := []string{"Benchmark", "Branch elems", "Method elems", "Branch score", "Method score"}
+	var cells [][]string
+	for _, p := range points {
+		method := "-"
+		if p.MethodScore > 0 {
+			method = fmt.Sprintf("%.4f", p.MethodScore)
+		}
+		cells = append(cells, []string{
+			p.Bench,
+			fmt.Sprintf("%d", p.BranchLen),
+			fmt.Sprintf("%d", p.MethodLen),
+			fmt.Sprintf("%.4f", p.BranchScore),
+			method,
+		})
+	}
+	branch, method := experiments.MeanSourceScores(points)
+	cells = append(cells, []string{"Average", "", "", fmt.Sprintf("%.4f", branch), fmt.Sprintf("%.4f", method)})
+	return fmt.Sprintf("Profile sources (extension): branch vs method streams at MPL %s\n\n", MPLLabel(mpl)) +
+		Table(headers, cells)
+}
+
+// RenderClientBenefit renders the mock-optimizer economics comparison
+// (extension).
+func RenderClientBenefit(res *experiments.ClientResult) string {
+	headers := []string{"Detector family", "Specializations", "Useful elements", "Net benefit"}
+	var cells [][]string
+	for _, p := range res.Points {
+		cells = append(cells, []string{
+			p.Family.String(),
+			fmt.Sprintf("%d", p.Specializations),
+			fmt.Sprintf("%d", p.UsefulElements),
+			fmt.Sprintf("%.0f", p.NetBenefit),
+		})
+	}
+	cells = append(cells, []string{"Oracle (offline ideal)",
+		fmt.Sprintf("%d", res.OraclePhases), "-", fmt.Sprintf("%.0f", res.OracleBenefit)})
+	return fmt.Sprintf(
+		"Client benefit (extension): phase-guided optimizer economics at MPL %s\n(specialize cost %.0f elements, speedup %.2f per in-phase element)\n\n",
+		MPLLabel(res.MPL), res.SpecializeCost, res.Speedup) + Table(headers, cells)
+}
+
+// RenderVariance renders the seed-variance table (extension).
+func RenderVariance(mpl int64, points []experiments.VariancePoint) string {
+	headers := []string{"Benchmark", "Seeds", "Mean", "StdDev", "Min", "Max"}
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			p.Bench,
+			fmt.Sprintf("%d", p.Seeds),
+			fmt.Sprintf("%.4f", p.Mean),
+			fmt.Sprintf("%.4f", p.StdDev),
+			fmt.Sprintf("%.4f", p.Min),
+			fmt.Sprintf("%.4f", p.Max),
+		})
+	}
+	return fmt.Sprintf("Seed variance (extension): best-score spread across workload inputs at MPL %s\n\n", MPLLabel(mpl)) +
+		Table(headers, cells)
+}
+
+// RenderFig8 renders the anchor-corrected boundary chart.
+func RenderFig8(points []experiments.Fig8Point) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: Avg best score with anchor-corrected phase starts\n\n")
+	for _, p := range points {
+		sb.WriteString("MPL " + MPLLabel(p.MPL) + ":\n")
+		sb.WriteString(Bars([]string{"Constant TW", "Adaptive TW"}, []float64{p.Constant, p.Adaptive}, 50))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

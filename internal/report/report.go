@@ -1,0 +1,127 @@
+// Package report renders the experiment results as aligned ASCII tables
+// and horizontal bar charts, one renderer per table/figure of the paper.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders an aligned ASCII table with a header row.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Bars renders a horizontal bar chart: one row per label, bars scaled so
+// the largest value spans width characters. Values are assumed
+// non-negative; the numeric value is printed after each bar.
+func Bars(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if i < len(values) && values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := 0
+		if maxVal > 0 {
+			n = int(v / maxVal * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %.4f\n", maxLabel, l,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	return sb.String()
+}
+
+// SignedBars renders a bar chart that handles negative values: bars grow
+// right for positive and left-marked for negative values.
+func SignedBars(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxLabel, maxAbs := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if i < len(values) {
+			if a := abs(values[i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := 0
+		if maxAbs > 0 {
+			n = int(abs(v) / maxAbs * float64(width))
+		}
+		mark := "#"
+		if v < 0 {
+			mark = "-"
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %+.2f%%\n", maxLabel, l, strings.Repeat(mark, n), v)
+	}
+	return sb.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MPLLabel formats an MPL value the way the paper writes it (1K, 50K, …).
+func MPLLabel(mpl int64) string {
+	if mpl%1000 == 0 {
+		return fmt.Sprintf("%dK", mpl/1000)
+	}
+	return fmt.Sprintf("%d", mpl)
+}

@@ -1,0 +1,190 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"opd/internal/core"
+	"opd/internal/experiments"
+	"opd/internal/sweep"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"Name", "Value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "12345"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	// The value column must start at the same offset in every row.
+	idx := strings.Index(lines[0], "Value")
+	if !strings.HasPrefix(lines[2][idx:], "1") || !strings.HasPrefix(lines[3][idx:], "12345") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestBarsScaling(t *testing.T) {
+	out := Bars([]string{"a", "b"}, []float64{1.0, 0.5}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[0], "#") != 10 {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if strings.Count(lines[1], "#") != 5 {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	// Zero-valued and empty input must not panic.
+	if Bars([]string{"z"}, []float64{0}, 0) == "" {
+		t.Error("empty output for zero bar")
+	}
+	if Bars(nil, nil, 5) != "" {
+		t.Error("non-empty output for no labels")
+	}
+}
+
+func TestSignedBars(t *testing.T) {
+	out := SignedBars([]string{"up", "down"}, []float64{5, -10}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "#####") || !strings.Contains(lines[0], "+5.00%") {
+		t.Errorf("positive bar wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----------") || !strings.Contains(lines[1], "-10.00%") {
+		t.Errorf("negative bar wrong: %q", lines[1])
+	}
+}
+
+func TestMPLLabel(t *testing.T) {
+	if MPLLabel(1000) != "1K" || MPLLabel(100000) != "100K" {
+		t.Error("K labels wrong")
+	}
+	if MPLLabel(2500) != "2500" {
+		t.Error("non-K label wrong")
+	}
+}
+
+func TestRenderersProduceContent(t *testing.T) {
+	t1a := RenderTable1a([]experiments.BenchStats{
+		{Bench: "compress", DynamicBranches: 100, LoopExecutions: 5, MethodInvocations: 10, RecursionRoots: 0},
+	})
+	if !strings.Contains(t1a, "compress") || !strings.Contains(t1a, "Table 1(a)") {
+		t.Errorf("Table1a render:\n%s", t1a)
+	}
+
+	t1b := RenderTable1b([]experiments.Table1bRow{
+		{Bench: "db", Counts: []experiments.PhaseCount{{MPL: 1000, NumPhases: 7, PctInPhase: 88.84}}},
+	})
+	if !strings.Contains(t1b, "db") || !strings.Contains(t1b, "88.84") || !strings.Contains(t1b, "MPL=1K") {
+		t.Errorf("Table1b render:\n%s", t1b)
+	}
+	if !strings.Contains(RenderTable1b(nil), "no data") {
+		t.Error("empty Table1b not handled")
+	}
+
+	t2a := RenderTable2a([]experiments.Table2aRow{
+		{Bench: "Average", Improvement: map[sweep.WindowFamily][2]float64{
+			sweep.FamilyAdaptive:      {15.62, 12.90},
+			sweep.FamilyConstant:      {15.45, 13.83},
+			sweep.FamilyFixedInterval: {16.36, 9.91},
+		}},
+	})
+	if !strings.Contains(t2a, "+15.62") {
+		t.Errorf("Table2a render:\n%s", t2a)
+	}
+
+	t2b := RenderTable2b(&experiments.Table2bResult{Scores: map[sweep.WindowFamily][3]float64{
+		sweep.FamilyAdaptive:      {0.652, 0.637, 0.664},
+		sweep.FamilyConstant:      {0.648, 0.639, 0.664},
+		sweep.FamilyFixedInterval: {0.601, 0.570, 0.610},
+	}})
+	if !strings.Contains(t2b, "0.652") || !strings.Contains(t2b, "Adaptive TW") {
+		t.Errorf("Table2b render:\n%s", t2b)
+	}
+
+	f4 := RenderFig4([]experiments.Fig4Point{
+		{MPL: 1000, Scores: map[sweep.WindowFamily]float64{
+			sweep.FamilyFixedInterval: 0.5, sweep.FamilyConstant: 0.7, sweep.FamilyAdaptive: 0.72,
+		}},
+	})
+	if !strings.Contains(f4, "Fixed Intervals") || !strings.Contains(f4, "MPL 1K") {
+		t.Errorf("Fig4 render:\n%s", f4)
+	}
+
+	f5 := RenderFig5([]experiments.Fig5Point{
+		{MPL: 1000, Family: sweep.FamilyConstant, Weighted: 0.5, Unweighted: 0.6,
+			WeightedNoCompress: 0.55, UnweightedNoCompress: 0.65},
+	})
+	if !strings.Contains(f5, "Unweighted w/o compress") {
+		t.Errorf("Fig5 render:\n%s", f5)
+	}
+
+	f6 := RenderFig6([]experiments.Fig6Point{
+		{MPL: 1000, Family: sweep.FamilyConstant,
+			Analyzer: sweep.AnalyzerSetting{Kind: core.ThresholdAnalyzer, Param: 0.6}, Score: 0.61},
+		{MPL: 1000, Family: sweep.FamilyConstant,
+			Analyzer: sweep.AnalyzerSetting{Kind: core.AverageAnalyzer, Param: 0.05}, Score: 0.58},
+	})
+	if !strings.Contains(f6, "Thr 0.60") || !strings.Contains(f6, "Avg 0.05") {
+		t.Errorf("Fig6 render:\n%s", f6)
+	}
+
+	f7 := RenderFig7("Figure 7(a): Slide vs Move", []experiments.Fig7Point{{MPL: 1000, Improvement: 4.2}})
+	if !strings.Contains(f7, "Figure 7(a)") || !strings.Contains(f7, "+4.20%") {
+		t.Errorf("Fig7 render:\n%s", f7)
+	}
+
+	f8 := RenderFig8([]experiments.Fig8Point{{MPL: 1000, Constant: 0.6, Adaptive: 0.8}})
+	if !strings.Contains(f8, "Adaptive TW") {
+		t.Errorf("Fig8 render:\n%s", f8)
+	}
+}
+
+func TestExtensionRenderers(t *testing.T) {
+	ss := RenderSkipSweep(5000, []experiments.SkipPoint{
+		{Skip: 1, Score: 0.80, ComputationsPer1000: 623.5},
+		{Skip: 2500, Score: 0.73, ComputationsPer1000: 0.4},
+	})
+	for _, want := range []string{"MPL 5K", "0.8000", "623.5", "2500"} {
+		if !strings.Contains(ss, want) {
+			t.Errorf("skip sweep render missing %q:\n%s", want, ss)
+		}
+	}
+
+	src := RenderProfileSources(5000, []experiments.SourcePoint{
+		{Bench: "db", BranchLen: 1000, MethodLen: 10, BranchScore: 0.7, MethodScore: 0.6},
+		{Bench: "tiny", BranchLen: 100, MethodLen: 2, BranchScore: 0.5, MethodScore: 0},
+	})
+	if !strings.Contains(src, "0.7000") || !strings.Contains(src, "Average") {
+		t.Errorf("sources render:\n%s", src)
+	}
+	// A zero method score renders as '-'.
+	if !strings.Contains(src, "-") {
+		t.Errorf("missing dash for unmeasured method score:\n%s", src)
+	}
+
+	cb := RenderClientBenefit(&experiments.ClientResult{
+		MPL: 25000, SpecializeCost: 5000, Speedup: 0.25,
+		Points: []experiments.ClientPoint{
+			{Family: sweep.FamilyAdaptive, Specializations: 13, UsefulElements: 1396394, NetBenefit: 284098},
+		},
+		OraclePhases: 11, OracleBenefit: 339825,
+	})
+	for _, want := range []string{"MPL 25K", "Adaptive TW", "284098", "Oracle (offline ideal)"} {
+		if !strings.Contains(cb, want) {
+			t.Errorf("client render missing %q:\n%s", want, cb)
+		}
+	}
+
+	v := RenderVariance(5000, []experiments.VariancePoint{
+		{Bench: "compress", Seeds: 3, Mean: 0.91, StdDev: 0.002, Min: 0.908, Max: 0.912},
+	})
+	if !strings.Contains(v, "compress") || !strings.Contains(v, "0.0020") {
+		t.Errorf("variance render:\n%s", v)
+	}
+}

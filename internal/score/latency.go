@@ -1,0 +1,84 @@
+package score
+
+import "opd/internal/baseline"
+
+// Latency summarizes how *late* a detector is: for every matched phase
+// boundary (per the rules of Evaluate), the gap in profile elements
+// between the oracle boundary and the matching detected boundary. The
+// paper notes an online detector is necessarily late — the windows must
+// fill before a change is visible — and that the degree of lateness is
+// governed by window size; this diagnostic makes the lag measurable
+// directly rather than only through its dent in correlation.
+type Latency struct {
+	// MatchedStarts and MatchedEnds are the boundary counts the lags are
+	// averaged over.
+	MatchedStarts int
+	MatchedEnds   int
+	// MeanStartLag and MaxStartLag are over detected-phase starts
+	// relative to the oracle starts they match (always >= 0: constraint
+	// one forbids early starts).
+	MeanStartLag float64
+	MaxStartLag  int64
+	// MeanEndLag and MaxEndLag are over detected-phase ends relative to
+	// the oracle ends they match (>= 0 by constraint two).
+	MeanEndLag float64
+	MaxEndLag  int64
+}
+
+// MeasureLatency computes boundary lag statistics for a detector's phases
+// against the oracle, using the same matching windows as Evaluate.
+func MeasureLatency(detected []baseline.Interval, sol *baseline.Solution) Latency {
+	validateIntervals(detected, sol.TraceLen)
+	var lat Latency
+	var startSum, endSum int64
+	di := 0
+	for bi, b := range sol.Phases {
+		for di < len(detected) && detected[di].Start < b.Start {
+			di++
+		}
+		if di < len(detected) && detected[di].Start < b.End {
+			lag := detected[di].Start - b.Start
+			lat.MatchedStarts++
+			startSum += lag
+			if lag > lat.MaxStartLag {
+				lat.MaxStartLag = lag
+			}
+		}
+		nextStart := sol.TraceLen + 1
+		if bi+1 < len(sol.Phases) {
+			nextStart = sol.Phases[bi+1].Start
+		}
+		if end, ok := matchedEnd(detected, b.End, nextStart); ok {
+			lag := end - b.End
+			lat.MatchedEnds++
+			endSum += lag
+			if lag > lat.MaxEndLag {
+				lat.MaxEndLag = lag
+			}
+		}
+	}
+	if lat.MatchedStarts > 0 {
+		lat.MeanStartLag = float64(startSum) / float64(lat.MatchedStarts)
+	}
+	if lat.MatchedEnds > 0 {
+		lat.MeanEndLag = float64(endSum) / float64(lat.MatchedEnds)
+	}
+	return lat
+}
+
+// matchedEnd returns the first detected end inside [lo, hi).
+func matchedEnd(detected []baseline.Interval, lo, hi int64) (int64, bool) {
+	left, right := 0, len(detected)
+	for left < right {
+		mid := (left + right) / 2
+		if detected[mid].End < lo {
+			left = mid + 1
+		} else {
+			right = mid
+		}
+	}
+	if left < len(detected) && detected[left].End < hi {
+		return detected[left].End, true
+	}
+	return 0, false
+}

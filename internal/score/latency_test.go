@@ -1,0 +1,75 @@
+package score
+
+import (
+	"testing"
+
+	"opd/internal/core"
+	"opd/internal/trace"
+)
+
+func TestMeasureLatencyExact(t *testing.T) {
+	s := sol(1000, p(100, 400), p(600, 900))
+	lat := MeasureLatency([]iv{p(150, 450), p(640, 910)}, s)
+	if lat.MatchedStarts != 2 || lat.MatchedEnds != 2 {
+		t.Fatalf("matched = %d/%d, want 2/2", lat.MatchedStarts, lat.MatchedEnds)
+	}
+	if lat.MeanStartLag != 45 { // (50+40)/2
+		t.Errorf("MeanStartLag = %f, want 45", lat.MeanStartLag)
+	}
+	if lat.MaxStartLag != 50 {
+		t.Errorf("MaxStartLag = %d, want 50", lat.MaxStartLag)
+	}
+	if lat.MeanEndLag != 30 { // (50+10)/2
+		t.Errorf("MeanEndLag = %f, want 30", lat.MeanEndLag)
+	}
+	if lat.MaxEndLag != 50 {
+		t.Errorf("MaxEndLag = %d, want 50", lat.MaxEndLag)
+	}
+}
+
+func TestMeasureLatencyPerfectDetectionIsZero(t *testing.T) {
+	s := sol(1000, p(100, 400))
+	lat := MeasureLatency([]iv{p(100, 400)}, s)
+	if lat.MeanStartLag != 0 || lat.MeanEndLag != 0 || lat.MaxStartLag != 0 || lat.MaxEndLag != 0 {
+		t.Errorf("perfect detection has lag: %+v", lat)
+	}
+}
+
+func TestMeasureLatencyUnmatched(t *testing.T) {
+	s := sol(1000, p(100, 400))
+	lat := MeasureLatency(nil, s)
+	if lat.MatchedStarts != 0 || lat.MatchedEnds != 0 {
+		t.Errorf("empty detection matched something: %+v", lat)
+	}
+	if lat.MeanStartLag != 0 || lat.MeanEndLag != 0 {
+		t.Errorf("lags nonzero with no matches: %+v", lat)
+	}
+}
+
+// TestLatencyGrowsWithWindowSize pins the paper's observation that the
+// detection lag is governed by window size: a detector with a 4x larger
+// CW lags at least as much on a clean two-phase stream.
+func TestLatencyGrowsWithWindowSize(t *testing.T) {
+	mk := func(cw int) []iv {
+		var tr trace.Trace
+		for i := 0; i < 800; i++ {
+			tr = append(tr, trace.MakeBranch(0, 1, true))
+		}
+		for i := 0; i < 800; i++ {
+			tr = append(tr, trace.MakeBranch(0, 2, true))
+		}
+		d := core.Config{CWSize: cw, TW: core.ConstantTW,
+			Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6}.MustNew()
+		core.RunTrace(d, tr)
+		return d.Phases()
+	}
+	s := sol(1600, p(0, 800), p(800, 1600))
+	small := MeasureLatency(mk(16), s)
+	large := MeasureLatency(mk(64), s)
+	if small.MatchedStarts == 0 || large.MatchedStarts == 0 {
+		t.Fatalf("no matched starts: %+v / %+v", small, large)
+	}
+	if large.MeanStartLag < small.MeanStartLag {
+		t.Errorf("larger windows lag less: %f vs %f", large.MeanStartLag, small.MeanStartLag)
+	}
+}

@@ -1,0 +1,184 @@
+// Package score implements the paper's accuracy scoring metric (§3.2),
+// which compares an online phase detector's output against the baseline
+// oracle. The metric combines three components:
+//
+//   - correlation: the fraction of profile elements on whose state
+//     (in phase vs in transition) detector and oracle agree;
+//   - sensitivity: the fraction of oracle phase boundaries that some
+//     detected boundary matches;
+//   - false positives: the fraction of detected boundaries that match no
+//     oracle boundary.
+//
+// The combined score is correlation/2 + sensitivity/4 + (1-FP)/4, in
+// [0, 1], higher is better.
+package score
+
+import (
+	"fmt"
+	"math"
+
+	"opd/internal/baseline"
+)
+
+// Result carries the metric's components for one detector/oracle pair.
+type Result struct {
+	Correlation    float64
+	Sensitivity    float64
+	FalsePositives float64
+	Score          float64
+
+	MatchedBoundaries  int
+	BaselineBoundaries int
+	DetectedBoundaries int
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("score=%.4f (corr=%.4f sens=%.4f fp=%.4f, matched %d/%d baseline boundaries, %d detected)",
+		r.Score, r.Correlation, r.Sensitivity, r.FalsePositives,
+		r.MatchedBoundaries, r.BaselineBoundaries, r.DetectedBoundaries)
+}
+
+// Combine computes the weighted score from its components: correlation
+// carries half the weight, boundary matching the other half, split evenly
+// between sensitivity and false positives.
+func Combine(correlation, sensitivity, falsePositives float64) float64 {
+	return correlation/2 + sensitivity/4 + (1-falsePositives)/4
+}
+
+// Evaluate scores a detector's phase intervals against the oracle
+// solution. Detected intervals must be disjoint and sorted by start (the
+// natural output of any detector in this repository); Evaluate panics on
+// malformed input since that indicates a programming error in the
+// detector, not a data condition.
+func Evaluate(detected []baseline.Interval, sol *baseline.Solution) Result {
+	validateIntervals(detected, sol.TraceLen)
+
+	res := Result{
+		BaselineBoundaries: 2 * len(sol.Phases),
+		DetectedBoundaries: 2 * len(detected),
+	}
+
+	// Correlation. bothInPhase is the total overlap between the two
+	// interval sets; bothInTransition follows from inclusion-exclusion.
+	total := sol.TraceLen
+	var inBase, inDet, bothInPhase int64
+	for _, p := range sol.Phases {
+		inBase += p.Len()
+	}
+	for _, d := range detected {
+		inDet += d.Len()
+	}
+	i, j := 0, 0
+	for i < len(sol.Phases) && j < len(detected) {
+		b, d := sol.Phases[i], detected[j]
+		lo := max64(b.Start, d.Start)
+		hi := min64(b.End, d.End)
+		if hi > lo {
+			bothInPhase += hi - lo
+		}
+		if b.End <= d.End {
+			i++
+		} else {
+			j++
+		}
+	}
+	bothInTransition := total - inBase - inDet + bothInPhase
+	if total > 0 {
+		res.Correlation = float64(bothInPhase+bothInTransition) / float64(total)
+	} else {
+		res.Correlation = 1
+	}
+
+	// Boundary matching. A detected phase start matches oracle phase i if
+	// it falls at/after that phase's start and before its end; a detected
+	// phase end matches oracle phase i if it falls at/after that phase's
+	// end and before the start of the next oracle phase. The windows for
+	// distinct oracle boundaries are disjoint, so "closest wins" reduces
+	// to "any detected boundary in the window matches, and each window
+	// consumes at most one".
+	matched := 0
+	di := 0
+	for bi, b := range sol.Phases {
+		// advance to the first detected phase that could start in b's
+		// start window
+		for di < len(detected) && detected[di].Start < b.Start {
+			di++
+		}
+		if di < len(detected) && detected[di].Start < b.End {
+			matched++ // start boundary matched
+		}
+		// end window: [b.End, nextStart)
+		nextStart := sol.TraceLen + 1
+		if bi+1 < len(sol.Phases) {
+			nextStart = sol.Phases[bi+1].Start
+		}
+		if endMatch(detected, b.End, nextStart) {
+			matched++
+		}
+	}
+	res.MatchedBoundaries = matched
+
+	switch {
+	case res.BaselineBoundaries == 0:
+		// Nothing to find: a detector that reports nothing is perfect.
+		res.Sensitivity = 1
+	default:
+		res.Sensitivity = float64(matched) / float64(res.BaselineBoundaries)
+	}
+	switch {
+	case res.DetectedBoundaries == 0:
+		res.FalsePositives = 0
+	default:
+		unmatched := res.DetectedBoundaries - matched
+		res.FalsePositives = float64(unmatched) / float64(res.DetectedBoundaries)
+	}
+	res.Score = Combine(res.Correlation, res.Sensitivity, res.FalsePositives)
+	return res
+}
+
+// endMatch reports whether some detected phase ends inside [lo, hi).
+func endMatch(detected []baseline.Interval, lo, hi int64) bool {
+	// binary search over ends (detected is sorted by start and disjoint,
+	// so it is also sorted by end)
+	left, right := 0, len(detected)
+	for left < right {
+		mid := (left + right) / 2
+		if detected[mid].End < lo {
+			left = mid + 1
+		} else {
+			right = mid
+		}
+	}
+	return left < len(detected) && detected[left].End < hi
+}
+
+func validateIntervals(ivs []baseline.Interval, traceLen int64) {
+	var prevEnd int64 = math.MinInt64
+	for _, iv := range ivs {
+		if iv.Start >= iv.End {
+			panic(fmt.Sprintf("score: empty or inverted interval %v", iv))
+		}
+		if iv.Start < prevEnd {
+			panic(fmt.Sprintf("score: intervals unsorted or overlapping at %v", iv))
+		}
+		if iv.Start < 0 || iv.End > traceLen {
+			panic(fmt.Sprintf("score: interval %v outside trace of %d elements", iv, traceLen))
+		}
+		prevEnd = iv.End
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

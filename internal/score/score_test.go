@@ -1,0 +1,229 @@
+package score
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opd/internal/baseline"
+)
+
+type iv = baseline.Interval
+
+func p(a, b int64) iv { return iv{Start: a, End: b} }
+
+func sol(traceLen int64, phases ...iv) *baseline.Solution {
+	return &baseline.Solution{MPL: 1, TraceLen: traceLen, Phases: phases}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestPerfectDetection(t *testing.T) {
+	s := sol(1000, p(100, 400), p(600, 900))
+	r := Evaluate([]iv{p(100, 400), p(600, 900)}, s)
+	if !almost(r.Correlation, 1) || !almost(r.Sensitivity, 1) || !almost(r.FalsePositives, 0) {
+		t.Errorf("perfect detection scored %v", r)
+	}
+	if !almost(r.Score, 1) {
+		t.Errorf("Score = %f, want 1", r.Score)
+	}
+	if r.MatchedBoundaries != 4 {
+		t.Errorf("matched = %d, want 4", r.MatchedBoundaries)
+	}
+}
+
+func TestEmptyDetection(t *testing.T) {
+	s := sol(1000, p(100, 400))
+	r := Evaluate(nil, s)
+	// Correlation: 700 of 1000 elements are in transition for both.
+	if !almost(r.Correlation, 0.7) {
+		t.Errorf("Correlation = %f, want 0.7", r.Correlation)
+	}
+	if !almost(r.Sensitivity, 0) {
+		t.Errorf("Sensitivity = %f, want 0", r.Sensitivity)
+	}
+	if !almost(r.FalsePositives, 0) {
+		t.Errorf("FalsePositives = %f, want 0 (nothing detected)", r.FalsePositives)
+	}
+	if !almost(r.Score, 0.7/2+0+0.25) {
+		t.Errorf("Score = %f", r.Score)
+	}
+}
+
+func TestEmptyBaseline(t *testing.T) {
+	s := sol(1000)
+	r := Evaluate(nil, s)
+	if !almost(r.Score, 1) {
+		t.Errorf("empty vs empty Score = %f, want 1", r.Score)
+	}
+	// Detecting phantom phases is punished via correlation and FP.
+	r = Evaluate([]iv{p(0, 500)}, s)
+	if !almost(r.Correlation, 0.5) {
+		t.Errorf("Correlation = %f, want 0.5", r.Correlation)
+	}
+	if !almost(r.FalsePositives, 1) {
+		t.Errorf("FalsePositives = %f, want 1", r.FalsePositives)
+	}
+	if !almost(r.Sensitivity, 1) {
+		t.Errorf("Sensitivity = %f, want 1 (no boundaries to find)", r.Sensitivity)
+	}
+}
+
+func TestLateDetectionMatchesBoundaries(t *testing.T) {
+	// Online detectors find phases late: start inside the oracle phase,
+	// end after it but before the next phase. Both boundaries match.
+	s := sol(1000, p(100, 400), p(600, 900))
+	r := Evaluate([]iv{p(150, 450), p(650, 950)}, s)
+	if r.MatchedBoundaries != 4 {
+		t.Errorf("matched = %d, want 4", r.MatchedBoundaries)
+	}
+	if !almost(r.Sensitivity, 1) || !almost(r.FalsePositives, 0) {
+		t.Errorf("late detection: %v", r)
+	}
+	// Correlation is dented by the lateness: 100 late elements out of
+	// 1000 disagree (50 at each phase start, 50 past each phase end).
+	if !almost(r.Correlation, 0.8) {
+		t.Errorf("Correlation = %f, want 0.8", r.Correlation)
+	}
+}
+
+func TestEarlyStartDoesNotMatch(t *testing.T) {
+	// A detected start before the oracle start violates constraint one.
+	s := sol(1000, p(100, 400))
+	r := Evaluate([]iv{p(50, 400)}, s)
+	if r.MatchedBoundaries != 1 { // end matches, start does not
+		t.Errorf("matched = %d, want 1", r.MatchedBoundaries)
+	}
+	if !almost(r.Sensitivity, 0.5) {
+		t.Errorf("Sensitivity = %f, want 0.5", r.Sensitivity)
+	}
+	if !almost(r.FalsePositives, 0.5) {
+		t.Errorf("FalsePositives = %f, want 0.5", r.FalsePositives)
+	}
+}
+
+func TestEndMustPrecedeNextPhase(t *testing.T) {
+	// The detected end lands inside the next oracle phase: constraint two
+	// fails for phase one's end; but that same boundary is not a start so
+	// phase two gains nothing either.
+	s := sol(1000, p(100, 400), p(500, 800))
+	r := Evaluate([]iv{p(150, 600)}, s)
+	// start matches phase 1's start window; end (600) is not in
+	// [400, 500), and phase 2's end window is [800, 1001) — no match.
+	if r.MatchedBoundaries != 1 {
+		t.Errorf("matched = %d, want 1", r.MatchedBoundaries)
+	}
+}
+
+func TestSpuriousExtraPhases(t *testing.T) {
+	s := sol(1000, p(100, 400))
+	// One correct phase plus two phantoms in transition regions.
+	r := Evaluate([]iv{p(100, 400), p(500, 600), p(700, 800)}, s)
+	if r.MatchedBoundaries != 2 {
+		t.Errorf("matched = %d, want 2", r.MatchedBoundaries)
+	}
+	if !almost(r.Sensitivity, 1) {
+		t.Errorf("Sensitivity = %f, want 1", r.Sensitivity)
+	}
+	if !almost(r.FalsePositives, 4.0/6.0) {
+		t.Errorf("FalsePositives = %f, want 2/3", r.FalsePositives)
+	}
+}
+
+func TestOnlyClosestDetectedBoundaryMatches(t *testing.T) {
+	// Two detected phases start inside the same oracle phase: only one
+	// can match its start.
+	s := sol(1000, p(100, 500))
+	r := Evaluate([]iv{p(150, 250), p(300, 350)}, s)
+	// starts at 150 and 300 both lie in [100,500): one matched.
+	// ends at 250 and 350 lie before 500: neither in [500,1001): no match.
+	if r.MatchedBoundaries != 1 {
+		t.Errorf("matched = %d, want 1", r.MatchedBoundaries)
+	}
+	if !almost(r.FalsePositives, 0.75) {
+		t.Errorf("FalsePositives = %f, want 0.75", r.FalsePositives)
+	}
+}
+
+func TestCombineWeights(t *testing.T) {
+	if !almost(Combine(1, 0, 1), 0.5) {
+		t.Error("correlation alone should contribute half")
+	}
+	if !almost(Combine(0, 1, 0), 0.5) {
+		t.Error("perfect matching should contribute half")
+	}
+	if !almost(Combine(0.8, 0.6, 0.2), 0.8/2+0.6/4+0.8/4) {
+		t.Error("Combine mismatch")
+	}
+}
+
+func TestEvaluatePanicsOnMalformed(t *testing.T) {
+	s := sol(100, p(10, 20))
+	for name, bad := range map[string][]iv{
+		"inverted":    {p(30, 20)},
+		"overlapping": {p(10, 50), p(40, 60)},
+		"unsorted":    {p(50, 60), p(10, 20)},
+		"outside":     {p(90, 150)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s intervals did not panic", name)
+				}
+			}()
+			Evaluate(bad, s)
+		}()
+	}
+}
+
+func TestScoreBoundsProperty(t *testing.T) {
+	// Any well-formed detector output yields components in [0,1] and a
+	// score in [0,1].
+	f := func(seed int64) bool {
+		rng := seed
+		next := func(n int64) int64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := rng >> 33
+			if v < 0 {
+				v = -v
+			}
+			return v % n
+		}
+		traceLen := int64(1000)
+		mk := func() []iv {
+			var out []iv
+			pos := int64(0)
+			for pos < traceLen-2 {
+				start := pos + next(50) + 1
+				end := start + next(100) + 1
+				if end > traceLen {
+					break
+				}
+				out = append(out, iv{Start: start, End: end})
+				pos = end
+			}
+			return out
+		}
+		s := sol(traceLen, mk()...)
+		r := Evaluate(mk(), s)
+		inUnit := func(x float64) bool { return x >= 0 && x <= 1 }
+		return inUnit(r.Correlation) && inUnit(r.Sensitivity) && inUnit(r.FalsePositives) && inUnit(r.Score)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Evaluate([]iv{p(100, 400)}, sol(1000, p(100, 400)))
+	if s := r.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestZeroLengthTrace(t *testing.T) {
+	r := Evaluate(nil, sol(0))
+	if !almost(r.Score, 1) {
+		t.Errorf("empty trace Score = %f, want 1", r.Score)
+	}
+}

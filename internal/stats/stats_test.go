@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !close(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev(nil) != 0 || StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of degenerate input != 0")
+	}
+	if !close(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Errorf("StdDev = %f, want 2", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Error("empty Min/Max not infinite")
+	}
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Error("Min/Max wrong")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if Pearson([]float64{1, 2}, []float64{1}) != 0 {
+		t.Error("length mismatch should yield 0")
+	}
+	if Pearson(nil, nil) != 0 {
+		t.Error("empty should yield 0")
+	}
+	if !close(Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}), 1) {
+		t.Error("perfect positive correlation != 1")
+	}
+	if !close(Pearson([]float64{1, 2, 3}, []float64{6, 4, 2}), -1) {
+		t.Error("perfect negative correlation != -1")
+	}
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Error("zero variance should yield 0")
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = x*2 + float64(i%3)
+		}
+		for _, v := range append(append([]float64{}, xs...), ys...) {
+			// Skip pathological inputs whose squares overflow float64.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		r := Pearson(xs, ys)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentImprovement(t *testing.T) {
+	if !close(PercentImprovement(1.2, 1.0), 20) {
+		t.Error("improvement wrong")
+	}
+	if !close(PercentImprovement(0.8, 1.0), -20) {
+		t.Error("regression wrong")
+	}
+	if PercentImprovement(5, 0) != 0 {
+		t.Error("zero base should yield 0")
+	}
+}

@@ -1,0 +1,145 @@
+package sweep
+
+import "opd/internal/core"
+
+// AnalyzerSetting pairs an analyzer kind with its parameter.
+type AnalyzerSetting struct {
+	Kind  core.AnalyzerKind
+	Param float64
+}
+
+// PaperAnalyzers returns the ten analyzer settings the paper sweeps:
+// thresholds 0.5, 0.6, 0.7, 0.8 and average deltas 0.01, 0.05, 0.1, 0.2,
+// 0.3, 0.4.
+func PaperAnalyzers() []AnalyzerSetting {
+	return []AnalyzerSetting{
+		{core.ThresholdAnalyzer, 0.5},
+		{core.ThresholdAnalyzer, 0.6},
+		{core.ThresholdAnalyzer, 0.7},
+		{core.ThresholdAnalyzer, 0.8},
+		{core.AverageAnalyzer, 0.01},
+		{core.AverageAnalyzer, 0.05},
+		{core.AverageAnalyzer, 0.1},
+		{core.AverageAnalyzer, 0.2},
+		{core.AverageAnalyzer, 0.3},
+		{core.AverageAnalyzer, 0.4},
+	}
+}
+
+// WindowFamily identifies the three trailing-window schemes the paper
+// contrasts.
+type WindowFamily uint8
+
+const (
+	// FamilyConstant is the Constant TW with skip factor 1.
+	FamilyConstant WindowFamily = iota
+	// FamilyAdaptive is the Adaptive TW with skip factor 1.
+	FamilyAdaptive
+	// FamilyFixedInterval is the prior-work scheme: Constant TW with
+	// skipFactor = CW size = TW size.
+	FamilyFixedInterval
+)
+
+// String names the family.
+func (f WindowFamily) String() string {
+	switch f {
+	case FamilyConstant:
+		return "Constant TW"
+	case FamilyAdaptive:
+		return "Adaptive TW"
+	case FamilyFixedInterval:
+		return "Fixed Interval"
+	}
+	return "WindowFamily(?)"
+}
+
+// Family classifies a configuration into its window family.
+func Family(c core.Config) WindowFamily {
+	if c.TW == core.AdaptiveTW {
+		return FamilyAdaptive
+	}
+	if c.IsFixedInterval() {
+		return FamilyFixedInterval
+	}
+	return FamilyConstant
+}
+
+// Space enumerates a detector configuration family as the cross product
+// of its axes.
+type Space struct {
+	// CWSizes are the current-window sizes to sweep.
+	CWSizes []int
+	// Families are the window families to include.
+	Families []WindowFamily
+	// Models are the similarity models to include.
+	Models []core.ModelKind
+	// Analyzers are the analyzer settings to include.
+	Analyzers []AnalyzerSetting
+	// AnchorResize lists the (anchor, resize) pairs applied to Adaptive
+	// TW members; empty means {(RN, Slide)}, the defaults the paper
+	// selects in §5.
+	AnchorResize []AnchorResize
+}
+
+// AnchorResize is one Adaptive TW anchoring variant.
+type AnchorResize struct {
+	Anchor core.AnchorPolicy
+	Resize core.ResizePolicy
+}
+
+// AllAnchorResize returns the four anchoring variants of §5.
+func AllAnchorResize() []AnchorResize {
+	return []AnchorResize{
+		{core.AnchorRN, core.ResizeSlide},
+		{core.AnchorRN, core.ResizeMove},
+		{core.AnchorLNN, core.ResizeSlide},
+		{core.AnchorLNN, core.ResizeMove},
+	}
+}
+
+// PaperSpace returns the sweep the paper's main analysis uses over the
+// given CW sizes: all three window families, both models, all ten
+// analyzers, with the default RN/Slide anchoring for the Adaptive family.
+func PaperSpace(cwSizes []int) Space {
+	return Space{
+		CWSizes:   cwSizes,
+		Families:  []WindowFamily{FamilyConstant, FamilyAdaptive, FamilyFixedInterval},
+		Models:    []core.ModelKind{core.UnweightedModel, core.WeightedModel},
+		Analyzers: PaperAnalyzers(),
+	}
+}
+
+// Enumerate expands the space into concrete configurations.
+func (s Space) Enumerate() []core.Config {
+	anchorResize := s.AnchorResize
+	if len(anchorResize) == 0 {
+		anchorResize = []AnchorResize{{core.AnchorRN, core.ResizeSlide}}
+	}
+	var configs []core.Config
+	for _, cw := range s.CWSizes {
+		for _, fam := range s.Families {
+			for _, model := range s.Models {
+				for _, an := range s.Analyzers {
+					switch fam {
+					case FamilyFixedInterval:
+						configs = append(configs, core.FixedInterval(cw, model, an.Kind, an.Param))
+					case FamilyConstant:
+						configs = append(configs, core.Config{
+							CWSize: cw, TWSize: cw, SkipFactor: 1, TW: core.ConstantTW,
+							Model: model, Analyzer: an.Kind, Param: an.Param,
+						})
+					case FamilyAdaptive:
+						for _, ar := range anchorResize {
+							configs = append(configs, core.Config{
+								CWSize: cw, TWSize: cw, SkipFactor: 1, TW: core.AdaptiveTW,
+								Anchor: ar.Anchor, Resize: ar.Resize,
+								Model: model, Analyzer: an.Kind, Param: an.Param,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return configs
+}

@@ -1,0 +1,94 @@
+// Package sweep evaluates families of detector configurations against
+// traces and oracle solutions. It exploits the key structural fact of the
+// evaluation: a detector's output is independent of the MPL (only the
+// oracle depends on it), so each configuration runs over a trace once and
+// is then scored against every MPL's baseline solution.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"opd/internal/baseline"
+	"opd/internal/core"
+	"opd/internal/interval"
+	"opd/internal/score"
+	"opd/internal/trace"
+)
+
+// A Run is the MPL-independent output of one detector over one trace.
+type Run struct {
+	Config          core.Config
+	Phases          []interval.Interval
+	AdjustedPhases  []interval.Interval
+	SimComputations int64
+}
+
+// RunConfigs executes every configuration over the trace, in parallel
+// across workers (0 means GOMAXPROCS), and returns the runs in input
+// order. Invalid configurations panic: the sweep enumerators only produce
+// valid ones, so an invalid config is a programming error.
+func RunConfigs(tr trace.Trace, configs []core.Config, workers int) []Run {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runs := make([]Run, len(configs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				d := configs[i].MustNew()
+				core.RunTrace(d, tr)
+				runs[i] = Run{
+					Config:          configs[i],
+					Phases:          d.Phases(),
+					AdjustedPhases:  d.AdjustedPhases(),
+					SimComputations: d.SimilarityComputations(),
+				}
+			}
+		}()
+	}
+	for i := range configs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return runs
+}
+
+// Score evaluates a run against one oracle solution. adjusted selects the
+// anchor-corrected phase boundaries (Figure 8) instead of the raw ones.
+func (r Run) Score(sol *baseline.Solution, adjusted bool) score.Result {
+	phases := r.Phases
+	if adjusted {
+		phases = r.AdjustedPhases
+	}
+	return score.Evaluate(phases, sol)
+}
+
+// Best returns the highest combined score among the runs against the
+// given solution, along with the achieving run. ok is false when runs is
+// empty.
+func Best(runs []Run, sol *baseline.Solution, adjusted bool) (best score.Result, bestRun Run, ok bool) {
+	for _, r := range runs {
+		res := r.Score(sol, adjusted)
+		if !ok || res.Score > best.Score {
+			best, bestRun, ok = res, r, true
+		}
+	}
+	return best, bestRun, ok
+}
+
+// Filter returns the runs whose configuration satisfies keep.
+func Filter(runs []Run, keep func(core.Config) bool) []Run {
+	var out []Run
+	for _, r := range runs {
+		if keep(r.Config) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

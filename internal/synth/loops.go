@@ -1,0 +1,523 @@
+package synth
+
+import "opd/internal/vm"
+
+// Compress builds the compress analogue: a handful of very long, regular
+// compression/decompression pass loops over a shared data buffer, no
+// recursion, and a small noisy I/O gap between passes. Both pass
+// functions funnel most of their work through one shared helper, so the
+// *site set* changes little across pass boundaries while the *frequency
+// mix* changes a lot — the property that makes the weighted set model
+// shine on compress in the paper (Figure 5).
+func Compress(scale int) *vm.Program { return CompressSeeded(scale, 20060325) }
+
+// CompressSeeded is Compress with an explicit PRNG seed, for variance studies
+// across workload inputs.
+func CompressSeeded(scale int, seed int32) *vm.Program {
+	const bufLen = 256
+	pb := vm.NewProgramBuilder().SetGlobalSize(dataBase + bufLen)
+	main := pb.Function("main", 0, 0)
+	crunch := pb.Function("crunch", 1, 1)
+	compressPass := pb.Function("compressPass", 1, 1)
+	decompressPass := pb.Function("decompressPass", 1, 1)
+
+	// crunch(v): the shared kernel; 3 data-dependent branches.
+	{
+		f := crunch
+		acc := f.NewLocal()
+		f.Load(0).Store(acc)
+		emitMix(f, 0, acc)
+		f.IfElse(
+			func() { f.Load(acc).Const(4).Op(vm.OpAnd) },
+			func() { f.Load(acc).Const(5).Op(vm.OpAdd).Store(acc) },
+			func() { f.Load(acc).Const(7).Op(vm.OpXor).Store(acc) },
+		)
+		f.Load(acc).Ret()
+	}
+
+	// loadBuf(f, i, dst): dst = globals[dataBase + i%bufLen]
+	loadBuf := func(f *vm.FuncBuilder, i, dst int) {
+		f.Const(dataBase).Load(i).Const(bufLen).Op(vm.OpRem).Op(vm.OpAdd)
+		f.Op(vm.OpGlobalLoad).Store(dst)
+	}
+	// storeBuf(f, i, src): globals[dataBase + i%bufLen] = src
+	storeBuf := func(f *vm.FuncBuilder, i, src int) {
+		f.Const(dataBase).Load(i).Const(bufLen).Op(vm.OpRem).Op(vm.OpAdd)
+		f.Load(src).Op(vm.OpGlobalStore)
+	}
+
+	// compressPass(n): heavy use of crunch (three calls per element) plus
+	// a short data-dependent match-window scan.
+	{
+		f := compressPass
+		i := f.NewLocal()
+		v := f.NewLocal()
+		out := f.NewLocal()
+		j := f.NewLocal()
+		lim := f.NewLocal()
+		f.Const(0).Store(out)
+		f.ForRangeVar(i, 0, 0 /* param n is local 0 */, func() {
+			loadBuf(f, i, v)
+			f.Load(v).Call(crunch).Store(v)
+			f.Load(v).Call(crunch).Store(v)
+			f.Load(v).Call(crunch).Store(v)
+			// window scan: v%6 iterations
+			f.Load(v).Const(6).Op(vm.OpRem).Store(lim)
+			f.ForRangeVar(j, 0, lim, func() {
+				f.Load(out).Load(j).Op(vm.OpXor).Store(out)
+			})
+			f.Load(out).Load(v).Op(vm.OpAdd).Const(0x7FFFFFFF).Op(vm.OpAnd).Store(out)
+			storeBuf(f, i, out)
+		})
+		f.Load(out).Ret()
+	}
+
+	// decompressPass(n): same shared kernel, but only one crunch call per
+	// element and a different local mix — same sites, different weights.
+	{
+		f := decompressPass
+		i := f.NewLocal()
+		v := f.NewLocal()
+		out := f.NewLocal()
+		f.Const(0).Store(out)
+		f.ForRangeVar(i, 0, 0, func() {
+			loadBuf(f, i, v)
+			f.Load(v).Call(crunch).Store(v)
+			emitMix(f, v, out)
+			f.IfElse(
+				func() { f.Load(v).Const(8).Op(vm.OpAnd) },
+				func() { f.Load(out).Const(1).Op(vm.OpShr).Store(out) },
+				func() { f.Load(out).Const(13).Op(vm.OpAdd).Store(out) },
+			)
+			storeBuf(f, i, out)
+		})
+		f.Load(out).Ret()
+	}
+
+	// main: fill the buffer, then run 4 compress/decompress rounds with a
+	// noisy I/O gap between passes.
+	{
+		f := main
+		k := f.NewLocal()
+		r := f.NewLocal()
+		g := f.NewLocal()
+		tmp := f.NewLocal()
+		n := f.NewLocal()
+		emitSeed(f, seed)
+		f.ForRange(k, 0, bufLen, func() {
+			f.Const(dataBase).Load(k).Op(vm.OpAdd)
+			emitRandBelow(f, 1000000)
+			f.Op(vm.OpGlobalStore)
+		})
+		f.Const(int32(250 * scale)).Store(n)
+		ioGap := func() {
+			f.ForRange(g, 0, 10, func() {
+				emitRandBelow(f, 16)
+				f.Store(tmp)
+				emitMix(f, tmp, tmp)
+			})
+		}
+		f.ForRange(r, 0, 4, func() {
+			f.Load(n).Call(compressPass).Store(tmp)
+			ioGap()
+			f.Load(n).Call(decompressPass).Store(tmp)
+			ioGap()
+		})
+		f.Ret()
+	}
+	return pb.MustBuild()
+}
+
+// DB builds the db analogue: a record-load loop followed by a long stream
+// of database operations — shell sorts over key windows, linear-scan
+// lookups, and update sweeps. Loop executions dominate, there is no
+// recursion, and nearly all elements sit inside some long-running loop,
+// mirroring db's high percent-in-phase at every MPL (Table 1(b)).
+func DB(scale int) *vm.Program { return DBSeeded(scale, 998) }
+
+// DBSeeded is DB with an explicit PRNG seed, for variance studies
+// across workload inputs.
+func DBSeeded(scale int, seed int32) *vm.Program {
+	const nrec = 512
+	pb := vm.NewProgramBuilder().SetGlobalSize(dataBase + nrec)
+	main := pb.Function("main", 0, 0)
+	sortOp := pb.Function("sortWindow", 2, 0) // (base, len)
+	lookupOp := pb.Function("lookup", 1, 1)   // (key) -> matches
+	updateOp := pb.Function("updateSweep", 1, 0)
+
+	// push globals[dataBase + idxLocal]
+	loadRec := func(f *vm.FuncBuilder, idxLocal int) {
+		f.Const(dataBase).Load(idxLocal).Op(vm.OpAdd).Op(vm.OpGlobalLoad)
+	}
+	// globals[dataBase + idxLocal] = valLocal
+	storeRec := func(f *vm.FuncBuilder, idxLocal, valLocal int) {
+		f.Const(dataBase).Load(idxLocal).Op(vm.OpAdd).Load(valLocal).Op(vm.OpGlobalStore)
+	}
+
+	// sortWindow(base, len): shell sort with gaps 7, 3, 1.
+	{
+		f := sortOp
+		base, length := 0, 1
+		gap := f.NewLocal()
+		i := f.NewLocal()
+		j := f.NewLocal()
+		jg := f.NewLocal()
+		cur := f.NewLocal()
+		prev := f.NewLocal()
+		limit := f.NewLocal()
+		f.Load(base).Load(length).Op(vm.OpAdd).Store(limit)
+		f.Const(7).Store(gap)
+		f.LoopWhile(
+			func() { f.Load(gap) }, vm.OpIfZ, // while gap != 0
+			func() {
+				f.Load(base).Load(gap).Op(vm.OpAdd).Store(i)
+				f.LoopWhile(
+					func() { f.Load(i).Load(limit) }, vm.OpIfGe, // while i < limit
+					func() {
+						f.Load(i).Store(j)
+						// insertion: while j >= base+gap && rec[j-gap] > rec[j], swap
+						f.LoopWhile(
+							func() {
+								f.Load(j).Load(base).Load(gap).Op(vm.OpAdd)
+							}, vm.OpIfLt,
+							func() {
+								f.Load(j).Load(gap).Op(vm.OpSub).Store(jg)
+								f.Load(jg).Store(prev)
+								loadRec(f, prev)
+								f.Store(prev) // prev now holds rec[j-gap]
+								loadRec(f, j)
+								f.Store(cur) // cur holds rec[j]
+								// if prev <= cur, ordered: force loop exit by j = base+gap-1... use labeled escape via setting j low
+								f.IfElse(
+									func() {
+										// prev > cur ? 1 : 0 — computed with a branch pair
+										done := f.NewLabel()
+										after := f.NewLabel()
+										f.Load(prev).Load(cur).BranchIf(vm.OpIfGt, done)
+										f.Const(0).Jump(after)
+										f.Bind(done).Const(1)
+										f.Bind(after)
+									},
+									func() {
+										// swap rec[j-gap] and rec[j]
+										f.Load(j).Load(gap).Op(vm.OpSub).Store(jg)
+										storeRec(f, jg, cur)
+										storeRec(f, j, prev)
+										f.Load(jg).Store(j)
+									},
+									func() {
+										// in order: stop the insertion walk
+										f.Load(base).Store(j)
+									},
+								)
+							},
+						)
+						f.Load(i).Const(1).Op(vm.OpAdd).Store(i)
+					},
+				)
+				// next gap: 7 -> 3 -> 1 -> 0
+				f.IfElse(
+					func() { f.Load(gap).Const(7).Op(vm.OpXor) },
+					func() {
+						f.IfElse(
+							func() { f.Load(gap).Const(3).Op(vm.OpXor) },
+							func() { f.Const(0).Store(gap) },
+							func() { f.Const(1).Store(gap) },
+						)
+					},
+					func() { f.Const(3).Store(gap) },
+				)
+			},
+		)
+		f.Ret()
+	}
+
+	// lookup(key): linear scan counting records with rec % 64 == key.
+	{
+		f := lookupOp
+		i := f.NewLocal()
+		hits := f.NewLocal()
+		v := f.NewLocal()
+		f.Const(0).Store(hits)
+		f.ForRange(i, 0, nrec, func() {
+			loadRec(f, i)
+			f.Const(64).Op(vm.OpRem).Store(v)
+			f.IfElse(
+				func() { f.Load(v).Load(0).Op(vm.OpXor) },
+				func() {},
+				func() { f.Load(hits).Const(1).Op(vm.OpAdd).Store(hits) },
+			)
+		})
+		f.Load(hits).Ret()
+	}
+
+	// updateSweep(delta): rewrite every record with a mixed value.
+	{
+		f := updateOp
+		i := f.NewLocal()
+		v := f.NewLocal()
+		f.ForRange(i, 0, nrec, func() {
+			loadRec(f, i)
+			f.Load(0).Op(vm.OpAdd).Const(0x7FFFFFFF).Op(vm.OpAnd).Store(v)
+			emitMix(f, v, v)
+			storeRec(f, i, v)
+		})
+		f.Ret()
+	}
+
+	// main: load records, then a long operation stream.
+	{
+		f := main
+		k := f.NewLocal()
+		op := f.NewLocal()
+		sel := f.NewLocal()
+		tmp := f.NewLocal()
+		emitSeed(f, seed)
+		f.ForRange(k, 0, nrec, func() {
+			f.Const(dataBase).Load(k).Op(vm.OpAdd)
+			emitRandBelow(f, 100000)
+			f.Op(vm.OpGlobalStore)
+		})
+		winLen := f.NewLocal()
+		winBase := f.NewLocal()
+		f.ForRange(op, 0, int32(12*scale), func() {
+			f.Load(op).Const(3).Op(vm.OpRem).Store(sel)
+			f.IfElse(
+				func() { f.Load(sel) }, // sel != 0
+				func() {
+					f.IfElse(
+						func() { f.Load(sel).Const(1).Op(vm.OpXor) }, // sel != 1
+						func() { // sel == 2: update
+							emitRandBelow(f, 1000)
+							f.Call(updateOp)
+						},
+						func() { // sel == 1: burst of lookups
+							f.ForRange(tmp, 0, 6, func() {
+								emitRandBelow(f, 64)
+								f.Call(lookupOp).Op(vm.OpPop)
+							})
+						},
+					)
+				},
+				func() { // sel == 0: sort a window whose size cycles, so
+					// sort phases appear at several MPL granularities
+					f.Load(op).Const(4).Op(vm.OpRem).Const(1).Op(vm.OpAdd).Const(128).Op(vm.OpMul).Store(winLen)
+					emitRandNext(f)
+					f.Const(nrec).Load(winLen).Op(vm.OpSub).Const(1).Op(vm.OpAdd).Op(vm.OpRem).Store(winBase)
+					f.Load(winBase).Load(winLen).Call(sortOp)
+				},
+			)
+		})
+		f.Ret()
+	}
+	return pb.MustBuild()
+}
+
+// Mpegaudio builds the mpegaudio analogue: one long stream loop over
+// frames, each frame dominated by a filter loop big enough to be a phase
+// at small MPL plus several smaller per-frame loops; the stream switches
+// decode paths two-thirds of the way through, so at very large MPL only a
+// couple of coarse phases remain (Table 1(b): 7594 phases at 1K, 2 at
+// 100K).
+func Mpegaudio(scale int) *vm.Program { return MpegaudioSeeded(scale, 44100) }
+
+// MpegaudioSeeded is Mpegaudio with an explicit PRNG seed, for variance studies
+// across workload inputs.
+func MpegaudioSeeded(scale int, seed int32) *vm.Program {
+	pb := vm.NewProgramBuilder().SetGlobalSize(dataBase + 128)
+	main := pb.Function("main", 0, 0)
+	header := pb.Function("decodeHeader", 0, 1)
+	subband := pb.Function("subband", 1, 1)
+	synthA := pb.Function("synthFilterA", 1, 1)
+	synthB := pb.Function("synthFilterB", 1, 1)
+
+	// decodeHeader: a short fixed loop.
+	{
+		f := header
+		i := f.NewLocal()
+		acc := f.NewLocal()
+		f.Const(0).Store(acc)
+		f.ForRange(i, 0, 16, func() {
+			emitRandBelow(f, 256)
+			f.Load(acc).Op(vm.OpAdd).Store(acc)
+		})
+		f.Load(acc).Ret()
+	}
+
+	// subband(seed): 32 bands with a data-dependent branch per band.
+	{
+		f := subband
+		i := f.NewLocal()
+		acc := f.NewLocal()
+		f.Load(0).Store(acc)
+		f.ForRange(i, 0, 32, func() {
+			emitMix(f, i, acc)
+		})
+		f.Load(acc).Ret()
+	}
+
+	// synthFilterA(seed): the big per-frame loop (~170 iterations × ~7
+	// branches ≈ 1.2K elements -> a phase at MPL 1K).
+	synthBody := func(f *vm.FuncBuilder, rounds int32) {
+		i := f.NewLocal()
+		j := f.NewLocal()
+		acc := f.NewLocal()
+		f.Load(0).Store(acc)
+		f.ForRange(i, 0, rounds, func() {
+			f.ForRange(j, 0, 4, func() {
+				emitMix(f, j, acc)
+			})
+			f.IfElse(
+				func() { f.Load(acc).Const(16).Op(vm.OpAnd) },
+				func() { f.Load(acc).Const(1).Op(vm.OpShr).Store(acc) },
+				func() { f.Load(acc).Const(11).Op(vm.OpAdd).Store(acc) },
+			)
+		})
+		f.Load(acc).Ret()
+	}
+	synthBody(synthA, 80)
+	synthBody(synthB, 110)
+	// Long-block and seek paths: much bigger per-frame loops, so the
+	// baseline finds phases at mid MPL values too, not just at 1K.
+	synthLong := pb.Function("synthFilterLong", 1, 1)
+	synthBody(synthLong, 420)
+	seek := pb.Function("seekResync", 1, 1)
+	synthBody(seek, 1300)
+
+	// main: F frames; the first 2/3 use filter A, the rest filter B, with
+	// periodic long blocks and an occasional stream resync.
+	{
+		f := main
+		frame := f.NewLocal()
+		tmp := f.NewLocal()
+		frames := int32(18 * scale)
+		emitSeed(f, seed)
+		f.ForRange(frame, 0, frames, func() {
+			f.Call(header).Store(tmp)
+			f.Load(tmp).Call(subband).Store(tmp)
+			f.IfElse(
+				func() { f.Load(frame).Const(13).Op(vm.OpRem) }, // frame % 13 != 0
+				func() {
+					f.IfElse(
+						func() { f.Load(frame).Const(7).Op(vm.OpRem) }, // frame % 7 != 0
+						func() {
+							f.IfElse(
+								func() {
+									// frame < 2/3 frames ? 1 : 0
+									yes := f.NewLabel()
+									after := f.NewLabel()
+									f.Load(frame).Const(frames*2/3).BranchIf(vm.OpIfLt, yes)
+									f.Const(0).Jump(after)
+									f.Bind(yes).Const(1)
+									f.Bind(after)
+								},
+								func() { f.Load(tmp).Call(synthA).Store(tmp) },
+								func() { f.Load(tmp).Call(synthB).Store(tmp) },
+							)
+						},
+						func() { f.Load(tmp).Call(synthLong).Store(tmp) },
+					)
+				},
+				func() { f.Load(tmp).Call(seek).Store(tmp) },
+			)
+		})
+		f.Ret()
+	}
+	return pb.MustBuild()
+}
+
+// JLex builds the JLex analogue: a scanner generator that runs a few big,
+// regular passes (read spec, subset construction, DFA minimization, table
+// emission) with a sprinkle of recursion while parsing regular
+// expressions. Nearly the entire run sits inside some large loop
+// (Table 1(b): ~97% in phase at MPL 1K), and there are very few recursion
+// roots (16 in the paper).
+func JLex(scale int) *vm.Program { return JLexSeeded(scale, 7177) }
+
+// JLexSeeded is JLex with an explicit PRNG seed, for variance studies
+// across workload inputs.
+func JLexSeeded(scale int, seed int32) *vm.Program {
+	const tokLen = 192
+	pb := vm.NewProgramBuilder().SetGlobalSize(dataBase + tokLen)
+	main := pb.Function("main", 0, 0)
+	parseRegex := pb.Function("parseRegex", 2, 1) // (pos, depth) -> value
+
+	// parseRegex descends over the token buffer: a small recursive
+	// expression parser; depth is bounded so roots stay rare.
+	{
+		f := parseRegex
+		pos, depth := 0, 1
+		v := f.NewLocal()
+		f.Const(dataBase).Load(pos).Const(tokLen).Op(vm.OpRem).Op(vm.OpAdd).Op(vm.OpGlobalLoad).Store(v)
+		f.IfElse(
+			func() {
+				yes := f.NewLabel()
+				after := f.NewLabel()
+				f.Load(depth).Const(4).BranchIf(vm.OpIfGe, yes)
+				f.Const(0).Jump(after)
+				f.Bind(yes).Const(1)
+				f.Bind(after)
+			},
+			func() { // max depth: leaf
+				emitMix(f, v, v)
+			},
+			func() {
+				f.IfElse(
+					func() { f.Load(v).Const(3).Op(vm.OpAnd) },
+					func() { // alternation: two children
+						f.Load(pos).Const(1).Op(vm.OpAdd).Load(depth).Const(1).Op(vm.OpAdd).Call(parseRegex)
+						f.Load(pos).Const(2).Op(vm.OpAdd).Load(depth).Const(1).Op(vm.OpAdd).Call(parseRegex)
+						f.Op(vm.OpAdd).Store(v)
+					},
+					func() { // literal run
+						emitMix(f, v, v)
+					},
+				)
+			},
+		)
+		f.Load(v).Ret()
+	}
+
+	{
+		f := main
+		i := f.NewLocal()
+		j := f.NewLocal()
+		acc := f.NewLocal()
+		emitSeed(f, seed)
+		// pass 1: read spec (fill token buffer)
+		f.ForRange(i, 0, tokLen, func() {
+			f.Const(dataBase).Load(i).Op(vm.OpAdd)
+			emitRandBelow(f, 1024)
+			f.Op(vm.OpGlobalStore)
+		})
+		// pass 2: parse the handful of rules (few recursion roots)
+		f.ForRange(i, 0, 16, func() {
+			f.Load(i).Const(11).Op(vm.OpMul).Const(0).Call(parseRegex).Store(acc)
+		})
+		// pass 3: subset construction — one big nested loop
+		f.ForRange(i, 0, int32(60*scale), func() {
+			f.ForRange(j, 0, 24, func() {
+				emitMix(f, j, acc)
+			})
+		})
+		// pass 4: minimization — another big, slightly smaller nest
+		f.ForRange(i, 0, int32(40*scale), func() {
+			f.ForRange(j, 0, 18, func() {
+				f.Load(acc).Load(j).Op(vm.OpXor).Store(acc)
+				f.IfElse(
+					func() { f.Load(acc).Const(1).Op(vm.OpAnd) },
+					func() { f.Load(acc).Const(1).Op(vm.OpShr).Store(acc) },
+					func() { f.Load(acc).Const(5).Op(vm.OpAdd).Store(acc) },
+				)
+			})
+		})
+		// pass 5: emit tables
+		f.ForRange(i, 0, int32(30*scale), func() {
+			f.ForRange(j, 0, 12, func() {
+				emitMix(f, j, acc)
+			})
+		})
+		f.Ret()
+	}
+	return pb.MustBuild()
+}

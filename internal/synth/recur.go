@@ -1,0 +1,481 @@
+package synth
+
+import "opd/internal/vm"
+
+// pushCmp appends bytecode that pushes 1 if the comparison `a op b` holds
+// and 0 otherwise, where pushArgs pushes a then b. The comparison itself
+// is a conditional branch, contributing one profile element.
+func pushCmp(f *vm.FuncBuilder, pushArgs func(), op vm.Opcode) {
+	yes := f.NewLabel()
+	after := f.NewLabel()
+	pushArgs()
+	f.BranchIf(op, yes)
+	f.Const(0).Jump(after)
+	f.Bind(yes).Const(1)
+	f.Bind(after)
+}
+
+// Jess builds the jess analogue: an expert-system loop of
+// match-then-fire cycles. Matching is a dense nested loop over rules and
+// facts with a helper-method call per test (driving the method-invocation
+// count up), and firing walks recursive goal chains, yielding many small
+// phases at low MPL and many recursion roots (Table 1: 1.56M invocations,
+// 5984 roots).
+func Jess(scale int) *vm.Program { return JessSeeded(scale, 4242) }
+
+// JessSeeded is Jess with an explicit PRNG seed, for variance studies
+// across workload inputs.
+func JessSeeded(scale int, seed int32) *vm.Program {
+	const nfacts = 64
+	pb := vm.NewProgramBuilder().SetGlobalSize(dataBase + nfacts)
+	main := pb.Function("main", 0, 0)
+	testCond := pb.Function("testCondition", 2, 1) // (fact, pattern) -> bool
+	evalGoal := pb.Function("evalGoal", 2, 1)      // (goal, depth) -> value
+
+	{
+		f := testCond
+		v := f.NewLocal()
+		f.Load(0).Load(1).Op(vm.OpXor).Store(v)
+		f.IfElse(
+			func() { f.Load(v).Const(7).Op(vm.OpAnd) },
+			func() { f.Const(0).Store(v) },
+			func() { f.Const(1).Store(v) },
+		)
+		f.Load(v).Ret()
+	}
+
+	// evalGoal(goal, depth): recursive chain bounded by the goal's value.
+	{
+		f := evalGoal
+		goal, depth := 0, 1
+		v := f.NewLocal()
+		f.Load(goal).Store(v)
+		emitMix(f, goal, v)
+		f.IfElse(
+			func() {
+				pushCmp(f, func() {
+					f.Load(depth).Load(goal).Const(5).Op(vm.OpRem)
+				}, vm.OpIfLt)
+			},
+			func() { // recurse
+				f.Load(v).Const(3).Op(vm.OpShr).Load(depth).Const(1).Op(vm.OpAdd).Call(evalGoal)
+				f.Load(v).Op(vm.OpAdd).Store(v)
+			},
+			func() {},
+		)
+		f.Load(v).Ret()
+	}
+
+	{
+		f := main
+		k := f.NewLocal()
+		cyc := f.NewLocal()
+		rule := f.NewLocal()
+		fact := f.NewLocal()
+		fired := f.NewLocal()
+		r := f.NewLocal()
+		tmp := f.NewLocal()
+		emitSeed(f, seed)
+		f.ForRange(k, 0, nfacts, func() {
+			f.Const(dataBase).Load(k).Op(vm.OpAdd)
+			emitRandBelow(f, 4096)
+			f.Op(vm.OpGlobalStore)
+		})
+		f.ForRange(cyc, 0, int32(10*scale), func() {
+			// match: rules x facts with a call per test
+			f.Const(0).Store(fired)
+			f.ForRange(rule, 0, 18, func() {
+				f.ForRange(fact, 0, nfacts/2, func() {
+					f.Const(dataBase).Load(fact).Op(vm.OpAdd).Op(vm.OpGlobalLoad)
+					f.Load(rule).Call(testCond)
+					f.Load(fired).Op(vm.OpAdd).Store(fired)
+				})
+			})
+			// periodic full conflict-resolution sweep: a much larger loop
+			// so mid-MPL phases exist
+			f.IfElse(
+				func() { f.Load(cyc).Const(9).Op(vm.OpRem) },
+				func() {},
+				func() {
+					f.ForRange(rule, 0, 420, func() {
+						f.ForRange(fact, 0, 16, func() {
+							emitMix(f, fact, fired)
+						})
+					})
+				},
+			)
+			// fire: a few recursive goal chains
+			f.Load(fired).Const(3).Op(vm.OpRem).Const(1).Op(vm.OpAdd).Store(r)
+			f.ForRangeVar(tmp, 0, r, func() {
+				emitRandBelow(f, 4096)
+				f.Const(0).Call(evalGoal).Op(vm.OpPop)
+			})
+			// working-memory churn
+			f.ForRange(k, 0, 8, func() {
+				f.Const(dataBase).Load(k).Op(vm.OpAdd)
+				emitRandBelow(f, 4096)
+				f.Op(vm.OpGlobalStore)
+			})
+		})
+		f.Ret()
+	}
+	return pb.MustBuild()
+}
+
+// Raytrace builds the raytrace analogue: a row loop over a pixel grid
+// where every pixel shoots a recursive ray (intersection scan per level,
+// reflection recursion bounded by depth), so recursion roots are plentiful
+// (one per reflective pixel) and rows form mid-size phases.
+func Raytrace(scale int) *vm.Program { return RaytraceSeeded(scale, 31415) }
+
+// RaytraceSeeded is Raytrace with an explicit PRNG seed, for variance studies
+// across workload inputs.
+func RaytraceSeeded(scale int, seed int32) *vm.Program {
+	const nobj = 16
+	pb := vm.NewProgramBuilder().SetGlobalSize(dataBase + nobj)
+	main := pb.Function("main", 0, 0)
+	intersect := pb.Function("intersect", 1, 1) // (ray) -> hit value
+	traceRay := pb.Function("traceRay", 2, 1)   // (ray, depth) -> colour
+	shade := pb.Function("shade", 1, 1)
+
+	{
+		f := intersect
+		i := f.NewLocal()
+		best := f.NewLocal()
+		d := f.NewLocal()
+		f.Const(0).Store(best)
+		f.ForRange(i, 0, nobj, func() {
+			f.Const(dataBase).Load(i).Op(vm.OpAdd).Op(vm.OpGlobalLoad)
+			f.Load(0).Op(vm.OpXor).Const(1023).Op(vm.OpAnd).Store(d)
+			f.IfElse(
+				func() { pushCmp(f, func() { f.Load(d).Load(best) }, vm.OpIfGt) },
+				func() { f.Load(d).Store(best) },
+				func() {},
+			)
+		})
+		f.Load(best).Ret()
+	}
+
+	{
+		f := shade
+		j := f.NewLocal()
+		c := f.NewLocal()
+		f.Load(0).Store(c)
+		f.ForRange(j, 0, 4, func() {
+			emitMix(f, j, c)
+		})
+		f.Load(c).Ret()
+	}
+
+	{
+		f := traceRay
+		ray, depth := 0, 1
+		hit := f.NewLocal()
+		col := f.NewLocal()
+		f.Load(ray).Call(intersect).Store(hit)
+		f.Load(hit).Call(shade).Store(col)
+		f.IfElse(
+			func() {
+				// reflective surface and depth < 3?
+				refl := f.NewLocal()
+				f.Const(0).Store(refl)
+				f.IfElse(
+					func() { f.Load(hit).Const(3).Op(vm.OpAnd) },
+					func() {},
+					func() {
+						f.IfElse(
+							func() { pushCmp(f, func() { f.Load(depth).Const(3) }, vm.OpIfLt) },
+							func() { f.Const(1).Store(refl) },
+							func() {},
+						)
+					},
+				)
+				f.Load(refl)
+			},
+			func() {
+				f.Load(hit).Const(5).Op(vm.OpShr).Load(depth).Const(1).Op(vm.OpAdd).Call(traceRay)
+				f.Load(col).Op(vm.OpAdd).Store(col)
+			},
+			func() {},
+		)
+		f.Load(col).Ret()
+	}
+
+	{
+		f := main
+		k := f.NewLocal()
+		row := f.NewLocal()
+		px := f.NewLocal()
+		tmp := f.NewLocal()
+		emitSeed(f, seed)
+		f.ForRange(k, 0, nobj, func() {
+			f.Const(dataBase).Load(k).Op(vm.OpAdd)
+			emitRandBelow(f, 100000)
+			f.Op(vm.OpGlobalStore)
+		})
+		pixel := func() {
+			f.Load(row).Const(64).Op(vm.OpMul).Load(px).Op(vm.OpAdd).Store(tmp)
+			emitRandNext(f)
+			f.Load(tmp).Op(vm.OpXor)
+			f.Const(0).Call(traceRay).Op(vm.OpPop)
+		}
+		f.ForRange(row, 0, int32(5*scale), func() {
+			// every fourth row is a supersampled (much wider) scan, so
+			// rows of several sizes show up as phases
+			f.IfElse(
+				func() { f.Load(row).Const(4).Op(vm.OpRem) },
+				func() { f.ForRange(px, 0, 28, pixel) },
+				func() { f.ForRange(px, 0, 130, pixel) },
+			)
+		})
+		f.Ret()
+	}
+	return pb.MustBuild()
+}
+
+// Javac builds the javac analogue: per-compilation-unit lexing loop,
+// recursive-descent parsing (three mutually recursive nonterminals driving
+// both the invocation and recursion-root counts up), and a code-generation
+// loop. About half the elements sit in phases, as in Table 1(b).
+func Javac(scale int) *vm.Program { return JavacSeeded(scale, 1995) }
+
+// JavacSeeded is Javac with an explicit PRNG seed, for variance studies
+// across workload inputs.
+func JavacSeeded(scale int, seed int32) *vm.Program {
+	const ntok = 256
+	pb := vm.NewProgramBuilder().SetGlobalSize(dataBase + ntok)
+	main := pb.Function("main", 0, 0)
+	parseExpr := pb.Function("parseExpr", 2, 1) // (pos, depth) -> width
+	parseTerm := pb.Function("parseTerm", 2, 1) // mutual with parseExpr
+	parseFactor := pb.Function("parseFactor", 2, 1)
+
+	tok := func(f *vm.FuncBuilder, posLocal int) {
+		f.Const(dataBase).Load(posLocal).Const(ntok).Op(vm.OpRem).Op(vm.OpAdd).Op(vm.OpGlobalLoad)
+	}
+
+	{
+		f := parseExpr
+		pos, depth := 0, 1
+		w := f.NewLocal()
+		f.Load(pos).Load(depth).Call(parseTerm).Store(w)
+		f.IfElse(
+			func() {
+				tok(f, pos)
+				f.Const(4).Op(vm.OpAnd)
+			},
+			func() { // binary operator: parse a second term
+				f.Load(pos).Load(w).Op(vm.OpAdd).Load(depth).Call(parseTerm)
+				f.Load(w).Op(vm.OpAdd).Store(w)
+			},
+			func() {},
+		)
+		f.Load(w).Ret()
+	}
+	{
+		f := parseTerm
+		pos, depth := 0, 1
+		w := f.NewLocal()
+		f.Load(pos).Load(depth).Call(parseFactor).Store(w)
+		f.IfElse(
+			func() {
+				tok(f, pos)
+				f.Const(8).Op(vm.OpAnd)
+			},
+			func() {
+				f.Load(pos).Load(w).Op(vm.OpAdd).Load(depth).Call(parseFactor)
+				f.Load(w).Op(vm.OpAdd).Store(w)
+			},
+			func() {},
+		)
+		f.Load(w).Ret()
+	}
+	{
+		f := parseFactor
+		pos, depth := 0, 1
+		w := f.NewLocal()
+		f.Const(1).Store(w)
+		f.IfElse(
+			func() {
+				// parenthesized subexpression if token is even and depth < 3
+				sub := f.NewLocal()
+				f.Const(0).Store(sub)
+				f.IfElse(
+					func() {
+						tok(f, pos)
+						f.Const(1).Op(vm.OpAnd)
+					},
+					func() {},
+					func() {
+						f.IfElse(
+							func() { pushCmp(f, func() { f.Load(depth).Const(3) }, vm.OpIfLt) },
+							func() { f.Const(1).Store(sub) },
+							func() {},
+						)
+					},
+				)
+				f.Load(sub)
+			},
+			func() {
+				f.Load(pos).Const(1).Op(vm.OpAdd).Load(depth).Const(1).Op(vm.OpAdd).Call(parseExpr)
+				f.Const(1).Op(vm.OpAdd).Store(w)
+			},
+			func() {},
+		)
+		f.Load(w).Ret()
+	}
+
+	{
+		f := main
+		unit := f.NewLocal()
+		i := f.NewLocal()
+		stmt := f.NewLocal()
+		acc := f.NewLocal()
+		emitSeed(f, seed)
+		f.ForRange(unit, 0, int32(5*scale), func() {
+			// lex: fill the token buffer; every third unit is a big file
+			lex := func(extent int32) func() {
+				return func() {
+					f.ForRange(i, 0, extent, func() {
+						f.Const(dataBase).Load(i).Const(ntok).Op(vm.OpRem).Op(vm.OpAdd)
+						emitRandBelow(f, 512)
+						f.Op(vm.OpGlobalStore)
+						emitMix(f, i, acc)
+					})
+				}
+			}
+			f.IfElse(
+				func() { f.Load(unit).Const(3).Op(vm.OpRem) },
+				lex(ntok), lex(3*ntok),
+			)
+			// parse: one recursion root per statement; big units carry
+			// more statements
+			f.IfElse(
+				func() { f.Load(unit).Const(3).Op(vm.OpRem) },
+				func() {
+					f.ForRange(stmt, 0, 24, func() {
+						f.Load(stmt).Const(9).Op(vm.OpMul).Const(0).Call(parseExpr).Store(acc)
+					})
+				},
+				func() {
+					f.ForRange(stmt, 0, 180, func() {
+						f.Load(stmt).Const(7).Op(vm.OpMul).Const(0).Call(parseExpr).Store(acc)
+					})
+				},
+			)
+			// codegen: straight loop over emitted instructions
+			f.ForRange(i, 0, 180, func() {
+				emitMix(f, i, acc)
+				f.IfElse(
+					func() { f.Load(acc).Const(32).Op(vm.OpAnd) },
+					func() { f.Load(acc).Const(2).Op(vm.OpShr).Store(acc) },
+					func() { f.Load(acc).Const(17).Op(vm.OpAdd).Store(acc) },
+				)
+			})
+		})
+		f.Ret()
+	}
+	return pb.MustBuild()
+}
+
+// Jack builds the jack analogue: a parser generator that repeats a round
+// of several structurally distinct passes. The passes are mid-sized and
+// interleaved, so their CRIs merge poorly and the fraction of elements in
+// phase *falls* as MPL grows, as Table 1(b) shows for jack
+// (53% at 1K down to 14% at 100K).
+func Jack(scale int) *vm.Program { return JackSeeded(scale, 6502) }
+
+// JackSeeded is Jack with an explicit PRNG seed, for variance studies
+// across workload inputs.
+func JackSeeded(scale int, seed int32) *vm.Program {
+	const nsym = 96
+	pb := vm.NewProgramBuilder().SetGlobalSize(dataBase + nsym)
+	main := pb.Function("main", 0, 0)
+	buildRule := pb.Function("buildRule", 2, 1) // (sym, depth) -> size
+
+	{
+		f := buildRule
+		sym, depth := 0, 1
+		sz := f.NewLocal()
+		f.Const(1).Store(sz)
+		emitMix(f, sym, sz)
+		f.IfElse(
+			func() {
+				rec := f.NewLocal()
+				f.Const(0).Store(rec)
+				f.IfElse(
+					func() { f.Load(sym).Const(3).Op(vm.OpAnd) },
+					func() {},
+					func() {
+						f.IfElse(
+							func() { pushCmp(f, func() { f.Load(depth).Const(4) }, vm.OpIfLt) },
+							func() { f.Const(1).Store(rec) },
+							func() {},
+						)
+					},
+				)
+				f.Load(rec)
+			},
+			func() {
+				f.Load(sym).Const(2).Op(vm.OpShr).Load(depth).Const(1).Op(vm.OpAdd).Call(buildRule)
+				f.Load(sz).Op(vm.OpAdd).Store(sz)
+			},
+			func() {},
+		)
+		f.Load(sz).Ret()
+	}
+
+	{
+		f := main
+		round := f.NewLocal()
+		i := f.NewLocal()
+		j := f.NewLocal()
+		acc := f.NewLocal()
+		emitSeed(f, seed)
+		f.ForRange(round, 0, int32(3*scale), func() {
+			// pass 1: tokenize
+			f.ForRange(i, 0, 220, func() {
+				f.Const(dataBase).Load(i).Const(nsym).Op(vm.OpRem).Op(vm.OpAdd)
+				emitRandBelow(f, 2048)
+				f.Op(vm.OpGlobalStore)
+				emitMix(f, i, acc)
+			})
+			// pass 2: build rules (recursive)
+			f.ForRange(i, 0, 40, func() {
+				f.Const(dataBase).Load(i).Op(vm.OpAdd).Op(vm.OpGlobalLoad)
+				f.Const(0).Call(buildRule).Store(acc)
+			})
+			// pass 3: FIRST-set fixpoint
+			f.ForRange(i, 0, 3, func() {
+				f.ForRange(j, 0, nsym, func() {
+					emitMix(f, j, acc)
+				})
+			})
+			// pass 4: table construction; every fourth round the grammar
+			// is large and the table pass is an order of magnitude bigger
+			table := func(extent int32) func() {
+				return func() {
+					f.ForRange(i, 0, extent, func() {
+						f.ForRange(j, 0, 8, func() {
+							f.Load(acc).Load(j).Op(vm.OpXor).Store(acc)
+							f.IfElse(
+								func() { f.Load(acc).Const(2).Op(vm.OpAnd) },
+								func() { f.Load(acc).Const(1).Op(vm.OpShr).Store(acc) },
+								func() { f.Load(acc).Const(3).Op(vm.OpAdd).Store(acc) },
+							)
+						})
+					})
+				}
+			}
+			f.IfElse(
+				func() { f.Load(round).Const(4).Op(vm.OpRem) },
+				table(70), table(700),
+			)
+			// pass 5: emit
+			f.ForRange(i, 0, 120, func() {
+				emitMix(f, i, acc)
+			})
+		})
+		f.Ret()
+	}
+	return pb.MustBuild()
+}

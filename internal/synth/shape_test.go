@@ -1,0 +1,101 @@
+package synth
+
+import (
+	"testing"
+
+	"opd/internal/baseline"
+)
+
+// These tests pin each benchmark's *structural signature* against the
+// trends of the paper's Table 1(b): the specific properties DESIGN.md
+// claims the workloads were constructed to reproduce. They run at scale 4
+// so mid-MPL structure exists.
+
+func solve(t *testing.T, name string, scale int, mpl int64) *baseline.Solution {
+	t.Helper()
+	branches, events, err := Run(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := baseline.Compute(events, int64(len(branches)), mpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestCompressFewLargePhases(t *testing.T) {
+	// compress: few, long, regular pass loops — phase count stays small
+	// and stable across small MPLs, coverage stays high.
+	s1 := solve(t, "compress", 4, 1000)
+	s5 := solve(t, "compress", 4, 5000)
+	if s1.NumPhases() > 16 {
+		t.Errorf("compress at MPL 1K: %d phases, want few (pass-level)", s1.NumPhases())
+	}
+	if s1.NumPhases() != s5.NumPhases() {
+		t.Logf("compress phases 1K=%d 5K=%d (informational)", s1.NumPhases(), s5.NumPhases())
+	}
+	if s1.PercentInPhase() < 90 {
+		t.Errorf("compress coverage at 1K = %.1f%%, want high", s1.PercentInPhase())
+	}
+}
+
+func TestMpegaudioManySmallPhases(t *testing.T) {
+	// mpegaudio: the most phases at MPL 1K of the loop-dominated
+	// benchmarks, collapsing to very few at large MPL.
+	small := solve(t, "mpegaudio", 4, 1000)
+	large := solve(t, "mpegaudio", 4, 50000)
+	if small.NumPhases() < 30 {
+		t.Errorf("mpegaudio at MPL 1K: %d phases, want many per-frame phases", small.NumPhases())
+	}
+	if large.NumPhases() > 4 {
+		t.Errorf("mpegaudio at MPL 50K: %d phases, want coarse stream phases", large.NumPhases())
+	}
+	if small.NumPhases() < 8*large.NumPhases() {
+		t.Errorf("mpegaudio phase collapse too weak: %d -> %d", small.NumPhases(), large.NumPhases())
+	}
+}
+
+func TestDBHighCoverage(t *testing.T) {
+	// db: loop-dominated; nearly everything is in phase at MPL 1K.
+	s := solve(t, "db", 4, 1000)
+	if s.PercentInPhase() < 95 {
+		t.Errorf("db coverage at 1K = %.1f%%, want ~99%%", s.PercentInPhase())
+	}
+}
+
+func TestJackCoverageDeclinesWithMPL(t *testing.T) {
+	// jack: mid-sized pass CRIs that merge poorly — the in-phase fraction
+	// falls as MPL grows through the pass-size range.
+	low := solve(t, "jack", 4, 1000)
+	high := solve(t, "jack", 4, 5000)
+	if high.PercentInPhase() >= low.PercentInPhase() {
+		t.Errorf("jack coverage did not decline: %.1f%% at 1K -> %.1f%% at 5K",
+			low.PercentInPhase(), high.PercentInPhase())
+	}
+}
+
+func TestJlexNearTotalCoverage(t *testing.T) {
+	// jlex: a handful of big regular passes; ~97%+ of elements in phase
+	// at MPL 1K, with very few phases.
+	s := solve(t, "jlex", 4, 1000)
+	if s.PercentInPhase() < 90 {
+		t.Errorf("jlex coverage = %.1f%%, want very high", s.PercentInPhase())
+	}
+	if s.NumPhases() > 8 {
+		t.Errorf("jlex phases = %d, want a handful", s.NumPhases())
+	}
+}
+
+func TestPhaseCountsWeaklyDecreaseAcrossMPL(t *testing.T) {
+	// The dominant Table 1(b) trend: more MPL, fewer (or equal) phases.
+	// Tested across the whole suite at two MPL decades.
+	for _, name := range Names() {
+		small := solve(t, name, 4, 1000)
+		large := solve(t, name, 4, 25000)
+		if large.NumPhases() > small.NumPhases() {
+			t.Errorf("%s: phases grew with MPL: %d at 1K -> %d at 25K",
+				name, small.NumPhases(), large.NumPhases())
+		}
+	}
+}

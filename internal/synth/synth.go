@@ -1,0 +1,145 @@
+// Package synth provides the eight synthetic benchmark programs used to
+// evaluate the phase detectors. They stand in for the paper's workloads
+// (seven SPECjvm98 benchmarks plus JLex): each program is constructed to
+// reproduce the structural signature of its namesake as reported in
+// Table 1 of the paper — the relative mix of loop executions, method
+// invocations, and recursion roots, and the way phase counts shrink as the
+// minimum phase length grows.
+//
+// All programs are deterministic. Data-dependent control flow is driven by
+// a linear congruential generator implemented in bytecode, so the same
+// program always produces the same trace.
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"opd/internal/trace"
+	"opd/internal/vm"
+)
+
+// A Benchmark names a synthetic workload and builds its program at a given
+// scale. Scale 1 yields a trace of a few tens of thousands of dynamic
+// branches (fast enough for unit tests); trace size grows roughly linearly
+// with scale. BuildSeeded varies the workload's data-dependent control
+// flow (the program structure is unchanged), enabling variance studies
+// across inputs; Build uses each benchmark's canonical seed.
+type Benchmark struct {
+	Name        string
+	Description string
+	Build       func(scale int) *vm.Program
+	BuildSeeded func(scale int, seed int32) *vm.Program
+}
+
+// All returns the benchmark suite in the paper's Table 1 order.
+func All() []Benchmark {
+	return []Benchmark{
+		{"compress", "few very long, regular compression/decompression pass loops; no recursion", Compress, CompressSeeded},
+		{"jess", "expert-system cycles: rule-matching loops plus recursive goal chains", Jess, JessSeeded},
+		{"raytrace", "per-pixel recursive ray descent over object-intersection loops", Raytrace, RaytraceSeeded},
+		{"db", "loop-dominated record load, shell-sort, and lookup operations; no recursion", DB, DBSeeded},
+		{"javac", "per-unit lex loop, recursive-descent parse, and codegen loop", Javac, JavacSeeded},
+		{"mpegaudio", "thousands of short per-frame decode loops inside one long stream loop", Mpegaudio, MpegaudioSeeded},
+		{"jack", "many distinct generator passes whose small CRIs resist merging", Jack, JackSeeded},
+		{"jlex", "a handful of big regular scanner-generator loops; almost no recursion", JLex, JLexSeeded},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names returns the benchmark names in suite order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Run builds the named benchmark at the given scale, executes it, and
+// returns its branch and call-loop traces.
+func Run(name string, scale int) (trace.Trace, trace.Events, error) {
+	b, ok := ByName(name)
+	if !ok {
+		names := Names()
+		sort.Strings(names)
+		return nil, nil, fmt.Errorf("synth: unknown benchmark %q (have %v)", name, names)
+	}
+	if scale < 1 {
+		return nil, nil, fmt.Errorf("synth: scale must be >= 1, got %d", scale)
+	}
+	return vm.Execute(b.Build(scale))
+}
+
+// RunSeeded is Run with an explicit workload-data seed. Seed 0 is
+// permitted but degenerate (the LCG leaves a zero state fixed only until
+// the first increment), so canonical seeds are preferred for headline
+// numbers.
+func RunSeeded(name string, scale int, seed int32) (trace.Trace, trace.Events, error) {
+	b, ok := ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("synth: unknown benchmark %q", name)
+	}
+	if scale < 1 {
+		return nil, nil, fmt.Errorf("synth: scale must be >= 1, got %d", scale)
+	}
+	return vm.Execute(b.BuildSeeded(scale, seed))
+}
+
+// Global memory layout shared by the benchmark programs. Slot 0 holds the
+// LCG state; the data region starts at slot dataBase.
+const (
+	rngSlot  = 0
+	dataBase = 8
+)
+
+// emitRandNext appends bytecode that advances the LCG in global slot
+// rngSlot and leaves the fresh non-negative 31-bit value on the stack.
+func emitRandNext(f *vm.FuncBuilder) {
+	f.Const(rngSlot).Op(vm.OpGlobalLoad)
+	f.Const(1103515245).Op(vm.OpMul)
+	f.Const(12345).Op(vm.OpAdd)
+	f.Const(0x7FFFFFFF).Op(vm.OpAnd)
+	f.Op(vm.OpDup)
+	f.Const(rngSlot).Op(vm.OpSwap).Op(vm.OpGlobalStore)
+}
+
+// emitRandBelow appends bytecode that leaves a pseudo-random value in
+// [0, n) on the stack.
+func emitRandBelow(f *vm.FuncBuilder, n int32) {
+	emitRandNext(f)
+	f.Const(n).Op(vm.OpRem)
+}
+
+// emitSeed appends bytecode that stores seed into the LCG state slot.
+func emitSeed(f *vm.FuncBuilder, seed int32) {
+	f.Const(rngSlot).Const(seed).Op(vm.OpGlobalStore)
+}
+
+// emitMix appends a short data-dependent branch cascade over the value in
+// local v: it inspects the low bits of v and updates the accumulator local
+// acc differently on each path. Each call contributes 2 conditional
+// branches whose taken bits depend on the data, giving phases a
+// frequency-weighted signature beyond their site set.
+func emitMix(f *vm.FuncBuilder, v, acc int) {
+	f.IfElse(
+		func() { f.Load(v).Const(1).Op(vm.OpAnd) },
+		func() { f.Load(acc).Load(v).Op(vm.OpAdd).Store(acc) },
+		func() { f.Load(acc).Load(v).Op(vm.OpXor).Store(acc) },
+	)
+	f.IfElse(
+		func() { f.Load(v).Const(2).Op(vm.OpAnd) },
+		func() { f.Load(acc).Const(3).Op(vm.OpMul).Const(0x7FFFFFFF).Op(vm.OpAnd).Store(acc) },
+		func() { f.Load(acc).Const(1).Op(vm.OpShr).Store(acc) },
+	)
+}

@@ -1,0 +1,237 @@
+package synth
+
+import (
+	"testing"
+
+	"opd/internal/trace"
+	"opd/internal/vm"
+)
+
+func TestAllBenchmarksBuildAndRun(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			branches, events, err := Run(b.Name, 1)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(branches) < 5000 {
+				t.Errorf("trace too small: %d branches", len(branches))
+			}
+			if len(branches) > 500000 {
+				t.Errorf("scale-1 trace suspiciously large: %d branches", len(branches))
+			}
+			if err := events.Validate(); err != nil {
+				t.Errorf("call-loop trace invalid: %v", err)
+			}
+			loops, methods := events.Counts()
+			if loops == 0 {
+				t.Error("no loop executions recorded")
+			}
+			if methods == 0 {
+				t.Error("no method invocations recorded")
+			}
+			// Branch times in events must be within the branch trace.
+			for _, e := range events {
+				if e.Time < 0 || e.Time > int64(len(branches)) {
+					t.Fatalf("event %v outside trace of %d branches", e, len(branches))
+				}
+			}
+		})
+	}
+}
+
+func TestBenchmarksAreDeterministic(t *testing.T) {
+	for _, name := range []string{"compress", "jess", "mpegaudio"} {
+		b1, e1, err := Run(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, e2, err := Run(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b1) != len(b2) {
+			t.Fatalf("%s: non-deterministic trace length %d vs %d", name, len(b1), len(b2))
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("%s: traces diverge at element %d", name, i)
+			}
+		}
+		if len(e1) != len(e2) {
+			t.Fatalf("%s: non-deterministic event count", name)
+		}
+	}
+}
+
+func TestScaleGrowsTrace(t *testing.T) {
+	for _, name := range []string{"compress", "db", "jack"} {
+		b1, _, err := Run(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b3, _, err := Run(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b3) < 2*len(b1) {
+			t.Errorf("%s: scale 3 trace (%d) not ≳ 2x scale 1 trace (%d)", name, len(b3), len(b1))
+		}
+	}
+}
+
+func TestStructuralSignatures(t *testing.T) {
+	recursionFree := map[string]bool{"compress": true, "db": true, "mpegaudio": true}
+	for _, b := range All() {
+		_, events, err := Run(b.Name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count recursion roots directly: method entries whose method is
+		// not already on the dynamic stack but recurs beneath.
+		roots := countRecursionRoots(events)
+		if recursionFree[b.Name] && roots != 0 {
+			t.Errorf("%s: expected no recursion, found %d roots", b.Name, roots)
+		}
+		if !recursionFree[b.Name] && roots == 0 {
+			t.Errorf("%s: expected recursion roots, found none", b.Name)
+		}
+	}
+}
+
+// countRecursionRoots mirrors the paper's definition: an invocation of a
+// method that later invokes itself (transitively) while no other instance
+// of that method is on the stack.
+func countRecursionRoots(events trace.Events) int {
+	type entry struct {
+		id        uint32
+		recursive bool
+	}
+	var stack []entry
+	onStack := map[uint32]int{}
+	roots := 0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.MethodEnter:
+			if onStack[e.ID] > 0 {
+				// mark the outermost instance recursive
+				for i := range stack {
+					if stack[i].id == e.ID {
+						stack[i].recursive = true
+						break
+					}
+				}
+			}
+			stack = append(stack, entry{id: e.ID})
+			onStack[e.ID]++
+		case trace.MethodExit:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			onStack[e.ID]--
+			if top.recursive && onStack[e.ID] == 0 {
+				roots++
+			}
+		}
+	}
+	return roots
+}
+
+func TestSeededVariants(t *testing.T) {
+	// Different seeds change the data-dependent element mix but not the
+	// program structure: same static sites, similar (not identical)
+	// traces, and valid call-loop structure.
+	for _, name := range []string{"compress", "jess"} {
+		b1, e1, err := RunSeeded(name, 1, 111)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, e2, err := RunSeeded(name, 1, 222)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e1.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e2.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		same := len(b1) == len(b2)
+		if same {
+			identical := true
+			for i := range b1 {
+				if b1[i] != b2[i] {
+					identical = false
+					break
+				}
+			}
+			if identical {
+				t.Errorf("%s: different seeds produced identical traces", name)
+			}
+		}
+		// Structural envelope: lengths within 2x of each other.
+		if len(b1) > 2*len(b2) || len(b2) > 2*len(b1) {
+			t.Errorf("%s: seed changed trace size drastically: %d vs %d", name, len(b1), len(b2))
+		}
+	}
+	// Run with the canonical seed equals Run.
+	bA, _, err := Run("db", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bB, _, err := RunSeeded("db", 1, 998)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bA) != len(bB) {
+		t.Errorf("canonical seed mismatch: %d vs %d", len(bA), len(bB))
+	}
+	if _, _, err := RunSeeded("nope", 1, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, _, err := RunSeeded("db", 0, 1); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("compress"); !ok {
+		t.Error("ByName(compress) not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) unexpectedly found")
+	}
+	if got := len(Names()); got != 8 {
+		t.Errorf("Names() has %d entries, want 8", got)
+	}
+	if _, _, err := Run("nope", 1); err == nil {
+		t.Error("Run(nope) should fail")
+	}
+	if _, _, err := Run("db", 0); err == nil {
+		t.Error("Run with scale 0 should fail")
+	}
+}
+
+func TestDistinctSitesDifferAcrossPhases(t *testing.T) {
+	// The detector can only tell phases apart if different program parts
+	// touch different branch sites; sanity-check that each benchmark has a
+	// healthy number of distinct sites.
+	for _, b := range All() {
+		branches, _, err := Run(b.Name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := branches.DistinctSites(); n < 10 {
+			t.Errorf("%s: only %d distinct branch sites", b.Name, n)
+		}
+	}
+}
+
+func TestProgramsVerify(t *testing.T) {
+	for _, b := range All() {
+		p := b.Build(1)
+		if err := vm.Verify(p); err != nil {
+			t.Errorf("%s: verify: %v", b.Name, err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package trace defines the two execution profiles that drive online phase
+// detection: the conditional branch trace (the stream of profile elements
+// consumed by detectors) and the call-loop trace (the stream of loop and
+// method entry/exit events consumed by the offline baseline oracle).
+//
+// The encoding follows the paper (CGO'06, §4.1): each profile element
+// represents a unique source location as an integer that packs a method ID,
+// the bytecode offset of the branch within that method, and one bit that
+// records whether the branch was taken.
+package trace
+
+import "fmt"
+
+// Branch is one profile element of a conditional branch trace.
+//
+// Layout (most significant to least significant):
+//
+//	bits 63..32  method ID
+//	bits 31..1   bytecode offset of the branch within the method
+//	bit  0       1 if the branch was taken, 0 otherwise
+type Branch uint64
+
+// Branch field widths. Offsets wider than offsetBits or method IDs wider
+// than 32 bits cannot be represented and are rejected by MakeBranch.
+const (
+	offsetBits = 31
+	maxOffset  = 1<<offsetBits - 1
+	maxMethod  = 1<<32 - 1
+)
+
+// MakeBranch packs a profile element. It panics if method or offset exceed
+// the representable range; both are program-shape constants, so an overflow
+// is a construction-time programming error, not a runtime condition.
+func MakeBranch(method uint32, offset int, taken bool) Branch {
+	if offset < 0 || offset > maxOffset {
+		panic(fmt.Sprintf("trace: branch offset %d out of range [0, %d]", offset, maxOffset))
+	}
+	b := Branch(method)<<32 | Branch(offset)<<1
+	if taken {
+		b |= 1
+	}
+	return b
+}
+
+// Method returns the ID of the method containing the branch.
+func (b Branch) Method() uint32 { return uint32(b >> 32) }
+
+// Offset returns the bytecode offset of the branch within its method.
+func (b Branch) Offset() int { return int(b>>1) & maxOffset }
+
+// Taken reports whether the branch was taken.
+func (b Branch) Taken() bool { return b&1 == 1 }
+
+// Site returns the branch with its taken bit cleared: the static program
+// location. Two dynamic branches share a Site iff they come from the same
+// conditional instruction.
+func (b Branch) Site() Branch { return b &^ 1 }
+
+// String renders the element as method:offset:+/- (taken/not taken).
+func (b Branch) String() string {
+	dir := "-"
+	if b.Taken() {
+		dir = "+"
+	}
+	return fmt.Sprintf("m%d:%d:%s", b.Method(), b.Offset(), dir)
+}
+
+// A Trace is a complete conditional branch trace, in execution order.
+type Trace []Branch
+
+// DistinctSites returns the number of distinct static branch sites
+// (ignoring the taken bit) present in the trace.
+func (t Trace) DistinctSites() int {
+	seen := make(map[Branch]struct{})
+	for _, b := range t {
+		seen[b.Site()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// DistinctElements returns the number of distinct profile elements
+// (including the taken bit) present in the trace.
+func (t Trace) DistinctElements() int {
+	seen := make(map[Branch]struct{})
+	for _, b := range t {
+		seen[b] = struct{}{}
+	}
+	return len(seen)
+}

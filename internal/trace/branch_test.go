@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeBranchRoundTrip(t *testing.T) {
+	cases := []struct {
+		method uint32
+		offset int
+		taken  bool
+	}{
+		{0, 0, false},
+		{0, 0, true},
+		{1, 42, true},
+		{maxMethod, maxOffset, true},
+		{maxMethod, maxOffset, false},
+		{7, 1, false},
+	}
+	for _, c := range cases {
+		b := MakeBranch(c.method, c.offset, c.taken)
+		if b.Method() != c.method {
+			t.Errorf("MakeBranch(%d,%d,%v).Method() = %d", c.method, c.offset, c.taken, b.Method())
+		}
+		if b.Offset() != c.offset {
+			t.Errorf("MakeBranch(%d,%d,%v).Offset() = %d", c.method, c.offset, c.taken, b.Offset())
+		}
+		if b.Taken() != c.taken {
+			t.Errorf("MakeBranch(%d,%d,%v).Taken() = %v", c.method, c.offset, c.taken, b.Taken())
+		}
+	}
+}
+
+func TestMakeBranchRoundTripProperty(t *testing.T) {
+	f := func(method uint32, offset uint32, taken bool) bool {
+		off := int(offset % (maxOffset + 1))
+		b := MakeBranch(method, off, taken)
+		return b.Method() == method && b.Offset() == off && b.Taken() == taken
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakeBranchPanicsOnBadOffset(t *testing.T) {
+	for _, off := range []int{-1, maxOffset + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeBranch with offset %d did not panic", off)
+				}
+			}()
+			MakeBranch(0, off, false)
+		}()
+	}
+}
+
+func TestBranchSite(t *testing.T) {
+	taken := MakeBranch(3, 17, true)
+	notTaken := MakeBranch(3, 17, false)
+	if taken.Site() != notTaken.Site() {
+		t.Errorf("Site() differs for taken/not-taken at same location: %v vs %v", taken.Site(), notTaken.Site())
+	}
+	if taken.Site().Taken() {
+		t.Error("Site() should clear the taken bit")
+	}
+	other := MakeBranch(3, 18, true)
+	if taken.Site() == other.Site() {
+		t.Error("distinct offsets must have distinct sites")
+	}
+}
+
+func TestBranchString(t *testing.T) {
+	if got := MakeBranch(5, 9, true).String(); got != "m5:9:+" {
+		t.Errorf("String() = %q, want %q", got, "m5:9:+")
+	}
+	if got := MakeBranch(5, 9, false).String(); got != "m5:9:-" {
+		t.Errorf("String() = %q, want %q", got, "m5:9:-")
+	}
+}
+
+func TestTraceDistinct(t *testing.T) {
+	tr := Trace{
+		MakeBranch(1, 0, true),
+		MakeBranch(1, 0, false),
+		MakeBranch(1, 0, true),
+		MakeBranch(2, 4, true),
+	}
+	if got := tr.DistinctSites(); got != 2 {
+		t.Errorf("DistinctSites() = %d, want 2", got)
+	}
+	if got := tr.DistinctElements(); got != 3 {
+		t.Errorf("DistinctElements() = %d, want 3", got)
+	}
+	var empty Trace
+	if empty.DistinctSites() != 0 || empty.DistinctElements() != 0 {
+		t.Error("empty trace should have zero distinct sites and elements")
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import "fmt"
+
+// EventKind discriminates the four repetition-construct events recorded in
+// a call-loop trace. The baseline oracle (§3.1 of the paper) correlates
+// these events with the "time" of the latest dynamic branch to delimit
+// complete repetitive instances.
+type EventKind uint8
+
+const (
+	// LoopEnter marks control entering a loop (before the first iteration).
+	LoopEnter EventKind = iota
+	// LoopExit marks control leaving a loop (after the last iteration).
+	LoopExit
+	// MethodEnter marks a method invocation.
+	MethodEnter
+	// MethodExit marks a method return, normal or exceptional.
+	MethodExit
+	numEventKinds
+)
+
+// String returns a short mnemonic for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case LoopEnter:
+		return "L+"
+	case LoopExit:
+		return "L-"
+	case MethodEnter:
+		return "M+"
+	case MethodExit:
+		return "M-"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined event kinds.
+func (k EventKind) Valid() bool { return k < numEventKinds }
+
+// An Event is one record of the call-loop trace.
+//
+// ID identifies the static construct: the method ID for method events, or a
+// program-unique loop ID for loop events. Time is the number of dynamic
+// branches executed before the event occurred; a phase spanning branch
+// indices [i, j) is delimited by an entry event with Time == i and an exit
+// event with Time == j.
+type Event struct {
+	Kind EventKind
+	ID   uint32
+	Time int64
+}
+
+// String renders the event as e.g. "L+ 7 @1234".
+func (e Event) String() string {
+	return fmt.Sprintf("%s %d @%d", e.Kind, e.ID, e.Time)
+}
+
+// Events is a complete call-loop trace in execution order.
+type Events []Event
+
+// Validate checks structural well-formedness: kinds are valid, times are
+// non-decreasing, and every exit matches the most recent unmatched entry of
+// the same kind class and ID (the trace is properly nested, as produced by
+// instrumenting entries and exits of source constructs).
+func (es Events) Validate() error {
+	type open struct {
+		kind EventKind
+		id   uint32
+	}
+	var stack []open
+	var last int64
+	for i, e := range es {
+		if !e.Kind.Valid() {
+			return fmt.Errorf("trace: event %d: invalid kind %d", i, uint8(e.Kind))
+		}
+		if e.Time < last {
+			return fmt.Errorf("trace: event %d: time %d precedes previous time %d", i, e.Time, last)
+		}
+		last = e.Time
+		switch e.Kind {
+		case LoopEnter:
+			stack = append(stack, open{LoopEnter, e.ID})
+		case MethodEnter:
+			stack = append(stack, open{MethodEnter, e.ID})
+		case LoopExit, MethodExit:
+			if len(stack) == 0 {
+				return fmt.Errorf("trace: event %d: %v exits with empty construct stack", i, e)
+			}
+			top := stack[len(stack)-1]
+			wantKind := LoopEnter
+			if e.Kind == MethodExit {
+				wantKind = MethodEnter
+			}
+			if top.kind != wantKind || top.id != e.ID {
+				return fmt.Errorf("trace: event %d: %v does not match open construct {%v %d}", i, e, top.kind, top.id)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("trace: %d constructs left open at end of trace", len(stack))
+	}
+	return nil
+}
+
+// Counts summarizes a call-loop trace into the columns of Table 1(a):
+// loop executions and method invocations. Recursion roots are a property
+// of the dynamic nesting and are computed by the baseline package.
+func (es Events) Counts() (loopExecutions, methodInvocations int64) {
+	for _, e := range es {
+		switch e.Kind {
+		case LoopEnter:
+			loopExecutions++
+		case MethodEnter:
+			methodInvocations++
+		}
+	}
+	return loopExecutions, methodInvocations
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventKindString(t *testing.T) {
+	want := map[EventKind]string{
+		LoopEnter:   "L+",
+		LoopExit:    "L-",
+		MethodEnter: "M+",
+		MethodExit:  "M-",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+		if !k.Valid() {
+			t.Errorf("kind %v should be valid", k)
+		}
+	}
+	if EventKind(99).Valid() {
+		t.Error("kind 99 should be invalid")
+	}
+	if !strings.Contains(EventKind(99).String(), "99") {
+		t.Errorf("invalid kind String() should mention the value, got %q", EventKind(99).String())
+	}
+}
+
+func TestEventsValidateOK(t *testing.T) {
+	es := Events{
+		{MethodEnter, 1, 0},
+		{LoopEnter, 10, 2},
+		{LoopEnter, 11, 3},
+		{LoopExit, 11, 9},
+		{LoopExit, 10, 12},
+		{MethodEnter, 2, 12},
+		{MethodExit, 2, 15},
+		{MethodExit, 1, 20},
+	}
+	if err := es.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestEventsValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		es   Events
+		want string
+	}{
+		{"invalid kind", Events{{EventKind(9), 1, 0}}, "invalid kind"},
+		{"time regression", Events{{MethodEnter, 1, 5}, {MethodExit, 1, 4}}, "precedes"},
+		{"exit on empty stack", Events{{LoopExit, 1, 0}}, "empty construct stack"},
+		{"mismatched exit id", Events{{LoopEnter, 1, 0}, {LoopExit, 2, 1}}, "does not match"},
+		{"mismatched exit kind", Events{{LoopEnter, 1, 0}, {MethodExit, 1, 1}}, "does not match"},
+		{"unclosed construct", Events{{MethodEnter, 1, 0}}, "left open"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.es.Validate()
+			if err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Validate() = %q, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestEventsCounts(t *testing.T) {
+	es := Events{
+		{MethodEnter, 1, 0},
+		{LoopEnter, 10, 1},
+		{LoopExit, 10, 5},
+		{LoopEnter, 10, 6},
+		{LoopExit, 10, 9},
+		{MethodEnter, 2, 9},
+		{MethodExit, 2, 11},
+		{MethodExit, 1, 12},
+	}
+	loops, methods := es.Counts()
+	if loops != 2 {
+		t.Errorf("loop executions = %d, want 2", loops)
+	}
+	if methods != 2 {
+		t.Errorf("method invocations = %d, want 2", methods)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{LoopEnter, 7, 1234}
+	if got := e.String(); got != "L+ 7 @1234" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace formats. Both begin with a 8-byte magic + a uvarint element
+// count, followed by varint-delta-encoded records. Branch traces compress
+// extremely well under delta encoding because consecutive elements usually
+// share a method ID.
+var (
+	branchMagic = [8]byte{'O', 'P', 'D', 'B', 'R', 'N', 'C', '1'}
+	eventMagic  = [8]byte{'O', 'P', 'D', 'E', 'V', 'N', 'T', '1'}
+)
+
+// ErrBadMagic reports that a reader was handed a stream that is not the
+// expected trace format.
+var ErrBadMagic = errors.New("trace: bad magic: not a trace stream or wrong trace kind")
+
+// WriteBranches serializes a branch trace to w in the OPDBRNC1 format.
+func WriteBranches(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(branchMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(t)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var prev uint64
+	for _, b := range t {
+		// zig-zag delta against the previous element
+		n := binary.PutVarint(buf[:], int64(uint64(b)-prev))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = uint64(b)
+	}
+	return bw.Flush()
+}
+
+// ReadBranches deserializes a branch trace written by WriteBranches.
+func ReadBranches(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading branch magic: %w", err)
+	}
+	if magic != branchMagic {
+		return nil, ErrBadMagic
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading branch count: %w", err)
+	}
+	t := make(Trace, 0, count)
+	var prev uint64
+	for i := uint64(0); i < count; i++ {
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading branch %d: %w", i, err)
+		}
+		prev += uint64(d)
+		t = append(t, Branch(prev))
+	}
+	return t, nil
+}
+
+// WriteEvents serializes a call-loop trace to w in the OPDEVNT1 format.
+func WriteEvents(w io.Writer, es Events) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(eventMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(es)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var prevTime int64
+	for _, e := range es {
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		n := binary.PutUvarint(buf[:], uint64(e.ID))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		// times are non-decreasing, so the delta is non-negative
+		n = binary.PutUvarint(buf[:], uint64(e.Time-prevTime))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prevTime = e.Time
+	}
+	return bw.Flush()
+}
+
+// ReadEvents deserializes a call-loop trace written by WriteEvents.
+func ReadEvents(r io.Reader) (Events, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading event magic: %w", err)
+	}
+	if magic != eventMagic {
+		return nil, ErrBadMagic
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading event count: %w", err)
+	}
+	es := make(Events, 0, count)
+	var prevTime int64
+	for i := uint64(0); i < count; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading event %d kind: %w", i, err)
+		}
+		if !EventKind(kind).Valid() {
+			return nil, fmt.Errorf("trace: event %d: invalid kind byte %d", i, kind)
+		}
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading event %d id: %w", i, err)
+		}
+		if id > maxMethod {
+			return nil, fmt.Errorf("trace: event %d: id %d overflows uint32", i, id)
+		}
+		dt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading event %d time: %w", i, err)
+		}
+		prevTime += int64(dt)
+		es = append(es, Event{Kind: EventKind(kind), ID: uint32(id), Time: prevTime})
+	}
+	return es, nil
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBranchRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBranches(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBranches(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("round-trip of empty trace yielded %d elements", len(got))
+	}
+}
+
+func TestBranchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := make(Trace, 10000)
+	for i := range tr {
+		tr[i] = MakeBranch(uint32(rng.Intn(50)), rng.Intn(1000), rng.Intn(2) == 0)
+	}
+	var buf bytes.Buffer
+	if err := WriteBranches(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBranches(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("round-trip mismatch")
+	}
+}
+
+func TestBranchRoundTripProperty(t *testing.T) {
+	f := func(raw []uint64) bool {
+		tr := make(Trace, len(raw))
+		for i, r := range raw {
+			tr[i] = Branch(r)
+		}
+		var buf bytes.Buffer
+		if err := WriteBranches(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBranches(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	es := Events{
+		{MethodEnter, 1, 0},
+		{LoopEnter, 10, 2},
+		{LoopExit, 10, 999999},
+		{MethodExit, 1, 1000000},
+	}
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, es); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, es) {
+		t.Errorf("round-trip mismatch: got %v want %v", got, es)
+	}
+}
+
+func TestEventRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("round-trip of empty events yielded %d", len(got))
+	}
+}
+
+func TestReadBranchesBadMagic(t *testing.T) {
+	_, err := ReadBranches(bytes.NewReader([]byte("NOTATRACEFILE")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadEventsBadMagic(t *testing.T) {
+	// A valid branch stream is not a valid event stream.
+	var buf bytes.Buffer
+	if err := WriteBranches(&buf, Trace{MakeBranch(1, 2, true)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadEvents(&buf)
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadBranchesTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	tr := Trace{MakeBranch(1, 2, true), MakeBranch(1, 3, false)}
+	if err := WriteBranches(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := ReadBranches(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestReadEventsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	es := Events{{MethodEnter, 1, 0}, {MethodExit, 1, 10}}
+	if err := WriteEvents(&buf, es); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := ReadEvents(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestReadEventsBadKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, Events{{MethodEnter, 1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the kind byte (immediately after magic + count varint).
+	b[9] = 0xFF
+	if _, err := ReadEvents(bytes.NewReader(b)); err == nil {
+		t.Error("corrupted kind byte not detected")
+	}
+}
+
+// errWriter fails after n bytes, to exercise write error paths.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, io.ErrClosedPipe
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	tr := make(Trace, 10000)
+	for i := range tr {
+		tr[i] = MakeBranch(uint32(i%7), i%50, i%2 == 0)
+	}
+	if err := WriteBranches(&errWriter{n: 16}, tr); err == nil {
+		t.Error("WriteBranches did not propagate write error")
+	}
+	es := make(Events, 10000)
+	for i := range es {
+		es[i] = Event{MethodEnter, uint32(i), int64(i)}
+	}
+	if err := WriteEvents(&errWriter{n: 16}, es); err == nil {
+		t.Error("WriteEvents did not propagate write error")
+	}
+}

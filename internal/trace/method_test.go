@@ -1,0 +1,66 @@
+package trace
+
+import "testing"
+
+func TestNewMethodProfile(t *testing.T) {
+	es := Events{
+		{MethodEnter, 1, 0},
+		{LoopEnter, 9, 5},
+		{MethodEnter, 2, 10},
+		{MethodExit, 2, 20},
+		{MethodEnter, 2, 21},
+		{MethodExit, 2, 30},
+		{LoopExit, 9, 35},
+		{MethodExit, 1, 40},
+	}
+	p := NewMethodProfile(es)
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+	if p.Elements[0].Method() != 1 || p.Elements[1].Method() != 2 || p.Elements[2].Method() != 2 {
+		t.Errorf("elements = %v", p.Elements)
+	}
+	if p.Times[0] != 0 || p.Times[1] != 10 || p.Times[2] != 21 {
+		t.Errorf("times = %v", p.Times)
+	}
+	// Same method at different times maps to the same site.
+	if p.Elements[1] != p.Elements[2] {
+		t.Error("same method produced different elements")
+	}
+}
+
+func TestMethodProfileToBranchTime(t *testing.T) {
+	p := MethodProfile{
+		Elements: Trace{MakeBranch(1, 0, true), MakeBranch(2, 0, true), MakeBranch(3, 0, true)},
+		Times:    []int64{5, 10, 20},
+	}
+	const traceLen = 100
+	cases := []struct {
+		si, ei int
+		ws, we int64
+	}{
+		{0, 1, 5, 10},
+		{0, 3, 5, 100}, // end past last element -> traceLen
+		{1, 2, 10, 20},
+		{2, 3, 20, 100},
+		{3, 3, 100, 100}, // fully past the end
+		{-1, 99, 5, 100}, // clamped
+	}
+	for _, c := range cases {
+		s, e := p.ToBranchTime(c.si, c.ei, traceLen)
+		if s != c.ws || e != c.we {
+			t.Errorf("ToBranchTime(%d,%d) = [%d,%d), want [%d,%d)", c.si, c.ei, s, e, c.ws, c.we)
+		}
+	}
+}
+
+func TestMethodProfileEmpty(t *testing.T) {
+	p := NewMethodProfile(nil)
+	if p.Len() != 0 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	s, e := p.ToBranchTime(0, 0, 50)
+	if s != 50 || e != 50 {
+		t.Errorf("empty profile mapping = [%d,%d), want [50,50)", s, e)
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Streaming access to branch traces. The whole-trace helpers
+// (WriteBranches/ReadBranches) are convenient at experiment scale, but an
+// online detector's defining property is that it does not need the trace
+// in memory; BranchScanner and BranchWriter provide the incremental
+// counterparts so detectors can run over traces far larger than RAM.
+
+// BranchWriter incrementally writes a branch trace in the OPDBRNC1
+// format. Because the format's header carries the element count, the
+// writer buffers varint-encoded deltas and emits the header at Close.
+// For unbounded streams, see the delta encoding itself — each element
+// costs 1–10 bytes.
+type BranchWriter struct {
+	w     io.Writer
+	body  []byte
+	prev  uint64
+	count uint64
+	done  bool
+}
+
+// NewBranchWriter returns a writer that will emit to w on Close.
+func NewBranchWriter(w io.Writer) *BranchWriter {
+	return &BranchWriter{w: w}
+}
+
+// Write appends one profile element.
+func (bw *BranchWriter) Write(b Branch) error {
+	if bw.done {
+		return fmt.Errorf("trace: BranchWriter: write after Close")
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], int64(uint64(b)-bw.prev))
+	bw.body = append(bw.body, buf[:n]...)
+	bw.prev = uint64(b)
+	bw.count++
+	return nil
+}
+
+// Count returns the number of elements written so far.
+func (bw *BranchWriter) Count() int64 { return int64(bw.count) }
+
+// Close emits the header and body.
+func (bw *BranchWriter) Close() error {
+	if bw.done {
+		return nil
+	}
+	bw.done = true
+	out := bufio.NewWriter(bw.w)
+	if _, err := out.Write(branchMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], bw.count)
+	if _, err := out.Write(buf[:n]); err != nil {
+		return err
+	}
+	if _, err := out.Write(bw.body); err != nil {
+		return err
+	}
+	return out.Flush()
+}
+
+// BranchScanner incrementally reads a branch trace written in the
+// OPDBRNC1 format, one element at a time, in constant memory.
+type BranchScanner struct {
+	r         *bufio.Reader
+	remaining uint64
+	prev      uint64
+	cur       Branch
+	err       error
+	started   bool
+}
+
+// NewBranchScanner prepares a scanner over r. The header is read lazily on
+// the first Scan.
+func NewBranchScanner(r io.Reader) *BranchScanner {
+	return &BranchScanner{r: bufio.NewReader(r)}
+}
+
+// Scan advances to the next element; it returns false at end of trace or
+// on error (check Err).
+func (s *BranchScanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	if !s.started {
+		s.started = true
+		var magic [8]byte
+		if _, err := io.ReadFull(s.r, magic[:]); err != nil {
+			s.err = fmt.Errorf("trace: reading branch magic: %w", err)
+			return false
+		}
+		if magic != branchMagic {
+			s.err = ErrBadMagic
+			return false
+		}
+		count, err := binary.ReadUvarint(s.r)
+		if err != nil {
+			s.err = fmt.Errorf("trace: reading branch count: %w", err)
+			return false
+		}
+		s.remaining = count
+	}
+	if s.remaining == 0 {
+		return false
+	}
+	d, err := binary.ReadVarint(s.r)
+	if err != nil {
+		s.err = fmt.Errorf("trace: reading branch: %w", err)
+		return false
+	}
+	s.prev += uint64(d)
+	s.cur = Branch(s.prev)
+	s.remaining--
+	return true
+}
+
+// Branch returns the current element after a successful Scan.
+func (s *BranchScanner) Branch() Branch { return s.cur }
+
+// Err returns the first error encountered, if any.
+func (s *BranchScanner) Err() error { return s.err }

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	var tr Trace
+	for i := 0; i < 5000; i++ {
+		tr = append(tr, MakeBranch(uint32(i%9), i%77, i%3 == 0))
+	}
+	var buf bytes.Buffer
+	w := NewBranchWriter(&buf)
+	for _, b := range tr {
+		if err := w.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != int64(len(tr)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(tr))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The streamed output must be byte-identical to the whole-trace
+	// writer's.
+	var whole bytes.Buffer
+	if err := WriteBranches(&whole, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), whole.Bytes()) {
+		t.Error("streamed encoding differs from whole-trace encoding")
+	}
+
+	// Scanner reads it back element by element.
+	s := NewBranchScanner(bytes.NewReader(buf.Bytes()))
+	i := 0
+	for s.Scan() {
+		if s.Branch() != tr[i] {
+			t.Fatalf("element %d: %v, want %v", i, s.Branch(), tr[i])
+		}
+		i++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(tr) {
+		t.Errorf("scanned %d elements, want %d", i, len(tr))
+	}
+	// Further scans stay false without error.
+	if s.Scan() {
+		t.Error("Scan true past end")
+	}
+}
+
+func TestStreamWriterCloseIdempotentAndGuards(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBranchWriter(&buf)
+	if err := w.Write(MakeBranch(1, 2, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close errored: %v", err)
+	}
+	if err := w.Write(MakeBranch(1, 3, true)); err == nil {
+		t.Error("write after Close accepted")
+	}
+}
+
+func TestScannerErrors(t *testing.T) {
+	s := NewBranchScanner(bytes.NewReader([]byte("NOTATRACE")))
+	if s.Scan() {
+		t.Error("scanned garbage")
+	}
+	if !errors.Is(s.Err(), ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", s.Err())
+	}
+	// Scan after error stays false.
+	if s.Scan() {
+		t.Error("Scan true after error")
+	}
+
+	// Truncated body.
+	var buf bytes.Buffer
+	if err := WriteBranches(&buf, Trace{MakeBranch(1, 2, true), MakeBranch(1, 3, false)}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-1]
+	s = NewBranchScanner(bytes.NewReader(cut))
+	for s.Scan() {
+	}
+	if s.Err() == nil {
+		t.Error("truncation not reported")
+	}
+}
+
+func TestScannerEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewBranchWriter(&buf).Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewBranchScanner(bytes.NewReader(buf.Bytes()))
+	if s.Scan() {
+		t.Error("scanned an element from an empty trace")
+	}
+	if s.Err() != nil {
+		t.Errorf("err = %v", s.Err())
+	}
+}

@@ -1,0 +1,99 @@
+// Package viz renders phase interval sets as compact ASCII timelines, so
+// an oracle solution and one or more detectors' outputs can be compared
+// bucket by bucket at a glance.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"opd/internal/interval"
+)
+
+// Timeline accumulates labelled interval rows over a common trace extent.
+type Timeline struct {
+	traceLen int64
+	columns  int
+	rows     []row
+}
+
+type row struct {
+	label  string
+	phases []interval.Interval
+}
+
+// NewTimeline creates a timeline for a trace of traceLen elements rendered
+// across columns character cells (minimum 10).
+func NewTimeline(traceLen int64, columns int) *Timeline {
+	if columns < 10 {
+		columns = 10
+	}
+	return &Timeline{traceLen: traceLen, columns: columns}
+}
+
+// Add appends a labelled row of phase intervals.
+func (tl *Timeline) Add(label string, phases []interval.Interval) *Timeline {
+	tl.rows = append(tl.rows, row{label, phases})
+	return tl
+}
+
+// coverage returns the fraction of [lo, hi) covered by the intervals.
+func coverage(phases []interval.Interval, lo, hi int64) float64 {
+	var covered int64
+	for _, p := range phases {
+		s, e := p.Start, p.End
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e > s {
+			covered += e - s
+		}
+	}
+	return float64(covered) / float64(hi-lo)
+}
+
+// cell maps a coverage fraction to its glyph.
+func cell(c float64) byte {
+	switch {
+	case c > 0.75:
+		return '#'
+	case c > 0.25:
+		return '+'
+	case c > 0:
+		return '.'
+	default:
+		return ' '
+	}
+}
+
+// Render draws all rows, aligned, with a legend.
+func (tl *Timeline) Render() string {
+	if tl.traceLen == 0 {
+		return "(empty trace)\n"
+	}
+	labelWidth := 0
+	for _, r := range tl.rows {
+		if len(r.label) > labelWidth {
+			labelWidth = len(r.label)
+		}
+	}
+	bucket := (tl.traceLen + int64(tl.columns) - 1) / int64(tl.columns)
+	var sb strings.Builder
+	for _, r := range tl.rows {
+		fmt.Fprintf(&sb, "%-*s ", labelWidth, r.label)
+		for lo := int64(0); lo < tl.traceLen; lo += bucket {
+			hi := lo + bucket
+			if hi > tl.traceLen {
+				hi = tl.traceLen
+			}
+			sb.WriteByte(cell(coverage(r.phases, lo, hi)))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-*s (1 column = %d elements; '#' >75%%, '+' >25%%, '.' >0%%, ' ' transition)\n",
+		labelWidth, "", bucket)
+	return sb.String()
+}

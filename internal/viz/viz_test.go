@@ -1,0 +1,59 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"opd/internal/interval"
+)
+
+func iv(a, b int64) interval.Interval { return interval.Interval{Start: a, End: b} }
+
+func TestTimelineRender(t *testing.T) {
+	tl := NewTimeline(100, 10)
+	tl.Add("oracle", []interval.Interval{iv(0, 50)})
+	tl.Add("det", []interval.Interval{iv(10, 50), iv(90, 100)})
+	out := tl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// oracle: first five buckets full, last five empty.
+	if !strings.HasPrefix(lines[0], "oracle #####     ") {
+		t.Errorf("oracle row = %q", lines[0])
+	}
+	// det: bucket 0 empty, 1-4 full, 9 full.
+	if !strings.HasPrefix(lines[1], "det     ####    #") {
+		t.Errorf("det row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "1 column = 10 elements") {
+		t.Errorf("legend = %q", lines[2])
+	}
+}
+
+func TestTimelinePartialCoverageGlyphs(t *testing.T) {
+	tl := NewTimeline(100, 10)
+	tl.Add("x", []interval.Interval{iv(0, 5), iv(10, 14), iv(20, 21)})
+	line := strings.Split(tl.Render(), "\n")[0]
+	// bucket 0: 50% -> '+', bucket 1: 40% -> '+', bucket 2: 10% -> '.'
+	cells := strings.TrimPrefix(line, "x ")
+	if cells[0] != '+' || cells[1] != '+' || cells[2] != '.' || cells[3] != ' ' {
+		t.Errorf("glyphs = %q", cells)
+	}
+}
+
+func TestTimelineEdgeCases(t *testing.T) {
+	if out := NewTimeline(0, 50).Render(); !strings.Contains(out, "empty trace") {
+		t.Errorf("empty trace render = %q", out)
+	}
+	// Tiny column count is clamped; trace shorter than columns still works.
+	out := NewTimeline(5, 1).Add("r", []interval.Interval{iv(0, 5)}).Render()
+	if !strings.Contains(out, "#") {
+		t.Errorf("short trace render = %q", out)
+	}
+	// Intervals beyond the trace extent must not panic or overflow cells.
+	out = NewTimeline(10, 10).Add("r", []interval.Interval{iv(5, 500)}).Render()
+	if strings.Count(strings.Split(out, "\n")[0], "#") != 5 {
+		t.Errorf("clipped render = %q", out)
+	}
+}

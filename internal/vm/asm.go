@@ -1,0 +1,258 @@
+package vm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the VM's textual assembler, the hand-authoring
+// counterpart of Program.Disassemble. The grammar, line oriented with
+// '#' or ';' comments:
+//
+//	globals 16
+//	func main params=0 results=0 locals=2
+//	    const 5
+//	    store 0
+//	  top:
+//	    load 0
+//	    if_z done
+//	    loop              # opens a structured loop (auto-assigned ID)
+//	    ...
+//	    endloop
+//	    jump top
+//	  done:
+//	    ret
+//	end
+//
+// Jump and branch operands are label names; call operands are function
+// names (forward references allowed); loop markers are written with the
+// structured loop/endloop pseudo-instructions so IDs stay program-unique.
+
+// AsmError reports an assembly failure with its line number.
+type AsmError struct {
+	Line int
+	Msg  string
+}
+
+func (e *AsmError) Error() string { return fmt.Sprintf("vm: asm: line %d: %s", e.Line, e.Msg) }
+
+type asmLine struct {
+	num    int
+	fields []string
+}
+
+// Assemble parses assembler source and builds the program.
+func Assemble(r io.Reader) (*Program, error) {
+	var lines []asmLine
+	scanner := bufio.NewScanner(r)
+	num := 0
+	for scanner.Scan() {
+		num++
+		text := scanner.Text()
+		if i := strings.IndexAny(text, "#;"); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		lines = append(lines, asmLine{num, fields})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+
+	pb := NewProgramBuilder()
+
+	// Pass 1: collect function signatures so calls can reference any
+	// function regardless of declaration order.
+	type funcDecl struct {
+		name       string
+		start, end int // index range of body lines
+		fb         *FuncBuilder
+	}
+	var decls []funcDecl
+	byName := map[string]*FuncBuilder{}
+	i := 0
+	for i < len(lines) {
+		ln := lines[i]
+		switch ln.fields[0] {
+		case "globals":
+			if len(ln.fields) != 2 {
+				return nil, &AsmError{ln.num, "globals takes one integer"}
+			}
+			n, err := strconv.Atoi(ln.fields[1])
+			if err != nil {
+				return nil, &AsmError{ln.num, "bad globals count: " + err.Error()}
+			}
+			pb.SetGlobalSize(n)
+			i++
+		case "func":
+			name, params, results, locals, err := parseFuncHeader(ln)
+			if err != nil {
+				return nil, err
+			}
+			if byName[name] != nil {
+				return nil, &AsmError{ln.num, "duplicate function " + name}
+			}
+			fb := pb.Function(name, params, results)
+			for fb.fn.NumLocals < locals {
+				fb.NewLocal()
+			}
+			start := i + 1
+			j := start
+			for j < len(lines) && lines[j].fields[0] != "end" {
+				if lines[j].fields[0] == "func" {
+					return nil, &AsmError{lines[j].num, "func inside func (missing end?)"}
+				}
+				j++
+			}
+			if j == len(lines) {
+				return nil, &AsmError{ln.num, "func " + name + " missing end"}
+			}
+			decls = append(decls, funcDecl{name: name, start: start, end: j, fb: fb})
+			byName[name] = fb
+			i = j + 1
+		default:
+			return nil, &AsmError{ln.num, "expected globals or func, got " + ln.fields[0]}
+		}
+	}
+	if len(decls) == 0 {
+		return nil, &AsmError{0, "no functions"}
+	}
+
+	// Pass 2: assemble bodies.
+	for _, d := range decls {
+		if err := assembleBody(d.fb, lines[d.start:d.end], byName); err != nil {
+			return nil, err
+		}
+	}
+	return pb.Build()
+}
+
+func parseFuncHeader(ln asmLine) (name string, params, results, locals int, err error) {
+	if len(ln.fields) < 2 {
+		return "", 0, 0, 0, &AsmError{ln.num, "func needs a name"}
+	}
+	name = ln.fields[1]
+	for _, kv := range ln.fields[2:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", 0, 0, 0, &AsmError{ln.num, "bad attribute " + kv}
+		}
+		n, convErr := strconv.Atoi(val)
+		if convErr != nil {
+			return "", 0, 0, 0, &AsmError{ln.num, "bad attribute value " + kv}
+		}
+		switch key {
+		case "params":
+			params = n
+		case "results":
+			results = n
+		case "locals":
+			locals = n
+		default:
+			return "", 0, 0, 0, &AsmError{ln.num, "unknown attribute " + key}
+		}
+	}
+	return name, params, results, locals, nil
+}
+
+// mnemonicOps maps assembler mnemonics back to opcodes.
+var mnemonicOps = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(numOpcodes))
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func assembleBody(fb *FuncBuilder, body []asmLine, funcs map[string]*FuncBuilder) error {
+	labels := map[string]Label{}
+	label := func(name string) Label {
+		l, ok := labels[name]
+		if !ok {
+			l = fb.NewLabel()
+			labels[name] = l
+		}
+		return l
+	}
+	for _, ln := range body {
+		head := ln.fields[0]
+		if strings.HasSuffix(head, ":") {
+			if len(ln.fields) != 1 {
+				return &AsmError{ln.num, "label line must stand alone"}
+			}
+			fb.Bind(label(strings.TrimSuffix(head, ":")))
+			continue
+		}
+		switch head {
+		case "loop":
+			fb.Loop()
+			continue
+		case "endloop":
+			fb.EndLoop()
+			continue
+		case "call":
+			if len(ln.fields) != 2 {
+				return &AsmError{ln.num, "call takes a function name"}
+			}
+			target, ok := funcs[ln.fields[1]]
+			if !ok {
+				return &AsmError{ln.num, "unknown function " + ln.fields[1]}
+			}
+			fb.Call(target)
+			continue
+		}
+		op, ok := mnemonicOps[head]
+		if !ok {
+			return &AsmError{ln.num, "unknown instruction " + head}
+		}
+		switch {
+		case op == OpJump:
+			if len(ln.fields) != 2 {
+				return &AsmError{ln.num, "jump takes a label"}
+			}
+			fb.Jump(label(ln.fields[1]))
+		case op.IsConditionalBranch():
+			if len(ln.fields) != 2 {
+				return &AsmError{ln.num, head + " takes a label"}
+			}
+			fb.BranchIf(op, label(ln.fields[1]))
+		case op == OpLoopEnter || op == OpLoopExit:
+			return &AsmError{ln.num, "write loop/endloop instead of raw loop markers"}
+		case op.hasOperand():
+			if len(ln.fields) != 2 {
+				return &AsmError{ln.num, head + " takes an integer operand"}
+			}
+			v, err := strconv.ParseInt(ln.fields[1], 10, 32)
+			if err != nil {
+				return &AsmError{ln.num, "bad operand: " + err.Error()}
+			}
+			switch op {
+			case OpConst:
+				fb.Const(int32(v))
+			case OpLoad:
+				fb.Load(int(v))
+			case OpStore:
+				fb.Store(int(v))
+			default:
+				return &AsmError{ln.num, "operand form of " + head + " not expressible"}
+			}
+		default:
+			if len(ln.fields) != 1 {
+				return &AsmError{ln.num, head + " takes no operand"}
+			}
+			fb.Op(op)
+		}
+	}
+	return nil
+}
+
+// AssembleString is Assemble over a string.
+func AssembleString(src string) (*Program, error) {
+	return Assemble(strings.NewReader(src))
+}

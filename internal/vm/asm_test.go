@@ -1,0 +1,229 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+const fibAsm = `
+# fib via naive recursion
+globals 1
+
+func main params=0 results=0 locals=0
+    const 0
+    const 10
+    call fib
+    gstore
+    ret
+end
+
+func fib params=1 results=1 locals=1
+    load 0
+    const 2
+    if_ge recurse      ; n >= 2?
+    load 0
+    ret
+  recurse:
+    load 0
+    const 1
+    sub
+    call fib
+    load 0
+    const 2
+    sub
+    call fib
+    add
+    ret
+end
+`
+
+func TestAssembleFib(t *testing.T) {
+	p, err := AssembleString(fibAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(p)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Globals()[0]; got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+}
+
+const loopAsm = `
+globals 2
+func main params=0 results=0 locals=2
+    const 0
+    store 0        # i = 0
+    const 0
+    store 1        # sum = 0
+    loop
+  top:
+    load 0
+    const 100
+    if_ge done
+    load 1
+    load 0
+    add
+    store 1
+    load 0
+    const 1
+    add
+    store 0
+    jump top
+  done:
+    endloop
+    const 0
+    load 1
+    gstore
+    ret
+end
+`
+
+func TestAssembleLoopWithMarkers(t *testing.T) {
+	p, err := AssembleString(loopAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumLoops != 1 {
+		t.Errorf("NumLoops = %d, want 1", p.NumLoops)
+	}
+	branches, events, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := events.Validate(); err != nil {
+		t.Errorf("events invalid: %v", err)
+	}
+	loops, _ := events.Counts()
+	if loops != 1 {
+		t.Errorf("loop executions = %d, want 1", loops)
+	}
+	if len(branches) != 101 {
+		t.Errorf("branches = %d, want 101", len(branches))
+	}
+	in := NewInterp(p)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Globals()[0]; got != 4950 {
+		t.Errorf("sum = %d, want 4950", got)
+	}
+}
+
+func TestAssembleMatchesBuilder(t *testing.T) {
+	// The same function written through the builder and through the
+	// assembler must produce identical traces.
+	pb := NewProgramBuilder().SetGlobalSize(2)
+	f := pb.Function("main", 0, 0)
+	i := f.NewLocal()
+	sum := f.NewLocal()
+	f.Const(0).Store(sum)
+	f.ForRange(i, 0, 100, func() {
+		f.Load(sum).Load(i).Op(OpAdd).Store(sum)
+	})
+	f.Const(0).Load(sum).Op(OpGlobalStore)
+	f.Ret()
+	built, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := AssembleString(loopAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, e1, err := Execute(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, e2, err := Execute(asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) != len(b2) {
+		t.Errorf("branch counts differ: %d vs %d", len(b1), len(b2))
+	}
+	if len(e1) != len(e2) {
+		t.Errorf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "no functions"},
+		{"junk toplevel", "bogus", "expected globals or func"},
+		{"bad globals", "globals x", "bad globals count"},
+		{"globals arity", "globals 1 2", "globals takes one integer"},
+		{"missing end", "func main params=0 results=0\nret", "missing end"},
+		{"nested func", "func a params=0 results=0\nfunc b params=0 results=0\nend\nend", "func inside func"},
+		{"dup func", "func a params=0 results=0\nret\nend\nfunc a params=0 results=0\nret\nend", "duplicate function"},
+		{"no name", "func", "needs a name"},
+		{"bad attr", "func m params:0\nret\nend", "bad attribute"},
+		{"bad attr value", "func m params=x\nret\nend", "bad attribute value"},
+		{"unknown attr", "func m wat=1\nret\nend", "unknown attribute"},
+		{"unknown instr", "func m params=0 results=0\nfrobnicate\nend", "unknown instruction"},
+		{"unknown call", "func m params=0 results=0\ncall nope\nend", "unknown function"},
+		{"call arity", "func m params=0 results=0\ncall\nend", "call takes a function name"},
+		{"jump arity", "func m params=0 results=0\njump\nend", "jump takes a label"},
+		{"branch arity", "func m params=0 results=0\nconst 0\nif_z\nend", "takes a label"},
+		{"raw marker", "func m params=0 results=0\nloop_enter 0\nend", "loop/endloop"},
+		{"const arity", "func m params=0 results=0\nconst\nend", "takes an integer operand"},
+		{"bad operand", "func m params=0 results=0\nconst xyz\nend", "bad operand"},
+		{"label with junk", "func m params=0 results=0\nfoo: bar\nend", "label line must stand alone"},
+		{"extra operand", "func m params=0 results=0\nadd 3\nend", "takes no operand"},
+		{"unbound label", "func m params=0 results=0\njump nowhere\nret\nend", "never bound"},
+		{"unbalanced loop", "func m params=0 results=0\nloop\nret\nend", "loops left open"},
+		{"verify failure", "func m params=0 results=0\nadd\nret\nend", "pops"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := AssembleString(c.src)
+			if err == nil {
+				t.Fatal("assembled successfully")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestAssembleCommentsAndWhitespace(t *testing.T) {
+	src := `
+	# leading comment
+	globals 1   ; trailing comment
+
+	func main params=0 results=0 locals=0
+	    const 0    # address
+	    const 7    ; value
+	    gstore
+	    ret
+	end
+	`
+	p, err := AssembleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(p)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Globals()[0] != 7 {
+		t.Errorf("globals[0] = %d, want 7", in.Globals()[0])
+	}
+}
+
+func TestAsmErrorLineNumbers(t *testing.T) {
+	src := "globals 1\nfunc main params=0 results=0\nconst 1\nwat\nend"
+	_, err := AssembleString(src)
+	asmErr, ok := err.(*AsmError)
+	if !ok {
+		t.Fatalf("err = %T, want *AsmError", err)
+	}
+	if asmErr.Line != 4 {
+		t.Errorf("line = %d, want 4", asmErr.Line)
+	}
+}

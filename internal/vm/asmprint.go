@@ -1,0 +1,55 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AsmString renders the program as assembler text accepted by Assemble,
+// so programs round-trip between the in-memory and textual forms:
+// labels are synthesized for jump/branch targets, calls are emitted by
+// function name, and loop markers are written as structured loop/endloop
+// pseudo-instructions.
+func (p *Program) AsmString() string {
+	var sb strings.Builder
+	if p.GlobalSize > 0 {
+		fmt.Fprintf(&sb, "globals %d\n\n", p.GlobalSize)
+	}
+	for _, f := range p.Functions {
+		fmt.Fprintf(&sb, "func %s params=%d results=%d locals=%d\n",
+			f.Name, f.NumParams, f.NumResults, f.NumLocals)
+		// Collect branch/jump targets needing labels.
+		targets := map[int32]string{}
+		for _, in := range f.Code {
+			switch in.Op {
+			case OpJump, OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+				if _, ok := targets[in.A]; !ok {
+					targets[in.A] = fmt.Sprintf("L%d", in.A)
+				}
+			}
+		}
+		for pc, in := range f.Code {
+			if label, ok := targets[int32(pc)]; ok {
+				fmt.Fprintf(&sb, "  %s:\n", label)
+			}
+			switch in.Op {
+			case OpJump, OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+				fmt.Fprintf(&sb, "    %s %s\n", in.Op, targets[in.A])
+			case OpCall:
+				fmt.Fprintf(&sb, "    call %s\n", p.Functions[in.A].Name)
+			case OpLoopEnter:
+				fmt.Fprintf(&sb, "    loop\n")
+			case OpLoopExit:
+				fmt.Fprintf(&sb, "    endloop\n")
+			case OpConst, OpLoad, OpStore:
+				fmt.Fprintf(&sb, "    %s %d\n", in.Op, in.A)
+			default:
+				fmt.Fprintf(&sb, "    %s\n", in.Op)
+			}
+		}
+		// A label may sit past the last instruction only in malformed
+		// programs; verified code always ends in a terminator.
+		sb.WriteString("end\n\n")
+	}
+	return sb.String()
+}

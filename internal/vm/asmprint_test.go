@@ -1,0 +1,77 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsmStringGolden(t *testing.T) {
+	pb := NewProgramBuilder().SetGlobalSize(2)
+	main := pb.Function("main", 0, 0)
+	inc := pb.Function("inc", 1, 1)
+	inc.Load(0).Const(1).Op(OpAdd).Ret()
+	i := main.NewLocal()
+	main.ForRange(i, 0, 3, func() {
+		main.Load(i).Call(inc).Store(i)
+	})
+	main.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.AsmString()
+	want := `globals 2
+
+func main params=0 results=0 locals=1
+    const 0
+    store 0
+    loop
+  L3:
+    load 0
+    const 3
+    if_ge L14
+    load 0
+    call inc
+    store 0
+    load 0
+    const 1
+    add
+    store 0
+    jump L3
+  L14:
+    endloop
+    ret
+end
+
+func inc params=1 results=1 locals=1
+    load 0
+    const 1
+    add
+    ret
+end
+
+`
+	if got != want {
+		t.Errorf("AsmString drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// And it must reassemble to the same text (fixed point).
+	back, err := AssembleString(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.AsmString() != got {
+		t.Error("AsmString is not a fixed point under reassembly")
+	}
+}
+
+func TestAsmStringOmitsZeroGlobals(t *testing.T) {
+	pb := NewProgramBuilder()
+	pb.Function("main", 0, 0).Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.AsmString(), "globals") {
+		t.Errorf("zero-global program mentions globals:\n%s", p.AsmString())
+	}
+}

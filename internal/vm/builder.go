@@ -1,0 +1,315 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ProgramBuilder assembles a Program. Functions receive IDs in creation
+// order; mutual recursion works because a FuncBuilder can be referenced as
+// a call target before its body is complete.
+type ProgramBuilder struct {
+	funcs      []*FuncBuilder
+	globalSize int
+	nextLoop   int
+	err        error
+}
+
+// NewProgramBuilder returns an empty builder.
+func NewProgramBuilder() *ProgramBuilder {
+	return &ProgramBuilder{}
+}
+
+// SetGlobalSize declares the number of int64 slots of global memory.
+func (pb *ProgramBuilder) SetGlobalSize(n int) *ProgramBuilder {
+	if n < 0 {
+		pb.fail(fmt.Errorf("vm: negative global size %d", n))
+		return pb
+	}
+	pb.globalSize = n
+	return pb
+}
+
+func (pb *ProgramBuilder) fail(err error) {
+	if pb.err == nil {
+		pb.err = err
+	}
+}
+
+// Function creates a new function with the given signature. The first
+// function created is the program entry point.
+func (pb *ProgramBuilder) Function(name string, numParams, numResults int) *FuncBuilder {
+	fb := &FuncBuilder{
+		pb: pb,
+		fn: &Function{
+			Name:       name,
+			ID:         uint32(len(pb.funcs)),
+			NumParams:  numParams,
+			NumResults: numResults,
+			NumLocals:  numParams,
+		},
+	}
+	if numParams < 0 || numResults < 0 || numResults > 1 {
+		pb.fail(fmt.Errorf("vm: function %s: invalid signature (%d params, %d results)", name, numParams, numResults))
+	}
+	pb.funcs = append(pb.funcs, fb)
+	return fb
+}
+
+// Build resolves labels, verifies the program, and returns it.
+func (pb *ProgramBuilder) Build() (*Program, error) {
+	if pb.err != nil {
+		return nil, pb.err
+	}
+	if len(pb.funcs) == 0 {
+		return nil, errors.New("vm: program has no functions")
+	}
+	p := &Program{GlobalSize: pb.globalSize, NumLoops: pb.nextLoop}
+	for _, fb := range pb.funcs {
+		if err := fb.resolve(); err != nil {
+			return nil, err
+		}
+		p.Functions = append(p.Functions, fb.fn)
+	}
+	if err := Verify(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for program construction known correct at compile
+// time; it panics on error. Synthetic benchmark constructors use it.
+func (pb *ProgramBuilder) MustBuild() *Program {
+	p, err := pb.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Label names a code position for jumps and branches.
+type Label int
+
+// FuncBuilder assembles one function's bytecode.
+type FuncBuilder struct {
+	pb        *ProgramBuilder
+	fn        *Function
+	labelPCs  []int   // labelPCs[l] = bound pc, or -1
+	openLoops []int   // stack of loop IDs for Loop/EndLoop pairing
+	fixups    []fixup // instructions whose A awaits a label
+}
+
+type fixup struct {
+	pc    int
+	label Label
+}
+
+// ID returns the function's program-wide ID, usable as a call target.
+func (fb *FuncBuilder) ID() uint32 { return fb.fn.ID }
+
+// NewLocal allocates a fresh local slot and returns its index.
+func (fb *FuncBuilder) NewLocal() int {
+	idx := fb.fn.NumLocals
+	fb.fn.NumLocals++
+	return idx
+}
+
+// NewLabel creates an unbound label.
+func (fb *FuncBuilder) NewLabel() Label {
+	fb.labelPCs = append(fb.labelPCs, -1)
+	return Label(len(fb.labelPCs) - 1)
+}
+
+// Bind attaches a label to the current code position.
+func (fb *FuncBuilder) Bind(l Label) *FuncBuilder {
+	if int(l) < 0 || int(l) >= len(fb.labelPCs) {
+		fb.pb.fail(fmt.Errorf("vm: %s: bind of unknown label %d", fb.fn.Name, l))
+		return fb
+	}
+	if fb.labelPCs[l] != -1 {
+		fb.pb.fail(fmt.Errorf("vm: %s: label %d bound twice", fb.fn.Name, l))
+		return fb
+	}
+	fb.labelPCs[l] = len(fb.fn.Code)
+	return fb
+}
+
+func (fb *FuncBuilder) emit(in Instr) *FuncBuilder {
+	fb.fn.Code = append(fb.fn.Code, in)
+	return fb
+}
+
+func (fb *FuncBuilder) emitToLabel(op Opcode, l Label) *FuncBuilder {
+	if int(l) < 0 || int(l) >= len(fb.labelPCs) {
+		fb.pb.fail(fmt.Errorf("vm: %s: %v to unknown label %d", fb.fn.Name, op, l))
+		return fb
+	}
+	fb.fixups = append(fb.fixups, fixup{pc: len(fb.fn.Code), label: l})
+	return fb.emit(Instr{Op: op})
+}
+
+// Const pushes an immediate value.
+func (fb *FuncBuilder) Const(v int32) *FuncBuilder { return fb.emit(Instr{OpConst, v}) }
+
+// Load pushes local slot idx.
+func (fb *FuncBuilder) Load(idx int) *FuncBuilder { return fb.emit(Instr{OpLoad, int32(idx)}) }
+
+// Store pops into local slot idx.
+func (fb *FuncBuilder) Store(idx int) *FuncBuilder { return fb.emit(Instr{OpStore, int32(idx)}) }
+
+// Op emits a no-operand instruction (arithmetic, stack manipulation,
+// OpGlobalLoad/OpGlobalStore, OpHalt, ...).
+func (fb *FuncBuilder) Op(op Opcode) *FuncBuilder {
+	if op.hasOperand() {
+		fb.pb.fail(fmt.Errorf("vm: %s: opcode %v requires an operand", fb.fn.Name, op))
+		return fb
+	}
+	return fb.emit(Instr{Op: op})
+}
+
+// Jump emits an unconditional jump to l.
+func (fb *FuncBuilder) Jump(l Label) *FuncBuilder { return fb.emitToLabel(OpJump, l) }
+
+// BranchIf emits a conditional branch (one of the OpIf* opcodes) to l.
+func (fb *FuncBuilder) BranchIf(op Opcode, l Label) *FuncBuilder {
+	if !op.IsConditionalBranch() {
+		fb.pb.fail(fmt.Errorf("vm: %s: BranchIf with non-branch opcode %v", fb.fn.Name, op))
+		return fb
+	}
+	return fb.emitToLabel(op, l)
+}
+
+// Call emits a call to the given function builder's function.
+func (fb *FuncBuilder) Call(target *FuncBuilder) *FuncBuilder {
+	return fb.emit(Instr{OpCall, int32(target.fn.ID)})
+}
+
+// Ret emits a return.
+func (fb *FuncBuilder) Ret() *FuncBuilder { return fb.emit(Instr{Op: OpRet}) }
+
+// Halt emits a machine stop.
+func (fb *FuncBuilder) Halt() *FuncBuilder { return fb.emit(Instr{Op: OpHalt}) }
+
+// Loop opens a new static loop: it allocates a program-unique loop ID and
+// emits its OpLoopEnter marker. Every Loop must be closed by EndLoop.
+func (fb *FuncBuilder) Loop() *FuncBuilder {
+	id := fb.pb.nextLoop
+	fb.pb.nextLoop++
+	fb.openLoops = append(fb.openLoops, id)
+	return fb.emit(Instr{OpLoopEnter, int32(id)})
+}
+
+// EndLoop closes the innermost open loop, emitting its OpLoopExit marker.
+func (fb *FuncBuilder) EndLoop() *FuncBuilder {
+	if len(fb.openLoops) == 0 {
+		fb.pb.fail(fmt.Errorf("vm: %s: EndLoop without open loop", fb.fn.Name))
+		return fb
+	}
+	id := fb.openLoops[len(fb.openLoops)-1]
+	fb.openLoops = fb.openLoops[:len(fb.openLoops)-1]
+	return fb.emit(Instr{OpLoopExit, int32(id)})
+}
+
+// ForRange emits a counted loop running body with local ctr taking values
+// from (inclusive) to to (exclusive). The loop's back-edge test is a
+// conditional branch, so each iteration contributes at least one profile
+// element. The loop is bracketed with OpLoopEnter/OpLoopExit markers.
+func (fb *FuncBuilder) ForRange(ctr int, from, to int32, body func()) *FuncBuilder {
+	fb.Const(from).Store(ctr)
+	fb.Loop()
+	start := fb.NewLabel()
+	end := fb.NewLabel()
+	fb.Bind(start)
+	fb.Load(ctr).Const(to).BranchIf(OpIfGe, end)
+	body()
+	fb.Load(ctr).Const(1).Op(OpAdd).Store(ctr)
+	fb.Jump(start)
+	fb.Bind(end)
+	fb.EndLoop()
+	return fb
+}
+
+// ForRangeVar is ForRange with a dynamic bound read from local slot
+// toLocal on each iteration.
+func (fb *FuncBuilder) ForRangeVar(ctr int, from int32, toLocal int, body func()) *FuncBuilder {
+	fb.Const(from).Store(ctr)
+	fb.Loop()
+	start := fb.NewLabel()
+	end := fb.NewLabel()
+	fb.Bind(start)
+	fb.Load(ctr).Load(toLocal).BranchIf(OpIfGe, end)
+	body()
+	fb.Load(ctr).Const(1).Op(OpAdd).Store(ctr)
+	fb.Jump(start)
+	fb.Bind(end)
+	fb.EndLoop()
+	return fb
+}
+
+// LoopWhile emits a general test-at-top loop. Each iteration first runs
+// pushArgs (which must push the operands the exit branch consumes: two
+// values for the binary OpIf* forms, one for OpIfZ/OpIfNZ) and exits the
+// loop when exitOp's condition holds; otherwise body runs and control
+// returns to the test. The loop is bracketed with loop markers.
+func (fb *FuncBuilder) LoopWhile(pushArgs func(), exitOp Opcode, body func()) *FuncBuilder {
+	fb.Loop()
+	start := fb.NewLabel()
+	end := fb.NewLabel()
+	fb.Bind(start)
+	pushArgs()
+	fb.BranchIf(exitOp, end)
+	body()
+	fb.Jump(start)
+	fb.Bind(end)
+	fb.EndLoop()
+	return fb
+}
+
+// While emits a condition-controlled loop: cond must push one value; the
+// body runs while that value is non-zero.
+func (fb *FuncBuilder) While(cond func(), body func()) *FuncBuilder {
+	fb.Loop()
+	start := fb.NewLabel()
+	end := fb.NewLabel()
+	fb.Bind(start)
+	cond()
+	fb.BranchIf(OpIfZ, end)
+	body()
+	fb.Jump(start)
+	fb.Bind(end)
+	fb.EndLoop()
+	return fb
+}
+
+// IfElse emits a two-armed conditional on the value pushed by cond: then
+// runs if it is non-zero, otherwise els (which may be nil) runs. The test
+// is a conditional branch and contributes one profile element.
+func (fb *FuncBuilder) IfElse(cond func(), then func(), els func()) *FuncBuilder {
+	elseL := fb.NewLabel()
+	endL := fb.NewLabel()
+	cond()
+	fb.BranchIf(OpIfZ, elseL)
+	then()
+	fb.Jump(endL)
+	fb.Bind(elseL)
+	if els != nil {
+		els()
+	}
+	fb.Bind(endL)
+	return fb
+}
+
+// resolve patches label fixups and checks loop pairing.
+func (fb *FuncBuilder) resolve() error {
+	if len(fb.openLoops) != 0 {
+		return fmt.Errorf("vm: %s: %d loops left open", fb.fn.Name, len(fb.openLoops))
+	}
+	for _, fx := range fb.fixups {
+		pc := fb.labelPCs[fx.label]
+		if pc == -1 {
+			return fmt.Errorf("vm: %s: label %d used but never bound", fb.fn.Name, fx.label)
+		}
+		fb.fn.Code[fx.pc].A = int32(pc)
+	}
+	return nil
+}

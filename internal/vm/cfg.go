@@ -1,0 +1,273 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file provides control-flow analysis over bytecode functions: basic
+// block construction, dominator computation, and natural-loop detection.
+// The baseline oracle depends on loop entry/exit instrumentation; in this
+// repository the Builder inserts the markers structurally, but a real VM
+// discovers loops in unstructured code exactly this way — back edges whose
+// target dominates their source — and places its hooks accordingly. The
+// analysis both documents that machinery and validates the Builder: every
+// marker-delimited loop must coincide with a discovered natural loop.
+
+// A Block is one basic block: a maximal straight-line instruction range
+// [Start, End) with control entering only at Start.
+type Block struct {
+	Start, End int   // instruction index range
+	Succs      []int // successor block indices
+	Preds      []int // predecessor block indices
+}
+
+// A CFG is a function's control-flow graph, with dominator information.
+type CFG struct {
+	Fn     *Function
+	Blocks []Block
+	// Idom[b] is the immediate dominator of block b (-1 for the entry).
+	Idom []int
+	// blockOf[pc] = index of the block containing pc.
+	blockOf []int
+}
+
+// BuildCFG constructs the control-flow graph of a function and computes
+// its dominator tree (iterative dataflow; ample for our function sizes).
+func BuildCFG(f *Function) (*CFG, error) {
+	if len(f.Code) == 0 {
+		return nil, fmt.Errorf("vm: cfg: %s: empty function", f.Name)
+	}
+	// Leaders: instruction 0, branch/jump targets, and fall-throughs
+	// after terminators and branches.
+	leader := make([]bool, len(f.Code))
+	leader[0] = true
+	for pc, in := range f.Code {
+		switch in.Op {
+		case OpJump, OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+			if int(in.A) >= len(f.Code) {
+				return nil, fmt.Errorf("vm: cfg: %s@%d: target out of range", f.Name, pc)
+			}
+			leader[in.A] = true
+			if pc+1 < len(f.Code) {
+				leader[pc+1] = true
+			}
+		case OpRet, OpHalt:
+			if pc+1 < len(f.Code) {
+				leader[pc+1] = true
+			}
+		}
+	}
+	cfg := &CFG{Fn: f, blockOf: make([]int, len(f.Code))}
+	for pc := 0; pc < len(f.Code); pc++ {
+		if leader[pc] {
+			cfg.Blocks = append(cfg.Blocks, Block{Start: pc})
+		}
+		cfg.blockOf[pc] = len(cfg.Blocks) - 1
+	}
+	for i := range cfg.Blocks {
+		if i+1 < len(cfg.Blocks) {
+			cfg.Blocks[i].End = cfg.Blocks[i+1].Start
+		} else {
+			cfg.Blocks[i].End = len(f.Code)
+		}
+	}
+	// Edges.
+	addEdge := func(from, to int) {
+		cfg.Blocks[from].Succs = append(cfg.Blocks[from].Succs, to)
+		cfg.Blocks[to].Preds = append(cfg.Blocks[to].Preds, from)
+	}
+	for i, b := range cfg.Blocks {
+		last := f.Code[b.End-1]
+		switch last.Op {
+		case OpRet, OpHalt:
+		case OpJump:
+			addEdge(i, cfg.blockOf[last.A])
+		case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+			addEdge(i, cfg.blockOf[last.A])
+			if b.End < len(f.Code) {
+				addEdge(i, cfg.blockOf[b.End])
+			}
+		default:
+			if b.End < len(f.Code) {
+				addEdge(i, cfg.blockOf[b.End])
+			}
+		}
+	}
+	cfg.computeDominators()
+	return cfg, nil
+}
+
+// computeDominators runs the standard iterative dominator dataflow over
+// a reverse-post-order walk.
+func (c *CFG) computeDominators() {
+	n := len(c.Blocks)
+	// Reverse post-order.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range c.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(0)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoIndex := make([]int, n)
+	for i := range rpoIndex {
+		rpoIndex[i] = -1
+	}
+	for i, b := range order {
+		rpoIndex[b] = i
+	}
+
+	c.Idom = make([]int, n)
+	for i := range c.Idom {
+		c.Idom[i] = -1
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = c.Idom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = c.Idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Blocks[b].Preds {
+				if rpoIndex[p] == -1 {
+					continue // unreachable predecessor
+				}
+				if p != 0 && c.Idom[p] == -1 {
+					continue // not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && c.Idom[b] != newIdom {
+				c.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// Dominates reports whether block a dominates block b.
+func (c *CFG) Dominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = c.Idom[b]
+	}
+	return false
+}
+
+// A NaturalLoop is a back edge plus the set of blocks it encloses.
+type NaturalLoop struct {
+	// Header is the loop header block (the back edge's target).
+	Header int
+	// Back is the block carrying the back edge.
+	Back int
+	// Blocks is the loop body (block indices, sorted), including Header.
+	Blocks []int
+	// HeadPC is the first instruction of the header, for correlating with
+	// loop markers.
+	HeadPC int
+}
+
+// NaturalLoops finds all natural loops: edges s->h where h dominates s;
+// each loop body is the set of blocks that can reach s without passing
+// through h. Loops sharing a header are reported separately (one per back
+// edge).
+func (c *CFG) NaturalLoops() []NaturalLoop {
+	var loops []NaturalLoop
+	for s, b := range c.Blocks {
+		for _, h := range b.Succs {
+			if !c.Dominates(h, s) {
+				continue
+			}
+			// Collect the body by backwards reachability from s, stopping
+			// at h.
+			inLoop := map[int]bool{h: true, s: true}
+			stack := []int{s}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if x == h {
+					continue
+				}
+				for _, p := range c.Blocks[x].Preds {
+					if !inLoop[p] {
+						inLoop[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+			var blocks []int
+			for x := range inLoop {
+				blocks = append(blocks, x)
+			}
+			sort.Ints(blocks)
+			loops = append(loops, NaturalLoop{
+				Header: h, Back: s, Blocks: blocks, HeadPC: c.Blocks[h].Start,
+			})
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].HeadPC != loops[j].HeadPC {
+			return loops[i].HeadPC < loops[j].HeadPC
+		}
+		return loops[i].Back < loops[j].Back
+	})
+	return loops
+}
+
+// String renders the CFG compactly for debugging.
+func (c *CFG) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s: %d blocks\n", c.Fn.Name, len(c.Blocks))
+	for i, b := range c.Blocks {
+		fmt.Fprintf(&sb, "  b%d [%d,%d) -> %v (idom b%d)\n", i, b.Start, b.End, b.Succs, c.Idom[i])
+	}
+	return sb.String()
+}
+
+// MarkerLoopHeads returns, for each static loop ID used in the function,
+// the pc of the first instruction after its OpLoopEnter — where the
+// Builder placed the loop. Used to validate markers against discovered
+// natural loops.
+func MarkerLoopHeads(f *Function) map[int32]int {
+	heads := map[int32]int{}
+	for pc, in := range f.Code {
+		if in.Op == OpLoopEnter {
+			if _, dup := heads[in.A]; !dup {
+				heads[in.A] = pc + 1
+			}
+		}
+	}
+	return heads
+}

@@ -1,0 +1,181 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCountedLoop builds main with a single counted loop and returns it.
+func buildCountedLoop(t *testing.T) *Function {
+	t.Helper()
+	pb := NewProgramBuilder().SetGlobalSize(1)
+	f := pb.Function("main", 0, 0)
+	i := f.NewLocal()
+	f.ForRange(i, 0, 10, func() {
+		f.Load(i).Const(1).Op(OpAnd).Store(i)
+	})
+	f.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Functions[0]
+}
+
+func TestBuildCFGStraightLine(t *testing.T) {
+	pb := NewProgramBuilder()
+	f := pb.Function("main", 0, 0)
+	f.Const(1).Const(2).Op(OpAdd).Op(OpPop).Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := BuildCFG(p.Functions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1:\n%s", len(cfg.Blocks), cfg)
+	}
+	if len(cfg.Blocks[0].Succs) != 0 {
+		t.Errorf("straight-line block has successors: %v", cfg.Blocks[0].Succs)
+	}
+	if cfg.Idom[0] != -1 {
+		t.Errorf("entry idom = %d, want -1", cfg.Idom[0])
+	}
+}
+
+func TestBuildCFGLoop(t *testing.T) {
+	fn := buildCountedLoop(t)
+	cfg, err := BuildCFG(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := cfg.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("natural loops = %d, want 1:\n%s", len(loops), cfg)
+	}
+	l := loops[0]
+	if len(l.Blocks) < 2 {
+		t.Errorf("loop body = %v, want at least header+body", l.Blocks)
+	}
+	if !cfg.Dominates(l.Header, l.Back) {
+		t.Error("header does not dominate the back edge source")
+	}
+	// Entry dominates everything.
+	for b := range cfg.Blocks {
+		if !cfg.Dominates(0, b) {
+			t.Errorf("entry does not dominate block %d", b)
+		}
+	}
+}
+
+func TestCFGNestedLoops(t *testing.T) {
+	pb := NewProgramBuilder().SetGlobalSize(1)
+	f := pb.Function("main", 0, 0)
+	i := f.NewLocal()
+	j := f.NewLocal()
+	f.ForRange(i, 0, 5, func() {
+		f.ForRange(j, 0, 7, func() {
+			f.Load(j).Const(1).Op(OpAnd).Store(j)
+		})
+	})
+	f.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := BuildCFG(p.Functions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := cfg.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2:\n%s", len(loops), cfg)
+	}
+	// The inner loop's body must be a strict subset of the outer's.
+	outer, inner := loops[0], loops[1]
+	if len(outer.Blocks) <= len(inner.Blocks) {
+		outer, inner = inner, outer
+	}
+	inOuter := map[int]bool{}
+	for _, b := range outer.Blocks {
+		inOuter[b] = true
+	}
+	for _, b := range inner.Blocks {
+		if !inOuter[b] {
+			t.Errorf("inner loop block %d not inside outer loop", b)
+		}
+	}
+}
+
+// TestMarkersMatchNaturalLoops validates the Builder against the
+// analysis: every marker-delimited loop in every synthetic benchmark
+// corresponds to a natural loop whose header is at (or just after) the
+// marker.
+func TestMarkersMatchNaturalLoops(t *testing.T) {
+	fn := buildCountedLoop(t)
+	cfg, err := BuildCFG(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := MarkerLoopHeads(fn)
+	if len(heads) != 1 {
+		t.Fatalf("marker heads = %v, want one", heads)
+	}
+	loops := cfg.NaturalLoops()
+	for _, head := range heads {
+		found := false
+		for _, l := range loops {
+			// The marker precedes the counter init and the header test;
+			// allow a small distance.
+			if l.HeadPC >= head && l.HeadPC <= head+4 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no natural loop near marker head %d (loops: %+v)", head, loops)
+		}
+	}
+}
+
+func TestCFGIrreducibleSafe(t *testing.T) {
+	// Hand-built multi-entry cycle (irreducible): the analysis must not
+	// report a natural loop (no header dominates the cycle) and must not
+	// hang.
+	code := []Instr{
+		{OpConst, 0}, // 0
+		{OpIfZ, 5},   // 1: -> 5 or fall to 2
+		{OpConst, 1}, // 2  (entry A into cycle)
+		{Op: OpPop},  // 3
+		{OpJump, 7},  // 4: jump into the middle of the "cycle"
+		{OpConst, 2}, // 5  (entry B)
+		{Op: OpPop},  // 6
+		{OpConst, 3}, // 7
+		{Op: OpPop},  // 8
+		{Op: OpRet},  // 9
+	}
+	p := &Program{Functions: []*Function{{Name: "f", Code: code}}}
+	if err := Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := BuildCFG(p.Functions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cfg.NaturalLoops()); got != 0 {
+		t.Errorf("acyclic graph reported %d loops", got)
+	}
+	if !strings.Contains(cfg.String(), "blocks") {
+		t.Error("String() broken")
+	}
+}
+
+func TestBuildCFGErrors(t *testing.T) {
+	if _, err := BuildCFG(&Function{Name: "empty"}); err == nil {
+		t.Error("empty function accepted")
+	}
+	if _, err := BuildCFG(&Function{Name: "bad", Code: []Instr{{OpJump, 99}}}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics on arbitrary source and
+// that everything it accepts passes the verifier and can be disassembled
+// and re-rendered.
+func FuzzAssemble(f *testing.F) {
+	f.Add(fibAsm)
+	f.Add(loopAsm)
+	f.Add("globals 1\nfunc main params=0 results=0\nret\nend")
+	f.Add("func main params=0 results=0\nloop\nendloop\nret\nend")
+	f.Add("junk")
+	f.Add("func main params=0 results=0\nconst 99999999999999\nend")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := AssembleString(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must be verifier-clean (Build verifies, so
+		// this is a consistency check) and render back to parseable text.
+		if err := Verify(p); err != nil {
+			t.Fatalf("assembled program fails verify: %v\nsource:\n%s", err, src)
+		}
+		back, err := AssembleString(p.AsmString())
+		if err != nil {
+			t.Fatalf("AsmString round trip failed: %v\nrendered:\n%s", err, p.AsmString())
+		}
+		if len(back.Functions) != len(p.Functions) {
+			t.Fatalf("round trip changed function count")
+		}
+	})
+}
+
+// FuzzVerify checks the verifier never panics on arbitrary single-function
+// bytecode.
+func FuzzVerify(f *testing.F) {
+	f.Add([]byte{byte(OpRet), 0, 0, 0, 0})
+	f.Add([]byte{byte(OpConst), 1, byte(OpPop), 0, byte(OpRet), 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		var code []Instr
+		for i := 0; i+1 < len(raw) && len(code) < 64; i += 2 {
+			code = append(code, Instr{Op: Opcode(raw[i] % uint8(numOpcodes)), A: int32(int8(raw[i+1]))})
+		}
+		p := &Program{Functions: []*Function{{Name: "f", NumLocals: 4, Code: code}}, NumLoops: 4}
+		err := Verify(p) // must not panic
+		if err == nil {
+			// Verified fuzz programs must execute without violating
+			// interpreter invariants (traps are fine; panics are not).
+			in := NewInterp(p, WithMaxSteps(10000), WithMaxDepth(16))
+			_ = in.Run()
+		}
+	})
+}
+
+// FuzzInterpOnOptimized cross-checks the optimizer on small verified
+// programs found by the fuzzer: optimized execution must trap iff the
+// original traps... relaxed to: optimized execution must not panic and,
+// when both runs succeed, globals must agree.
+func FuzzInterpOnOptimized(f *testing.F) {
+	f.Add([]byte{byte(OpConst), 2, byte(OpConst), 3, byte(OpAdd), 0, byte(OpPop), 0, byte(OpRet), 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var code []Instr
+		for i := 0; i+1 < len(raw) && len(code) < 48; i += 2 {
+			op := Opcode(raw[i] % uint8(numOpcodes))
+			if op == OpCall { // single-function fuzz body
+				op = OpNop
+			}
+			code = append(code, Instr{Op: op, A: int32(int8(raw[i+1]))})
+		}
+		if len(code) == 0 {
+			return
+		}
+		p := &Program{Functions: []*Function{{Name: "f", NumLocals: 4, Code: code}}, NumLoops: 4, GlobalSize: 4}
+		if Verify(p) != nil {
+			return
+		}
+		opt := Optimize(p)
+		run := func(prog *Program) ([]int64, bool) {
+			in := NewInterp(prog, WithMaxSteps(20000), WithMaxDepth(16))
+			if err := in.Run(); err != nil {
+				if strings.Contains(err.Error(), "step budget") {
+					return nil, false
+				}
+				return nil, false
+			}
+			return in.Globals(), true
+		}
+		g1, ok1 := run(p)
+		g2, ok2 := run(opt)
+		if ok1 && ok2 {
+			for i := range g1 {
+				if g1[i] != g2[i] {
+					t.Fatalf("optimizer changed globals[%d]: %d vs %d\n%s\nvs\n%s",
+						i, g1[i], g2[i], p.Disassemble(), opt.Disassemble())
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package vm
+
+// This file implements function inlining, the optimizing compiler's most
+// profile-visible transformation: inlined calls disappear from the
+// call-loop trace and the callee's conditional branches are re-homed into
+// the caller, changing the static site set exactly the way a real adaptive
+// VM's recompilation does. Inlining is therefore *not* part of Optimize's
+// default pipeline — the repository's experiments assume a fixed site set
+// per workload — but is available for studying detector robustness under
+// recompilation.
+
+// InlineBudget bounds which callees are inlined: a callee is eligible if
+// it is a leaf-or-small function within MaxCalleeCode instructions, not
+// (mutually) recursive at the inlined site, and free of OpHalt.
+type InlineBudget struct {
+	// MaxCalleeCode is the callee size cap in instructions (default 24).
+	MaxCalleeCode int
+	// MaxGrowth caps the caller's code growth factor (default 8x).
+	MaxGrowth int
+}
+
+func (b InlineBudget) withDefaults() InlineBudget {
+	if b.MaxCalleeCode == 0 {
+		b.MaxCalleeCode = 24
+	}
+	if b.MaxGrowth == 0 {
+		b.MaxGrowth = 8
+	}
+	return b
+}
+
+// Inline returns a copy of the program with eligible calls expanded into
+// their callers (one level; no transitive re-inlining within the pass).
+// The result is re-verified; Inline panics on an internal error.
+func Inline(p *Program, budget InlineBudget) *Program {
+	budget = budget.withDefaults()
+	out := &Program{GlobalSize: p.GlobalSize, NumLoops: p.NumLoops}
+	for _, f := range p.Functions {
+		out.Functions = append(out.Functions, inlineInto(p, f, budget))
+	}
+	if err := Verify(out); err != nil {
+		panic("vm: inliner produced invalid program: " + err.Error())
+	}
+	return out
+}
+
+// inlinable reports whether callee may be expanded at a site inside
+// caller.
+func inlinable(caller, callee *Function, budget InlineBudget) bool {
+	if callee.ID == caller.ID {
+		return false // direct recursion
+	}
+	if len(callee.Code) > budget.MaxCalleeCode {
+		return false
+	}
+	for _, in := range callee.Code {
+		switch in.Op {
+		case OpHalt:
+			return false
+		case OpCall:
+			// Keep it simple: only leaf callees inline, which also rules
+			// out mutual recursion through the inlined body.
+			return false
+		}
+	}
+	return true
+}
+
+// inlineInto expands eligible call sites in f.
+func inlineInto(p *Program, f *Function, budget InlineBudget) *Function {
+	maxCode := len(f.Code) * budget.MaxGrowth
+	nf := &Function{
+		Name:       f.Name,
+		ID:         f.ID,
+		NumParams:  f.NumParams,
+		NumResults: f.NumResults,
+		NumLocals:  f.NumLocals,
+	}
+	// newPC[i] = start position of original instruction i in the new
+	// code; jumps are rewritten afterwards.
+	newPC := make([]int32, len(f.Code)+1)
+	for pc, in := range f.Code {
+		newPC[pc] = int32(len(nf.Code))
+		if in.Op != OpCall {
+			nf.Code = append(nf.Code, in)
+			continue
+		}
+		callee := p.Functions[in.A]
+		if !inlinable(f, callee, budget) || len(nf.Code)+len(callee.Code)+callee.NumParams+2 > maxCode {
+			nf.Code = append(nf.Code, in)
+			continue
+		}
+		// Prologue: pop arguments into fresh locals (last argument is on
+		// top of the stack, so store in reverse), and zero the callee's
+		// scratch locals.
+		base := nf.NumLocals
+		nf.NumLocals += callee.NumLocals
+		for a := callee.NumParams - 1; a >= 0; a-- {
+			nf.Code = append(nf.Code, Instr{OpStore, int32(base + a)})
+		}
+		for l := callee.NumParams; l < callee.NumLocals; l++ {
+			nf.Code = append(nf.Code, Instr{OpConst, 0}, Instr{OpStore, int32(base + l)})
+		}
+		// Body: splice with local and branch-target remapping; OpRet
+		// becomes a jump past the body (results are already on the
+		// operand stack).
+		bodyStart := len(nf.Code)
+		type retFix struct{ at int }
+		var rets []retFix
+		for _, cin := range callee.Code {
+			switch cin.Op {
+			case OpLoad, OpStore:
+				nf.Code = append(nf.Code, Instr{cin.Op, cin.A + int32(base)})
+			case OpJump, OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+				nf.Code = append(nf.Code, Instr{cin.Op, cin.A + int32(bodyStart)})
+			case OpRet:
+				rets = append(rets, retFix{at: len(nf.Code)})
+				nf.Code = append(nf.Code, Instr{Op: OpJump}) // patched below
+			default:
+				nf.Code = append(nf.Code, cin)
+			}
+		}
+		end := int32(len(nf.Code))
+		for _, r := range rets {
+			nf.Code[r.at].A = end
+		}
+		// The ret-replacing jump to the next instruction is redundant but
+		// harmless; running Optimize after Inline removes it (jump
+		// threading + nop compaction).
+	}
+	newPC[len(f.Code)] = int32(len(nf.Code))
+	// Rewrite the caller's own jump targets (callee-internal targets were
+	// rewritten during splicing and are final).
+	for pc, in := range f.Code {
+		switch in.Op {
+		case OpJump, OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+			at := newPC[pc]
+			nf.Code[at].A = newPC[in.A]
+		}
+	}
+	return nf
+}

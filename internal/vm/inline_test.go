@@ -1,0 +1,149 @@
+package vm
+
+import "testing"
+
+// buildCallHeavy builds main calling a small helper in a loop.
+func buildCallHeavy(t *testing.T) *Program {
+	t.Helper()
+	pb := NewProgramBuilder().SetGlobalSize(1)
+	main := pb.Function("main", 0, 0)
+	square := pb.Function("square", 1, 1)
+	square.Load(0).Load(0).Op(OpMul).Ret()
+
+	i := main.NewLocal()
+	acc := main.NewLocal()
+	main.Const(0).Store(acc)
+	main.ForRange(i, 0, 50, func() {
+		main.Load(i).Call(square).Load(acc).Op(OpAdd).Store(acc)
+	})
+	main.Const(0).Load(acc).Op(OpGlobalStore)
+	main.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInlineEliminatesCalls(t *testing.T) {
+	p := buildCallHeavy(t)
+	inlined := Inline(p, InlineBudget{})
+	for _, in := range inlined.Functions[0].Code {
+		if in.Op == OpCall {
+			t.Fatalf("call survived inlining:\n%s", inlined.Disassemble())
+		}
+	}
+	// Semantics: sum of squares 0..49 = 40425.
+	run := func(prog *Program) (int64, int64, int64) {
+		var c Collector
+		in := NewInterp(prog, WithInstrumentation(c.Instrumentation()))
+		if err := in.Run(); err != nil {
+			t.Fatal(err)
+		}
+		_, methods := c.Events.Counts()
+		return in.Globals()[0], in.BranchCount(), methods
+	}
+	g1, br1, m1 := run(p)
+	g2, br2, m2 := run(inlined)
+	if g1 != 40425 || g2 != 40425 {
+		t.Errorf("results: %d, %d; want 40425", g1, g2)
+	}
+	if br1 != br2 {
+		t.Errorf("inlining changed dynamic branch count: %d -> %d", br1, br2)
+	}
+	if m2 >= m1 {
+		t.Errorf("method invocations did not drop: %d -> %d", m1, m2)
+	}
+	if m2 != 1 {
+		t.Errorf("inlined run has %d invocations, want 1 (main only)", m2)
+	}
+}
+
+func TestInlineRespectsRecursionAndSize(t *testing.T) {
+	pb := NewProgramBuilder().SetGlobalSize(1)
+	main := pb.Function("main", 0, 0)
+	rec := pb.Function("rec", 1, 1)
+	// rec(n) = n <= 0 ? 0 : rec(n-1)
+	stop := rec.NewLabel()
+	rec.Load(0).Const(0).BranchIf(OpIfLe, stop)
+	rec.Load(0).Const(1).Op(OpSub).Call(rec).Ret()
+	rec.Bind(stop)
+	rec.Const(0).Ret()
+	big := pb.Function("big", 0, 1)
+	for i := 0; i < 40; i++ {
+		big.Const(int32(i)).Op(OpPop)
+	}
+	big.Const(7).Ret()
+
+	main.Const(3).Call(rec).Op(OpPop)
+	main.Call(big).Op(OpPop)
+	main.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlined := Inline(p, InlineBudget{MaxCalleeCode: 24})
+	calls := 0
+	for _, in := range inlined.Functions[0].Code {
+		if in.Op == OpCall {
+			calls++
+		}
+	}
+	// rec is recursive (and contains a call) and big exceeds the budget:
+	// both call sites must survive.
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (recursive and oversized callees kept)", calls)
+	}
+}
+
+func TestInlineThenOptimizeOnBenchmarks(t *testing.T) {
+	// The full recompilation pipeline must preserve semantics on every
+	// benchmark: globals equal, call-loop trace valid, method invocations
+	// never increase.
+	for _, b := range benchSuite(t) {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			orig := b.prog
+			transformed := Optimize(Inline(orig, InlineBudget{}))
+			var c1, c2 Collector
+			in1 := NewInterp(orig, WithInstrumentation(c1.Instrumentation()))
+			if err := in1.Run(); err != nil {
+				t.Fatal(err)
+			}
+			in2 := NewInterp(transformed, WithInstrumentation(c2.Instrumentation()))
+			if err := in2.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i := range in1.Globals() {
+				if in1.Globals()[i] != in2.Globals()[i] {
+					t.Fatalf("global %d differs: %d vs %d", i, in1.Globals()[i], in2.Globals()[i])
+				}
+			}
+			if err := c2.Events.Validate(); err != nil {
+				t.Fatalf("transformed trace invalid: %v", err)
+			}
+			_, m1 := c1.Events.Counts()
+			_, m2 := c2.Events.Counts()
+			if m2 > m1 {
+				t.Errorf("method invocations grew: %d -> %d", m1, m2)
+			}
+		})
+	}
+}
+
+// benchSuite loads the synthetic suite via the registry without importing
+// synth (which would cycle); the external opt test covers the real suite,
+// here we build three representative programs locally.
+type namedProg struct {
+	name string
+	prog *Program
+}
+
+func benchSuite(t *testing.T) []namedProg {
+	t.Helper()
+	return []namedProg{
+		{"callheavy", buildCallHeavy(t)},
+		{"fib", buildFib(t)},
+		{"arith", buildArith(t)},
+	}
+}

@@ -1,0 +1,328 @@
+package vm
+
+import (
+	"fmt"
+
+	"opd/internal/trace"
+)
+
+// Instrumentation receives the two profile streams as a program executes.
+// Either callback may be nil. OnBranch is invoked once per executed
+// conditional branch, after the machine's dynamic branch counter has been
+// advanced; OnEvent is invoked at loop and method entries and exits with
+// the event's Time set to the current branch count.
+type Instrumentation struct {
+	OnBranch func(trace.Branch)
+	OnEvent  func(trace.Event)
+}
+
+// A RuntimeError is a trap raised during execution: division by zero, an
+// out-of-bounds global access, resource exhaustion, or stack overflow.
+type RuntimeError struct {
+	Func string
+	PC   int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("vm: runtime error in %s@%d: %s", e.Func, e.PC, e.Msg)
+}
+
+// Interp executes a verified Program.
+type Interp struct {
+	prog     *Program
+	globals  []int64
+	branches int64
+	instr    Instrumentation
+	maxSteps int64
+	maxDepth int
+	steps    int64
+}
+
+// Option configures an Interp.
+type Option func(*Interp)
+
+// WithInstrumentation attaches profiling callbacks.
+func WithInstrumentation(ins Instrumentation) Option {
+	return func(i *Interp) { i.instr = ins }
+}
+
+// WithMaxSteps bounds the number of executed instructions (default 10^10).
+func WithMaxSteps(n int64) Option {
+	return func(i *Interp) { i.maxSteps = n }
+}
+
+// WithMaxDepth bounds the call stack depth (default 10000 frames).
+func WithMaxDepth(n int) Option {
+	return func(i *Interp) { i.maxDepth = n }
+}
+
+// NewInterp creates an interpreter for p. The program should already have
+// passed Verify (ProgramBuilder.Build guarantees this); the interpreter
+// relies on verified invariants and does not re-check operand ranges.
+func NewInterp(p *Program, opts ...Option) *Interp {
+	in := &Interp{
+		prog:     p,
+		globals:  make([]int64, p.GlobalSize),
+		maxSteps: 1e10,
+		maxDepth: 10000,
+	}
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// BranchCount returns the number of conditional branches executed so far.
+func (i *Interp) BranchCount() int64 { return i.branches }
+
+// Globals exposes the machine's global memory, chiefly for tests and for
+// seeding workload data before Run.
+func (i *Interp) Globals() []int64 { return i.globals }
+
+type frame struct {
+	fn        *Function
+	pc        int
+	locals    []int64
+	stack     []int64
+	openLoops []int32
+}
+
+func (i *Interp) emitEvent(kind trace.EventKind, id uint32) {
+	if i.instr.OnEvent != nil {
+		i.instr.OnEvent(trace.Event{Kind: kind, ID: id, Time: i.branches})
+	}
+}
+
+// Run executes the entry function to completion. A return from the entry
+// function or an OpHalt ends the run; on OpHalt, exit events are
+// synthesized for all open loops and frames so that the emitted call-loop
+// trace stays balanced (mirroring exceptional-exit instrumentation).
+func (i *Interp) Run() error {
+	entry := i.prog.Entry()
+	if entry == nil {
+		return fmt.Errorf("vm: run: empty program")
+	}
+	frames := make([]*frame, 0, 64)
+	push := func(fn *Function, args []int64) {
+		f := &frame{fn: fn, locals: make([]int64, fn.NumLocals)}
+		copy(f.locals, args)
+		frames = append(frames, f)
+		i.emitEvent(trace.MethodEnter, fn.ID)
+	}
+	push(entry, nil)
+
+	for len(frames) > 0 {
+		f := frames[len(frames)-1]
+		code := f.fn.Code
+
+		if f.pc >= len(code) {
+			// Verified programs cannot fall off the end; guard anyway.
+			return &RuntimeError{f.fn.Name, f.pc, "pc past end of code"}
+		}
+		if i.steps >= i.maxSteps {
+			return &RuntimeError{f.fn.Name, f.pc, fmt.Sprintf("step budget of %d exhausted", i.maxSteps)}
+		}
+		i.steps++
+
+		in := code[f.pc]
+		switch in.Op {
+		case OpNop:
+			f.pc++
+		case OpConst:
+			f.stack = append(f.stack, int64(in.A))
+			f.pc++
+		case OpLoad:
+			f.stack = append(f.stack, f.locals[in.A])
+			f.pc++
+		case OpStore:
+			f.locals[in.A] = f.stack[len(f.stack)-1]
+			f.stack = f.stack[:len(f.stack)-1]
+			f.pc++
+		case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+			b := f.stack[len(f.stack)-1]
+			a := f.stack[len(f.stack)-2]
+			f.stack = f.stack[:len(f.stack)-1]
+			var r int64
+			switch in.Op {
+			case OpAdd:
+				r = a + b
+			case OpSub:
+				r = a - b
+			case OpMul:
+				r = a * b
+			case OpDiv:
+				if b == 0 {
+					return &RuntimeError{f.fn.Name, f.pc, "division by zero"}
+				}
+				r = a / b
+			case OpRem:
+				if b == 0 {
+					return &RuntimeError{f.fn.Name, f.pc, "remainder by zero"}
+				}
+				r = a % b
+			case OpAnd:
+				r = a & b
+			case OpOr:
+				r = a | b
+			case OpXor:
+				r = a ^ b
+			case OpShl:
+				r = a << (uint64(b) & 63)
+			case OpShr:
+				r = a >> (uint64(b) & 63)
+			}
+			f.stack[len(f.stack)-1] = r
+			f.pc++
+		case OpNeg:
+			f.stack[len(f.stack)-1] = -f.stack[len(f.stack)-1]
+			f.pc++
+		case OpDup:
+			f.stack = append(f.stack, f.stack[len(f.stack)-1])
+			f.pc++
+		case OpPop:
+			f.stack = f.stack[:len(f.stack)-1]
+			f.pc++
+		case OpSwap:
+			n := len(f.stack)
+			f.stack[n-1], f.stack[n-2] = f.stack[n-2], f.stack[n-1]
+			f.pc++
+		case OpJump:
+			f.pc = int(in.A)
+		case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe:
+			b := f.stack[len(f.stack)-1]
+			a := f.stack[len(f.stack)-2]
+			f.stack = f.stack[:len(f.stack)-2]
+			var taken bool
+			switch in.Op {
+			case OpIfEq:
+				taken = a == b
+			case OpIfNe:
+				taken = a != b
+			case OpIfLt:
+				taken = a < b
+			case OpIfLe:
+				taken = a <= b
+			case OpIfGt:
+				taken = a > b
+			case OpIfGe:
+				taken = a >= b
+			}
+			i.condBranch(f, taken, int(in.A))
+		case OpIfZ, OpIfNZ:
+			v := f.stack[len(f.stack)-1]
+			f.stack = f.stack[:len(f.stack)-1]
+			taken := v == 0
+			if in.Op == OpIfNZ {
+				taken = v != 0
+			}
+			i.condBranch(f, taken, int(in.A))
+		case OpCall:
+			callee := i.prog.Functions[in.A]
+			if len(frames) >= i.maxDepth {
+				return &RuntimeError{f.fn.Name, f.pc, fmt.Sprintf("call stack depth limit %d exceeded", i.maxDepth)}
+			}
+			args := f.stack[len(f.stack)-callee.NumParams:]
+			callFrame := &frame{fn: callee, locals: make([]int64, callee.NumLocals)}
+			copy(callFrame.locals, args)
+			f.stack = f.stack[:len(f.stack)-callee.NumParams]
+			f.pc++ // resume after the call upon return
+			frames = append(frames, callFrame)
+			i.emitEvent(trace.MethodEnter, callee.ID)
+		case OpRet:
+			var results []int64
+			if f.fn.NumResults > 0 {
+				results = f.stack[len(f.stack)-f.fn.NumResults:]
+			}
+			i.closeOpenLoops(f)
+			i.emitEvent(trace.MethodExit, f.fn.ID)
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				caller := frames[len(frames)-1]
+				caller.stack = append(caller.stack, results...)
+			}
+		case OpGlobalLoad:
+			addr := f.stack[len(f.stack)-1]
+			if addr < 0 || addr >= int64(len(i.globals)) {
+				return &RuntimeError{f.fn.Name, f.pc, fmt.Sprintf("global load at %d out of range [0,%d)", addr, len(i.globals))}
+			}
+			f.stack[len(f.stack)-1] = i.globals[addr]
+			f.pc++
+		case OpGlobalStore:
+			v := f.stack[len(f.stack)-1]
+			addr := f.stack[len(f.stack)-2]
+			f.stack = f.stack[:len(f.stack)-2]
+			if addr < 0 || addr >= int64(len(i.globals)) {
+				return &RuntimeError{f.fn.Name, f.pc, fmt.Sprintf("global store at %d out of range [0,%d)", addr, len(i.globals))}
+			}
+			i.globals[addr] = v
+			f.pc++
+		case OpLoopEnter:
+			f.openLoops = append(f.openLoops, in.A)
+			i.emitEvent(trace.LoopEnter, uint32(in.A))
+			f.pc++
+		case OpLoopExit:
+			f.openLoops = f.openLoops[:len(f.openLoops)-1]
+			i.emitEvent(trace.LoopExit, uint32(in.A))
+			f.pc++
+		case OpHalt:
+			// Unwind instrumentation for a clean, balanced trace.
+			for len(frames) > 0 {
+				top := frames[len(frames)-1]
+				i.closeOpenLoops(top)
+				i.emitEvent(trace.MethodExit, top.fn.ID)
+				frames = frames[:len(frames)-1]
+			}
+			return nil
+		default:
+			return &RuntimeError{f.fn.Name, f.pc, fmt.Sprintf("invalid opcode %d", uint8(in.Op))}
+		}
+	}
+	return nil
+}
+
+func (i *Interp) closeOpenLoops(f *frame) {
+	for n := len(f.openLoops); n > 0; n-- {
+		i.emitEvent(trace.LoopExit, uint32(f.openLoops[n-1]))
+	}
+	f.openLoops = f.openLoops[:0]
+}
+
+func (i *Interp) condBranch(f *frame, taken bool, target int) {
+	pc := f.pc
+	i.branches++
+	if i.instr.OnBranch != nil {
+		i.instr.OnBranch(trace.MakeBranch(f.fn.ID, pc, taken))
+	}
+	if taken {
+		f.pc = target
+	} else {
+		f.pc = pc + 1
+	}
+}
+
+// A Collector accumulates the two profiles of a run in memory.
+type Collector struct {
+	Branches trace.Trace
+	Events   trace.Events
+}
+
+// Instrumentation returns callbacks that append to the collector.
+func (c *Collector) Instrumentation() Instrumentation {
+	return Instrumentation{
+		OnBranch: func(b trace.Branch) { c.Branches = append(c.Branches, b) },
+		OnEvent:  func(e trace.Event) { c.Events = append(c.Events, e) },
+	}
+}
+
+// Execute runs p with a fresh interpreter and returns the collected
+// branch and call-loop traces.
+func Execute(p *Program, opts ...Option) (trace.Trace, trace.Events, error) {
+	var c Collector
+	opts = append(opts, WithInstrumentation(c.Instrumentation()))
+	in := NewInterp(p, opts...)
+	if err := in.Run(); err != nil {
+		return nil, nil, err
+	}
+	return c.Branches, c.Events, nil
+}

@@ -1,0 +1,200 @@
+// Package vm implements a small stack-based bytecode virtual machine with
+// built-in profiling instrumentation. It is the substrate that stands in
+// for the instrumented Jikes RVM of the paper: executing a program yields
+// exactly the two profiles the phase-detection system consumes — a
+// conditional branch trace (one profile element per executed conditional
+// branch, encoding method ID, bytecode offset, and taken bit) and a
+// call-loop trace (loop and method entry/exit events stamped with the
+// current dynamic branch count).
+//
+// The machine is deliberately conventional: int64 operand stack, per-frame
+// locals, a flat global memory, structured loop markers inserted by the
+// Builder, and a verifier that checks control flow and stack discipline
+// before execution.
+package vm
+
+import "fmt"
+
+// Opcode enumerates the VM's instruction set.
+type Opcode uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Opcode = iota
+
+	// OpConst pushes the immediate operand A.
+	OpConst
+	// OpLoad pushes local slot A.
+	OpLoad
+	// OpStore pops into local slot A.
+	OpStore
+
+	// Arithmetic: pop two (right popped first), push one.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // division by zero traps
+	OpRem // remainder by zero traps
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift count masked to 63
+	OpShr // arithmetic shift; count masked to 63
+
+	// OpNeg pops one, pushes its negation.
+	OpNeg
+	// OpDup duplicates the top of stack.
+	OpDup
+	// OpPop discards the top of stack.
+	OpPop
+	// OpSwap exchanges the top two stack slots.
+	OpSwap
+
+	// OpJump transfers control to pc A unconditionally. Unconditional
+	// jumps are not conditional branches and emit no profile element.
+	OpJump
+
+	// Conditional branches. Each executed instance emits one profile
+	// element. The two-operand forms pop b then a and branch to pc A if
+	// the comparison a OP b holds; the zero forms pop a single value.
+	OpIfEq
+	OpIfNe
+	OpIfLt
+	OpIfLe
+	OpIfGt
+	OpIfGe
+	OpIfZ  // branch if value == 0
+	OpIfNZ // branch if value != 0
+
+	// OpCall invokes function A. Arguments are popped (last argument on
+	// top) and become the callee's first locals.
+	OpCall
+	// OpRet returns from the current function, pushing its results (0 or
+	// 1 values, per the function signature) onto the caller's stack.
+	OpRet
+
+	// OpGlobalLoad pops an address and pushes globals[address].
+	OpGlobalLoad
+	// OpGlobalStore pops a value then an address and stores
+	// globals[address] = value.
+	OpGlobalStore
+
+	// OpLoopEnter and OpLoopExit are instrumentation markers inserted by
+	// the Builder at the boundaries of each static loop. They record the
+	// loop ID A in the call-loop trace and have no other effect.
+	OpLoopEnter
+	OpLoopExit
+
+	// OpHalt stops the machine. Valid only in the entry function.
+	OpHalt
+
+	numOpcodes
+)
+
+var opcodeNames = [numOpcodes]string{
+	OpNop:         "nop",
+	OpConst:       "const",
+	OpLoad:        "load",
+	OpStore:       "store",
+	OpAdd:         "add",
+	OpSub:         "sub",
+	OpMul:         "mul",
+	OpDiv:         "div",
+	OpRem:         "rem",
+	OpAnd:         "and",
+	OpOr:          "or",
+	OpXor:         "xor",
+	OpShl:         "shl",
+	OpShr:         "shr",
+	OpNeg:         "neg",
+	OpDup:         "dup",
+	OpPop:         "pop",
+	OpSwap:        "swap",
+	OpJump:        "jump",
+	OpIfEq:        "if_eq",
+	OpIfNe:        "if_ne",
+	OpIfLt:        "if_lt",
+	OpIfLe:        "if_le",
+	OpIfGt:        "if_gt",
+	OpIfGe:        "if_ge",
+	OpIfZ:         "if_z",
+	OpIfNZ:        "if_nz",
+	OpCall:        "call",
+	OpRet:         "ret",
+	OpGlobalLoad:  "gload",
+	OpGlobalStore: "gstore",
+	OpLoopEnter:   "loop_enter",
+	OpLoopExit:    "loop_exit",
+	OpHalt:        "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) && opcodeNames[op] != "" {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// IsConditionalBranch reports whether the opcode emits a profile element
+// when executed.
+func (op Opcode) IsConditionalBranch() bool {
+	return op >= OpIfEq && op <= OpIfNZ
+}
+
+// hasOperand reports whether instructions with this opcode use field A.
+func (op Opcode) hasOperand() bool {
+	switch op {
+	case OpConst, OpLoad, OpStore, OpJump, OpCall, OpLoopEnter, OpLoopExit,
+		OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+		return true
+	}
+	return false
+}
+
+// stackEffect returns (pops, pushes) for the opcode, excluding OpCall and
+// OpRet whose effect depends on the function signature.
+func (op Opcode) stackEffect() (pops, pushes int) {
+	switch op {
+	case OpNop, OpJump, OpLoopEnter, OpLoopExit, OpHalt:
+		return 0, 0
+	case OpConst, OpLoad:
+		return 0, 1
+	case OpStore, OpPop, OpIfZ, OpIfNZ:
+		return 1, 0
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		return 2, 1
+	case OpNeg:
+		return 1, 1
+	case OpDup:
+		return 1, 2
+	case OpSwap:
+		return 2, 2
+	case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe:
+		return 2, 0
+	case OpGlobalLoad:
+		return 1, 1
+	case OpGlobalStore:
+		return 2, 0
+	}
+	panic(fmt.Sprintf("vm: stackEffect on %v", op))
+}
+
+// Instr is one bytecode instruction: an opcode and an immediate operand.
+// The meaning of A depends on the opcode: constant value, local slot,
+// branch/jump target pc, callee function index, or loop ID.
+type Instr struct {
+	Op Opcode
+	A  int32
+}
+
+// String renders the instruction in assembler form.
+func (in Instr) String() string {
+	if in.Op.hasOperand() {
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	}
+	return in.Op.String()
+}

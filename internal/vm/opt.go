@@ -1,0 +1,349 @@
+package vm
+
+// This file implements the VM's optimizing compiler pass. The paper's
+// methodology (§4.1) optimizes every application and library method upon
+// first invocation; Optimize is the analogous ahead-of-execution pass
+// here. It performs, per function, to a fixed point:
+//
+//   - constant folding of arithmetic over OpConst operands, including
+//     folding conditional branches with constant conditions into OpJump
+//     or fall-through;
+//   - strength reduction (multiply/divide by powers of two to shifts,
+//     algebraic identities x+0, x*1, x*0, x|0, x&-1, x^0);
+//   - dead code elimination of unreachable instructions;
+//   - jump threading (a jump to a jump goes directly to the final
+//     target) and removal of jumps to the next instruction;
+//   - nop compaction with jump/branch retargeting.
+//
+// Loop markers and the emission order of profile elements for the
+// *surviving* conditional branches are preserved: optimization changes
+// which static sites exist (as a real optimizing compiler does), never
+// the structural balance of the call-loop trace.
+
+// Optimize returns an optimized copy of the program. The input program is
+// not modified. The result is re-verified; Optimize panics if a rewrite
+// produced an invalid program, since that is a bug in the optimizer, not
+// in the input.
+func Optimize(p *Program) *Program {
+	out := &Program{GlobalSize: p.GlobalSize, NumLoops: p.NumLoops}
+	for _, f := range p.Functions {
+		out.Functions = append(out.Functions, optimizeFunction(f))
+	}
+	if err := Verify(out); err != nil {
+		panic("vm: optimizer produced invalid program: " + err.Error())
+	}
+	return out
+}
+
+func optimizeFunction(f *Function) *Function {
+	code := make([]Instr, len(f.Code))
+	copy(code, f.Code)
+	for {
+		changed := false
+		if foldConstants(code) {
+			changed = true
+		}
+		if threadJumps(code) {
+			changed = true
+		}
+		if killUnreachable(code) {
+			changed = true
+		}
+		var compacted bool
+		code, compacted = compactNops(code)
+		if compacted {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return &Function{
+		Name:       f.Name,
+		ID:         f.ID,
+		NumParams:  f.NumParams,
+		NumResults: f.NumResults,
+		NumLocals:  f.NumLocals,
+		Code:       code,
+	}
+}
+
+// isPowerOfTwo reports whether v is a positive power of two, returning
+// the shift amount.
+func isPowerOfTwo(v int32) (int32, bool) {
+	if v <= 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	n := int32(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n, true
+}
+
+// foldConstants rewrites const/const/op triples, applies algebraic
+// identities over a constant right operand, and folds constant branches.
+// Rewritten slots become OpNop for compactNops to reclaim.
+func foldConstants(code []Instr) bool {
+	changed := false
+	// Find const,const,binop windows. The two consts must be adjacent in
+	// code order and no label may target the middle of the window —
+	// approximated conservatively: no jump/branch in the function targets
+	// the 2nd or 3rd instruction of the window.
+	targeted := make([]bool, len(code))
+	for _, in := range code {
+		switch in.Op {
+		case OpJump, OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+			if int(in.A) < len(code) {
+				targeted[in.A] = true
+			}
+		}
+	}
+	for i := 0; i+2 < len(code); i++ {
+		a, b, op := code[i], code[i+1], code[i+2]
+		if a.Op != OpConst || b.Op != OpConst || targeted[i+1] || targeted[i+2] {
+			continue
+		}
+		if v, ok := foldBinary(op.Op, int64(a.A), int64(b.A)); ok {
+			code[i] = Instr{Op: OpNop}
+			code[i+1] = Instr{Op: OpNop}
+			code[i+2] = Instr{OpConst, v}
+			changed = true
+			continue
+		}
+		// Constant conditional branch over two consts.
+		if op.Op.IsConditionalBranch() && op.Op != OpIfZ && op.Op != OpIfNZ {
+			taken := evalCompare(op.Op, int64(a.A), int64(b.A))
+			code[i] = Instr{Op: OpNop}
+			code[i+1] = Instr{Op: OpNop}
+			if taken {
+				code[i+2] = Instr{OpJump, op.A}
+			} else {
+				code[i+2] = Instr{Op: OpNop}
+			}
+			changed = true
+		}
+	}
+	// Unary windows: const then op.
+	for i := 0; i+1 < len(code); i++ {
+		c, op := code[i], code[i+1]
+		if c.Op != OpConst || targeted[i+1] {
+			continue
+		}
+		switch op.Op {
+		case OpNeg:
+			code[i] = Instr{Op: OpNop}
+			code[i+1] = Instr{OpConst, -c.A}
+			changed = true
+		case OpIfZ, OpIfNZ:
+			taken := (op.Op == OpIfZ) == (c.A == 0)
+			code[i] = Instr{Op: OpNop}
+			if taken {
+				code[i+1] = Instr{OpJump, op.A}
+			} else {
+				code[i+1] = Instr{Op: OpNop}
+			}
+			changed = true
+		case OpAdd, OpSub, OpOr, OpXor, OpShl, OpShr:
+			if c.A == 0 { // x op 0 == x
+				code[i] = Instr{Op: OpNop}
+				code[i+1] = Instr{Op: OpNop}
+				changed = true
+			}
+		case OpMul:
+			if shift, ok := isPowerOfTwo(c.A); ok && c.A != 1 {
+				code[i] = Instr{OpConst, shift}
+				code[i+1] = Instr{Op: OpShl}
+				changed = true
+			} else if c.A == 1 {
+				code[i] = Instr{Op: OpNop}
+				code[i+1] = Instr{Op: OpNop}
+				changed = true
+			}
+		case OpDiv:
+			// Dividing by a power of two is NOT reducible to an arithmetic
+			// shift (they disagree for negative dividends), so only
+			// division by one folds.
+			if c.A == 1 {
+				code[i] = Instr{Op: OpNop}
+				code[i+1] = Instr{Op: OpNop}
+				changed = true
+			}
+		case OpAnd:
+			if c.A == -1 { // x & -1 == x
+				code[i] = Instr{Op: OpNop}
+				code[i+1] = Instr{Op: OpNop}
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// foldBinary evaluates a binary arithmetic opcode over constants. Division
+// and remainder by zero are left in place to trap at run time.
+func foldBinary(op Opcode, a, b int64) (int32, bool) {
+	var r int64
+	switch op {
+	case OpAdd:
+		r = a + b
+	case OpSub:
+		r = a - b
+	case OpMul:
+		r = a * b
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		r = a / b
+	case OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		r = a % b
+	case OpAnd:
+		r = a & b
+	case OpOr:
+		r = a | b
+	case OpXor:
+		r = a ^ b
+	case OpShl:
+		r = a << (uint64(b) & 63)
+	case OpShr:
+		r = a >> (uint64(b) & 63)
+	default:
+		return 0, false
+	}
+	if r < -1<<31 || r > 1<<31-1 {
+		return 0, false // does not fit the immediate; leave unfolded
+	}
+	return int32(r), true
+}
+
+func evalCompare(op Opcode, a, b int64) bool {
+	switch op {
+	case OpIfEq:
+		return a == b
+	case OpIfNe:
+		return a != b
+	case OpIfLt:
+		return a < b
+	case OpIfLe:
+		return a <= b
+	case OpIfGt:
+		return a > b
+	case OpIfGe:
+		return a >= b
+	}
+	return false
+}
+
+// threadJumps redirects jumps and branches that target an OpJump to that
+// jump's final destination, and removes jumps to the immediately next
+// instruction.
+func threadJumps(code []Instr) bool {
+	changed := false
+	final := func(target int32) int32 {
+		seen := 0
+		for int(target) < len(code) && code[target].Op == OpJump && seen < len(code) {
+			target = code[target].A
+			seen++ // bounds cycles of jumps
+		}
+		return target
+	}
+	for i := range code {
+		switch code[i].Op {
+		case OpJump, OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+			if t := final(code[i].A); t != code[i].A {
+				code[i].A = t
+				changed = true
+			}
+		}
+	}
+	for i := range code {
+		if code[i].Op == OpJump && int(code[i].A) == i+1 {
+			code[i] = Instr{Op: OpNop}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// killUnreachable replaces instructions no control path reaches with nops.
+// Loop markers are preserved even when unreachable, because the marker
+// pairing discipline is textual (see Verify).
+func killUnreachable(code []Instr) bool {
+	reach := make([]bool, len(code))
+	work := []int{0}
+	if len(code) > 0 {
+		reach[0] = true
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := code[pc]
+		push := func(t int) {
+			if t < len(code) && !reach[t] {
+				reach[t] = true
+				work = append(work, t)
+			}
+		}
+		switch in.Op {
+		case OpRet, OpHalt:
+		case OpJump:
+			push(int(in.A))
+		case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+			push(int(in.A))
+			push(pc + 1)
+		default:
+			push(pc + 1)
+		}
+	}
+	changed := false
+	for i, in := range code {
+		if !reach[i] && in.Op != OpNop && in.Op != OpLoopEnter && in.Op != OpLoopExit {
+			code[i] = Instr{Op: OpNop}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// compactNops removes OpNop instructions and retargets jumps and branches.
+// The final instruction position must remain reachable-terminated, so a
+// trailing nop is preserved if removing it would let execution fall off
+// the end (the verifier would catch it; we simply keep one).
+func compactNops(code []Instr) ([]Instr, bool) {
+	// newPC[i] = position of instruction i after compaction; nops map to
+	// the next surviving instruction.
+	newPC := make([]int32, len(code)+1)
+	n := int32(0)
+	for i, in := range code {
+		newPC[i] = n
+		if in.Op != OpNop {
+			n++
+		}
+	}
+	newPC[len(code)] = n
+	if int(n) == len(code) {
+		return code, false
+	}
+	out := make([]Instr, 0, n)
+	for _, in := range code {
+		if in.Op == OpNop {
+			continue
+		}
+		switch in.Op {
+		case OpJump, OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+			in.A = newPC[in.A]
+		}
+		out = append(out, in)
+	}
+	if len(out) == 0 {
+		// A function that was all nops (cannot happen for verified input,
+		// which must return); keep a return to stay well-formed.
+		out = append(out, Instr{Op: OpRet})
+	}
+	return out, true
+}

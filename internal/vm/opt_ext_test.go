@@ -1,0 +1,179 @@
+package vm_test
+
+import (
+	"testing"
+
+	"opd/internal/synth"
+	"opd/internal/trace"
+	"opd/internal/vm"
+)
+
+func codeLenExt(p *vm.Program) int {
+	n := 0
+	for _, f := range p.Functions {
+		n += len(f.Code)
+	}
+	return n
+}
+
+func TestOptimizePreservesSemanticsOnBenchmarks(t *testing.T) {
+	// The gold property: for every synthetic benchmark, the optimized
+	// program computes the same global state and emits a structurally
+	// valid call-loop trace with the same loop/method counts (the
+	// optimizer never touches markers or calls).
+	for _, b := range synth.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			orig := b.Build(1)
+			opt := vm.Optimize(orig)
+			if codeLenExt(opt) > codeLenExt(orig) {
+				t.Errorf("optimizer grew code: %d -> %d", codeLenExt(orig), codeLenExt(opt))
+			}
+
+			runBoth := func(p *vm.Program) ([]int64, trace.Events, int64) {
+				var c vm.Collector
+				in := vm.NewInterp(p, vm.WithInstrumentation(c.Instrumentation()))
+				if err := in.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return in.Globals(), c.Events, in.BranchCount()
+			}
+			g1, e1, br1 := runBoth(orig)
+			g2, e2, br2 := runBoth(opt)
+			for i := range g1 {
+				if g1[i] != g2[i] {
+					t.Fatalf("global %d differs: %d vs %d", i, g1[i], g2[i])
+				}
+			}
+			if err := e2.Validate(); err != nil {
+				t.Fatalf("optimized call-loop trace invalid: %v", err)
+			}
+			l1, m1 := e1.Counts()
+			l2, m2 := e2.Counts()
+			if l1 != l2 || m1 != m2 {
+				t.Errorf("loop/method counts changed: %d/%d -> %d/%d", l1, m1, l2, m2)
+			}
+			if br2 > br1 {
+				t.Errorf("optimizer increased dynamic branches: %d -> %d", br1, br2)
+			}
+		})
+	}
+}
+
+// TestAsmRoundTripBenchmarks: every synthetic benchmark survives the
+// Program -> AsmString -> Assemble round trip with an identical branch
+// trace and a structurally identical call-loop trace (loop IDs may be
+// renumbered; kinds and times must match).
+func TestAsmRoundTripBenchmarks(t *testing.T) {
+	for _, b := range synth.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			orig := b.Build(1)
+			src := orig.AsmString()
+			back, err := vm.AssembleString(src)
+			if err != nil {
+				t.Fatalf("reassembly failed: %v", err)
+			}
+			b1, e1, err := vm.Execute(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, e2, err := vm.Execute(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(b1) != len(b2) {
+				t.Fatalf("branch trace lengths differ: %d vs %d", len(b1), len(b2))
+			}
+			for i := range b1 {
+				if b1[i] != b2[i] {
+					t.Fatalf("branch traces diverge at %d: %v vs %v", i, b1[i], b2[i])
+				}
+			}
+			if len(e1) != len(e2) {
+				t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+			}
+			for i := range e1 {
+				if e1[i].Kind != e2[i].Kind || e1[i].Time != e2[i].Time {
+					t.Fatalf("events diverge at %d: %v vs %v", i, e1[i], e2[i])
+				}
+			}
+		})
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	p := synth.Compress(1)
+	once := vm.Optimize(p)
+	twice := vm.Optimize(once)
+	if codeLenExt(once) != codeLenExt(twice) {
+		t.Errorf("not idempotent: %d -> %d", codeLenExt(once), codeLenExt(twice))
+	}
+}
+
+func TestOptimizeDoesNotModifyInput(t *testing.T) {
+	p := synth.DB(1)
+	before := p.Disassemble()
+	vm.Optimize(p)
+	if p.Disassemble() != before {
+		t.Error("Optimize mutated its input")
+	}
+}
+
+// TestCFGAnalysisOnBenchmarks cross-validates the loop analysis against
+// the Builder's markers on the full benchmark suite: every function's
+// marker count must match its natural-loop count (the Builder only emits
+// markers around real loops, and ForRange/While/LoopWhile each create
+// exactly one back edge).
+func TestCFGAnalysisOnBenchmarks(t *testing.T) {
+	for _, b := range synth.All() {
+		p := b.Build(1)
+		for _, fn := range p.Functions {
+			cfg, err := vm.BuildCFG(fn)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, fn.Name, err)
+			}
+			markers := len(vm.MarkerLoopHeads(fn))
+			natural := len(cfg.NaturalLoops())
+			if markers != natural {
+				t.Errorf("%s/%s: %d marker loops vs %d natural loops\n%s",
+					b.Name, fn.Name, markers, natural, cfg)
+			}
+		}
+	}
+}
+
+// TestInlineOnSyntheticSuite runs the full recompilation pipeline
+// (inline then optimize) over every synthetic benchmark and checks
+// semantic preservation plus the expected drop in method invocations.
+func TestInlineOnSyntheticSuite(t *testing.T) {
+	for _, b := range synth.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			orig := b.Build(1)
+			transformed := vm.Optimize(vm.Inline(orig, vm.InlineBudget{}))
+			var c1, c2 vm.Collector
+			in1 := vm.NewInterp(orig, vm.WithInstrumentation(c1.Instrumentation()))
+			if err := in1.Run(); err != nil {
+				t.Fatal(err)
+			}
+			in2 := vm.NewInterp(transformed, vm.WithInstrumentation(c2.Instrumentation()))
+			if err := in2.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i := range in1.Globals() {
+				if in1.Globals()[i] != in2.Globals()[i] {
+					t.Fatalf("global %d differs", i)
+				}
+			}
+			if err := c2.Events.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			_, m1 := c1.Events.Counts()
+			_, m2 := c2.Events.Counts()
+			if m2 > m1 {
+				t.Errorf("method invocations grew: %d -> %d", m1, m2)
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package vm
+
+import "testing"
+
+// runGlobals executes p and returns its global memory after the run.
+func runGlobals(t *testing.T, p *Program) []int64 {
+	t.Helper()
+	in := NewInterp(p)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return in.Globals()
+}
+
+func codeLen(p *Program) int {
+	n := 0
+	for _, f := range p.Functions {
+		n += len(f.Code)
+	}
+	return n
+}
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	pb := NewProgramBuilder().SetGlobalSize(1)
+	f := pb.Function("main", 0, 0)
+	// ((2+3)*4 - 6) / 7  -> constant 2
+	f.Const(0)
+	f.Const(2).Const(3).Op(OpAdd)
+	f.Const(4).Op(OpMul)
+	f.Const(6).Op(OpSub)
+	f.Const(7).Op(OpDiv)
+	f.Op(OpGlobalStore)
+	f.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(p)
+	if got, want := codeLen(opt), codeLen(p); got >= want {
+		t.Errorf("no shrink: %d -> %d instructions", want, got)
+	}
+	// Folded down to: const 0, const 2, gstore, ret.
+	if got := len(opt.Functions[0].Code); got != 4 {
+		t.Errorf("optimized length = %d, want 4:\n%s", got, opt.Disassemble())
+	}
+	if g := runGlobals(t, opt); g[0] != 2 {
+		t.Errorf("optimized result = %d, want 2", g[0])
+	}
+}
+
+func TestOptimizeStrengthReduction(t *testing.T) {
+	pb := NewProgramBuilder().SetGlobalSize(2)
+	f := pb.Function("main", 0, 0)
+	x := f.NewLocal()
+	f.Const(11).Store(x)
+	f.Const(0).Load(x).Const(8).Op(OpMul).Op(OpGlobalStore) // x*8 -> x<<3
+	f.Const(1).Load(x).Const(0).Op(OpAdd).Op(OpGlobalStore) // x+0 -> x
+	f.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(p)
+	hasShl, hasMul := false, false
+	for _, in := range opt.Functions[0].Code {
+		if in.Op == OpShl {
+			hasShl = true
+		}
+		if in.Op == OpMul {
+			hasMul = true
+		}
+	}
+	if !hasShl || hasMul {
+		t.Errorf("multiply by 8 not reduced to shift:\n%s", opt.Disassemble())
+	}
+	g := runGlobals(t, opt)
+	if g[0] != 88 || g[1] != 11 {
+		t.Errorf("globals = %v, want [88 11]", g)
+	}
+}
+
+func TestOptimizeDeadBranchElimination(t *testing.T) {
+	pb := NewProgramBuilder().SetGlobalSize(1)
+	f := pb.Function("main", 0, 0)
+	dead := f.NewLabel()
+	end := f.NewLabel()
+	// if 1 < 2 goto end (always taken): everything between becomes dead.
+	f.Const(1).Const(2).BranchIf(OpIfLt, end)
+	f.Bind(dead)
+	f.Const(0).Const(999).Op(OpGlobalStore)
+	f.Bind(end)
+	f.Const(0).Const(42).Op(OpGlobalStore)
+	f.Ret()
+	_ = dead
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(p)
+	// The constant branch must be gone and the dead store eliminated.
+	for _, in := range opt.Functions[0].Code {
+		if in.Op.IsConditionalBranch() {
+			t.Errorf("constant branch survived:\n%s", opt.Disassemble())
+		}
+		if in.Op == OpConst && in.A == 999 {
+			t.Errorf("dead store survived:\n%s", opt.Disassemble())
+		}
+	}
+	if g := runGlobals(t, opt); g[0] != 42 {
+		t.Errorf("result = %d, want 42", g[0])
+	}
+}
+
+func TestOptimizeJumpThreading(t *testing.T) {
+	// jump -> jump -> target chains collapse.
+	code := []Instr{
+		{OpJump, 2},  // 0: -> 2
+		{Op: OpRet},  // 1: unreachable
+		{OpJump, 4},  // 2: -> 4
+		{Op: OpRet},  // 3: unreachable
+		{OpConst, 5}, // 4
+		{Op: OpPop},  // 5
+		{Op: OpRet},  // 6
+	}
+	p := &Program{Functions: []*Function{{Name: "main", Code: code}}}
+	if err := Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(p)
+	f := opt.Functions[0]
+	if len(f.Code) >= len(code) {
+		t.Errorf("jump chain not collapsed:\n%s", opt.Disassemble())
+	}
+	for _, in := range f.Code {
+		if in.Op == OpJump {
+			t.Errorf("residual jump:\n%s", opt.Disassemble())
+		}
+	}
+}
+
+func TestFoldBinaryOverflowAndTraps(t *testing.T) {
+	if _, ok := foldBinary(OpDiv, 1, 0); ok {
+		t.Error("division by zero folded")
+	}
+	if _, ok := foldBinary(OpRem, 1, 0); ok {
+		t.Error("remainder by zero folded")
+	}
+	if _, ok := foldBinary(OpMul, 1<<30, 1<<30); ok {
+		t.Error("overflowing product folded into int32 immediate")
+	}
+	if v, ok := foldBinary(OpShl, 1, 10); !ok || v != 1024 {
+		t.Errorf("shl fold = %d/%v", v, ok)
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	cases := map[int32]struct {
+		shift int32
+		ok    bool
+	}{
+		1: {0, true}, 2: {1, true}, 8: {3, true}, 1 << 20: {20, true},
+		0: {0, false}, -4: {0, false}, 6: {0, false},
+	}
+	for v, want := range cases {
+		shift, ok := isPowerOfTwo(v)
+		if ok != want.ok || (ok && shift != want.shift) {
+			t.Errorf("isPowerOfTwo(%d) = %d,%v want %d,%v", v, shift, ok, want.shift, want.ok)
+		}
+	}
+}

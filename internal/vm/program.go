@@ -1,0 +1,86 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A Function is one unit of bytecode. Parameters arrive in the first
+// NumParams local slots; NumResults is 0 or 1.
+type Function struct {
+	Name       string
+	ID         uint32 // index of the function within its Program
+	NumParams  int
+	NumResults int
+	NumLocals  int // total local slots, including parameters
+	Code       []Instr
+}
+
+// A Program is a set of functions plus a global memory size. Function 0 is
+// the entry point.
+type Program struct {
+	Functions  []*Function
+	GlobalSize int // number of int64 slots in global memory
+	NumLoops   int // number of static loops (loop IDs are 0..NumLoops-1)
+}
+
+// Entry returns the entry function, or nil for an empty program.
+func (p *Program) Entry() *Function {
+	if len(p.Functions) == 0 {
+		return nil
+	}
+	return p.Functions[0]
+}
+
+// FunctionByName returns the first function with the given name, or nil.
+func (p *Program) FunctionByName(name string) *Function {
+	for _, f := range p.Functions {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// StaticBranchSites returns the number of conditional branch instructions
+// in the program: the maximum number of distinct profile-element sites a
+// trace of this program can contain.
+func (p *Program) StaticBranchSites() int {
+	n := 0
+	for _, f := range p.Functions {
+		for _, in := range f.Code {
+			if in.Op.IsConditionalBranch() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Disassemble renders the whole program as text, one function per block.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	for _, f := range p.Functions {
+		fmt.Fprintf(&sb, "func %s (id=%d, params=%d, results=%d, locals=%d):\n",
+			f.Name, f.ID, f.NumParams, f.NumResults, f.NumLocals)
+		for pc, in := range f.Code {
+			fmt.Fprintf(&sb, "  %4d  %s", pc, in.Op)
+			if in.Op.hasOperand() {
+				switch in.Op {
+				case OpCall:
+					callee := "?"
+					if int(in.A) >= 0 && int(in.A) < len(p.Functions) {
+						callee = p.Functions[in.A].Name
+					}
+					fmt.Fprintf(&sb, " %d <%s>", in.A, callee)
+				case OpJump, OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+					fmt.Fprintf(&sb, " -> %d", in.A)
+				default:
+					fmt.Fprintf(&sb, " %d", in.A)
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

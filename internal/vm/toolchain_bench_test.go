@@ -1,0 +1,87 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// The toolchain micro-benchmarks: assembler, optimizer, inliner, CFG
+// analysis, and verifier over a mid-sized program.
+
+func benchProgram(b *testing.B) *Program {
+	b.Helper()
+	pb := NewProgramBuilder().SetGlobalSize(8)
+	main := pb.Function("main", 0, 0)
+	helper := pb.Function("helper", 1, 1)
+	helper.Load(0).Load(0).Op(OpMul).Const(3).Op(OpAdd).Ret()
+	i := main.NewLocal()
+	j := main.NewLocal()
+	acc := main.NewLocal()
+	main.Const(0).Store(acc)
+	main.ForRange(i, 0, 100, func() {
+		main.ForRange(j, 0, 10, func() {
+			main.Load(j).Call(helper).Load(acc).Op(OpAdd).Store(acc)
+			main.IfElse(
+				func() { main.Load(acc).Const(1).Op(OpAnd) },
+				func() { main.Load(acc).Const(1).Op(OpShr).Store(acc) },
+				func() { main.Load(acc).Const(2).Const(3).Op(OpMul).Op(OpAdd).Store(acc) },
+			)
+		})
+	})
+	main.Const(0).Load(acc).Op(OpGlobalStore)
+	main.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkVerify(b *testing.B) {
+	p := benchProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimize(b *testing.B) {
+	p := benchProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Optimize(p)
+	}
+}
+
+func BenchmarkInline(b *testing.B) {
+	p := benchProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Inline(p, InlineBudget{})
+	}
+}
+
+func BenchmarkBuildCFG(b *testing.B) {
+	p := benchProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, f := range p.Functions {
+			if _, err := BuildCFG(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	src := benchProgram(b).AsmString()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(strings.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package vm
+
+import "fmt"
+
+// Verify checks that a program is structurally sound: every operand is in
+// range, control flow stays inside each function, execution cannot fall
+// off the end of a function, and the operand stack height is consistent —
+// the same at every control-flow join, sufficient for every instruction's
+// pops, and equal to the declared result count at every return. Loop
+// markers must nest properly so the emitted call-loop trace validates.
+//
+// Verification is a forward abstract interpretation over stack heights,
+// the standard bytecode-verifier construction.
+func Verify(p *Program) error {
+	if len(p.Functions) == 0 {
+		return fmt.Errorf("vm: verify: program has no functions")
+	}
+	if p.GlobalSize < 0 {
+		return fmt.Errorf("vm: verify: negative global size")
+	}
+	entry := p.Functions[0]
+	if entry.NumParams != 0 {
+		return fmt.Errorf("vm: verify: entry function %s must take no parameters", entry.Name)
+	}
+	for i, f := range p.Functions {
+		if f.ID != uint32(i) {
+			return fmt.Errorf("vm: verify: function %s has ID %d at index %d", f.Name, f.ID, i)
+		}
+		if err := verifyFunction(p, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyFunction(p *Program, f *Function) error {
+	bad := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("vm: verify: %s@%d: %s", f.Name, pc, fmt.Sprintf(format, args...))
+	}
+	if len(f.Code) == 0 {
+		return fmt.Errorf("vm: verify: %s: empty function body", f.Name)
+	}
+	if f.NumLocals < f.NumParams {
+		return fmt.Errorf("vm: verify: %s: %d locals < %d params", f.Name, f.NumLocals, f.NumParams)
+	}
+
+	// Pass 1: operand ranges and static opcode checks.
+	for pc, in := range f.Code {
+		if !in.Op.Valid() {
+			return bad(pc, "invalid opcode %d", uint8(in.Op))
+		}
+		switch in.Op {
+		case OpLoad, OpStore:
+			if in.A < 0 || int(in.A) >= f.NumLocals {
+				return bad(pc, "%v local %d out of range [0,%d)", in.Op, in.A, f.NumLocals)
+			}
+		case OpJump, OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+			if in.A < 0 || int(in.A) >= len(f.Code) {
+				return bad(pc, "%v target %d out of range [0,%d)", in.Op, in.A, len(f.Code))
+			}
+		case OpCall:
+			if in.A < 0 || int(in.A) >= len(p.Functions) {
+				return bad(pc, "call target %d out of range", in.A)
+			}
+		case OpLoopEnter, OpLoopExit:
+			if in.A < 0 || int(in.A) >= p.NumLoops {
+				return bad(pc, "%v loop ID %d out of range [0,%d)", in.Op, in.A, p.NumLoops)
+			}
+		case OpHalt:
+			if f.ID != 0 {
+				return bad(pc, "halt outside entry function")
+			}
+		}
+	}
+
+	// Pass 2: abstract interpretation of stack heights.
+	const unknown = -1
+	heights := make([]int, len(f.Code))
+	for i := range heights {
+		heights[i] = unknown
+	}
+	heights[0] = 0
+	work := []int{0}
+	flow := func(from, to, h int) error {
+		if to >= len(f.Code) {
+			return bad(from, "execution can fall off the end of the function")
+		}
+		if heights[to] == unknown {
+			heights[to] = h
+			work = append(work, to)
+			return nil
+		}
+		if heights[to] != h {
+			return bad(to, "inconsistent stack height at join: %d vs %d", heights[to], h)
+		}
+		return nil
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := f.Code[pc]
+		h := heights[pc]
+
+		var pops, pushes int
+		switch in.Op {
+		case OpCall:
+			callee := p.Functions[in.A]
+			pops, pushes = callee.NumParams, callee.NumResults
+		case OpRet:
+			pops, pushes = f.NumResults, 0
+		default:
+			pops, pushes = in.Op.stackEffect()
+		}
+		if h < pops {
+			return bad(pc, "%v pops %d with stack height %d", in.Op, pops, h)
+		}
+		next := h - pops + pushes
+
+		switch in.Op {
+		case OpRet:
+			if next != 0 {
+				return bad(pc, "return leaves %d values on the stack beyond the declared results", next)
+			}
+		case OpHalt:
+			// terminal
+		case OpJump:
+			if err := flow(pc, int(in.A), next); err != nil {
+				return err
+			}
+		case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNZ:
+			if err := flow(pc, int(in.A), next); err != nil {
+				return err
+			}
+			if err := flow(pc, pc+1, next); err != nil {
+				return err
+			}
+		default:
+			if err := flow(pc, pc+1, next); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pass 3: loop markers nest properly. The builder emits markers in
+	// structured positions, so a linear walk over the code with a stack,
+	// requiring enter/exit pairing by loop ID, is a sound check. All
+	// markers are checked, reachable or not: a halt inside a loop leaves
+	// its textual loop_exit unreachable, but the pairing discipline (which
+	// the interpreter's unwind relies on) is a property of the text.
+	var loopStack []int32
+	for pc, in := range f.Code {
+		switch in.Op {
+		case OpLoopEnter:
+			loopStack = append(loopStack, in.A)
+		case OpLoopExit:
+			if len(loopStack) == 0 {
+				return bad(pc, "loop_exit without matching loop_enter")
+			}
+			top := loopStack[len(loopStack)-1]
+			if top != in.A {
+				return bad(pc, "loop_exit %d does not match innermost loop_enter %d", in.A, top)
+			}
+			loopStack = loopStack[:len(loopStack)-1]
+		}
+	}
+	if len(loopStack) != 0 {
+		return fmt.Errorf("vm: verify: %s: %d loop_enter markers without exits", f.Name, len(loopStack))
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// raw constructs a single-function program bypassing the builder, so tests
+// can hand the verifier ill-formed code.
+func raw(code []Instr, numLocals int) *Program {
+	return &Program{
+		Functions: []*Function{{
+			Name:      "main",
+			NumLocals: numLocals,
+			Code:      code,
+		}},
+		NumLoops: 1,
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{"no functions", &Program{}, "no functions"},
+		{"negative globals", &Program{Functions: []*Function{{Name: "m", Code: []Instr{{Op: OpRet}}}}, GlobalSize: -1}, "negative global size"},
+		{"entry with params", &Program{Functions: []*Function{{Name: "m", NumParams: 1, NumLocals: 1, Code: []Instr{{Op: OpRet}}}}}, "no parameters"},
+		{"bad id", &Program{Functions: []*Function{{Name: "m", ID: 3, Code: []Instr{{Op: OpRet}}}}}, "has ID 3"},
+		{"empty body", raw(nil, 0), "empty function body"},
+		{"locals < params", &Program{Functions: []*Function{{Name: "m", NumParams: 0, NumLocals: -1, Code: []Instr{{Op: OpRet}}}}}, "locals"},
+		{"invalid opcode", raw([]Instr{{Op: Opcode(200)}}, 0), "invalid opcode"},
+		{"load out of range", raw([]Instr{{OpLoad, 0}, {Op: OpPop}, {Op: OpRet}}, 0), "out of range"},
+		{"store out of range", raw([]Instr{{OpConst, 1}, {OpStore, 5}, {Op: OpRet}}, 1), "out of range"},
+		{"jump out of range", raw([]Instr{{OpJump, 99}}, 0), "target 99 out of range"},
+		{"branch out of range", raw([]Instr{{OpConst, 1}, {OpIfZ, -2}}, 0), "out of range"},
+		{"call out of range", raw([]Instr{{OpCall, 7}, {Op: OpRet}}, 0), "call target"},
+		{"loop id out of range", raw([]Instr{{OpLoopEnter, 9}, {OpLoopExit, 9}, {Op: OpRet}}, 0), "loop ID"},
+		{"fall off end", raw([]Instr{{OpConst, 1}, {Op: OpPop}}, 0), "fall off the end"},
+		{"stack underflow", raw([]Instr{{Op: OpAdd}, {Op: OpRet}}, 0), "pops"},
+		{"dirty return", raw([]Instr{{OpConst, 1}, {Op: OpRet}}, 0), "beyond the declared results"},
+		{"unmatched loop exit", raw([]Instr{{OpLoopExit, 0}, {Op: OpRet}}, 0), "without matching"},
+		{"unmatched loop enter", raw([]Instr{{OpLoopEnter, 0}, {Op: OpRet}}, 0), "without exits"},
+		{"crossed loop markers", &Program{
+			NumLoops: 2,
+			Functions: []*Function{{
+				Name: "m",
+				Code: []Instr{{OpLoopEnter, 0}, {OpLoopEnter, 1}, {OpLoopExit, 0}, {OpLoopExit, 1}, {Op: OpRet}},
+			}},
+		}, "does not match innermost"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Verify(c.prog)
+			if err == nil {
+				t.Fatal("Verify accepted ill-formed program")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Verify() = %q, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestVerifyStackJoinConflict(t *testing.T) {
+	// Two paths reach pc 4 with different stack heights.
+	code := []Instr{
+		{OpConst, 1},  // 0: h=0 -> 1
+		{OpIfZ, 3},    // 1: h=1 -> 0; taken -> 3, fall -> 2
+		{OpConst, 42}, // 2: h=0 -> 1, falls to 3 with h=1... and pc 3 also reached from 1 with h=0
+		{Op: OpNop},   // 3
+		{Op: OpRet},   // 4
+	}
+	err := Verify(raw(code, 0))
+	if err == nil || !strings.Contains(err.Error(), "inconsistent stack height") {
+		t.Errorf("Verify() = %v, want stack join conflict", err)
+	}
+}
+
+func TestVerifyAcceptsUnreachableJunk(t *testing.T) {
+	// Code after an unconditional return is unreachable and must not be
+	// flow-analyzed (its stack behaviour is irrelevant).
+	code := []Instr{
+		{Op: OpRet},
+		{Op: OpAdd}, // would underflow if reachable
+	}
+	if err := Verify(raw(code, 0)); err != nil {
+		t.Errorf("Verify() = %v, want nil for unreachable junk", err)
+	}
+}
+
+func TestVerifyCallArity(t *testing.T) {
+	// callee takes 2 params, returns 1; caller supplies only 1 value.
+	p := &Program{
+		Functions: []*Function{
+			{Name: "main", ID: 0, Code: []Instr{{OpConst, 1}, {OpCall, 1}, {Op: OpPop}, {Op: OpRet}}},
+			{Name: "f", ID: 1, NumParams: 2, NumResults: 1, NumLocals: 2, Code: []Instr{{OpLoad, 0}, {Op: OpRet}}},
+		},
+	}
+	err := Verify(p)
+	if err == nil || !strings.Contains(err.Error(), "pops") {
+		t.Errorf("Verify() = %v, want arity underflow", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("unbound label", func(t *testing.T) {
+		pb := NewProgramBuilder()
+		f := pb.Function("main", 0, 0)
+		l := f.NewLabel()
+		f.Jump(l).Ret()
+		if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "never bound") {
+			t.Errorf("Build() = %v, want unbound label error", err)
+		}
+	})
+	t.Run("double bind", func(t *testing.T) {
+		pb := NewProgramBuilder()
+		f := pb.Function("main", 0, 0)
+		l := f.NewLabel()
+		f.Bind(l).Bind(l).Ret()
+		if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "bound twice") {
+			t.Errorf("Build() = %v, want double-bind error", err)
+		}
+	})
+	t.Run("open loop", func(t *testing.T) {
+		pb := NewProgramBuilder()
+		f := pb.Function("main", 0, 0)
+		f.Loop().Ret()
+		if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "loops left open") {
+			t.Errorf("Build() = %v, want open-loop error", err)
+		}
+	})
+	t.Run("end loop without loop", func(t *testing.T) {
+		pb := NewProgramBuilder()
+		f := pb.Function("main", 0, 0)
+		f.EndLoop().Ret()
+		if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "EndLoop without open loop") {
+			t.Errorf("Build() = %v, want EndLoop error", err)
+		}
+	})
+	t.Run("operand opcode via Op", func(t *testing.T) {
+		pb := NewProgramBuilder()
+		f := pb.Function("main", 0, 0)
+		f.Op(OpConst).Ret()
+		if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "requires an operand") {
+			t.Errorf("Build() = %v, want operand error", err)
+		}
+	})
+	t.Run("branch with non-branch opcode", func(t *testing.T) {
+		pb := NewProgramBuilder()
+		f := pb.Function("main", 0, 0)
+		l := f.NewLabel()
+		f.Bind(l)
+		f.BranchIf(OpAdd, l).Ret()
+		if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "non-branch opcode") {
+			t.Errorf("Build() = %v, want non-branch error", err)
+		}
+	})
+	t.Run("bad signature", func(t *testing.T) {
+		pb := NewProgramBuilder()
+		pb.Function("main", 0, 2).Ret()
+		if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "invalid signature") {
+			t.Errorf("Build() = %v, want signature error", err)
+		}
+	})
+	t.Run("no functions", func(t *testing.T) {
+		if _, err := NewProgramBuilder().Build(); err == nil {
+			t.Error("Build() on empty builder should fail")
+		}
+	})
+	t.Run("negative global size", func(t *testing.T) {
+		pb := NewProgramBuilder().SetGlobalSize(-4)
+		pb.Function("main", 0, 0).Ret()
+		if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "negative global size") {
+			t.Errorf("Build() = %v, want global size error", err)
+		}
+	})
+	t.Run("MustBuild panics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustBuild did not panic on invalid program")
+			}
+		}()
+		NewProgramBuilder().MustBuild()
+	})
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "Opcode(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	if !strings.HasPrefix(Opcode(250).String(), "Opcode(") {
+		t.Error("unknown opcode should render numerically")
+	}
+	if got := (Instr{OpConst, 7}).String(); got != "const 7" {
+		t.Errorf("Instr.String() = %q", got)
+	}
+	if got := (Instr{Op: OpAdd}).String(); got != "add" {
+		t.Errorf("Instr.String() = %q", got)
+	}
+}

@@ -1,0 +1,386 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"opd/internal/trace"
+)
+
+// buildArith returns a program whose entry computes ((7+3)*4-2)/2 % 5 and
+// stores it in globals[0].
+func buildArith(t *testing.T) *Program {
+	t.Helper()
+	pb := NewProgramBuilder().SetGlobalSize(1)
+	f := pb.Function("main", 0, 0)
+	f.Const(0) // address for the final store
+	f.Const(7).Const(3).Op(OpAdd)
+	f.Const(4).Op(OpMul)
+	f.Const(2).Op(OpSub)
+	f.Const(2).Op(OpDiv)
+	f.Const(5).Op(OpRem)
+	f.Op(OpGlobalStore)
+	f.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestArithmetic(t *testing.T) {
+	p := buildArith(t)
+	in := NewInterp(p)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ((7+3)*4-2)/2 % 5 = (40-2)/2 % 5 = 19 % 5 = 4
+	if got := in.Globals()[0]; got != 4 {
+		t.Errorf("globals[0] = %d, want 4", got)
+	}
+	if in.BranchCount() != 0 {
+		t.Errorf("branch count = %d, want 0 (no conditional branches)", in.BranchCount())
+	}
+}
+
+func TestBitwiseAndStackOps(t *testing.T) {
+	pb := NewProgramBuilder().SetGlobalSize(4)
+	f := pb.Function("main", 0, 0)
+	// globals[0] = (0b1100 & 0b1010) | 0b0001  = 0b1001 = 9
+	f.Const(0).Const(12).Const(10).Op(OpAnd).Const(1).Op(OpOr).Op(OpGlobalStore)
+	// globals[1] = (1 << 5) ^ 3 = 35
+	f.Const(1).Const(1).Const(5).Op(OpShl).Const(3).Op(OpXor).Op(OpGlobalStore)
+	// globals[2] = -(-20 >> 2) = 5  (arithmetic shift)
+	f.Const(2).Const(-20).Const(2).Op(OpShr).Op(OpNeg).Op(OpGlobalStore)
+	// globals[3]: dup/swap/pop dance: push 1,2 -> swap -> (2,1) -> dup -> (2,1,1) -> add -> (2,2) -> mul -> 4; pop a pushed 9 first
+	f.Const(3)
+	f.Const(9).Op(OpPop)
+	f.Const(1).Const(2).Op(OpSwap).Op(OpDup).Op(OpAdd).Op(OpMul)
+	f.Op(OpGlobalStore)
+	f.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(p)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{9, 35, 5, 4}
+	for i, w := range want {
+		if got := in.Globals()[i]; got != w {
+			t.Errorf("globals[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func buildFib(t *testing.T) *Program {
+	t.Helper()
+	pb := NewProgramBuilder().SetGlobalSize(1)
+	main := pb.Function("main", 0, 0)
+	fib := pb.Function("fib", 1, 1)
+	// fib(n) = n < 2 ? n : fib(n-1)+fib(n-2)
+	rec := fib.NewLabel()
+	fib.Load(0).Const(2).BranchIf(OpIfGe, rec)
+	fib.Load(0).Ret()
+	fib.Bind(rec)
+	fib.Load(0).Const(1).Op(OpSub).Call(fib)
+	fib.Load(0).Const(2).Op(OpSub).Call(fib)
+	fib.Op(OpAdd).Ret()
+
+	main.Const(0).Const(10).Call(fib).Op(OpGlobalStore).Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRecursionFib(t *testing.T) {
+	p := buildFib(t)
+	branches, events, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(p)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Globals()[0]; got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+	if err := events.Validate(); err != nil {
+		t.Errorf("events invalid: %v", err)
+	}
+	// fib is invoked 177 times for n=10; main once.
+	_, methodInvocations := events.Counts()
+	if methodInvocations != 178 {
+		t.Errorf("method invocations = %d, want 178", methodInvocations)
+	}
+	// every fib call executes exactly one conditional branch
+	if len(branches) != 177 {
+		t.Errorf("branch trace length = %d, want 177", len(branches))
+	}
+}
+
+func TestForRangeLoopTrace(t *testing.T) {
+	pb := NewProgramBuilder().SetGlobalSize(1)
+	f := pb.Function("main", 0, 0)
+	ctr := f.NewLocal()
+	sum := f.NewLocal()
+	f.Const(0).Store(sum)
+	f.ForRange(ctr, 0, 100, func() {
+		f.Load(sum).Load(ctr).Op(OpAdd).Store(sum)
+	})
+	f.Const(0).Load(sum).Op(OpGlobalStore)
+	f.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Collector
+	in := NewInterp(p, WithInstrumentation(c.Instrumentation()))
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Globals()[0]; got != 4950 {
+		t.Errorf("sum = %d, want 4950", got)
+	}
+	// 101 back-edge tests (100 not-taken + 1 taken-to-exit)
+	if len(c.Branches) != 101 {
+		t.Errorf("branch count = %d, want 101", len(c.Branches))
+	}
+	if err := c.Events.Validate(); err != nil {
+		t.Fatalf("events invalid: %v", err)
+	}
+	loops, _ := c.Events.Counts()
+	if loops != 1 {
+		t.Errorf("loop executions = %d, want 1", loops)
+	}
+	// The loop spans the whole branch range: entered at 0 branches,
+	// exited at 101.
+	var enter, exit trace.Event
+	for _, e := range c.Events {
+		if e.Kind == trace.LoopEnter {
+			enter = e
+		}
+		if e.Kind == trace.LoopExit {
+			exit = e
+		}
+	}
+	if enter.Time != 0 || exit.Time != 101 {
+		t.Errorf("loop spans [%d,%d], want [0,101]", enter.Time, exit.Time)
+	}
+}
+
+func TestWhileAndIfElse(t *testing.T) {
+	pb := NewProgramBuilder().SetGlobalSize(2)
+	f := pb.Function("main", 0, 0)
+	n := f.NewLocal()
+	steps := f.NewLocal()
+	evens := f.NewLocal()
+	// Collatz from 27: count steps and even values.
+	f.Const(27).Store(n)
+	f.Const(0).Store(steps)
+	f.Const(0).Store(evens)
+	f.While(
+		func() { f.Load(n).Const(1).Op(OpSub) }, // n != 1  <=>  n-1 != 0
+		func() {
+			f.IfElse(
+				func() { f.Load(n).Const(1).Op(OpAnd) }, // odd?
+				func() { f.Load(n).Const(3).Op(OpMul).Const(1).Op(OpAdd).Store(n) },
+				func() {
+					f.Load(n).Const(2).Op(OpDiv).Store(n)
+					f.Load(evens).Const(1).Op(OpAdd).Store(evens)
+				},
+			)
+			f.Load(steps).Const(1).Op(OpAdd).Store(steps)
+		},
+	)
+	f.Const(0).Load(steps).Op(OpGlobalStore)
+	f.Const(1).Load(evens).Op(OpGlobalStore)
+	f.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(p)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Globals()[0]; got != 111 {
+		t.Errorf("collatz steps for 27 = %d, want 111", got)
+	}
+	if got := in.Globals()[1]; got != 70 {
+		t.Errorf("even steps for 27 = %d, want 70", got)
+	}
+}
+
+func TestHaltUnwindsInstrumentation(t *testing.T) {
+	pb := NewProgramBuilder()
+	main := pb.Function("main", 0, 0)
+	inner := pb.Function("inner", 0, 0)
+	ctr := inner.NewLocal()
+	stop := inner.NewLabel()
+	inner.Loop()
+	start := inner.NewLabel()
+	inner.Const(0).Store(ctr)
+	inner.Bind(start)
+	inner.Load(ctr).Const(5).BranchIf(OpIfEq, stop)
+	inner.Load(ctr).Const(1).Op(OpAdd).Store(ctr)
+	inner.Jump(start)
+	inner.Bind(stop)
+	inner.Halt() // halt mid-loop, inside a callee... but Halt is entry-only
+	inner.EndLoop()
+	inner.Ret()
+	main.Call(inner).Ret()
+	if _, err := pb.Build(); err == nil {
+		t.Fatal("expected verify error: halt outside entry function")
+	}
+
+	// Halt in the entry function, inside an open loop: the unwind must
+	// synthesize the loop and method exits.
+	pb = NewProgramBuilder()
+	f := pb.Function("main", 0, 0)
+	c := f.NewLocal()
+	stop2 := f.NewLabel()
+	f.Const(0).Store(c)
+	f.Loop()
+	start2 := f.NewLabel()
+	f.Bind(start2)
+	f.Load(c).Const(3).BranchIf(OpIfEq, stop2)
+	f.Load(c).Const(1).Op(OpAdd).Store(c)
+	f.Jump(start2)
+	f.Bind(stop2)
+	f.Halt()
+	f.EndLoop()
+	f.Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, events, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := events.Validate(); err != nil {
+		t.Errorf("halted run produced unbalanced events: %v", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	build := func(build func(f *FuncBuilder)) *Program {
+		pb := NewProgramBuilder().SetGlobalSize(1)
+		f := pb.Function("main", 0, 0)
+		build(f)
+		f.Ret()
+		p, err := pb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{"div by zero", build(func(f *FuncBuilder) { f.Const(1).Const(0).Op(OpDiv).Store(f.NewLocal()) }), "division by zero"},
+		{"rem by zero", build(func(f *FuncBuilder) { f.Const(1).Const(0).Op(OpRem).Store(f.NewLocal()) }), "remainder by zero"},
+		{"global load oob", build(func(f *FuncBuilder) { f.Const(99).Op(OpGlobalLoad).Store(f.NewLocal()) }), "global load"},
+		{"global store oob", build(func(f *FuncBuilder) { f.Const(-1).Const(5).Op(OpGlobalStore) }), "global store"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := NewInterp(c.prog).Run()
+			if err == nil {
+				t.Fatal("expected runtime error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %q, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	pb := NewProgramBuilder()
+	f := pb.Function("main", 0, 0)
+	start := f.NewLabel()
+	f.Bind(start)
+	f.Jump(start) // infinite loop
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = NewInterp(p, WithMaxSteps(1000)).Run()
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("err = %v, want step budget exhaustion", err)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	pb := NewProgramBuilder()
+	main := pb.Function("main", 0, 0)
+	rec := pb.Function("rec", 0, 0)
+	rec.Call(rec).Ret()
+	main.Call(rec).Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = NewInterp(p, WithMaxDepth(50)).Run()
+	if err == nil || !strings.Contains(err.Error(), "depth limit") {
+		t.Errorf("err = %v, want depth limit", err)
+	}
+}
+
+func TestExecutePropagatesRuntimeErrors(t *testing.T) {
+	pb := NewProgramBuilder()
+	f := pb.Function("main", 0, 0)
+	f.Const(1).Const(0).Op(OpDiv).Op(OpPop).Ret()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Execute(p); err == nil {
+		t.Error("Execute swallowed a runtime trap")
+	}
+}
+
+func TestInterpRunOnEmptyProgram(t *testing.T) {
+	in := NewInterp(&Program{})
+	if err := in.Run(); err == nil {
+		t.Error("empty program ran successfully")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := buildFib(t)
+	dis := p.Disassemble()
+	for _, want := range []string{"func main", "func fib", "call 1 <fib>", "if_ge -> ", "ret"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestProgramQueries(t *testing.T) {
+	p := buildFib(t)
+	if p.Entry().Name != "main" {
+		t.Errorf("Entry() = %s", p.Entry().Name)
+	}
+	if p.FunctionByName("fib") == nil {
+		t.Error("FunctionByName(fib) = nil")
+	}
+	if p.FunctionByName("nope") != nil {
+		t.Error("FunctionByName(nope) != nil")
+	}
+	if got := p.StaticBranchSites(); got != 1 {
+		t.Errorf("StaticBranchSites() = %d, want 1", got)
+	}
+	var empty Program
+	if empty.Entry() != nil {
+		t.Error("empty program Entry() != nil")
+	}
+}

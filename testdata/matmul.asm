@@ -1,0 +1,118 @@
+# 8x8 integer matrix multiply: C = A * B over global memory.
+# Layout: A at 0, B at 64, C at 128. A and B are seeded by fill().
+globals 192
+
+func main params=0 results=0 locals=0
+    call fill
+    call matmul
+    ret
+end
+
+# fill: A[i] = i*3+1, B[i] = i^5, for i in 0..63
+func fill params=0 results=0 locals=1
+    const 0
+    store 0
+    loop
+  top:
+    load 0
+    const 64
+    if_ge done
+    load 0              # A[i] address
+    load 0
+    const 3
+    mul
+    const 1
+    add
+    gstore
+    const 64            # B[i] address
+    load 0
+    add
+    load 0
+    const 5
+    xor
+    gstore
+    load 0
+    const 1
+    add
+    store 0
+    jump top
+  done:
+    endloop
+    ret
+end
+
+# matmul: triple loop over i, j, k
+func matmul params=0 results=0 locals=4
+    const 0
+    store 0             # i
+    loop
+  iTop:
+    load 0
+    const 8
+    if_ge iDone
+    const 0
+    store 1             # j
+    loop
+  jTop:
+    load 1
+    const 8
+    if_ge jDone
+    const 0
+    store 3             # acc
+    const 0
+    store 2             # k
+    loop
+  kTop:
+    load 2
+    const 8
+    if_ge kDone
+    load 0              # acc += A[i*8+k] * B[k*8+j]
+    const 8
+    mul
+    load 2
+    add
+    gload
+    const 64
+    load 2
+    const 8
+    mul
+    add
+    load 1
+    add
+    gload
+    mul
+    load 3
+    add
+    store 3
+    load 2
+    const 1
+    add
+    store 2
+    jump kTop
+  kDone:
+    endloop
+    const 128           # C[i*8+j] = acc
+    load 0
+    const 8
+    mul
+    add
+    load 1
+    add
+    load 3
+    gstore
+    load 1
+    const 1
+    add
+    store 1
+    jump jTop
+  jDone:
+    endloop
+    load 0
+    const 1
+    add
+    store 0
+    jump iTop
+  iDone:
+    endloop
+    ret
+end
