@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build test check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: static analysis, a full build, and the
+# race detector over the concurrency-sensitive packages (the lock-free
+# telemetry registry and the detector core it instruments).
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./internal/telemetry/... ./internal/core/...
+
+bench:
+	$(GO) test -bench . -benchtime 1s -run '^$$' ./internal/core/... ./internal/telemetry/...

@@ -12,6 +12,10 @@
 //	detect -trace /tmp/compress -preset dhodapkar -cw 10000 -mpl 10000
 //	detect -trace /tmp/compress -preset lu -cw 4096
 //	detect -trace /tmp/compress -preset das -cw 4096 -param 0.8
+//
+// Telemetry: -telemetry-addr serves the live /debug/phasedet surface
+// during the run; -telemetry-dump prints the collected metrics and the
+// phase-event trace once the detector finishes.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"opd/internal/core"
 	"opd/internal/detectors"
 	"opd/internal/score"
+	"opd/internal/telemetry"
 	"opd/internal/trace"
 )
 
@@ -42,6 +47,8 @@ func main() {
 		mpl      = flag.Int64("mpl", 0, "score against the oracle at this MPL (0 = no scoring)")
 		show     = flag.Bool("phases", false, "print each detected phase")
 		adjusted = flag.Bool("adjusted", false, "use anchor-corrected phase starts for printing and scoring")
+		telAddr  = flag.String("telemetry-addr", "", "serve the live "+telemetry.DebugPath+" debug surface on this address (\":0\" picks a port)")
+		telDump  = flag.Bool("telemetry-dump", false, "print the telemetry report (metrics + phase events) at end of run")
 	)
 	flag.Parse()
 	if *prefix == "" {
@@ -54,7 +61,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	d, desc, err := build(*preset, *cw, *tw, *skip, *policy, *model, *analyzer, *param, *anchor, *resize)
+	var reg *telemetry.Registry
+	if *telAddr != "" || *telDump {
+		reg = telemetry.NewRegistry()
+	}
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detect:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "detect: telemetry at %s\n", srv.URL())
+	}
+
+	d, desc, err := build(reg, *preset, *cw, *tw, *skip, *policy, *model, *analyzer, *param, *anchor, *resize)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "detect:", err)
 		os.Exit(2)
@@ -92,24 +113,38 @@ func main() {
 			lat.MeanStartLag, lat.MaxStartLag, lat.MeanEndLag, lat.MaxEndLag,
 			lat.MatchedStarts+lat.MatchedEnds, res.BaselineBoundaries)
 	}
+	if *telDump {
+		fmt.Println()
+		if err := reg.WriteReport(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "detect:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func build(preset string, cw, tw, skip int, policy, model, analyzer string, param float64, anchor, resize string) (*core.Detector, string, error) {
+// build assembles the detector; a non-nil registry instruments it.
+func build(reg *telemetry.Registry, preset string, cw, tw, skip int, policy, model, analyzer string, param float64, anchor, resize string) (*core.Detector, string, error) {
+	fromConfig := func(cfg core.Config) (*core.Detector, string, error) {
+		d, err := cfg.New()
+		if err == nil {
+			d.SetProbe(telemetry.NewDetectorProbe(reg, cfg.ID()))
+		}
+		return d, cfg.ID(), err
+	}
 	switch preset {
 	case "dhodapkar":
-		cfg := detectors.DhodapkarSmith(cw)
-		d, err := cfg.New()
-		return d, cfg.ID(), err
+		return fromConfig(detectors.DhodapkarSmith(cw))
 	case "lu":
-		return detectors.NewLu(cw, 7, 2.0), fmt.Sprintf("lu/window%d/history7/band2.0", cw), nil
+		return detectors.NewLu(cw, 7, 2.0, detectors.WithTelemetry(reg)),
+			fmt.Sprintf("lu/window%d/history7/band2.0", cw), nil
 	case "das":
-		return detectors.NewDas(cw, param), fmt.Sprintf("das/window%d/pearson%g", cw, param), nil
+		return detectors.NewDas(cw, param, detectors.WithTelemetry(reg)),
+			fmt.Sprintf("das/window%d/pearson%g", cw, param), nil
 	case "kistler":
-		cfg := detectors.KistlerFranz(cw, param)
-		d, err := cfg.New()
-		return d, cfg.ID(), err
+		return fromConfig(detectors.KistlerFranz(cw, param))
 	case "bbv":
-		return detectors.NewBBV(cw, param), fmt.Sprintf("bbv/window%d/thr%g", cw, param), nil
+		return detectors.NewBBV(cw, param, detectors.WithTelemetry(reg)),
+			fmt.Sprintf("bbv/window%d/thr%g", cw, param), nil
 	case "":
 		cfg := core.Config{CWSize: cw, TWSize: tw, SkipFactor: skip, Param: param}
 		switch policy {
@@ -154,8 +189,7 @@ func build(preset string, cw, tw, skip int, policy, model, analyzer string, para
 		default:
 			return nil, "", fmt.Errorf("unknown resize %q", resize)
 		}
-		d, err := cfg.New()
-		return d, cfg.ID(), err
+		return fromConfig(cfg)
 	default:
 		return nil, "", fmt.Errorf("unknown preset %q", preset)
 	}

@@ -12,6 +12,11 @@
 //
 // Experiment names: table1a table1b table2a table2b fig4 fig5 fig6 fig7a
 // fig7b fig8 skipsweep sources client variance all.
+//
+// Telemetry: -telemetry-addr serves the live /debug/phasedet surface
+// while the experiments run; -telemetry-dump prints the end-of-run
+// instrumentation report plus the per-benchmark detector execution
+// summary (runs, similarity computations, wall clock).
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"opd/internal/experiments"
 	"opd/internal/report"
+	"opd/internal/telemetry"
 )
 
 type job struct {
@@ -114,12 +120,28 @@ func main() {
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		workers = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
 		asJSON  = flag.Bool("json", false, "emit results as a JSON object keyed by experiment name")
+		telAddr = flag.String("telemetry-addr", "", "serve the live "+telemetry.DebugPath+" debug surface on this address (\":0\" picks a port)")
+		telDump = flag.Bool("telemetry-dump", false, "print the telemetry report and detector execution summary at end of run")
 	)
 	flag.Parse()
 
 	opts := experiments.Options{Scale: *scale, Workers: *workers}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	var reg *telemetry.Registry
+	if *telAddr != "" || *telDump {
+		reg = telemetry.NewRegistry()
+		opts.Telemetry = reg
+	}
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phasebench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "phasebench: telemetry at %s\n", srv.URL())
 	}
 	ctx := experiments.New(opts)
 
@@ -161,6 +183,17 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "phasebench:", err)
+			os.Exit(1)
+		}
+	}
+	if stats := ctx.RunStats(); !*asJSON && len(stats) > 0 {
+		fmt.Printf("==== summary ====\n\n%s\n", report.RenderRunStats(stats))
+	}
+	if *telDump {
+		fmt.Println("==== telemetry ====")
+		fmt.Println()
+		if err := reg.WriteReport(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "phasebench:", err)
 			os.Exit(1)
 		}

@@ -8,6 +8,13 @@
 //	vmrun prog.asm
 //	vmrun -optimize -disasm prog.asm
 //	vmrun -detect -cw 500 prog.asm
+//	vmrun -jit -cw 500 prog.asm                   # adaptive-optimization manager
+//	vmrun -jit -telemetry-addr :8080 prog.asm     # live /debug/phasedet surface
+//
+// Telemetry: -telemetry-addr serves the live /debug/phasedet surface
+// while the program runs (VM instruction counters, detector metrics,
+// JIT compile/reuse counters, and the phase-event trace);
+// -telemetry-dump prints the same registry as a report at exit.
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"os"
 
 	"opd/internal/core"
+	"opd/internal/jit"
+	"opd/internal/telemetry"
 	"opd/internal/trace"
 	"opd/internal/vm"
 )
@@ -27,9 +36,12 @@ func main() {
 		disasm   = flag.Bool("disasm", false, "print the (possibly optimized) program before running")
 		cfg      = flag.Bool("cfg", false, "print each function's control-flow graph and natural loops")
 		detect   = flag.Bool("detect", false, "run an online phase detector over the live branch profile")
-		cw       = flag.Int("cw", 500, "detector current window size (with -detect)")
-		param    = flag.Float64("param", 0.6, "detector similarity threshold (with -detect)")
+		useJIT   = flag.Bool("jit", false, "run the phase-guided adaptive optimization manager over the live branch profile")
+		cw       = flag.Int("cw", 500, "detector current window size (with -detect/-jit)")
+		param    = flag.Float64("param", 0.6, "detector similarity threshold (with -detect/-jit)")
 		maxSteps = flag.Int64("maxsteps", 1e9, "instruction budget")
+		telAddr  = flag.String("telemetry-addr", "", "serve the live "+telemetry.DebugPath+" debug surface on this address (\":0\" picks a port)")
+		telDump  = flag.Bool("telemetry-dump", false, "print the telemetry report (metrics + phase events) at exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -71,16 +83,53 @@ func main() {
 		}
 	}
 
+	var reg *telemetry.Registry
+	if *telAddr != "" || *telDump {
+		reg = telemetry.NewRegistry()
+	}
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmrun:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "vmrun: telemetry at %s\n", srv.URL())
+	}
+
 	opts := []vm.Option{vm.WithMaxSteps(*maxSteps)}
+	if reg != nil {
+		opts = append(opts, vm.WithTelemetry(telemetry.NewVMProbe(reg, program.Mode())))
+	}
+	detCfg := core.Config{
+		CWSize:   *cw,
+		TW:       core.AdaptiveTW,
+		Model:    core.UnweightedModel,
+		Analyzer: core.ThresholdAnalyzer,
+		Param:    *param,
+	}
 	var detector *core.Detector
-	if *detect {
-		detector = core.Config{
-			CWSize:   *cw,
-			TW:       core.AdaptiveTW,
-			Model:    core.UnweightedModel,
-			Analyzer: core.ThresholdAnalyzer,
-			Param:    *param,
-		}.MustNew()
+	var manager *jit.System
+	switch {
+	case *useJIT:
+		sys, err := jit.New(jit.Config{
+			Detector:       detCfg,
+			MatchThreshold: 0.5,
+			CompileCost:    float64(*cw),
+			Speedup:        0.25,
+			Telemetry:      reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmrun:", err)
+			os.Exit(1)
+		}
+		manager = sys
+		opts = append(opts, vm.WithInstrumentation(vm.Instrumentation{
+			OnBranch: manager.Process,
+		}))
+	case *detect:
+		detector = detCfg.MustNew()
+		detector.SetProbe(telemetry.NewDetectorProbe(reg, detCfg.ID()))
 		last := core.Transition
 		opts = append(opts, vm.WithInstrumentation(vm.Instrumentation{
 			OnBranch: func(b trace.Branch) {
@@ -105,6 +154,24 @@ func main() {
 		fmt.Printf("phases:   %d detected\n", len(detector.Phases()))
 		for i, p := range detector.Phases() {
 			fmt.Printf("  phase %d: %v\n", i, p)
+		}
+	}
+	if manager != nil {
+		manager.Finish()
+		fmt.Printf("jit:      %v\n", manager.Report())
+		for i, d := range manager.Decisions() {
+			verb := "compiled"
+			if d.Reused {
+				verb = "reused"
+			}
+			fmt.Printf("  phase %d: %v behaviour %d (%s)\n", i, d.Phase, d.Behaviour, verb)
+		}
+	}
+	if *telDump {
+		fmt.Println()
+		if err := reg.WriteReport(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "vmrun:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"opd/internal/interval"
+	"opd/internal/telemetry"
 	"opd/internal/trace"
 )
 
@@ -35,6 +37,9 @@ type Detector struct {
 	haveSim      bool
 	onPhaseStart func(adjStart int64, sig []trace.Branch)
 	onPhaseEnd   func(interval.Interval, []trace.Branch)
+
+	probe      *telemetry.DetectorProbe
+	lastFlipAt int64 // stream position of the most recent state flip
 }
 
 // NewDetector assembles a detector from a model, an analyzer, and a skip
@@ -60,6 +65,11 @@ func (d *Detector) Consumed() int64 { return d.n }
 // quantity the skip factor trades against accuracy.
 func (d *Detector) SimilarityComputations() int64 { return d.simCount }
 
+// SetProbe attaches a telemetry probe. A nil probe (the default)
+// disables instrumentation; the hot path then pays one nil check per
+// group and nothing else. Attach before processing begins.
+func (d *Detector) SetProbe(p *telemetry.DetectorProbe) { d.probe = p }
+
 // ProcessProfile consumes the next group of profile elements (normally
 // exactly skipFactor of them; the final group of a trace may be shorter)
 // and returns the detector's state, which applies to every element of the
@@ -76,7 +86,19 @@ func (d *Detector) ProcessProfile(elems []trace.Branch) State {
 
 	d.model.UpdateWindows(elems)
 	newState := Transition
-	if sim, ok := d.model.ComputeSimilarity(); ok {
+	var sim float64
+	var ok bool
+	if d.probe != nil {
+		start := time.Now()
+		sim, ok = d.model.ComputeSimilarity()
+		if ok {
+			d.probe.Similarity(sim, time.Since(start).Nanoseconds())
+		}
+		d.probe.Group(int64(len(elems)))
+	} else {
+		sim, ok = d.model.ComputeSimilarity()
+	}
+	if ok {
 		d.simCount++
 		d.lastSim, d.haveSim = sim, true
 		newState = d.analyzer.ProcessValue(sim)
@@ -88,6 +110,10 @@ func (d *Detector) ProcessProfile(elems []trace.Branch) State {
 			adj := d.model.AnchorTrailingWindow()
 			d.analyzer.ResetStats()
 			d.beginPhase(groupStart, adj)
+			if d.probe != nil {
+				d.probe.WindowAnchor(groupStart)
+				d.probe.PhaseStart(groupStart, d.curAdjStart)
+			}
 			if d.onPhaseStart != nil {
 				d.onPhaseStart(d.curAdjStart, d.phaseSignature())
 			}
@@ -96,14 +122,27 @@ func (d *Detector) ProcessProfile(elems []trace.Branch) State {
 			// tracking, then flush the windows.
 			sig := d.phaseSignature()
 			d.model.ClearWindows()
+			if d.probe != nil {
+				d.probe.WindowClear(groupStart)
+			}
 			d.endPhase(groupStart, sig)
 		case d.state.IsPhase():
 			d.analyzer.UpdateStats(sim)
 		}
-	} else if d.state.IsPhase() {
-		// The model reports not-ready (windows flushed mid-phase by an
-		// external reset); treat as transition.
-		d.endPhase(groupStart, d.phaseSignature())
+	} else {
+		// The model reports not-ready (windows filling, or flushed
+		// mid-phase by an external reset): there is no current similarity
+		// evidence, so confidence must read zero.
+		d.haveSim = false
+		if d.state.IsPhase() {
+			d.endPhase(groupStart, d.phaseSignature())
+		}
+	}
+	if newState != d.state {
+		if d.probe != nil {
+			d.probe.StateFlip(newState.IsPhase(), groupStart, groupStart-d.lastFlipAt)
+		}
+		d.lastFlipAt = groupStart
 	}
 	d.state = newState
 	return d.state
@@ -140,7 +179,9 @@ func (d *Detector) phaseSignature() []trace.Branch {
 // Confidence returns the detector's confidence in its current state: the
 // distance of the most recent similarity value from the analyzer's
 // accept/reject boundary, in [0, 1]. Zero before any similarity value has
-// been computed or for analyzers that do not expose a threshold.
+// been computed, after a phase ends or the model reports not-ready (the
+// evidence belongs to a closed phase), or for analyzers that do not
+// expose a threshold.
 func (d *Detector) Confidence() float64 {
 	if !d.haveSim {
 		return 0
@@ -193,12 +234,18 @@ func (d *Detector) endPhase(end int64, sig []trace.Branch) {
 		return
 	}
 	d.inPhase = false
+	// The phase's similarity evidence dies with it: confidence must not
+	// report a value carried over from a closed phase.
+	d.haveSim = false
 	if end > d.curStart {
 		d.phases = append(d.phases, interval.Interval{Start: d.curStart, End: end})
 	}
 	if end > d.curAdjStart {
 		adj := interval.Interval{Start: d.curAdjStart, End: end}
 		d.adjPhases = append(d.adjPhases, adj)
+		if d.probe != nil {
+			d.probe.PhaseEnd(end, adj.Start)
+		}
 		if d.onPhaseEnd != nil {
 			d.onPhaseEnd(adj, sig)
 		}
@@ -216,6 +263,9 @@ func (d *Detector) Finish() {
 		d.pending = d.pending[:0]
 	}
 	d.endPhase(d.n, d.phaseSignature())
+	if d.probe != nil {
+		d.probe.EndOfStream(d.state.IsPhase(), d.n-d.lastFlipAt)
+	}
 	d.finished = true
 }
 

@@ -231,6 +231,108 @@ func TestFinishClosesOpenPhase(t *testing.T) {
 	d.ProcessProfile([]trace.Branch{el(1)})
 }
 
+// Regression: lastSim/haveSim used to survive endPhase and the
+// model-not-ready path, so Confidence reported a value from a closed
+// phase while the windows refilled.
+func TestConfidenceDoesNotOutlivePhase(t *testing.T) {
+	d := cfgConstant().MustNew()
+	tr := twoPhaseTrace()
+	ended := false
+	reopened := false
+	for i, e := range tr {
+		was := d.State()
+		st := d.Process(e)
+		switch {
+		case was.IsPhase() && st.IsTransition():
+			ended = true
+			if c := d.Confidence(); c != 0 {
+				t.Fatalf("element %d: confidence %f right after phase end, want 0", i, c)
+			}
+		case ended && !reopened && st.IsTransition():
+			// Windows flushed at the phase end are refilling: the model is
+			// not ready, so there is no current evidence.
+			if c := d.Confidence(); c != 0 {
+				t.Fatalf("element %d: confidence %f while model not ready, want 0", i, c)
+			}
+		case ended && st.IsPhase():
+			reopened = true
+		}
+	}
+	if !ended || !reopened {
+		t.Fatalf("trace did not exercise a phase end and a reopen (ended=%v reopened=%v)", ended, reopened)
+	}
+	d.Finish()
+	if c := d.Confidence(); c != 0 {
+		t.Errorf("confidence = %f after Finish, want 0", c)
+	}
+}
+
+func TestFinishFlushesPartialPendingGroup(t *testing.T) {
+	cfg := cfgConstant()
+	cfg.SkipFactor = 4
+	d := cfg.MustNew()
+	for _, e := range seg(nil, 1, 50) { // 12 full groups + 2 pending
+		d.Process(e)
+	}
+	if d.Consumed() != 48 {
+		t.Fatalf("consumed = %d before Finish, want 48 (two elements pending)", d.Consumed())
+	}
+	d.Finish()
+	if d.Consumed() != 50 {
+		t.Errorf("consumed = %d after Finish, want 50 (pending flushed)", d.Consumed())
+	}
+	phases := d.Phases()
+	if len(phases) != 1 || phases[0].End != 50 {
+		t.Errorf("phases = %v, want one phase closed at 50", phases)
+	}
+}
+
+func TestFinishClosesOpenPhaseWithHooks(t *testing.T) {
+	d := cfgConstant().MustNew()
+	var starts, ends int
+	var endIv interval.Interval
+	var endSig []trace.Branch
+	d.SetPhaseStartHook(func(adjStart int64, sig []trace.Branch) {
+		starts++
+		if sig == nil {
+			t.Error("start hook got nil signature from a Signaturer model")
+		}
+	})
+	d.SetPhaseEndHook(func(iv interval.Interval, sig []trace.Branch) {
+		ends++
+		endIv, endSig = iv, sig
+	})
+	RunTrace(d, seg(nil, 1, 50)) // single behaviour: phase still open at stream end
+	if starts != 1 || ends != 1 {
+		t.Fatalf("start hook fired %d times, end hook %d, want 1 and 1", starts, ends)
+	}
+	if endIv.End != 50 {
+		t.Errorf("end hook interval %v, want end 50 (stream end)", endIv)
+	}
+	if len(endSig) == 0 {
+		t.Error("end hook got empty signature for the open phase")
+	}
+}
+
+func TestDoubleFinishIsIdempotent(t *testing.T) {
+	d := cfgConstant().MustNew()
+	ends := 0
+	d.SetPhaseEndHook(func(interval.Interval, []trace.Branch) { ends++ })
+	RunTrace(d, seg(nil, 1, 50)) // RunTrace already finishes
+	phases := len(d.Phases())
+	d.Finish()
+	d.Finish()
+	if got := len(d.Phases()); got != phases {
+		t.Errorf("phases grew from %d to %d across repeated Finish", phases, got)
+	}
+	if ends != 1 {
+		t.Errorf("end hook fired %d times across repeated Finish, want 1", ends)
+	}
+	if d.Consumed() != 50 {
+		t.Errorf("consumed = %d after repeated Finish, want 50", d.Consumed())
+	}
+}
+
 func TestEmptyGroupIsNoOp(t *testing.T) {
 	d := cfgConstant().MustNew()
 	if st := d.ProcessProfile(nil); st != Transition {

@@ -138,10 +138,17 @@ func TestConfidence(t *testing.T) {
 	if d.Confidence() != 0 {
 		t.Error("confidence before any similarity should be 0")
 	}
-	RunTrace(d, seg(nil, 1, 60))
+	for _, e := range seg(nil, 1, 60) {
+		d.Process(e)
+	}
 	// Deep inside a pure phase the unweighted similarity is 1.0 and the
 	// threshold 0.6: confidence 0.4.
 	if c := d.Confidence(); c < 0.35 || c > 0.45 {
 		t.Errorf("confidence = %f, want ~0.4", c)
+	}
+	// Finish closes the open phase; its evidence must not linger.
+	d.Finish()
+	if c := d.Confidence(); c != 0 {
+		t.Errorf("confidence = %f after Finish, want 0 (phase closed)", c)
 	}
 }

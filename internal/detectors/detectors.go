@@ -16,10 +16,36 @@
 package detectors
 
 import (
+	"fmt"
+
 	"opd/internal/core"
 	"opd/internal/stats"
+	"opd/internal/telemetry"
 	"opd/internal/trace"
 )
+
+// An Option configures an assembled related-work detector.
+type Option func(*options)
+
+type options struct {
+	reg *telemetry.Registry
+}
+
+// WithTelemetry instruments the assembled detector against reg: the
+// detector gets a DetectorProbe labeled with the algorithm and window
+// size, and the custom model a ModelProbe recording window consumption
+// and the similarity-value distribution. A nil registry is a no-op.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *options) { o.reg = reg }
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
 
 // DhodapkarSmith returns the configuration of the working-set detector of
 // Dhodapkar & Smith (ISCA'02) as modelled by the paper: an unweighted set
@@ -43,8 +69,12 @@ func KistlerFranz(windowSize int, threshold float64) core.Config {
 // compared by Manhattan distance, and a fixed threshold on the resulting
 // similarity (1 - distance/2, in [0, 1]) decides the state. skipFactor
 // equals sampleWindow.
-func NewBBV(sampleWindow int, threshold float64) *core.Detector {
-	return core.NewDetector(&BBVModel{}, core.NewThreshold(threshold), sampleWindow)
+func NewBBV(sampleWindow int, threshold float64, opts ...Option) *core.Detector {
+	o := applyOptions(opts)
+	model := &BBVModel{probe: telemetry.NewModelProbe(o.reg, "bbv")}
+	d := core.NewDetector(model, core.NewThreshold(threshold), sampleWindow)
+	d.SetProbe(telemetry.NewDetectorProbe(o.reg, fmt.Sprintf("bbv/window%d/thr%g", sampleWindow, threshold)))
+	return d
 }
 
 // BBVModel compares adjacent sample windows' normalized site-frequency
@@ -54,6 +84,7 @@ type BBVModel struct {
 	havePrev  bool
 	consumed  int64
 	lastLen   int
+	probe     *telemetry.ModelProbe
 }
 
 var _ core.Model = (*BBVModel)(nil)
@@ -61,6 +92,7 @@ var _ core.Model = (*BBVModel)(nil)
 // UpdateWindows implements core.Model: each consumed group is one sample
 // window, normalized to a unit-sum frequency vector.
 func (m *BBVModel) UpdateWindows(elems []trace.Branch) {
+	m.probe.Window()
 	m.prev, m.havePrev = m.cur, m.cur != nil
 	m.cur = make(map[trace.Branch]float64, len(m.prev))
 	if len(elems) == 0 {
@@ -93,7 +125,9 @@ func (m *BBVModel) ComputeSimilarity() (float64, bool) {
 			dist += f
 		}
 	}
-	return 1 - dist/2, true
+	sim := 1 - dist/2
+	m.probe.Similarity(sim)
+	return sim, true
 }
 
 // AnchorTrailingWindow implements core.Model.
@@ -113,10 +147,13 @@ func (m *BBVModel) ClearWindows() {
 // out-of-band windows. The returned detector has skipFactor equal to
 // sampleWindow. The original uses 4K-sample windows and a history of
 // seven.
-func NewLu(sampleWindow, history int, band float64) *core.Detector {
-	model := &LuModel{sampleWindow: sampleWindow, histCap: history}
+func NewLu(sampleWindow, history int, band float64, opts ...Option) *core.Detector {
+	o := applyOptions(opts)
+	model := &LuModel{sampleWindow: sampleWindow, histCap: history, probe: telemetry.NewModelProbe(o.reg, "lu")}
 	analyzer := &PersistenceAnalyzer{Threshold: 1 / (1 + band), Windows: 2}
-	return core.NewDetector(model, analyzer, sampleWindow)
+	d := core.NewDetector(model, analyzer, sampleWindow)
+	d.SetProbe(telemetry.NewDetectorProbe(o.reg, fmt.Sprintf("lu/window%d/history%d/band%g", sampleWindow, history, band)))
+	return d
 }
 
 // LuModel turns each consumed window into a similarity value 1/(1+z),
@@ -130,12 +167,14 @@ type LuModel struct {
 	curSum   float64
 	curN     int
 	consumed int64
+	probe    *telemetry.ModelProbe
 }
 
 var _ core.Model = (*LuModel)(nil)
 
 // UpdateWindows implements core.Model.
 func (m *LuModel) UpdateWindows(elems []trace.Branch) {
+	m.probe.Window()
 	for _, e := range elems {
 		// The "PC" of a profile element is its static site identity.
 		m.curSum += float64(uint64(e.Site()))
@@ -169,7 +208,9 @@ func (m *LuModel) ComputeSimilarity() (float64, bool) {
 		z = 1e9 // zero-variance history and a different average: way out of band
 	}
 	m.hist = append(m.hist[1:], avg)
-	return 1 / (1 + z), true
+	sim := 1 / (1 + z)
+	m.probe.Similarity(sim)
+	return sim, true
 }
 
 // AnchorTrailingWindow implements core.Model: the phase is considered to
@@ -218,9 +259,12 @@ func (a *PersistenceAnalyzer) UpdateStats(float64) {}
 // per-site frequency histograms of the current and previous sample
 // windows and reports their Pearson correlation coefficient; the analyzer
 // compares it against a fixed threshold. skipFactor equals sampleWindow.
-func NewDas(sampleWindow int, threshold float64) *core.Detector {
-	model := &PearsonModel{}
-	return core.NewDetector(model, core.NewThreshold(threshold), sampleWindow)
+func NewDas(sampleWindow int, threshold float64, opts ...Option) *core.Detector {
+	o := applyOptions(opts)
+	model := &PearsonModel{probe: telemetry.NewModelProbe(o.reg, "das")}
+	d := core.NewDetector(model, core.NewThreshold(threshold), sampleWindow)
+	d.SetProbe(telemetry.NewDetectorProbe(o.reg, fmt.Sprintf("das/window%d/pearson%g", sampleWindow, threshold)))
+	return d
 }
 
 // PearsonModel computes the Pearson correlation between the site-frequency
@@ -230,6 +274,7 @@ type PearsonModel struct {
 	havePrev  bool
 	consumed  int64
 	lastLen   int
+	probe     *telemetry.ModelProbe
 }
 
 var _ core.Model = (*PearsonModel)(nil)
@@ -237,6 +282,7 @@ var _ core.Model = (*PearsonModel)(nil)
 // UpdateWindows implements core.Model: each consumed group is one sample
 // window.
 func (m *PearsonModel) UpdateWindows(elems []trace.Branch) {
+	m.probe.Window()
 	m.prev, m.havePrev = m.cur, m.cur != nil
 	m.cur = make(map[trace.Branch]int, len(m.prev))
 	for _, e := range elems {
@@ -270,6 +316,7 @@ func (m *PearsonModel) ComputeSimilarity() (float64, bool) {
 		// identical windows are perfectly correlated by definition.
 		r = 1
 	}
+	m.probe.Similarity(r)
 	return r, true
 }
 

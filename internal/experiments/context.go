@@ -22,6 +22,7 @@ import (
 	"opd/internal/score"
 	"opd/internal/sweep"
 	"opd/internal/synth"
+	"opd/internal/telemetry"
 	"opd/internal/trace"
 )
 
@@ -42,6 +43,11 @@ type Options struct {
 	CWSizes []int
 	// Workers bounds sweep parallelism; zero means GOMAXPROCS.
 	Workers int
+	// Telemetry, when non-nil, instruments every detector sweep the
+	// experiments run (run counts, wall clock, similarity-computation
+	// volume) against the registry, and enables the end-of-run
+	// instrumentation report in cmd/phasebench.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -86,23 +92,28 @@ func sortInts(xs []int) {
 
 // Context holds the cached state shared by all experiments.
 type Context struct {
-	opts Options
+	opts       Options
+	sweepProbe *telemetry.SweepProbe
 
-	mu     sync.Mutex
-	traces map[string]trace.Trace
-	events map[string]trace.Events
-	sols   map[string]map[int64]*baseline.Solution
-	runs   map[string][]sweep.Run
+	mu       sync.Mutex
+	traces   map[string]trace.Trace
+	events   map[string]trace.Events
+	sols     map[string]map[int64]*baseline.Solution
+	runs     map[string][]sweep.Run
+	runStats map[string]*RunStats
 }
 
 // New builds a context.
 func New(opts Options) *Context {
+	opts = opts.withDefaults()
 	return &Context{
-		opts:   opts.withDefaults(),
-		traces: map[string]trace.Trace{},
-		events: map[string]trace.Events{},
-		sols:   map[string]map[int64]*baseline.Solution{},
-		runs:   map[string][]sweep.Run{},
+		opts:       opts,
+		sweepProbe: telemetry.NewSweepProbe(opts.Telemetry),
+		traces:     map[string]trace.Trace{},
+		events:     map[string]trace.Events{},
+		sols:       map[string]map[int64]*baseline.Solution{},
+		runs:       map[string][]sweep.Run{},
+		runStats:   map[string]*RunStats{},
 	}
 }
 
@@ -170,11 +181,20 @@ func (c *Context) Runs(bench string) ([]sweep.Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	runs := sweep.RunConfigs(tr, c.masterConfigs(), c.opts.Workers)
+	runs := c.sweepRuns(bench, tr, c.masterConfigs())
 	c.mu.Lock()
 	c.runs[bench] = runs
 	c.mu.Unlock()
 	return runs, nil
+}
+
+// sweepRuns executes configurations over a trace with the context's
+// telemetry probe attached and folds the results into the per-benchmark
+// run statistics.
+func (c *Context) sweepRuns(bench string, tr trace.Trace, configs []core.Config) []sweep.Run {
+	runs := sweep.RunConfigsTelemetry(tr, configs, c.opts.Workers, c.sweepProbe)
+	c.noteRuns(bench, runs)
+	return runs
 }
 
 // defaultAnchoring keeps only the RN/Slide anchoring for Adaptive configs

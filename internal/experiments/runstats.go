@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"opd/internal/sweep"
+)
+
+// RunStats aggregates the detector-execution cost of every sweep a
+// benchmark triggered: how many configurations ran, over how many trace
+// elements, at what similarity-computation volume, and how much
+// cumulative detector wall-clock they consumed. It feeds the
+// instrumentation summary table of cmd/phasebench (and complements the
+// live telemetry registry, which carries the same totals as counters).
+type RunStats struct {
+	Bench string
+	// Configs is the number of detector runs executed for the benchmark.
+	Configs int
+	// Elements is the total number of trace elements consumed across all
+	// runs (trace length x runs, for full-trace sweeps).
+	Elements int64
+	// SimComputations is the total similarity computations across runs.
+	SimComputations int64
+	// WallClock is the cumulative detector execution time across runs
+	// (sum over configurations; parallel workers overlap in real time).
+	WallClock time.Duration
+	// MaxRun is the single slowest detector pass, and MaxRunConfig its
+	// configuration description.
+	MaxRun       time.Duration
+	MaxRunConfig string
+}
+
+// SimPer1000 is the aggregate similarity-computation rate per thousand
+// consumed elements.
+func (s RunStats) SimPer1000() float64 {
+	if s.Elements == 0 {
+		return 0
+	}
+	return 1000 * float64(s.SimComputations) / float64(s.Elements)
+}
+
+// noteRuns folds a completed sweep into the benchmark's statistics.
+func (c *Context) noteRuns(bench string, runs []sweep.Run) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.runStats[bench]
+	if st == nil {
+		st = &RunStats{Bench: bench}
+		c.runStats[bench] = st
+	}
+	for _, r := range runs {
+		st.Configs++
+		st.Elements += r.Elements
+		st.SimComputations += r.SimComputations
+		st.WallClock += r.Elapsed
+		if r.Elapsed > st.MaxRun {
+			st.MaxRun = r.Elapsed
+			st.MaxRunConfig = r.Config.ID()
+		}
+	}
+}
+
+// RunStats returns the per-benchmark detector-execution statistics
+// accumulated so far, sorted by benchmark name.
+func (c *Context) RunStats() []RunStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RunStats, 0, len(c.runStats))
+	for _, st := range c.runStats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bench < out[j].Bench })
+	return out
+}

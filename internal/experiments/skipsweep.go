@@ -7,13 +7,15 @@ import (
 )
 
 // SkipPoint is one skip-factor setting's accuracy/cost pair: the average
-// (over benchmarks) best score and the average number of similarity
+// (over benchmarks) best score, the average number of similarity
 // computations per thousand profile elements — the detector's dominant
-// run-time cost.
+// run-time cost — and the average measured wall-clock of the best run,
+// in milliseconds.
 type SkipPoint struct {
 	Skip                int
 	Score               float64
 	ComputationsPer1000 float64
+	BestRunMS           float64
 }
 
 // SkipSweep quantifies the overhead/accuracy trade-off the paper
@@ -42,7 +44,7 @@ func (c *Context) SkipSweep(mpl int64) ([]SkipPoint, error) {
 				})
 			}
 		}
-		var scores, rates []float64
+		var scores, rates, millis []float64
 		for _, bench := range c.mustBenchmarks() {
 			tr, _, err := c.Workload(bench)
 			if err != nil {
@@ -52,18 +54,20 @@ func (c *Context) SkipSweep(mpl int64) ([]SkipPoint, error) {
 			if err != nil {
 				return nil, errBench(bench, err)
 			}
-			runs := sweep.RunConfigs(tr, configs, c.opts.Workers)
+			runs := c.sweepRuns(bench, tr, configs)
 			best, bestRun, ok := sweep.Best(runs, sol, false)
 			if !ok {
 				continue
 			}
 			scores = append(scores, best.Score)
-			rates = append(rates, 1000*float64(bestRun.SimComputations)/float64(len(tr)))
+			rates = append(rates, bestRun.SimPer1000())
+			millis = append(millis, float64(bestRun.Elapsed.Microseconds())/1000)
 		}
 		out = append(out, SkipPoint{
 			Skip:                skip,
 			Score:               stats.Mean(scores),
 			ComputationsPer1000: stats.Mean(rates),
+			BestRunMS:           stats.Mean(millis),
 		})
 	}
 	return out, nil

@@ -57,7 +57,7 @@ func (c *Context) ProfileSources(mpl int64) ([]SourcePoint, error) {
 		}
 
 		// Branch stream at CW = MPL/2.
-		branchRuns := sweep.RunConfigs(branches, mkConfigs(int(mpl/2)), c.opts.Workers)
+		branchRuns := c.sweepRuns(bench, branches, mkConfigs(int(mpl/2)))
 		branchBest, _, _ := sweep.Best(branchRuns, sol, false)
 
 		// Method stream: scale the window by stream density.

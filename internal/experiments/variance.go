@@ -47,7 +47,7 @@ func (c *Context) SeedVariance(mpl int64, seeds []int32) ([]VariancePoint, error
 			if err != nil {
 				return nil, errBench(bench, err)
 			}
-			runs := sweep.RunConfigs(branches, configs, c.opts.Workers)
+			runs := c.sweepRuns(bench, branches, configs)
 			best, _, ok := sweep.Best(runs, sol, false)
 			if ok {
 				scores = append(scores, best.Score)

@@ -17,6 +17,7 @@ import (
 
 	"opd/internal/core"
 	"opd/internal/interval"
+	"opd/internal/telemetry"
 	"opd/internal/trace"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	CompileCost float64
 	// Speedup is the saving per element executed under specialization.
 	Speedup float64
+	// Telemetry, when non-nil, instruments the system: the detector gets
+	// a DetectorProbe labeled with its configuration ID, and the manager
+	// a JITProbe recording guard checks/hits, compiles, and
+	// specialization volume. Nil runs uninstrumented at no cost.
+	Telemetry *telemetry.Registry
 }
 
 // A Decision records what the manager did for one phase occurrence.
@@ -69,14 +75,19 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("jit: negative economics (cost %g, speedup %g)", cfg.CompileCost, cfg.Speedup)
 	}
 	s := &System{cfg: cfg, detector: d, tracker: core.NewTracker(cfg.MatchThreshold)}
-	d.SetPhaseStartHook(func(_ int64, sig []trace.Branch) {
+	probe := telemetry.NewJITProbe(cfg.Telemetry)
+	d.SetProbe(telemetry.NewDetectorProbe(cfg.Telemetry, cfg.Detector.ID()))
+	d.SetPhaseStartHook(func(adjStart int64, sig []trace.Branch) {
+		probe.GuardCheck()
 		if id, _, ok := s.tracker.Match(sig); ok {
 			s.curPlan, s.curReused, s.curValid = id, true, true
 			s.reuses++
+			probe.Reuse(adjStart, id)
 			return
 		}
 		s.compiles++
 		s.curReused, s.curValid = false, false // plan ID assigned at phase end
+		probe.Compile(adjStart)
 	})
 	d.SetPhaseEndHook(func(p interval.Interval, sig []trace.Branch) {
 		id, _, _ := s.tracker.Observe(sig)
@@ -85,6 +96,7 @@ func New(cfg Config) (*System, error) {
 		}
 		s.decisions = append(s.decisions, Decision{Phase: p, Behaviour: s.curPlan, Reused: s.curReused})
 		s.curValid = false
+		probe.PhaseDone(p.Len(), s.tracker.KnownPhases())
 	})
 	return s, nil
 }

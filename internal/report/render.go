@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"opd/internal/core"
 	"opd/internal/experiments"
@@ -157,16 +158,55 @@ func RenderFig7(title string, points []experiments.Fig7Point) string {
 // RenderSkipSweep renders the accuracy/overhead trade-off table for the
 // skip-factor sweep extension.
 func RenderSkipSweep(mpl int64, points []experiments.SkipPoint) string {
-	headers := []string{"Skip factor", "Avg best score", "Similarity computations / 1000 elements"}
+	headers := []string{"Skip factor", "Avg best score", "Similarity computations / 1000 elements", "Best-run wall clock (ms)"}
 	var cells [][]string
 	for _, p := range points {
 		cells = append(cells, []string{
 			fmt.Sprintf("%d", p.Skip),
 			fmt.Sprintf("%.4f", p.Score),
 			fmt.Sprintf("%.1f", p.ComputationsPer1000),
+			fmt.Sprintf("%.2f", p.BestRunMS),
 		})
 	}
 	return fmt.Sprintf("Skip-factor sweep (extension): accuracy vs overhead at MPL %s\n\n", MPLLabel(mpl)) +
+		Table(headers, cells)
+}
+
+// RenderRunStats renders the per-benchmark detector-execution summary
+// the experiments harness accumulates: configurations run, elements
+// consumed, similarity-computation volume and rate, cumulative detector
+// wall clock, and the slowest single configuration.
+func RenderRunStats(stats []experiments.RunStats) string {
+	headers := []string{"Benchmark", "Detector runs", "Elements", "Sim comps", "Sims/1K elems", "Wall clock", "Slowest run (config)"}
+	var cells [][]string
+	var totConfigs int
+	var totElems, totSims int64
+	var totWall time.Duration
+	for _, s := range stats {
+		cells = append(cells, []string{
+			s.Bench,
+			fmt.Sprintf("%d", s.Configs),
+			fmt.Sprintf("%d", s.Elements),
+			fmt.Sprintf("%d", s.SimComputations),
+			fmt.Sprintf("%.1f", s.SimPer1000()),
+			s.WallClock.Round(time.Millisecond).String(),
+			fmt.Sprintf("%s (%s)", s.MaxRun.Round(time.Millisecond), s.MaxRunConfig),
+		})
+		totConfigs += s.Configs
+		totElems += s.Elements
+		totSims += s.SimComputations
+		totWall += s.WallClock
+	}
+	cells = append(cells, []string{
+		"Total",
+		fmt.Sprintf("%d", totConfigs),
+		fmt.Sprintf("%d", totElems),
+		fmt.Sprintf("%d", totSims),
+		"",
+		totWall.Round(time.Millisecond).String(),
+		"",
+	})
+	return "Detector execution summary (per benchmark, cumulative across experiments)\n\n" +
 		Table(headers, cells)
 }
 

@@ -8,11 +8,13 @@ package sweep
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"opd/internal/baseline"
 	"opd/internal/core"
 	"opd/internal/interval"
 	"opd/internal/score"
+	"opd/internal/telemetry"
 	"opd/internal/trace"
 )
 
@@ -22,6 +24,21 @@ type Run struct {
 	Phases          []interval.Interval
 	AdjustedPhases  []interval.Interval
 	SimComputations int64
+	// Elements is the trace length the detector consumed.
+	Elements int64
+	// Elapsed is the wall-clock time of the detector's pass over the
+	// trace (detector work only; excludes scoring).
+	Elapsed time.Duration
+}
+
+// SimPer1000 returns the run's similarity computations per thousand
+// consumed elements — the overhead rate the skip factor trades against
+// accuracy.
+func (r Run) SimPer1000() float64 {
+	if r.Elements == 0 {
+		return 0
+	}
+	return 1000 * float64(r.SimComputations) / float64(r.Elements)
 }
 
 // RunConfigs executes every configuration over the trace, in parallel
@@ -29,6 +46,13 @@ type Run struct {
 // order. Invalid configurations panic: the sweep enumerators only produce
 // valid ones, so an invalid config is a programming error.
 func RunConfigs(tr trace.Trace, configs []core.Config, workers int) []Run {
+	return RunConfigsTelemetry(tr, configs, workers, nil)
+}
+
+// RunConfigsTelemetry is RunConfigs with a sweep probe: each completed
+// run is recorded (count, wall clock, similarity computations). A nil
+// probe is equivalent to RunConfigs.
+func RunConfigsTelemetry(tr trace.Trace, configs []core.Config, workers int, probe *telemetry.SweepProbe) []Run {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -41,13 +65,18 @@ func RunConfigs(tr trace.Trace, configs []core.Config, workers int) []Run {
 			defer wg.Done()
 			for i := range jobs {
 				d := configs[i].MustNew()
+				start := time.Now()
 				core.RunTrace(d, tr)
+				elapsed := time.Since(start)
 				runs[i] = Run{
 					Config:          configs[i],
 					Phases:          d.Phases(),
 					AdjustedPhases:  d.AdjustedPhases(),
 					SimComputations: d.SimilarityComputations(),
+					Elements:        int64(len(tr)),
+					Elapsed:         elapsed,
 				}
+				probe.Run(elapsed.Seconds(), d.SimilarityComputations(), int64(len(tr)))
 			}
 		}()
 	}

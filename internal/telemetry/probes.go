@@ -1,0 +1,385 @@
+package telemetry
+
+// This file defines the typed probes the instrumented subsystems hold.
+// A probe is created once against a Registry, caches every instrument
+// pointer, and exposes a handful of methods tailored to its subsystem's
+// hot path. All probe constructors return nil for a nil registry, and
+// all probe methods are nil-receiver safe, so "telemetry disabled" is a
+// nil probe field and one branch per call site.
+
+// Metric family names. Kept as constants so tests, docs, and dashboards
+// reference one spelling.
+const (
+	MetricDetectorElements     = "opd_detector_elements_total"
+	MetricDetectorGroups       = "opd_detector_groups_total"
+	MetricDetectorSimComps     = "opd_detector_sim_computations_total"
+	MetricDetectorSimLatency   = "opd_detector_sim_latency_ns"
+	MetricDetectorSimilarity   = "opd_detector_similarity"
+	MetricDetectorState        = "opd_detector_state"
+	MetricDetectorStateFlips   = "opd_detector_state_flips_total"
+	MetricDetectorStateDwell   = "opd_detector_state_dwell_elements"
+	MetricDetectorPhaseStarts  = "opd_detector_phases_started_total"
+	MetricDetectorPhaseEnds    = "opd_detector_phases_ended_total"
+	MetricDetectorPhaseLength  = "opd_detector_phase_length_elements"
+	MetricDetectorAnchorMoves  = "opd_detector_anchor_adjustments_total"
+	MetricDetectorAnchorDist   = "opd_detector_anchor_adjustment_elements"
+	MetricDetectorWindowClears = "opd_detector_window_clears_total"
+	MetricDetectorWindowAnch   = "opd_detector_window_anchors_total"
+
+	MetricJITCompiles    = "opd_jit_compiles_total"
+	MetricJITReuses      = "opd_jit_reuses_total"
+	MetricJITGuardChecks = "opd_jit_guard_checks_total"
+	MetricJITGuardHits   = "opd_jit_guard_hits_total"
+	MetricJITBehaviours  = "opd_jit_behaviours"
+	MetricJITSpecialized = "opd_jit_specialized_elements_total"
+
+	MetricVMSteps    = "opd_vm_steps_total"
+	MetricVMBranches = "opd_vm_branches_total"
+	MetricVMCalls    = "opd_vm_calls_total"
+	MetricVMLoops    = "opd_vm_loops_total"
+
+	MetricSweepRuns       = "opd_sweep_runs_total"
+	MetricSweepSimComps   = "opd_sweep_sim_computations_total"
+	MetricSweepElements   = "opd_sweep_elements_total"
+	MetricSweepRunSeconds = "opd_sweep_run_seconds"
+
+	MetricModelWindows    = "opd_model_windows_total"
+	MetricModelSimilarity = "opd_model_similarity_value"
+)
+
+// A DetectorProbe instruments one core.Detector: element/group/similarity
+// throughput, per-group similarity latency, state dwell times, and the
+// phase lifecycle event trace.
+type DetectorProbe struct {
+	src  string
+	ring *Ring
+
+	elements   *Counter
+	groups     *Counter
+	simComps   *Counter
+	simLatency *Histogram
+	similarity *Gauge
+	state      *Gauge
+	stateFlips *Counter
+	dwellP     *Histogram
+	dwellT     *Histogram
+
+	phaseStarts *Counter
+	phaseEnds   *Counter
+	phaseLength *Histogram
+	anchorMoves *Counter
+	anchorDist  *Histogram
+	winClears   *Counter
+	winAnchors  *Counter
+}
+
+// NewDetectorProbe builds the detector probe labeled {detector=id}.
+// Returns nil (a disabled probe) for a nil registry.
+func NewDetectorProbe(reg *Registry, id string) *DetectorProbe {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(MetricDetectorSimComps, "Similarity computations performed (the detector's dominant cost).")
+	reg.Help(MetricDetectorSimLatency, "Per-group similarity computation latency in nanoseconds.")
+	reg.Help(MetricDetectorStateDwell, "Elements spent in a P/T state before flipping.")
+	reg.Help(MetricDetectorState, "Current detector state (1 = in phase, 0 = transition).")
+	l := L("detector", id)
+	return &DetectorProbe{
+		src:         id,
+		ring:        reg.Ring(),
+		elements:    reg.Counter(MetricDetectorElements, l),
+		groups:      reg.Counter(MetricDetectorGroups, l),
+		simComps:    reg.Counter(MetricDetectorSimComps, l),
+		simLatency:  reg.Histogram(MetricDetectorSimLatency, LatencyBucketsNS(), l),
+		similarity:  reg.Gauge(MetricDetectorSimilarity, l),
+		state:       reg.Gauge(MetricDetectorState, l),
+		stateFlips:  reg.Counter(MetricDetectorStateFlips, l),
+		dwellP:      reg.Histogram(MetricDetectorStateDwell, ElementBuckets(), l, L("state", "P")),
+		dwellT:      reg.Histogram(MetricDetectorStateDwell, ElementBuckets(), l, L("state", "T")),
+		phaseStarts: reg.Counter(MetricDetectorPhaseStarts, l),
+		phaseEnds:   reg.Counter(MetricDetectorPhaseEnds, l),
+		phaseLength: reg.Histogram(MetricDetectorPhaseLength, ElementBuckets(), l),
+		anchorMoves: reg.Counter(MetricDetectorAnchorMoves, l),
+		anchorDist:  reg.Histogram(MetricDetectorAnchorDist, ElementBuckets(), l),
+		winClears:   reg.Counter(MetricDetectorWindowClears, l),
+		winAnchors:  reg.Counter(MetricDetectorWindowAnch, l),
+	}
+}
+
+// Group records one consumed group of n elements.
+func (p *DetectorProbe) Group(n int64) {
+	if p == nil {
+		return
+	}
+	p.elements.Add(n)
+	p.groups.Inc()
+}
+
+// Similarity records one computed similarity value and its latency.
+func (p *DetectorProbe) Similarity(sim float64, latNS int64) {
+	if p == nil {
+		return
+	}
+	p.simComps.Inc()
+	p.similarity.Set(sim)
+	p.simLatency.Observe(float64(latNS))
+}
+
+// StateFlip records an analyzer state change at stream position at:
+// entered is the new state, dwell the length of the state just left.
+func (p *DetectorProbe) StateFlip(enteredPhase bool, at, dwell int64) {
+	if p == nil {
+		return
+	}
+	p.stateFlips.Inc()
+	v1 := int64(0)
+	if enteredPhase {
+		v1 = 1
+		p.state.Set(1)
+		p.dwellT.Observe(float64(dwell)) // leaving T
+	} else {
+		p.state.Set(0)
+		p.dwellP.Observe(float64(dwell)) // leaving P
+	}
+	p.ring.Record(EvStateFlip, p.src, at, v1, dwell)
+}
+
+// EndOfStream records the dwell of the state still active when the
+// stream finished.
+func (p *DetectorProbe) EndOfStream(inPhase bool, dwell int64) {
+	if p == nil {
+		return
+	}
+	if inPhase {
+		p.dwellP.Observe(float64(dwell))
+	} else {
+		p.dwellT.Observe(float64(dwell))
+	}
+}
+
+// PhaseStart records a phase beginning at groupStart with
+// anchor-corrected start adjStart.
+func (p *DetectorProbe) PhaseStart(groupStart, adjStart int64) {
+	if p == nil {
+		return
+	}
+	p.phaseStarts.Inc()
+	p.ring.Record(EvPhaseStart, p.src, groupStart, adjStart, 0)
+	if adjStart < groupStart {
+		p.anchorMoves.Inc()
+		p.anchorDist.Observe(float64(groupStart - adjStart))
+		p.ring.Record(EvAnchorAdjust, p.src, groupStart, adjStart, groupStart-adjStart)
+	}
+}
+
+// PhaseEnd records a phase ending at end with anchor-corrected start
+// adjStart.
+func (p *DetectorProbe) PhaseEnd(end, adjStart int64) {
+	if p == nil {
+		return
+	}
+	p.phaseEnds.Inc()
+	p.phaseLength.Observe(float64(end - adjStart))
+	p.ring.Record(EvPhaseEnd, p.src, end, adjStart, end-adjStart)
+}
+
+// WindowAnchor records the model being asked to re-anchor (and, under an
+// adaptive policy, restructure) its windows at a phase start.
+func (p *DetectorProbe) WindowAnchor(at int64) {
+	if p == nil {
+		return
+	}
+	p.winAnchors.Inc()
+	p.ring.Record(EvWindowResize, p.src, at, 0, 0)
+}
+
+// WindowClear records a window flush at a phase end.
+func (p *DetectorProbe) WindowClear(at int64) {
+	if p == nil {
+		return
+	}
+	p.winClears.Inc()
+	p.ring.Record(EvWindowClear, p.src, at, 0, 0)
+}
+
+// A JITProbe instruments the adaptive optimization manager: guard
+// checks/hits at phase starts, fresh compilations, and specialization
+// volume.
+type JITProbe struct {
+	src  string
+	ring *Ring
+
+	compiles    *Counter
+	reuses      *Counter
+	guardChecks *Counter
+	guardHits   *Counter
+	behaviours  *Gauge
+	specialized *Counter
+}
+
+// NewJITProbe builds the JIT probe. Returns nil for a nil registry.
+func NewJITProbe(reg *Registry) *JITProbe {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(MetricJITCompiles, "Fresh compilations (unrecognized phase behaviours).")
+	reg.Help(MetricJITGuardHits, "Phase-start signature guard hits (recognized recurring phases).")
+	return &JITProbe{
+		src:         "jit",
+		ring:        reg.Ring(),
+		compiles:    reg.Counter(MetricJITCompiles),
+		reuses:      reg.Counter(MetricJITReuses),
+		guardChecks: reg.Counter(MetricJITGuardChecks),
+		guardHits:   reg.Counter(MetricJITGuardHits),
+		behaviours:  reg.Gauge(MetricJITBehaviours),
+		specialized: reg.Counter(MetricJITSpecialized),
+	}
+}
+
+// GuardCheck records a phase-start recognition attempt.
+func (p *JITProbe) GuardCheck() {
+	if p == nil {
+		return
+	}
+	p.guardChecks.Inc()
+}
+
+// Compile records a fresh compilation decision at stream position at.
+func (p *JITProbe) Compile(at int64) {
+	if p == nil {
+		return
+	}
+	p.compiles.Inc()
+	p.ring.Record(EvJITCompile, p.src, at, -1, 0)
+}
+
+// Reuse records a recognized recurring phase (a guard hit) reusing the
+// plan of behaviour id.
+func (p *JITProbe) Reuse(at int64, behaviour int) {
+	if p == nil {
+		return
+	}
+	p.guardHits.Inc()
+	p.reuses.Inc()
+	p.ring.Record(EvJITReuse, p.src, at, int64(behaviour), 0)
+}
+
+// PhaseDone records a finished phase occurrence: its specialized element
+// volume and the current number of known behaviours.
+func (p *JITProbe) PhaseDone(elements int64, behaviours int) {
+	if p == nil {
+		return
+	}
+	p.specialized.Add(elements)
+	p.behaviours.Set(float64(behaviours))
+}
+
+// A VMProbe instruments one interpreter, labeled by execution mode
+// (interpreted vs. optimized program). The interpreter accumulates
+// locally and flushes deltas in batches, so the per-instruction path
+// stays free of atomics.
+type VMProbe struct {
+	steps    *Counter
+	branches *Counter
+	calls    *Counter
+	loops    *Counter
+}
+
+// NewVMProbe builds a VM probe labeled {mode=mode}; mode is normally
+// "interpreted" or "optimized". Returns nil for a nil registry.
+func NewVMProbe(reg *Registry, mode string) *VMProbe {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(MetricVMSteps, "Instructions executed, by program mode (interpreted vs. optimized).")
+	l := L("mode", mode)
+	return &VMProbe{
+		steps:    reg.Counter(MetricVMSteps, l),
+		branches: reg.Counter(MetricVMBranches, l),
+		calls:    reg.Counter(MetricVMCalls, l),
+		loops:    reg.Counter(MetricVMLoops, l),
+	}
+}
+
+// Flush adds a batch of deltas accumulated by the interpreter.
+func (p *VMProbe) Flush(steps, branches, calls, loops int64) {
+	if p == nil {
+		return
+	}
+	p.steps.Add(steps)
+	p.branches.Add(branches)
+	p.calls.Add(calls)
+	p.loops.Add(loops)
+}
+
+// A SweepProbe instruments the experiment harness's detector sweeps:
+// run counts, per-run wall clock, and aggregate similarity-computation
+// volume.
+type SweepProbe struct {
+	runs       *Counter
+	simComps   *Counter
+	elements   *Counter
+	runSeconds *Histogram
+}
+
+// NewSweepProbe builds the sweep probe. Returns nil for a nil registry.
+func NewSweepProbe(reg *Registry) *SweepProbe {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(MetricSweepRunSeconds, "Wall-clock seconds of one detector configuration over one trace.")
+	return &SweepProbe{
+		runs:       reg.Counter(MetricSweepRuns),
+		simComps:   reg.Counter(MetricSweepSimComps),
+		elements:   reg.Counter(MetricSweepElements),
+		runSeconds: reg.Histogram(MetricSweepRunSeconds, []float64{1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30}),
+	}
+}
+
+// Run records one completed detector run.
+func (p *SweepProbe) Run(elapsedSeconds float64, simComps, elements int64) {
+	if p == nil {
+		return
+	}
+	p.runs.Inc()
+	p.simComps.Add(simComps)
+	p.elements.Add(elements)
+	p.runSeconds.Observe(elapsedSeconds)
+}
+
+// A ModelProbe instruments a custom similarity model from
+// internal/detectors, labeled by model name.
+type ModelProbe struct {
+	windows    *Counter
+	similarity *Histogram
+}
+
+// NewModelProbe builds a model probe labeled {model=name}. Returns nil
+// for a nil registry.
+func NewModelProbe(reg *Registry, name string) *ModelProbe {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(MetricModelSimilarity, "Distribution of similarity values a custom model produced.")
+	l := L("model", name)
+	return &ModelProbe{
+		windows:    reg.Counter(MetricModelWindows, l),
+		similarity: reg.Histogram(MetricModelSimilarity, UnitBuckets(), l),
+	}
+}
+
+// Window records one consumed sample window.
+func (p *ModelProbe) Window() {
+	if p == nil {
+		return
+	}
+	p.windows.Inc()
+}
+
+// Similarity records one produced similarity value.
+func (p *ModelProbe) Similarity(v float64) {
+	if p == nil {
+		return
+	}
+	p.similarity.Observe(v)
+}

@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Label is one name/value dimension of a metric (e.g. detector ID).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefaultRingCapacity is the event-trace bound used by NewRegistry.
+const DefaultRingCapacity = 4096
+
+// A Registry owns a namespace of instruments plus the lifecycle event
+// ring. Get-or-create lookups are mutex-guarded; the instruments
+// themselves are lock-free, and probes cache instrument pointers so
+// steady-state instrumentation never locks. All methods are safe on a
+// nil receiver, returning nil instruments that are themselves no-ops.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry // keyed by full name (family + labels)
+	order   []*entry
+	help    map[string]string
+	ring    *Ring
+}
+
+type entry struct {
+	family string
+	labels []Label
+	full   string // family plus rendered label set
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry builds an empty registry with a DefaultRingCapacity event
+// ring.
+func NewRegistry() *Registry {
+	return &Registry{
+		entries: map[string]*entry{},
+		help:    map[string]string{},
+		ring:    NewRing(DefaultRingCapacity),
+	}
+}
+
+// Ring returns the registry's event ring (nil on a nil registry).
+func (r *Registry) Ring() *Ring {
+	if r == nil {
+		return nil
+	}
+	return r.ring
+}
+
+// Help sets the help text rendered for a metric family.
+func (r *Registry) Help(family, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[family] = text
+	r.mu.Unlock()
+}
+
+func fullName(family string, labels []Label) string {
+	if len(labels) == 0 {
+		return family
+	}
+	var sb strings.Builder
+	sb.WriteString(family)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// lookup returns the entry for family+labels, creating it with mk on
+// first use. It panics if the name is already registered as a different
+// instrument kind (a programming error, like Prometheus client libraries
+// treat it).
+func (r *Registry) lookup(family string, labels []Label, mk func(*entry)) *entry {
+	full := fullName(family, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[full]; ok {
+		return e
+	}
+	e := &entry{family: family, labels: append([]Label(nil), labels...), full: full}
+	mk(e)
+	r.entries[full] = e
+	r.order = append(r.order, e)
+	return e
+}
+
+// Counter returns (creating on first use) the counter with the given
+// family name and labels. Nil-registry safe: returns a nil Counter.
+func (r *Registry) Counter(family string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(family, labels, func(e *entry) { e.counter = &Counter{} })
+	if e.counter == nil {
+		panic(fmt.Sprintf("telemetry: %s already registered as a non-counter", e.full))
+	}
+	return e.counter
+}
+
+// Gauge returns (creating on first use) the gauge with the given family
+// name and labels. Nil-registry safe: returns a nil Gauge.
+func (r *Registry) Gauge(family string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(family, labels, func(e *entry) { e.gauge = &Gauge{} })
+	if e.gauge == nil {
+		panic(fmt.Sprintf("telemetry: %s already registered as a non-gauge", e.full))
+	}
+	return e.gauge
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// family name, bucket bounds, and labels. Nil-registry safe: returns a
+// nil Histogram.
+func (r *Registry) Histogram(family string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(family, labels, func(e *entry) { e.hist = NewHistogram(bounds) })
+	if e.hist == nil {
+		panic(fmt.Sprintf("telemetry: %s already registered as a non-histogram", e.full))
+	}
+	return e.hist
+}
+
+// A Point is one scalar metric sample in a snapshot.
+type Point struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// A HistogramPoint is one histogram's state in a snapshot. Bounds are the
+// bucket upper bounds; Cumulative the Prometheus-style running counts
+// (the final entry, for the +Inf bucket, equals Count).
+type HistogramPoint struct {
+	Name       string            `json:"name"`
+	Labels     map[string]string `json:"labels,omitempty"`
+	Count      int64             `json:"count"`
+	Sum        float64           `json:"sum"`
+	Bounds     []float64         `json:"bounds"`
+	Cumulative []int64           `json:"cumulative"`
+}
+
+// An EventPoint is one ring event in a snapshot, with the kind rendered
+// as its name.
+type EventPoint struct {
+	Event
+	Kind string `json:"kind"`
+}
+
+// A Snapshot is a point-in-time copy of every instrument and the retained
+// event trace. Instruments are read individually with atomic loads; the
+// snapshot is not a cross-metric transaction, which observability reads
+// do not need.
+type Snapshot struct {
+	Counters    []Point          `json:"counters"`
+	Gauges      []Point          `json:"gauges"`
+	Histograms  []HistogramPoint `json:"histograms"`
+	Events      []EventPoint     `json:"events"`
+	EventsTotal uint64           `json:"events_total"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot copies the registry's current state. Safe on a nil registry
+// (returns an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	order := append([]*entry(nil), r.order...)
+	r.mu.Unlock()
+	for _, e := range order {
+		switch {
+		case e.counter != nil:
+			s.Counters = append(s.Counters, Point{Name: e.family, Labels: labelMap(e.labels), Value: float64(e.counter.Value())})
+		case e.gauge != nil:
+			s.Gauges = append(s.Gauges, Point{Name: e.family, Labels: labelMap(e.labels), Value: e.gauge.Value()})
+		case e.hist != nil:
+			bounds, cum, count, sum := e.hist.snapshot()
+			s.Histograms = append(s.Histograms, HistogramPoint{
+				Name: e.family, Labels: labelMap(e.labels),
+				Count: count, Sum: sum, Bounds: bounds, Cumulative: cum,
+			})
+		}
+	}
+	for _, ev := range r.ring.Events() {
+		s.Events = append(s.Events, EventPoint{Event: ev, Kind: ev.Kind.String()})
+	}
+	s.EventsTotal = r.ring.Total()
+	return s
+}
+
+// families returns the registry's entries grouped by family, families
+// sorted by name, entries within a family in registration order.
+func (r *Registry) families() [][]*entry {
+	r.mu.Lock()
+	order := append([]*entry(nil), r.order...)
+	r.mu.Unlock()
+	byFamily := map[string][]*entry{}
+	var names []string
+	for _, e := range order {
+		if _, ok := byFamily[e.family]; !ok {
+			names = append(names, e.family)
+		}
+		byFamily[e.family] = append(byFamily[e.family], e)
+	}
+	sort.Strings(names)
+	out := make([][]*entry, 0, len(names))
+	for _, n := range names {
+		out = append(out, byFamily[n])
+	}
+	return out
+}

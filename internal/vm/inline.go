@@ -34,7 +34,7 @@ func (b InlineBudget) withDefaults() InlineBudget {
 // The result is re-verified; Inline panics on an internal error.
 func Inline(p *Program, budget InlineBudget) *Program {
 	budget = budget.withDefaults()
-	out := &Program{GlobalSize: p.GlobalSize, NumLoops: p.NumLoops}
+	out := &Program{GlobalSize: p.GlobalSize, NumLoops: p.NumLoops, Optimized: p.Optimized}
 	for _, f := range p.Functions {
 		out.Functions = append(out.Functions, inlineInto(p, f, budget))
 	}

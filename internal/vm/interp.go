@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 
+	"opd/internal/telemetry"
 	"opd/internal/trace"
 )
 
@@ -37,6 +38,14 @@ type Interp struct {
 	maxSteps int64
 	maxDepth int
 	steps    int64
+
+	calls int64
+	loops int64
+
+	// Telemetry: the machine accumulates locally and flushes deltas to
+	// the probe in batches, so the per-instruction path has no atomics.
+	probe                             *telemetry.VMProbe
+	fSteps, fBranches, fCalls, fLoops int64 // counts at the last flush
 }
 
 // Option configures an Interp.
@@ -55,6 +64,13 @@ func WithMaxSteps(n int64) Option {
 // WithMaxDepth bounds the call stack depth (default 10000 frames).
 func WithMaxDepth(n int) Option {
 	return func(i *Interp) { i.maxDepth = n }
+}
+
+// WithTelemetry attaches a VM telemetry probe. Counts are flushed to the
+// probe every few thousand instructions and at the end of Run, so a
+// live /debug surface sees them move during execution.
+func WithTelemetry(p *telemetry.VMProbe) Option {
+	return func(i *Interp) { i.probe = p }
 }
 
 // NewInterp creates an interpreter for p. The program should already have
@@ -94,6 +110,16 @@ func (i *Interp) emitEvent(kind trace.EventKind, id uint32) {
 	}
 }
 
+// flushProbe pushes the counts accumulated since the last flush to the
+// telemetry probe.
+func (i *Interp) flushProbe() {
+	if i.probe == nil {
+		return
+	}
+	i.probe.Flush(i.steps-i.fSteps, i.branches-i.fBranches, i.calls-i.fCalls, i.loops-i.fLoops)
+	i.fSteps, i.fBranches, i.fCalls, i.fLoops = i.steps, i.branches, i.calls, i.loops
+}
+
 // Run executes the entry function to completion. A return from the entry
 // function or an OpHalt ends the run; on OpHalt, exit events are
 // synthesized for all open loops and frames so that the emitted call-loop
@@ -102,6 +128,9 @@ func (i *Interp) Run() error {
 	entry := i.prog.Entry()
 	if entry == nil {
 		return fmt.Errorf("vm: run: empty program")
+	}
+	if i.probe != nil {
+		defer i.flushProbe()
 	}
 	frames := make([]*frame, 0, 64)
 	push := func(fn *Function, args []int64) {
@@ -124,6 +153,9 @@ func (i *Interp) Run() error {
 			return &RuntimeError{f.fn.Name, f.pc, fmt.Sprintf("step budget of %d exhausted", i.maxSteps)}
 		}
 		i.steps++
+		if i.probe != nil && i.steps&8191 == 0 {
+			i.flushProbe()
+		}
 
 		in := code[f.pc]
 		switch in.Op {
@@ -228,6 +260,7 @@ func (i *Interp) Run() error {
 			f.stack = f.stack[:len(f.stack)-callee.NumParams]
 			f.pc++ // resume after the call upon return
 			frames = append(frames, callFrame)
+			i.calls++
 			i.emitEvent(trace.MethodEnter, callee.ID)
 		case OpRet:
 			var results []int64
@@ -259,6 +292,7 @@ func (i *Interp) Run() error {
 			f.pc++
 		case OpLoopEnter:
 			f.openLoops = append(f.openLoops, in.A)
+			i.loops++
 			i.emitEvent(trace.LoopEnter, uint32(in.A))
 			f.pc++
 		case OpLoopExit:

@@ -25,7 +25,7 @@ package vm
 // produced an invalid program, since that is a bug in the optimizer, not
 // in the input.
 func Optimize(p *Program) *Program {
-	out := &Program{GlobalSize: p.GlobalSize, NumLoops: p.NumLoops}
+	out := &Program{GlobalSize: p.GlobalSize, NumLoops: p.NumLoops, Optimized: true}
 	for _, f := range p.Functions {
 		out.Functions = append(out.Functions, optimizeFunction(f))
 	}

@@ -22,6 +22,17 @@ type Program struct {
 	Functions  []*Function
 	GlobalSize int // number of int64 slots in global memory
 	NumLoops   int // number of static loops (loop IDs are 0..NumLoops-1)
+	// Optimized marks programs produced by the optimizing compiler pass;
+	// telemetry uses it to label interpreted vs. optimized execution.
+	Optimized bool
+}
+
+// Mode names the program's execution mode for telemetry labels.
+func (p *Program) Mode() string {
+	if p.Optimized {
+		return "optimized"
+	}
+	return "interpreted"
 }
 
 // Entry returns the entry function, or nil for an empty program.

@@ -1,0 +1,89 @@
+# Alternating-phase workload for exercising the phase detector and the
+# adaptive optimization manager: an outer loop switches between two
+# behaviours with disjoint branch sites, so the branch profile shows
+# recurring phases (A B A B ...) long enough for detection and reuse.
+globals 8
+
+func main params=0 results=0 locals=1
+    const 0
+    store 0
+    loop
+  top:
+    load 0
+    const 40
+    if_ge done
+    call phasea
+    call phaseb
+    load 0
+    const 1
+    add
+    store 0
+    jump top
+  done:
+    endloop
+    ret
+end
+
+# phasea: arithmetic-heavy inner loop, one auxiliary branch site.
+func phasea params=0 results=0 locals=2
+    const 0
+    store 0
+    loop
+  top:
+    load 0
+    const 20000
+    if_ge done
+    load 0
+    const 3
+    rem
+    if_z skip
+    load 1
+    load 0
+    add
+    store 1
+  skip:
+    load 0
+    const 1
+    add
+    store 0
+    jump top
+  done:
+    endloop
+    ret
+end
+
+# phaseb: bit-twiddling inner loop with a different branch structure.
+func phaseb params=0 results=0 locals=2
+    const 1
+    store 1
+    const 0
+    store 0
+    loop
+  top:
+    load 0
+    const 20000
+    if_ge done
+    load 1
+    const 5
+    xor
+    const 1
+    shl
+    store 1
+    load 1
+    const 7
+    and
+    if_nz hot
+    load 1
+    const 1
+    or
+    store 1
+  hot:
+    load 0
+    const 1
+    add
+    store 0
+    jump top
+  done:
+    endloop
+    ret
+end
