@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench
+.PHONY: all build test check bench bench-smoke bench-json
 
 all: build
 
@@ -10,13 +10,25 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: static analysis, a full build, and the
-# race detector over the concurrency-sensitive packages (the lock-free
-# telemetry registry and the detector core it instruments).
+# check is the pre-commit gate: formatting, static analysis, a full
+# build, and the race detector over the concurrency-sensitive packages
+# (the lock-free telemetry registry, the detector core, and the sweep
+# engine's shared-stream workers).
 check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/telemetry/... ./internal/core/...
+	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/sweep/...
 
 bench:
-	$(GO) test -bench . -benchtime 1s -run '^$$' ./internal/core/... ./internal/telemetry/...
+	$(GO) test -bench . -benchtime 1s -run '^$$' ./internal/core/... ./internal/sweep/... ./internal/telemetry/...
+
+# bench-smoke compiles and runs every benchmark in the repository once —
+# a fast regression gate that benchmarks still build and complete.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-json regenerates the checked-in sweep engine benchmark record.
+bench-json:
+	$(GO) run ./cmd/phasebench -bench-json BENCH_sweep.json

@@ -80,7 +80,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "detect:", err)
 		os.Exit(2)
 	}
-	core.RunTrace(d, branches)
+	// One interning pass up front; the detector then consumes dense IDs
+	// (models without ID support decode through their SymbolDecoder).
+	core.RunTraceInterned(d, trace.Intern(branches))
 	phases := d.Phases()
 	if *adjusted {
 		phases = d.AdjustedPhases()

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"opd/internal/core"
+	"opd/internal/sweep"
+	"opd/internal/trace"
+)
+
+// benchPathResult is one engine's measurement over one config family.
+type benchPathResult struct {
+	WallNS         int64   `json:"wall_ns"`
+	ElementsPerSec float64 `json:"elements_per_sec"`
+	Allocs         uint64  `json:"allocs"`
+	AllocBytes     uint64  `json:"alloc_bytes"`
+}
+
+// benchFamilyResult compares the legacy map engine and the shared-intern
+// engine over one config family of the sweep.
+type benchFamilyResult struct {
+	Family   string          `json:"family"`
+	Configs  int             `json:"configs"`
+	Map      benchPathResult `json:"map"`
+	Interned benchPathResult `json:"interned"`
+	Speedup  float64         `json:"speedup"`
+}
+
+// benchTraceResult is the full comparison over one benchmark trace.
+type benchTraceResult struct {
+	Trace       string              `json:"trace"`
+	Elements    int                 `json:"elements"`
+	Cardinality int                 `json:"cardinality"`
+	Families    []benchFamilyResult `json:"families"`
+}
+
+// benchRecord is the top-level machine-readable benchmark record written
+// by -bench-json.
+type benchRecord struct {
+	GoVersion string             `json:"go_version"`
+	GOARCH    string             `json:"goarch"`
+	Workers   int                `json:"workers"`
+	Results   []benchTraceResult `json:"results"`
+}
+
+// benchTrace builds a deterministic trace of stable runs: run lengths in
+// [1, maxRun] over a pool of `sites` distinct branches. Large pools with
+// short runs model whole-program branch profiles — the map-lookup-bound
+// regime; small pools with long runs model the synthetic phase suite.
+func benchTrace(n, sites, maxRun int) trace.Trace {
+	rng := int64(42)
+	next := func(m int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int(rng >> 40)
+		if v < 0 {
+			v = -v
+		}
+		return v % m
+	}
+	var tr trace.Trace
+	for len(tr) < n {
+		site := next(sites)
+		run := next(maxRun) + 1
+		for i := 0; i < run && len(tr) < n; i++ {
+			tr = append(tr, trace.MakeBranch(0, 1+site, true))
+		}
+	}
+	return tr
+}
+
+// benchFamilies partitions the enumerated config space into the cost
+// regimes the two engines differ on.
+func benchFamilies(configs []core.Config) []struct {
+	name    string
+	configs []core.Config
+} {
+	pick := func(keep func(core.Config) bool) []core.Config {
+		var out []core.Config
+		for _, c := range configs {
+			if keep(c) {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	return []struct {
+		name    string
+		configs []core.Config
+	}{
+		{"unweighted-skip1", pick(func(c core.Config) bool {
+			return c.Model == core.UnweightedModel && c.SkipFactor == 1
+		})},
+		{"weighted-skip1", pick(func(c core.Config) bool {
+			return c.Model == core.WeightedModel && c.SkipFactor == 1
+		})},
+		{"skipped", pick(func(c core.Config) bool { return c.SkipFactor > 1 })},
+		{"all", configs},
+	}
+}
+
+// measure runs fn and returns wall clock plus heap allocation deltas.
+func measure(fn func()) (time.Duration, uint64, uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return wall, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+}
+
+// runBenchJSON benchmarks the legacy per-config map engine against the
+// shared-intern sweep engine per config family and writes the record to
+// path ("-" for stdout).
+func runBenchJSON(path string, workers int) error {
+	space := sweep.PaperSpace([]int{100, 500})
+	space.AnchorResize = sweep.AllAnchorResize()
+	configs := space.Enumerate()
+
+	traces := []struct {
+		name             string
+		n, sites, maxRun int
+	}{
+		// The synthetic suite's regime: few distinct sites, long runs.
+		{"lowcard", 400000, 30, 80},
+		// Whole-program branch-profile regime: the per-config intern map
+		// outgrows the cache; dense counters do not.
+		{"hicard", 400000, 100000, 8},
+	}
+
+	rec := benchRecord{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH, Workers: workers}
+	for _, tc := range traces {
+		tr := benchTrace(tc.n, tc.sites, tc.maxRun)
+		in := trace.Intern(tr)
+		res := benchTraceResult{Trace: tc.name, Elements: in.Len(), Cardinality: in.Cardinality()}
+		for _, fam := range benchFamilies(configs) {
+			if len(fam.configs) == 0 {
+				continue
+			}
+			elems := float64(in.Len()) * float64(len(fam.configs))
+			wallMap, allocsMap, bytesMap := measure(func() {
+				sweep.RunConfigsMap(tr, fam.configs, workers)
+			})
+			wallInt, allocsInt, bytesInt := measure(func() {
+				sweep.RunConfigsTelemetry(tr, fam.configs, workers, nil)
+			})
+			res.Families = append(res.Families, benchFamilyResult{
+				Family:  fam.name,
+				Configs: len(fam.configs),
+				Map: benchPathResult{
+					WallNS:         wallMap.Nanoseconds(),
+					ElementsPerSec: elems / wallMap.Seconds(),
+					Allocs:         allocsMap,
+					AllocBytes:     bytesMap,
+				},
+				Interned: benchPathResult{
+					WallNS:         wallInt.Nanoseconds(),
+					ElementsPerSec: elems / wallInt.Seconds(),
+					Allocs:         allocsInt,
+					AllocBytes:     bytesInt,
+				},
+				Speedup: wallMap.Seconds() / wallInt.Seconds(),
+			})
+			fmt.Fprintf(os.Stderr, "phasebench: %s/%s: map %.2fs, interned %.2fs (%.2fx, %d configs)\n",
+				tc.name, fam.name, wallMap.Seconds(), wallInt.Seconds(),
+				wallMap.Seconds()/wallInt.Seconds(), len(fam.configs))
+		}
+		rec.Results = append(rec.Results, res)
+	}
+
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

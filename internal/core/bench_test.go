@@ -77,6 +77,90 @@ func BenchmarkSimilarityNaiveRecompute(b *testing.B) {
 	}
 }
 
+// hiCardStream is a deterministic 100K-element stream over ~8000 sites:
+// the regime where per-element map interning leaves cache and dominates
+// the unweighted detector's O(1) window arithmetic.
+func hiCardStream() trace.Trace {
+	rng := int64(11)
+	next := func(m int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int(rng >> 40)
+		if v < 0 {
+			v = -v
+		}
+		return v % m
+	}
+	var tr trace.Trace
+	for len(tr) < 100000 {
+		site := next(8000)
+		run := next(12) + 1
+		for i := 0; i < run && len(tr) < 100000; i++ {
+			tr = append(tr, el(site))
+		}
+	}
+	return tr
+}
+
+// benchmarkUpdateWindowsPath drives a whole-trace detector run through
+// either the legacy map-interning path or the dense-ID fast path, so the
+// two benchmarks isolate exactly the cost the shared-intern engine
+// removes: one hash lookup per element (interning for the ID path is done
+// outside the timed region, as the sweep engine amortizes it).
+func benchmarkUpdateWindowsPath(b *testing.B, interned bool, kind ModelKind) {
+	benchmarkUpdateWindowsPathStream(b, benchStream(), interned, kind)
+}
+
+func benchmarkUpdateWindowsPathStream(b *testing.B, stream trace.Trace, interned bool, kind ModelKind) {
+	in := trace.Intern(stream)
+	cfg := Config{CWSize: 1000, TW: ConstantTW, Model: kind,
+		Analyzer: ThresholdAnalyzer, Param: 0.6}
+	b.SetBytes(int64(len(stream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cfg.MustNew()
+		if interned {
+			RunTraceInterned(d, in)
+		} else {
+			RunTrace(d, stream)
+		}
+	}
+}
+
+// BenchmarkUpdateWindowsMapPath is the legacy path: the model interns
+// every element through its private map[trace.Branch]int32.
+func BenchmarkUpdateWindowsMapPath(b *testing.B) {
+	benchmarkUpdateWindowsPath(b, false, UnweightedModel)
+}
+
+// BenchmarkUpdateWindowsIDPath consumes the pre-interned ID stream:
+// no hashing, counters sized up-front, growth checks gone.
+func BenchmarkUpdateWindowsIDPath(b *testing.B) {
+	benchmarkUpdateWindowsPath(b, true, UnweightedModel)
+}
+
+// BenchmarkUpdateWindowsMapPathWeighted / IDPathWeighted repeat the
+// comparison for the weighted model, whose similarity step dilutes (but
+// does not hide) the interning cost.
+func BenchmarkUpdateWindowsMapPathWeighted(b *testing.B) {
+	benchmarkUpdateWindowsPath(b, false, WeightedModel)
+}
+
+func BenchmarkUpdateWindowsIDPathWeighted(b *testing.B) {
+	benchmarkUpdateWindowsPath(b, true, WeightedModel)
+}
+
+// BenchmarkUpdateWindowsMapPathHiCard / IDPathHiCard repeat the unweighted
+// comparison over a stream with thousands of distinct sites — the
+// map-lookup-bound regime the shared-intern engine targets.
+func BenchmarkUpdateWindowsMapPathHiCard(b *testing.B) {
+	benchmarkUpdateWindowsPathStream(b, hiCardStream(), false, UnweightedModel)
+}
+
+func BenchmarkUpdateWindowsIDPathHiCard(b *testing.B) {
+	benchmarkUpdateWindowsPathStream(b, hiCardStream(), true, UnweightedModel)
+}
+
 // BenchmarkDetectorProcessSingle measures the per-element streaming entry
 // point (Process) as used by live instrumentation.
 func BenchmarkDetectorProcessSingle(b *testing.B) {

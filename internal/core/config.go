@@ -111,11 +111,22 @@ func (c Config) Validate() error {
 
 // New validates the configuration and builds its detector.
 func (c Config) New() (*Detector, error) {
+	return c.NewPooled(nil)
+}
+
+// NewPooled is New with a sweep pool attached to the model: its window
+// counter slices and ring buffer are acquired from the pool when the
+// detector is bound to an interned trace, and returned to it by
+// Detector.ReleaseBuffers. A nil pool is equivalent to New.
+func (c Config) NewPooled(pool *SweepPool) (*Detector, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	c = c.withDefaults()
 	model := NewSetModel(c.Model, c.CWSize, c.TWSize, c.TW, c.Anchor, c.Resize)
+	if pool != nil {
+		model.UsePool(pool)
+	}
 	var analyzer Analyzer
 	if c.Analyzer == ThresholdAnalyzer {
 		analyzer = NewThreshold(c.Param)
@@ -128,6 +139,16 @@ func (c Config) New() (*Detector, error) {
 // MustNew is New for configurations known valid; it panics on error.
 func (c Config) MustNew() *Detector {
 	d, err := c.New()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustNewPooled is NewPooled for configurations known valid; it panics on
+// error.
+func (c Config) MustNewPooled(pool *SweepPool) *Detector {
+	d, err := c.NewPooled(pool)
 	if err != nil {
 		panic(err)
 	}

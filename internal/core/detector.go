@@ -17,6 +17,7 @@ import (
 // anchor-adjusted starts (where the model judged the phase to have begun).
 type Detector struct {
 	model    Model
+	sm       *SetModel // model devirtualized: non-nil when model is the built-in SetModel
 	analyzer Analyzer
 	skip     int
 
@@ -48,7 +49,12 @@ func NewDetector(model Model, analyzer Analyzer, skip int) *Detector {
 	if skip <= 0 {
 		panic(fmt.Sprintf("core: skip factor must be positive, got %d", skip))
 	}
-	return &Detector{model: model, analyzer: analyzer, skip: skip, state: Transition}
+	d := &Detector{model: model, analyzer: analyzer, skip: skip, state: Transition}
+	// The built-in model's hot-path calls (window update, similarity) go
+	// through a concrete pointer: one interface dispatch per element is
+	// measurable at sweep scale.
+	d.sm, _ = model.(*SetModel)
+	return d
 }
 
 // SkipFactor returns the detector's skip factor.
@@ -83,8 +89,40 @@ func (d *Detector) ProcessProfile(elems []trace.Branch) State {
 	}
 	groupStart := d.n
 	d.n += int64(len(elems))
+	if d.sm != nil {
+		d.sm.UpdateWindows(elems)
+	} else {
+		d.model.UpdateWindows(elems)
+	}
+	return d.afterUpdate(groupStart, int64(len(elems)))
+}
 
-	d.model.UpdateWindows(elems)
+// ProcessProfileIDs is ProcessProfile over a pre-interned group: the
+// elements arrive as dense IDs into a trace.Interned symbol table the
+// model has been bound to (see RunTraceInterned). Everything downstream
+// of the window update — similarity, analyzer, phase lifecycle — is the
+// exact code path of ProcessProfile, so the two entry points produce
+// identical output over the same stream.
+func (d *Detector) ProcessProfileIDs(ids []int32) State {
+	if d.finished {
+		panic("core: ProcessProfileIDs after Finish")
+	}
+	if len(ids) == 0 {
+		return d.state
+	}
+	groupStart := d.n
+	d.n += int64(len(ids))
+	if d.sm != nil {
+		d.sm.UpdateWindowsIDs(ids)
+	} else {
+		d.model.UpdateWindowsIDs(ids)
+	}
+	return d.afterUpdate(groupStart, int64(len(ids)))
+}
+
+// afterUpdate runs the shared post-window-update half of a group:
+// similarity computation, analyzer decision, and phase lifecycle.
+func (d *Detector) afterUpdate(groupStart, groupLen int64) State {
 	newState := Transition
 	var sim float64
 	var ok bool
@@ -94,7 +132,9 @@ func (d *Detector) ProcessProfile(elems []trace.Branch) State {
 		if ok {
 			d.probe.Similarity(sim, time.Since(start).Nanoseconds())
 		}
-		d.probe.Group(int64(len(elems)))
+		d.probe.Group(groupLen)
+	} else if d.sm != nil {
+		sim, ok = d.sm.ComputeSimilarity()
 	} else {
 		sim, ok = d.model.ComputeSimilarity()
 	}
@@ -293,4 +333,37 @@ func RunTrace(d *Detector, tr trace.Trace) *Detector {
 	}
 	d.Finish()
 	return d
+}
+
+// RunTraceInterned drives a fresh pass of a pre-interned trace through
+// the detector on the ID-native fast path: the model is bound to the
+// stream's symbol table (when it supports binding), then consumes
+// skip-factor slices of the shared ID stream in place — no per-element
+// hashing, no copying. Output is identical to RunTrace over the
+// equivalent raw trace.
+func RunTraceInterned(d *Detector, in *trace.Interned) *Detector {
+	if b, ok := d.model.(InternBinder); ok {
+		b.BindInterned(in)
+	}
+	ids := in.IDs()
+	skip := d.skip
+	for i := 0; i < len(ids); i += skip {
+		end := i + skip
+		if end > len(ids) {
+			end = len(ids)
+		}
+		d.ProcessProfileIDs(ids[i:end])
+	}
+	d.Finish()
+	return d
+}
+
+// ReleaseBuffers returns the model's pooled buffers (if the model holds
+// any) to their SweepPool so the next detector of the sweep reuses them.
+// The detector's recorded phases remain valid; it must not process
+// further input.
+func (d *Detector) ReleaseBuffers() {
+	if r, ok := d.model.(interface{ ReleaseBuffers() }); ok {
+		r.ReleaseBuffers()
+	}
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// A SweepPool recycles the per-detector allocations of a configuration
+// sweep: the two counter slices (sized to the trace's symbol-table
+// cardinality) and the window ring buffer. A sweep constructs thousands
+// of short-lived detectors over one trace; without pooling each one
+// allocates and zeroes the same slices the previous one just dropped.
+// The pool is safe for concurrent use by all sweep workers.
+//
+// Counter slices are zeroed on release, so acquisition is allocation- and
+// clear-free. Hit/miss counts are exposed for telemetry.
+type SweepPool struct {
+	cardinality int
+	counters    sync.Pool // *[]int32, len >= cardinality, zeroed
+	windows     sync.Pool // *[]int32, len 0, spare capacity
+	hits        atomic.Int64
+	misses      atomic.Int64
+}
+
+// NewSweepPool returns a pool for detectors running over a trace with the
+// given symbol-table cardinality.
+func NewSweepPool(cardinality int) *SweepPool {
+	return &SweepPool{cardinality: cardinality}
+}
+
+// Cardinality returns the counter-slice length the pool hands out.
+func (p *SweepPool) Cardinality() int { return p.cardinality }
+
+// Stats returns the cumulative buffer reuse counters.
+func (p *SweepPool) Stats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}
+
+// counterSlice returns a zeroed counter slice of length >= n.
+func (p *SweepPool) counterSlice(n int) []int32 {
+	if n < p.cardinality {
+		n = p.cardinality
+	}
+	if v := p.counters.Get(); v != nil {
+		s := *(v.(*[]int32))
+		if len(s) >= n {
+			p.hits.Add(1)
+			return s
+		}
+	}
+	p.misses.Add(1)
+	return make([]int32, n)
+}
+
+// putCounterSlice zeroes and parks a counter slice for reuse.
+func (p *SweepPool) putCounterSlice(s []int32) {
+	if s == nil {
+		return
+	}
+	for i := range s {
+		s[i] = 0
+	}
+	p.counters.Put(&s)
+}
+
+// windowBuf returns an empty window buffer, reusing parked capacity.
+func (p *SweepPool) windowBuf() []int32 {
+	if v := p.windows.Get(); v != nil {
+		p.hits.Add(1)
+		return (*(v.(*[]int32)))[:0]
+	}
+	p.misses.Add(1)
+	return nil
+}
+
+// putWindowBuf parks a window buffer's capacity for reuse.
+func (p *SweepPool) putWindowBuf(s []int32) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	p.windows.Put(&s)
+}

@@ -37,21 +37,7 @@ func randomStream(seed int64, n int) trace.Trace {
 // adjusted phase starts no later than its raw counterpart; output is
 // deterministic.
 func TestDetectorOutputInvariants(t *testing.T) {
-	configs := []Config{}
-	for _, tw := range []TWPolicy{ConstantTW, AdaptiveTW} {
-		for _, model := range []ModelKind{UnweightedModel, WeightedModel} {
-			for _, anchor := range []AnchorPolicy{AnchorRN, AnchorLNN} {
-				for _, resize := range []ResizePolicy{ResizeSlide, ResizeMove} {
-					configs = append(configs,
-						Config{CWSize: 12, TWSize: 12, SkipFactor: 3, TW: tw, Anchor: anchor,
-							Resize: resize, Model: model, Analyzer: ThresholdAnalyzer, Param: 0.6},
-						Config{CWSize: 10, TWSize: 20, SkipFactor: 1, TW: tw, Anchor: anchor,
-							Resize: resize, Model: model, Analyzer: AverageAnalyzer, Param: 0.1},
-					)
-				}
-			}
-		}
-	}
+	configs := propertyConfigs()
 	f := func(seed int64) bool {
 		tr := randomStream(seed, 600)
 		for _, cfg := range configs {
@@ -94,5 +80,125 @@ func TestDetectorOutputInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+// propertyConfigs enumerates every policy-axis combination (both window
+// policies, models, anchors, resizes, analyzers, and a skip > 1 variant)
+// — the full configuration surface of the framework.
+func propertyConfigs() []Config {
+	var configs []Config
+	for _, tw := range []TWPolicy{ConstantTW, AdaptiveTW} {
+		for _, model := range []ModelKind{UnweightedModel, WeightedModel} {
+			for _, anchor := range []AnchorPolicy{AnchorRN, AnchorLNN} {
+				for _, resize := range []ResizePolicy{ResizeSlide, ResizeMove} {
+					configs = append(configs,
+						Config{CWSize: 12, TWSize: 12, SkipFactor: 3, TW: tw, Anchor: anchor,
+							Resize: resize, Model: model, Analyzer: ThresholdAnalyzer, Param: 0.6},
+						Config{CWSize: 10, TWSize: 20, SkipFactor: 1, TW: tw, Anchor: anchor,
+							Resize: resize, Model: model, Analyzer: AverageAnalyzer, Param: 0.1},
+						Config{CWSize: 8, TWSize: 8, SkipFactor: 8, TW: tw, Anchor: anchor,
+							Resize: resize, Model: model, Analyzer: ThresholdAnalyzer, Param: 0.5},
+					)
+				}
+			}
+		}
+	}
+	return configs
+}
+
+// TestInternedPathMatchesMapPath is the equivalence property of the
+// shared-intern engine: over randomized traces and the full config
+// enumeration, the ID-native fast path (RunTraceInterned, with and
+// without a SweepPool) must yield byte-identical phases, adjusted
+// phases, and similarity counts to the legacy per-model map path.
+func TestInternedPathMatchesMapPath(t *testing.T) {
+	configs := propertyConfigs()
+	equal := func(a, b []interval.Interval) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		tr := randomStream(seed, 700)
+		in := trace.Intern(tr)
+		pool := NewSweepPool(in.Cardinality())
+		for _, cfg := range configs {
+			legacy := RunTrace(cfg.MustNew(), tr)
+			fast := RunTraceInterned(cfg.MustNew(), in)
+			pooled := RunTraceInterned(cfg.MustNewPooled(pool), in)
+			for _, d := range []*Detector{fast, pooled} {
+				if !equal(legacy.Phases(), d.Phases()) {
+					t.Logf("%s: phases diverge: map %v vs interned %v", cfg.ID(), legacy.Phases(), d.Phases())
+					return false
+				}
+				if !equal(legacy.AdjustedPhases(), d.AdjustedPhases()) {
+					t.Logf("%s: adjusted phases diverge", cfg.ID())
+					return false
+				}
+				if legacy.SimilarityComputations() != d.SimilarityComputations() {
+					t.Logf("%s: %d vs %d similarity computations",
+						cfg.ID(), legacy.SimilarityComputations(), d.SimilarityComputations())
+					return false
+				}
+			}
+			pooled.ReleaseBuffers()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInternedPathPhaseSignatures checks the remaining model output the
+// equivalence property does not cover: phase signatures reported through
+// the end-phase hook match between the two paths (as sets; map iteration
+// order differs).
+func TestInternedPathPhaseSignatures(t *testing.T) {
+	tr := randomStream(3, 900)
+	in := trace.Intern(tr)
+	cfg := Config{CWSize: 12, TWSize: 12, SkipFactor: 3, TW: AdaptiveTW,
+		Model: UnweightedModel, Analyzer: ThresholdAnalyzer, Param: 0.6}
+	collect := func(run func(*Detector)) [][]trace.Branch {
+		var sigs [][]trace.Branch
+		d := cfg.MustNew()
+		d.SetPhaseEndHook(func(_ interval.Interval, sig []trace.Branch) {
+			sigs = append(sigs, sig)
+		})
+		run(d)
+		return sigs
+	}
+	legacy := collect(func(d *Detector) { RunTrace(d, tr) })
+	fast := collect(func(d *Detector) { RunTraceInterned(d, in) })
+	if len(legacy) == 0 {
+		t.Fatal("trace produced no phases; test is vacuous")
+	}
+	if len(legacy) != len(fast) {
+		t.Fatalf("%d legacy signatures vs %d interned", len(legacy), len(fast))
+	}
+	asSet := func(sig []trace.Branch) map[trace.Branch]bool {
+		s := make(map[trace.Branch]bool, len(sig))
+		for _, e := range sig {
+			s[e] = true
+		}
+		return s
+	}
+	for i := range legacy {
+		a, b := asSet(legacy[i]), asSet(fast[i])
+		if len(a) != len(b) {
+			t.Fatalf("signature %d: %d elements vs %d", i, len(a), len(b))
+		}
+		for e := range a {
+			if !b[e] {
+				t.Fatalf("signature %d: interned path missing %v", i, e)
+			}
+		}
 	}
 }

@@ -30,6 +30,20 @@ type Signaturer interface {
 // is used as the fallback.
 func (m *SetModel) PhaseSignature() []trace.Branch {
 	useTW := m.win.twLen > 0
+	if m.syms != nil {
+		// ID-native run: the shared symbol table maps IDs back to elements.
+		sig := make([]trace.Branch, 0, 16)
+		counts := m.win.cwCounts
+		if useTW {
+			counts = m.win.twCounts
+		}
+		for id, e := range m.syms {
+			if id < len(counts) && counts[id] > 0 {
+				sig = append(sig, e)
+			}
+		}
+		return sig
+	}
 	sig := make([]trace.Branch, 0, len(m.intern))
 	for e, id := range m.intern {
 		if int(id) >= len(m.win.cwCounts) {

@@ -20,10 +20,19 @@ type windows struct {
 	cwCounts   []int32
 	twCounts   []int32
 	cwDistinct int
-	overlap    int // distinct elements present in both windows
+
+	// The overlap set — distinct elements present in both windows — is
+	// maintained incrementally as an unordered dense slice plus an id →
+	// position index, so weighted similarity iterates exactly the ids
+	// that contribute instead of scanning counter slices whose length is
+	// the trace's full symbol cardinality.
+	overlapIDs []int32 // ids present in both windows, unordered
+	overlapPos []int32 // id -> index+1 in overlapIDs (0 = absent)
 
 	anchored bool // AdaptiveTW: in phase, TW grows without bound
 	filled   bool // both windows have filled since the last clear
+
+	pool *SweepPool // when set, counter slices and buf come from the pool
 }
 
 func newWindows(cwSize, twSize int, policy TWPolicy) *windows {
@@ -32,12 +41,85 @@ func newWindows(cwSize, twSize int, policy TWPolicy) *windows {
 
 func (w *windows) cwLen() int { return len(w.buf) - w.head - w.twLen }
 
-// grow ensures the counter slices cover id.
+// grow ensures the counter slices cover id, rounding capacity up to the
+// next power of two so a stream of fresh IDs costs amortized O(1) per
+// element rather than one reallocation each. The interned fast path never
+// reaches the reallocation: ensureCap sizes the slices once from the
+// symbol-table cardinality.
 func (w *windows) grow(id int32) {
-	for int(id) >= len(w.cwCounts) {
-		w.cwCounts = append(w.cwCounts, 0)
-		w.twCounts = append(w.twCounts, 0)
+	if int(id) < len(w.cwCounts) {
+		return
 	}
+	n := 8
+	for n <= int(id) {
+		n <<= 1
+	}
+	cw := make([]int32, n)
+	copy(cw, w.cwCounts)
+	w.cwCounts = cw
+	tw := make([]int32, n)
+	copy(tw, w.twCounts)
+	w.twCounts = tw
+	op := make([]int32, n)
+	copy(op, w.overlapPos)
+	w.overlapPos = op
+}
+
+// ensureCap sizes the counter slices for IDs in [0, n) up-front — from
+// the pool when one is attached — so subsequent pushes skip growth checks
+// entirely.
+func (w *windows) ensureCap(n int) {
+	if n <= len(w.cwCounts) {
+		return
+	}
+	if w.pool != nil && len(w.cwCounts) == 0 {
+		w.cwCounts = w.pool.counterSlice(n)
+		w.twCounts = w.pool.counterSlice(n)
+		w.overlapPos = w.pool.counterSlice(n)
+		w.buf = w.pool.windowBuf()
+		return
+	}
+	cw := make([]int32, n)
+	copy(cw, w.cwCounts)
+	w.cwCounts = cw
+	tw := make([]int32, n)
+	copy(tw, w.twCounts)
+	w.twCounts = tw
+	op := make([]int32, n)
+	copy(op, w.overlapPos)
+	w.overlapPos = op
+}
+
+// release returns pooled buffers to the pool. The windows must not be
+// used afterwards.
+func (w *windows) release() {
+	if w.pool == nil {
+		return
+	}
+	w.pool.putCounterSlice(w.cwCounts)
+	w.pool.putCounterSlice(w.twCounts)
+	w.pool.putCounterSlice(w.overlapPos)
+	w.pool.putWindowBuf(w.buf)
+	w.pool.putWindowBuf(w.overlapIDs)
+	w.cwCounts, w.twCounts, w.overlapPos = nil, nil, nil
+	w.buf, w.overlapIDs = nil, nil
+}
+
+// overlapAdd records id entering the overlap set.
+func (w *windows) overlapAdd(id int32) {
+	w.overlapIDs = append(w.overlapIDs, id)
+	w.overlapPos[id] = int32(len(w.overlapIDs))
+}
+
+// overlapRemove records id leaving the overlap set (swap-remove, O(1)).
+func (w *windows) overlapRemove(id int32) {
+	p := w.overlapPos[id] - 1
+	last := int32(len(w.overlapIDs) - 1)
+	moved := w.overlapIDs[last]
+	w.overlapIDs[p] = moved
+	w.overlapPos[moved] = p + 1
+	w.overlapIDs = w.overlapIDs[:last]
+	w.overlapPos[id] = 0
 }
 
 func (w *windows) addCW(id int32) {
@@ -45,7 +127,7 @@ func (w *windows) addCW(id int32) {
 	if w.cwCounts[id] == 1 {
 		w.cwDistinct++
 		if w.twCounts[id] > 0 {
-			w.overlap++
+			w.overlapAdd(id)
 		}
 	}
 }
@@ -55,7 +137,7 @@ func (w *windows) removeCW(id int32) {
 	if w.cwCounts[id] == 0 {
 		w.cwDistinct--
 		if w.twCounts[id] > 0 {
-			w.overlap--
+			w.overlapRemove(id)
 		}
 	}
 }
@@ -63,14 +145,14 @@ func (w *windows) removeCW(id int32) {
 func (w *windows) addTW(id int32) {
 	w.twCounts[id]++
 	if w.twCounts[id] == 1 && w.cwCounts[id] > 0 {
-		w.overlap++
+		w.overlapAdd(id)
 	}
 }
 
 func (w *windows) removeTW(id int32) {
 	w.twCounts[id]--
 	if w.twCounts[id] == 0 && w.cwCounts[id] > 0 {
-		w.overlap--
+		w.overlapRemove(id)
 	}
 }
 
@@ -78,6 +160,13 @@ func (w *windows) removeTW(id int32) {
 // dropping from the TW's far end when the policy bounds it.
 func (w *windows) push(id int32) {
 	w.grow(id)
+	w.pushID(id)
+}
+
+// pushID is push for pre-interned elements whose IDs are already covered
+// by the counter slices (ensureCap was called with the symbol-table
+// cardinality): the growth check is gone from the per-element path.
+func (w *windows) pushID(id int32) {
 	w.buf = append(w.buf, id)
 	w.nextIndex++
 	w.addCW(id)
@@ -122,29 +211,24 @@ func (w *windows) unweightedSimilarity() float64 {
 	if w.cwDistinct == 0 {
 		return 0
 	}
-	return float64(w.overlap) / float64(w.cwDistinct)
+	return float64(len(w.overlapIDs)) / float64(w.cwDistinct)
 }
 
 // weightedSimilarity returns the symmetric weighted-set similarity: the
 // sum over elements of the minimum of the element's relative weight in
-// each window. Only elements present in both windows contribute; the cost
-// is O(distinct elements seen), which interning keeps small.
+// each window. Only elements present in both windows contribute, and the
+// maintained overlap set enumerates exactly those, so the cost is
+// O(|overlap|) — bounded by the window sizes, independent of the trace's
+// symbol cardinality.
 func (w *windows) weightedSimilarity() float64 {
 	cwTotal, twTotal := w.cwLen(), w.twLen
 	if cwTotal == 0 || twTotal == 0 {
 		return 0
 	}
 	var sum float64
-	for id, c := range w.cwCounts {
-		if c == 0 {
-			continue
-		}
-		tc := w.twCounts[id]
-		if tc == 0 {
-			continue
-		}
-		cwWeight := float64(c) / float64(cwTotal)
-		twWeight := float64(tc) / float64(twTotal)
+	for _, id := range w.overlapIDs {
+		cwWeight := float64(w.cwCounts[id]) / float64(cwTotal)
+		twWeight := float64(w.twCounts[id]) / float64(twTotal)
 		if cwWeight < twWeight {
 			sum += cwWeight
 		} else {
@@ -217,8 +301,11 @@ func (w *windows) clear(lastBatch []int32) {
 	w.buf = w.buf[:0]
 	w.head = 0
 	w.twLen = 0
-	w.overlap = 0
 	w.cwDistinct = 0
+	for _, id := range w.overlapIDs {
+		w.overlapPos[id] = 0
+	}
+	w.overlapIDs = w.overlapIDs[:0]
 	for i := range w.cwCounts {
 		w.cwCounts[i] = 0
 		w.twCounts[i] = 0

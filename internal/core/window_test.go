@@ -276,14 +276,22 @@ func TestOverlapInvariant(t *testing.T) {
 		return v % n
 	}
 	check := func(step int) {
-		want := 0
+		want := map[int32]bool{}
 		for id, c := range w.cwCounts {
 			if c > 0 && w.twCounts[id] > 0 {
-				want++
+				want[int32(id)] = true
 			}
 		}
-		if w.overlap != want {
-			t.Fatalf("step %d: overlap = %d, want %d", step, w.overlap, want)
+		if len(w.overlapIDs) != len(want) {
+			t.Fatalf("step %d: overlap set size = %d, want %d", step, len(w.overlapIDs), len(want))
+		}
+		for i, id := range w.overlapIDs {
+			if !want[id] {
+				t.Fatalf("step %d: id %d in overlap set but not in both windows", step, id)
+			}
+			if w.overlapPos[id] != int32(i+1) {
+				t.Fatalf("step %d: overlapPos[%d] = %d, want %d", step, id, w.overlapPos[id], i+1)
+			}
 		}
 	}
 	for i := 0; i < 5000; i++ {

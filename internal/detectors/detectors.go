@@ -80,6 +80,7 @@ func NewBBV(sampleWindow int, threshold float64, opts ...Option) *core.Detector 
 // BBVModel compares adjacent sample windows' normalized site-frequency
 // vectors by Manhattan distance.
 type BBVModel struct {
+	core.SymbolDecoder
 	prev, cur map[trace.Branch]float64
 	havePrev  bool
 	consumed  int64
@@ -88,6 +89,7 @@ type BBVModel struct {
 }
 
 var _ core.Model = (*BBVModel)(nil)
+var _ core.InternBinder = (*BBVModel)(nil)
 
 // UpdateWindows implements core.Model: each consumed group is one sample
 // window, normalized to a unit-sum frequency vector.
@@ -104,6 +106,13 @@ func (m *BBVModel) UpdateWindows(elems []trace.Branch) {
 	}
 	m.consumed += int64(len(elems))
 	m.lastLen = len(elems)
+}
+
+// UpdateWindowsIDs implements core.Model by rehydrating the ID group
+// through the bound symbol table; the histogramming itself is
+// Branch-keyed.
+func (m *BBVModel) UpdateWindowsIDs(ids []int32) {
+	m.UpdateWindows(m.Decode(ids))
 }
 
 // ComputeSimilarity implements core.Model: 1 - manhattan/2 over the two
@@ -160,6 +169,7 @@ func NewLu(sampleWindow, history int, band float64, opts ...Option) *core.Detect
 // where z is the deviation of the window's average PC from the mean of the
 // previous windows, in units of their standard deviation.
 type LuModel struct {
+	core.SymbolDecoder
 	sampleWindow int
 	histCap      int
 
@@ -171,6 +181,7 @@ type LuModel struct {
 }
 
 var _ core.Model = (*LuModel)(nil)
+var _ core.InternBinder = (*LuModel)(nil)
 
 // UpdateWindows implements core.Model.
 func (m *LuModel) UpdateWindows(elems []trace.Branch) {
@@ -181,6 +192,11 @@ func (m *LuModel) UpdateWindows(elems []trace.Branch) {
 		m.curN++
 	}
 	m.consumed += int64(len(elems))
+}
+
+// UpdateWindowsIDs implements core.Model via the bound symbol table.
+func (m *LuModel) UpdateWindowsIDs(ids []int32) {
+	m.UpdateWindows(m.Decode(ids))
 }
 
 // ComputeSimilarity implements core.Model: it folds the just-completed
@@ -270,6 +286,7 @@ func NewDas(sampleWindow int, threshold float64, opts ...Option) *core.Detector 
 // PearsonModel computes the Pearson correlation between the site-frequency
 // histograms of the two most recent sample windows.
 type PearsonModel struct {
+	core.SymbolDecoder
 	prev, cur map[trace.Branch]int
 	havePrev  bool
 	consumed  int64
@@ -278,6 +295,7 @@ type PearsonModel struct {
 }
 
 var _ core.Model = (*PearsonModel)(nil)
+var _ core.InternBinder = (*PearsonModel)(nil)
 
 // UpdateWindows implements core.Model: each consumed group is one sample
 // window.
@@ -290,6 +308,11 @@ func (m *PearsonModel) UpdateWindows(elems []trace.Branch) {
 	}
 	m.consumed += int64(len(elems))
 	m.lastLen = len(elems)
+}
+
+// UpdateWindowsIDs implements core.Model via the bound symbol table.
+func (m *PearsonModel) UpdateWindowsIDs(ids []int32) {
+	m.UpdateWindows(m.Decode(ids))
 }
 
 // ComputeSimilarity implements core.Model.

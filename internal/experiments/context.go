@@ -98,6 +98,7 @@ type Context struct {
 	mu       sync.Mutex
 	traces   map[string]trace.Trace
 	events   map[string]trace.Events
+	interned map[string]*trace.Interned
 	sols     map[string]map[int64]*baseline.Solution
 	runs     map[string][]sweep.Run
 	runStats map[string]*RunStats
@@ -111,6 +112,7 @@ func New(opts Options) *Context {
 		sweepProbe: telemetry.NewSweepProbe(opts.Telemetry),
 		traces:     map[string]trace.Trace{},
 		events:     map[string]trace.Events{},
+		interned:   map[string]*trace.Interned{},
 		sols:       map[string]map[int64]*baseline.Solution{},
 		runs:       map[string][]sweep.Run{},
 		runStats:   map[string]*RunStats{},
@@ -188,11 +190,46 @@ func (c *Context) Runs(bench string) ([]sweep.Run, error) {
 	return runs, nil
 }
 
+// InternedTrace returns (interning and caching on first use) the named
+// benchmark's trace in dense-ID form. Every sweep of the benchmark shares
+// this one representation, so the experiment pipeline pays exactly one
+// hash pass per benchmark regardless of how many experiments re-sweep it.
+func (c *Context) InternedTrace(bench string) (*trace.Interned, error) {
+	tr, _, err := c.Workload(bench)
+	if err != nil {
+		return nil, err
+	}
+	return c.internedFor(bench, tr), nil
+}
+
+// internedFor returns the benchmark's cached interned stream when tr is
+// the cached workload trace, and interns tr ad hoc otherwise (the seed
+// variance experiment sweeps reseeded variant traces that must not
+// poison the per-benchmark cache).
+func (c *Context) internedFor(bench string, tr trace.Trace) *trace.Interned {
+	c.mu.Lock()
+	cached, ok := c.traces[bench]
+	in := c.interned[bench]
+	c.mu.Unlock()
+	same := ok && len(tr) == len(cached) && (len(tr) == 0 || &tr[0] == &cached[0])
+	if !same {
+		return trace.Intern(tr)
+	}
+	if in == nil {
+		in = trace.Intern(tr)
+		c.mu.Lock()
+		c.interned[bench] = in
+		c.mu.Unlock()
+	}
+	return in
+}
+
 // sweepRuns executes configurations over a trace with the context's
 // telemetry probe attached and folds the results into the per-benchmark
-// run statistics.
+// run statistics. Sweeps of a benchmark's canonical trace share its
+// cached interned stream.
 func (c *Context) sweepRuns(bench string, tr trace.Trace, configs []core.Config) []sweep.Run {
-	runs := sweep.RunConfigsTelemetry(tr, configs, c.opts.Workers, c.sweepProbe)
+	runs := sweep.RunInterned(c.internedFor(bench, tr), configs, c.opts.Workers, c.sweepProbe)
 	c.noteRuns(bench, runs)
 	return runs
 }

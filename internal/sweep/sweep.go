@@ -45,20 +45,88 @@ func (r Run) SimPer1000() float64 {
 // across workers (0 means GOMAXPROCS), and returns the runs in input
 // order. Invalid configurations panic: the sweep enumerators only produce
 // valid ones, so an invalid config is a programming error.
+//
+// The trace is interned once — one hash pass total — and every detector
+// consumes skip-factor slices of the shared dense-ID stream, with window
+// counters sized up-front from the symbol-table cardinality and pooled
+// across runs. See RunInterned for sweeping an already-interned trace.
 func RunConfigs(tr trace.Trace, configs []core.Config, workers int) []Run {
 	return RunConfigsTelemetry(tr, configs, workers, nil)
 }
 
-// RunConfigsTelemetry is RunConfigs with a sweep probe: each completed
-// run is recorded (count, wall clock, similarity computations). A nil
-// probe is equivalent to RunConfigs.
+// RunConfigsTelemetry is RunConfigs with a sweep probe: the interning
+// pass and each completed run are recorded (counts, wall clock,
+// similarity computations, pool reuse). A nil probe is equivalent to
+// RunConfigs.
 func RunConfigsTelemetry(tr trace.Trace, configs []core.Config, workers int, probe *telemetry.SweepProbe) []Run {
+	return RunInterned(trace.Intern(tr), configs, workers, probe)
+}
+
+// RunInterned executes every configuration over a pre-interned trace.
+// This is the sweep hot path: the representation cost (one hash lookup
+// per element) was paid once at interning, so each of the N configured
+// detectors runs in pure slice arithmetic over the shared ID stream, and
+// a SweepPool recycles window buffers and counter slices between
+// back-to-back runs. Results are in input order.
+func RunInterned(in *trace.Interned, configs []core.Config, workers int, probe *telemetry.SweepProbe) []Run {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	probe.Interned(int64(in.Len()), int64(in.Cardinality()))
+	pool := core.NewSweepPool(in.Cardinality())
+	runs := make([]Run, len(configs))
+	// Buffered to len(configs): the producer enqueues the whole sweep
+	// without ever blocking behind a slow worker.
+	jobs := make(chan int, len(configs))
+	for i := range configs {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	elements := int64(in.Len())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				d := configs[i].MustNewPooled(pool)
+				start := time.Now()
+				core.RunTraceInterned(d, in)
+				elapsed := time.Since(start)
+				runs[i] = Run{
+					Config:          configs[i],
+					Phases:          d.Phases(),
+					AdjustedPhases:  d.AdjustedPhases(),
+					SimComputations: d.SimilarityComputations(),
+					Elements:        elements,
+					Elapsed:         elapsed,
+				}
+				d.ReleaseBuffers()
+				probe.Run(elapsed.Seconds(), d.SimilarityComputations(), elements)
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := pool.Stats()
+	probe.PoolStats(hits, misses)
+	return runs
+}
+
+// RunConfigsMap is the legacy sweep path: every detector re-interns the
+// trace through its own map[trace.Branch]int32, paying one hash lookup
+// per element per configuration. Kept as the equivalence and benchmark
+// baseline for the shared-intern engine; new callers want RunConfigs.
+func RunConfigsMap(tr trace.Trace, configs []core.Config, workers int) []Run {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	runs := make([]Run, len(configs))
+	jobs := make(chan int, len(configs))
+	for i := range configs {
+		jobs <- i
+	}
+	close(jobs)
 	var wg sync.WaitGroup
-	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -67,23 +135,17 @@ func RunConfigsTelemetry(tr trace.Trace, configs []core.Config, workers int, pro
 				d := configs[i].MustNew()
 				start := time.Now()
 				core.RunTrace(d, tr)
-				elapsed := time.Since(start)
 				runs[i] = Run{
 					Config:          configs[i],
 					Phases:          d.Phases(),
 					AdjustedPhases:  d.AdjustedPhases(),
 					SimComputations: d.SimilarityComputations(),
 					Elements:        int64(len(tr)),
-					Elapsed:         elapsed,
+					Elapsed:         time.Since(start),
 				}
-				probe.Run(elapsed.Seconds(), d.SimilarityComputations(), int64(len(tr)))
 			}
 		}()
 	}
-	for i := range configs {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 	return runs
 }

@@ -101,6 +101,76 @@ func TestRunConfigsParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// noisyTrace builds a deterministic phase-structured trace with enough
+// site churn to exercise anchoring, clearing, and both models.
+func noisyTrace(n int) trace.Trace {
+	rng := int64(42)
+	next := func(m int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int(rng >> 40)
+		if v < 0 {
+			v = -v
+		}
+		return v % m
+	}
+	var tr trace.Trace
+	for len(tr) < n {
+		site := next(30)
+		run := next(80) + 1
+		for i := 0; i < run && len(tr) < n; i++ {
+			tr = append(tr, el(site))
+		}
+	}
+	return tr
+}
+
+// TestInternedSweepMatchesMapSweep pins the shared-intern engine to the
+// legacy per-config map path over the full paper config enumeration
+// (all anchoring variants included): identical phases, adjusted phases,
+// and similarity counts for every configuration.
+func TestInternedSweepMatchesMapSweep(t *testing.T) {
+	tr := noisyTrace(3000)
+	s := PaperSpace([]int{20, 50})
+	s.AnchorResize = AllAnchorResize()
+	configs := s.Enumerate()
+	legacy := RunConfigsMap(tr, configs, 0)
+	interned := RunConfigs(tr, configs, 0)
+	for i := range configs {
+		a, b := legacy[i], interned[i]
+		if a.SimComputations != b.SimComputations {
+			t.Errorf("%s: %d vs %d similarity computations", configs[i].ID(), a.SimComputations, b.SimComputations)
+		}
+		if len(a.Phases) != len(b.Phases) || len(a.AdjustedPhases) != len(b.AdjustedPhases) {
+			t.Fatalf("%s: phase counts diverge (%d/%d vs %d/%d)", configs[i].ID(),
+				len(a.Phases), len(a.AdjustedPhases), len(b.Phases), len(b.AdjustedPhases))
+		}
+		for j := range a.Phases {
+			if a.Phases[j] != b.Phases[j] {
+				t.Fatalf("%s: phase %d: map %v vs interned %v", configs[i].ID(), j, a.Phases[j], b.Phases[j])
+			}
+		}
+		for j := range a.AdjustedPhases {
+			if a.AdjustedPhases[j] != b.AdjustedPhases[j] {
+				t.Fatalf("%s: adjusted phase %d diverges", configs[i].ID(), j)
+			}
+		}
+	}
+}
+
+// TestRunInternedSharesStream checks that RunInterned leaves the shared
+// ID stream untouched (workers consume it read-only and concurrently).
+func TestRunInternedSharesStream(t *testing.T) {
+	tr := noisyTrace(1500)
+	in := trace.Intern(tr)
+	before := append([]int32(nil), in.IDs()...)
+	RunInterned(in, PaperSpace([]int{20}).Enumerate(), 4, nil)
+	for i, id := range in.IDs() {
+		if id != before[i] {
+			t.Fatalf("shared ID stream mutated at %d", i)
+		}
+	}
+}
+
 func TestBestPicksHighestScore(t *testing.T) {
 	tr := testTrace()
 	sol := testSolution(int64(len(tr)))

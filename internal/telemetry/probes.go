@@ -42,6 +42,10 @@ const (
 	MetricSweepSimComps   = "opd_sweep_sim_computations_total"
 	MetricSweepElements   = "opd_sweep_elements_total"
 	MetricSweepRunSeconds = "opd_sweep_run_seconds"
+	MetricSweepInterned   = "opd_sweep_interned_elements_total"
+	MetricSweepSymbols    = "opd_sweep_interned_symbols"
+	MetricSweepPoolHits   = "opd_sweep_pool_hits_total"
+	MetricSweepPoolMisses = "opd_sweep_pool_misses_total"
 
 	MetricModelWindows    = "opd_model_windows_total"
 	MetricModelSimilarity = "opd_model_similarity_value"
@@ -320,6 +324,10 @@ type SweepProbe struct {
 	simComps   *Counter
 	elements   *Counter
 	runSeconds *Histogram
+	interned   *Counter
+	symbols    *Gauge
+	poolHits   *Counter
+	poolMisses *Counter
 }
 
 // NewSweepProbe builds the sweep probe. Returns nil for a nil registry.
@@ -328,11 +336,17 @@ func NewSweepProbe(reg *Registry) *SweepProbe {
 		return nil
 	}
 	reg.Help(MetricSweepRunSeconds, "Wall-clock seconds of one detector configuration over one trace.")
+	reg.Help(MetricSweepInterned, "Elements interned into shared dense-ID streams (one hash pass per trace, amortized across every configuration).")
+	reg.Help(MetricSweepPoolHits, "Sweep-pool buffer acquisitions served from a recycled slice.")
 	return &SweepProbe{
 		runs:       reg.Counter(MetricSweepRuns),
 		simComps:   reg.Counter(MetricSweepSimComps),
 		elements:   reg.Counter(MetricSweepElements),
 		runSeconds: reg.Histogram(MetricSweepRunSeconds, []float64{1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30}),
+		interned:   reg.Counter(MetricSweepInterned),
+		symbols:    reg.Gauge(MetricSweepSymbols),
+		poolHits:   reg.Counter(MetricSweepPoolHits),
+		poolMisses: reg.Counter(MetricSweepPoolMisses),
 	}
 }
 
@@ -345,6 +359,26 @@ func (p *SweepProbe) Run(elapsedSeconds float64, simComps, elements int64) {
 	p.simComps.Add(simComps)
 	p.elements.Add(elements)
 	p.runSeconds.Observe(elapsedSeconds)
+}
+
+// Interned records one shared interning pass: elements reduced to symbols
+// distinct IDs.
+func (p *SweepProbe) Interned(elements, symbols int64) {
+	if p == nil {
+		return
+	}
+	p.interned.Add(elements)
+	p.symbols.Set(float64(symbols))
+}
+
+// PoolStats folds one sweep pool's final buffer-reuse counters into the
+// cumulative totals.
+func (p *SweepProbe) PoolStats(hits, misses int64) {
+	if p == nil {
+		return
+	}
+	p.poolHits.Add(hits)
+	p.poolMisses.Add(misses)
 }
 
 // A ModelProbe instruments a custom similarity model from

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func internTestTrace() Trace {
+	var tr Trace
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 50; i++ {
+			tr = append(tr, MakeBranch(uint32(r), i%7, i%2 == 0))
+		}
+	}
+	return tr
+}
+
+func TestInternRoundTrip(t *testing.T) {
+	tr := internTestTrace()
+	in := Intern(tr)
+	if in.Len() != len(tr) {
+		t.Fatalf("Len = %d, want %d", in.Len(), len(tr))
+	}
+	if got, want := in.Cardinality(), tr.DistinctElements(); got != want {
+		t.Fatalf("Cardinality = %d, want %d", got, want)
+	}
+	back := in.Reconstruct()
+	for i := range tr {
+		if back[i] != tr[i] {
+			t.Fatalf("element %d: reconstructed %v, want %v", i, back[i], tr[i])
+		}
+	}
+}
+
+func TestInternIDsAssignedInFirstAppearanceOrder(t *testing.T) {
+	tr := Trace{MakeBranch(1, 0, false), MakeBranch(2, 0, false), MakeBranch(1, 0, false), MakeBranch(3, 0, false)}
+	in := Intern(tr)
+	want := []int32{0, 1, 0, 2}
+	for i, id := range in.IDs() {
+		if id != want[i] {
+			t.Fatalf("IDs = %v, want %v", in.IDs(), want)
+		}
+	}
+	for id, sym := range in.Symbols() {
+		got, ok := in.ID(sym)
+		if !ok || got != int32(id) {
+			t.Fatalf("ID(%v) = %d, %v; want %d, true", sym, got, ok, id)
+		}
+	}
+	if _, ok := in.ID(MakeBranch(9, 9, true)); ok {
+		t.Fatal("ID reported an element absent from the stream")
+	}
+}
+
+func TestInternScannerMatchesIntern(t *testing.T) {
+	tr := internTestTrace()
+	var buf bytes.Buffer
+	w := NewBranchWriter(&buf)
+	for _, e := range tr {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := InternScanner(NewBranchScanner(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Intern(tr)
+	if got.Len() != want.Len() || got.Cardinality() != want.Cardinality() {
+		t.Fatalf("scanner interning diverges: %d/%d vs %d/%d",
+			got.Len(), got.Cardinality(), want.Len(), want.Cardinality())
+	}
+	for i, id := range got.IDs() {
+		if id != want.IDs()[i] {
+			t.Fatalf("ID stream diverges at %d", i)
+		}
+	}
+}
