@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-smoke bench-json
+.PHONY: all build test check fuzz-smoke bench bench-smoke bench-json
 
 all: build
 
@@ -11,15 +11,25 @@ test:
 	$(GO) test ./...
 
 # check is the pre-commit gate: formatting, static analysis, a full
-# build, and the race detector over the concurrency-sensitive packages
-# (the lock-free telemetry registry, the detector core, and the sweep
-# engine's shared-stream workers).
+# build, the race detector over the concurrency-sensitive packages
+# (the lock-free telemetry registry, the detector core, the sweep
+# engine's shared-stream workers, and the fault-injection harness), and
+# a short fuzz of the trace readers.
 check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/sweep/...
+	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/sweep/... ./internal/faultinject/...
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke runs each trace-reader fuzz target briefly (the Go fuzzer
+# accepts one -fuzz pattern per invocation, hence two runs). The seed
+# corpus under internal/trace/testdata/fuzz runs on every plain
+# `go test` as well.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReadBranches -fuzztime=5s ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzReadEvents -fuzztime=5s ./internal/trace
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run '^$$' ./internal/core/... ./internal/sweep/... ./internal/telemetry/...

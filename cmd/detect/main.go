@@ -16,12 +16,19 @@
 // Telemetry: -telemetry-addr serves the live /debug/phasedet surface
 // during the run; -telemetry-dump prints the collected metrics and the
 // phase-event trace once the detector finishes.
+//
+// Robustness: -lenient salvages the valid prefix of a truncated or
+// corrupted trace instead of failing, and SIGINT cancels the run cleanly
+// — the phases detected so far are printed (marked interrupted, oracle
+// scoring skipped) and the process exits 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"opd/internal/baseline"
 	"opd/internal/core"
@@ -49,21 +56,24 @@ func main() {
 		adjusted = flag.Bool("adjusted", false, "use anchor-corrected phase starts for printing and scoring")
 		telAddr  = flag.String("telemetry-addr", "", "serve the live "+telemetry.DebugPath+" debug surface on this address (\":0\" picks a port)")
 		telDump  = flag.Bool("telemetry-dump", false, "print the telemetry report (metrics + phase events) at end of run")
+		lenient  = flag.Bool("lenient", false, "salvage the valid prefix of a truncated/corrupt trace instead of failing")
 	)
 	flag.Parse()
 	if *prefix == "" {
 		fmt.Fprintln(os.Stderr, "detect: -trace is required")
 		os.Exit(2)
 	}
-	branches, err := loadBranches(*prefix + ".branches")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "detect:", err)
-		os.Exit(1)
-	}
 
 	var reg *telemetry.Registry
 	if *telAddr != "" || *telDump {
 		reg = telemetry.NewRegistry()
+	}
+	ingest := telemetry.NewIngestProbe(reg)
+
+	branches, err := loadBranches(*prefix+".branches", *lenient, ingest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detect:", err)
+		os.Exit(1)
 	}
 	if *telAddr != "" {
 		srv, err := telemetry.Serve(*telAddr, reg)
@@ -82,12 +92,23 @@ func main() {
 	}
 	// One interning pass up front; the detector then consumes dense IDs
 	// (models without ID support decode through their SymbolDecoder).
-	core.RunTraceInterned(d, trace.Intern(branches))
+	// SIGINT cancels the run: the detector is finalized where it stopped
+	// and the phases found so far are reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	interrupted := false
+	if err := core.RunTraceInternedContext(ctx, d, trace.Intern(branches)); err != nil {
+		interrupted = true
+		d.Finish() // flush the partial group and close any open phase
+	}
 	phases := d.Phases()
 	if *adjusted {
 		phases = d.AdjustedPhases()
 	}
 	fmt.Printf("detector:            %s\n", desc)
+	if interrupted {
+		fmt.Printf("status:              interrupted (partial results)\n")
+	}
 	fmt.Printf("elements consumed:   %d\n", d.Consumed())
 	fmt.Printf("similarity computes: %d\n", d.SimilarityComputations())
 	fmt.Printf("phases detected:     %d\n", len(phases))
@@ -96,8 +117,11 @@ func main() {
 			fmt.Printf("  phase %3d: %v (len %d)\n", i, p, p.Len())
 		}
 	}
-	if *mpl > 0 {
-		events, err := loadEvents(*prefix + ".events")
+	if *mpl > 0 && interrupted {
+		fmt.Fprintln(os.Stderr, "detect: interrupted; skipping oracle scoring of partial phases")
+	}
+	if *mpl > 0 && !interrupted {
+		events, err := loadEvents(*prefix+".events", *lenient, ingest)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "detect:", err)
 			os.Exit(1)
@@ -121,6 +145,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "detect:", err)
 			os.Exit(1)
 		}
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 
@@ -197,20 +224,56 @@ func build(reg *telemetry.Registry, preset string, cw, tw, skip int, policy, mod
 	}
 }
 
-func loadBranches(path string) (trace.Trace, error) {
+func loadBranches(path string, lenient bool, probe *telemetry.IngestProbe) (trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
+		probe.Read(true)
 		return nil, err
 	}
 	defer f.Close()
-	return trace.ReadBranches(f)
+	if !lenient {
+		tr, err := trace.ReadBranches(f)
+		probe.Read(err != nil)
+		return tr, err
+	}
+	tr, err := trace.ReadBranchesLenient(f)
+	if err != nil {
+		if len(tr) == 0 {
+			probe.Read(true)
+			return nil, err
+		}
+		probe.Read(false)
+		probe.Salvaged(int64(len(tr)))
+		fmt.Fprintf(os.Stderr, "detect: %s: damaged stream, salvaged %d elements (%v)\n", path, len(tr), err)
+		return tr, nil
+	}
+	probe.Read(false)
+	return tr, nil
 }
 
-func loadEvents(path string) (trace.Events, error) {
+func loadEvents(path string, lenient bool, probe *telemetry.IngestProbe) (trace.Events, error) {
 	f, err := os.Open(path)
 	if err != nil {
+		probe.Read(true)
 		return nil, err
 	}
 	defer f.Close()
-	return trace.ReadEvents(f)
+	if !lenient {
+		es, err := trace.ReadEvents(f)
+		probe.Read(err != nil)
+		return es, err
+	}
+	es, err := trace.ReadEventsLenient(f)
+	if err != nil {
+		if len(es) == 0 {
+			probe.Read(true)
+			return nil, err
+		}
+		probe.Read(false)
+		probe.Salvaged(int64(len(es)))
+		fmt.Fprintf(os.Stderr, "detect: %s: damaged stream, salvaged %d events (%v)\n", path, len(es), err)
+		return es, nil
+	}
+	probe.Read(false)
+	return es, nil
 }

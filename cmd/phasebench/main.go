@@ -21,10 +21,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -135,7 +138,12 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, Workers: *workers}
+	// SIGINT cancels the in-flight sweep; completed experiments are still
+	// rendered and the run summary covers everything that finished.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := experiments.Options{Scale: *scale, Workers: *workers, Context: sigCtx}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -157,6 +165,7 @@ func main() {
 
 	results := map[string]any{}
 	ran := 0
+	interrupted := false
 	for _, j := range jobs() {
 		if *exp != "all" && *exp != j.name {
 			continue
@@ -164,6 +173,13 @@ func main() {
 		ran++
 		start := time.Now()
 		data, err := j.data(ctx)
+		if errors.Is(err, context.Canceled) {
+			// Stop launching experiments; everything already collected
+			// below (summary, telemetry, JSON) is still flushed.
+			fmt.Fprintf(os.Stderr, "phasebench: interrupted during %s; flushing partial results\n", j.name)
+			interrupted = true
+			break
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "phasebench: %s: %v\n", j.name, err)
 			os.Exit(1)
@@ -185,7 +201,7 @@ func main() {
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n\n%s\n", j.name, time.Since(start).Seconds(), out)
 	}
-	if ran == 0 {
+	if ran == 0 && !interrupted {
 		fmt.Fprintf(os.Stderr, "phasebench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
@@ -207,5 +223,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "phasebench:", err)
 			os.Exit(1)
 		}
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }

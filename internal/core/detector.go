@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -356,6 +357,41 @@ func RunTraceInterned(d *Detector, in *trace.Interned) *Detector {
 	}
 	d.Finish()
 	return d
+}
+
+// RunTraceInternedContext is RunTraceInterned with cooperative
+// cancellation: the context is polled once per skip-factor group, and a
+// cancel or deadline stops the pass promptly between groups. On
+// cancellation it returns the context's error with the detector NOT
+// finished — the caller chooses whether to Finish (flushing the partial
+// group and closing any open phase, making the partial Phases readable) or
+// to discard the detector. A background (non-cancellable) context costs
+// nothing on the hot path.
+func RunTraceInternedContext(ctx context.Context, d *Detector, in *trace.Interned) error {
+	done := ctx.Done()
+	if done == nil {
+		RunTraceInterned(d, in)
+		return nil
+	}
+	if b, ok := d.model.(InternBinder); ok {
+		b.BindInterned(in)
+	}
+	ids := in.IDs()
+	skip := d.skip
+	for i := 0; i < len(ids); i += skip {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+		end := i + skip
+		if end > len(ids) {
+			end = len(ids)
+		}
+		d.ProcessProfileIDs(ids[i:end])
+	}
+	d.Finish()
+	return nil
 }
 
 // ReleaseBuffers returns the model's pooled buffers (if the model holds

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -48,6 +49,11 @@ type Options struct {
 	// volume) against the registry, and enables the end-of-run
 	// instrumentation report in cmd/phasebench.
 	Telemetry *telemetry.Registry
+	// Context, when non-nil, bounds every sweep the experiments run:
+	// cancellation or deadline expiry aborts the in-flight sweep promptly
+	// and surfaces the context's error from the experiment method. Nil
+	// means context.Background().
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +128,14 @@ func New(opts Options) *Context {
 // Options returns the resolved options.
 func (c *Context) Options() Options { return c.opts }
 
+// ctx returns the options' context, defaulting to Background.
+func (c *Context) ctx() context.Context {
+	if c.opts.Context != nil {
+		return c.opts.Context
+	}
+	return context.Background()
+}
+
 // Workload returns (generating and caching on first use) the named
 // benchmark's traces.
 func (c *Context) Workload(bench string) (trace.Trace, trace.Events, error) {
@@ -183,7 +197,10 @@ func (c *Context) Runs(bench string) ([]sweep.Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	runs := c.sweepRuns(bench, tr, c.masterConfigs())
+	runs, err := c.sweepRuns(bench, tr, c.masterConfigs())
+	if err != nil {
+		return nil, errBench(bench, err)
+	}
 	c.mu.Lock()
 	c.runs[bench] = runs
 	c.mu.Unlock()
@@ -227,11 +244,16 @@ func (c *Context) internedFor(bench string, tr trace.Trace) *trace.Interned {
 // sweepRuns executes configurations over a trace with the context's
 // telemetry probe attached and folds the results into the per-benchmark
 // run statistics. Sweeps of a benchmark's canonical trace share its
-// cached interned stream.
-func (c *Context) sweepRuns(bench string, tr trace.Trace, configs []core.Config) []sweep.Run {
-	runs := sweep.RunInterned(c.internedFor(bench, tr), configs, c.opts.Workers, c.sweepProbe)
+// cached interned stream. Cancellation of the options' context aborts
+// the sweep and returns its error; partial runs still count toward the
+// benchmark statistics so an interrupted session reports what it did.
+func (c *Context) sweepRuns(bench string, tr trace.Trace, configs []core.Config) ([]sweep.Run, error) {
+	runs, err := sweep.RunInternedContext(c.ctx(), c.internedFor(bench, tr), configs, sweep.Options{
+		Workers: c.opts.Workers,
+		Probe:   c.sweepProbe,
+	})
 	c.noteRuns(bench, runs)
-	return runs
+	return runs, err
 }
 
 // defaultAnchoring keeps only the RN/Slide anchoring for Adaptive configs

@@ -54,7 +54,10 @@ func (c *Context) SkipSweep(mpl int64) ([]SkipPoint, error) {
 			if err != nil {
 				return nil, errBench(bench, err)
 			}
-			runs := c.sweepRuns(bench, tr, configs)
+			runs, err := c.sweepRuns(bench, tr, configs)
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
 			best, bestRun, ok := sweep.Best(runs, sol, false)
 			if !ok {
 				continue

@@ -57,7 +57,10 @@ func (c *Context) ProfileSources(mpl int64) ([]SourcePoint, error) {
 		}
 
 		// Branch stream at CW = MPL/2.
-		branchRuns := c.sweepRuns(bench, branches, mkConfigs(int(mpl/2)))
+		branchRuns, err := c.sweepRuns(bench, branches, mkConfigs(int(mpl/2)))
+		if err != nil {
+			return nil, errBench(bench, err)
+		}
 		branchBest, _, _ := sweep.Best(branchRuns, sol, false)
 
 		// Method stream: scale the window by stream density.

@@ -47,7 +47,10 @@ func (c *Context) SeedVariance(mpl int64, seeds []int32) ([]VariancePoint, error
 			if err != nil {
 				return nil, errBench(bench, err)
 			}
-			runs := c.sweepRuns(bench, branches, configs)
+			runs, err := c.sweepRuns(bench, branches, configs)
+			if err != nil {
+				return nil, errBench(bench, err)
+			}
 			best, _, ok := sweep.Best(runs, sol, false)
 			if ok {
 				scores = append(scores, best.Score)

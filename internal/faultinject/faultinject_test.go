@@ -1,0 +1,226 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"opd/internal/core"
+	"opd/internal/faultinject"
+	"opd/internal/trace"
+)
+
+func sampleTrace(n int) trace.Trace {
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		tr[i] = trace.MakeBranch(uint32(i%13), i%29, i%2 == 0)
+	}
+	return tr
+}
+
+func encode(t *testing.T, tr trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBranches(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShortReadsDecodeCleanly forces 1-, 2-, and 3-byte reads through the
+// whole decode path: a slow or fragmented producer must not change the
+// result.
+func TestShortReadsDecodeCleanly(t *testing.T) {
+	tr := sampleTrace(500)
+	raw := encode(t, tr)
+	for _, max := range []int{1, 2, 3, 7} {
+		got, err := trace.ReadBranches(faultinject.ShortReader(bytes.NewReader(raw), max))
+		if err != nil {
+			t.Fatalf("max=%d: %v", max, err)
+		}
+		if len(got) != len(tr) {
+			t.Fatalf("max=%d: %d elements, want %d", max, len(got), len(tr))
+		}
+	}
+}
+
+// TestInjectedErrorSurfacesAsCorrupt checks a mid-stream I/O failure maps
+// onto the taxonomy (non-EOF errors are corruption) with the offset near
+// the injection point, and that lenient mode still salvages the prefix.
+func TestInjectedErrorSurfacesAsCorrupt(t *testing.T) {
+	tr := sampleTrace(300)
+	raw := encode(t, tr)
+	boom := errors.New("disk on fire")
+	off := int64(len(raw) / 2)
+	_, err := trace.ReadBranches(faultinject.ErrorAt(bytes.NewReader(raw), off, boom))
+	if !errors.Is(err, boom) || !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("err = %v, want wrapped cause and ErrCorrupt", err)
+	}
+	var fe *trace.FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FormatError", err)
+	}
+	// bufio batches reads, so detection can only trail the injection point.
+	if fe.Offset < 8 || fe.Offset > int64(len(raw)) {
+		t.Errorf("damage offset %d implausible (injected at %d)", fe.Offset, off)
+	}
+	got, err := trace.ReadBranchesLenient(faultinject.ErrorAt(bytes.NewReader(raw), off, boom))
+	if err == nil || len(got) == 0 || len(got) >= len(tr) {
+		t.Fatalf("lenient: salvaged %d of %d, err %v", len(got), len(tr), err)
+	}
+	for i := range got {
+		if got[i] != tr[i] {
+			t.Fatalf("salvaged element %d diverges", i)
+		}
+	}
+}
+
+// TestTruncationViaEOFInjection truncates with ErrorAt(io.EOF) at every
+// prefix length: always a typed error (or a clean EOF exactly at the
+// boundary), never a panic.
+func TestTruncationViaEOFInjection(t *testing.T) {
+	tr := sampleTrace(50)
+	raw := encode(t, tr)
+	for off := int64(0); off < int64(len(raw)); off++ {
+		_, err := trace.ReadBranches(faultinject.ErrorAt(bytes.NewReader(raw), off, io.EOF))
+		if err == nil {
+			t.Fatalf("truncation at %d undetected", off)
+		}
+		if !errors.Is(err, trace.ErrTruncated) && !errors.Is(err, trace.ErrCorrupt) {
+			t.Fatalf("truncation at %d escaped the taxonomy: %v", off, err)
+		}
+	}
+}
+
+// TestBitFlipNeverPanics flips every bit of a small encoded trace, one at
+// a time, and requires each damaged stream to either decode (the flip
+// landed in a value, yielding different elements) or fail with a typed
+// error — and lenient mode to salvage without panicking.
+func TestBitFlipNeverPanics(t *testing.T) {
+	tr := sampleTrace(40)
+	raw := encode(t, tr)
+	for off := int64(0); off < int64(len(raw)); off++ {
+		for bit := uint(0); bit < 8; bit++ {
+			r := faultinject.FlipBit(bytes.NewReader(raw), off, bit)
+			if _, err := trace.ReadBranches(r); err != nil {
+				if !errors.Is(err, trace.ErrTruncated) && !errors.Is(err, trace.ErrCorrupt) {
+					t.Fatalf("flip %d.%d escaped the taxonomy: %v", off, bit, err)
+				}
+			}
+			lr := faultinject.FlipBit(bytes.NewReader(raw), off, bit)
+			if _, err := trace.ReadBranchesLenient(lr); err != nil && off < 8 {
+				// Header damage must salvage nothing…
+				if got, _ := trace.ReadBranchesLenient(faultinject.FlipBit(bytes.NewReader(raw), off, bit)); got != nil {
+					t.Fatalf("flip %d.%d: salvage from a bad header", off, bit)
+				}
+			}
+		}
+	}
+}
+
+// TestEventStreamFaults drives the event reader through the same chaos.
+func TestEventStreamFaults(t *testing.T) {
+	es := trace.Events{
+		{Kind: trace.MethodEnter, ID: 1, Time: 0},
+		{Kind: trace.LoopEnter, ID: 9, Time: 4},
+		{Kind: trace.LoopExit, ID: 9, Time: 90},
+		{Kind: trace.MethodExit, ID: 1, Time: 120},
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteEvents(&buf, es); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for off := int64(0); off < int64(len(raw)); off++ {
+		for bit := uint(0); bit < 8; bit++ {
+			if _, err := trace.ReadEvents(faultinject.FlipBit(bytes.NewReader(raw), off, bit)); err != nil {
+				if !errors.Is(err, trace.ErrTruncated) && !errors.Is(err, trace.ErrCorrupt) {
+					t.Fatalf("flip %d.%d escaped the taxonomy: %v", off, bit, err)
+				}
+			}
+		}
+		if _, err := trace.ReadEvents(faultinject.ErrorAt(bytes.NewReader(raw), off, io.EOF)); err == nil {
+			t.Fatalf("truncation at %d undetected", off)
+		}
+	}
+}
+
+// TestLatencyReaderDelivers checks the latency shim slows but does not
+// alter the stream.
+func TestLatencyReaderDelivers(t *testing.T) {
+	tr := sampleTrace(64)
+	raw := encode(t, tr)
+	start := time.Now()
+	got, err := trace.ReadBranches(faultinject.Latency(faultinject.ShortReader(bytes.NewReader(raw), 32), 100*time.Microsecond))
+	if err != nil || len(got) != len(tr) {
+		t.Fatalf("latency read: %d elements, err %v", len(got), err)
+	}
+	if time.Since(start) == 0 {
+		t.Error("latency shim added no delay")
+	}
+}
+
+// TestScannerSurvivesChaos runs the streaming scanner over truncated and
+// corrupted streams: Scan must return false with a typed Err, never hang
+// or panic.
+func TestScannerSurvivesChaos(t *testing.T) {
+	tr := sampleTrace(200)
+	raw := encode(t, tr)
+	s := trace.NewBranchScanner(faultinject.ErrorAt(bytes.NewReader(raw), int64(len(raw)/3), io.EOF))
+	n := 0
+	for s.Scan() {
+		n++
+	}
+	if s.Err() == nil {
+		t.Fatal("truncated scan reported no error")
+	}
+	if !errors.Is(s.Err(), trace.ErrTruncated) {
+		t.Errorf("scanner err = %v, want ErrTruncated", s.Err())
+	}
+	if n == 0 || n >= len(tr) {
+		t.Errorf("scanner consumed %d of %d before the damage", n, len(tr))
+	}
+}
+
+// TestModelShimsPreserveDetectorOutput pins the shims' pass-through
+// behaviour: a hooked/slow model that never fires its fault must produce
+// the exact phases of the unwrapped model, on both entry paths.
+func TestModelShimsPreserveDetectorOutput(t *testing.T) {
+	var tr trace.Trace
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 150; i++ {
+			tr = append(tr, trace.MakeBranch(uint32(r), i%7, true))
+		}
+	}
+	mk := func(wrap func(core.Model) core.Model) *core.Detector {
+		m := core.NewSetModel(core.UnweightedModel, 20, 20, core.ConstantTW, core.AnchorRN, core.ResizeSlide)
+		return core.NewDetector(wrap(m), core.NewThreshold(0.6), 1)
+	}
+	plain := mk(func(m core.Model) core.Model { return m })
+	core.RunTraceInterned(plain, trace.Intern(tr))
+	for name, wrap := range map[string]func(core.Model) core.Model{
+		"hook":  func(m core.Model) core.Model { return faultinject.NewHookModel(m, func(int) {}) },
+		"slow":  func(m core.Model) core.Model { return faultinject.NewSlowModel(m, 0) },
+		"panic": func(m core.Model) core.Model { return faultinject.NewPanicModel(m, 1<<30, "never") },
+		"stall": func(m core.Model) core.Model { return faultinject.NewStallModel(m, 1<<30, nil) },
+	} {
+		d := mk(wrap)
+		core.RunTraceInterned(d, trace.Intern(tr))
+		if len(d.Phases()) != len(plain.Phases()) {
+			t.Fatalf("%s: %d phases vs %d", name, len(d.Phases()), len(plain.Phases()))
+		}
+		for i, p := range plain.Phases() {
+			if d.Phases()[i] != p {
+				t.Fatalf("%s: phase %d diverges", name, i)
+			}
+		}
+		// Branch path too.
+		db := mk(wrap)
+		core.RunTrace(db, tr)
+		if len(db.Phases()) != len(plain.Phases()) {
+			t.Fatalf("%s (branch path): %d phases vs %d", name, len(db.Phases()), len(plain.Phases()))
+		}
+	}
+}

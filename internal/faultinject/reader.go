@@ -1,0 +1,101 @@
+// Package faultinject provides chaos wrappers for the pipeline's failure
+// modes: io.Reader shims that truncate, corrupt, slow down, or fail a
+// byte stream at a chosen point, and core.Model shims that panic or stall
+// mid-sweep. The package exists for tests — it is how the repository
+// proves that hardened ingestion (internal/trace) and the panic-isolated,
+// cancellable sweep engine (internal/sweep) degrade gracefully under
+// every failure mode — but the wrappers are ordinary readers/models and
+// work anywhere an io.Reader or core.Model does.
+package faultinject
+
+import (
+	"io"
+	"time"
+)
+
+// ShortReader wraps r so every Read returns at most max bytes, forcing
+// consumers through the partial-read paths that full-buffer reads never
+// exercise. max < 1 is treated as 1.
+func ShortReader(r io.Reader, max int) io.Reader {
+	if max < 1 {
+		max = 1
+	}
+	return &shortReader{r: r, max: max}
+}
+
+type shortReader struct {
+	r   io.Reader
+	max int
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) > s.max {
+		p = p[:s.max]
+	}
+	return s.r.Read(p)
+}
+
+// ErrorAt wraps r so the stream yields its first off bytes faithfully and
+// then returns err forever — an injected I/O failure at a precise byte
+// position. With err == io.EOF the wrapper truncates the stream instead.
+func ErrorAt(r io.Reader, off int64, err error) io.Reader {
+	return &errorAtReader{r: r, remaining: off, err: err}
+}
+
+type errorAtReader struct {
+	r         io.Reader
+	remaining int64
+	err       error
+}
+
+func (e *errorAtReader) Read(p []byte) (int, error) {
+	if e.remaining <= 0 {
+		return 0, e.err
+	}
+	if int64(len(p)) > e.remaining {
+		p = p[:e.remaining]
+	}
+	n, err := e.r.Read(p)
+	e.remaining -= int64(n)
+	return n, err
+}
+
+// FlipBit wraps r so bit bit (0–7) of the byte at offset off arrives
+// inverted — a single-bit corruption at a precise position. Offsets past
+// the end of the stream leave it unchanged.
+func FlipBit(r io.Reader, off int64, bit uint) io.Reader {
+	return &flipBitReader{r: r, off: off, mask: 1 << (bit & 7)}
+}
+
+type flipBitReader struct {
+	r    io.Reader
+	pos  int64
+	off  int64
+	mask byte
+}
+
+func (f *flipBitReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if i := f.off - f.pos; i >= 0 && i < int64(n) {
+		p[i] ^= f.mask
+	}
+	f.pos += int64(n)
+	return n, err
+}
+
+// Latency wraps r so every Read call sleeps d first — a slow producer
+// (cold storage, a congested socket) for exercising timeout and
+// cancellation paths.
+func Latency(r io.Reader, d time.Duration) io.Reader {
+	return &latencyReader{r: r, d: d}
+}
+
+type latencyReader struct {
+	r io.Reader
+	d time.Duration
+}
+
+func (l *latencyReader) Read(p []byte) (int, error) {
+	time.Sleep(l.d)
+	return l.r.Read(p)
+}

@@ -38,14 +38,22 @@ const (
 	MetricVMCalls    = "opd_vm_calls_total"
 	MetricVMLoops    = "opd_vm_loops_total"
 
-	MetricSweepRuns       = "opd_sweep_runs_total"
-	MetricSweepSimComps   = "opd_sweep_sim_computations_total"
-	MetricSweepElements   = "opd_sweep_elements_total"
-	MetricSweepRunSeconds = "opd_sweep_run_seconds"
-	MetricSweepInterned   = "opd_sweep_interned_elements_total"
-	MetricSweepSymbols    = "opd_sweep_interned_symbols"
-	MetricSweepPoolHits   = "opd_sweep_pool_hits_total"
-	MetricSweepPoolMisses = "opd_sweep_pool_misses_total"
+	MetricSweepRuns        = "opd_sweep_runs_total"
+	MetricSweepSimComps    = "opd_sweep_sim_computations_total"
+	MetricSweepElements    = "opd_sweep_elements_total"
+	MetricSweepRunSeconds  = "opd_sweep_run_seconds"
+	MetricSweepInterned    = "opd_sweep_interned_elements_total"
+	MetricSweepSymbols     = "opd_sweep_interned_symbols"
+	MetricSweepPoolHits    = "opd_sweep_pool_hits_total"
+	MetricSweepPoolMisses  = "opd_sweep_pool_misses_total"
+	MetricSweepRunErrors   = "opd_sweep_run_errors_total"
+	MetricSweepRunPanics   = "opd_sweep_run_panics_total"
+	MetricSweepRunsAborted = "opd_sweep_runs_aborted_total"
+
+	MetricTraceReads         = "opd_trace_reads_total"
+	MetricTraceReadErrors    = "opd_trace_read_errors_total"
+	MetricTraceSalvages      = "opd_trace_salvaged_reads_total"
+	MetricTraceSalvagedElems = "opd_trace_salvaged_elements_total"
 
 	MetricModelWindows    = "opd_model_windows_total"
 	MetricModelSimilarity = "opd_model_similarity_value"
@@ -328,6 +336,9 @@ type SweepProbe struct {
 	symbols    *Gauge
 	poolHits   *Counter
 	poolMisses *Counter
+	runErrors  *Counter
+	runPanics  *Counter
+	aborted    *Counter
 }
 
 // NewSweepProbe builds the sweep probe. Returns nil for a nil registry.
@@ -338,6 +349,9 @@ func NewSweepProbe(reg *Registry) *SweepProbe {
 	reg.Help(MetricSweepRunSeconds, "Wall-clock seconds of one detector configuration over one trace.")
 	reg.Help(MetricSweepInterned, "Elements interned into shared dense-ID streams (one hash pass per trace, amortized across every configuration).")
 	reg.Help(MetricSweepPoolHits, "Sweep-pool buffer acquisitions served from a recycled slice.")
+	reg.Help(MetricSweepRunErrors, "Sweep runs that failed (invalid config, or a panic recovered from detector code).")
+	reg.Help(MetricSweepRunPanics, "Sweep runs that panicked in detector/model code (isolated to their Run).")
+	reg.Help(MetricSweepRunsAborted, "Sweep runs abandoned because the sweep's context was cancelled.")
 	return &SweepProbe{
 		runs:       reg.Counter(MetricSweepRuns),
 		simComps:   reg.Counter(MetricSweepSimComps),
@@ -347,6 +361,9 @@ func NewSweepProbe(reg *Registry) *SweepProbe {
 		symbols:    reg.Gauge(MetricSweepSymbols),
 		poolHits:   reg.Counter(MetricSweepPoolHits),
 		poolMisses: reg.Counter(MetricSweepPoolMisses),
+		runErrors:  reg.Counter(MetricSweepRunErrors),
+		runPanics:  reg.Counter(MetricSweepRunPanics),
+		aborted:    reg.Counter(MetricSweepRunsAborted),
 	}
 }
 
@@ -371,6 +388,26 @@ func (p *SweepProbe) Interned(elements, symbols int64) {
 	p.symbols.Set(float64(symbols))
 }
 
+// RunError records one failed run; panicked marks failures that were
+// recovered panics rather than ordinary errors.
+func (p *SweepProbe) RunError(panicked bool) {
+	if p == nil {
+		return
+	}
+	p.runErrors.Inc()
+	if panicked {
+		p.runPanics.Inc()
+	}
+}
+
+// RunAborted records one run abandoned by sweep cancellation.
+func (p *SweepProbe) RunAborted() {
+	if p == nil {
+		return
+	}
+	p.aborted.Inc()
+}
+
 // PoolStats folds one sweep pool's final buffer-reuse counters into the
 // cumulative totals.
 func (p *SweepProbe) PoolStats(hits, misses int64) {
@@ -379,6 +416,53 @@ func (p *SweepProbe) PoolStats(hits, misses int64) {
 	}
 	p.poolHits.Add(hits)
 	p.poolMisses.Add(misses)
+}
+
+// An IngestProbe instruments trace ingestion: reads attempted, reads that
+// failed, and lenient-mode salvages (damaged streams whose valid prefix
+// was kept), surfaced on /debug/phasedet alongside the sweep counters.
+type IngestProbe struct {
+	reads         *Counter
+	readErrors    *Counter
+	salvages      *Counter
+	salvagedElems *Counter
+}
+
+// NewIngestProbe builds the ingestion probe. Returns nil for a nil
+// registry.
+func NewIngestProbe(reg *Registry) *IngestProbe {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(MetricTraceReadErrors, "Trace reads that failed (truncated, corrupt, or I/O error).")
+	reg.Help(MetricTraceSalvages, "Damaged traces whose valid prefix was salvaged in lenient mode.")
+	return &IngestProbe{
+		reads:         reg.Counter(MetricTraceReads),
+		readErrors:    reg.Counter(MetricTraceReadErrors),
+		salvages:      reg.Counter(MetricTraceSalvages),
+		salvagedElems: reg.Counter(MetricTraceSalvagedElems),
+	}
+}
+
+// Read records one attempted trace read; failed marks it unsuccessful.
+func (p *IngestProbe) Read(failed bool) {
+	if p == nil {
+		return
+	}
+	p.reads.Inc()
+	if failed {
+		p.readErrors.Inc()
+	}
+}
+
+// Salvaged records one lenient-mode salvage that kept elements elements of
+// a damaged stream.
+func (p *IngestProbe) Salvaged(elements int64) {
+	if p == nil {
+		return
+	}
+	p.salvages.Inc()
+	p.salvagedElems.Add(elements)
 }
 
 // A ModelProbe instruments a custom similarity model from

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadBranches feeds arbitrary bytes to both branch readers. The
+// invariants: no panic, no unbounded allocation (the prealloc cap makes a
+// 16-byte stream claiming 2^60 elements harmless), every failure lands in
+// the error taxonomy, and whatever decodes round-trips through
+// WriteBranches back to an identical stream of elements.
+func FuzzReadBranches(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteBranches(&seed, Trace{
+		MakeBranch(1, 0, true),
+		MakeBranch(2, 16, false),
+		MakeBranch(1, 0, true),
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:9])             // truncated mid-body
+	f.Add([]byte("OPDBRNC1"))           // magic only, no count
+	f.Add([]byte("not a trace at all")) // bad magic
+	f.Add([]byte{})                     // empty
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBranches(bytes.NewReader(data))
+		if err != nil {
+			if tr != nil {
+				t.Fatal("strict reader returned elements alongside an error")
+			}
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error escaped the taxonomy: %v", err)
+			}
+		} else {
+			var rt bytes.Buffer
+			if werr := WriteBranches(&rt, tr); werr != nil {
+				t.Fatalf("re-encode: %v", werr)
+			}
+			tr2, rerr := ReadBranches(&rt)
+			if rerr != nil || len(tr2) != len(tr) {
+				t.Fatalf("round-trip: %d vs %d elements, err %v", len(tr2), len(tr), rerr)
+			}
+			for i := range tr {
+				if tr[i] != tr2[i] {
+					t.Fatalf("round-trip element %d diverges", i)
+				}
+			}
+		}
+
+		salvaged, lerr := ReadBranchesLenient(bytes.NewReader(data))
+		if err == nil && lerr != nil {
+			t.Fatalf("lenient failed where strict succeeded: %v", lerr)
+		}
+		if lerr != nil && !errors.Is(lerr, ErrTruncated) && !errors.Is(lerr, ErrCorrupt) {
+			t.Fatalf("lenient error escaped the taxonomy: %v", lerr)
+		}
+		// The salvaged prefix must itself be writable.
+		if len(salvaged) > 0 {
+			if werr := WriteBranches(&bytes.Buffer{}, salvaged); werr != nil {
+				t.Fatalf("salvaged prefix does not re-encode: %v", werr)
+			}
+		}
+	})
+}
+
+// FuzzReadEvents is the event-stream twin of FuzzReadBranches. Event
+// decoding additionally validates the kind byte and the method-ID bound,
+// so corrupt inputs have more ways to fail — all of which must stay
+// inside the taxonomy.
+func FuzzReadEvents(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteEvents(&seed, Events{
+		{Kind: MethodEnter, ID: 1, Time: 0},
+		{Kind: LoopEnter, ID: 7, Time: 3},
+		{Kind: LoopExit, ID: 7, Time: 40},
+		{Kind: MethodExit, ID: 1, Time: 55},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:10])
+	f.Add([]byte("OPDEVNT1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		es, err := ReadEvents(bytes.NewReader(data))
+		if err != nil {
+			if es != nil {
+				t.Fatal("strict reader returned events alongside an error")
+			}
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error escaped the taxonomy: %v", err)
+			}
+		} else {
+			for i, e := range es {
+				if !e.Kind.Valid() {
+					t.Fatalf("event %d decoded with invalid kind %d", i, e.Kind)
+				}
+			}
+			var rt bytes.Buffer
+			if werr := WriteEvents(&rt, es); werr != nil {
+				t.Fatalf("re-encode: %v", werr)
+			}
+			es2, rerr := ReadEvents(&rt)
+			if rerr != nil || len(es2) != len(es) {
+				t.Fatalf("round-trip: %d vs %d events, err %v", len(es2), len(es), rerr)
+			}
+			for i := range es {
+				if es[i] != es2[i] {
+					t.Fatalf("round-trip event %d diverges", i)
+				}
+			}
+		}
+
+		salvaged, lerr := ReadEventsLenient(bytes.NewReader(data))
+		if err == nil && lerr != nil {
+			t.Fatalf("lenient failed where strict succeeded: %v", lerr)
+		}
+		if lerr != nil && !errors.Is(lerr, ErrTruncated) && !errors.Is(lerr, ErrCorrupt) {
+			t.Fatalf("lenient error escaped the taxonomy: %v", lerr)
+		}
+		for i, e := range salvaged {
+			if !e.Kind.Valid() {
+				t.Fatalf("salvaged event %d has invalid kind %d", i, e.Kind)
+			}
+		}
+	})
+}

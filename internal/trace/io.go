@@ -17,9 +17,128 @@ var (
 	eventMagic  = [8]byte{'O', 'P', 'D', 'E', 'V', 'N', 'T', '1'}
 )
 
-// ErrBadMagic reports that a reader was handed a stream that is not the
-// expected trace format.
-var ErrBadMagic = errors.New("trace: bad magic: not a trace stream or wrong trace kind")
+// The reader error taxonomy. Every decode failure wraps exactly one of the
+// two roots, so callers branch on the *shape* of the damage without
+// string-matching:
+//
+//   - ErrTruncated: the stream ended before the header's element count was
+//     satisfied — the bytes present decoded fine. A truncated trace has a
+//     trustworthy valid prefix (partial copies, interrupted writers).
+//   - ErrCorrupt: the bytes present are not a well-formed trace — wrong
+//     magic, an overlong varint, an invalid event kind, an overflowing
+//     method ID. Nothing after the damage point can be trusted.
+//
+// Both arrive wrapped in a *FormatError carrying the byte offset and the
+// element index where decoding stopped.
+var (
+	// ErrTruncated reports a stream that ended mid-trace.
+	ErrTruncated = errors.New("trace: truncated stream")
+	// ErrCorrupt reports a stream whose bytes are not a well-formed trace.
+	ErrCorrupt = errors.New("trace: corrupt stream")
+	// ErrBadMagic reports that a reader was handed a stream that is not the
+	// expected trace format. It is a corruption: errors.Is(err, ErrCorrupt)
+	// also holds for every bad-magic error.
+	ErrBadMagic = fmt.Errorf("%w: bad magic: not a trace stream or wrong trace kind", ErrCorrupt)
+)
+
+// A FormatError describes where and how decoding a trace stream failed.
+// It wraps ErrTruncated or ErrCorrupt (and, through them, any underlying
+// I/O error), so errors.Is works against the taxonomy roots.
+type FormatError struct {
+	// Offset is the byte offset into the stream at which the damage was
+	// detected (the position after the last successfully decoded byte).
+	Offset int64
+	// Index is the element index being decoded when the failure occurred;
+	// equivalently, the number of elements that decoded cleanly before the
+	// damage. -1 means the header itself failed.
+	Index int64
+	// Err is the classified cause, wrapping ErrTruncated or ErrCorrupt.
+	Err error
+}
+
+// Error renders the damage location and cause.
+func (e *FormatError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("%v (byte offset %d, in header)", e.Err, e.Offset)
+	}
+	return fmt.Sprintf("%v (byte offset %d, element %d)", e.Err, e.Offset, e.Index)
+}
+
+// Unwrap exposes the classified cause for errors.Is / errors.As.
+func (e *FormatError) Unwrap() error { return e.Err }
+
+// maxPreallocBytes bounds how much memory a reader allocates up-front on
+// the strength of the header's element count alone. The count is untrusted
+// input: a 16-byte corrupt file can claim 2^60 elements, and preallocating
+// for it would demand gigabytes before the first element fails to decode.
+// Readers preallocate at most this many bytes' worth of elements and
+// append-grow against the actual stream contents beyond that.
+const maxPreallocBytes = 1 << 20
+
+// preallocElems caps an untrusted element count to the preallocation
+// budget for elements of the given byte size.
+func preallocElems(count uint64, elemBytes int) int {
+	max := uint64(maxPreallocBytes / elemBytes)
+	if count > max {
+		count = max
+	}
+	return int(count)
+}
+
+// offsetReader tracks the byte offset of a buffered reader so decode
+// errors can report where the stream went bad.
+type offsetReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (r *offsetReader) Read(p []byte) (int, error) {
+	n, err := r.br.Read(p)
+	r.off += int64(n)
+	return n, err
+}
+
+func (r *offsetReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.off++
+	}
+	return b, err
+}
+
+// classify maps a low-level decode error onto the taxonomy: EOF-family
+// errors are truncation (the stream simply stopped), anything else —
+// including the binary package's varint-overflow error — is corruption.
+func classify(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %w", ErrTruncated, err)
+	}
+	return fmt.Errorf("%w: %w", ErrCorrupt, err)
+}
+
+// formatErr builds the positioned error for a decode failure. cause must
+// already be classified (or be a taxonomy sentinel itself).
+func formatErr(r *offsetReader, index int64, cause error) *FormatError {
+	return &FormatError{Offset: r.off, Index: index, Err: cause}
+}
+
+// readHeader consumes and checks the magic, then decodes the element
+// count. A short or wrong magic, or an undecodable count, yields a
+// header-positioned FormatError.
+func readHeader(r *offsetReader, magic [8]byte, what string) (uint64, error) {
+	var got [8]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return 0, formatErr(r, -1, classify(fmt.Errorf("reading %s magic: %w", what, err)))
+	}
+	if got != magic {
+		return 0, formatErr(r, -1, ErrBadMagic)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, formatErr(r, -1, classify(fmt.Errorf("reading %s count: %w", what, err)))
+	}
+	return count, nil
+}
 
 // WriteBranches serializes a branch trace to w in the OPDBRNC1 format.
 func WriteBranches(w io.Writer, t Trace) error {
@@ -44,29 +163,56 @@ func WriteBranches(w io.Writer, t Trace) error {
 	return bw.Flush()
 }
 
-// ReadBranches deserializes a branch trace written by WriteBranches.
-func ReadBranches(r io.Reader) (Trace, error) {
-	br := bufio.NewReader(r)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading branch magic: %w", err)
-	}
-	if magic != branchMagic {
-		return nil, ErrBadMagic
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading branch count: %w", err)
-	}
-	t := make(Trace, 0, count)
+// decodeBranches decodes the branch stream after an already-validated
+// header, returning every element that decoded cleanly plus the positioned
+// error that stopped decoding (nil when the stream is intact).
+func decodeBranches(r *offsetReader, count uint64) (Trace, error) {
+	t := make(Trace, 0, preallocElems(count, 8))
 	var prev uint64
 	for i := uint64(0); i < count; i++ {
-		d, err := binary.ReadVarint(br)
+		d, err := binary.ReadVarint(r)
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading branch %d: %w", i, err)
+			return t, formatErr(r, int64(i), classify(fmt.Errorf("reading branch %d: %w", i, err)))
 		}
 		prev += uint64(d)
 		t = append(t, Branch(prev))
+	}
+	return t, nil
+}
+
+// ReadBranches deserializes a branch trace written by WriteBranches. The
+// header's element count is treated as untrusted: preallocation is
+// bounded, and a count the stream cannot satisfy yields a *FormatError
+// wrapping ErrTruncated (or ErrCorrupt for malformed bytes) with the byte
+// offset of the damage. See ReadBranchesLenient for salvaging.
+func ReadBranches(r io.Reader) (Trace, error) {
+	or := &offsetReader{br: bufio.NewReader(r)}
+	count, err := readHeader(or, branchMagic, "branch")
+	if err != nil {
+		return nil, err
+	}
+	t, err := decodeBranches(or, count)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadBranchesLenient is ReadBranches in salvage mode: when the stream is
+// damaged mid-body, it returns the valid prefix (every element before the
+// damage point) together with the non-nil *FormatError describing the
+// damage, instead of discarding the prefix. The caller decides whether a
+// partial trace is acceptable. A bad or missing header salvages nothing.
+// err == nil means the trace was intact.
+func ReadBranchesLenient(r io.Reader) (Trace, error) {
+	or := &offsetReader{br: bufio.NewReader(r)}
+	count, err := readHeader(or, branchMagic, "branch")
+	if err != nil {
+		return nil, err
+	}
+	t, err := decodeBranches(or, count)
+	if err != nil {
+		return t, err
 	}
 	return t, nil
 }
@@ -101,43 +247,66 @@ func WriteEvents(w io.Writer, es Events) error {
 	return bw.Flush()
 }
 
-// ReadEvents deserializes a call-loop trace written by WriteEvents.
-func ReadEvents(r io.Reader) (Events, error) {
-	br := bufio.NewReader(r)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading event magic: %w", err)
-	}
-	if magic != eventMagic {
-		return nil, ErrBadMagic
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading event count: %w", err)
-	}
-	es := make(Events, 0, count)
+// decodeEvents decodes the event stream after an already-validated header,
+// returning every record that decoded cleanly plus the positioned error
+// that stopped decoding (nil when the stream is intact).
+func decodeEvents(r *offsetReader, count uint64) (Events, error) {
+	es := make(Events, 0, preallocElems(count, 16))
 	var prevTime int64
 	for i := uint64(0); i < count; i++ {
-		kind, err := br.ReadByte()
+		kind, err := r.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading event %d kind: %w", i, err)
+			return es, formatErr(r, int64(i), classify(fmt.Errorf("reading event %d kind: %w", i, err)))
 		}
 		if !EventKind(kind).Valid() {
-			return nil, fmt.Errorf("trace: event %d: invalid kind byte %d", i, kind)
+			return es, formatErr(r, int64(i), fmt.Errorf("%w: event %d: invalid kind byte %d", ErrCorrupt, i, kind))
 		}
-		id, err := binary.ReadUvarint(br)
+		id, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading event %d id: %w", i, err)
+			return es, formatErr(r, int64(i), classify(fmt.Errorf("reading event %d id: %w", i, err)))
 		}
 		if id > maxMethod {
-			return nil, fmt.Errorf("trace: event %d: id %d overflows uint32", i, id)
+			return es, formatErr(r, int64(i), fmt.Errorf("%w: event %d: id %d overflows uint32", ErrCorrupt, i, id))
 		}
-		dt, err := binary.ReadUvarint(br)
+		dt, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading event %d time: %w", i, err)
+			return es, formatErr(r, int64(i), classify(fmt.Errorf("reading event %d time: %w", i, err)))
 		}
 		prevTime += int64(dt)
 		es = append(es, Event{Kind: EventKind(kind), ID: uint32(id), Time: prevTime})
+	}
+	return es, nil
+}
+
+// ReadEvents deserializes a call-loop trace written by WriteEvents, with
+// the same untrusted-header and error-taxonomy guarantees as ReadBranches.
+func ReadEvents(r io.Reader) (Events, error) {
+	or := &offsetReader{br: bufio.NewReader(r)}
+	count, err := readHeader(or, eventMagic, "event")
+	if err != nil {
+		return nil, err
+	}
+	es, err := decodeEvents(or, count)
+	if err != nil {
+		return nil, err
+	}
+	return es, nil
+}
+
+// ReadEventsLenient is ReadEvents in salvage mode, with the same contract
+// as ReadBranchesLenient: on mid-body damage it returns the valid record
+// prefix plus the describing error. Note that a salvaged event trace may
+// end inside an open construct; Events.Validate will reject it, so lenient
+// callers that need well-nested events must trim or tolerate that.
+func ReadEventsLenient(r io.Reader) (Events, error) {
+	or := &offsetReader{br: bufio.NewReader(r)}
+	count, err := readHeader(or, eventMagic, "event")
+	if err != nil {
+		return nil, err
+	}
+	es, err := decodeEvents(or, count)
+	if err != nil {
+		return es, err
 	}
 	return es, nil
 }

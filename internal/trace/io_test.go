@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
@@ -163,6 +164,176 @@ func TestReadEventsBadKind(t *testing.T) {
 	b[9] = 0xFF
 	if _, err := ReadEvents(bytes.NewReader(b)); err == nil {
 		t.Error("corrupted kind byte not detected")
+	}
+}
+
+func TestReadBranchesTruncationIsTyped(t *testing.T) {
+	var buf bytes.Buffer
+	tr := Trace{MakeBranch(1, 2, true), MakeBranch(1, 3, false), MakeBranch(2, 9, true)}
+	if err := WriteBranches(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 9; cut < len(full); cut++ { // past the magic: damage is truncation
+		_, err := ReadBranches(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("cut at %d: err = %v, want *FormatError", cut, err)
+		}
+		if fe.Offset < 0 || fe.Offset > int64(cut) {
+			t.Errorf("cut at %d: damage offset %d outside stream", cut, fe.Offset)
+		}
+	}
+}
+
+func TestBadMagicIsCorrupt(t *testing.T) {
+	_, err := ReadBranches(bytes.NewReader([]byte("NOTATRACEFILE")))
+	if !errors.Is(err, ErrBadMagic) || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want both ErrBadMagic and ErrCorrupt", err)
+	}
+	if errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, must not be ErrTruncated", err)
+	}
+}
+
+func TestReadEventsBadKindIsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, Events{{MethodEnter, 1, 0}, {MethodExit, 1, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[9] = 0xFF // first record's kind byte (after magic + count varint)
+	_, err := ReadEvents(bytes.NewReader(b))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FormatError", err)
+	}
+	if fe.Index != 0 {
+		t.Errorf("damage at element %d, want 0", fe.Index)
+	}
+}
+
+// TestHugeHeaderCountBoundedAlloc hands the readers a tiny stream whose
+// header claims an astronomically large element count. The read must fail
+// with a typed truncation error without attempting to preallocate for the
+// claimed count.
+func TestHugeHeaderCountBoundedAlloc(t *testing.T) {
+	mk := func(magic [8]byte) []byte {
+		b := append([]byte{}, magic[:]...)
+		var buf [10]byte
+		n := binary.PutUvarint(buf[:], 1<<60) // ~exabytes' worth of elements
+		return append(b, buf[:n]...)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ReadBranches(bytes.NewReader(mk(branchMagic))); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("branches: err = %v, want ErrTruncated", err)
+		}
+	})
+	// The exact count is incidental; the point is it stays O(1) instead of
+	// one multi-gigabyte make (which would OOM long before returning).
+	if allocs > 50 {
+		t.Errorf("ReadBranches on huge-count header did %v allocs", allocs)
+	}
+	if _, err := ReadEvents(bytes.NewReader(mk(eventMagic))); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("events: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestReadBranchesBeyondPreallocCap checks a legitimate trace larger than
+// the preallocation budget still reads completely (append-grow covers it).
+func TestReadBranchesBeyondPreallocCap(t *testing.T) {
+	n := maxPreallocBytes/8 + 1000
+	tr := make(Trace, n)
+	for i := range tr {
+		tr[i] = MakeBranch(uint32(i%97), i%31, i%2 == 0)
+	}
+	var buf bytes.Buffer
+	if err := WriteBranches(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBranches(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("round-trip mismatch beyond prealloc cap")
+	}
+}
+
+func TestReadBranchesLenientSalvagesPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	tr := make(Trace, 100)
+	for i := range tr {
+		tr[i] = MakeBranch(uint32(i%5), i, i%2 == 0)
+	}
+	if err := WriteBranches(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Strict read of a truncated stream drops everything…
+	cut := full[:len(full)-7]
+	if got, err := ReadBranches(bytes.NewReader(cut)); err == nil || got != nil {
+		t.Fatalf("strict read of damaged stream: got %d elements, err %v", len(got), err)
+	}
+	// …the lenient read keeps the valid prefix and still reports the damage.
+	got, err := ReadBranchesLenient(bytes.NewReader(cut))
+	if err == nil {
+		t.Fatal("lenient read of damaged stream reported no error")
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+	if len(got) == 0 || len(got) >= len(tr) {
+		t.Fatalf("salvaged %d of %d elements", len(got), len(tr))
+	}
+	for i := range got {
+		if got[i] != tr[i] {
+			t.Fatalf("salvaged element %d = %v, want %v", i, got[i], tr[i])
+		}
+	}
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FormatError", err)
+	}
+	if fe.Index != int64(len(got)) {
+		t.Errorf("FormatError.Index = %d, want salvage count %d", fe.Index, len(got))
+	}
+	// An intact stream reads identically in both modes, with a nil error.
+	clean, err := ReadBranchesLenient(bytes.NewReader(full))
+	if err != nil || !reflect.DeepEqual(clean, tr) {
+		t.Errorf("lenient read of intact stream: %d elements, err %v", len(clean), err)
+	}
+}
+
+func TestReadEventsLenientSalvagesPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	es := Events{{MethodEnter, 1, 0}, {LoopEnter, 2, 3}, {LoopExit, 2, 9}, {MethodExit, 1, 12}}
+	if err := WriteEvents(&buf, es); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	b := append([]byte{}, full[:len(full)-2]...)
+	got, err := ReadEventsLenient(bytes.NewReader(b))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if len(got) == 0 || len(got) >= len(es) {
+		t.Fatalf("salvaged %d of %d events", len(got), len(es))
+	}
+	for i := range got {
+		if got[i] != es[i] {
+			t.Fatalf("salvaged event %d = %v, want %v", i, got[i], es[i])
+		}
+	}
+	// Lenient mode salvages nothing from a wrong-format stream.
+	if got, err := ReadEventsLenient(bytes.NewReader([]byte("OPDBRNC1junk"))); err == nil || got != nil {
+		t.Errorf("lenient read of wrong magic: %d events, err %v", len(got), err)
 	}
 }
 

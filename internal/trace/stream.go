@@ -95,7 +95,7 @@ func (s *BranchScanner) Scan() bool {
 		s.started = true
 		var magic [8]byte
 		if _, err := io.ReadFull(s.r, magic[:]); err != nil {
-			s.err = fmt.Errorf("trace: reading branch magic: %w", err)
+			s.err = fmt.Errorf("trace: reading branch magic: %w", classify(err))
 			return false
 		}
 		if magic != branchMagic {
@@ -104,7 +104,7 @@ func (s *BranchScanner) Scan() bool {
 		}
 		count, err := binary.ReadUvarint(s.r)
 		if err != nil {
-			s.err = fmt.Errorf("trace: reading branch count: %w", err)
+			s.err = fmt.Errorf("trace: reading branch count: %w", classify(err))
 			return false
 		}
 		s.remaining = count
@@ -114,7 +114,7 @@ func (s *BranchScanner) Scan() bool {
 	}
 	d, err := binary.ReadVarint(s.r)
 	if err != nil {
-		s.err = fmt.Errorf("trace: reading branch: %w", err)
+		s.err = fmt.Errorf("trace: reading branch: %w", classify(err))
 		return false
 	}
 	s.prev += uint64(d)
