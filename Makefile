@@ -11,16 +11,16 @@ test:
 	$(GO) test ./...
 
 # check is the pre-commit gate: formatting, static analysis, a full
-# build, the race detector over the concurrency-sensitive packages
-# (the lock-free telemetry registry, the detector core, the sweep
-# engine's shared-stream workers, and the fault-injection harness), and
-# a short fuzz of the trace readers.
+# build, the race detector over every package (the streaming server
+# made concurrency repo-wide: sessions, the janitor, SSE subscribers,
+# and the e2e tests all race against each other), and a short fuzz of
+# the trace readers.
 check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/sweep/... ./internal/faultinject/...
+	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 
 # fuzz-smoke runs each trace-reader fuzz target briefly (the Go fuzzer
@@ -32,13 +32,15 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadEvents -fuzztime=5s ./internal/trace
 
 bench:
-	$(GO) test -bench . -benchtime 1s -run '^$$' ./internal/core/... ./internal/sweep/... ./internal/telemetry/...
+	$(GO) test -bench . -benchtime 1s -run '^$$' ./internal/core/... ./internal/sweep/... ./internal/telemetry/... ./internal/serve/...
 
 # bench-smoke compiles and runs every benchmark in the repository once —
 # a fast regression gate that benchmarks still build and complete.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# bench-json regenerates the checked-in sweep engine benchmark record.
+# bench-json regenerates the checked-in benchmark records: the sweep
+# engine comparison and the streaming-server ingest overhead.
 bench-json:
 	$(GO) run ./cmd/phasebench -bench-json BENCH_sweep.json
+	$(GO) run ./cmd/phasebench -bench-serve-json BENCH_serve.json

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"opd/internal/core"
+	"opd/internal/serve"
+	"opd/internal/trace"
+)
+
+// serveBenchConfig is the serving benchmark's detector configuration:
+// the adaptive default from the paper's recommended region.
+var serveBenchConfig = core.Config{CWSize: 500, SkipFactor: 1, TW: core.AdaptiveTW,
+	Anchor: core.AnchorRN, Resize: core.ResizeSlide,
+	Model: core.UnweightedModel, Analyzer: core.ThresholdAnalyzer, Param: 0.6}
+
+// serveChunkResult compares HTTP ingest against the direct detector feed
+// for one chunk size.
+type serveChunkResult struct {
+	ChunkElems        int     `json:"chunk_elems"`
+	Chunks            int     `json:"chunks"`
+	HTTPWallNS        int64   `json:"http_wall_ns"`
+	HTTPElemsPerSec   float64 `json:"http_elements_per_sec"`
+	DirectWallNS      int64   `json:"direct_wall_ns"`
+	DirectElemsPerSec float64 `json:"direct_elements_per_sec"`
+	// Overhead is http wall / direct wall: the full cost of the serving
+	// stack (HTTP round trip + wire decode + session locking) per chunk
+	// size, as a multiple of the bare detector.
+	Overhead float64 `json:"overhead"`
+}
+
+// serveBenchRecord is the machine-readable record written by
+// -bench-serve-json.
+type serveBenchRecord struct {
+	GoVersion string             `json:"go_version"`
+	GOARCH    string             `json:"goarch"`
+	Config    string             `json:"config"`
+	Elements  int                `json:"elements"`
+	Results   []serveChunkResult `json:"results"`
+}
+
+// runBenchServeJSON measures the streaming server's ingest overhead: the
+// benchTrace workload is streamed to an in-process phased server over
+// real HTTP at several chunk sizes, against the same workload fed
+// straight through core.ProcessBatch, and the comparison is written as
+// JSON to path ("-" for stdout).
+func runBenchServeJSON(path string) error {
+	const elems = 1 << 19
+	tr := benchTrace(elems, 30, 80)
+
+	srv := serve.NewServer(serve.Options{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + srv.Addr()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	rec := serveBenchRecord{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Config:    serveBenchConfig.ID(),
+		Elements:  len(tr),
+	}
+	for _, chunk := range []int{1024, 16384, 65536} {
+		// Pre-encode the wire chunks so only ingest is measured.
+		var payload [][]byte
+		for i := 0; i < len(tr); i += chunk {
+			end := i + chunk
+			if end > len(tr) {
+				end = len(tr)
+			}
+			var buf bytes.Buffer
+			if err := trace.WriteBranches(&buf, tr[i:end]); err != nil {
+				return err
+			}
+			payload = append(payload, buf.Bytes())
+		}
+
+		id, err := openBenchSession(client, base)
+		if err != nil {
+			return err
+		}
+		httpWall, _, _ := measure(func() {
+			for _, p := range payload {
+				resp, err := client.Post(base+"/v1/sessions/"+id+"/elements",
+					"application/octet-stream", bytes.NewReader(p))
+				if err != nil {
+					panic(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("phasebench: serve ingest: status %d", resp.StatusCode))
+				}
+				resp.Body.Close()
+			}
+		})
+		req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
+		if resp, err := client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+
+		directWall, _, _ := measure(func() {
+			d := serveBenchConfig.MustNew()
+			for i := 0; i < len(tr); i += chunk {
+				end := i + chunk
+				if end > len(tr) {
+					end = len(tr)
+				}
+				d.ProcessBatch(tr[i:end])
+			}
+			d.Finish()
+		})
+
+		rec.Results = append(rec.Results, serveChunkResult{
+			ChunkElems:        chunk,
+			Chunks:            len(payload),
+			HTTPWallNS:        httpWall.Nanoseconds(),
+			HTTPElemsPerSec:   float64(len(tr)) / httpWall.Seconds(),
+			DirectWallNS:      directWall.Nanoseconds(),
+			DirectElemsPerSec: float64(len(tr)) / directWall.Seconds(),
+			Overhead:          httpWall.Seconds() / directWall.Seconds(),
+		})
+		fmt.Fprintf(os.Stderr, "phasebench: serve chunk %5d: http %.3fs, direct %.3fs (%.1fx overhead)\n",
+			chunk, httpWall.Seconds(), directWall.Seconds(), httpWall.Seconds()/directWall.Seconds())
+	}
+
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// openBenchSession opens a phased session for the benchmark config.
+func openBenchSession(client *http.Client, base string) (string, error) {
+	body, err := json.Marshal(serve.ConfigRequest{CW: serveBenchConfig.CWSize, Policy: "adaptive"})
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var opened struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&opened); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusCreated || opened.ID == "" {
+		return "", fmt.Errorf("phasebench: opening serve session: status %d", resp.StatusCode)
+	}
+	return opened.ID, nil
+}

@@ -127,11 +127,19 @@ func main() {
 		telAddr = flag.String("telemetry-addr", "", "serve the live "+telemetry.DebugPath+" debug surface on this address (\":0\" picks a port)")
 		telDump = flag.Bool("telemetry-dump", false, "print the telemetry report and detector execution summary at end of run")
 		benchTo = flag.String("bench-json", "", "benchmark the sweep engines (map vs shared-intern) per config family and write the JSON record to this path (\"-\" = stdout), then exit")
+		serveTo = flag.String("bench-serve-json", "", "benchmark streaming-server HTTP ingest against the direct detector feed across chunk sizes and write the JSON record to this path (\"-\" = stdout), then exit")
 	)
 	flag.Parse()
 
 	if *benchTo != "" {
 		if err := runBenchJSON(*benchTo, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "phasebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveTo != "" {
+		if err := runBenchServeJSON(*serveTo); err != nil {
 			fmt.Fprintln(os.Stderr, "phasebench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,89 @@
+// Phased is the multi-tenant streaming phase-detection server: a
+// long-running HTTP service where each client session owns a live online
+// phase detector (a configurable window/model/analyzer triple), fed
+// incrementally with binary trace chunks, with phase-change events
+// delivered by polling or as a live SSE stream.
+//
+// Usage:
+//
+//	phased -addr :8080
+//
+// Open a session, stream elements, watch events:
+//
+//	curl -s -X POST localhost:8080/v1/sessions -d '{"cw":500,"policy":"adaptive"}'
+//	curl -s --data-binary @chunk.branches localhost:8080/v1/sessions/<id>/elements
+//	curl -N localhost:8080/v1/sessions/<id>/events?stream=1
+//	curl -s -X DELETE localhost:8080/v1/sessions/<id>
+//
+// Limits: -max-sessions live sessions (429 beyond), -max-window profile
+// elements of window memory per session (413 beyond), -max-chunk bytes
+// per ingest request (413 beyond). Idle sessions are evicted after
+// -idle-timeout (their open phases flushed); -max-age is a hard TTL.
+//
+// Telemetry is always on: /metrics (Prometheus) and /debug/phasedet
+// (Prometheus/JSON + the phase-event ring) are mounted on the same mux.
+//
+// SIGTERM/SIGINT shut down gracefully: new sessions are refused, every
+// live session is finished — buffered partial groups applied and open
+// phases flushed — and in-flight requests drain within -shutdown-grace.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"opd/internal/serve"
+	"opd/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+		maxSess    = flag.Int("max-sessions", 1024, "maximum live sessions; opens beyond this are rejected with 429")
+		maxWindow  = flag.Int("max-window", 1<<20, "maximum window memory per session in profile elements (CW+TW); larger configs are rejected with 413")
+		maxChunk   = flag.Int64("max-chunk", 8<<20, "maximum ingest request body in bytes; larger chunks are rejected with 413")
+		idle       = flag.Duration("idle-timeout", 5*time.Minute, "evict sessions idle this long, flushing their open phases (negative disables)")
+		maxAge     = flag.Duration("max-age", 0, "hard session TTL regardless of activity (0 disables)")
+		sweepEvery = flag.Duration("sweep-interval", 15*time.Second, "eviction janitor period")
+		maxEvents  = flag.Int("max-events", 65536, "phase events retained per session for polling")
+		grace      = flag.Duration("shutdown-grace", 10*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	srv := serve.NewServer(serve.Options{
+		MaxSessions:       *maxSess,
+		MaxWindowElems:    *maxWindow,
+		MaxChunkBytes:     *maxChunk,
+		IdleTimeout:       *idle,
+		MaxAge:            *maxAge,
+		SweepInterval:     *sweepEvery,
+		MaxEventsRetained: *maxEvents,
+		Registry:          reg,
+	})
+	if err := srv.Start(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "phased:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "phased: listening on %s\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "phased: telemetry at http://%s%s and /metrics\n", srv.Addr(), telemetry.DebugPath)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills immediately
+
+	fmt.Fprintln(os.Stderr, "phased: shutting down, flushing open sessions")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "phased: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "phased: bye")
+}

@@ -1,11 +1,22 @@
 package opd
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
+
+	"opd/internal/trace"
 )
 
 // buildCmds compiles the repository's executables once per test run and
@@ -13,7 +24,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"tracegen", "baseline", "detect", "phasebench", "vmrun"} {
+	for _, name := range []string{"tracegen", "baseline", "detect", "phasebench", "vmrun", "phased"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "./cmd/"+name)
 		cmd.Env = os.Environ()
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -120,5 +131,192 @@ func TestCommandLineTools(t *testing.T) {
 	}
 	if !strings.Contains(vmCFG, "executed: 722 dynamic branches") {
 		t.Errorf("vmrun -inline changed semantics:\n%s", vmCFG)
+	}
+}
+
+// phasePattern matches one detected-phase line of `detect -phases`:
+//
+//	phase   0: [1200,4800) (len 3600)
+var phasePattern = regexp.MustCompile(`phase\s+\d+: \[(\d+),(\d+)\) \(len \d+\)`)
+
+// TestPhasedServerE2E exercises the streaming server end to end as a
+// black box: a tracegen workload streamed to a phased process in uneven
+// chunks must yield exactly the phases the offline detect command finds,
+// and SIGTERM must shut the server down cleanly while a session with an
+// open phase is still live.
+func TestPhasedServerE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the executables")
+	}
+	bins := buildCmds(t)
+	prefix := filepath.Join(t.TempDir(), "jlex")
+	runCmd(t, filepath.Join(bins, "tracegen"), "-bench", "jlex", "-scale", "2", "-out", prefix)
+
+	// The offline ground truth: anchor-corrected phases from cmd/detect.
+	detOut := runCmd(t, filepath.Join(bins, "detect"),
+		"-trace", prefix, "-cw", "500", "-policy", "adaptive", "-phases", "-adjusted")
+	wantPhases := phasePattern.FindAllStringSubmatch(detOut, -1)
+	if len(wantPhases) == 0 {
+		t.Fatalf("detect found no phases:\n%s", detOut)
+	}
+
+	// Start phased on an ephemeral port and wait for its listen line.
+	srv := exec.Command(filepath.Join(bins, "phased"), "-addr", "127.0.0.1:0")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+	var logMu sync.Mutex
+	var logBuf bytes.Buffer
+	logs := func() string {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return logBuf.String()
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			logBuf.WriteString(line + "\n")
+			logMu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "phased: listening on "); ok {
+				addrCh <- rest
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("phased did not report a listen address")
+	}
+
+	// Load the trace the server will be fed.
+	f, err := os.Open(prefix + ".branches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := trace.ReadBranches(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open a session with the same configuration as the detect run.
+	resp, err := http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"cw":500,"policy":"adaptive"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opened struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&opened); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || opened.ID == "" {
+		t.Fatalf("open session: status %d id %q", resp.StatusCode, opened.ID)
+	}
+
+	// Stream the trace in uneven chunks, each a self-contained binary
+	// trace message.
+	sizes := []int{1, 997, 4096, 13, 2048, 65536}
+	for i, k := 0, 0; i < len(branches); k++ {
+		end := i + sizes[k%len(sizes)]
+		if end > len(branches) {
+			end = len(branches)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteBranches(&buf, branches[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		cresp, err := http.Post(base+"/v1/sessions/"+opened.ID+"/elements",
+			"application/octet-stream", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cresp.Body.Close()
+		if cresp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk at %d: status %d", i, cresp.StatusCode)
+		}
+		i = end
+	}
+
+	// Close the session; its summary must match the offline phases.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+opened.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Consumed       int64 `json:"consumed"`
+		AdjustedPhases []struct {
+			Start int64 `json:"start"`
+			End   int64 `json:"end"`
+		} `json:"adjusted_phases"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if sum.Consumed != int64(len(branches)) {
+		t.Errorf("consumed %d, want %d", sum.Consumed, len(branches))
+	}
+	if len(sum.AdjustedPhases) != len(wantPhases) {
+		t.Fatalf("streamed %d phases, detect found %d:\n%s\nphased log:\n%s",
+			len(sum.AdjustedPhases), len(wantPhases), detOut, logs())
+	}
+	for i, p := range sum.AdjustedPhases {
+		want := fmt.Sprintf("[%s,%s)", wantPhases[i][1], wantPhases[i][2])
+		if got := fmt.Sprintf("[%d,%d)", p.Start, p.End); got != want {
+			t.Errorf("phase %d: streamed %s, detect %s", i, got, want)
+		}
+	}
+
+	// Leave a session with an open phase live, then SIGTERM: the server
+	// must flush it and exit cleanly.
+	resp2, err := http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"cw":500}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&opened); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	var buf bytes.Buffer
+	if err := trace.WriteBranches(&buf, branches[:4000]); err != nil {
+		t.Fatal(err)
+	}
+	cresp, err := http.Post(base+"/v1/sessions/"+opened.ID+"/elements",
+		"application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("phased exited uncleanly: %v\nlog:\n%s", err, logs())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("phased did not exit on SIGTERM\nlog:\n%s", logs())
+	}
+	if !strings.Contains(logs(), "flushing open sessions") {
+		t.Errorf("phased log missing graceful-shutdown line:\n%s", logs())
 	}
 }

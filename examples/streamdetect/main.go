@@ -1,0 +1,197 @@
+// Streamdetect demonstrates the streaming phase-detection service end to
+// end: it generates a synthetic workload with the internal/synth
+// generators, opens a session on a phased server (an in-process one by
+// default, or a remote one via -addr), streams the branch trace to it in
+// chunks over the binary wire format, and prints phase-change events live
+// as the SSE stream delivers them.
+//
+//	go run ./examples/streamdetect
+//	go run ./examples/streamdetect -bench mpegaudio -scale 4 -chunk 2048
+//	go run ./examples/streamdetect -addr localhost:8080   # external phased
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"opd/internal/serve"
+	"opd/internal/synth"
+	"opd/internal/telemetry"
+	"opd/internal/trace"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "jlex", "synthetic benchmark to stream")
+		scale    = flag.Int("scale", 2, "workload scale")
+		chunk    = flag.Int("chunk", 4096, "elements per streamed chunk")
+		addr     = flag.String("addr", "", "phased server address; empty starts one in-process")
+		cw       = flag.Int("cw", 500, "current window size")
+		policy   = flag.String("policy", "adaptive", "trailing window policy: constant | adaptive | fixedinterval")
+		model    = flag.String("model", "unweighted", "similarity model: unweighted | weighted")
+		analyzer = flag.String("analyzer", "threshold", "analyzer: threshold | average")
+		param    = flag.Float64("param", 0.6, "analyzer parameter")
+	)
+	flag.Parse()
+
+	branches, _, err := synth.Run(*bench, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %s scale %d — %d dynamic branches, streamed in chunks of %d\n",
+		*bench, *scale, len(branches), *chunk)
+
+	base := *addr
+	if base == "" {
+		srv := serve.NewServer(serve.Options{Registry: telemetry.NewRegistry()})
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		base = srv.Addr()
+		fmt.Printf("phased:   in-process server on %s\n", base)
+	}
+	base = "http://" + base
+
+	// Open a session with the window/model/analyzer triple.
+	req := serve.ConfigRequest{CW: *cw, Policy: *policy, Model: *model, Analyzer: *analyzer, Param: *param}
+	var opened struct {
+		ID     string `json:"id"`
+		Config string `json:"config"`
+	}
+	if err := postJSON(base+"/v1/sessions", req, &opened); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("session:  %s (%s)\n\n", opened.ID[:8], opened.Config)
+
+	// Watch the live SSE event stream in the background.
+	sseDone := make(chan struct{})
+	go watchEvents(base+"/v1/sessions/"+opened.ID+"/events?stream=1", sseDone)
+
+	// Stream the trace: each chunk is one self-contained binary trace
+	// message (what `tracegen` writes, just smaller).
+	client := &http.Client{Timeout: 30 * time.Second}
+	for i := 0; i < len(branches); i += *chunk {
+		end := i + *chunk
+		if end > len(branches) {
+			end = len(branches)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteBranches(&buf, branches[i:end]); err != nil {
+			fatal(err)
+		}
+		resp, err := client.Post(base+"/v1/sessions/"+opened.ID+"/elements",
+			"application/octet-stream", &buf)
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			var eb struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&eb)
+			resp.Body.Close()
+			fatal(fmt.Errorf("chunk at %d: %s: %s", i, resp.Status, eb.Error))
+		}
+		resp.Body.Close()
+	}
+
+	// Finish: flushes the open phase and returns the offline-identical
+	// summary.
+	var sum serve.Summary
+	if err := do(client, http.MethodDelete, base+"/v1/sessions/"+opened.ID, &sum); err != nil {
+		fatal(err)
+	}
+	<-sseDone
+	fmt.Printf("\nsession closed: %d elements, %d similarity computations, %d phases\n",
+		sum.Consumed, sum.SimComputations, len(sum.AdjustedPhases))
+	for i, p := range sum.AdjustedPhases {
+		fmt.Printf("  phase %3d: %v (len %d)\n", i, p, p.Len())
+	}
+}
+
+// watchEvents prints each SSE phase event as it arrives, until the
+// server sends the terminal "end" event.
+func watchEvents(url string, done chan<- struct{}) {
+	defer close(done)
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamdetect: sse:", err)
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	kind := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if kind == "end" {
+				return
+			}
+			var e serve.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				continue
+			}
+			switch e.Kind {
+			case "phase_start":
+				fmt.Printf("  -> phase started at %d\n", e.V1)
+			case "phase_end":
+				fmt.Printf("  <- phase ended   at %d (started %d, length %d)\n", e.At, e.V1, e.V2)
+			}
+		}
+	}
+}
+
+// postJSON posts v as JSON and decodes the response into out.
+func postJSON(url string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// do issues a bodyless request and decodes the JSON response into out.
+func do(client *http.Client, method, url string, out any) error {
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s %s: %s", method, url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streamdetect:", err)
+	os.Exit(1)
+}

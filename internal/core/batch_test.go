@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"opd/internal/interval"
+	"opd/internal/trace"
+)
+
+func equalIntervals(a, b []interval.Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// batchTestTrace builds a deterministic trace with phase structure: long
+// runs of a small repeating set of branches separated by noisy stretches.
+func batchTestTrace(n int) trace.Trace {
+	tr := make(trace.Trace, 0, n)
+	rng := int64(7)
+	next := func(m int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int(rng >> 40)
+		if v < 0 {
+			v = -v
+		}
+		return v % m
+	}
+	for len(tr) < n {
+		// A stable phase: cycle over 4 sites.
+		for i := 0; i < 3000 && len(tr) < n; i++ {
+			tr = append(tr, trace.MakeBranch(0, 1+i%4, true))
+		}
+		// A noisy transition: draw from a large pool.
+		for i := 0; i < 900 && len(tr) < n; i++ {
+			tr = append(tr, trace.MakeBranch(0, 10+next(500), next(2) == 0))
+		}
+	}
+	return tr
+}
+
+// chunkSizes yields the chunk length sequence for one chunking scheme:
+// fixed sizes, plus an uneven scheme driven by an LCG.
+func chunkings() map[string]func(i int) int {
+	rng := int64(99)
+	return map[string]func(i int) int{
+		"single":   func(int) int { return 1 },
+		"seven":    func(int) int { return 7 },
+		"skipfull": func(int) int { return 64 },
+		"large":    func(int) int { return 5000 },
+		"uneven": func(int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int(rng>>40) % 997
+			if v < 0 {
+				v = -v
+			}
+			return v + 1
+		},
+	}
+}
+
+// TestProcessBatchEquivalence pins the chunk-size-agnostic contract:
+// feeding a trace through ProcessBatch in chunks of any size, then
+// finishing, produces output identical to RunTrace over the whole trace.
+func TestProcessBatchEquivalence(t *testing.T) {
+	tr := batchTestTrace(40000)
+	configs := []Config{
+		{CWSize: 400, SkipFactor: 1, TW: ConstantTW, Model: UnweightedModel, Analyzer: ThresholdAnalyzer, Param: 0.6},
+		{CWSize: 500, TWSize: 700, SkipFactor: 64, TW: AdaptiveTW, Anchor: AnchorRN, Resize: ResizeSlide, Model: WeightedModel, Analyzer: ThresholdAnalyzer, Param: 0.5},
+		FixedInterval(512, UnweightedModel, AverageAnalyzer, 0.3),
+	}
+	for _, cfg := range configs {
+		want := RunTrace(cfg.MustNew(), tr)
+		for name, size := range chunkings() {
+			d := cfg.MustNew()
+			for i, k := 0, 0; i < len(tr); k++ {
+				end := i + size(k)
+				if end > len(tr) {
+					end = len(tr)
+				}
+				d.ProcessBatch(tr[i:end])
+				i = end
+			}
+			d.Finish()
+			if d.Consumed() != want.Consumed() {
+				t.Fatalf("%s/%s: consumed %d, want %d", cfg.ID(), name, d.Consumed(), want.Consumed())
+			}
+			if d.SimilarityComputations() != want.SimilarityComputations() {
+				t.Errorf("%s/%s: sim computations %d, want %d", cfg.ID(), name,
+					d.SimilarityComputations(), want.SimilarityComputations())
+			}
+			if !equalIntervals(d.Phases(), want.Phases()) {
+				t.Errorf("%s/%s: phases %v, want %v", cfg.ID(), name, d.Phases(), want.Phases())
+			}
+			if !equalIntervals(d.AdjustedPhases(), want.AdjustedPhases()) {
+				t.Errorf("%s/%s: adjusted phases %v, want %v", cfg.ID(), name,
+					d.AdjustedPhases(), want.AdjustedPhases())
+			}
+		}
+	}
+}

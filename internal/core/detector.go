@@ -253,6 +253,41 @@ func (d *Detector) Process(e trace.Branch) State {
 	return d.state
 }
 
+// ProcessBatch consumes a chunk of profile elements of arbitrary length,
+// buffering any trailing partial group until the next call (or Finish).
+// The grouping is chunk-size agnostic: for any way of splitting a stream
+// into chunks, the sequence of skip-factor groups the detector sees — and
+// therefore its output — is identical to Process called once per element
+// or RunTrace over the whole stream. This is the incremental-feed seam the
+// streaming server builds on. Full groups are sliced directly out of the
+// chunk, so large chunks pay no per-element copying beyond the remainder.
+func (d *Detector) ProcessBatch(elems []trace.Branch) State {
+	// Top up a partial group left over from an earlier chunk.
+	if len(d.pending) > 0 {
+		need := d.skip - len(d.pending)
+		if need > len(elems) {
+			need = len(elems)
+		}
+		d.pending = append(d.pending, elems[:need]...)
+		elems = elems[need:]
+		if len(d.pending) == d.skip {
+			d.ProcessProfile(d.pending)
+			d.pending = d.pending[:0]
+		}
+	}
+	// Whole groups straight from the chunk.
+	skip := d.skip
+	n := (len(elems) / skip) * skip
+	for i := 0; i < n; i += skip {
+		d.ProcessProfile(elems[i : i+skip])
+	}
+	// Buffer the remainder for the next chunk.
+	if n < len(elems) {
+		d.pending = append(d.pending, elems[n:]...)
+	}
+	return d.state
+}
+
 func (d *Detector) beginPhase(groupStart, adjStart int64) {
 	d.inPhase = true
 	d.curStart = groupStart

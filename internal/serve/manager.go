@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opd/internal/core"
+	"opd/internal/telemetry"
+)
+
+// Admission errors. Handlers map these onto HTTP statuses (429, 413).
+var (
+	// ErrTooManySessions reports the session-count cap.
+	ErrTooManySessions = errors.New("serve: too many sessions")
+	// ErrWindowTooLarge reports the per-session window-memory cap.
+	ErrWindowTooLarge = errors.New("serve: window memory over limit")
+	// ErrDraining reports a manager that is shutting down.
+	ErrDraining = errors.New("serve: server shutting down")
+)
+
+// Options tunes the session manager and the HTTP surface built on it.
+// The zero value gets production-ish defaults (see the field docs).
+type Options struct {
+	// MaxSessions caps live sessions; opens beyond it are rejected with
+	// ErrTooManySessions (HTTP 429). 0 means 1024.
+	MaxSessions int
+	// MaxWindowElems caps a session's window memory, measured in profile
+	// elements across the current and trailing windows (CW + TW); opens
+	// beyond it are rejected with ErrWindowTooLarge (HTTP 413).
+	// 0 means 1<<20.
+	MaxWindowElems int
+	// MaxChunkBytes caps one ingest request's body (HTTP 413 beyond).
+	// 0 means 8 MiB.
+	MaxChunkBytes int64
+	// IdleTimeout evicts sessions not touched for this long, flushing
+	// their open phases. 0 means 5 minutes; negative disables.
+	IdleTimeout time.Duration
+	// MaxAge evicts sessions older than this regardless of activity
+	// (the hard TTL). 0 or negative disables.
+	MaxAge time.Duration
+	// SweepInterval is the eviction janitor's period. 0 means 15s.
+	SweepInterval time.Duration
+	// MaxEventsRetained bounds a session's in-memory event log; older
+	// events are dropped (pollers see a gap, counted by Seq). 0 means
+	// 65536.
+	MaxEventsRetained int
+	// NewDetector overrides detector construction — the fault-injection
+	// seam, mirroring sweep.Options.NewDetector. nil means cfg.New().
+	NewDetector func(cfg core.Config) (*core.Detector, error)
+	// Registry receives server telemetry and is mounted at /metrics and
+	// /debug/phasedet. nil disables instrumentation and those endpoints
+	// serve empty output.
+	Registry *telemetry.Registry
+}
+
+// withDefaults resolves the zero-value conventions.
+func (o Options) withDefaults() Options {
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 1024
+	}
+	if o.MaxWindowElems == 0 {
+		o.MaxWindowElems = 1 << 20
+	}
+	if o.MaxChunkBytes == 0 {
+		o.MaxChunkBytes = 8 << 20
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.SweepInterval == 0 {
+		o.SweepInterval = 15 * time.Second
+	}
+	if o.MaxEventsRetained == 0 {
+		o.MaxEventsRetained = 65536
+	}
+	if o.NewDetector == nil {
+		o.NewDetector = func(cfg core.Config) (*core.Detector, error) { return cfg.New() }
+	}
+	return o
+}
+
+// shardCount is the session map's shard fan-out. Sixteen shards keep
+// map contention negligible against thousands of concurrent sessions
+// while the janitor scans.
+const shardCount = 16
+
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// A Manager owns the live sessions: admission (caps), lookup (sharded),
+// and reclamation (idle/TTL janitor, shutdown flush).
+type Manager struct {
+	opts   Options
+	shards [shardCount]*shard
+	active atomic.Int64
+	drain  atomic.Bool
+	probe  *telemetry.ServeProbe
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	stopped  chan struct{}
+}
+
+// NewManager builds a manager and starts its eviction janitor.
+func NewManager(opts Options) *Manager {
+	m := &Manager{
+		opts:    opts.withDefaults(),
+		probe:   telemetry.NewServeProbe(opts.Registry),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{sessions: map[string]*Session{}}
+	}
+	go m.janitor()
+	return m
+}
+
+// shardFor picks the shard owning a session ID.
+func (m *Manager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return m.shards[h.Sum32()%shardCount]
+}
+
+// newID mints a 128-bit random session identifier.
+func newID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: reading random session id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Open validates the configuration, checks the admission caps, and
+// creates a live session.
+func (m *Manager) Open(cfg core.Config) (*Session, error) {
+	if m.drain.Load() {
+		return nil, ErrDraining
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// The window-memory cap: CW + TW elements is the session's dominant
+	// steady-state footprint (counter slices scale with trace
+	// cardinality, bounded by window size).
+	tw := cfg.TWSize
+	if tw == 0 {
+		tw = cfg.CWSize
+	}
+	if windowElems := cfg.CWSize + tw; windowElems > m.opts.MaxWindowElems {
+		m.probe.SessionRejected()
+		return nil, fmt.Errorf("%w: cw+tw = %d elements, limit %d",
+			ErrWindowTooLarge, windowElems, m.opts.MaxWindowElems)
+	}
+	if n := m.active.Add(1); n > int64(m.opts.MaxSessions) {
+		m.active.Add(-1)
+		m.probe.SessionRejected()
+		return nil, fmt.Errorf("%w: %d live, limit %d",
+			ErrTooManySessions, n-1, m.opts.MaxSessions)
+	}
+	det, err := m.opts.NewDetector(cfg)
+	if err != nil {
+		m.active.Add(-1)
+		return nil, err
+	}
+	s := newSession(newID(), cfg, det, m.opts.MaxEventsRetained, m.probe)
+	sh := m.shardFor(s.id)
+	sh.mu.Lock()
+	sh.sessions[s.id] = s
+	sh.mu.Unlock()
+	m.probe.SessionOpened()
+	return s, nil
+}
+
+// Get looks a live session up by ID.
+func (m *Manager) Get(id string) (*Session, bool) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int { return int(m.active.Load()) }
+
+// remove unlinks a session from its shard; it reports whether this call
+// was the one that removed it (losers of a close/evict race do nothing).
+func (m *Manager) remove(id string) bool {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	if ok {
+		m.active.Add(-1)
+	}
+	return ok
+}
+
+// Close finishes a session (flushing its open phase) and removes it,
+// returning the terminal summary.
+func (m *Manager) Close(id string) (*Summary, bool) {
+	s, ok := m.Get(id)
+	if !ok {
+		return nil, false
+	}
+	sum := s.close()
+	if m.remove(id) {
+		m.probe.SessionClosed(false)
+	}
+	return sum, true
+}
+
+// janitor periodically reclaims idle and over-age sessions.
+func (m *Manager) janitor() {
+	defer close(m.stopped)
+	t := time.NewTicker(m.opts.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.evictExpired(time.Now())
+		}
+	}
+}
+
+// evictExpired finishes and removes every session idle past IdleTimeout
+// or older than MaxAge. Open phases are flushed, so a straggling SSE
+// consumer still receives the final phase_end before its stream ends.
+func (m *Manager) evictExpired(now time.Time) {
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		var expired []*Session
+		for _, s := range sh.sessions {
+			idle := m.opts.IdleTimeout > 0 && now.Sub(s.idleSince()) > m.opts.IdleTimeout
+			aged := m.opts.MaxAge > 0 && now.Sub(s.created) > m.opts.MaxAge
+			if idle || aged {
+				expired = append(expired, s)
+			}
+		}
+		sh.mu.RUnlock()
+		for _, s := range expired {
+			s.close()
+			if m.remove(s.id) {
+				m.probe.SessionClosed(true)
+			}
+		}
+	}
+}
+
+// Shutdown drains the manager: new opens are refused, the janitor
+// stops, and every live session is finished — buffered partial groups
+// applied, open phases flushed and their final events delivered to any
+// live streams — before it returns.
+func (m *Manager) Shutdown() {
+	m.drain.Store(true)
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.stopped
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		all := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			all = append(all, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range all {
+			s.close()
+			if m.remove(s.id) {
+				m.probe.SessionClosed(false)
+			}
+		}
+	}
+}

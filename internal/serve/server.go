@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"opd/internal/core"
+	"opd/internal/telemetry"
+	"opd/internal/trace"
+)
+
+// A ConfigRequest is the JSON body of POST /v1/sessions: the session's
+// window/model/analyzer policy triple in the same vocabulary as the
+// cmd/detect flags. Zero values take the detect defaults (constant TW,
+// unweighted model, threshold analyzer with parameter 0.6, RN anchor,
+// Slide resize, skip factor 1, TW sized like CW). CW is required.
+type ConfigRequest struct {
+	CW       int     `json:"cw"`
+	TW       int     `json:"tw,omitempty"`
+	Skip     int     `json:"skip,omitempty"`
+	Policy   string  `json:"policy,omitempty"`   // constant | adaptive | fixedinterval
+	Model    string  `json:"model,omitempty"`    // unweighted | weighted
+	Analyzer string  `json:"analyzer,omitempty"` // threshold | average
+	Param    float64 `json:"param,omitempty"`
+	Anchor   string  `json:"anchor,omitempty"` // rn | lnn
+	Resize   string  `json:"resize,omitempty"` // slide | move
+}
+
+// Config resolves the request into a core configuration. The result
+// still goes through core.Config.Validate at session open.
+func (r ConfigRequest) Config() (core.Config, error) {
+	param := r.Param
+	if param == 0 {
+		param = 0.6
+	}
+	cfg := core.Config{CWSize: r.CW, TWSize: r.TW, SkipFactor: r.Skip, Param: param}
+	switch r.Policy {
+	case "", "constant":
+		cfg.TW = core.ConstantTW
+	case "adaptive":
+		cfg.TW = core.AdaptiveTW
+	case "fixedinterval":
+		cfg = core.FixedInterval(r.CW, cfg.Model, cfg.Analyzer, param)
+	default:
+		return cfg, fmt.Errorf("unknown policy %q", r.Policy)
+	}
+	switch r.Model {
+	case "", "unweighted":
+		cfg.Model = core.UnweightedModel
+	case "weighted":
+		cfg.Model = core.WeightedModel
+	default:
+		return cfg, fmt.Errorf("unknown model %q", r.Model)
+	}
+	switch r.Analyzer {
+	case "", "threshold":
+		cfg.Analyzer = core.ThresholdAnalyzer
+	case "average":
+		cfg.Analyzer = core.AverageAnalyzer
+	default:
+		return cfg, fmt.Errorf("unknown analyzer %q", r.Analyzer)
+	}
+	switch r.Anchor {
+	case "", "rn":
+		cfg.Anchor = core.AnchorRN
+	case "lnn":
+		cfg.Anchor = core.AnchorLNN
+	default:
+		return cfg, fmt.Errorf("unknown anchor %q", r.Anchor)
+	}
+	switch r.Resize {
+	case "", "slide":
+		cfg.Resize = core.ResizeSlide
+	case "move":
+		cfg.Resize = core.ResizeMove
+	default:
+		return cfg, fmt.Errorf("unknown resize %q", r.Resize)
+	}
+	return cfg, nil
+}
+
+// A Server is the streaming phase-detection HTTP service: the session
+// manager plus its HTTP surface (sessions API, telemetry, health).
+type Server struct {
+	manager *Manager
+	reg     *telemetry.Registry
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// NewServer builds a server (and its session manager) from options.
+func NewServer(opts Options) *Server {
+	s := &Server{manager: NewManager(opts), reg: opts.Registry}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// Manager exposes the session manager (tests and embedding callers).
+func (s *Server) Manager() *Manager { return s.manager }
+
+// Handler builds the full mux:
+//
+//	POST   /v1/sessions               open a session (JSON ConfigRequest)
+//	GET    /v1/sessions/{id}          session status
+//	POST   /v1/sessions/{id}/elements ingest one binary trace chunk
+//	GET    /v1/sessions/{id}/events   poll (?since=N) or SSE (Accept:
+//	                                  text/event-stream or ?stream=1)
+//	DELETE /v1/sessions/{id}          finish the session, return summary
+//	GET    /metrics                   Prometheus text exposition
+//	GET    /debug/phasedet[/events]   live telemetry debug surface
+//	GET    /healthz                   liveness + session count
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleOpen)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
+	mux.HandleFunc("POST /v1/sessions/{id}/elements", s.handleElements)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	mux.Handle(telemetry.DebugPath, s.reg.Handler())
+	mux.Handle(telemetry.DebugPath+"/", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": s.manager.Len()})
+	})
+	return mux
+}
+
+// Start binds addr (":0" picks a free port) and serves in the
+// background until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound address (host:port) after Start.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown drains the server gracefully: the session manager stops
+// admitting, finishes every live session — buffered partial groups
+// applied and open phases flushed via Detector.Finish, with final events
+// delivered to live streams — and then the HTTP server waits for
+// in-flight requests up to the context's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.manager.Shutdown()
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform JSON error shape.
+type errorBody struct {
+	Error string `json:"error"`
+	// Kind classifies chunk decode failures: "truncated" or "corrupt".
+	Kind string `json:"kind,omitempty"`
+	// Offset/Index locate chunk damage (byte offset, element index).
+	Offset int64 `json:"offset,omitempty"`
+	Index  int64 `json:"index,omitempty"`
+}
+
+// writeError writes the uniform error shape.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// sessionFor resolves the {id} path value, answering 404 itself when the
+// session does not exist (unknown, already closed and removed, or
+// evicted).
+func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.manager.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown session %q", id))
+	}
+	return sess, ok
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req ConfigRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding session request: %w", err))
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.manager.Open(cfg)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrTooManySessions):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrWindowTooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default: // config validation
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":              sess.ID(),
+		"config":          sess.ConfigID(),
+		"max_chunk_bytes": s.manager.opts.MaxChunkBytes,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Summary())
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	sum, ok := s.manager.Close(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown session %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// countReader counts bytes consumed from the chunk body.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	// One chunk is one self-contained OPDBRNC1 stream (magic + count +
+	// deltas; the delta baseline restarts per chunk). The lenient reader
+	// classifies damage without losing the decode position; a damaged
+	// chunk is rejected whole — nothing of it reaches the detector, so
+	// the client can repair and resend exactly this chunk.
+	body := http.MaxBytesReader(w, r.Body, s.manager.opts.MaxChunkBytes)
+	cr := &countReader{r: body}
+	elems, err := trace.ReadBranchesLenient(cr)
+	if err != nil {
+		s.manager.probe.ChunkError()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: chunk exceeds %d bytes", s.manager.opts.MaxChunkBytes))
+			return
+		}
+		eb := errorBody{Error: err.Error(), Kind: "corrupt"}
+		if errors.Is(err, trace.ErrTruncated) {
+			eb.Kind = "truncated"
+		}
+		var fe *trace.FormatError
+		if errors.As(err, &fe) {
+			eb.Offset, eb.Index = fe.Offset, fe.Index
+		}
+		writeJSON(w, http.StatusBadRequest, eb)
+		return
+	}
+	if err := sess.Feed(elems); err != nil {
+		switch {
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusConflict, err)
+		default: // ErrFailed: the panic poisoned this session only
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.manager.probe.Chunk(cr.n, int64(len(elems)))
+	consumed, inPhase, eventsTotal := sess.Progress()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"elements":     len(elems),
+		"consumed":     consumed,
+		"in_phase":     inPhase,
+		"events_total": eventsTotal,
+	})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad since %q: %w", v, err))
+			return
+		}
+		since = n
+	}
+	if r.URL.Query().Get("stream") != "" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamEvents(w, r, sess, since)
+		return
+	}
+	evs, next, terminated := sess.EventsSince(since)
+	if evs == nil {
+		evs = []Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events":     evs,
+		"next":       next,
+		"terminated": terminated,
+	})
+}
+
+// streamEvents serves a session's event log as a live SSE stream: every
+// retained event with Seq >= since, then new events as they are
+// detected, then a final "end" event once the session terminates
+// (client close, eviction, shutdown — in every case after the open
+// phase was flushed, so the stream always ends with the last phase_end).
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sess *Session, since uint64) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("serve: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sub := sess.subscribe()
+	defer sess.unsubscribe(sub)
+	cursor := since
+	for {
+		evs, next, terminated := sess.EventsSince(cursor)
+		for _, e := range evs {
+			data, _ := json.Marshal(e)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data)
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		cursor = next
+		if terminated {
+			fmt.Fprintf(w, "event: end\ndata: {\"events_total\":%d}\n\n", next)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.notify:
+		}
+	}
+}

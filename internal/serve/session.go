@@ -1,0 +1,313 @@
+// Package serve is the streaming phase-detection service: a long-running
+// HTTP server where each client session owns a live core.Detector
+// (configurable window/model/analyzer triple per session) fed
+// incrementally with profile-element chunks, and phase-change events flow
+// back by polling or as a live SSE stream.
+//
+// The package composes the repository's existing ingredients into a
+// service: chunks arrive in the binary trace wire format and are decoded
+// with the classified-error readers (a damaged chunk fails one request,
+// never the session), each session's detector is fed through the
+// chunk-size-agnostic core.ProcessBatch seam (so streamed output is
+// bit-identical to an offline pass for any chunking), panics in
+// model/detector code are recovered into the sweep engine's *PanicError
+// and poison only their own session, and the telemetry registry's
+// /metrics and /debug/phasedet surfaces are mounted on the same mux.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opd/internal/core"
+	"opd/internal/interval"
+	"opd/internal/sweep"
+	"opd/internal/telemetry"
+	"opd/internal/trace"
+)
+
+// Session lifecycle errors. Handlers map these onto HTTP statuses.
+var (
+	// ErrClosed reports an operation on a session already finished (by
+	// the client, the janitor, or shutdown).
+	ErrClosed = errors.New("serve: session closed")
+	// ErrFailed reports an operation on a session poisoned by an earlier
+	// panic in its detector. The underlying *sweep.PanicError is wrapped.
+	ErrFailed = errors.New("serve: session failed")
+)
+
+// An Event is one phase-lifecycle notification of a session. It carries
+// the same fields the telemetry phase-event ring records — Kind, the
+// stream position At, and the kind-specific payloads V1/V2 — plus a
+// per-session sequence number for resumable polling (?since=seq).
+//
+// Kinds and payloads:
+//
+//	phase_start  At = V1 = the anchor-corrected phase start
+//	phase_end    At = phase end, V1 = anchor-corrected start, V2 = length
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	Src  string `json:"src"` // the session's config ID
+	At   int64  `json:"at"`
+	V1   int64  `json:"v1"`
+	V2   int64  `json:"v2"`
+}
+
+// State is a session's lifecycle state.
+type State string
+
+const (
+	// StateActive marks a session accepting chunks.
+	StateActive State = "active"
+	// StateFailed marks a session poisoned by a detector panic; its event
+	// log remains readable but it accepts no further chunks.
+	StateFailed State = "failed"
+	// StateClosed marks a finished session (client close, idle/TTL
+	// eviction, or graceful shutdown), with any open phase flushed.
+	StateClosed State = "closed"
+)
+
+// A Summary is the terminal result of a session: everything an offline
+// run of the same configuration over the same stream would report.
+type Summary struct {
+	ID              string              `json:"id"`
+	Config          string              `json:"config"`
+	State           State               `json:"state"`
+	Consumed        int64               `json:"consumed"`
+	SimComputations int64               `json:"sim_computations"`
+	Phases          []interval.Interval `json:"phases"`
+	AdjustedPhases  []interval.Interval `json:"adjusted_phases"`
+	EventsTotal     uint64              `json:"events_total"`
+	Error           string              `json:"error,omitempty"`
+}
+
+// A subscriber is one live event-stream consumer. It holds no event data
+// itself: the session's log is the source of truth, and notify (capacity
+// one) only signals "the log grew or the session terminated".
+type subscriber struct {
+	notify chan struct{}
+}
+
+// A Session owns one live detector. All detector access is serialized by
+// the session mutex: chunks for the same session apply in arrival order,
+// and a slow or panicking session never blocks any other.
+type Session struct {
+	id       string
+	configID string
+	cfg      core.Config
+	created  time.Time
+	lastUsed atomic.Int64 // unix nanoseconds of the last client touch
+
+	mu     sync.Mutex
+	det    *core.Detector
+	state  State
+	failed error // the wrapped *sweep.PanicError when state == StateFailed
+
+	// The event log. Seq numbers are absolute; base is the Seq of
+	// events[0] after old events have been trimmed.
+	events    []Event
+	base      uint64
+	maxEvents int
+	subs      map[*subscriber]struct{}
+
+	probe *telemetry.ServeProbe
+}
+
+// newSession wires a detector into a session, registering the phase
+// hooks that feed the event log.
+func newSession(id string, cfg core.Config, det *core.Detector, maxEvents int, probe *telemetry.ServeProbe) *Session {
+	s := &Session{
+		id:        id,
+		configID:  cfg.ID(),
+		cfg:       cfg,
+		created:   time.Now(),
+		det:       det,
+		state:     StateActive,
+		maxEvents: maxEvents,
+		subs:      map[*subscriber]struct{}{},
+		probe:     probe,
+	}
+	s.lastUsed.Store(s.created.UnixNano())
+	// The hooks run inside ProcessBatch/Finish, which the session mutex
+	// already guards, so appendLocked needs no extra locking.
+	det.SetPhaseStartHook(func(adjStart int64, _ []trace.Branch) {
+		s.appendLocked(telemetry.EvPhaseStart.String(), adjStart, adjStart, 0)
+	})
+	det.SetPhaseEndHook(func(iv interval.Interval, _ []trace.Branch) {
+		s.appendLocked(telemetry.EvPhaseEnd.String(), iv.End, iv.Start, iv.Len())
+	})
+	return s
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// ConfigID returns the session's configuration identifier.
+func (s *Session) ConfigID() string { return s.configID }
+
+// touch refreshes the idle-eviction clock.
+func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// idleSince returns the time of the last client touch.
+func (s *Session) idleSince() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+// appendLocked adds one event to the log and wakes subscribers. Callers
+// must hold s.mu (the detector hooks do, transitively, via Feed/Close).
+func (s *Session) appendLocked(kind string, at, v1, v2 int64) {
+	seq := s.base + uint64(len(s.events))
+	s.events = append(s.events, Event{Seq: seq, Kind: kind, Src: s.configID, At: at, V1: v1, V2: v2})
+	if s.maxEvents > 0 && len(s.events) > s.maxEvents {
+		drop := len(s.events) - s.maxEvents
+		s.events = append(s.events[:0], s.events[drop:]...)
+		s.base += uint64(drop)
+	}
+	s.probe.EventsEmitted(1)
+	s.wakeLocked()
+}
+
+// wakeLocked signals every subscriber that the log (or the session
+// state) changed. Non-blocking: notify has capacity one, and a
+// subscriber that already has a pending signal needs no second one.
+func (s *Session) wakeLocked() {
+	for sub := range s.subs {
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// usableLocked reports whether the session can accept chunks.
+func (s *Session) usableLocked() error {
+	switch s.state {
+	case StateFailed:
+		return fmt.Errorf("%w: %w", ErrFailed, s.failed)
+	case StateClosed:
+		return ErrClosed
+	}
+	return nil
+}
+
+// Feed applies one decoded chunk to the session's detector. Chunks are
+// serialized per session; grouping is chunk-size agnostic (see
+// core.ProcessBatch). A panic in detector/model code is recovered into a
+// *sweep.PanicError, the session transitions to StateFailed, and the
+// error is returned — the process and every other session are unharmed.
+func (s *Session) Feed(elems []trace.Branch) (err error) {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			s.failed = &sweep.PanicError{Value: v, Stack: debug.Stack()}
+			s.state = StateFailed
+			s.probe.SessionFailed()
+			s.wakeLocked()
+			err = fmt.Errorf("%w: %w", ErrFailed, s.failed)
+		}
+	}()
+	s.det.ProcessBatch(elems)
+	return nil
+}
+
+// close finishes the session: the detector flushes its buffered partial
+// group and closes any open phase (emitting its final phase_end event),
+// the state moves to StateClosed, and subscribers are woken so live
+// streams can drain and end. Idempotent; a failed session keeps its
+// failure state (Finish on a half-mutated model could panic again, so it
+// is skipped — its phases were already unusable).
+func (s *Session) close() *Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateActive {
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					s.failed = &sweep.PanicError{Value: v, Stack: debug.Stack()}
+					s.state = StateFailed
+					s.probe.SessionFailed()
+				}
+			}()
+			s.det.Finish()
+			s.state = StateClosed
+		}()
+	}
+	s.wakeLocked()
+	return s.summaryLocked()
+}
+
+// summaryLocked snapshots the terminal (or current) results.
+func (s *Session) summaryLocked() *Summary {
+	sum := &Summary{
+		ID:              s.id,
+		Config:          s.configID,
+		State:           s.state,
+		Consumed:        s.det.Consumed(),
+		SimComputations: s.det.SimilarityComputations(),
+		EventsTotal:     s.base + uint64(len(s.events)),
+	}
+	if s.state == StateClosed {
+		sum.Phases = append([]interval.Interval{}, s.det.Phases()...)
+		sum.AdjustedPhases = append([]interval.Interval{}, s.det.AdjustedPhases()...)
+	}
+	if s.failed != nil {
+		sum.Error = s.failed.Error()
+	}
+	return sum
+}
+
+// Summary snapshots the session's current results.
+func (s *Session) Summary() *Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.summaryLocked()
+}
+
+// Progress returns the elements consumed so far, whether the detector
+// currently reports being in a phase, and the total events emitted.
+func (s *Session) Progress() (consumed int64, inPhase bool, eventsTotal uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.det.Consumed(), s.det.State().IsPhase(), s.base + uint64(len(s.events))
+}
+
+// EventsSince returns the retained events with Seq >= since, the next
+// cursor value, and whether the session has terminated (closed or
+// failed). Events older than the retention window are silently skipped;
+// the returned next cursor always advances past everything returned.
+func (s *Session) EventsSince(since uint64) (evs []Event, next uint64, terminated bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if since < s.base {
+		since = s.base
+	}
+	end := s.base + uint64(len(s.events))
+	if since < end {
+		evs = append(evs, s.events[since-s.base:]...)
+	}
+	return evs, end, s.state != StateActive
+}
+
+// subscribe registers a live event consumer.
+func (s *Session) subscribe() *subscriber {
+	sub := &subscriber{notify: make(chan struct{}, 1)}
+	s.mu.Lock()
+	s.subs[sub] = struct{}{}
+	s.mu.Unlock()
+	return sub
+}
+
+// unsubscribe removes a live event consumer.
+func (s *Session) unsubscribe(sub *subscriber) {
+	s.mu.Lock()
+	delete(s.subs, sub)
+	s.mu.Unlock()
+}

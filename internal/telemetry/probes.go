@@ -57,6 +57,18 @@ const (
 
 	MetricModelWindows    = "opd_model_windows_total"
 	MetricModelSimilarity = "opd_model_similarity_value"
+
+	MetricServeSessionsOpened   = "opd_serve_sessions_opened_total"
+	MetricServeSessionsActive   = "opd_serve_sessions_active"
+	MetricServeSessionsClosed   = "opd_serve_sessions_closed_total"
+	MetricServeSessionsEvicted  = "opd_serve_sessions_evicted_total"
+	MetricServeSessionsFailed   = "opd_serve_sessions_failed_total"
+	MetricServeSessionsRejected = "opd_serve_sessions_rejected_total"
+	MetricServeChunks           = "opd_serve_chunks_total"
+	MetricServeChunkErrors      = "opd_serve_chunk_errors_total"
+	MetricServeIngestBytes      = "opd_serve_ingest_bytes_total"
+	MetricServeIngestElements   = "opd_serve_ingest_elements_total"
+	MetricServeEventsEmitted    = "opd_serve_events_emitted_total"
 )
 
 // A DetectorProbe instruments one core.Detector: element/group/similarity
@@ -463,6 +475,113 @@ func (p *IngestProbe) Salvaged(elements int64) {
 	}
 	p.salvages.Inc()
 	p.salvagedElems.Add(elements)
+}
+
+// A ServeProbe instruments the streaming phase-detection server: session
+// lifecycle (opened, active, closed, evicted, failed, rejected) and the
+// ingest path (chunks, chunk decode errors, bytes, elements, phase events
+// emitted to clients).
+type ServeProbe struct {
+	opened   *Counter
+	active   *Gauge
+	closed   *Counter
+	evicted  *Counter
+	failed   *Counter
+	rejected *Counter
+	chunks   *Counter
+	chunkErr *Counter
+	bytes    *Counter
+	elements *Counter
+	events   *Counter
+}
+
+// NewServeProbe builds the server probe. Returns nil for a nil registry.
+func NewServeProbe(reg *Registry) *ServeProbe {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(MetricServeSessionsActive, "Live streaming sessions currently held by the session manager.")
+	reg.Help(MetricServeSessionsEvicted, "Sessions reclaimed by the idle/TTL janitor (open phases flushed).")
+	reg.Help(MetricServeSessionsFailed, "Sessions poisoned by a panic in their detector (isolated; server keeps serving).")
+	reg.Help(MetricServeSessionsRejected, "Session opens refused by the session or window-memory caps.")
+	reg.Help(MetricServeChunkErrors, "Element chunks rejected as truncated/corrupt (the request fails; the session survives).")
+	return &ServeProbe{
+		opened:   reg.Counter(MetricServeSessionsOpened),
+		active:   reg.Gauge(MetricServeSessionsActive),
+		closed:   reg.Counter(MetricServeSessionsClosed),
+		evicted:  reg.Counter(MetricServeSessionsEvicted),
+		failed:   reg.Counter(MetricServeSessionsFailed),
+		rejected: reg.Counter(MetricServeSessionsRejected),
+		chunks:   reg.Counter(MetricServeChunks),
+		chunkErr: reg.Counter(MetricServeChunkErrors),
+		bytes:    reg.Counter(MetricServeIngestBytes),
+		elements: reg.Counter(MetricServeIngestElements),
+		events:   reg.Counter(MetricServeEventsEmitted),
+	}
+}
+
+// SessionOpened records one accepted session.
+func (p *ServeProbe) SessionOpened() {
+	if p == nil {
+		return
+	}
+	p.opened.Inc()
+	p.active.Add(1)
+}
+
+// SessionClosed records one session leaving the manager; evicted marks
+// janitor reclaims (idle/TTL) as opposed to client closes and shutdown.
+func (p *ServeProbe) SessionClosed(evicted bool) {
+	if p == nil {
+		return
+	}
+	p.closed.Inc()
+	p.active.Add(-1)
+	if evicted {
+		p.evicted.Inc()
+	}
+}
+
+// SessionFailed records one session poisoned by a recovered panic.
+func (p *ServeProbe) SessionFailed() {
+	if p == nil {
+		return
+	}
+	p.failed.Inc()
+}
+
+// SessionRejected records one session open refused by a cap.
+func (p *ServeProbe) SessionRejected() {
+	if p == nil {
+		return
+	}
+	p.rejected.Inc()
+}
+
+// Chunk records one accepted element chunk of the given wire size.
+func (p *ServeProbe) Chunk(bytes, elements int64) {
+	if p == nil {
+		return
+	}
+	p.chunks.Inc()
+	p.bytes.Add(bytes)
+	p.elements.Add(elements)
+}
+
+// ChunkError records one rejected (truncated/corrupt) element chunk.
+func (p *ServeProbe) ChunkError() {
+	if p == nil {
+		return
+	}
+	p.chunkErr.Inc()
+}
+
+// EventsEmitted records phase events appended to session event logs.
+func (p *ServeProbe) EventsEmitted(n int64) {
+	if p == nil {
+		return
+	}
+	p.events.Add(n)
 }
 
 // A ModelProbe instruments a custom similarity model from
