@@ -23,13 +23,15 @@ check:
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 
-# fuzz-smoke runs each trace-reader fuzz target briefly (the Go fuzzer
-# accepts one -fuzz pattern per invocation, hence two runs). The seed
-# corpus under internal/trace/testdata/fuzz runs on every plain
-# `go test` as well.
+# fuzz-smoke runs each fuzz target briefly (the Go fuzzer accepts one
+# -fuzz pattern per invocation, hence one run per target): the trace
+# readers, the detector snapshot decoder, and WAL replay. The seed
+# corpora under */testdata/fuzz run on every plain `go test` as well.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadBranches -fuzztime=5s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzReadEvents -fuzztime=5s ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzDetectorRestore -fuzztime=5s ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=5s ./internal/durable
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run '^$$' ./internal/core/... ./internal/sweep/... ./internal/telemetry/... ./internal/serve/...

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	phased -addr :8080
+//	phased -addr :8080 -data-dir /var/lib/phased -fsync always
 //
 // Open a session, stream elements, watch events:
 //
@@ -20,12 +21,23 @@
 // per ingest request (413 beyond). Idle sessions are evicted after
 // -idle-timeout (their open phases flushed); -max-age is a hard TTL.
 //
+// Durability: with -data-dir set, every acknowledged chunk is written to
+// a per-session WAL before it reaches the detector, the full session
+// state is checkpointed every -snapshot-every chunks, and on boot the
+// server replays the directory back into live sessions before admitting
+// traffic — /readyz answers 503 while replay runs, then 200. -fsync
+// picks the WAL durability/latency trade-off: "always" (fsync every
+// chunk), "never" (leave it to the OS), or a duration like "100ms"
+// (periodic). Without -data-dir the server is purely in-memory.
+//
 // Telemetry is always on: /metrics (Prometheus) and /debug/phasedet
 // (Prometheus/JSON + the phase-event ring) are mounted on the same mux.
 //
-// SIGTERM/SIGINT shut down gracefully: new sessions are refused, every
-// live session is finished — buffered partial groups applied and open
-// phases flushed — and in-flight requests drain within -shutdown-grace.
+// SIGTERM/SIGINT shut down gracefully: new sessions are refused and
+// in-flight requests drain within -shutdown-grace. Without -data-dir
+// every live session is finished — buffered partial groups applied and
+// open phases flushed. With -data-dir sessions are instead persisted
+// as-is and resume after the next boot's replay.
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"opd/internal/durable"
 	"opd/internal/serve"
 	"opd/internal/telemetry"
 )
@@ -52,11 +65,14 @@ func main() {
 		sweepEvery = flag.Duration("sweep-interval", 15*time.Second, "eviction janitor period")
 		maxEvents  = flag.Int("max-events", 65536, "phase events retained per session for polling")
 		grace      = flag.Duration("shutdown-grace", 10*time.Second, "how long shutdown waits for in-flight requests")
+		dataDir    = flag.String("data-dir", "", "persist sessions here (WAL + snapshots) and recover them on boot; empty runs in-memory")
+		fsync      = flag.String("fsync", "always", "WAL fsync policy: \"always\", \"never\", or an interval like \"100ms\"")
+		snapEvery  = flag.Int("snapshot-every", 64, "checkpoint full session state every this many chunks")
 	)
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
-	srv := serve.NewServer(serve.Options{
+	opts := serve.Options{
 		MaxSessions:       *maxSess,
 		MaxWindowElems:    *maxWindow,
 		MaxChunkBytes:     *maxChunk,
@@ -65,7 +81,27 @@ func main() {
 		SweepInterval:     *sweepEvery,
 		MaxEventsRetained: *maxEvents,
 		Registry:          reg,
-	})
+		SnapshotEvery:     *snapEvery,
+	}
+	if *dataDir != "" {
+		policy, interval, err := durable.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phased:", err)
+			os.Exit(2)
+		}
+		store, err := durable.Open(durable.Options{
+			Dir:          *dataDir,
+			Policy:       policy,
+			SyncInterval: interval,
+			Registry:     reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phased:", err)
+			os.Exit(1)
+		}
+		opts.Store = store
+	}
+	srv := serve.NewServer(opts)
 	if err := srv.Start(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "phased:", err)
 		os.Exit(1)
@@ -73,12 +109,30 @@ func main() {
 	fmt.Fprintf(os.Stderr, "phased: listening on %s\n", srv.Addr())
 	fmt.Fprintf(os.Stderr, "phased: telemetry at http://%s%s and /metrics\n", srv.Addr(), telemetry.DebugPath)
 
+	// Boot replay: the listener is up (liveness probes pass, the API
+	// 503s) while the data dir replays; /readyz flips to 200 after.
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "phased: recovering sessions from %s (fsync=%s)\n", *dataDir, *fsync)
+	}
+	recovered, dropped, err := srv.Recover()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phased: recovery:", err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "phased: recovered %d sessions (%d unrecoverable), ready\n", recovered, dropped)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	stop() // a second signal kills immediately
 
-	fmt.Fprintln(os.Stderr, "phased: shutting down, flushing open sessions")
+	if *dataDir != "" {
+		fmt.Fprintln(os.Stderr, "phased: shutting down, persisting open sessions")
+	} else {
+		fmt.Fprintln(os.Stderr, "phased: shutting down, flushing open sessions")
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

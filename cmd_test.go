@@ -178,7 +178,9 @@ func TestPhasedServerE2E(t *testing.T) {
 		return logBuf.String()
 	}
 	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
 	go func() {
+		defer close(scanDone)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
@@ -307,7 +309,12 @@ func TestPhasedServerE2E(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- srv.Wait() }()
+	go func() {
+		// Drain stderr to EOF before Wait closes the pipe, or the
+		// final log lines race with the scanner and get lost.
+		<-scanDone
+		done <- srv.Wait()
+	}()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -318,5 +325,237 @@ func TestPhasedServerE2E(t *testing.T) {
 	}
 	if !strings.Contains(logs(), "flushing open sessions") {
 		t.Errorf("phased log missing graceful-shutdown line:\n%s", logs())
+	}
+}
+
+// phasedProc is one phased process started by startPhased.
+type phasedProc struct {
+	cmd      *exec.Cmd
+	base     string // http://host:port
+	logs     func() string
+	scanDone chan struct{} // closed when the stderr scanner hits EOF
+}
+
+// wait drains stderr to EOF, then reaps the process. Calling cmd.Wait
+// directly would close the pipe under the scanner and lose final lines.
+func (p *phasedProc) wait() error {
+	<-p.scanDone
+	return p.cmd.Wait()
+}
+
+// startPhased launches a phased binary, waits for its listen line, and
+// then polls /readyz until the server admits traffic (a durable server
+// 503s while it replays its data dir).
+func startPhased(t *testing.T, bin string, args ...string) *phasedProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	var logMu sync.Mutex
+	var logBuf bytes.Buffer
+	logs := func() string {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return logBuf.String()
+	}
+	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			logBuf.WriteString(line + "\n")
+			logMu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "phased: listening on "); ok {
+				addrCh <- rest
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("phased did not report a listen address\nlog:\n%s", logs())
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("phased never became ready\nlog:\n%s", logs())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return &phasedProc{cmd: cmd, base: base, logs: logs, scanDone: scanDone}
+}
+
+// sendChunk posts one element chunk, asserting HTTP 200.
+func sendChunk(t *testing.T, base, id string, elems trace.Trace) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBranches(&buf, elems); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sessions/"+id+"/elements",
+		"application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk: status %d", resp.StatusCode)
+	}
+}
+
+// TestPhasedCrashRecoveryE2E is the black-box durability proof: a phased
+// process with a data dir is SIGKILLed mid-stream, a fresh process over
+// the same directory replays the session (answering 503 on /readyz until
+// it is ready), the client finishes the stream against the new process,
+// and the final phases are exactly what the offline detect command finds
+// for the uninterrupted trace.
+func TestPhasedCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the executables")
+	}
+	bins := buildCmds(t)
+	prefix := filepath.Join(t.TempDir(), "jlex")
+	runCmd(t, filepath.Join(bins, "tracegen"), "-bench", "jlex", "-scale", "2", "-out", prefix)
+	detOut := runCmd(t, filepath.Join(bins, "detect"),
+		"-trace", prefix, "-cw", "500", "-policy", "adaptive", "-phases", "-adjusted")
+	wantPhases := phasePattern.FindAllStringSubmatch(detOut, -1)
+	if len(wantPhases) == 0 {
+		t.Fatalf("detect found no phases:\n%s", detOut)
+	}
+	f, err := os.Open(prefix + ".branches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := trace.ReadBranches(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dataDir := filepath.Join(t.TempDir(), "phased-data")
+	durableArgs := []string{"-data-dir", dataDir, "-fsync", "always", "-snapshot-every", "8"}
+	p1 := startPhased(t, filepath.Join(bins, "phased"), durableArgs...)
+
+	resp, err := http.Post(p1.base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"cw":500,"policy":"adaptive"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opened struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&opened); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || opened.ID == "" {
+		t.Fatalf("open session: status %d id %q", resp.StatusCode, opened.ID)
+	}
+
+	// Stream the first half in uneven chunks, then kill -9 the server.
+	sizes := []int{997, 13, 4096, 1, 2048, 8192}
+	half := len(branches) / 2
+	for i, k := 0, 0; i < half; k++ {
+		end := i + sizes[k%len(sizes)]
+		if end > half {
+			end = half
+		}
+		sendChunk(t, p1.base, opened.ID, branches[i:end])
+		i = end
+	}
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p1.wait()
+
+	// A fresh process over the same data dir replays the session: every
+	// acknowledged chunk survives (fsync=always), so the client simply
+	// resumes where it stopped.
+	p2 := startPhased(t, filepath.Join(bins, "phased"), durableArgs...)
+	if !strings.Contains(p2.logs(), "recovered 1 sessions") {
+		t.Fatalf("restarted phased did not recover the session\nlog:\n%s", p2.logs())
+	}
+	sresp, err := http.Get(p2.base + "/v1/sessions/" + opened.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered session status: %d", sresp.StatusCode)
+	}
+	for i, k := half, 0; i < len(branches); k++ {
+		end := i + sizes[k%len(sizes)]
+		if end > len(branches) {
+			end = len(branches)
+		}
+		sendChunk(t, p2.base, opened.ID, branches[i:end])
+		i = end
+	}
+
+	// Close: the resumed session's phases must equal the offline detect.
+	req, _ := http.NewRequest(http.MethodDelete, p2.base+"/v1/sessions/"+opened.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Consumed       int64 `json:"consumed"`
+		AdjustedPhases []struct {
+			Start int64 `json:"start"`
+			End   int64 `json:"end"`
+		} `json:"adjusted_phases"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if sum.Consumed != int64(len(branches)) {
+		t.Errorf("consumed %d, want %d", sum.Consumed, len(branches))
+	}
+	if len(sum.AdjustedPhases) != len(wantPhases) {
+		t.Fatalf("recovered session: %d phases, detect found %d:\n%s\nphased log:\n%s",
+			len(sum.AdjustedPhases), len(wantPhases), detOut, p2.logs())
+	}
+	for i, p := range sum.AdjustedPhases {
+		want := fmt.Sprintf("[%s,%s)", wantPhases[i][1], wantPhases[i][2])
+		if got := fmt.Sprintf("[%d,%d)", p.Start, p.End); got != want {
+			t.Errorf("phase %d: recovered %s, detect %s", i, got, want)
+		}
+	}
+
+	// Graceful durable shutdown persists rather than flushes.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p2.wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("phased exited uncleanly: %v\nlog:\n%s", err, p2.logs())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("phased did not exit on SIGTERM\nlog:\n%s", p2.logs())
+	}
+	if !strings.Contains(p2.logs(), "persisting open sessions") {
+		t.Errorf("phased log missing durable-shutdown line:\n%s", p2.logs())
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"strings"
@@ -123,30 +124,79 @@ func main() {
 }
 
 // watchEvents prints each SSE phase event as it arrives, until the
-// server sends the terminal "end" event.
+// server sends the terminal "end" event. A dropped connection (network
+// blip, server restart) reconnects with capped exponential backoff plus
+// jitter, resuming exactly where the stream left off via the SSE
+// Last-Event-ID convention — the server replays retained events after
+// that sequence number, so nothing is missed or duplicated. A 404 means
+// the session itself is gone, so the watcher gives up.
 func watchEvents(url string, done chan<- struct{}) {
 	defer close(done)
-	resp, err := http.Get(url)
+	const (
+		backoffMin = 200 * time.Millisecond
+		backoffMax = 5 * time.Second
+	)
+	backoff := backoffMin
+	lastID := ""
+	for {
+		gotEvents, ended, gone := watchOnce(url, lastID, &lastID)
+		if ended || gone {
+			return
+		}
+		if gotEvents {
+			backoff = backoffMin // the connection was healthy; start over
+		}
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		fmt.Fprintf(os.Stderr, "streamdetect: sse: stream dropped, reconnecting in %v\n",
+			sleep.Round(time.Millisecond))
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+// watchOnce runs one SSE connection, updating *lastID as id: lines
+// arrive. It reports whether any event was received, whether the server
+// sent the terminal "end" event, and whether the session is gone (404).
+func watchOnce(url, lastID string, lastOut *string) (gotEvents, ended, gone bool) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "streamdetect: sse:", err)
-		return
+		return false, false, true
+	}
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, false, false
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return false, false, true
+	}
+	if resp.StatusCode != http.StatusOK {
+		// 503 while a restarted server replays its data dir: retry.
+		return false, false, false
+	}
 	sc := bufio.NewScanner(resp.Body)
 	kind := ""
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			*lastOut = strings.TrimPrefix(line, "id: ")
 		case strings.HasPrefix(line, "event: "):
 			kind = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
 			if kind == "end" {
-				return
+				return gotEvents, true, false
 			}
 			var e serve.Event
 			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
 				continue
 			}
+			gotEvents = true
 			switch e.Kind {
 			case "phase_start":
 				fmt.Printf("  -> phase started at %d\n", e.V1)
@@ -155,6 +205,7 @@ func watchEvents(url string, done chan<- struct{}) {
 			}
 		}
 	}
+	return gotEvents, false, false
 }
 
 // postJSON posts v as JSON and decodes the response into out.

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"opd/internal/interval"
+	"opd/internal/trace"
+)
+
+// snapshotConfigs is the restore-equivalence matrix: every window policy
+// (constant, adaptive with both anchor/resize corners, fixed-interval),
+// both models, both analyzers, and skip factors that leave pending
+// partial groups at most chunk boundaries.
+func snapshotConfigs() []Config {
+	return []Config{
+		{CWSize: 400, SkipFactor: 1, TW: ConstantTW, Model: UnweightedModel, Analyzer: ThresholdAnalyzer, Param: 0.6},
+		{CWSize: 300, TWSize: 450, SkipFactor: 16, TW: ConstantTW, Model: WeightedModel, Analyzer: AverageAnalyzer, Param: 0.3},
+		{CWSize: 500, TWSize: 700, SkipFactor: 64, TW: AdaptiveTW, Anchor: AnchorRN, Resize: ResizeSlide, Model: WeightedModel, Analyzer: ThresholdAnalyzer, Param: 0.5},
+		{CWSize: 350, SkipFactor: 7, TW: AdaptiveTW, Anchor: AnchorLNN, Resize: ResizeMove, Model: UnweightedModel, Analyzer: AverageAnalyzer, Param: 0.25},
+		FixedInterval(512, UnweightedModel, AverageAnalyzer, 0.3),
+		FixedInterval(256, WeightedModel, ThresholdAnalyzer, 0.55),
+	}
+}
+
+// eventRec captures the hook stream so interrupted and uninterrupted runs
+// can be compared event by event.
+type eventRec struct {
+	kind  string
+	at    int64
+	start int64
+}
+
+func recordHooks(d *Detector, out *[]eventRec) {
+	d.SetPhaseStartHook(func(adj int64, _ []trace.Branch) {
+		*out = append(*out, eventRec{kind: "start", at: adj})
+	})
+	d.SetPhaseEndHook(func(iv interval.Interval, _ []trace.Branch) {
+		*out = append(*out, eventRec{kind: "end", at: iv.End, start: iv.Start})
+	})
+}
+
+// feedChunks drives tr through d in uneven chunks, invoking cut() with
+// the chunk index before each chunk; cut may replace the detector (the
+// snapshot/restore seam). Returns the final detector.
+func feedChunks(t *testing.T, d *Detector, tr trace.Trace, cutAt int, cut func(d *Detector) *Detector) *Detector {
+	t.Helper()
+	sizes := []int{997, 13, 4096, 1, 2048, 129}
+	for i, k := 0, 0; i < len(tr); k++ {
+		if k == cutAt && cut != nil {
+			d = cut(d)
+		}
+		end := i + sizes[k%len(sizes)]
+		if end > len(tr) {
+			end = len(tr)
+		}
+		d.ProcessBatch(tr[i:end])
+		i = end
+	}
+	d.Finish()
+	return d
+}
+
+// TestSnapshotRestoreEquivalence pins the durability contract at its
+// root: snapshotting a detector at an arbitrary chunk boundary,
+// restoring it, and continuing the stream is bit-identical to the
+// uninterrupted run — phases, adjusted phases, similarity counts, the
+// hook event stream, and the confidence value's float bits.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	tr := batchTestTrace(30000)
+	for _, cfg := range snapshotConfigs() {
+		var wantEvents []eventRec
+		want := cfg.MustNew()
+		recordHooks(want, &wantEvents)
+		feedChunks(t, want, tr, -1, nil)
+
+		for _, cutAt := range []int{0, 1, 2, 5, 9, 14} {
+			var gotEvents []eventRec
+			first := cfg.MustNew()
+			recordHooks(first, &gotEvents)
+			got := feedChunks(t, first, tr, cutAt, func(d *Detector) *Detector {
+				snap, err := d.Snapshot()
+				if err != nil {
+					t.Fatalf("%s cut %d: snapshot: %v", cfg.ID(), cutAt, err)
+				}
+				restored, rcfg, err := RestoreDetector(snap)
+				if err != nil {
+					t.Fatalf("%s cut %d: restore: %v", cfg.ID(), cutAt, err)
+				}
+				if rcfg.ID() != cfg.withDefaults().ID() {
+					t.Fatalf("%s cut %d: restored config %s", cfg.ID(), cutAt, rcfg.ID())
+				}
+				recordHooks(restored, &gotEvents)
+				return restored
+			})
+			if got.Consumed() != want.Consumed() {
+				t.Fatalf("%s cut %d: consumed %d, want %d", cfg.ID(), cutAt, got.Consumed(), want.Consumed())
+			}
+			if got.SimilarityComputations() != want.SimilarityComputations() {
+				t.Errorf("%s cut %d: sim computations %d, want %d", cfg.ID(), cutAt,
+					got.SimilarityComputations(), want.SimilarityComputations())
+			}
+			if !equalIntervals(got.Phases(), want.Phases()) {
+				t.Errorf("%s cut %d: phases %v, want %v", cfg.ID(), cutAt, got.Phases(), want.Phases())
+			}
+			if !equalIntervals(got.AdjustedPhases(), want.AdjustedPhases()) {
+				t.Errorf("%s cut %d: adjusted %v, want %v", cfg.ID(), cutAt,
+					got.AdjustedPhases(), want.AdjustedPhases())
+			}
+			if math.Float64bits(got.Confidence()) != math.Float64bits(want.Confidence()) {
+				t.Errorf("%s cut %d: confidence %v, want %v", cfg.ID(), cutAt,
+					got.Confidence(), want.Confidence())
+			}
+			if len(gotEvents) != len(wantEvents) {
+				t.Fatalf("%s cut %d: %d events, want %d", cfg.ID(), cutAt, len(gotEvents), len(wantEvents))
+			}
+			for i := range gotEvents {
+				if gotEvents[i] != wantEvents[i] {
+					t.Errorf("%s cut %d: event %d = %+v, want %+v", cfg.ID(), cutAt, i, gotEvents[i], wantEvents[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotMidStreamState pins that a snapshot taken mid-stream
+// round-trips the observable detector accessors exactly, including the
+// pending partial group and a still-open phase.
+func TestSnapshotMidStreamState(t *testing.T) {
+	cfg := Config{CWSize: 200, SkipFactor: 32, TW: AdaptiveTW, Anchor: AnchorRN, Resize: ResizeSlide,
+		Model: WeightedModel, Analyzer: AverageAnalyzer, Param: 0.4}
+	tr := batchTestTrace(9000)
+	d := cfg.MustNew()
+	d.ProcessBatch(tr[:8007]) // not a multiple of 32: leaves a pending group
+
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := RestoreDetector(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consumed() != d.Consumed() || r.State() != d.State() ||
+		r.SimilarityComputations() != d.SimilarityComputations() {
+		t.Fatalf("restored accessors diverge: consumed %d/%d state %v/%v sims %d/%d",
+			r.Consumed(), d.Consumed(), r.State(), d.State(),
+			r.SimilarityComputations(), d.SimilarityComputations())
+	}
+	if len(r.pending) != len(d.pending) {
+		t.Fatalf("pending group %d, want %d", len(r.pending), len(d.pending))
+	}
+
+	// A snapshot of a finished detector restores as finished.
+	d.Finish()
+	snap2, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := RestoreDetector(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.finished {
+		t.Fatal("restored detector not finished")
+	}
+	if !equalIntervals(r2.Phases(), d.Phases()) || !equalIntervals(r2.AdjustedPhases(), d.AdjustedPhases()) {
+		t.Fatal("finished snapshot lost phases")
+	}
+}
+
+// TestSnapshotUnsupportedComponents pins the error (not panic) path for
+// detectors the encoding cannot express.
+func TestSnapshotUnsupportedComponents(t *testing.T) {
+	d := NewDetector(NewSetModel(UnweightedModel, 10, 10, ConstantTW, AnchorRN, ResizeSlide),
+		NewHysteresis(0.7, 0.5), 1)
+	if _, err := d.Snapshot(); err == nil {
+		t.Fatal("snapshot of hysteresis analyzer did not error")
+	}
+}
+
+// TestRestoreRejectsDamage pins that every single-byte corruption and
+// every truncation of a valid snapshot is rejected with an error — never
+// a panic, never a silently wrong detector.
+func TestRestoreRejectsDamage(t *testing.T) {
+	cfg := Config{CWSize: 100, SkipFactor: 8, TW: AdaptiveTW, Anchor: AnchorRN, Resize: ResizeSlide,
+		Model: WeightedModel, Analyzer: AverageAnalyzer, Param: 0.4}
+	d := cfg.MustNew()
+	d.ProcessBatch(batchTestTrace(5000))
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RestoreDetector(snap); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	for off := range snap {
+		bad := append([]byte(nil), snap...)
+		bad[off] ^= 0x41
+		if _, _, err := RestoreDetector(bad); err == nil {
+			t.Fatalf("corruption at byte %d accepted", off)
+		}
+	}
+	for cut := 0; cut < len(snap); cut++ {
+		if _, _, err := RestoreDetector(snap[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+// FuzzDetectorRestore hammers RestoreDetector with arbitrary bytes: it
+// must never panic, and any detector it does accept must be usable.
+func FuzzDetectorRestore(f *testing.F) {
+	cfg := Config{CWSize: 50, SkipFactor: 4, TW: AdaptiveTW, Anchor: AnchorLNN, Resize: ResizeMove,
+		Model: UnweightedModel, Analyzer: ThresholdAnalyzer, Param: 0.6}
+	d := cfg.MustNew()
+	d.ProcessBatch(batchTestTrace(2000))
+	snap, err := d.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snap)
+	f.Add(snap[:len(snap)/2])
+	f.Add([]byte("OPDDETS1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, _, err := RestoreDetector(data)
+		if err != nil {
+			return
+		}
+		if !r.finished {
+			r.ProcessBatch(batchTestTrace(300))
+			r.Finish()
+		}
+		r.Phases()
+	})
+}

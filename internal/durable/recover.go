@@ -1,0 +1,202 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Recovered is one session's surviving durable state after a crash.
+type Recovered struct {
+	// ID is the session's identifier (its directory name).
+	ID string
+	// Snapshot is the newest valid snapshot payload, or nil when no
+	// usable snapshot survived — the session is unrecoverable and the
+	// caller should Remove it.
+	Snapshot []byte
+	// Records holds the WAL payloads appended after the snapshot, in
+	// order. Replaying them onto the snapshot reproduces the session's
+	// durable prefix.
+	Records [][]byte
+
+	log *SessionLog
+}
+
+// Log returns the session's log, positioned to continue appending where
+// the durable prefix ends. nil when the session was unrecoverable.
+func (r *Recovered) Log() *SessionLog { return r.log }
+
+// Recover scans every session directory under the store, repairs crash
+// damage (torn record tails are truncated, unreachable segments are
+// deleted), and returns each session's snapshot plus post-snapshot WAL
+// records. Sessions are returned sorted by ID.
+//
+// Recovery is prefix-consistent: everything before the first damaged
+// byte replays exactly; everything after it is discarded. A session
+// whose snapshots are all damaged (or that crashed before its first
+// snapshot landed) comes back with a nil Snapshot.
+func (s *Store) Recover() ([]*Recovered, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("durable: scanning sessions: %w", err)
+	}
+	var out []*Recovered
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := s.sessionDir(e.Name()); err != nil {
+			continue // not a name Create could have produced
+		}
+		rec, err := s.recoverSession(e.Name())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// recoverSession repairs and loads one session directory.
+func (s *Store) recoverSession(id string) (*Recovered, error) {
+	dir := filepath.Join(s.root, id)
+	os.Remove(filepath.Join(dir, "snap.tmp")) // crashed mid-snapshot write
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: scanning session %s: %w", id, err)
+	}
+
+	snapshot, snapIdx := s.loadSnapshot(dir, entries)
+	if snapshot == nil {
+		// No usable snapshot: the session cannot be rebuilt (the WAL
+		// holds only elements, not the config). Report it unrecoverable;
+		// the caller decides whether to Remove the directory.
+		return &Recovered{ID: id}, nil
+	}
+
+	records, log, err := s.replaySegments(dir, entries, snapIdx)
+	if err != nil {
+		return nil, fmt.Errorf("durable: session %s: %w", id, err)
+	}
+	return &Recovered{ID: id, Snapshot: snapshot, Records: records, log: log}, nil
+}
+
+// loadSnapshot returns the newest snapshot that parses intact, trying
+// older ones if the newest is damaged. Damaged snapshots are deleted.
+func (s *Store) loadSnapshot(dir string, entries []os.DirEntry) ([]byte, uint64) {
+	idxs := sortedIdx(entries, "snap-", ".snap")
+	for i := len(idxs) - 1; i >= 0; i-- {
+		name := filepath.Join(dir, snapName(idxs[i]))
+		buf, err := os.ReadFile(name)
+		if err == nil {
+			if payload, _, perr := parseRecord(buf); perr == nil {
+				return append([]byte(nil), payload...), idxs[i]
+			}
+		}
+		os.Remove(name)
+	}
+	return nil, 0
+}
+
+// replaySegments walks the session's WAL from the newest snapshot
+// forward, collecting record payloads at indices >= snapIdx. The first
+// torn record truncates its file there; segments that do not chain
+// contiguously are deleted. The returned log is positioned to append at
+// the index after the last valid record.
+func (s *Store) replaySegments(dir string, entries []os.DirEntry, snapIdx uint64) ([][]byte, *SessionLog, error) {
+	segs := sortedIdx(entries, "wal-", ".seg")
+
+	// The replay chain starts at the last segment whose first record is
+	// covered by the snapshot; earlier segments are fully covered and
+	// ignored (the next snapshot compacts them away).
+	start := 0
+	for start < len(segs) && segs[start] <= snapIdx {
+		start++
+	}
+	start-- // last segment with first index <= snapIdx, or -1
+
+	dropFrom := func(i int) {
+		for ; i < len(segs); i++ {
+			os.Remove(filepath.Join(dir, segName(segs[i])))
+		}
+	}
+
+	var records [][]byte
+	nextIdx := snapIdx
+	lastSeg := -1 // index in segs of the segment holding the durable tail
+	if start >= 0 {
+		nextIdx = segs[start]
+		for i := start; i < len(segs); i++ {
+			if segs[i] != nextIdx {
+				// A gap or overlap in the chain: everything from here on
+				// is unreachable damage.
+				dropFrom(i)
+				break
+			}
+			name := filepath.Join(dir, segName(segs[i]))
+			buf, err := os.ReadFile(name)
+			if err != nil {
+				return nil, nil, fmt.Errorf("reading %s: %w", segName(segs[i]), err)
+			}
+			off, torn := 0, false
+			for off < len(buf) {
+				payload, n, perr := parseRecord(buf[off:])
+				if perr != nil {
+					torn = true
+					break
+				}
+				if nextIdx >= snapIdx {
+					records = append(records, append([]byte(nil), payload...))
+				}
+				off += n
+				nextIdx++
+			}
+			lastSeg = i
+			if torn {
+				if err := os.Truncate(name, int64(off)); err != nil {
+					return nil, nil, fmt.Errorf("truncating torn tail of %s: %w", segName(segs[i]), err)
+				}
+				s.probe.TornTruncation()
+				dropFrom(i + 1)
+				break
+			}
+		}
+	} else {
+		// Every segment starts above the snapshot index: the chain from
+		// the snapshot is broken, so no record is reachable.
+		dropFrom(0)
+	}
+
+	if nextIdx < snapIdx {
+		// The WAL's valid prefix ends below the snapshot's coverage. The
+		// snapshot is authoritative; appending into the damaged segment
+		// would break the index = segment-start + offset invariant, so
+		// retire the chain and let the next append start a fresh segment
+		// at snapIdx.
+		if lastSeg >= 0 {
+			dropFrom(start)
+			lastSeg = -1
+		}
+		nextIdx = snapIdx
+	}
+
+	log := &SessionLog{dir: dir, opts: s.opts, probe: s.probe, nextIdx: nextIdx}
+	if lastSeg >= 0 {
+		name := filepath.Join(dir, segName(segs[lastSeg]))
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reopening %s: %w", segName(segs[lastSeg]), err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("stat %s: %w", segName(segs[lastSeg]), err)
+		}
+		log.f = f
+		log.segSize = st.Size()
+		log.segStarts = segs[: lastSeg+1 : lastSeg+1]
+	}
+	return records, log, nil
+}

@@ -1,0 +1,88 @@
+package faultinject
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Disk chaos: primitives for building post-crash filesystem states. The
+// readers in this package damage streams in flight; these damage data at
+// rest — the shapes a kill -9 or a failing disk leaves behind. Tests
+// copy a healthy directory with CopyTree, then apply TruncateFile (torn
+// tail), FlipByte (silent corruption), or AppendBytes (stray garbage
+// past the last durable write) and assert recovery stays
+// prefix-consistent.
+
+// CopyTree copies the directory tree at src into dst (which must not
+// exist), preserving layout but not permissions beyond the defaults.
+// Use it to fork a healthy on-disk state into one crash scenario per
+// damage point.
+func CopyTree(dst, src string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+}
+
+// TruncateFile cuts the file to n bytes: the on-disk shape of a torn
+// write, where the process died after the filesystem persisted only a
+// prefix of the last write.
+func TruncateFile(path string, n int64) error {
+	return os.Truncate(path, n)
+}
+
+// FlipByte XORs the byte at off with mask, in place: silent media
+// corruption that leaves the file's length intact.
+func FlipByte(path string, off int64, mask byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		return err
+	}
+	b[0] ^= mask
+	_, err = f.WriteAt(b, off)
+	return err
+}
+
+// AppendBytes writes raw garbage after the file's current end: the
+// shape of a crash mid-append, where the header landed but the payload
+// (or its tail) did not.
+func AppendBytes(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

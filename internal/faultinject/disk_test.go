@@ -1,0 +1,57 @@
+package faultinject
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiskChaosPrimitives(t *testing.T) {
+	src := t.TempDir()
+	sub := filepath.Join(src, "sessions", "abc")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orig := []byte("0123456789")
+	if err := os.WriteFile(filepath.Join(sub, "wal.seg"), orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := filepath.Join(t.TempDir(), "fork")
+	if err := CopyTree(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	copied := filepath.Join(dst, "sessions", "abc", "wal.seg")
+	got, err := os.ReadFile(copied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, orig) {
+		t.Fatalf("CopyTree content = %q, want %q", got, orig)
+	}
+
+	if err := TruncateFile(copied, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(copied); string(got) != "0123" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	if err := FlipByte(copied, 1, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(copied); got[1] != '1'^0xff || got[0] != '0' {
+		t.Fatalf("after flip: %q", got)
+	}
+	if err := AppendBytes(copied, []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(copied); len(got) != 6 || got[4] != 0xde {
+		t.Fatalf("after append: %x", got)
+	}
+
+	// The original tree is untouched.
+	if got, _ = os.ReadFile(filepath.Join(sub, "wal.seg")); !bytes.Equal(got, orig) {
+		t.Fatalf("source mutated: %q", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"opd/internal/core"
+	"opd/internal/durable"
 	"opd/internal/telemetry"
 )
 
@@ -57,6 +58,13 @@ type Options struct {
 	// /debug/phasedet. nil disables instrumentation and those endpoints
 	// serve empty output.
 	Registry *telemetry.Registry
+	// Store persists sessions when non-nil: every chunk is WAL-appended
+	// before it is applied, the full session state is snapshotted every
+	// SnapshotEvery chunks, and Manager.Recover rebuilds live sessions
+	// from disk after a crash or restart. nil runs in-memory only.
+	Store *durable.Store
+	// SnapshotEvery is the snapshot cadence in applied chunks. 0 means 64.
+	SnapshotEvery int
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -78,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxEventsRetained == 0 {
 		o.MaxEventsRetained = 65536
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 64
 	}
 	if o.NewDetector == nil {
 		o.NewDetector = func(cfg core.Config) (*core.Detector, error) { return cfg.New() }
@@ -103,6 +114,7 @@ type Manager struct {
 	active atomic.Int64
 	drain  atomic.Bool
 	probe  *telemetry.ServeProbe
+	dprobe *telemetry.DurableProbe
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -114,6 +126,7 @@ func NewManager(opts Options) *Manager {
 	m := &Manager{
 		opts:    opts.withDefaults(),
 		probe:   telemetry.NewServeProbe(opts.Registry),
+		dprobe:  telemetry.NewDurableProbe(opts.Registry),
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
@@ -173,12 +186,45 @@ func (m *Manager) Open(cfg core.Config) (*Session, error) {
 		return nil, err
 	}
 	s := newSession(newID(), cfg, det, m.opts.MaxEventsRetained, m.probe)
+	if m.opts.Store != nil {
+		if err := m.attachDurable(s); err != nil {
+			m.active.Add(-1)
+			return nil, fmt.Errorf("%w: %w", ErrPersist, err)
+		}
+	}
 	sh := m.shardFor(s.id)
 	sh.mu.Lock()
 	sh.sessions[s.id] = s
 	sh.mu.Unlock()
 	m.probe.SessionOpened()
 	return s, nil
+}
+
+// attachDurable gives a new session its log and writes the initial
+// snapshot. The initial snapshot is what makes the session recoverable
+// at all — the WAL holds only elements, so the configuration must land
+// on disk before the first chunk is acknowledged.
+func (m *Manager) attachDurable(s *Session) error {
+	log, err := m.opts.Store.Create(s.id)
+	if err != nil {
+		return err
+	}
+	s.log = log
+	s.snapEvery = m.opts.SnapshotEvery
+	if err := s.snapshotLocked(); err != nil {
+		log.Close()
+		_ = m.opts.Store.Remove(s.id)
+		s.log = nil
+		return err
+	}
+	return nil
+}
+
+// removeDurable deletes a terminal session's on-disk state.
+func (m *Manager) removeDurable(id string) {
+	if m.opts.Store != nil {
+		_ = m.opts.Store.Remove(id)
+	}
 }
 
 // Get looks a live session up by ID.
@@ -217,6 +263,7 @@ func (m *Manager) Close(id string) (*Summary, bool) {
 	sum := s.close()
 	if m.remove(id) {
 		m.probe.SessionClosed(false)
+		m.removeDurable(id)
 	}
 	return sum, true
 }
@@ -255,15 +302,19 @@ func (m *Manager) evictExpired(now time.Time) {
 			s.close()
 			if m.remove(s.id) {
 				m.probe.SessionClosed(true)
+				m.removeDurable(s.id)
 			}
 		}
 	}
 }
 
-// Shutdown drains the manager: new opens are refused, the janitor
-// stops, and every live session is finished — buffered partial groups
-// applied, open phases flushed and their final events delivered to any
-// live streams — before it returns.
+// Shutdown drains the manager: new opens are refused and the janitor
+// stops. Without a store, every live session is finished — buffered
+// partial groups applied, open phases flushed and their final events
+// delivered to any live streams — before it returns. With a store,
+// sessions are instead persisted as-is (detectors are NOT finished, so
+// open phases and partial groups survive) and come back on the next
+// boot's Recover; clients resume after restart.
 func (m *Manager) Shutdown() {
 	m.drain.Store(true)
 	m.stopOnce.Do(func() { close(m.stop) })
@@ -276,10 +327,92 @@ func (m *Manager) Shutdown() {
 		}
 		sh.mu.RUnlock()
 		for _, s := range all {
-			s.close()
+			if m.opts.Store != nil {
+				s.persistClose()
+			} else {
+				s.close()
+			}
 			if m.remove(s.id) {
 				m.probe.SessionClosed(false)
 			}
 		}
 	}
+}
+
+// Recover rebuilds live sessions from the store's surviving state: for
+// each recoverable session the snapshot restores the detector and event
+// log, and the post-snapshot WAL records replay through the ordinary
+// detector path — phase events regenerate with their original sequence
+// numbers, and a chunk that deterministically panics re-poisons exactly
+// its own session. Sessions with no usable snapshot (crashed before
+// their first snapshot landed) or an undecodable one are dropped and
+// their directories removed.
+//
+// Call once at boot, before admitting traffic.
+func (m *Manager) Recover() (recovered, dropped int, err error) {
+	if m.opts.Store == nil {
+		return 0, 0, nil
+	}
+	m.dprobe.Recovery()
+	recs, err := m.opts.Store.Recover()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, rec := range recs {
+		s, rerr := m.recoverSession(rec)
+		if rerr != nil {
+			if rec.Log() != nil {
+				rec.Log().Close()
+			}
+			_ = m.opts.Store.Remove(rec.ID)
+			m.dprobe.SessionDropped()
+			dropped++
+			continue
+		}
+		sh := m.shardFor(s.id)
+		sh.mu.Lock()
+		sh.sessions[s.id] = s
+		sh.mu.Unlock()
+		m.active.Add(1)
+		m.dprobe.SessionRecovered()
+		recovered++
+	}
+	return recovered, dropped, nil
+}
+
+// recoverSession rebuilds one session from its snapshot + WAL tail.
+func (m *Manager) recoverSession(rec *durable.Recovered) (*Session, error) {
+	if rec.Snapshot == nil {
+		return nil, errors.New("serve: no usable snapshot")
+	}
+	det, cfg, events, base, err := decodeSessionSnapshot(rec.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	s := newSession(rec.ID, cfg, det, m.opts.MaxEventsRetained, m.probe)
+	s.events = append(s.events, events...)
+	s.base = base
+	s.log = rec.Log()
+	s.snapEvery = m.opts.SnapshotEvery
+	for _, payload := range rec.Records {
+		elems, err := decodeChunk(payload)
+		if err != nil {
+			// The record passed its CRC, so this is our own encoding bug;
+			// the durable prefix ends here. Keep what replayed cleanly.
+			break
+		}
+		if err := s.replay(elems); err != nil {
+			// The chunk re-poisoned the session, exactly as it did before
+			// the crash. Keep the failed session inspectable.
+			break
+		}
+	}
+	if s.state == StateActive {
+		// Compact: the next crash recovers from here instead of replaying
+		// the whole tail again. Failure is fine — the WAL still covers it.
+		s.mu.Lock()
+		_ = s.snapshotLocked()
+		s.mu.Unlock()
+	}
+	return s, nil
 }

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"opd/internal/core"
+	"opd/internal/telemetry"
+	"opd/internal/trace"
+)
+
+// ErrPersist reports that a session's durable state could not be written
+// (or a session could not be admitted durably). Handlers map it to HTTP
+// 503: the chunk was NOT applied, so the client may retry it verbatim.
+var ErrPersist = errors.New("serve: session persistence failed")
+
+// Session snapshot wire format (the payload handed to durable.SessionLog
+// snapshots; the durable layer adds CRC framing on top):
+//
+//	magic   "OPDSESS1"
+//	u8      version (1)
+//	uvarint detector snapshot length, then that many bytes (core format)
+//	uvarint event-log base (Seq of the first retained event)
+//	uvarint retained event count, then per event:
+//	  u8     kind (0 = phase_start, 1 = phase_end)
+//	  varint At, V1, V2
+//
+// The event log is part of the snapshot so Seq numbers stay absolute
+// across restarts: WAL replay regenerates the post-snapshot events
+// through the detector hooks, continuing the sequence exactly.
+const (
+	sessSnapMagic   = "OPDSESS1"
+	sessSnapVersion = 1
+)
+
+// encodeSnapshotLocked serializes the session's durable state. Callers
+// hold s.mu.
+func (s *Session) encodeSnapshotLocked() ([]byte, error) {
+	detSnap, err := s.det.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(sessSnapMagic)+1+len(detSnap)+16*len(s.events)+32)
+	buf = append(buf, sessSnapMagic...)
+	buf = append(buf, sessSnapVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(detSnap)))
+	buf = append(buf, detSnap...)
+	buf = binary.AppendUvarint(buf, s.base)
+	buf = binary.AppendUvarint(buf, uint64(len(s.events)))
+	for _, e := range s.events {
+		var kind byte
+		switch e.Kind {
+		case telemetry.EvPhaseStart.String():
+			kind = 0
+		case telemetry.EvPhaseEnd.String():
+			kind = 1
+		default:
+			return nil, fmt.Errorf("serve: unencodable event kind %q", e.Kind)
+		}
+		buf = append(buf, kind)
+		buf = binary.AppendVarint(buf, e.At)
+		buf = binary.AppendVarint(buf, e.V1)
+		buf = binary.AppendVarint(buf, e.V2)
+	}
+	return buf, nil
+}
+
+// decodeSessionSnapshot parses a session snapshot back into a restored
+// detector, its configuration, and the retained event log. The input is
+// CRC-verified by the durable layer but still decoded defensively.
+func decodeSessionSnapshot(data []byte) (*core.Detector, core.Config, []Event, uint64, error) {
+	var cfg core.Config
+	fail := func(msg string) (*core.Detector, core.Config, []Event, uint64, error) {
+		return nil, cfg, nil, 0, fmt.Errorf("serve: session snapshot: %s", msg)
+	}
+	if len(data) < len(sessSnapMagic)+1 || string(data[:len(sessSnapMagic)]) != sessSnapMagic {
+		return fail("bad magic")
+	}
+	if v := data[len(sessSnapMagic)]; v != sessSnapVersion {
+		return fail(fmt.Sprintf("unsupported version %d", v))
+	}
+	r := bytes.NewReader(data[len(sessSnapMagic)+1:])
+	detLen, err := binary.ReadUvarint(r)
+	if err != nil || detLen > uint64(r.Len()) {
+		return fail("detector snapshot length")
+	}
+	detSnap := make([]byte, detLen)
+	if _, err := io.ReadFull(r, detSnap); err != nil {
+		return fail("detector snapshot truncated")
+	}
+	det, cfg, err := core.RestoreDetector(detSnap)
+	if err != nil {
+		return nil, cfg, nil, 0, fmt.Errorf("serve: session snapshot: %w", err)
+	}
+	base, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fail("event base")
+	}
+	count, err := binary.ReadUvarint(r)
+	// Every encoded event takes at least 4 bytes, so count is bounded by
+	// the remaining input — reject absurd counts before allocating.
+	if err != nil || count > uint64(r.Len())/4+1 {
+		return fail("event count")
+	}
+	src := cfg.ID()
+	events := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		kind, err := r.ReadByte()
+		if err != nil || kind > 1 {
+			return fail("event kind")
+		}
+		name := telemetry.EvPhaseStart.String()
+		if kind == 1 {
+			name = telemetry.EvPhaseEnd.String()
+		}
+		at, err1 := binary.ReadVarint(r)
+		v1, err2 := binary.ReadVarint(r)
+		v2, err3 := binary.ReadVarint(r)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fail("event payload")
+		}
+		events = append(events, Event{Seq: base + i, Kind: name, Src: src, At: at, V1: v1, V2: v2})
+	}
+	if r.Len() != 0 {
+		return fail("trailing bytes")
+	}
+	return det, cfg, events, base, nil
+}
+
+// encodeChunk serializes one decoded chunk as a WAL record payload: the
+// standard self-contained OPDBRNC1 stream, so replay uses the same
+// strict reader as everything else.
+func encodeChunk(elems []trace.Branch) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(elems)*2 + 16)
+	if err := trace.WriteBranches(&buf, elems); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeChunk parses a WAL record payload back into elements.
+func decodeChunk(payload []byte) ([]trace.Branch, error) {
+	return trace.ReadBranches(bytes.NewReader(payload))
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"opd/internal/core"
 	"opd/internal/telemetry"
@@ -93,17 +94,53 @@ type Server struct {
 	reg     *telemetry.Registry
 	httpSrv *http.Server
 	ln      net.Listener
+	// ready gates the /v1 API. A durable server boots not-ready and
+	// flips after Recover replays the data dir; /readyz reports it so an
+	// orchestrator can hold traffic during replay while /healthz (pure
+	// liveness) already answers.
+	ready atomic.Bool
 }
 
-// NewServer builds a server (and its session manager) from options.
+// NewServer builds a server (and its session manager) from options. A
+// server without a store is ready immediately; one with a store must
+// Recover first.
 func NewServer(opts Options) *Server {
 	s := &Server{manager: NewManager(opts), reg: opts.Registry}
 	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.ready.Store(opts.Store == nil)
 	return s
 }
 
 // Manager exposes the session manager (tests and embedding callers).
 func (s *Server) Manager() *Manager { return s.manager }
+
+// Recover replays the data dir into live sessions and marks the server
+// ready. Call after Start: the listener answers /healthz and 503s API
+// traffic while replay runs. A no-op (still flipping ready) without a
+// store.
+func (s *Server) Recover() (recovered, dropped int, err error) {
+	recovered, dropped, err = s.manager.Recover()
+	if err != nil {
+		return recovered, dropped, err
+	}
+	s.ready.Store(true)
+	return recovered, dropped, nil
+}
+
+// Ready reports whether the /v1 API is admitting traffic.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// requireReady 503s API requests until boot replay has finished.
+func (s *Server) requireReady(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			writeError(w, http.StatusServiceUnavailable,
+				errors.New("serve: recovering, not ready"))
+			return
+		}
+		h(w, r)
+	}
+}
 
 // Handler builds the full mux:
 //
@@ -116,13 +153,14 @@ func (s *Server) Manager() *Manager { return s.manager }
 //	GET    /metrics                   Prometheus text exposition
 //	GET    /debug/phasedet[/events]   live telemetry debug surface
 //	GET    /healthz                   liveness + session count
+//	GET    /readyz                    503 while boot replay runs, then 200
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.handleOpen)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
-	mux.HandleFunc("POST /v1/sessions/{id}/elements", s.handleElements)
-	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/sessions", s.requireReady(s.handleOpen))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.requireReady(s.handleStatus))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.requireReady(s.handleClose))
+	mux.HandleFunc("POST /v1/sessions/{id}/elements", s.requireReady(s.handleElements))
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.requireReady(s.handleEvents))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.reg.WritePrometheus(w)
@@ -131,6 +169,15 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle(telemetry.DebugPath+"/", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": s.manager.Len()})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"status": "recovering"})
+			return
+		}
+		writeJSON(w, http.StatusOK,
+			map[string]any{"status": "ready", "sessions": s.manager.Len()})
 	})
 	return mux
 }
@@ -293,6 +340,9 @@ func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrClosed):
 			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, ErrPersist):
+			// The chunk was not applied; the client may retry it verbatim.
+			writeError(w, http.StatusServiceUnavailable, err)
 		default: // ErrFailed: the panic poisoned this session only
 			writeError(w, http.StatusInternalServerError, err)
 		}
@@ -321,6 +371,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		since = n
+	}
+	// SSE reconnect: the browser-standard Last-Event-ID header carries
+	// the Seq of the last event the client saw, so resume just after it.
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad Last-Event-ID %q: %w", v, err))
+			return
+		}
+		if n+1 > since {
+			since = n + 1
+		}
 	}
 	if r.URL.Query().Get("stream") != "" ||
 		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
@@ -361,7 +423,8 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sess *Sess
 		evs, next, terminated := sess.EventsSince(cursor)
 		for _, e := range evs {
 			data, _ := json.Marshal(e)
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data)
+			// The id: line feeds the client's Last-Event-ID on reconnect.
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data)
 		}
 		if len(evs) > 0 {
 			flusher.Flush()

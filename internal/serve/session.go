@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"opd/internal/core"
+	"opd/internal/durable"
 	"opd/internal/interval"
 	"opd/internal/sweep"
 	"opd/internal/telemetry"
@@ -115,6 +116,14 @@ type Session struct {
 	maxEvents int
 	subs      map[*subscriber]struct{}
 
+	// Durability (nil/zero when the server runs without a data dir).
+	// Chunks are WAL-appended before they touch the detector; every
+	// snapEvery applied chunks the full session state is snapshotted,
+	// compacting the WAL.
+	log       *durable.SessionLog
+	snapEvery int
+	sinceSnap int
+
 	probe *telemetry.ServeProbe
 }
 
@@ -198,12 +207,26 @@ func (s *Session) usableLocked() error {
 // core.ProcessBatch). A panic in detector/model code is recovered into a
 // *sweep.PanicError, the session transitions to StateFailed, and the
 // error is returned — the process and every other session are unharmed.
+//
+// With durability on, the chunk is WAL-appended before it touches the
+// detector: an acknowledged chunk is as durable as the fsync policy
+// promises, and a WAL write failure rejects the chunk (ErrPersist)
+// without applying it, so the client can retry it verbatim.
 func (s *Session) Feed(elems []trace.Branch) (err error) {
 	s.touch()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.usableLocked(); err != nil {
 		return err
+	}
+	if s.log != nil {
+		payload, err := encodeChunk(elems)
+		if err == nil {
+			err = s.log.Append(payload)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %w", ErrPersist, err)
+		}
 	}
 	defer func() {
 		if v := recover(); v != nil {
@@ -215,7 +238,73 @@ func (s *Session) Feed(elems []trace.Branch) (err error) {
 		}
 	}()
 	s.det.ProcessBatch(elems)
+	s.maybeSnapshotLocked()
 	return nil
+}
+
+// replay applies one recovered WAL chunk to the detector: Feed's apply
+// path without the WAL append (the chunk is already on disk). A panic
+// poisons the session just as it did in the original run.
+func (s *Session) replay(elems []trace.Branch) (err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			s.failed = &sweep.PanicError{Value: v, Stack: debug.Stack()}
+			s.state = StateFailed
+			s.probe.SessionFailed()
+			err = fmt.Errorf("%w: %w", ErrFailed, s.failed)
+		}
+	}()
+	s.det.ProcessBatch(elems)
+	return nil
+}
+
+// maybeSnapshotLocked persists a full session snapshot every snapEvery
+// applied chunks, compacting the WAL. A snapshot failure is not fatal:
+// the WAL still holds everything since the last snapshot, so the session
+// stays recoverable and the next cadence point retries.
+func (s *Session) maybeSnapshotLocked() {
+	if s.log == nil {
+		return
+	}
+	s.sinceSnap++
+	if s.sinceSnap < s.snapEvery {
+		return
+	}
+	if s.snapshotLocked() == nil {
+		s.sinceSnap = 0
+	}
+}
+
+// snapshotLocked persists the session's full state to its log.
+func (s *Session) snapshotLocked() error {
+	payload, err := s.encodeSnapshotLocked()
+	if err != nil {
+		return err
+	}
+	return s.log.Snapshot(payload)
+}
+
+// persistClose is the graceful-shutdown path for durable sessions: the
+// state is snapshotted as-is — the detector is NOT finished, so its
+// buffered partial group and open phase survive into the next process —
+// and the WAL is fsynced and closed. The in-memory session is abandoned
+// (the process is exiting); clients see their connections drop and
+// resume against the recovered session after restart.
+func (s *Session) persistClose() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return
+	}
+	if s.state == StateActive {
+		_ = s.snapshotLocked()
+	}
+	_ = s.log.Close()
 }
 
 // close finishes the session: the detector flushes its buffered partial
@@ -239,6 +328,11 @@ func (s *Session) close() *Summary {
 			s.det.Finish()
 			s.state = StateClosed
 		}()
+	}
+	if s.log != nil {
+		// Terminal close: the session's durable state is about to be
+		// removed by the manager, so just release the file handle.
+		_ = s.log.Close()
 	}
 	s.wakeLocked()
 	return s.summaryLocked()

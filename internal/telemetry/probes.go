@@ -69,6 +69,16 @@ const (
 	MetricServeIngestBytes      = "opd_serve_ingest_bytes_total"
 	MetricServeIngestElements   = "opd_serve_ingest_elements_total"
 	MetricServeEventsEmitted    = "opd_serve_events_emitted_total"
+
+	MetricDurableWALRecords        = "opd_durable_wal_records_total"
+	MetricDurableWALBytes          = "opd_durable_wal_bytes_total"
+	MetricDurableFsyncs            = "opd_durable_fsyncs_total"
+	MetricDurableSnapshots         = "opd_durable_snapshots_total"
+	MetricDurableSnapshotErrors    = "opd_durable_snapshot_errors_total"
+	MetricDurableRecoveries        = "opd_durable_recoveries_total"
+	MetricDurableSessionsRecovered = "opd_durable_sessions_recovered_total"
+	MetricDurableSessionsDropped   = "opd_durable_sessions_dropped_total"
+	MetricDurableTornTruncations   = "opd_durable_torn_truncations_total"
 )
 
 // A DetectorProbe instruments one core.Detector: element/group/similarity
@@ -582,6 +592,109 @@ func (p *ServeProbe) EventsEmitted(n int64) {
 		return
 	}
 	p.events.Add(n)
+}
+
+// A DurableProbe instruments the durability layer: write-ahead-log
+// traffic (records, bytes, fsyncs), snapshot churn, and crash-recovery
+// outcomes (boot replays, sessions recovered or dropped, torn WAL tails
+// truncated).
+type DurableProbe struct {
+	walRecords   *Counter
+	walBytes     *Counter
+	fsyncs       *Counter
+	snapshots    *Counter
+	snapErrors   *Counter
+	recoveries   *Counter
+	recovered    *Counter
+	dropped      *Counter
+	tornTruncats *Counter
+}
+
+// NewDurableProbe builds the durability probe. Returns nil for a nil
+// registry.
+func NewDurableProbe(reg *Registry) *DurableProbe {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(MetricDurableWALBytes, "Bytes appended to session write-ahead logs (framing included).")
+	reg.Help(MetricDurableFsyncs, "fsync calls issued by the durability layer (WAL segments, snapshots, directories).")
+	reg.Help(MetricDurableSessionsRecovered, "Sessions rebuilt from snapshot+WAL replay at boot.")
+	reg.Help(MetricDurableSessionsDropped, "Persisted sessions that could not be recovered (no valid snapshot).")
+	reg.Help(MetricDurableTornTruncations, "Torn or corrupt WAL tails truncated to the last valid record on open.")
+	return &DurableProbe{
+		walRecords:   reg.Counter(MetricDurableWALRecords),
+		walBytes:     reg.Counter(MetricDurableWALBytes),
+		fsyncs:       reg.Counter(MetricDurableFsyncs),
+		snapshots:    reg.Counter(MetricDurableSnapshots),
+		snapErrors:   reg.Counter(MetricDurableSnapshotErrors),
+		recoveries:   reg.Counter(MetricDurableRecoveries),
+		recovered:    reg.Counter(MetricDurableSessionsRecovered),
+		dropped:      reg.Counter(MetricDurableSessionsDropped),
+		tornTruncats: reg.Counter(MetricDurableTornTruncations),
+	}
+}
+
+// Record counts one WAL record of the given framed size.
+func (p *DurableProbe) Record(bytes int64) {
+	if p == nil {
+		return
+	}
+	p.walRecords.Inc()
+	p.walBytes.Add(bytes)
+}
+
+// Fsync counts one fsync issued by the durability layer.
+func (p *DurableProbe) Fsync() {
+	if p == nil {
+		return
+	}
+	p.fsyncs.Inc()
+}
+
+// Snapshot counts one session snapshot written; failed marks attempts
+// that did not become durable (the WAL still covers the state).
+func (p *DurableProbe) Snapshot(failed bool) {
+	if p == nil {
+		return
+	}
+	if failed {
+		p.snapErrors.Inc()
+		return
+	}
+	p.snapshots.Inc()
+}
+
+// Recovery counts one boot-time recovery pass over the data directory.
+func (p *DurableProbe) Recovery() {
+	if p == nil {
+		return
+	}
+	p.recoveries.Inc()
+}
+
+// SessionRecovered counts one session rebuilt from snapshot+WAL replay.
+func (p *DurableProbe) SessionRecovered() {
+	if p == nil {
+		return
+	}
+	p.recovered.Inc()
+}
+
+// SessionDropped counts one persisted session that recovery had to
+// abandon.
+func (p *DurableProbe) SessionDropped() {
+	if p == nil {
+		return
+	}
+	p.dropped.Inc()
+}
+
+// TornTruncation counts one WAL tail truncated to its last valid record.
+func (p *DurableProbe) TornTruncation() {
+	if p == nil {
+		return
+	}
+	p.tornTruncats.Inc()
 }
 
 // A ModelProbe instruments a custom similarity model from
