@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fuzz-smoke bench bench-smoke bench-json
+.PHONY: all build test check fuzz-smoke bench bench-smoke bench-guard bench-json
 
 all: build
 
@@ -40,6 +40,12 @@ bench:
 # a fast regression gate that benchmarks still build and complete.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-guard enforces the observability budget: full instrumentation
+# (stage timers, latency histograms, flight recorder) must not add more
+# than 5% to the BenchmarkServeIngest path versus a probe-free server.
+bench-guard:
+	OPD_TRACE_GUARD=1 $(GO) test -run=TestTracingOverheadGuard -v ./internal/serve
 
 # bench-json regenerates the checked-in benchmark records: the sweep
 # engine comparison and the streaming-server ingest overhead.

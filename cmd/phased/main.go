@@ -31,7 +31,11 @@
 // (periodic). Without -data-dir the server is purely in-memory.
 //
 // Telemetry is always on: /metrics (Prometheus) and /debug/phasedet
-// (Prometheus/JSON + the phase-event ring) are mounted on the same mux.
+// (Prometheus/JSON + the phase-event ring) are mounted on the same mux,
+// together with /debug/pprof and per-session flight recorders at
+// /v1/sessions/{id}/flight. Logs are structured (log/slog, key=value or
+// JSON via -log-format) with session and request IDs; -log-level debug
+// adds a line per HTTP request.
 //
 // SIGTERM/SIGINT shut down gracefully: new sessions are refused and
 // in-flight requests drain within -shutdown-grace. Without -data-dir
@@ -44,6 +48,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +58,23 @@ import (
 	"opd/internal/serve"
 	"opd/internal/telemetry"
 )
+
+// newLogger builds the process logger from the -log-level / -log-format
+// flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	hopts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, hopts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, hopts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want \"text\" or \"json\")", format)
+}
 
 func main() {
 	var (
@@ -68,8 +90,17 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "persist sessions here (WAL + snapshots) and recover them on boot; empty runs in-memory")
 		fsync      = flag.String("fsync", "always", "WAL fsync policy: \"always\", \"never\", or an interval like \"100ms\"")
 		snapEvery  = flag.Int("snapshot-every", 64, "checkpoint full session state every this many chunks")
+		flightLen  = flag.Int("flight-chunks", 64, "chunk traces retained per session in the flight recorder")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error (debug logs every request)")
+		logFormat  = flag.String("log-format", "text", "log output format: \"text\" (key=value) or \"json\"")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phased:", err)
+		os.Exit(2)
+	}
 
 	reg := telemetry.NewRegistry()
 	opts := serve.Options{
@@ -82,11 +113,13 @@ func main() {
 		MaxEventsRetained: *maxEvents,
 		Registry:          reg,
 		SnapshotEvery:     *snapEvery,
+		FlightChunks:      *flightLen,
+		Logger:            logger,
 	}
 	if *dataDir != "" {
 		policy, interval, err := durable.ParseSyncPolicy(*fsync)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "phased:", err)
+			logger.Error("bad -fsync flag", "err", err)
 			os.Exit(2)
 		}
 		store, err := durable.Open(durable.Options{
@@ -96,31 +129,35 @@ func main() {
 			Registry:     reg,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "phased:", err)
+			logger.Error("opening data dir", "dir", *dataDir, "err", err)
 			os.Exit(1)
 		}
 		opts.Store = store
 	}
 	srv := serve.NewServer(opts)
 	if err := srv.Start(*addr); err != nil {
-		fmt.Fprintln(os.Stderr, "phased:", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "phased: listening on %s\n", srv.Addr())
-	fmt.Fprintf(os.Stderr, "phased: telemetry at http://%s%s and /metrics\n", srv.Addr(), telemetry.DebugPath)
+	logger.Info("listening",
+		"addr", srv.Addr(),
+		"debug_url", fmt.Sprintf("http://%s%s", srv.Addr(), telemetry.DebugPath),
+		"metrics_url", fmt.Sprintf("http://%s/metrics", srv.Addr()))
 
 	// Boot replay: the listener is up (liveness probes pass, the API
 	// 503s) while the data dir replays; /readyz flips to 200 after.
 	if *dataDir != "" {
-		fmt.Fprintf(os.Stderr, "phased: recovering sessions from %s (fsync=%s)\n", *dataDir, *fsync)
+		logger.Info("recovering sessions", "data_dir", *dataDir, "fsync", *fsync)
 	}
+	t0 := time.Now()
 	recovered, dropped, err := srv.Recover()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phased: recovery:", err)
+		logger.Error("recovery failed", "err", err)
 		os.Exit(1)
 	}
 	if *dataDir != "" {
-		fmt.Fprintf(os.Stderr, "phased: recovered %d sessions (%d unrecoverable), ready\n", recovered, dropped)
+		logger.Info("ready",
+			"recovered", recovered, "dropped", dropped, "dur", time.Since(t0))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -128,16 +165,16 @@ func main() {
 	<-ctx.Done()
 	stop() // a second signal kills immediately
 
+	mode := "flushing open sessions"
 	if *dataDir != "" {
-		fmt.Fprintln(os.Stderr, "phased: shutting down, persisting open sessions")
-	} else {
-		fmt.Fprintln(os.Stderr, "phased: shutting down, flushing open sessions")
+		mode = "persisting open sessions"
 	}
+	logger.Info("shutting down", "mode", mode, "grace", *grace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "phased: shutdown:", err)
+		logger.Error("shutdown failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "phased: bye")
+	logger.Info("bye")
 }

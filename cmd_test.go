@@ -19,6 +19,21 @@ import (
 	"opd/internal/trace"
 )
 
+// listenAddrRe matches phased's structured startup log line, e.g.
+//
+//	time=... level=INFO msg=listening addr=127.0.0.1:43445 debug_url=...
+var listenAddrRe = regexp.MustCompile(`\bmsg=listening\b.*\baddr=(\S+)`)
+
+// listenAddr extracts the listen address from a phased log line, if the
+// line is the startup announcement.
+func listenAddr(line string) (string, bool) {
+	m := listenAddrRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", false
+	}
+	return m[1], true
+}
+
 // buildCmds compiles the repository's executables once per test run and
 // returns the directory holding them.
 func buildCmds(t *testing.T) string {
@@ -187,8 +202,8 @@ func TestPhasedServerE2E(t *testing.T) {
 			logMu.Lock()
 			logBuf.WriteString(line + "\n")
 			logMu.Unlock()
-			if rest, ok := strings.CutPrefix(line, "phased: listening on "); ok {
-				addrCh <- rest
+			if addr, ok := listenAddr(line); ok {
+				addrCh <- addr
 			}
 		}
 	}()
@@ -374,8 +389,8 @@ func startPhased(t *testing.T, bin string, args ...string) *phasedProc {
 			logMu.Lock()
 			logBuf.WriteString(line + "\n")
 			logMu.Unlock()
-			if rest, ok := strings.CutPrefix(line, "phased: listening on "); ok {
-				addrCh <- rest
+			if addr, ok := listenAddr(line); ok {
+				addrCh <- addr
 			}
 		}
 	}()
@@ -490,7 +505,7 @@ func TestPhasedCrashRecoveryE2E(t *testing.T) {
 	// acknowledged chunk survives (fsync=always), so the client simply
 	// resumes where it stopped.
 	p2 := startPhased(t, filepath.Join(bins, "phased"), durableArgs...)
-	if !strings.Contains(p2.logs(), "recovered 1 sessions") {
+	if !strings.Contains(p2.logs(), "msg=ready recovered=1") {
 		t.Fatalf("restarted phased did not recover the session\nlog:\n%s", p2.logs())
 	}
 	sresp, err := http.Get(p2.base + "/v1/sessions/" + opened.ID)

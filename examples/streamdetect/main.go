@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"os"
@@ -136,19 +137,25 @@ func watchEvents(url string, done chan<- struct{}) {
 		backoffMin = 200 * time.Millisecond
 		backoffMax = 5 * time.Second
 	)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	backoff := backoffMin
 	lastID := ""
+	attempt := 0
 	for {
 		gotEvents, ended, gone := watchOnce(url, lastID, &lastID)
 		if ended || gone {
 			return
 		}
 		if gotEvents {
-			backoff = backoffMin // the connection was healthy; start over
+			backoff, attempt = backoffMin, 0 // the connection was healthy; start over
 		}
+		attempt++
 		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
-		fmt.Fprintf(os.Stderr, "streamdetect: sse: stream dropped, reconnecting in %v\n",
-			sleep.Round(time.Millisecond))
+		logger.Warn("sse stream dropped, reconnecting",
+			"attempt", attempt,
+			"backoff", sleep.Round(time.Millisecond),
+			"last_event_id", lastID,
+		)
 		time.Sleep(sleep)
 		if backoff *= 2; backoff > backoffMax {
 			backoff = backoffMax

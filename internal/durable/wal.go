@@ -61,13 +61,17 @@ func parseIdx(name, prefix, suffix string) (uint64, bool) {
 	return v, true
 }
 
-// syncFile fsyncs f per the log's accounting.
-func (l *SessionLog) syncFile(f *os.File) error {
+// syncFile fsyncs f per the log's accounting, returning the fsync's
+// duration in nanoseconds.
+func (l *SessionLog) syncFile(f *os.File) (int64, error) {
+	t0 := time.Now()
 	if err := f.Sync(); err != nil {
-		return err
+		return 0, err
 	}
+	ns := time.Since(t0).Nanoseconds()
 	l.probe.Fsync()
-	return nil
+	l.probe.FsyncLatency(ns)
+	return ns, nil
 }
 
 // syncDir fsyncs the session directory so file creations and renames are
@@ -78,14 +82,15 @@ func (l *SessionLog) syncDir() error {
 		return err
 	}
 	defer d.Close()
-	return l.syncFile(d)
+	_, err = l.syncFile(d)
+	return err
 }
 
 // rotate closes the open segment and starts a new one whose first record
 // is nextIdx.
 func (l *SessionLog) rotate() error {
 	if l.f != nil {
-		if err := l.syncFile(l.f); err != nil {
+		if _, err := l.syncFile(l.f); err != nil {
 			return err
 		}
 		if err := l.f.Close(); err != nil {
@@ -111,42 +116,66 @@ func (l *SessionLog) NextIndex() uint64 {
 	return l.nextIdx
 }
 
+// AppendStats attributes one Append's latency: the record write
+// (framing + file write, plus any segment rotation) versus the fsync the
+// policy issued, if any.
+type AppendStats struct {
+	WriteNS int64
+	FsyncNS int64
+}
+
 // Append writes one record to the WAL and makes it as durable as the
 // configured fsync policy promises: SyncAlways fsyncs before returning,
 // SyncInterval fsyncs when at least the configured interval has passed
 // since the last fsync, SyncNever leaves flushing to the OS.
 func (l *SessionLog) Append(payload []byte) error {
+	_, err := l.AppendTimed(payload)
+	return err
+}
+
+// AppendTimed is Append returning the write/fsync latency split, for
+// callers attributing per-chunk stage time (the serve layer's stage
+// timers).
+func (l *SessionLog) AppendTimed(payload []byte) (AppendStats, error) {
+	var stats AppendStats
+	t0 := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return fmt.Errorf("durable: append to closed log %s", l.dir)
+		return stats, fmt.Errorf("durable: append to closed log %s", l.dir)
 	}
 	if l.f == nil || l.segSize >= l.opts.SegmentBytes {
 		if err := l.rotate(); err != nil {
-			return fmt.Errorf("durable: rotating segment: %w", err)
+			return stats, fmt.Errorf("durable: rotating segment: %w", err)
 		}
 	}
 	frame := appendRecord(make([]byte, 0, recordHeaderSize+len(payload)), payload)
 	if _, err := l.f.Write(frame); err != nil {
-		return fmt.Errorf("durable: appending record %d: %w", l.nextIdx, err)
+		return stats, fmt.Errorf("durable: appending record %d: %w", l.nextIdx, err)
 	}
 	l.segSize += int64(len(frame))
 	l.nextIdx++
 	l.probe.Record(int64(len(frame)))
+	stats.WriteNS = time.Since(t0).Nanoseconds()
+	l.probe.AppendLatency(stats.WriteNS)
 	switch l.opts.Policy {
 	case SyncAlways:
-		if err := l.syncFile(l.f); err != nil {
-			return fmt.Errorf("durable: fsync after record %d: %w", l.nextIdx-1, err)
+		ns, err := l.syncFile(l.f)
+		if err != nil {
+			return stats, fmt.Errorf("durable: fsync after record %d: %w", l.nextIdx-1, err)
 		}
+		stats.FsyncNS = ns
 	case SyncInterval:
 		if now := time.Now(); now.Sub(l.lastSync) >= l.opts.SyncInterval {
-			if err := l.syncFile(l.f); err != nil {
-				return fmt.Errorf("durable: fsync after record %d: %w", l.nextIdx-1, err)
+			ns, err := l.syncFile(l.f)
+			if err != nil {
+				return stats, fmt.Errorf("durable: fsync after record %d: %w", l.nextIdx-1, err)
 			}
+			stats.FsyncNS = ns
 			l.lastSync = now
 		}
 	}
-	return nil
+	return stats, nil
 }
 
 // Snapshot atomically persists a session snapshot covering every record
@@ -160,11 +189,13 @@ func (l *SessionLog) Snapshot(payload []byte) error {
 		return fmt.Errorf("durable: snapshot on closed log %s", l.dir)
 	}
 	idx := l.nextIdx
+	t0 := time.Now()
 	err := l.writeSnapshot(idx, payload)
 	l.probe.Snapshot(err != nil)
 	if err != nil {
 		return err
 	}
+	l.probe.SnapshotLatency(time.Since(t0).Nanoseconds())
 	l.compact(idx)
 	return nil
 }
@@ -180,7 +211,7 @@ func (l *SessionLog) writeSnapshot(idx uint64, payload []byte) error {
 		f.Close()
 		return fmt.Errorf("durable: writing snapshot: %w", err)
 	}
-	if err := l.syncFile(f); err != nil {
+	if _, err := l.syncFile(f); err != nil {
 		f.Close()
 		return fmt.Errorf("durable: fsync snapshot: %w", err)
 	}
@@ -223,7 +254,7 @@ func (l *SessionLog) Close() error {
 	if l.f == nil {
 		return nil
 	}
-	err := l.syncFile(l.f)
+	_, err := l.syncFile(l.f)
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

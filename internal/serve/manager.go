@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,13 @@ type Options struct {
 	Store *durable.Store
 	// SnapshotEvery is the snapshot cadence in applied chunks. 0 means 64.
 	SnapshotEvery int
+	// FlightChunks is how many recent chunk traces each session's flight
+	// recorder retains for post-mortems. 0 means 64.
+	FlightChunks int
+	// Logger receives structured lifecycle and post-mortem logs (session
+	// open/close/evict/fail, flight-recorder dumps, request logs). nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -89,6 +97,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SnapshotEvery == 0 {
 		o.SnapshotEvery = 64
+	}
+	if o.FlightChunks == 0 {
+		o.FlightChunks = 64
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	if o.NewDetector == nil {
 		o.NewDetector = func(cfg core.Config) (*core.Detector, error) { return cfg.New() }
@@ -185,7 +199,7 @@ func (m *Manager) Open(cfg core.Config) (*Session, error) {
 		m.active.Add(-1)
 		return nil, err
 	}
-	s := newSession(newID(), cfg, det, m.opts.MaxEventsRetained, m.probe)
+	s := newSession(newID(), cfg, det, m.opts.MaxEventsRetained, m.opts.FlightChunks, m.probe, m.opts.Logger)
 	if m.opts.Store != nil {
 		if err := m.attachDurable(s); err != nil {
 			m.active.Add(-1)
@@ -197,6 +211,7 @@ func (m *Manager) Open(cfg core.Config) (*Session, error) {
 	sh.sessions[s.id] = s
 	sh.mu.Unlock()
 	m.probe.SessionOpened()
+	m.opts.Logger.Info("session opened", "session", s.id, "config", s.configID, "durable", m.opts.Store != nil)
 	return s, nil
 }
 
@@ -264,6 +279,8 @@ func (m *Manager) Close(id string) (*Summary, bool) {
 	if m.remove(id) {
 		m.probe.SessionClosed(false)
 		m.removeDurable(id)
+		m.opts.Logger.Info("session closed", "session", id,
+			"consumed", sum.Consumed, "events", sum.EventsTotal, "state", string(sum.State))
 	}
 	return sum, true
 }
@@ -303,6 +320,8 @@ func (m *Manager) evictExpired(now time.Time) {
 			if m.remove(s.id) {
 				m.probe.SessionClosed(true)
 				m.removeDurable(s.id)
+				m.opts.Logger.Info("session evicted", "session", s.id,
+					"idle_since", s.idleSince(), "created", s.created)
 			}
 		}
 	}
@@ -366,9 +385,12 @@ func (m *Manager) Recover() (recovered, dropped int, err error) {
 			}
 			_ = m.opts.Store.Remove(rec.ID)
 			m.dprobe.SessionDropped()
+			m.opts.Logger.Warn("session unrecoverable, dropping", "session", rec.ID, "err", rerr)
 			dropped++
 			continue
 		}
+		m.opts.Logger.Info("session recovered", "session", s.id, "config", s.configID,
+			"replayed_chunks", len(rec.Records), "state", string(s.State()))
 		sh := m.shardFor(s.id)
 		sh.mu.Lock()
 		sh.sessions[s.id] = s
@@ -389,8 +411,11 @@ func (m *Manager) recoverSession(rec *durable.Recovered) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := newSession(rec.ID, cfg, det, m.opts.MaxEventsRetained, m.probe)
+	s := newSession(rec.ID, cfg, det, m.opts.MaxEventsRetained, m.opts.FlightChunks, m.probe, m.opts.Logger)
 	s.events = append(s.events, events...)
+	// Restored events get no wall time: SSE lag across a restart is
+	// meaningless, and a zero entry tells the stream path to skip them.
+	s.wall = make([]int64, len(events))
 	s.base = base
 	s.log = rec.Log()
 	s.snapEvery = m.opts.SnapshotEvery

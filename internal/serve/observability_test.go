@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"opd/internal/telemetry"
+)
+
+// syncBuffer is a goroutine-safe log sink for capturing slog output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestStageMetricsExposed streams chunks through an instrumented server
+// and asserts the per-stage latency summaries, the end-to-end chunk
+// histogram, and the Go runtime gauges all surface on /metrics.
+func TestStageMetricsExposed(t *testing.T) {
+	tr := phasedTrace(12000)
+	reg := telemetry.NewRegistry()
+	_, c := newTestServer(t, Options{Registry: reg})
+
+	id, _ := c.open(ConfigRequest{CW: 300})
+	for _, chunk := range chunks(tr, []int{1024}) {
+		c.send(id, chunk)
+	}
+
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`opd_serve_stage_latency_ns{stage="decode",quantile="0.99"}`,
+		`opd_serve_stage_latency_ns{stage="detect",quantile="0.999"}`,
+		`opd_serve_stage_latency_ns_count{stage="read"}`,
+		`opd_serve_chunk_latency_ns{quantile="0.5"}`,
+		`opd_serve_chunk_latency_ns_sum`,
+		`opd_go_goroutines`,
+		`opd_go_heap_alloc_bytes`,
+		`opd_go_gc_cycles_total`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The stage histograms actually saw every chunk.
+	wantChunks := int64(len(chunks(tr, []int{1024})))
+	for _, stage := range []string{"read", "decode", "detect"} {
+		lat := reg.Latency(telemetry.MetricServeStageLatency, telemetry.L("stage", stage))
+		if got := lat.Count(); got != wantChunks {
+			t.Errorf("stage %s count = %d, want %d", stage, got, wantChunks)
+		}
+	}
+	if got := reg.Latency(telemetry.MetricServeChunkLatency).Count(); got != wantChunks {
+		t.Errorf("chunk latency count = %d, want %d", got, wantChunks)
+	}
+}
+
+// flightResponse mirrors the flight endpoint's JSON shape.
+type flightResponse struct {
+	ID     string                 `json:"id"`
+	State  string                 `json:"state"`
+	Stages []string               `json:"stages"`
+	Total  int64                  `json:"total"`
+	Traces []telemetry.ChunkTrace `json:"traces"`
+}
+
+// TestFlightEndpoint pins the per-session flight recorder surface: every
+// chunk — including a rejected corrupt one — leaves a trace with stage
+// attribution, retrievable over HTTP.
+func TestFlightEndpoint(t *testing.T) {
+	tr := phasedTrace(6000)
+	_, c := newTestServer(t, Options{Registry: telemetry.NewRegistry(), FlightChunks: 4})
+
+	id, _ := c.open(ConfigRequest{CW: 300})
+	parts := chunks(tr, []int{1024})
+	for _, chunk := range parts {
+		c.send(id, chunk)
+	}
+	// A corrupt chunk is rejected with 400 but still recorded.
+	if status, _ := c.sendRaw(id, []byte("not a trace")); status != http.StatusBadRequest {
+		t.Fatalf("corrupt chunk: status %d, want 400", status)
+	}
+
+	resp, err := c.http.Get(c.base + "/v1/sessions/" + id + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flight: status %d", resp.StatusCode)
+	}
+	var fr flightResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.ID != id || fr.State != string(StateActive) {
+		t.Errorf("flight id/state = %s/%s", fr.ID, fr.State)
+	}
+	if want := int64(len(parts)) + 1; fr.Total != want {
+		t.Errorf("flight total = %d, want %d", fr.Total, want)
+	}
+	if len(fr.Traces) != 4 {
+		t.Fatalf("flight retained %d traces, want 4 (FlightChunks)", len(fr.Traces))
+	}
+	if len(fr.Stages) != int(telemetry.NumStages) || fr.Stages[telemetry.StageDetect] != "detect" {
+		t.Errorf("flight stages = %v", fr.Stages)
+	}
+	// Traces are oldest-first with contiguous seq; the last one is the
+	// corrupt chunk.
+	for i := 1; i < len(fr.Traces); i++ {
+		if fr.Traces[i].Seq != fr.Traces[i-1].Seq+1 {
+			t.Errorf("trace seqs not contiguous: %d then %d", fr.Traces[i-1].Seq, fr.Traces[i].Seq)
+		}
+	}
+	last := fr.Traces[len(fr.Traces)-1]
+	if last.Err == "" || last.Elements != 0 {
+		t.Errorf("corrupt chunk trace = %+v, want err set and no elements", last)
+	}
+	good := fr.Traces[len(fr.Traces)-2]
+	if want := int64(len(parts[len(parts)-1])); good.Err != "" || good.Elements != want || good.TotalNS <= 0 {
+		t.Errorf("good chunk trace = %+v", good)
+	}
+	if good.StageNS[telemetry.StageDetect] <= 0 || good.StageNS[telemetry.StageDecode] <= 0 {
+		t.Errorf("good chunk missing stage attribution: %v", good.StageNS)
+	}
+
+	// Unknown sessions 404.
+	resp2, err := c.http.Get(c.base + "/v1/sessions/nope/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown flight: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestPoisonedSessionDumpsFlight pins the post-mortem path: a detector
+// panic logs the session's flight recorder through the structured
+// logger.
+func TestPoisonedSessionDumpsFlight(t *testing.T) {
+	tr := phasedTrace(12000)
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	const marker = 0.59
+	_, c := newTestServer(t, Options{
+		NewDetector: panicSeam(marker, 3),
+		Registry:    telemetry.NewRegistry(),
+		Logger:      logger,
+	})
+
+	id, _ := c.open(ConfigRequest{CW: 300, Param: marker})
+	sawFailure := false
+	for _, chunk := range chunks(tr, []int{1024}) {
+		status, _ := c.sendRaw(id, mustEncode(t, chunk))
+		if status == http.StatusInternalServerError {
+			sawFailure = true
+			break
+		}
+	}
+	if !sawFailure {
+		t.Fatal("poisoned session never failed")
+	}
+	out := logBuf.String()
+	for _, want := range []string{"session poisoned", "flight recorder", "injected model bug", id[:8]} {
+		if !strings.Contains(out, want) {
+			t.Errorf("poison log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRequestLogging pins the structured request log: at debug level
+// every request leaves a line with method, path, and status; client
+// errors log at warn.
+func TestRequestLogging(t *testing.T) {
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	_, c := newTestServer(t, Options{Logger: logger})
+
+	id, _ := c.open(ConfigRequest{CW: 300})
+	c.send(id, phasedTrace(100))
+	if status, _ := c.sendRaw("nope", nil); status != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", status)
+	}
+
+	out := logBuf.String()
+	for _, want := range []string{
+		"msg=request",
+		"method=POST",
+		"path=/v1/sessions",
+		"status=200",
+		"status=404",
+		"level=WARN",
+		"req=",
+		"dur=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("request log missing %q:\n%s", want, out)
+		}
+	}
+	// Lifecycle lines ride the same logger.
+	if !strings.Contains(out, "session opened") {
+		t.Errorf("missing session-opened line:\n%s", out)
+	}
+}

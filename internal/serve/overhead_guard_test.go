@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+
+	"opd/internal/telemetry"
+	"opd/internal/trace"
+)
+
+// ingestRun measures one full-workload HTTP ingest (the
+// BenchmarkServeIngest body) against a server with the given registry,
+// returning ns/op.
+func ingestRun(t *testing.T, reg *telemetry.Registry, payload [][]byte) float64 {
+	t.Helper()
+	srv := NewServer(Options{Registry: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.manager.Shutdown()
+	client := ts.Client()
+
+	body, _ := json.Marshal(ConfigRequest{CW: benchConfig.CWSize, Policy: "adaptive"})
+	resp, err := client.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opened struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&opened); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	url := ts.URL + "/v1/sessions/" + opened.ID + "/elements"
+
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range payload {
+				cresp, err := client.Post(url, "application/octet-stream", bytes.NewReader(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cresp.StatusCode != http.StatusOK {
+					b.Fatalf("chunk: status %d", cresp.StatusCode)
+				}
+				cresp.Body.Close()
+			}
+		}
+	})
+	return float64(res.NsPerOp())
+}
+
+// TestTracingOverheadGuard is the bench-smoke guard for the tentpole's
+// overhead budget: full instrumentation (stage timers, latency
+// histograms, flight recorder) must not add more than 5% to the
+// BenchmarkServeIngest path versus a probe-free server. Wall-clock
+// comparisons are inherently noisy, so the guard runs only when
+// OPD_TRACE_GUARD=1 (the Makefile's bench-guard target) and compares
+// medians of interleaved runs.
+func TestTracingOverheadGuard(t *testing.T) {
+	if os.Getenv("OPD_TRACE_GUARD") == "" {
+		t.Skip("set OPD_TRACE_GUARD=1 to run the tracing overhead guard")
+	}
+	tr := phasedTrace(1 << 16)
+	const chunk = 16384
+	var payload [][]byte
+	for i := 0; i < len(tr); i += chunk {
+		end := i + chunk
+		if end > len(tr) {
+			end = len(tr)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteBranches(&buf, tr[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		payload = append(payload, buf.Bytes())
+	}
+
+	const rounds = 5
+	var plain, traced []float64
+	for i := 0; i < rounds; i++ {
+		// Interleave so drift (thermal, co-tenants) hits both sides.
+		plain = append(plain, ingestRun(t, nil, payload))
+		traced = append(traced, ingestRun(t, telemetry.NewRegistry(), payload))
+	}
+	// Compare the fastest run of each side: the minimum is the least
+	// contaminated by scheduler and co-tenant noise, which on a busy host
+	// dwarfs the few atomic adds per chunk being measured.
+	sort.Float64s(plain)
+	sort.Float64s(traced)
+	p, tr2 := plain[0], traced[0]
+	ratio := tr2 / p
+	t.Logf("ingest ns/op: plain min %.0f, traced min %.0f, ratio %.4f", p, tr2, ratio)
+	fmt.Fprintf(os.Stderr, "tracing overhead guard: plain %.0f ns/op, traced %.0f ns/op (%+.2f%%)\n",
+		p, tr2, (ratio-1)*100)
+	if ratio > 1.05 {
+		t.Errorf("tracing adds %.2f%% to ServeIngest, budget is 5%%", (ratio-1)*100)
+	}
+}

@@ -1,16 +1,21 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"opd/internal/core"
 	"opd/internal/telemetry"
@@ -92,8 +97,11 @@ func (r ConfigRequest) Config() (core.Config, error) {
 type Server struct {
 	manager *Manager
 	reg     *telemetry.Registry
+	logger  *slog.Logger
 	httpSrv *http.Server
 	ln      net.Listener
+	// reqSeq numbers requests for the structured request log.
+	reqSeq atomic.Uint64
 	// ready gates the /v1 API. A durable server boots not-ready and
 	// flips after Recover replays the data dir; /readyz reports it so an
 	// orchestrator can hold traffic during replay while /healthz (pure
@@ -105,7 +113,9 @@ type Server struct {
 // server without a store is ready immediately; one with a store must
 // Recover first.
 func NewServer(opts Options) *Server {
+	telemetry.RegisterRuntimeGauges(opts.Registry)
 	s := &Server{manager: NewManager(opts), reg: opts.Registry}
+	s.logger = s.manager.opts.Logger
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	s.ready.Store(opts.Store == nil)
 	return s
@@ -149,11 +159,19 @@ func (s *Server) requireReady(h http.HandlerFunc) http.HandlerFunc {
 //	POST   /v1/sessions/{id}/elements ingest one binary trace chunk
 //	GET    /v1/sessions/{id}/events   poll (?since=N) or SSE (Accept:
 //	                                  text/event-stream or ?stream=1)
+//	GET    /v1/sessions/{id}/flight   the session's flight recorder: the
+//	                                  last N chunk traces with per-stage
+//	                                  latencies (post-mortem surface)
 //	DELETE /v1/sessions/{id}          finish the session, return summary
 //	GET    /metrics                   Prometheus text exposition
 //	GET    /debug/phasedet[/events]   live telemetry debug surface
+//	GET    /debug/pprof/...           Go runtime profiling
 //	GET    /healthz                   liveness + session count
 //	GET    /readyz                    503 while boot replay runs, then 200
+//
+// Every request passes through the structured request log (debug level
+// for successes, warn for 4xx, error for 5xx) with a request ID, the
+// method, path, status, duration, and response size.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.requireReady(s.handleOpen))
@@ -161,12 +179,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.requireReady(s.handleClose))
 	mux.HandleFunc("POST /v1/sessions/{id}/elements", s.requireReady(s.handleElements))
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.requireReady(s.handleEvents))
+	mux.HandleFunc("GET /v1/sessions/{id}/flight", s.requireReady(s.handleFlight))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.reg.WritePrometheus(w)
 	})
 	mux.Handle(telemetry.DebugPath, s.reg.Handler())
 	mux.Handle(telemetry.DebugPath+"/", s.reg.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": s.manager.Len()})
 	})
@@ -179,7 +203,59 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK,
 			map[string]any{"status": "ready", "sessions": s.manager.Len()})
 	})
-	return mux
+	return s.logRequests(mux)
+}
+
+// A statusRecorder captures the status code and body size a handler
+// writes, for the request log. It forwards Flush so SSE streaming keeps
+// working through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logRequests is the structured request log: one line per request with
+// a server-scoped request ID, at debug for successes so steady-state
+// ingest stays quiet, warn for client errors, error for server errors.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sr, r)
+		level := slog.LevelDebug
+		switch {
+		case sr.status >= 500:
+			level = slog.LevelError
+		case sr.status >= 400:
+			level = slog.LevelWarn
+		}
+		s.logger.LogAttrs(r.Context(), level, "request",
+			slog.Uint64("req", s.reqSeq.Add(1)),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sr.status),
+			slog.Duration("dur", time.Since(t0)),
+			slog.Int64("bytes", sr.bytes),
+		)
+	})
 }
 
 // Start binds addr (":0" picks a free port) and serves in the
@@ -292,16 +368,10 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sum)
 }
 
-// countReader counts bytes consumed from the chunk body.
-type countReader struct {
-	r io.Reader
-	n int64
-}
-
-func (c *countReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.n += int64(n)
-	return n, err
+// chunkBufPool recycles chunk body buffers across ingest requests so
+// the read stage does not allocate per chunk.
+var chunkBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
 }
 
 func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
@@ -309,22 +379,42 @@ func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	// One chunk is one self-contained OPDBRNC1 stream (magic + count +
-	// deltas; the delta baseline restarts per chunk). The lenient reader
-	// classifies damage without losing the decode position; a damaged
-	// chunk is rejected whole — nothing of it reaches the detector, so
-	// the client can repair and resend exactly this chunk.
+	ct := telemetry.ChunkTrace{Start: time.Now()}
+	// Read the whole body first so the trace can attribute network/read
+	// time separately from decode time. One chunk is one self-contained
+	// OPDBRNC1 stream (magic + count + deltas; the delta baseline
+	// restarts per chunk), so buffering it whole is the natural unit.
+	buf := chunkBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer chunkBufPool.Put(buf)
+	t0 := time.Now()
 	body := http.MaxBytesReader(w, r.Body, s.manager.opts.MaxChunkBytes)
-	cr := &countReader{r: body}
-	elems, err := trace.ReadBranchesLenient(cr)
-	if err != nil {
+	_, rerr := buf.ReadFrom(body)
+	ct.StageNS[telemetry.StageRead] = time.Since(t0).Nanoseconds()
+	ct.Bytes = int64(buf.Len())
+	if rerr != nil {
 		s.manager.probe.ChunkError()
+		sess.RecordBadChunk(&ct, rerr)
 		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
+		if errors.As(rerr, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("serve: chunk exceeds %d bytes", s.manager.opts.MaxChunkBytes))
 			return
 		}
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: reading chunk: %w", rerr))
+		return
+	}
+	// The lenient reader classifies damage without losing the decode
+	// position; a damaged chunk is rejected whole — nothing of it
+	// reaches the detector, so the client can repair and resend exactly
+	// this chunk.
+	t0 = time.Now()
+	elems, err := trace.ReadBranchesLenient(bytes.NewReader(buf.Bytes()))
+	ct.StageNS[telemetry.StageDecode] = time.Since(t0).Nanoseconds()
+	if err != nil {
+		s.manager.probe.ChunkError()
+		sess.RecordBadChunk(&ct, err)
 		eb := errorBody{Error: err.Error(), Kind: "corrupt"}
 		if errors.Is(err, trace.ErrTruncated) {
 			eb.Kind = "truncated"
@@ -336,7 +426,7 @@ func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, eb)
 		return
 	}
-	if err := sess.Feed(elems); err != nil {
+	if err := sess.FeedTraced(elems, &ct); err != nil {
 		switch {
 		case errors.Is(err, ErrClosed):
 			writeError(w, http.StatusConflict, err)
@@ -348,13 +438,42 @@ func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.manager.probe.Chunk(cr.n, int64(len(elems)))
+	s.manager.probe.Chunk(ct.Bytes, int64(len(elems)))
 	consumed, inPhase, eventsTotal := sess.Progress()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"elements":     len(elems),
 		"consumed":     consumed,
 		"in_phase":     inPhase,
 		"events_total": eventsTotal,
+	})
+}
+
+// handleFlight serves the session's flight recorder: the last N chunk
+// traces with per-stage nanosecond timings, newest last. This is the
+// post-mortem surface — after a slow or failed chunk, the recorder shows
+// exactly where each recent chunk spent its time.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	traces, total := sess.Flight()
+	if traces == nil {
+		traces = []telemetry.ChunkTrace{}
+	}
+	// stages names the stage_ns array's indices so the dump is
+	// self-describing.
+	stages := make([]string, telemetry.NumStages)
+	for _, st := range telemetry.Stages() {
+		stages[st] = st.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     sess.ID(),
+		"config": sess.ConfigID(),
+		"state":  sess.State(),
+		"stages": stages,
+		"total":  total,
+		"traces": traces,
 	})
 }
 
@@ -420,11 +539,17 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sess *Sess
 	defer sess.unsubscribe(sub)
 	cursor := since
 	for {
-		evs, next, terminated := sess.EventsSince(cursor)
-		for _, e := range evs {
+		evs, wall, next, terminated := sess.eventsSinceWall(cursor)
+		now := time.Now().UnixNano()
+		for i, e := range evs {
 			data, _ := json.Marshal(e)
 			// The id: line feeds the client's Last-Event-ID on reconnect.
 			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data)
+			// Delivery lag: detection wall time to SSE write. Events
+			// restored from a snapshot carry no wall time and are skipped.
+			if wall[i] > 0 {
+				s.manager.probe.SSELag(now - wall[i])
+			}
 		}
 		if len(evs) > 0 {
 			flusher.Flush()

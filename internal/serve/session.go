@@ -18,7 +18,9 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,8 +112,13 @@ type Session struct {
 	failed error // the wrapped *sweep.PanicError when state == StateFailed
 
 	// The event log. Seq numbers are absolute; base is the Seq of
-	// events[0] after old events have been trimmed.
+	// events[0] after old events have been trimmed. wall runs parallel to
+	// events: the wall clock (unix nanoseconds) when each event entered
+	// the log, feeding the SSE delivery-lag histogram. It is zero for
+	// events restored from a snapshot (lag across a restart is
+	// meaningless, so those are skipped).
 	events    []Event
+	wall      []int64
 	base      uint64
 	maxEvents int
 	subs      map[*subscriber]struct{}
@@ -125,11 +132,26 @@ type Session struct {
 	sinceSnap int
 
 	probe *telemetry.ServeProbe
+
+	// Observability: the flight recorder retains the last N chunk
+	// traces (dumped on panic and served by the flight debug endpoint);
+	// chunkSeq numbers them; batchPublishNS/batchEvents accumulate
+	// event-publish cost inside one ProcessBatch so the detect stage can
+	// be reported net of publishing. logger receives lifecycle and
+	// post-mortem records (never nil; defaults to discard).
+	flight         *telemetry.FlightRecorder
+	chunkSeq       int64
+	batchPublishNS int64
+	batchEvents    int64
+	logger         *slog.Logger
 }
 
 // newSession wires a detector into a session, registering the phase
 // hooks that feed the event log.
-func newSession(id string, cfg core.Config, det *core.Detector, maxEvents int, probe *telemetry.ServeProbe) *Session {
+func newSession(id string, cfg core.Config, det *core.Detector, maxEvents, flightChunks int, probe *telemetry.ServeProbe, logger *slog.Logger) *Session {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Session{
 		id:        id,
 		configID:  cfg.ID(),
@@ -140,6 +162,8 @@ func newSession(id string, cfg core.Config, det *core.Detector, maxEvents int, p
 		maxEvents: maxEvents,
 		subs:      map[*subscriber]struct{}{},
 		probe:     probe,
+		flight:    telemetry.NewFlightRecorder(flightChunks),
+		logger:    logger,
 	}
 	s.lastUsed.Store(s.created.UnixNano())
 	// The hooks run inside ProcessBatch/Finish, which the session mutex
@@ -167,16 +191,24 @@ func (s *Session) idleSince() time.Time { return time.Unix(0, s.lastUsed.Load())
 
 // appendLocked adds one event to the log and wakes subscribers. Callers
 // must hold s.mu (the detector hooks do, transitively, via Feed/Close).
+// The time spent here is the "publish" stage of the chunk being applied:
+// it accumulates into batchPublishNS so FeedTraced can report detector
+// work net of event publishing.
 func (s *Session) appendLocked(kind string, at, v1, v2 int64) {
+	t0 := time.Now()
 	seq := s.base + uint64(len(s.events))
 	s.events = append(s.events, Event{Seq: seq, Kind: kind, Src: s.configID, At: at, V1: v1, V2: v2})
+	s.wall = append(s.wall, t0.UnixNano())
 	if s.maxEvents > 0 && len(s.events) > s.maxEvents {
 		drop := len(s.events) - s.maxEvents
 		s.events = append(s.events[:0], s.events[drop:]...)
+		s.wall = append(s.wall[:0], s.wall[drop:]...)
 		s.base += uint64(drop)
 	}
 	s.probe.EventsEmitted(1)
 	s.wakeLocked()
+	s.batchPublishNS += time.Since(t0).Nanoseconds()
+	s.batchEvents++
 }
 
 // wakeLocked signals every subscriber that the log (or the session
@@ -212,34 +244,130 @@ func (s *Session) usableLocked() error {
 // detector: an acknowledged chunk is as durable as the fsync policy
 // promises, and a WAL write failure rejects the chunk (ErrPersist)
 // without applying it, so the client can retry it verbatim.
-func (s *Session) Feed(elems []trace.Branch) (err error) {
+func (s *Session) Feed(elems []trace.Branch) error {
+	ct := telemetry.ChunkTrace{Start: time.Now(), Bytes: -1}
+	return s.FeedTraced(elems, &ct)
+}
+
+// FeedTraced is Feed with stage attribution: ct arrives with Start,
+// Bytes, and the read/decode stages already filled by the HTTP handler,
+// and this method adds the WAL, detect, publish, and snapshot stages,
+// records the completed trace into the session's flight recorder, and
+// feeds the per-stage latency histograms. Every chunk — applied,
+// rejected by the WAL, or panicking — leaves exactly one trace.
+func (s *Session) FeedTraced(elems []trace.Branch, ct *telemetry.ChunkTrace) (err error) {
 	s.touch()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.usableLocked(); err != nil {
 		return err
 	}
-	if s.log != nil {
-		payload, err := encodeChunk(elems)
-		if err == nil {
-			err = s.log.Append(payload)
-		}
-		if err != nil {
-			return fmt.Errorf("%w: %w", ErrPersist, err)
-		}
-	}
+	s.chunkSeq++
+	ct.Seq = s.chunkSeq
+	ct.Elements = int64(len(elems))
+	panicked := false
 	defer func() {
 		if v := recover(); v != nil {
+			panicked = true
 			s.failed = &sweep.PanicError{Value: v, Stack: debug.Stack()}
 			s.state = StateFailed
 			s.probe.SessionFailed()
 			s.wakeLocked()
 			err = fmt.Errorf("%w: %w", ErrFailed, s.failed)
 		}
+		if err != nil {
+			ct.Err = err.Error()
+		}
+		ct.TotalNS = time.Since(ct.Start).Nanoseconds()
+		s.recordChunkLocked(*ct)
+		if panicked {
+			s.dumpFlightLocked("panic in detector code")
+		}
 	}()
+	if s.log != nil {
+		t0 := time.Now()
+		payload, perr := encodeChunk(elems)
+		var stats durable.AppendStats
+		if perr == nil {
+			stats, perr = s.log.AppendTimed(payload)
+		}
+		// The append stage is everything but the fsync: chunk encode,
+		// record framing, segment rotation, and the file write.
+		ct.StageNS[telemetry.StageWALFsync] = stats.FsyncNS
+		ct.StageNS[telemetry.StageWALAppend] = time.Since(t0).Nanoseconds() - stats.FsyncNS
+		if perr != nil {
+			return fmt.Errorf("%w: %w", ErrPersist, perr)
+		}
+	}
+	s.batchPublishNS, s.batchEvents = 0, 0
+	t0 := time.Now()
 	s.det.ProcessBatch(elems)
-	s.maybeSnapshotLocked()
+	batchNS := time.Since(t0).Nanoseconds()
+	ct.StageNS[telemetry.StageDetect] = batchNS - s.batchPublishNS
+	ct.StageNS[telemetry.StagePublish] = s.batchPublishNS
+	ct.Events = s.batchEvents
+	t1 := time.Now()
+	if s.maybeSnapshotLocked() {
+		ct.StageNS[telemetry.StageSnapshot] = time.Since(t1).Nanoseconds()
+	}
 	return nil
+}
+
+// recordChunkLocked files one finished chunk trace: into the session's
+// flight recorder and the server-wide stage/chunk latency histograms.
+func (s *Session) recordChunkLocked(ct telemetry.ChunkTrace) {
+	s.flight.Record(ct)
+	s.probe.ChunkLatency(ct.TotalNS)
+	for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+		s.probe.StageLatency(st, ct.StageNS[st])
+	}
+}
+
+// RecordBadChunk files a flight-recorder trace for a chunk that never
+// reached the detector (decode failure): the poisoning request itself is
+// often the most interesting entry in a post-mortem. Bad chunks stay out
+// of the stage latency histograms so percentiles describe successful
+// ingest only.
+func (s *Session) RecordBadChunk(ct *telemetry.ChunkTrace, cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chunkSeq++
+	ct.Seq = s.chunkSeq
+	ct.Err = cause.Error()
+	ct.TotalNS = time.Since(ct.Start).Nanoseconds()
+	s.flight.Record(*ct)
+}
+
+// Flight returns the session's retained chunk traces (oldest first) and
+// the total number of chunks ever traced.
+func (s *Session) Flight() ([]telemetry.ChunkTrace, int64) {
+	return s.flight.Traces(), s.flight.Total()
+}
+
+// State returns the session's lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// dumpFlightLocked logs the flight recorder's contents — the session's
+// final moments — when the session is poisoned.
+func (s *Session) dumpFlightLocked(cause string) {
+	var sb strings.Builder
+	_ = s.flight.WriteDump(&sb)
+	errText := ""
+	if s.failed != nil {
+		errText = s.failed.Error()
+	}
+	s.logger.Error("session poisoned; dumping flight recorder",
+		"session", s.id,
+		"config", s.configID,
+		"cause", cause,
+		"err", errText,
+		"consumed", s.det.Consumed(),
+		"flight", sb.String(),
+	)
 }
 
 // replay applies one recovered WAL chunk to the detector: Feed's apply
@@ -264,20 +392,23 @@ func (s *Session) replay(elems []trace.Branch) (err error) {
 }
 
 // maybeSnapshotLocked persists a full session snapshot every snapEvery
-// applied chunks, compacting the WAL. A snapshot failure is not fatal:
-// the WAL still holds everything since the last snapshot, so the session
-// stays recoverable and the next cadence point retries.
-func (s *Session) maybeSnapshotLocked() {
+// applied chunks, compacting the WAL, and reports whether this call hit
+// a cadence point (so the caller can attribute the time). A snapshot
+// failure is not fatal: the WAL still holds everything since the last
+// snapshot, so the session stays recoverable and the next cadence point
+// retries.
+func (s *Session) maybeSnapshotLocked() bool {
 	if s.log == nil {
-		return
+		return false
 	}
 	s.sinceSnap++
 	if s.sinceSnap < s.snapEvery {
-		return
+		return false
 	}
 	if s.snapshotLocked() == nil {
 		s.sinceSnap = 0
 	}
+	return true
 }
 
 // snapshotLocked persists the session's full state to its log.
@@ -378,6 +509,14 @@ func (s *Session) Progress() (consumed int64, inPhase bool, eventsTotal uint64) 
 // failed). Events older than the retention window are silently skipped;
 // the returned next cursor always advances past everything returned.
 func (s *Session) EventsSince(since uint64) (evs []Event, next uint64, terminated bool) {
+	evs, _, next, terminated = s.eventsSinceWall(since)
+	return evs, next, terminated
+}
+
+// eventsSinceWall is EventsSince also returning each event's log-entry
+// wall clock (unix nanoseconds, zero for snapshot-restored events), for
+// the SSE path's delivery-lag measurement.
+func (s *Session) eventsSinceWall(since uint64) (evs []Event, wall []int64, next uint64, terminated bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if since < s.base {
@@ -386,8 +525,9 @@ func (s *Session) EventsSince(since uint64) (evs []Event, next uint64, terminate
 	end := s.base + uint64(len(s.events))
 	if since < end {
 		evs = append(evs, s.events[since-s.base:]...)
+		wall = append(wall, s.wall[since-s.base:]...)
 	}
-	return evs, end, s.state != StateActive
+	return evs, wall, end, s.state != StateActive
 }
 
 // subscribe registers a live event consumer.

@@ -41,6 +41,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.runCollectors()
 	for _, fam := range r.families() {
 		name := fam[0].family
 		r.mu.Lock()
@@ -57,6 +58,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			kind = "gauge"
 		case fam[0].hist != nil:
 			kind = "histogram"
+		case fam[0].lat != nil:
+			kind = "summary"
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind); err != nil {
 			return err
@@ -82,6 +85,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 				if _, err = fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n",
 					name, promLabels(e.labels), sum, name, promLabels(e.labels), count); err != nil {
+					return err
+				}
+				continue
+			case e.lat != nil:
+				s := e.lat.Summary()
+				for _, q := range []struct {
+					label string
+					v     int64
+				}{{"0.5", s.P50}, {"0.9", s.P90}, {"0.99", s.P99}, {"0.999", s.P999}, {"1", s.Max}} {
+					if _, err = fmt.Fprintf(w, "%s%s %d\n",
+						name, promLabels(e.labels, L("quantile", q.label)), q.v); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+					name, promLabels(e.labels), s.SumNS, name, promLabels(e.labels), s.Count); err != nil {
 					return err
 				}
 				continue
@@ -135,6 +154,12 @@ func (r *Registry) WriteReport(w io.Writer) error {
 		}
 		if err := line("%-56s count=%d mean=%.4g sum=%.4g\n",
 			h.Name+promLabels(labelsOf(h.Labels)), h.Count, mean, h.Sum); err != nil {
+			return err
+		}
+	}
+	for _, l := range s.Latencies {
+		if err := line("%-56s count=%d p50=%d p99=%d p999=%d max=%d\n",
+			l.Name+promLabels(labelsOf(l.Labels)), l.Count, l.P50, l.P99, l.P999, l.Max); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	want := []string{"read", "decode", "wal_append", "wal_fsync", "detect", "publish", "snapshot"}
+	stages := Stages()
+	if len(stages) != int(NumStages) || len(stages) != len(want) {
+		t.Fatalf("Stages() has %d entries, want %d", len(stages), len(want))
+	}
+	for i, st := range stages {
+		if st.String() != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, st, want[i])
+		}
+	}
+	if s := Stage(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("unknown stage String = %q", s)
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	if got := f.Traces(); len(got) != 0 {
+		t.Fatalf("fresh recorder has %d traces", len(got))
+	}
+	for i := int64(1); i <= 5; i++ {
+		f.Record(ChunkTrace{Seq: i})
+	}
+	if got := f.Total(); got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+	traces := f.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(traces))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if traces[i].Seq != want {
+			t.Errorf("trace %d seq = %d, want %d (oldest first)", i, traces[i].Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartial(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(ChunkTrace{Seq: 1})
+	f.Record(ChunkTrace{Seq: 2})
+	traces := f.Traces()
+	if len(traces) != 2 || traces[0].Seq != 1 || traces[1].Seq != 2 {
+		t.Errorf("partial ring traces = %+v", traces)
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(ChunkTrace{Seq: 1}) // must not panic
+	if f.Total() != 0 || f.Traces() != nil {
+		t.Error("nil recorder reads nonzero")
+	}
+}
+
+func TestFlightRecorderRejectsNonPositiveCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFlightRecorder(0) did not panic")
+		}
+	}()
+	NewFlightRecorder(0)
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	f := NewFlightRecorder(4)
+	ct := ChunkTrace{Seq: 7, Start: time.Now(), Bytes: 128, Elements: 32, TotalNS: 1500, Events: 2}
+	ct.StageNS[StageDecode] = 500
+	ct.StageNS[StageDetect] = 1000
+	f.Record(ct)
+	f.Record(ChunkTrace{Seq: 8, Start: time.Now(), Err: "boom"})
+	var sb strings.Builder
+	if err := f.WriteDump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"chunk 7", "decode=", "detect=", "events=2", "chunk 8", "ERR boom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLatBucketBoundaries(t *testing.T) {
+	// Exact low range: every value below latSubCnt is its own bucket.
+	for ns := int64(0); ns < latSubCnt; ns++ {
+		if got := latBucketFor(ns); got != int(ns) {
+			t.Errorf("latBucketFor(%d) = %d, want %d", ns, got, ns)
+		}
+		if got := latBucketUpper(int(ns)); got != ns {
+			t.Errorf("latBucketUpper(%d) = %d, want %d", ns, got, ns)
+		}
+	}
+	// Negative values clamp to bucket zero.
+	if got := latBucketFor(-5); got != 0 {
+		t.Errorf("latBucketFor(-5) = %d, want 0", got)
+	}
+	// Every value maps inside its bucket's range: upper bound inclusive,
+	// and the previous bucket's upper bound strictly below. Probe around
+	// powers of two, where the octave splits happen.
+	for e := uint(4); e < 63; e++ {
+		for _, ns := range []int64{1<<e - 1, 1 << e, 1<<e + 1, 1<<e + 1<<(e-1)} {
+			i := latBucketFor(ns)
+			if up := latBucketUpper(i); ns > up {
+				t.Fatalf("latBucketFor(%d) = %d but upper bound %d < value", ns, i, up)
+			}
+			if i > 0 {
+				if prev := latBucketUpper(i - 1); ns <= prev {
+					t.Fatalf("latBucketFor(%d) = %d but bucket %d already covers it (upper %d)",
+						ns, i, i-1, prev)
+				}
+			}
+		}
+	}
+	// Relative error bound: a bucket's width is at most 1/latSubCnt of
+	// its lower edge.
+	for _, ns := range []int64{100, 1000, 12345, 1 << 20, 1<<40 + 12345} {
+		i := latBucketFor(ns)
+		up := latBucketUpper(i)
+		lo := int64(0)
+		if i > 0 {
+			lo = latBucketUpper(i-1) + 1
+		}
+		if float64(up-lo) > float64(lo)/latSubCnt {
+			t.Errorf("bucket %d for %d spans [%d,%d]: wider than 1/%d relative", i, ns, lo, up, latSubCnt)
+		}
+	}
+	// The top bucket absorbs MaxInt64 without indexing out of range.
+	if got := latBucketFor(math.MaxInt64); got != latBuckets-1 {
+		t.Errorf("latBucketFor(MaxInt64) = %d, want %d", got, latBuckets-1)
+	}
+}
+
+func TestLatencyHistogramEmptyAndSingle(t *testing.T) {
+	var h LatencyHistogram
+	if s := h.Summary(); s.Count != 0 || s.P50 != 0 || s.P999 != 0 || s.Max != 0 {
+		t.Errorf("empty summary = %+v, want zeros", s)
+	}
+	h.Observe(12345)
+	s := h.Summary()
+	if s.Count != 1 || s.SumNS != 12345 {
+		t.Errorf("count/sum = %d/%d, want 1/12345", s.Count, s.SumNS)
+	}
+	// With one sample every quantile is that sample, clamped to the exact
+	// max rather than the bucket's upper edge.
+	for _, q := range []int64{s.P50, s.P90, s.P99, s.P999, s.Max} {
+		if q != 12345 {
+			t.Errorf("single-sample quantile = %d, want 12345 (summary %+v)", q, s)
+		}
+	}
+}
+
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	var h LatencyHistogram
+	// 1..1000µs uniformly: p50 ≈ 500µs, p99 ≈ 990µs within the 6.25%
+	// bucket resolution.
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	check := func(q float64, want int64) {
+		t.Helper()
+		got := h.Quantile(q)
+		if got < want || float64(got) > float64(want)*(1+1.0/latSubCnt)+1 {
+			t.Errorf("Quantile(%v) = %d, want in [%d, %.0f]", q, got, want, float64(want)*1.0625+1)
+		}
+	}
+	check(0.50, 500_000)
+	check(0.90, 900_000)
+	check(0.99, 990_000)
+	if got, want := h.Quantile(1), int64(1_000_000); got != want {
+		t.Errorf("Quantile(1) = %d, want exact max %d", got, want)
+	}
+	if got := h.Max(); got != 1_000_000 {
+		t.Errorf("Max = %d, want 1000000", got)
+	}
+}
+
+func TestLatencyHistogramOverflowBucket(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(math.MaxInt64)
+	h.Observe(math.MaxInt64)
+	// The quantile readout clamps to the recorded max even though the
+	// overflow bucket's nominal upper bound exceeds it.
+	if got := h.Quantile(0.5); got != math.MaxInt64 {
+		t.Errorf("Quantile(0.5) = %d, want MaxInt64", got)
+	}
+	if got := h.Max(); got != math.MaxInt64 {
+		t.Errorf("Max = %d, want MaxInt64", got)
+	}
+}
+
+func TestLatencyHistogramNil(t *testing.T) {
+	var h *LatencyHistogram
+	h.Observe(5) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram reads nonzero")
+	}
+	if s := h.Summary(); s != (LatencySummary{}) {
+		t.Errorf("nil Summary = %+v, want zero", s)
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	const goroutines, per = 8, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Errorf("count = %d, want %d", got, goroutines*per)
+	}
+	want := int64(goroutines*per) * int64(goroutines*per-1) / 2
+	if got := h.Sum(); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	if got := h.Max(); got != goroutines*per-1 {
+		t.Errorf("max = %d, want %d", got, goroutines*per-1)
+	}
+}
+
+func TestRegistryLatency(t *testing.T) {
+	reg := NewRegistry()
+	lat := reg.Latency("opd_test_latency_ns", L("stage", "x"))
+	lat.Observe(100)
+	lat.Observe(200)
+	// Same family+labels returns the same histogram.
+	if again := reg.Latency("opd_test_latency_ns", L("stage", "x")); again != lat {
+		t.Fatal("Latency lookup did not return the registered histogram")
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, p := range snap.Latencies {
+		if p.Name == "opd_test_latency_ns" && p.Count == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("snapshot missing latency point: %+v", snap.Latencies)
+	}
+}

@@ -69,6 +69,9 @@ const (
 	MetricServeIngestBytes      = "opd_serve_ingest_bytes_total"
 	MetricServeIngestElements   = "opd_serve_ingest_elements_total"
 	MetricServeEventsEmitted    = "opd_serve_events_emitted_total"
+	MetricServeStageLatency     = "opd_serve_stage_latency_ns"
+	MetricServeChunkLatency     = "opd_serve_chunk_latency_ns"
+	MetricServeSSELag           = "opd_serve_sse_lag_ns"
 
 	MetricDurableWALRecords        = "opd_durable_wal_records_total"
 	MetricDurableWALBytes          = "opd_durable_wal_bytes_total"
@@ -79,6 +82,9 @@ const (
 	MetricDurableSessionsRecovered = "opd_durable_sessions_recovered_total"
 	MetricDurableSessionsDropped   = "opd_durable_sessions_dropped_total"
 	MetricDurableTornTruncations   = "opd_durable_torn_truncations_total"
+	MetricDurableAppendLatency     = "opd_durable_append_ns"
+	MetricDurableFsyncLatency      = "opd_durable_fsync_ns"
+	MetricDurableSnapshotLatency   = "opd_durable_snapshot_ns"
 )
 
 // A DetectorProbe instruments one core.Detector: element/group/similarity
@@ -503,6 +509,12 @@ type ServeProbe struct {
 	bytes    *Counter
 	elements *Counter
 	events   *Counter
+
+	// Per-stage chunk latency histograms, indexed by Stage, plus the
+	// end-to-end chunk latency and the event-append-to-SSE-write lag.
+	stageLat [NumStages]*LatencyHistogram
+	chunkLat *LatencyHistogram
+	sseLag   *LatencyHistogram
 }
 
 // NewServeProbe builds the server probe. Returns nil for a nil registry.
@@ -515,7 +527,10 @@ func NewServeProbe(reg *Registry) *ServeProbe {
 	reg.Help(MetricServeSessionsFailed, "Sessions poisoned by a panic in their detector (isolated; server keeps serving).")
 	reg.Help(MetricServeSessionsRejected, "Session opens refused by the session or window-memory caps.")
 	reg.Help(MetricServeChunkErrors, "Element chunks rejected as truncated/corrupt (the request fails; the session survives).")
-	return &ServeProbe{
+	reg.Help(MetricServeStageLatency, "Per-stage chunk ingest latency in nanoseconds (read, decode, wal_append, wal_fsync, detect, publish, snapshot).")
+	reg.Help(MetricServeChunkLatency, "End-to-end server-side chunk ingest latency in nanoseconds.")
+	reg.Help(MetricServeSSELag, "Delay from phase-event publish to its SSE write, in nanoseconds.")
+	p := &ServeProbe{
 		opened:   reg.Counter(MetricServeSessionsOpened),
 		active:   reg.Gauge(MetricServeSessionsActive),
 		closed:   reg.Counter(MetricServeSessionsClosed),
@@ -527,7 +542,47 @@ func NewServeProbe(reg *Registry) *ServeProbe {
 		bytes:    reg.Counter(MetricServeIngestBytes),
 		elements: reg.Counter(MetricServeIngestElements),
 		events:   reg.Counter(MetricServeEventsEmitted),
+		chunkLat: reg.Latency(MetricServeChunkLatency),
+		sseLag:   reg.Latency(MetricServeSSELag),
 	}
+	for st := Stage(0); st < NumStages; st++ {
+		p.stageLat[st] = reg.Latency(MetricServeStageLatency, L("stage", st.String()))
+	}
+	return p
+}
+
+// StageLatency records one stage's duration for an ingested chunk.
+func (p *ServeProbe) StageLatency(st Stage, ns int64) {
+	if p == nil || ns <= 0 {
+		return
+	}
+	p.stageLat[st].Observe(ns)
+}
+
+// ChunkLatency records one chunk's end-to-end server-side latency.
+func (p *ServeProbe) ChunkLatency(ns int64) {
+	if p == nil {
+		return
+	}
+	p.chunkLat.Observe(ns)
+}
+
+// SSELag records the delay between a phase event entering the session
+// log and its bytes being written to an SSE stream.
+func (p *ServeProbe) SSELag(ns int64) {
+	if p == nil || ns < 0 {
+		return
+	}
+	p.sseLag.Observe(ns)
+}
+
+// StageSummary reads one stage histogram's percentile summary — the
+// seam bench reporting uses to build the per-stage breakdown.
+func (p *ServeProbe) StageSummary(st Stage) LatencySummary {
+	if p == nil {
+		return LatencySummary{}
+	}
+	return p.stageLat[st].Summary()
 }
 
 // SessionOpened records one accepted session.
@@ -608,6 +663,10 @@ type DurableProbe struct {
 	recovered    *Counter
 	dropped      *Counter
 	tornTruncats *Counter
+
+	appendLat *LatencyHistogram
+	fsyncLat  *LatencyHistogram
+	snapLat   *LatencyHistogram
 }
 
 // NewDurableProbe builds the durability probe. Returns nil for a nil
@@ -621,6 +680,9 @@ func NewDurableProbe(reg *Registry) *DurableProbe {
 	reg.Help(MetricDurableSessionsRecovered, "Sessions rebuilt from snapshot+WAL replay at boot.")
 	reg.Help(MetricDurableSessionsDropped, "Persisted sessions that could not be recovered (no valid snapshot).")
 	reg.Help(MetricDurableTornTruncations, "Torn or corrupt WAL tails truncated to the last valid record on open.")
+	reg.Help(MetricDurableAppendLatency, "WAL record write latency in nanoseconds (framing + write, excluding fsync).")
+	reg.Help(MetricDurableFsyncLatency, "fsync latency in nanoseconds (WAL segments, snapshots, directories).")
+	reg.Help(MetricDurableSnapshotLatency, "Full session snapshot persist latency in nanoseconds (encode excluded, fsyncs included).")
 	return &DurableProbe{
 		walRecords:   reg.Counter(MetricDurableWALRecords),
 		walBytes:     reg.Counter(MetricDurableWALBytes),
@@ -631,7 +693,34 @@ func NewDurableProbe(reg *Registry) *DurableProbe {
 		recovered:    reg.Counter(MetricDurableSessionsRecovered),
 		dropped:      reg.Counter(MetricDurableSessionsDropped),
 		tornTruncats: reg.Counter(MetricDurableTornTruncations),
+		appendLat:    reg.Latency(MetricDurableAppendLatency),
+		fsyncLat:     reg.Latency(MetricDurableFsyncLatency),
+		snapLat:      reg.Latency(MetricDurableSnapshotLatency),
 	}
+}
+
+// AppendLatency records one WAL record write's duration (sans fsync).
+func (p *DurableProbe) AppendLatency(ns int64) {
+	if p == nil {
+		return
+	}
+	p.appendLat.Observe(ns)
+}
+
+// FsyncLatency records one fsync's duration.
+func (p *DurableProbe) FsyncLatency(ns int64) {
+	if p == nil {
+		return
+	}
+	p.fsyncLat.Observe(ns)
+}
+
+// SnapshotLatency records one successful snapshot persist's duration.
+func (p *DurableProbe) SnapshotLatency(ns int64) {
+	if p == nil {
+		return
+	}
+	p.snapLat.Observe(ns)
 }
 
 // Record counts one WAL record of the given framed size.

@@ -29,6 +29,9 @@ type Registry struct {
 	order   []*entry
 	help    map[string]string
 	ring    *Ring
+	collect []func()
+	// runtimeRegistered dedups RegisterRuntimeGauges per registry.
+	runtimeRegistered bool
 }
 
 type entry struct {
@@ -39,6 +42,7 @@ type entry struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	lat     *LatencyHistogram
 }
 
 // NewRegistry builds an empty registry with a DefaultRingCapacity event
@@ -57,6 +61,32 @@ func (r *Registry) Ring() *Ring {
 		return nil
 	}
 	return r.ring
+}
+
+// OnCollect registers a hook run at the start of every Snapshot and
+// exposition write — the seam that lets sampled values (Go runtime
+// stats, pool sizes) refresh their gauges exactly when someone looks.
+// Safe on a nil registry (no-op).
+func (r *Registry) OnCollect(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collect = append(r.collect, f)
+	r.mu.Unlock()
+}
+
+// runCollectors fires the registered collect hooks.
+func (r *Registry) runCollectors() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.collect...)
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 }
 
 // Help sets the help text rendered for a metric family.
@@ -144,6 +174,20 @@ func (r *Registry) Histogram(family string, bounds []float64, labels ...Label) *
 	return e.hist
 }
 
+// Latency returns (creating on first use) the latency histogram with the
+// given family name and labels. Nil-registry safe: returns a nil
+// LatencyHistogram.
+func (r *Registry) Latency(family string, labels ...Label) *LatencyHistogram {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(family, labels, func(e *entry) { e.lat = NewLatencyHistogram() })
+	if e.lat == nil {
+		panic(fmt.Sprintf("telemetry: %s already registered as a non-latency-histogram", e.full))
+	}
+	return e.lat
+}
+
 // A Point is one scalar metric sample in a snapshot.
 type Point struct {
 	Name   string            `json:"name"`
@@ -163,6 +207,14 @@ type HistogramPoint struct {
 	Cumulative []int64           `json:"cumulative"`
 }
 
+// A LatencyPoint is one latency histogram's percentile readout in a
+// snapshot.
+type LatencyPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	LatencySummary
+}
+
 // An EventPoint is one ring event in a snapshot, with the kind rendered
 // as its name.
 type EventPoint struct {
@@ -178,6 +230,7 @@ type Snapshot struct {
 	Counters    []Point          `json:"counters"`
 	Gauges      []Point          `json:"gauges"`
 	Histograms  []HistogramPoint `json:"histograms"`
+	Latencies   []LatencyPoint   `json:"latencies,omitempty"`
 	Events      []EventPoint     `json:"events"`
 	EventsTotal uint64           `json:"events_total"`
 }
@@ -200,6 +253,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	r.runCollectors()
 	r.mu.Lock()
 	order := append([]*entry(nil), r.order...)
 	r.mu.Unlock()
@@ -214,6 +268,11 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Histograms = append(s.Histograms, HistogramPoint{
 				Name: e.family, Labels: labelMap(e.labels),
 				Count: count, Sum: sum, Bounds: bounds, Cumulative: cum,
+			})
+		case e.lat != nil:
+			s.Latencies = append(s.Latencies, LatencyPoint{
+				Name: e.family, Labels: labelMap(e.labels),
+				LatencySummary: e.lat.Summary(),
 			})
 		}
 	}

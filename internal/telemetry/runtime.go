@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Go runtime metric names.
+const (
+	MetricGoGoroutines     = "opd_go_goroutines"
+	MetricGoGOMAXPROCS     = "opd_go_gomaxprocs"
+	MetricGoHeapAllocBytes = "opd_go_heap_alloc_bytes"
+	MetricGoHeapSysBytes   = "opd_go_heap_sys_bytes"
+	MetricGoHeapObjects    = "opd_go_heap_objects"
+	MetricGoNextGCBytes    = "opd_go_next_gc_bytes"
+	MetricGoGCCycles       = "opd_go_gc_cycles_total"
+	MetricGoGCPauseTotal   = "opd_go_gc_pause_seconds_total"
+	MetricGoGCLastPause    = "opd_go_gc_last_pause_seconds"
+)
+
+// RegisterRuntimeGauges exposes Go runtime health — goroutine count,
+// heap size and occupancy, GC cycle count and pause time, GOMAXPROCS —
+// as gauges on the registry. The values are sampled lazily: a collect
+// hook refreshes them at every Snapshot or exposition write, so an idle
+// process pays nothing and a scrape always sees current numbers
+// (runtime.ReadMemStats is a brief stop-the-world, acceptable at scrape
+// frequency, unacceptable per chunk).
+//
+// Idempotent per registry; safe on a nil registry (no-op).
+func RegisterRuntimeGauges(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.mu.Lock()
+	if reg.runtimeRegistered {
+		reg.mu.Unlock()
+		return
+	}
+	reg.runtimeRegistered = true
+	reg.mu.Unlock()
+
+	reg.Help(MetricGoGoroutines, "Live goroutines (sampled at scrape).")
+	reg.Help(MetricGoHeapAllocBytes, "Bytes of allocated heap objects (sampled at scrape).")
+	reg.Help(MetricGoGCPauseTotal, "Cumulative GC stop-the-world pause time in seconds.")
+	goroutines := reg.Gauge(MetricGoGoroutines)
+	gomaxprocs := reg.Gauge(MetricGoGOMAXPROCS)
+	heapAlloc := reg.Gauge(MetricGoHeapAllocBytes)
+	heapSys := reg.Gauge(MetricGoHeapSysBytes)
+	heapObjects := reg.Gauge(MetricGoHeapObjects)
+	nextGC := reg.Gauge(MetricGoNextGCBytes)
+	gcCycles := reg.Gauge(MetricGoGCCycles)
+	gcPauseTotal := reg.Gauge(MetricGoGCPauseTotal)
+	gcLastPause := reg.Gauge(MetricGoGCLastPause)
+
+	var mu sync.Mutex
+	var ms runtime.MemStats
+	reg.OnCollect(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		gomaxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		heapObjects.Set(float64(ms.HeapObjects))
+		nextGC.Set(float64(ms.NextGC))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPauseTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcLastPause.Set(float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9)
+	})
+}
