@@ -30,6 +30,7 @@ check:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadBranches -fuzztime=5s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzReadEvents -fuzztime=5s ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzFrame -fuzztime=5s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzDetectorRestore -fuzztime=5s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=5s ./internal/durable
 
@@ -41,11 +42,14 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# bench-guard enforces the observability budget: full instrumentation
+# bench-guard enforces the performance budgets: full instrumentation
 # (stage timers, latency histograms, flight recorder) must not add more
-# than 5% to the BenchmarkServeIngest path versus a probe-free server.
+# than 5% to the BenchmarkServeIngest path versus a probe-free server,
+# and streaming ingest at 1K-element chunks must stay within 1.2x of
+# the bare detector feed on the dense-ID path (2.5x in branch frames).
 bench-guard:
 	OPD_TRACE_GUARD=1 $(GO) test -run=TestTracingOverheadGuard -v ./internal/serve
+	OPD_INGEST_GUARD=1 $(GO) test -run=TestStreamingIngestGuard -v ./internal/serve
 
 # bench-json regenerates the checked-in benchmark records: the sweep
 # engine comparison and the streaming-server ingest overhead.

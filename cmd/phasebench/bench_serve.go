@@ -54,6 +54,21 @@ type serveChunkResult struct {
 	// down by pipeline stage, in pipeline order.
 	Chunk  telemetry.LatencySummary `json:"chunk"`
 	Stages []serveStageResult       `json:"stages"`
+	// Streaming-path rows: the same workload over one persistent framed
+	// connection (POST /v1/sessions/{id}/stream) instead of a request per
+	// chunk, in branch frames and — with a client-negotiated symbol table
+	// skipping per-element hashing server-side — dense-ID frames.
+	// Overheads are again multiples of the bare detector wall.
+	StreamWallNS         int64   `json:"stream_wall_ns"`
+	StreamElemsPerSec    float64 `json:"stream_elements_per_sec"`
+	StreamOverhead       float64 `json:"stream_overhead"`
+	StreamIDsWallNS      int64   `json:"stream_ids_wall_ns"`
+	StreamIDsElemsPerSec float64 `json:"stream_ids_elements_per_sec"`
+	StreamIDsOverhead    float64 `json:"stream_ids_overhead"`
+	// StreamChunk/StreamStages are the server-side latency distribution
+	// and stage breakdown of an instrumented streaming (branch-frame) run.
+	StreamChunk  telemetry.LatencySummary `json:"stream_chunk"`
+	StreamStages []serveStageResult       `json:"stream_stages"`
 }
 
 // serveBenchRecord is the machine-readable record written by
@@ -85,6 +100,7 @@ func runBenchServeJSON(path string) error {
 	for _, chunk := range []int{1024, 16384, 65536} {
 		// Pre-encode the wire chunks so only ingest is measured.
 		var payload [][]byte
+		var parts []trace.Trace
 		for i := 0; i < len(tr); i += chunk {
 			end := i + chunk
 			if end > len(tr) {
@@ -95,6 +111,7 @@ func runBenchServeJSON(path string) error {
 				return err
 			}
 			payload = append(payload, buf.Bytes())
+			parts = append(parts, tr[i:end])
 		}
 
 		// Best-of-3 walls: one-shot HTTP wall clocks are noisy enough to
@@ -129,6 +146,42 @@ func runBenchServeJSON(path string) error {
 			}
 		}
 
+		// Streaming-path runs: one persistent framed connection, branch
+		// frames and dense-ID frames, plus one instrumented branch run for
+		// the stage breakdown.
+		streamWall := time.Duration(0)
+		for i := 0; i < rounds; i++ {
+			w, err := streamFramedBench(nil, parts, false)
+			if err != nil {
+				return err
+			}
+			if i == 0 || w < streamWall {
+				streamWall = w
+			}
+		}
+		idsWall := time.Duration(0)
+		for i := 0; i < rounds; i++ {
+			w, err := streamFramedBench(nil, parts, true)
+			if err != nil {
+				return err
+			}
+			if i == 0 || w < idsWall {
+				idsWall = w
+			}
+		}
+		var streamReg *telemetry.Registry
+		streamTracedWall := time.Duration(0)
+		for i := 0; i < rounds; i++ {
+			r := telemetry.NewRegistry()
+			w, err := streamFramedBench(r, parts, false)
+			if err != nil {
+				return err
+			}
+			if i == 0 || w < streamTracedWall {
+				streamTracedWall, streamReg = w, r
+			}
+		}
+
 		directWall, _, _ := measure(func() {
 			d := serveBenchConfig.MustNew()
 			for i := 0; i < len(tr); i += chunk {
@@ -152,6 +205,14 @@ func runBenchServeJSON(path string) error {
 			TracedWallNS:      tracedWall.Nanoseconds(),
 			TracingOverhead:   tracedWall.Seconds() / httpWall.Seconds(),
 			Chunk:             reg.Latency(telemetry.MetricServeChunkLatency).Summary(),
+
+			StreamWallNS:         streamWall.Nanoseconds(),
+			StreamElemsPerSec:    float64(len(tr)) / streamWall.Seconds(),
+			StreamOverhead:       streamWall.Seconds() / directWall.Seconds(),
+			StreamIDsWallNS:      idsWall.Nanoseconds(),
+			StreamIDsElemsPerSec: float64(len(tr)) / idsWall.Seconds(),
+			StreamIDsOverhead:    idsWall.Seconds() / directWall.Seconds(),
+			StreamChunk:          streamReg.Latency(telemetry.MetricServeChunkLatency).Summary(),
 		}
 		for _, st := range telemetry.Stages() {
 			s := reg.Latency(telemetry.MetricServeStageLatency,
@@ -161,10 +222,20 @@ func runBenchServeJSON(path string) error {
 			}
 			res.Stages = append(res.Stages, serveStageResult{Stage: st.String(), LatencySummary: s})
 		}
+		for _, st := range telemetry.Stages() {
+			s := streamReg.Latency(telemetry.MetricServeStageLatency,
+				telemetry.L("stage", st.String())).Summary()
+			if s.Count == 0 {
+				continue
+			}
+			res.StreamStages = append(res.StreamStages, serveStageResult{Stage: st.String(), LatencySummary: s})
+		}
 		rec.Results = append(rec.Results, res)
 		fmt.Fprintf(os.Stderr,
-			"phasebench: serve chunk %5d: http %.3fs, direct %.3fs (%.1fx overhead), tracing %+.1f%%, chunk p50 %v p99 %v\n",
+			"phasebench: serve chunk %5d: http %.3fs, direct %.3fs (%.1fx overhead), stream %.3fs (%.2fx), ids %.3fs (%.2fx), tracing %+.1f%%, chunk p50 %v p99 %v\n",
 			chunk, httpWall.Seconds(), directWall.Seconds(), res.Overhead,
+			streamWall.Seconds(), res.StreamOverhead,
+			idsWall.Seconds(), res.StreamIDsOverhead,
 			(res.TracingOverhead-1)*100,
 			time.Duration(res.Chunk.P50), time.Duration(res.Chunk.P99))
 	}
@@ -219,6 +290,52 @@ func streamServeBench(reg *telemetry.Registry, payload [][]byte) (time.Duration,
 	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
 	if resp, err := client.Do(req); err == nil {
 		resp.Body.Close()
+	}
+	return wall, nil
+}
+
+// streamFramedBench starts a fresh in-process server (instrumented when
+// reg is non-nil), streams the chunks through one session over the
+// persistent framed protocol — branch frames, or dense-ID frames with a
+// client-side symbol table when ids is set — and returns the ingest wall
+// time (all sends plus the drain to the final ack).
+func streamFramedBench(reg *telemetry.Registry, parts []trace.Trace, ids bool) (time.Duration, error) {
+	srv := serve.NewServer(serve.Options{Registry: reg})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return 0, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + srv.Addr()
+	client := &http.Client{Timeout: 30 * time.Second}
+	id, err := openBenchSession(client, base)
+	if err != nil {
+		return 0, err
+	}
+	// NoEvents: this measures pure ingest, and neither the direct feed
+	// nor the one-shot HTTP rows pay event delivery without a consumer.
+	sc, err := serve.DialStream(srv.Addr(), id, serve.StreamOptions{IDs: ids, NoEvents: true})
+	if err != nil {
+		return 0, err
+	}
+	defer sc.Close()
+	var serr error
+	wall, _, _ := measure(func() {
+		for _, p := range parts {
+			if serr = sc.Send(p); serr != nil {
+				return
+			}
+		}
+		serr = sc.Drain()
+	})
+	if serr != nil {
+		return 0, serr
+	}
+	if _, err := sc.End(true); err != nil {
+		return 0, err
 	}
 	return wall, nil
 }

@@ -1,13 +1,21 @@
 // Streamdetect demonstrates the streaming phase-detection service end to
 // end: it generates a synthetic workload with the internal/synth
 // generators, opens a session on a phased server (an in-process one by
-// default, or a remote one via -addr), streams the branch trace to it in
-// chunks over the binary wire format, and prints phase-change events live
-// as the SSE stream delivers them.
+// default, or a remote one via -addr), and streams the branch trace to
+// it in chunks, printing phase-change events live as they arrive.
+//
+// By default it speaks the persistent framed protocol (one long-lived
+// connection carrying data frames out and acks/events back), negotiating
+// the dense-ID hot path, and survives connection loss by reconnecting
+// with backoff and resuming from the server's applied cursor. The -poll
+// flag switches to the legacy one-shot path: a POST per chunk with the
+// SSE event stream watched on the side.
 //
 //	go run ./examples/streamdetect
 //	go run ./examples/streamdetect -bench mpegaudio -scale 4 -chunk 2048
-//	go run ./examples/streamdetect -addr localhost:8080   # external phased
+//	go run ./examples/streamdetect -mode branch        # no symbol table
+//	go run ./examples/streamdetect -poll               # legacy HTTP path
+//	go run ./examples/streamdetect -addr localhost:8080 # external phased
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -22,12 +31,18 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"opd/internal/serve"
 	"opd/internal/synth"
 	"opd/internal/telemetry"
 	"opd/internal/trace"
+)
+
+const (
+	backoffMin = 200 * time.Millisecond
+	backoffMax = 5 * time.Second
 )
 
 func main() {
@@ -41,6 +56,8 @@ func main() {
 		model    = flag.String("model", "unweighted", "similarity model: unweighted | weighted")
 		analyzer = flag.String("analyzer", "threshold", "analyzer: threshold | average")
 		param    = flag.Float64("param", 0.6, "analyzer parameter")
+		mode     = flag.String("mode", "ids", "streaming ingest mode: ids (dense-ID hot path) | branch")
+		poll     = flag.Bool("poll", false, "use the legacy one-shot POST/SSE path instead of the framed stream")
 	)
 	flag.Parse()
 
@@ -51,8 +68,8 @@ func main() {
 	fmt.Printf("workload: %s scale %d — %d dynamic branches, streamed in chunks of %d\n",
 		*bench, *scale, len(branches), *chunk)
 
-	base := *addr
-	if base == "" {
+	host := *addr
+	if host == "" {
 		srv := serve.NewServer(serve.Options{Registry: telemetry.NewRegistry()})
 		if err := srv.Start("127.0.0.1:0"); err != nil {
 			fatal(err)
@@ -62,10 +79,10 @@ func main() {
 			defer cancel()
 			_ = srv.Shutdown(ctx)
 		}()
-		base = srv.Addr()
-		fmt.Printf("phased:   in-process server on %s\n", base)
+		host = srv.Addr()
+		fmt.Printf("phased:   in-process server on %s\n", host)
 	}
-	base = "http://" + base
+	base := "http://" + host
 
 	// Open a session with the window/model/analyzer triple.
 	req := serve.ConfigRequest{CW: *cw, Policy: *policy, Model: *model, Analyzer: *analyzer, Param: *param}
@@ -78,26 +95,125 @@ func main() {
 	}
 	fmt.Printf("session:  %s (%s)\n\n", opened.ID[:8], opened.Config)
 
-	// Watch the live SSE event stream in the background.
-	sseDone := make(chan struct{})
-	go watchEvents(base+"/v1/sessions/"+opened.ID+"/events?stream=1", sseDone)
+	var sum *serve.Summary
+	if *poll {
+		sum, err = pollSession(base, opened.ID, branches, *chunk)
+	} else {
+		sum, err = streamSession(host, opened.ID, branches, *chunk, *mode == "ids")
+	}
+	if err != nil {
+		fatal(err)
+	}
 
-	// Stream the trace: each chunk is one self-contained binary trace
-	// message (what `tracegen` writes, just smaller).
-	client := &http.Client{Timeout: 30 * time.Second}
-	for i := 0; i < len(branches); i += *chunk {
-		end := i + *chunk
-		if end > len(branches) {
-			end = len(branches)
+	fmt.Printf("\nsession closed: %d elements, %d similarity computations, %d phases\n",
+		sum.Consumed, sum.SimComputations, len(sum.AdjustedPhases))
+	for i, p := range sum.AdjustedPhases {
+		fmt.Printf("  phase %3d: %v (len %d)\n", i, p, p.Len())
+	}
+}
+
+// streamSession drives the persistent framed protocol: one connection
+// carries the whole trace out and acks/events back, ending with the
+// terminal summary. A dropped connection reconnects with capped
+// exponential backoff plus jitter; the handshake's applied cursor makes
+// the resend exact (the client skips every chunk the server already
+// applied — chunking is deterministic, so resending the whole list is
+// safe), the reused symbol-table builder keeps dense-ID mode aligned,
+// and event delivery resumes after the last sequence number seen, so
+// nothing is missed or duplicated.
+func streamSession(host, id string, branches trace.Trace, chunk int, ids bool) (*serve.Summary, error) {
+	var parts []trace.Trace
+	for i := 0; i < len(branches); i += chunk {
+		end := min(i+chunk, len(branches))
+		parts = append(parts, branches[i:end])
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var nextEvent atomic.Uint64 // resume point: last seen event seq + 1
+	onEvent := func(e serve.Event) {
+		nextEvent.Store(e.Seq + 1)
+		printEvent(e)
+	}
+
+	var builder *trace.InternedBuilder
+	backoff := backoffMin
+	for attempt := 1; ; attempt++ {
+		sc, err := serve.DialStream(host, id, serve.StreamOptions{
+			IDs:         ids,
+			OnEvent:     onEvent,
+			EventsSince: nextEvent.Load(),
+			Builder:     builder,
+		})
+		if err == nil {
+			if sc.Applied() > 0 {
+				logger.Info("resuming", "applied_chunks", sc.Applied(), "total_chunks", len(parts))
+			}
+			sum, serr := func() (*serve.Summary, error) {
+				for _, p := range parts {
+					if err := sc.Send(p); err != nil {
+						return nil, err
+					}
+				}
+				if err := sc.Drain(); err != nil {
+					return nil, err
+				}
+				return sc.End(true)
+			}()
+			if serr == nil {
+				sc.Close()
+				return sum, nil
+			}
+			err = serr
+			// Remember the symbol table built so far: the next connection
+			// re-interns only what the handshake says the server is missing.
+			builder = sc.Builder()
+			sc.Close()
 		}
+		var se *serve.StreamError
+		if errors.As(err, &se) && !se.Retryable {
+			return nil, err // mode conflict, closed session — retrying cannot help
+		}
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		logger.Warn("stream dropped, reconnecting",
+			"attempt", attempt,
+			"backoff", sleep.Round(time.Millisecond),
+			"err", err,
+		)
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+// printEvent renders one phase-lifecycle event like the SSE watcher did.
+func printEvent(e serve.Event) {
+	switch e.Kind {
+	case "phase_start":
+		fmt.Printf("  -> phase started at %d\n", e.V1)
+	case "phase_end":
+		fmt.Printf("  <- phase ended   at %d (started %d, length %d)\n", e.At, e.V1, e.V2)
+	}
+}
+
+// pollSession is the legacy one-shot path: a POST per chunk of binary
+// trace bytes, with the SSE event stream watched in the background, and
+// a DELETE to finish.
+func pollSession(base, id string, branches trace.Trace, chunk int) (*serve.Summary, error) {
+	sseDone := make(chan struct{})
+	go watchEvents(base+"/v1/sessions/"+id+"/events?stream=1", sseDone)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	for i := 0; i < len(branches); i += chunk {
+		end := min(i+chunk, len(branches))
 		var buf bytes.Buffer
 		if err := trace.WriteBranches(&buf, branches[i:end]); err != nil {
-			fatal(err)
+			return nil, err
 		}
-		resp, err := client.Post(base+"/v1/sessions/"+opened.ID+"/elements",
+		resp, err := client.Post(base+"/v1/sessions/"+id+"/elements",
 			"application/octet-stream", &buf)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		if resp.StatusCode != http.StatusOK {
 			var eb struct {
@@ -105,7 +221,7 @@ func main() {
 			}
 			_ = json.NewDecoder(resp.Body).Decode(&eb)
 			resp.Body.Close()
-			fatal(fmt.Errorf("chunk at %d: %s: %s", i, resp.Status, eb.Error))
+			return nil, fmt.Errorf("chunk at %d: %s: %s", i, resp.Status, eb.Error)
 		}
 		resp.Body.Close()
 	}
@@ -113,15 +229,11 @@ func main() {
 	// Finish: flushes the open phase and returns the offline-identical
 	// summary.
 	var sum serve.Summary
-	if err := do(client, http.MethodDelete, base+"/v1/sessions/"+opened.ID, &sum); err != nil {
-		fatal(err)
+	if err := do(client, http.MethodDelete, base+"/v1/sessions/"+id, &sum); err != nil {
+		return nil, err
 	}
 	<-sseDone
-	fmt.Printf("\nsession closed: %d elements, %d similarity computations, %d phases\n",
-		sum.Consumed, sum.SimComputations, len(sum.AdjustedPhases))
-	for i, p := range sum.AdjustedPhases {
-		fmt.Printf("  phase %3d: %v (len %d)\n", i, p, p.Len())
-	}
+	return &sum, nil
 }
 
 // watchEvents prints each SSE phase event as it arrives, until the
@@ -133,10 +245,6 @@ func main() {
 // the session itself is gone, so the watcher gives up.
 func watchEvents(url string, done chan<- struct{}) {
 	defer close(done)
-	const (
-		backoffMin = 200 * time.Millisecond
-		backoffMax = 5 * time.Second
-	)
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	backoff := backoffMin
 	lastID := ""
@@ -204,12 +312,7 @@ func watchOnce(url, lastID string, lastOut *string) (gotEvents, ended, gone bool
 				continue
 			}
 			gotEvents = true
-			switch e.Kind {
-			case "phase_start":
-				fmt.Printf("  -> phase started at %d\n", e.V1)
-			case "phase_end":
-				fmt.Printf("  <- phase ended   at %d (started %d, length %d)\n", e.At, e.V1, e.V2)
-			}
+			printEvent(e)
 		}
 	}
 	return gotEvents, false, false

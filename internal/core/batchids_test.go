@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"opd/internal/trace"
+)
+
+// feedIDs replays tr through the dense-ID batch path exactly as the
+// streaming server does: each chunk's elements are interned through a
+// client-side builder, the model is re-bound whenever the table grows
+// (extension may reallocate the backing array), and the chunk goes in
+// as IDs.
+func feedIDs(d *Detector, tr trace.Trace, size func(i int) int) {
+	b := trace.NewInternedBuilder(0)
+	bound := 0
+	var ids []int32
+	for i, k := 0, 0; i < len(tr); k++ {
+		end := i + size(k)
+		if end > len(tr) {
+			end = len(tr)
+		}
+		ids = ids[:0]
+		for _, e := range tr[i:end] {
+			ids = append(ids, b.Intern(e))
+		}
+		if card := b.Cardinality(); card > bound {
+			d.Bind(trace.NewInternedTable(b.Symbols()))
+			bound = card
+		}
+		d.ProcessBatchIDs(ids)
+		i = end
+	}
+	d.Finish()
+}
+
+// TestProcessBatchIDsEquivalence pins the dense-ID twin of the
+// chunk-size-agnostic contract: feeding a trace through ProcessBatchIDs
+// in chunks of any size — IDs assigned by a streaming InternedBuilder in
+// first-appearance order, table re-bound as it grows — produces output
+// identical to RunTrace over the raw elements.
+func TestProcessBatchIDsEquivalence(t *testing.T) {
+	tr := batchTestTrace(40000)
+	configs := []Config{
+		{CWSize: 400, SkipFactor: 1, TW: ConstantTW, Model: UnweightedModel, Analyzer: ThresholdAnalyzer, Param: 0.6},
+		{CWSize: 500, TWSize: 700, SkipFactor: 64, TW: AdaptiveTW, Anchor: AnchorRN, Resize: ResizeSlide, Model: WeightedModel, Analyzer: ThresholdAnalyzer, Param: 0.5},
+		FixedInterval(512, UnweightedModel, AverageAnalyzer, 0.3),
+	}
+	for _, cfg := range configs {
+		want := RunTrace(cfg.MustNew(), tr)
+		for name, size := range chunkings() {
+			d := cfg.MustNew()
+			feedIDs(d, tr, size)
+			if d.Consumed() != want.Consumed() {
+				t.Fatalf("%s/%s: consumed %d, want %d", cfg.ID(), name, d.Consumed(), want.Consumed())
+			}
+			if d.SimilarityComputations() != want.SimilarityComputations() {
+				t.Errorf("%s/%s: sim computations %d, want %d", cfg.ID(), name,
+					d.SimilarityComputations(), want.SimilarityComputations())
+			}
+			if !equalIntervals(d.Phases(), want.Phases()) {
+				t.Errorf("%s/%s: phases %v, want %v", cfg.ID(), name, d.Phases(), want.Phases())
+			}
+			if !equalIntervals(d.AdjustedPhases(), want.AdjustedPhases()) {
+				t.Errorf("%s/%s: adjusted phases %v, want %v", cfg.ID(), name,
+					d.AdjustedPhases(), want.AdjustedPhases())
+			}
+		}
+	}
+}
+
+// TestProcessBatchIDsSnapshotRestore pins the one sanctioned entry-point
+// crossover: a detector snapshotted mid-ID-run persists its partial
+// group in Branch form; after restore and re-bind the first
+// ProcessBatchIDs call adopts it back into ID form, and the continued
+// run matches an uninterrupted one bit for bit.
+func TestProcessBatchIDsSnapshotRestore(t *testing.T) {
+	tr := batchTestTrace(30000)
+	cfg := Config{CWSize: 400, TWSize: 600, SkipFactor: 64, TW: AdaptiveTW,
+		Anchor: AnchorRN, Resize: ResizeSlide, Model: WeightedModel, Analyzer: ThresholdAnalyzer, Param: 0.5}
+	want := RunTrace(cfg.MustNew(), tr)
+
+	// Cut points chosen to leave a partial group pending (not multiples
+	// of the skip factor) and to land mid-phase.
+	for _, cut := range []int{101, 12345, 29999} {
+		b := trace.NewInternedBuilder(0)
+		d := cfg.MustNew()
+		d.Bind(trace.NewInternedTable(b.Symbols()))
+		feed := func(det *Detector, elems trace.Trace) {
+			ids := make([]int32, 0, len(elems))
+			for _, e := range elems {
+				ids = append(ids, b.Intern(e))
+			}
+			det.Bind(trace.NewInternedTable(b.Symbols()))
+			det.ProcessBatchIDs(ids)
+		}
+		// Uneven chunks up to the cut.
+		for i := 0; i < cut; {
+			end := i + 777
+			if end > cut {
+				end = cut
+			}
+			feed(d, tr[i:end])
+			i = end
+		}
+		snap, err := d.Snapshot()
+		if err != nil {
+			t.Fatalf("cut %d: snapshot: %v", cut, err)
+		}
+		d2, cfg2, err := RestoreDetector(snap)
+		if err != nil {
+			t.Fatalf("cut %d: restore: %v", cut, err)
+		}
+		if cfg2.ID() != cfg.ID() {
+			t.Fatalf("cut %d: restored config %s, want %s", cut, cfg2.ID(), cfg.ID())
+		}
+		// The serve layer re-seeds the negotiated table from the restored
+		// model and re-binds; mirror that, then continue on the ID path.
+		table := d2.InternTable()
+		if table == nil {
+			t.Fatalf("cut %d: restored detector has no intern table", cut)
+		}
+		b2 := trace.NewInternedBuilder(len(table))
+		for _, sym := range table {
+			b2.Intern(sym)
+		}
+		b = b2
+		d2.Bind(trace.NewInternedTable(b.Symbols()))
+		for i := cut; i < len(tr); {
+			end := i + 777
+			if end > len(tr) {
+				end = len(tr)
+			}
+			feed(d2, tr[i:end])
+			i = end
+		}
+		d2.Finish()
+		if d2.Consumed() != want.Consumed() {
+			t.Fatalf("cut %d: consumed %d, want %d", cut, d2.Consumed(), want.Consumed())
+		}
+		if d2.SimilarityComputations() != want.SimilarityComputations() {
+			t.Errorf("cut %d: sim computations %d, want %d", cut, d2.SimilarityComputations(), want.SimilarityComputations())
+		}
+		if !equalIntervals(d2.Phases(), want.Phases()) {
+			t.Errorf("cut %d: phases %v, want %v", cut, d2.Phases(), want.Phases())
+		}
+		if !equalIntervals(d2.AdjustedPhases(), want.AdjustedPhases()) {
+			t.Errorf("cut %d: adjusted phases %v, want %v", cut, d2.AdjustedPhases(), want.AdjustedPhases())
+		}
+	}
+}
+
+// TestMixedEntryPointsPanic pins the guard: once a run has a pending ID
+// group, the Branch entry point refuses to continue it.
+func TestMixedEntryPointsPanic(t *testing.T) {
+	cfg := Config{CWSize: 100, SkipFactor: 8, TW: ConstantTW, Model: UnweightedModel, Analyzer: ThresholdAnalyzer, Param: 0.6}
+	d := cfg.MustNew()
+	b := trace.NewInternedBuilder(0)
+	ids := []int32{b.Intern(trace.MakeBranch(0, 1, true)), b.Intern(trace.MakeBranch(0, 2, false))}
+	d.Bind(trace.NewInternedTable(b.Symbols()))
+	d.ProcessBatchIDs(ids) // leaves a partial group pending
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ProcessBatch after a pending ID group did not panic")
+		}
+	}()
+	d.ProcessBatch(trace.Trace{trace.MakeBranch(0, 3, true)})
+}

@@ -22,9 +22,10 @@ type Detector struct {
 	analyzer Analyzer
 	skip     int
 
-	state   State
-	n       int64 // elements consumed
-	pending []trace.Branch
+	state      State
+	n          int64 // elements consumed
+	pending    []trace.Branch
+	pendingIDs []int32 // ID-native runs' partial group (see ProcessBatchIDs)
 
 	phases      []interval.Interval
 	adjPhases   []interval.Interval
@@ -262,6 +263,11 @@ func (d *Detector) Process(e trace.Branch) State {
 // streaming server builds on. Full groups are sliced directly out of the
 // chunk, so large chunks pay no per-element copying beyond the remainder.
 func (d *Detector) ProcessBatch(elems []trace.Branch) State {
+	if len(d.pendingIDs) > 0 {
+		// The run is already on the ID-native path; mixing entry points
+		// would intern the same elements twice under different IDs.
+		panic("core: ProcessBatch on a detector with a pending ID group (mixed entry points)")
+	}
 	// Top up a partial group left over from an earlier chunk.
 	if len(d.pending) > 0 {
 		need := d.skip - len(d.pending)
@@ -286,6 +292,99 @@ func (d *Detector) ProcessBatch(elems []trace.Branch) State {
 		d.pending = append(d.pending, elems[n:]...)
 	}
 	return d.state
+}
+
+// ProcessBatchIDs is ProcessBatch over dense IDs into a bound symbol
+// table (Detector.Bind): the streaming server's symbol-negotiated fast
+// path. Grouping is chunk-size agnostic exactly as in ProcessBatch — a
+// trailing partial group buffers as IDs until the next call or Finish —
+// and the output over any chunking is identical to ProcessBatch over
+// the equivalent raw elements.
+//
+// A run must stay on one entry point; the only sanctioned crossover is
+// a detector restored from a snapshot taken mid-ID-run, whose pending
+// partial group was persisted in Branch form: the first ProcessBatchIDs
+// call adopts it back into ID form through the bound table.
+func (d *Detector) ProcessBatchIDs(ids []int32) State {
+	if d.finished {
+		panic("core: ProcessBatchIDs after Finish")
+	}
+	if len(d.pending) > 0 {
+		d.adoptPending()
+	}
+	// Top up a partial group left over from an earlier chunk.
+	if len(d.pendingIDs) > 0 {
+		need := d.skip - len(d.pendingIDs)
+		if need > len(ids) {
+			need = len(ids)
+		}
+		d.pendingIDs = append(d.pendingIDs, ids[:need]...)
+		ids = ids[need:]
+		if len(d.pendingIDs) == d.skip {
+			d.ProcessProfileIDs(d.pendingIDs)
+			d.pendingIDs = d.pendingIDs[:0]
+		}
+	}
+	// Whole groups straight from the chunk.
+	skip := d.skip
+	n := (len(ids) / skip) * skip
+	for i := 0; i < n; i += skip {
+		d.ProcessProfileIDs(ids[i : i+skip])
+	}
+	// Buffer the remainder for the next chunk.
+	if n < len(ids) {
+		d.pendingIDs = append(d.pendingIDs, ids[n:]...)
+	}
+	return d.state
+}
+
+// adoptPending converts a snapshot-restored Branch-form pending group
+// into ID form so an ID-native run can continue it. Every pending
+// element is necessarily in the bound table: it was interned before the
+// snapshot, and the table only grows.
+func (d *Detector) adoptPending() {
+	if d.sm == nil {
+		panic("core: ProcessBatchIDs cannot adopt a pending group on a custom model")
+	}
+	for _, b := range d.pending {
+		id, ok := d.sm.lookupID(b)
+		if !ok {
+			panic(fmt.Sprintf("core: pending element %v missing from bound symbol table", b))
+		}
+		d.pendingIDs = append(d.pendingIDs, id)
+	}
+	d.pending = d.pending[:0]
+}
+
+// Bind points the model at a negotiated symbol table ahead of (or
+// during) an ID-native run, reporting whether the model supports
+// binding. Re-binding after the table grows is required: the model
+// aliases the table's backing array, which extension may reallocate.
+func (d *Detector) Bind(in *trace.Interned) bool {
+	if b, ok := d.model.(InternBinder); ok {
+		b.BindInterned(in)
+		return true
+	}
+	return false
+}
+
+// InternTable returns the model's ID → element table in ID order: the
+// bound symbol table when one is attached, otherwise the inverse of the
+// per-model intern map. Nil for custom models. The serve layer uses it
+// to re-seed a restored session's negotiated table.
+func (d *Detector) InternTable() []trace.Branch {
+	sm := d.sm
+	if sm == nil {
+		return nil
+	}
+	if sm.syms != nil {
+		return sm.syms
+	}
+	table := make([]trace.Branch, len(sm.intern))
+	for b, id := range sm.intern {
+		table[id] = b
+	}
+	return table
 }
 
 func (d *Detector) beginPhase(groupStart, adjStart int64) {
@@ -337,6 +436,10 @@ func (d *Detector) Finish() {
 	if len(d.pending) > 0 {
 		d.ProcessProfile(d.pending)
 		d.pending = d.pending[:0]
+	}
+	if len(d.pendingIDs) > 0 {
+		d.ProcessProfileIDs(d.pendingIDs)
+		d.pendingIDs = d.pendingIDs[:0]
 	}
 	d.endPhase(d.n, d.phaseSignature())
 	if d.probe != nil {

@@ -125,6 +125,22 @@ func (m *SetModel) id(e trace.Branch) int32 {
 	return id
 }
 
+// lookupID resolves an element's dense ID without assigning one: via
+// the intern map when the model built one (Branch-path runs, restored
+// snapshots), else by scanning the bound table (tiny, cold paths only).
+func (m *SetModel) lookupID(e trace.Branch) (int32, bool) {
+	if m.intern != nil {
+		id, ok := m.intern[e]
+		return id, ok
+	}
+	for i, s := range m.syms {
+		if s == e {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
 // UpdateWindows pushes the batch into the windows and remembers it for
 // window reinitialization at the next phase end.
 func (m *SetModel) UpdateWindows(elems []trace.Branch) {

@@ -132,9 +132,19 @@ func (d *Detector) Snapshot() ([]byte, error) {
 	w.varint(d.simCount)
 	w.varint(d.lastFlipAt)
 	w.f64(d.lastSim)
-	w.uvarint(uint64(len(d.pending)))
+	// The pending partial group persists in Branch form regardless of
+	// which entry point buffered it, keeping one layout for both: an
+	// ID-form group decodes through the bound table here and is adopted
+	// back into ID form by the first ProcessBatchIDs after restore.
+	if len(d.pendingIDs) > 0 && sm.syms == nil {
+		return nil, errors.New("core: snapshot: pending ID group without a bound symbol table")
+	}
+	w.uvarint(uint64(len(d.pending) + len(d.pendingIDs)))
 	for _, b := range d.pending {
 		w.uvarint(uint64(b))
+	}
+	for _, id := range d.pendingIDs {
+		w.uvarint(uint64(sm.syms[id]))
 	}
 	w.intervals(d.phases)
 	w.intervals(d.adjPhases)

@@ -40,6 +40,23 @@ func appendRecord(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// appendRecordMulti frames the concatenation of parts onto dst as one
+// record, computing the checksum incrementally so the parts never have
+// to be joined outside the destination buffer.
+func appendRecordMulti(dst []byte, parts [][]byte) []byte {
+	total, crc := 0, uint32(0)
+	for _, p := range parts {
+		total += len(p)
+		crc = crc32.Update(crc, castagnoli, p)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(total))
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
 // parseRecord reads the record at the head of buf, returning its payload
 // and the total framed size consumed. Any damage — short header, short
 // body, oversized length, checksum mismatch — returns errTorn.

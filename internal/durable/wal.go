@@ -39,6 +39,10 @@ type SessionLog struct {
 	segStarts []uint64 // first record index of each live segment, ascending
 	lastSync  time.Time
 	closed    bool
+	// frameBuf is the reusable record-assembly buffer: header plus
+	// payload parts gather here so an append is one file write and zero
+	// allocations in steady state.
+	frameBuf []byte
 }
 
 func segName(idx uint64) string  { return fmt.Sprintf("wal-%016x.seg", idx) }
@@ -137,6 +141,16 @@ func (l *SessionLog) Append(payload []byte) error {
 // callers attributing per-chunk stage time (the serve layer's stage
 // timers).
 func (l *SessionLog) AppendTimed(payload []byte) (AppendStats, error) {
+	return l.AppendTimedMulti(payload)
+}
+
+// AppendTimedMulti appends one record whose payload is the
+// concatenation of parts, without requiring the caller to concatenate
+// them first — the streaming ingest path hands the record-type prefix
+// and the wire payload as separate parts and pays no intermediate
+// copy or allocation (the record assembles in the log's reused frame
+// buffer; the checksum runs incrementally across the parts).
+func (l *SessionLog) AppendTimedMulti(parts ...[]byte) (AppendStats, error) {
 	var stats AppendStats
 	t0 := time.Now()
 	l.mu.Lock()
@@ -149,7 +163,8 @@ func (l *SessionLog) AppendTimed(payload []byte) (AppendStats, error) {
 			return stats, fmt.Errorf("durable: rotating segment: %w", err)
 		}
 	}
-	frame := appendRecord(make([]byte, 0, recordHeaderSize+len(payload)), payload)
+	frame := appendRecordMulti(l.frameBuf[:0], parts)
+	l.frameBuf = frame[:0]
 	if _, err := l.f.Write(frame); err != nil {
 		return stats, fmt.Errorf("durable: appending record %d: %w", l.nextIdx, err)
 	}

@@ -14,6 +14,7 @@ import (
 	"opd/internal/core"
 	"opd/internal/durable"
 	"opd/internal/telemetry"
+	"opd/internal/trace"
 )
 
 // Admission errors. Handlers map these onto HTTP statuses (429, 413).
@@ -407,26 +408,58 @@ func (m *Manager) recoverSession(rec *durable.Recovered) (*Session, error) {
 	if rec.Snapshot == nil {
 		return nil, errors.New("serve: no usable snapshot")
 	}
-	det, cfg, events, base, err := decodeSessionSnapshot(rec.Snapshot)
+	rs, err := decodeSessionSnapshot(rec.Snapshot)
 	if err != nil {
 		return nil, err
 	}
-	s := newSession(rec.ID, cfg, det, m.opts.MaxEventsRetained, m.opts.FlightChunks, m.probe, m.opts.Logger)
-	s.events = append(s.events, events...)
+	s := newSession(rec.ID, rs.cfg, rs.det, m.opts.MaxEventsRetained, m.opts.FlightChunks, m.probe, m.opts.Logger)
+	s.events = append(s.events, rs.events...)
 	// Restored events get no wall time: SSE lag across a restart is
 	// meaningless, and a zero entry tells the stream path to skip them.
-	s.wall = make([]int64, len(events))
-	s.base = base
+	s.wall = make([]int64, len(rs.events))
+	s.base = rs.base
+	s.mode = rs.mode
+	s.applied = rs.applied
 	s.log = rec.Log()
 	s.snapEvery = m.opts.SnapshotEvery
+	if s.mode == modeIDs {
+		// Re-seed the negotiated symbol table from the restored model and
+		// re-bind so ID replay (and post-recovery ID ingest) resolves
+		// against it. InternTable returns IDs in assignment order, which
+		// is exactly the negotiated order.
+		s.symtab = rs.det.InternTable()
+		rs.det.Bind(trace.NewInternedTable(s.symtab))
+	}
+replayLoop:
 	for _, payload := range rec.Records {
-		elems, err := decodeChunk(payload)
-		if err != nil {
-			// The record passed its CRC, so this is our own encoding bug;
-			// the durable prefix ends here. Keep what replayed cleanly.
+		if len(payload) == 0 {
 			break
 		}
-		if err := s.replay(elems); err != nil {
+		var rerr error
+		switch payload[0] {
+		case walRecSyms:
+			start, syms, err := trace.DecodeSymsPayload(nil, payload[1:])
+			if err != nil {
+				break replayLoop
+			}
+			rerr = s.replaySyms(start, syms)
+		case walRecIDs:
+			ids, err := trace.DecodeIDsPayload(nil, payload[1:], s.SymbolCount())
+			if err != nil {
+				break replayLoop
+			}
+			rerr = s.replayIDs(ids)
+		default:
+			elems, err := decodeChunk(payload)
+			if err != nil {
+				// The record passed its CRC, so this is our own encoding
+				// bug; the durable prefix ends here. Keep what replayed
+				// cleanly.
+				break replayLoop
+			}
+			rerr = s.replay(elems)
+		}
+		if rerr != nil {
 			// The chunk re-poisoned the session, exactly as it did before
 			// the crash. Keep the failed session inspectable.
 			break

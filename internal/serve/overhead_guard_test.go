@@ -7,8 +7,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"opd/internal/telemetry"
 	"opd/internal/trace"
@@ -101,5 +104,117 @@ func TestTracingOverheadGuard(t *testing.T) {
 		p, tr2, (ratio-1)*100)
 	if ratio > 1.05 {
 		t.Errorf("tracing adds %.2f%% to ServeIngest, budget is 5%%", (ratio-1)*100)
+	}
+}
+
+// directRun times one single pass of the chunked workload straight
+// through core.ProcessBatch — the floor every serving path is compared
+// against. Single-pass wall times (not testing.Benchmark means) keep GC
+// pauses from unrelated iterations out of the measurement; the explicit
+// GC beforehand starts every pass from the same allocator state.
+func directRun(parts []trace.Trace) float64 {
+	d := benchConfig.MustNew()
+	runtime.GC()
+	start := time.Now()
+	for _, p := range parts {
+		d.ProcessBatch(p)
+	}
+	return float64(time.Since(start).Nanoseconds())
+}
+
+// streamRun times one single pass of the same workload over one
+// persistent framed connection, send-all-then-drain — in branch frames,
+// or dense-ID frames when ids is set.
+func streamRun(t *testing.T, parts []trace.Trace, ids bool) float64 {
+	t.Helper()
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.manager.Shutdown()
+
+	body, _ := json.Marshal(ConfigRequest{CW: benchConfig.CWSize, Policy: "adaptive"})
+	resp, err := ts.Client().Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opened struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&opened); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// NoEvents keeps the comparison apples-to-apples: the direct feed
+	// (and the old POST path without an SSE consumer) never marshals or
+	// delivers events either.
+	sc, err := DialStream(strings.TrimPrefix(ts.URL, "http://"), opened.ID, StreamOptions{IDs: ids, NoEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	start := time.Now()
+	for _, p := range parts {
+		if err := sc.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	wall := float64(time.Since(start).Nanoseconds())
+	if _, err := sc.End(true); err != nil {
+		t.Fatal(err)
+	}
+	sc.Close()
+	return wall
+}
+
+// TestStreamingIngestGuard is the tentpole's acceptance guard, at
+// 1K-element chunks against the bare detector feed:
+//
+//   - the symbol-negotiated dense-ID hot path (the server skips
+//     per-element hashing entirely) must stay under 1.2x;
+//   - the branch-frame streaming path must stay under 2.5x (the
+//     request-per-chunk HTTP path it replaces sat at ~4.9x).
+//
+// Wall-clock comparisons are noisy, so the guard runs only when
+// OPD_INGEST_GUARD=1 (the Makefile's bench-guard target) and compares
+// minima of interleaved runs.
+func TestStreamingIngestGuard(t *testing.T) {
+	if os.Getenv("OPD_INGEST_GUARD") == "" {
+		t.Skip("set OPD_INGEST_GUARD=1 to run the streaming ingest overhead guard")
+	}
+	tr := phasedTrace(1 << 17)
+	const chunk = 1024
+	var parts []trace.Trace
+	for i := 0; i < len(tr); i += chunk {
+		end := i + chunk
+		if end > len(tr) {
+			end = len(tr)
+		}
+		parts = append(parts, tr[i:end])
+	}
+
+	const rounds = 9
+	var direct, branch, ids []float64
+	for i := 0; i < rounds; i++ {
+		// Interleave so drift (thermal, co-tenants) hits all sides.
+		direct = append(direct, directRun(parts))
+		branch = append(branch, streamRun(t, parts, false))
+		ids = append(ids, streamRun(t, parts, true))
+	}
+	sort.Float64s(direct)
+	sort.Float64s(branch)
+	sort.Float64s(ids)
+	d, b, s := direct[0], branch[0], ids[0]
+	t.Logf("ingest wall ns: direct min %.0f, stream/branch min %.0f (%.2fx), stream/ids min %.0f (%.2fx)",
+		d, b, b/d, s, s/d)
+	fmt.Fprintf(os.Stderr, "streaming ingest guard: direct %.0f ns, branch %.0f (%.2fx), ids %.0f (%.2fx)\n",
+		d, b, b/d, s, s/d)
+	if ratio := s / d; ratio > 1.2 {
+		t.Errorf("dense-ID streaming ingest at %d-element chunks is %.2fx the direct feed, budget is 1.2x", chunk, ratio)
+	}
+	if ratio := b / d; ratio > 2.5 {
+		t.Errorf("branch streaming ingest at %d-element chunks is %.2fx the direct feed, budget is 2.5x", chunk, ratio)
 	}
 }

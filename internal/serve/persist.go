@@ -21,19 +21,44 @@ var ErrPersist = errors.New("serve: session persistence failed")
 // snapshots; the durable layer adds CRC framing on top):
 //
 //	magic   "OPDSESS1"
-//	u8      version (1)
+//	u8      version (2; version-1 payloads still decode)
 //	uvarint detector snapshot length, then that many bytes (core format)
 //	uvarint event-log base (Seq of the first retained event)
 //	uvarint retained event count, then per event:
 //	  u8     kind (0 = phase_start, 1 = phase_end)
 //	  varint At, V1, V2
+//	u8      ingest mode (version ≥ 2; 0 = branch, 1 = dense-ID)
+//	uvarint applied chunk count (version ≥ 2; the resume cursor)
 //
 // The event log is part of the snapshot so Seq numbers stay absolute
 // across restarts: WAL replay regenerates the post-snapshot events
-// through the detector hooks, continuing the sequence exactly.
+// through the detector hooks, continuing the sequence exactly. The mode
+// and cursor restore the streaming-protocol state: a version-1 snapshot
+// (written before the streaming protocol existed) implies branch mode
+// with a zero cursor. The dense-ID symbol table is NOT stored here — it
+// is recovered from the detector snapshot's own model state via
+// Detector.InternTable, which is exactly the negotiated table because ID
+// sessions assign IDs in first-appearance order.
 const (
 	sessSnapMagic   = "OPDSESS1"
-	sessSnapVersion = 1
+	sessSnapVersion = 2
+)
+
+// WAL record-type prefixes for the dense-ID streaming protocol. A
+// branch-mode chunk record is a raw OPDBRNC1 stream and is recognized by
+// its magic's first byte 'O' (0x4F); symbol-extension and ID-chunk
+// records carry one of these prefix bytes ahead of the wire payload.
+// Replay dispatches on the first byte, so pre-protocol logs (all raw
+// OPDBRNC1) replay unchanged.
+const (
+	walRecSyms byte = 0x01
+	walRecIDs  byte = 0x02
+)
+
+// Single-byte prefix slices for zero-allocation multi-part WAL appends.
+var (
+	walPrefixSyms = []byte{walRecSyms}
+	walPrefixIDs  = []byte{walRecIDs}
 )
 
 // encodeSnapshotLocked serializes the session's durable state. Callers
@@ -65,22 +90,37 @@ func (s *Session) encodeSnapshotLocked() ([]byte, error) {
 		buf = binary.AppendVarint(buf, e.V1)
 		buf = binary.AppendVarint(buf, e.V2)
 	}
+	buf = append(buf, byte(s.mode))
+	buf = binary.AppendUvarint(buf, s.applied)
 	return buf, nil
+}
+
+// restoredSnapshot carries a decoded session snapshot: the restored
+// detector, its configuration, the retained event log, and (version ≥ 2)
+// the streaming-protocol state.
+type restoredSnapshot struct {
+	det     *core.Detector
+	cfg     core.Config
+	events  []Event
+	base    uint64
+	mode    sessionMode
+	applied uint64
 }
 
 // decodeSessionSnapshot parses a session snapshot back into a restored
 // detector, its configuration, and the retained event log. The input is
 // CRC-verified by the durable layer but still decoded defensively.
-func decodeSessionSnapshot(data []byte) (*core.Detector, core.Config, []Event, uint64, error) {
-	var cfg core.Config
-	fail := func(msg string) (*core.Detector, core.Config, []Event, uint64, error) {
-		return nil, cfg, nil, 0, fmt.Errorf("serve: session snapshot: %s", msg)
+func decodeSessionSnapshot(data []byte) (restoredSnapshot, error) {
+	var rs restoredSnapshot
+	fail := func(msg string) (restoredSnapshot, error) {
+		return rs, fmt.Errorf("serve: session snapshot: %s", msg)
 	}
 	if len(data) < len(sessSnapMagic)+1 || string(data[:len(sessSnapMagic)]) != sessSnapMagic {
 		return fail("bad magic")
 	}
-	if v := data[len(sessSnapMagic)]; v != sessSnapVersion {
-		return fail(fmt.Sprintf("unsupported version %d", v))
+	version := data[len(sessSnapMagic)]
+	if version < 1 || version > sessSnapVersion {
+		return fail(fmt.Sprintf("unsupported version %d", version))
 	}
 	r := bytes.NewReader(data[len(sessSnapMagic)+1:])
 	detLen, err := binary.ReadUvarint(r)
@@ -91,11 +131,11 @@ func decodeSessionSnapshot(data []byte) (*core.Detector, core.Config, []Event, u
 	if _, err := io.ReadFull(r, detSnap); err != nil {
 		return fail("detector snapshot truncated")
 	}
-	det, cfg, err := core.RestoreDetector(detSnap)
+	rs.det, rs.cfg, err = core.RestoreDetector(detSnap)
 	if err != nil {
-		return nil, cfg, nil, 0, fmt.Errorf("serve: session snapshot: %w", err)
+		return rs, fmt.Errorf("serve: session snapshot: %w", err)
 	}
-	base, err := binary.ReadUvarint(r)
+	rs.base, err = binary.ReadUvarint(r)
 	if err != nil {
 		return fail("event base")
 	}
@@ -105,8 +145,8 @@ func decodeSessionSnapshot(data []byte) (*core.Detector, core.Config, []Event, u
 	if err != nil || count > uint64(r.Len())/4+1 {
 		return fail("event count")
 	}
-	src := cfg.ID()
-	events := make([]Event, 0, count)
+	src := rs.cfg.ID()
+	rs.events = make([]Event, 0, count)
 	for i := uint64(0); i < count; i++ {
 		kind, err := r.ReadByte()
 		if err != nil || kind > 1 {
@@ -122,24 +162,30 @@ func decodeSessionSnapshot(data []byte) (*core.Detector, core.Config, []Event, u
 		if err1 != nil || err2 != nil || err3 != nil {
 			return fail("event payload")
 		}
-		events = append(events, Event{Seq: base + i, Kind: name, Src: src, At: at, V1: v1, V2: v2})
+		rs.events = append(rs.events, Event{Seq: rs.base + i, Kind: name, Src: src, At: at, V1: v1, V2: v2})
+	}
+	if version >= 2 {
+		mode, err := r.ReadByte()
+		if err != nil || mode > byte(modeIDs) {
+			return fail("ingest mode")
+		}
+		rs.mode = sessionMode(mode)
+		rs.applied, err = binary.ReadUvarint(r)
+		if err != nil {
+			return fail("applied cursor")
+		}
 	}
 	if r.Len() != 0 {
 		return fail("trailing bytes")
 	}
-	return det, cfg, events, base, nil
+	return rs, nil
 }
 
 // encodeChunk serializes one decoded chunk as a WAL record payload: the
 // standard self-contained OPDBRNC1 stream, so replay uses the same
 // strict reader as everything else.
 func encodeChunk(elems []trace.Branch) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Grow(len(elems)*2 + 16)
-	if err := trace.WriteBranches(&buf, elems); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return trace.AppendBranches(make([]byte, 0, len(elems)*2+16), elems), nil
 }
 
 // decodeChunk parses a WAL record payload back into elements.

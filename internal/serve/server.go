@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -157,6 +158,8 @@ func (s *Server) requireReady(h http.HandlerFunc) http.HandlerFunc {
 //	POST   /v1/sessions               open a session (JSON ConfigRequest)
 //	GET    /v1/sessions/{id}          session status
 //	POST   /v1/sessions/{id}/elements ingest one binary trace chunk
+//	POST   /v1/sessions/{id}/stream   upgrade to the persistent framed
+//	                                  ingest protocol (see stream.go)
 //	GET    /v1/sessions/{id}/events   poll (?since=N) or SSE (Accept:
 //	                                  text/event-stream or ?stream=1)
 //	GET    /v1/sessions/{id}/flight   the session's flight recorder: the
@@ -178,6 +181,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.requireReady(s.handleStatus))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.requireReady(s.handleClose))
 	mux.HandleFunc("POST /v1/sessions/{id}/elements", s.requireReady(s.handleElements))
+	mux.HandleFunc("POST /v1/sessions/{id}/stream", s.requireReady(s.handleStream))
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.requireReady(s.handleEvents))
 	mux.HandleFunc("GET /v1/sessions/{id}/flight", s.requireReady(s.handleFlight))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -230,6 +234,18 @@ func (sr *statusRecorder) Flush() {
 	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+// Hijack forwards to the underlying connection so the streaming ingest
+// upgrade works through the logging wrapper. The recorder keeps the
+// status the handler wrote before hijacking (101 for a successful
+// upgrade), and bytes written on the raw connection are not counted.
+func (sr *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := sr.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, errors.New("serve: underlying writer does not support hijacking")
+	}
+	return hj.Hijack()
 }
 
 // logRequests is the structured request log: one line per request with
@@ -374,6 +390,13 @@ var chunkBufPool = sync.Pool{
 	New: func() any { return new(bytes.Buffer) },
 }
 
+// elemsPool recycles decoded element slices across ingest requests. The
+// detector copies every element it keeps (window ring, pending buffer),
+// so the slice is free for reuse the moment the feed call returns.
+var elemsPool = sync.Pool{
+	New: func() any { return new(trace.Trace) },
+}
+
 func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.sessionFor(w, r)
 	if !ok {
@@ -405,12 +428,19 @@ func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("serve: reading chunk: %w", rerr))
 		return
 	}
-	// The lenient reader classifies damage without losing the decode
+	// The lenient decoder classifies damage without losing the decode
 	// position; a damaged chunk is rejected whole — nothing of it
 	// reaches the detector, so the client can repair and resend exactly
-	// this chunk.
+	// this chunk. The element slice comes from a pool (the detector
+	// copies what it keeps) and decodes in place out of the body buffer.
 	t0 = time.Now()
-	elems, err := trace.ReadBranchesLenient(bytes.NewReader(buf.Bytes()))
+	tp := elemsPool.Get().(*trace.Trace)
+	defer func() {
+		*tp = (*tp)[:0]
+		elemsPool.Put(tp)
+	}()
+	elems, err := trace.DecodeBranchesLenient((*tp)[:0], buf.Bytes())
+	*tp = elems
 	ct.StageNS[telemetry.StageDecode] = time.Since(t0).Nanoseconds()
 	if err != nil {
 		s.manager.probe.ChunkError()
@@ -426,9 +456,12 @@ func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, eb)
 		return
 	}
-	if err := sess.FeedTraced(elems, &ct); err != nil {
+	// The body buffer already holds the chunk in wire form, which is
+	// exactly the WAL record payload — feed both so a durable session
+	// pays no re-encode.
+	if err := sess.FeedWireTraced(0, buf.Bytes(), elems, &ct); err != nil {
 		switch {
-		case errors.Is(err, ErrClosed):
+		case errors.Is(err, ErrClosed), errors.Is(err, ErrModeConflict):
 			writeError(w, http.StatusConflict, err)
 		case errors.Is(err, ErrPersist):
 			// The chunk was not applied; the client may retry it verbatim.

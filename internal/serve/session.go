@@ -41,7 +41,39 @@ var (
 	// ErrFailed reports an operation on a session poisoned by an earlier
 	// panic in its detector. The underlying *sweep.PanicError is wrapped.
 	ErrFailed = errors.New("serve: session failed")
+	// ErrModeConflict reports an ingest path incompatible with the
+	// session's negotiated mode: element chunks into a dense-ID session,
+	// or a dense-ID handshake on a session that already consumed
+	// elements. Handlers map it to HTTP 409.
+	ErrModeConflict = errors.New("serve: ingest mode conflict")
+	// ErrStaleStream reports a frame from a streaming connection that has
+	// been superseded by a newer handshake on the same session. A client
+	// that reconnects after a network fault can race its own previous
+	// connection, whose buffered frames may still be in flight server-side;
+	// fencing them on the handshake generation keeps the resume cursor the
+	// new connection saw authoritative, so no chunk is ever applied twice.
+	ErrStaleStream = errors.New("serve: stream superseded by a newer connection")
 )
+
+// sessionMode is a session's negotiated ingest representation. Sessions
+// start in branch mode (chunks carry raw profile elements); a streaming
+// client may latch a *fresh* session into dense-ID mode, after which
+// elements arrive as IDs into a client-fed symbol table and branch-form
+// ingest is refused — the two representations assign IDs independently
+// and must not interleave within one detector run.
+type sessionMode uint8
+
+const (
+	modeBranch sessionMode = iota
+	modeIDs
+)
+
+func (m sessionMode) String() string {
+	if m == modeIDs {
+		return "ids"
+	}
+	return "branch"
+}
 
 // An Event is one phase-lifecycle notification of a session. It carries
 // the same fields the telemetry phase-event ring records — Kind, the
@@ -110,6 +142,21 @@ type Session struct {
 	det    *core.Detector
 	state  State
 	failed error // the wrapped *sweep.PanicError when state == StateFailed
+
+	// Streaming ingest state. mode latches once (see sessionMode);
+	// symtab mirrors the client's negotiated symbol table in dense-ID
+	// mode (the detector's model aliases it via Bind, so every
+	// extension re-binds); applied counts successfully applied data
+	// chunks on every ingest path — the resume cursor a reconnecting
+	// streaming client uses to skip chunks the server already has.
+	mode    sessionMode
+	symtab  []trace.Branch
+	applied uint64
+	// streamGen is the handshake generation: StreamHello bumps it and
+	// every frame from a streaming connection carries the generation it
+	// was admitted under, so frames from a superseded connection are
+	// fenced (ErrStaleStream) instead of racing the successor's cursor.
+	streamGen uint64
 
 	// The event log. Seq numbers are absolute; base is the Seq of
 	// events[0] after old events have been trimmed. wall runs parallel to
@@ -255,16 +302,64 @@ func (s *Session) Feed(elems []trace.Branch) error {
 // records the completed trace into the session's flight recorder, and
 // feeds the per-stage latency histograms. Every chunk — applied,
 // rejected by the WAL, or panicking — leaves exactly one trace.
-func (s *Session) FeedTraced(elems []trace.Branch, ct *telemetry.ChunkTrace) (err error) {
+func (s *Session) FeedTraced(elems []trace.Branch, ct *telemetry.ChunkTrace) error {
+	return s.feedTraced(modeBranch, 0, int64(len(elems)), ct,
+		func() (durable.AppendStats, error) {
+			payload, err := encodeChunk(elems)
+			if err != nil {
+				return durable.AppendStats{}, err
+			}
+			return s.log.AppendTimed(payload)
+		},
+		func() { s.det.ProcessBatch(elems) })
+}
+
+// FeedWireTraced is FeedTraced for a chunk that arrived already in the
+// OPDBRNC1 wire format (the streaming ingest path): payload is the
+// verified wire bytes and elems their decoded form. The WAL append
+// reuses the wire bytes as the record payload verbatim — replay reads
+// them with the same strict decoder — so the durable path pays no
+// re-encode. gen is the stream handshake generation (zero for the
+// one-shot HTTP path, which has no resume cursor to fence).
+func (s *Session) FeedWireTraced(gen uint64, payload []byte, elems []trace.Branch, ct *telemetry.ChunkTrace) error {
+	return s.feedTraced(modeBranch, gen, int64(len(elems)), ct,
+		func() (durable.AppendStats, error) { return s.log.AppendTimedMulti(payload) },
+		func() { s.det.ProcessBatch(elems) })
+}
+
+// FeedIDsTraced is FeedTraced for a dense-ID chunk on a session latched
+// into ID mode: payload is the verified IDs wire payload (WAL-appended
+// behind a one-byte record-type prefix) and ids its decoded form, every
+// ID already validated against the negotiated symbol table.
+func (s *Session) FeedIDsTraced(gen uint64, payload []byte, ids []int32, ct *telemetry.ChunkTrace) error {
+	return s.feedTraced(modeIDs, gen, int64(len(ids)), ct,
+		func() (durable.AppendStats, error) {
+			return s.log.AppendTimedMulti(walPrefixIDs, payload)
+		},
+		func() { s.det.ProcessBatchIDs(ids) })
+}
+
+// feedTraced is the shared ingest path: mode gate, WAL append (with
+// write/fsync attribution), detector apply (with publish attribution),
+// resume-cursor advance, and snapshot cadence — under the session mutex
+// with panic containment. wal is only invoked when the session is
+// durable; apply must route the chunk into the detector.
+func (s *Session) feedTraced(want sessionMode, gen uint64, elements int64, ct *telemetry.ChunkTrace, wal func() (durable.AppendStats, error), apply func()) (err error) {
 	s.touch()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.usableLocked(); err != nil {
 		return err
 	}
+	if gen != 0 && gen != s.streamGen {
+		return ErrStaleStream
+	}
+	if s.mode != want {
+		return fmt.Errorf("%w: %s ingest into a %s-mode session", ErrModeConflict, want, s.mode)
+	}
 	s.chunkSeq++
 	ct.Seq = s.chunkSeq
-	ct.Elements = int64(len(elems))
+	ct.Elements = elements
 	panicked := false
 	defer func() {
 		if v := recover(); v != nil {
@@ -286,11 +381,7 @@ func (s *Session) FeedTraced(elems []trace.Branch, ct *telemetry.ChunkTrace) (er
 	}()
 	if s.log != nil {
 		t0 := time.Now()
-		payload, perr := encodeChunk(elems)
-		var stats durable.AppendStats
-		if perr == nil {
-			stats, perr = s.log.AppendTimed(payload)
-		}
+		stats, perr := wal()
 		// The append stage is everything but the fsync: chunk encode,
 		// record framing, segment rotation, and the file write.
 		ct.StageNS[telemetry.StageWALFsync] = stats.FsyncNS
@@ -301,16 +392,142 @@ func (s *Session) FeedTraced(elems []trace.Branch, ct *telemetry.ChunkTrace) (er
 	}
 	s.batchPublishNS, s.batchEvents = 0, 0
 	t0 := time.Now()
-	s.det.ProcessBatch(elems)
+	apply()
 	batchNS := time.Since(t0).Nanoseconds()
 	ct.StageNS[telemetry.StageDetect] = batchNS - s.batchPublishNS
 	ct.StageNS[telemetry.StagePublish] = s.batchPublishNS
 	ct.Events = s.batchEvents
+	s.applied++
 	t1 := time.Now()
 	if s.maybeSnapshotLocked() {
 		ct.StageNS[telemetry.StageSnapshot] = time.Since(t1).Nanoseconds()
 	}
 	return nil
+}
+
+// ExtendSymbols applies a symbol-table extension frame: start is the
+// table index the frame's first symbol claims, syms the symbols, and
+// payload the verified wire bytes (WAL-appended behind a record-type
+// prefix before the table mutates, so recovery replays the extension in
+// order with the data chunks that reference it).
+//
+// Extension is idempotent over replayed frames — a reconnecting client
+// resends the symbols of chunks the server already applied — so a frame
+// entirely inside the current table is verified and dropped, an
+// overlapping frame appends only its tail, and a frame that would leave
+// a gap (or contradicts the table) is a protocol error.
+func (s *Session) ExtendSymbols(gen uint64, payload []byte, start uint64, syms []trace.Branch) error {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	if gen != 0 && gen != s.streamGen {
+		return ErrStaleStream
+	}
+	if s.mode != modeIDs {
+		return fmt.Errorf("%w: symbol frame on a %s-mode session", ErrModeConflict, s.mode)
+	}
+	if err := s.checkSymsLocked(start, syms); err != nil {
+		return err
+	}
+	if s.log != nil {
+		if _, err := s.log.AppendTimedMulti(walPrefixSyms, payload); err != nil {
+			return fmt.Errorf("%w: %w", ErrPersist, err)
+		}
+	}
+	s.applySymsLocked(start, syms)
+	return nil
+}
+
+// checkSymsLocked validates a symbol-extension frame against the current
+// table without mutating anything: no gaps, and the overlap (replayed
+// symbols) must match the table exactly.
+func (s *Session) checkSymsLocked(start uint64, syms []trace.Branch) error {
+	have := uint64(len(s.symtab))
+	if start > have {
+		return fmt.Errorf("serve: symbol frame leaves a gap: table has %d symbols, frame starts at %d", have, start)
+	}
+	for i, sym := range syms {
+		idx := start + uint64(i)
+		if idx >= have {
+			break
+		}
+		if s.symtab[idx] != sym {
+			return fmt.Errorf("serve: symbol frame contradicts table at index %d", idx)
+		}
+	}
+	return nil
+}
+
+// applySymsLocked appends the frame's new tail (if any) to the table and
+// re-binds the detector's model. Re-binding is mandatory whenever the
+// table grew: the model aliases the table's backing array, and append
+// may have reallocated it.
+func (s *Session) applySymsLocked(start uint64, syms []trace.Branch) {
+	have := uint64(len(s.symtab))
+	if start+uint64(len(syms)) <= have {
+		return
+	}
+	s.symtab = append(s.symtab, syms[have-start:]...)
+	s.det.Bind(trace.NewInternedTable(s.symtab))
+}
+
+// SymbolCount returns the size of the session's negotiated symbol table
+// (zero in branch mode) — the validation bound for incoming ID frames.
+func (s *Session) SymbolCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.symtab)
+}
+
+// streamState is the session state a streaming handshake reports back to
+// the client: the negotiated mode and the resume cursors.
+type streamState struct {
+	Mode        sessionMode
+	Gen         uint64
+	Applied     uint64
+	Consumed    int64
+	EventsTotal uint64
+	Symbols     int
+}
+
+// StreamHello negotiates a streaming connection's ingest mode and
+// returns the resume cursors. A dense-ID request latches a *fresh*
+// session (nothing applied, nothing consumed, built-in model) into ID
+// mode; a session already latched stays latched across reconnects; any
+// other combination is a mode conflict. A branch-mode request on an ID
+// session is likewise refused — the client must resume in the mode the
+// session speaks.
+func (s *Session) StreamHello(wantIDs bool) (streamState, error) {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st streamState
+	if err := s.usableLocked(); err != nil {
+		return st, err
+	}
+	switch {
+	case wantIDs && s.mode != modeIDs:
+		if s.applied != 0 || s.det.Consumed() != 0 {
+			return st, fmt.Errorf("%w: dense-ID handshake on a session that already consumed elements", ErrModeConflict)
+		}
+		if s.det.InternTable() == nil {
+			return st, fmt.Errorf("%w: session's model does not support dense-ID ingest", ErrModeConflict)
+		}
+		s.mode = modeIDs
+	case !wantIDs && s.mode == modeIDs:
+		return st, fmt.Errorf("%w: branch-mode handshake on a dense-ID session", ErrModeConflict)
+	}
+	s.streamGen++
+	st.Mode = s.mode
+	st.Gen = s.streamGen
+	st.Applied = s.applied
+	st.Consumed = s.det.Consumed()
+	st.EventsTotal = s.base + uint64(len(s.events))
+	st.Symbols = len(s.symtab)
+	return st, nil
 }
 
 // recordChunkLocked files one finished chunk trace: into the session's
@@ -373,7 +590,40 @@ func (s *Session) dumpFlightLocked(cause string) {
 // replay applies one recovered WAL chunk to the detector: Feed's apply
 // path without the WAL append (the chunk is already on disk). A panic
 // poisons the session just as it did in the original run.
-func (s *Session) replay(elems []trace.Branch) (err error) {
+func (s *Session) replay(elems []trace.Branch) error {
+	return s.replayApply(func() { s.det.ProcessBatch(elems) })
+}
+
+// replayIDs applies one recovered dense-ID WAL chunk. ID records only
+// ever come from an ID-mode session, so the mode re-latches here when
+// the snapshot predates the latch.
+func (s *Session) replayIDs(ids []int32) error {
+	return s.replayApply(func() {
+		s.mode = modeIDs
+		s.det.ProcessBatchIDs(ids)
+	})
+}
+
+// replaySyms re-applies a recovered symbol-extension record, rebuilding
+// the negotiated table in lockstep with the ID chunks that follow it.
+func (s *Session) replaySyms(start uint64, syms []trace.Branch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	s.mode = modeIDs
+	if err := s.checkSymsLocked(start, syms); err != nil {
+		return err
+	}
+	s.applySymsLocked(start, syms)
+	return nil
+}
+
+// replayApply runs one recovered data record through the detector with
+// the replay-path panic containment, advancing the resume cursor exactly
+// as the original ingest did.
+func (s *Session) replayApply(apply func()) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.usableLocked(); err != nil {
@@ -387,7 +637,8 @@ func (s *Session) replay(elems []trace.Branch) (err error) {
 			err = fmt.Errorf("%w: %w", ErrFailed, s.failed)
 		}
 	}()
-	s.det.ProcessBatch(elems)
+	apply()
+	s.applied++
 	return nil
 }
 
@@ -502,6 +753,14 @@ func (s *Session) Progress() (consumed int64, inPhase bool, eventsTotal uint64) 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.det.Consumed(), s.det.State().IsPhase(), s.base + uint64(len(s.events))
+}
+
+// StreamProgress is Progress keyed by the streaming resume cursor: the
+// applied-chunk count a per-chunk ack reports back to the client.
+func (s *Session) StreamProgress() (applied uint64, inPhase bool, eventsTotal uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied, s.det.State().IsPhase(), s.base + uint64(len(s.events))
 }
 
 // EventsSince returns the retained events with Seq >= since, the next

@@ -1,0 +1,502 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"opd/internal/telemetry"
+	"opd/internal/trace"
+)
+
+// Persistent framed ingest: POST /v1/sessions/{id}/stream upgrades the
+// HTTP/1.1 connection (Upgrade: opd-stream/1) to a long-lived byte
+// stream carrying trace.Frame-coded messages in both directions. The
+// client sends one FrameHello, then data-plane frames (FrameData, or
+// FrameSyms/FrameIDs in dense-ID mode), and finally FrameEnd; the
+// server answers with FrameHelloAck, one FrameAck per applied chunk,
+// FrameEvent for every phase-lifecycle event (multiplexed between
+// acks by a pump goroutine), FrameErr on failures, and FrameDone.
+//
+// Damage semantics split by layer, mirroring the PR-3 ingest taxonomy:
+// frame-level damage (bad checksum, absurd length, torn header) means
+// the byte stream can no longer be trusted to be frame-aligned, so it
+// is fatal to the connection — the session survives and the client
+// reconnects and resumes from the acked cursor. In-payload damage (a
+// chunk that fails OPDBRNC1 or ID decoding) rejects that chunk whole —
+// nothing of it reaches the detector, exactly like the one-shot
+// endpoint's lenient-reject contract — and the connection stays in
+// sync, reported by a retryable FrameErr.
+const streamProtocol = "opd-stream/1"
+
+// streamHello is the client's negotiation payload (FrameHello, JSON).
+type streamHello struct {
+	// Mode selects the ingest representation: "branch" (the wire bytes
+	// of the one-shot endpoint, the default) or "ids" (dense IDs into a
+	// client-fed symbol table — the zero-hash hot path).
+	Mode string `json:"mode,omitempty"`
+	// EventsSince resumes event delivery from this sequence number.
+	EventsSince uint64 `json:"events_since,omitempty"`
+	// NoEvents disables event multiplexing on this connection entirely
+	// (EventsSince is then ignored). Pure bulk-ingest clients set it:
+	// event delivery costs a marshal + wakeup + write per event, which
+	// an uninterested client would silently discard anyway. Events are
+	// still detected, logged, and available over SSE or a later
+	// subscribing connection.
+	NoEvents bool `json:"no_events,omitempty"`
+}
+
+// streamHelloAck is the server's handshake answer (FrameHelloAck,
+// JSON): the latched mode and the resume cursors. A reconnecting client
+// skips its first Applied chunks and resends symbols from Symbols on.
+type streamHelloAck struct {
+	Mode          string `json:"mode"`
+	Applied       uint64 `json:"applied"`
+	Consumed      int64  `json:"consumed"`
+	EventsTotal   uint64 `json:"events_total"`
+	Symbols       int    `json:"symbols"`
+	MaxFrameBytes int64  `json:"max_frame_bytes"`
+}
+
+// appendAckPayload encodes a FrameAck payload:
+//
+//	uvarint applied chunk count (the resume cursor, absolute)
+//	uvarint elements covered by this ack (one ack may cover a whole
+//	        burst of chunks — the cursor is what resumes care about)
+//	u8      flags (bit 0: detector currently in a phase)
+//	uvarint total events emitted
+func appendAckPayload(dst []byte, applied uint64, elements int64, inPhase bool, eventsTotal uint64) []byte {
+	dst = binary.AppendUvarint(dst, applied)
+	dst = binary.AppendUvarint(dst, uint64(elements))
+	var flags byte
+	if inPhase {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	return binary.AppendUvarint(dst, eventsTotal)
+}
+
+// parseAckPayload decodes a FrameAck payload.
+func parseAckPayload(data []byte) (applied uint64, elements int64, inPhase bool, eventsTotal uint64, err error) {
+	bad := errors.New("serve: malformed ack payload")
+	applied, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, false, 0, bad
+	}
+	data = data[n:]
+	el, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, false, 0, bad
+	}
+	data = data[n:]
+	if len(data) < 1 {
+		return 0, 0, false, 0, bad
+	}
+	inPhase = data[0]&1 != 0
+	data = data[1:]
+	eventsTotal, n = binary.Uvarint(data)
+	if n <= 0 || len(data) != n {
+		return 0, 0, false, 0, bad
+	}
+	return applied, int64(el), inPhase, eventsTotal, nil
+}
+
+// appendErrPayload encodes a FrameErr payload: one flag byte (1 = the
+// connection survives and the client may continue or retry, 0 = fatal)
+// followed by the message text.
+func appendErrPayload(dst []byte, retryable bool, msg string) []byte {
+	var flag byte
+	if retryable {
+		flag = 1
+	}
+	dst = append(dst, flag)
+	return append(dst, msg...)
+}
+
+// parseErrPayload decodes a FrameErr payload.
+func parseErrPayload(data []byte) (retryable bool, msg string) {
+	if len(data) == 0 {
+		return false, "unspecified stream error"
+	}
+	return data[0] == 1, string(data[1:])
+}
+
+// A streamConn is the server half of one upgraded ingest connection.
+// The write side is shared between the main frame loop (acks, errors,
+// done) and the event pump, so every write goes through writeFrame's
+// mutex; a write error latches, failing all later writes cheaply.
+type streamConn struct {
+	s    *Server
+	sess *Session
+	conn net.Conn
+	rbuf *bufio.Reader // the hijacked read side, for input-pending checks
+	gen  uint64        // handshake generation; fences frames racing a successor
+
+	wmu  sync.Mutex
+	bw   writerFlusher
+	wbuf []byte
+	pbuf []byte // ack/err payload scratch, distinct from the frame buffer
+	werr error
+}
+
+// writerFlusher is the buffered write side of the hijacked connection.
+type writerFlusher interface {
+	Write(p []byte) (int, error)
+	Flush() error
+}
+
+// writeFrame frames and flushes one message, reporting whether the
+// connection is still writable.
+func (sc *streamConn) writeFrame(t trace.FrameType, payload []byte) bool {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	return sc.writeFrameLocked(t, payload, true)
+}
+
+func (sc *streamConn) writeFrameLocked(t trace.FrameType, payload []byte, flush bool) bool {
+	if sc.werr != nil {
+		return false
+	}
+	sc.wbuf = trace.AppendFrame(sc.wbuf[:0], t, payload)
+	if _, err := sc.bw.Write(sc.wbuf); err != nil {
+		sc.werr = err
+		return false
+	}
+	if flush {
+		if err := sc.bw.Flush(); err != nil {
+			sc.werr = err
+			return false
+		}
+	}
+	return true
+}
+
+// flush drains the write buffer. The frame loop calls it before blocking
+// on an idle connection, so acks batch while the client keeps frames in
+// flight (one write per burst instead of per chunk) yet never sit in the
+// buffer once the input runs dry.
+func (sc *streamConn) flush() {
+	sc.wmu.Lock()
+	if sc.werr == nil {
+		if err := sc.bw.Flush(); err != nil {
+			sc.werr = err
+		}
+	}
+	sc.wmu.Unlock()
+}
+
+// sendErr reports a failure to the client; fatal errors are followed by
+// connection teardown at the caller.
+func (sc *streamConn) sendErr(retryable bool, err error) bool {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.pbuf = appendErrPayload(sc.pbuf[:0], retryable, err.Error())
+	return sc.writeFrameLocked(trace.FrameErr, sc.pbuf, true)
+}
+
+// writeAck acknowledges one applied chunk with the session's cursors.
+// Acks are buffered, not flushed: the frame loop flushes before blocking,
+// so a pipelining client gets its acks in batches.
+func (sc *streamConn) writeAck(elements int64) bool {
+	applied, inPhase, eventsTotal := sc.sess.StreamProgress()
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.pbuf = appendAckPayload(sc.pbuf[:0], applied, elements, inPhase, eventsTotal)
+	return sc.writeFrameLocked(trace.FrameAck, sc.pbuf, false)
+}
+
+// pumpEvents is the connection's event multiplexer: the session's event
+// log from `since` on, then new events as they are detected, written as
+// FrameEvent between acks. It exits when the session terminates, the
+// connection dies, or stop closes.
+func (sc *streamConn) pumpEvents(since uint64, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	sub := sc.sess.subscribe()
+	defer sc.sess.unsubscribe(sub)
+	cursor := since
+	for {
+		evs, wall, next, terminated := sc.sess.eventsSinceWall(cursor)
+		now := time.Now().UnixNano()
+		for i, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			// Buffer each event and flush once per batch below: during a
+			// hot ingest burst events arrive in clusters, and a syscall
+			// per event would contend the write lock with the ack path.
+			sc.wmu.Lock()
+			ok := sc.writeFrameLocked(trace.FrameEvent, data, false)
+			sc.wmu.Unlock()
+			if !ok {
+				return
+			}
+			// Delivery lag, same accounting as the SSE path; events
+			// restored from a snapshot carry no wall time and are skipped.
+			if wall[i] > 0 {
+				sc.s.manager.probe.SSELag(now - wall[i])
+			}
+		}
+		if len(evs) > 0 {
+			sc.flush()
+		}
+		cursor = next
+		if terminated {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-sub.notify:
+		}
+	}
+}
+
+// handleStream upgrades the request and runs the frame loop until the
+// client ends the stream, the connection drops, or a fatal protocol
+// error occurs.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	if !strings.EqualFold(r.Header.Get("Upgrade"), streamProtocol) ||
+		!strings.Contains(strings.ToLower(r.Header.Get("Connection")), "upgrade") {
+		w.Header().Set("Upgrade", streamProtocol)
+		writeError(w, http.StatusUpgradeRequired,
+			fmt.Errorf("serve: streaming ingest requires \"Upgrade: %s\"", streamProtocol))
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("serve: connection cannot be hijacked"))
+		return
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: hijacking connection: %w", err))
+		return
+	}
+	// The ResponseWriter is dead after Hijack; record the switch for the
+	// request log by hand.
+	if sr, ok := w.(*statusRecorder); ok {
+		sr.status = http.StatusSwitchingProtocols
+	}
+	defer conn.Close()
+	fmt.Fprintf(brw, "HTTP/1.1 101 Switching Protocols\r\nUpgrade: %s\r\nConnection: Upgrade\r\n\r\n", streamProtocol)
+	if err := brw.Flush(); err != nil {
+		return
+	}
+	// Frames must be read through brw.Reader: it may already hold bytes
+	// the client pipelined behind the upgrade request.
+	sc := &streamConn{s: s, sess: sess, conn: conn, rbuf: brw.Reader, bw: brw.Writer}
+	fr := trace.NewFrameReader(brw.Reader, int(s.manager.opts.MaxChunkBytes))
+	s.serveStream(sc, fr)
+}
+
+// serveStream runs the post-upgrade protocol: handshake, then the
+// data-plane frame loop.
+func (s *Server) serveStream(sc *streamConn, fr *trace.FrameReader) {
+	sess := sc.sess
+	typ, payload, err := fr.ReadFrame()
+	if err != nil || typ != trace.FrameHello {
+		if err == nil {
+			sc.sendErr(false, fmt.Errorf("serve: expected hello frame, got %s", typ))
+		}
+		return
+	}
+	var hello streamHello
+	if err := json.Unmarshal(payload, &hello); err != nil {
+		sc.sendErr(false, fmt.Errorf("serve: decoding hello: %w", err))
+		return
+	}
+	switch hello.Mode {
+	case "", "branch", "ids":
+	default:
+		sc.sendErr(false, fmt.Errorf("serve: unknown stream mode %q", hello.Mode))
+		return
+	}
+	st, err := sess.StreamHello(hello.Mode == "ids")
+	if err != nil {
+		sc.sendErr(false, err)
+		return
+	}
+	sc.gen = st.Gen
+	ack, err := json.Marshal(streamHelloAck{
+		Mode:          st.Mode.String(),
+		Applied:       st.Applied,
+		Consumed:      st.Consumed,
+		EventsTotal:   st.EventsTotal,
+		Symbols:       st.Symbols,
+		MaxFrameBytes: s.manager.opts.MaxChunkBytes,
+	})
+	if err != nil || !sc.writeFrame(trace.FrameHelloAck, ack) {
+		return
+	}
+
+	stop := make(chan struct{})
+	var pump sync.WaitGroup
+	if !hello.NoEvents {
+		pump.Add(1)
+		go sc.pumpEvents(hello.EventsSince, stop, &pump)
+	}
+	defer func() {
+		// Unblock the pump (it may be parked on the subscriber), tear the
+		// connection down, then wait so the pump never outlives the conn.
+		close(stop)
+		sc.conn.Close()
+		pump.Wait()
+	}()
+
+	// Reused per-connection decode buffers: the detector copies every
+	// element it keeps, so both recycle the moment a feed call returns.
+	tp := elemsPool.Get().(*trace.Trace)
+	defer func() {
+		*tp = (*tp)[:0]
+		elemsPool.Put(tp)
+	}()
+	var idbuf []int32
+	var symsBuf []trace.Branch
+	var pendingAck int64  // elements applied but not yet acked
+	var pendingChunks int // chunks covered by pendingAck
+
+	for {
+		// About to block if the client has nothing in flight: write the
+		// deferred ack for everything applied so far, then push the write
+		// buffer out. (Flush on an empty buffer is a no-op, and double
+		// buffering means checking both the frame reader and the hijacked
+		// bufio it reads through.)
+		if fr.Buffered() == 0 && sc.rbuf.Buffered() == 0 {
+			if pendingAck > 0 || pendingChunks > 0 {
+				if !sc.writeAck(pendingAck) {
+					return
+				}
+				pendingAck, pendingChunks = 0, 0
+			}
+			sc.flush()
+		}
+		typ, err := fr.Next()
+		if err != nil {
+			// io.EOF: the client hung up between frames; anything else is
+			// frame-level damage or a torn read — fatal either way, the
+			// session itself survives for a reconnect.
+			return
+		}
+		switch typ {
+		case trace.FrameData, trace.FrameIDs:
+			// Next blocked for as long as the client was idle; the read
+			// stage starts at the payload read.
+			ct := telemetry.ChunkTrace{Start: time.Now()}
+			payload, err := fr.Payload()
+			ct.StageNS[telemetry.StageRead] = time.Since(ct.Start).Nanoseconds()
+			if err != nil {
+				return
+			}
+			ct.Bytes = int64(len(payload))
+			t0 := time.Now()
+			var elements int64
+			var derr, ferr error
+			if typ == trace.FrameData {
+				var elems trace.Trace
+				elems, derr = trace.DecodeBranchesLenient((*tp)[:0], payload)
+				*tp = elems
+				ct.StageNS[telemetry.StageDecode] = time.Since(t0).Nanoseconds()
+				elements = int64(len(elems))
+				if derr == nil {
+					ferr = sess.FeedWireTraced(sc.gen, payload, elems, &ct)
+				}
+			} else {
+				idbuf, derr = trace.DecodeIDsPayload(idbuf[:0], payload, sess.SymbolCount())
+				ct.StageNS[telemetry.StageDecode] = time.Since(t0).Nanoseconds()
+				elements = int64(len(idbuf))
+				if derr == nil {
+					ferr = sess.FeedIDsTraced(sc.gen, payload, idbuf, &ct)
+				}
+			}
+			if derr != nil {
+				// In-payload damage: reject the chunk whole, stay in sync.
+				s.manager.probe.ChunkError()
+				sess.RecordBadChunk(&ct, derr)
+				if !sc.sendErr(true, derr) {
+					return
+				}
+				continue
+			}
+			if ferr != nil {
+				// The chunk was not applied. ErrPersist is retryable after
+				// a reconnect (the cursor has not advanced); everything
+				// else — closed, poisoned, wrong mode — is terminal.
+				sc.sendErr(errors.Is(ferr, ErrPersist), ferr)
+				return
+			}
+			s.manager.probe.Chunk(ct.Bytes, elements)
+			// Acks carry the absolute applied cursor, so under a burst one
+			// ack can cover every chunk in it: defer to the loop-top
+			// drain point rather than paying the progress-snapshot and
+			// write-lock cost per frame. The chunk bound keeps the cursor
+			// moving for a client that never lets the input run dry.
+			pendingAck += elements
+			if pendingChunks++; pendingChunks >= 32 {
+				if !sc.writeAck(pendingAck) {
+					return
+				}
+				pendingAck, pendingChunks = 0, 0
+			}
+
+		case trace.FrameSyms:
+			payload, err := fr.Payload()
+			if err != nil {
+				return
+			}
+			var start uint64
+			var derr error
+			start, symsBuf, derr = trace.DecodeSymsPayload(symsBuf[:0], payload)
+			if derr != nil {
+				if !sc.sendErr(true, derr) {
+					return
+				}
+				continue
+			}
+			if err := sess.ExtendSymbols(sc.gen, payload, start, symsBuf); err != nil {
+				sc.sendErr(errors.Is(err, ErrPersist), err)
+				return
+			}
+
+		case trace.FrameEnd:
+			payload, err := fr.Payload()
+			if err != nil {
+				return
+			}
+			var sum *Summary
+			if len(payload) > 0 && payload[0] == 1 {
+				sum, _ = s.manager.Close(sess.ID())
+				// Closing terminated the session, which wakes the pump for
+				// a final drain-and-exit; waiting here orders Done after
+				// the last event, so a client may stop reading at Done
+				// without losing the final phase_end.
+				pump.Wait()
+			} else {
+				sum = sess.Summary()
+			}
+			if sum == nil {
+				sum = sess.Summary()
+			}
+			data, err := json.Marshal(sum)
+			if err == nil {
+				sc.writeFrame(trace.FrameDone, data)
+			}
+			return
+
+		default:
+			sc.sendErr(false, fmt.Errorf("serve: unexpected %s frame", typ))
+			return
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DecodeBranchesLenient is ReadBranchesLenient over an in-memory chunk:
+// it decodes one complete OPDBRNC1 stream out of data, appending onto
+// dst (typically dst[:0] of a reused slice, which is what makes the
+// streaming hot path allocation-free), with the same salvage contract
+// and error taxonomy as the reader — on mid-body damage the valid
+// prefix is returned together with a positioned *FormatError, a bad or
+// missing header salvages nothing, and err == nil means the chunk was
+// intact. Unlike the io.Reader path there is no intermediate buffer or
+// copy: deltas decode straight out of data.
+func DecodeBranchesLenient(dst Trace, data []byte) (Trace, error) {
+	if len(data) < len(branchMagic) {
+		return dst, &FormatError{Offset: int64(len(data)), Index: -1,
+			Err: classify(fmt.Errorf("reading branch magic: %w", io.ErrUnexpectedEOF))}
+	}
+	if [8]byte(data[:8]) != branchMagic {
+		return dst, &FormatError{Offset: int64(len(branchMagic)), Index: -1, Err: ErrBadMagic}
+	}
+	off := len(branchMagic)
+	count, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return dst, &FormatError{Offset: int64(len(data)), Index: -1,
+			Err: classifyVarint(n, "reading branch count")}
+	}
+	off += n
+	var prev uint64
+	for i := uint64(0); i < count; i++ {
+		d, n := binary.Varint(data[off:])
+		if n <= 0 {
+			return dst, &FormatError{Offset: int64(len(data)), Index: int64(i),
+				Err: classifyVarint(n, fmt.Sprintf("reading branch %d", i))}
+		}
+		off += n
+		prev += uint64(d)
+		dst = append(dst, Branch(prev))
+	}
+	if off != len(data) {
+		return dst, &FormatError{Offset: int64(off), Index: int64(count),
+			Err: fmt.Errorf("%w: %d trailing bytes after branch stream", ErrCorrupt, len(data)-off)}
+	}
+	return dst, nil
+}
+
+// AppendBranches encodes t as one complete OPDBRNC1 stream onto dst
+// (typically dst[:0] of a reused slice) — the allocation-free
+// counterpart of WriteBranches for hot paths that frame the bytes
+// themselves (the streaming client, the WAL encoder).
+func AppendBranches(dst []byte, t Trace) []byte {
+	dst = append(dst, branchMagic[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	var prev uint64
+	for _, b := range t {
+		dst = binary.AppendVarint(dst, int64(uint64(b)-prev))
+		prev = uint64(b)
+	}
+	return dst
+}
+
+// classifyVarint maps binary.Uvarint/Varint's two failure returns onto
+// the taxonomy: n == 0 means the buffer ran out mid-value (truncation),
+// n < 0 means a value overflowed 64 bits (corruption).
+func classifyVarint(n int, what string) error {
+	if n == 0 {
+		return fmt.Errorf("%w: %s: %w", ErrTruncated, what, io.ErrUnexpectedEOF)
+	}
+	return fmt.Errorf("%w: %s: varint overflows 64 bits", ErrCorrupt, what)
+}

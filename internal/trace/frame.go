@@ -1,0 +1,370 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Streaming ingest frame codec. A persistent ingest connection carries a
+// sequence of self-delimiting frames in both directions:
+//
+//	u8      frame type
+//	u32 LE  payload length
+//	u32 LE  CRC-32C of the payload
+//	[]byte  payload
+//
+// The 9-byte header makes every frame independently checkable: a reader
+// that sees a bad checksum or an absurd length knows the stream is no
+// longer trustworthy at that exact offset and can fail the connection
+// without guessing where the next frame starts. Frame damage is
+// therefore *fatal to the connection* — unlike in-payload trace damage,
+// which rejects one frame and leaves the connection in sync (the framing
+// already told us where the frame ends).
+//
+// Payload encodings for the data-plane frame types live here too
+// (branch chunks reuse the OPDBRNC1 format verbatim; symbol-table
+// extensions and dense-ID chunks get uvarint packings), so the client,
+// the server, and the WAL replay path all speak through one codec.
+
+// FrameType tags one frame's meaning. Client-to-server types occupy the
+// low range; server-to-client types set the high bit, so a misdirected
+// frame is recognizably wrong on either side.
+type FrameType uint8
+
+const (
+	// FrameHello opens the stream: a JSON negotiation payload (mode,
+	// resume point). Must be the first client frame.
+	FrameHello FrameType = 0x01
+	// FrameData carries one chunk of profile elements as a complete
+	// OPDBRNC1 stream (the same bytes POST /elements accepts).
+	FrameData FrameType = 0x02
+	// FrameSyms extends the negotiated symbol table: the dense IDs
+	// startIndex.. are assigned to the carried elements, in order.
+	FrameSyms FrameType = 0x03
+	// FrameIDs carries one chunk of profile elements as dense IDs into
+	// the negotiated symbol table.
+	FrameIDs FrameType = 0x04
+	// FrameEnd asks the server to end the stream: payload flag byte 1
+	// finishes (closes) the session, 0 detaches leaving it live.
+	FrameEnd FrameType = 0x05
+
+	// FrameHelloAck answers FrameHello with the negotiated parameters
+	// and the resume cursor (JSON).
+	FrameHelloAck FrameType = 0x81
+	// FrameAck acknowledges one applied data/IDs frame (binary, see
+	// AppendAckPayload).
+	FrameAck FrameType = 0x82
+	// FrameEvent carries one phase-lifecycle event (JSON), multiplexed
+	// between acks.
+	FrameEvent FrameType = 0x83
+	// FrameErr reports a failure; payload is one flag byte (1 = the
+	// connection survives / the frame may be retried after resync, 0 =
+	// fatal) followed by the message text.
+	FrameErr FrameType = 0x84
+	// FrameDone answers FrameEnd with the session summary (JSON) before
+	// the server closes the connection.
+	FrameDone FrameType = 0x85
+)
+
+// String names the frame type for logs and errors.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameData:
+		return "data"
+	case FrameSyms:
+		return "syms"
+	case FrameIDs:
+		return "ids"
+	case FrameEnd:
+		return "end"
+	case FrameHelloAck:
+		return "hello_ack"
+	case FrameAck:
+		return "ack"
+	case FrameEvent:
+		return "event"
+	case FrameErr:
+		return "err"
+	case FrameDone:
+		return "done"
+	}
+	return fmt.Sprintf("frame(0x%02x)", uint8(t))
+}
+
+// frameHeaderSize is the fixed frame header length.
+const frameHeaderSize = 9
+
+// AppendFrame frames payload onto dst and returns the extended slice.
+func AppendFrame(dst []byte, t FrameType, payload []byte) []byte {
+	dst = append(dst, byte(t))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoliFrame))
+	return append(dst, payload...)
+}
+
+var castagnoliFrame = crc32.MakeTable(crc32.Castagnoli)
+
+// A FrameReader reads frames off a connection, reusing one payload
+// buffer across frames. Read errors follow the package taxonomy: a
+// stream that ends cleanly between frames returns io.EOF from Next, one
+// that ends inside a frame yields ErrTruncated, and a checksum mismatch
+// or oversized length yields ErrCorrupt. Either taxonomy error means
+// the connection can no longer be trusted to be frame-aligned.
+type FrameReader struct {
+	br  *bufio.Reader
+	buf []byte
+	max int
+
+	typ     FrameType
+	length  uint32
+	crc     uint32
+	pending bool // header read, payload not yet consumed
+}
+
+// NewFrameReader wraps r. maxPayload bounds a single frame's payload
+// (an untrusted length field beyond it is corruption, not an allocation
+// request); non-positive means 64 MiB.
+func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
+	if maxPayload <= 0 {
+		maxPayload = 64 << 20
+	}
+	return &FrameReader{br: bufio.NewReaderSize(r, 64<<10), max: maxPayload}
+}
+
+// Next blocks until the next frame header arrives and returns its type.
+// A clean end of stream (no header bytes at all) returns io.EOF
+// unwrapped, so callers can distinguish hangup from damage. The payload
+// has not been consumed yet: callers must read it with Payload before
+// calling Next again.
+func (fr *FrameReader) Next() (FrameType, error) {
+	if fr.pending {
+		// The previous frame's payload was never drained; do it now so
+		// the stream stays aligned even for skipped frame types.
+		if _, err := fr.Payload(); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("%w: reading frame header: %w", ErrTruncated, err)
+	}
+	fr.typ = FrameType(hdr[0])
+	fr.length = binary.LittleEndian.Uint32(hdr[1:5])
+	fr.crc = binary.LittleEndian.Uint32(hdr[5:9])
+	if int(fr.length) > fr.max {
+		return fr.typ, fmt.Errorf("%w: frame payload of %d bytes exceeds limit %d",
+			ErrCorrupt, fr.length, fr.max)
+	}
+	fr.pending = true
+	return fr.typ, nil
+}
+
+// Buffered reports how many bytes the reader holds that have not yet
+// been consumed as frames. A server can use it to detect that the peer
+// has more frames already in flight — and defer flushing its own write
+// buffer until the input runs dry, batching small responses (acks) into
+// one write instead of a syscall per frame.
+func (fr *FrameReader) Buffered() int { return fr.br.Buffered() }
+
+// Payload reads and checksum-verifies the pending frame's payload. The
+// returned slice is valid until the next Payload call (it aliases the
+// reader's reusable buffer). Splitting header and payload reads lets
+// the caller time the two separately: Next blocks for as long as the
+// peer is idle, Payload measures actual wire-read work.
+func (fr *FrameReader) Payload() ([]byte, error) {
+	if !fr.pending {
+		return fr.buf[:fr.length], nil
+	}
+	if cap(fr.buf) < int(fr.length) {
+		fr.buf = make([]byte, fr.length)
+	}
+	fr.buf = fr.buf[:fr.length]
+	if _, err := io.ReadFull(fr.br, fr.buf); err != nil {
+		return nil, fmt.Errorf("%w: reading %s frame payload (%d bytes): %w",
+			ErrTruncated, fr.typ, fr.length, err)
+	}
+	if got := crc32.Checksum(fr.buf, castagnoliFrame); got != fr.crc {
+		return nil, fmt.Errorf("%w: %s frame checksum mismatch (%08x != %08x)",
+			ErrCorrupt, fr.typ, got, fr.crc)
+	}
+	fr.pending = false
+	return fr.buf, nil
+}
+
+// ReadFrame is Next + Payload for callers that do not need separate
+// timing. The payload aliases the reusable buffer.
+func (fr *FrameReader) ReadFrame() (FrameType, []byte, error) {
+	t, err := fr.Next()
+	if err != nil {
+		return t, nil, err
+	}
+	p, err := fr.Payload()
+	return t, p, err
+}
+
+// AppendSymsPayload encodes a symbol-table extension: the elements
+// assigned dense IDs start, start+1, ... in order.
+//
+//	uvarint start (first assigned ID)
+//	uvarint count
+//	uvarint element values
+func AppendSymsPayload(dst []byte, start uint64, syms []Branch) []byte {
+	dst = binary.AppendUvarint(dst, start)
+	dst = binary.AppendUvarint(dst, uint64(len(syms)))
+	for _, b := range syms {
+		dst = binary.AppendUvarint(dst, uint64(b))
+	}
+	return dst
+}
+
+// DecodeSymsPayload decodes a symbol-table extension into dst
+// (typically dst[:0] of a reused slice), returning the first assigned
+// ID and the elements. Damage yields ErrCorrupt/ErrTruncated.
+func DecodeSymsPayload(dst []Branch, data []byte) (start uint64, syms []Branch, err error) {
+	start, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, dst, fmt.Errorf("%w: syms payload: malformed start", ErrCorrupt)
+	}
+	data = data[n:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, dst, fmt.Errorf("%w: syms payload: malformed count", ErrCorrupt)
+	}
+	data = data[n:]
+	if count > uint64(len(data)) { // every element takes >= 1 byte
+		return 0, dst, fmt.Errorf("%w: syms payload: count %d exceeds remaining %d bytes",
+			ErrTruncated, count, len(data))
+	}
+	syms = dst
+	for i := uint64(0); i < count; i++ {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, syms, fmt.Errorf("%w: syms payload: element %d malformed", ErrCorrupt, i)
+		}
+		data = data[n:]
+		syms = append(syms, Branch(v))
+	}
+	if len(data) != 0 {
+		return 0, syms, fmt.Errorf("%w: syms payload: %d trailing bytes", ErrCorrupt, len(data))
+	}
+	return start, syms, nil
+}
+
+// AppendIDsPayload encodes one dense-ID chunk:
+//
+//	u8      width: bytes per ID (1, 2, or 4)
+//	uvarint count
+//	[]byte  count x width little-endian IDs
+//
+// Fixed-width beats a varint packing here: the width byte costs at most
+// one extra byte per ID on the wire, and in exchange both ends run a
+// branchless bulk loop instead of a data-dependent decode per element —
+// this codec sits on the hot ingest path at one call per chunk.
+func AppendIDsPayload(dst []byte, ids []int32) []byte {
+	var maxID int32
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	width := 1
+	switch {
+	case maxID >= 1<<16:
+		width = 4
+	case maxID >= 1<<8:
+		width = 2
+	}
+	dst = append(dst, byte(width))
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	n := len(dst)
+	dst = append(dst, make([]byte, width*len(ids))...)
+	out := dst[n:]
+	switch width {
+	case 1:
+		for i, id := range ids {
+			out[i] = byte(id)
+		}
+	case 2:
+		for i, id := range ids {
+			binary.LittleEndian.PutUint16(out[2*i:], uint16(id))
+		}
+	default:
+		for i, id := range ids {
+			binary.LittleEndian.PutUint32(out[4*i:], uint32(id))
+		}
+	}
+	return dst
+}
+
+// DecodeIDsPayload decodes a dense-ID chunk into dst (typically dst[:0]
+// of a reused slice). Every ID must be below card, the negotiated
+// symbol-table size — an out-of-range ID references a symbol the peer
+// never defined, which is corruption, not a resize request.
+func DecodeIDsPayload(dst []int32, data []byte, card int) ([]int32, error) {
+	if len(data) == 0 {
+		return dst, fmt.Errorf("%w: ids payload: missing width", ErrTruncated)
+	}
+	width := uint64(data[0])
+	if width != 1 && width != 2 && width != 4 {
+		return dst, fmt.Errorf("%w: ids payload: invalid ID width %d", ErrCorrupt, width)
+	}
+	data = data[1:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return dst, fmt.Errorf("%w: ids payload: malformed count", ErrCorrupt)
+	}
+	data = data[n:]
+	if count > uint64(len(data))/width {
+		return dst, fmt.Errorf("%w: ids payload: count %d exceeds remaining %d bytes at width %d",
+			ErrTruncated, count, len(data), width)
+	}
+	if uint64(len(data)) != count*width {
+		return dst, fmt.Errorf("%w: ids payload: %d trailing bytes", ErrCorrupt,
+			uint64(len(data))-count*width)
+	}
+	ids := dst
+	if need := int(count) - (cap(ids) - len(ids)); need > 0 {
+		grown := make([]int32, len(ids), len(ids)+int(count))
+		copy(grown, ids)
+		ids = grown
+	}
+	bound := uint32(card)
+	switch width {
+	case 1:
+		for i := uint64(0); i < count; i++ {
+			v := uint32(data[i])
+			if v >= bound {
+				return ids, fmt.Errorf("%w: ids payload: id %d = %d outside symbol table of %d",
+					ErrCorrupt, i, v, card)
+			}
+			ids = append(ids, int32(v))
+		}
+	case 2:
+		for i := uint64(0); i < count; i++ {
+			v := uint32(binary.LittleEndian.Uint16(data[2*i:]))
+			if v >= bound {
+				return ids, fmt.Errorf("%w: ids payload: id %d = %d outside symbol table of %d",
+					ErrCorrupt, i, v, card)
+			}
+			ids = append(ids, int32(v))
+		}
+	default:
+		for i := uint64(0); i < count; i++ {
+			v := binary.LittleEndian.Uint32(data[4*i:])
+			if v >= bound {
+				return ids, fmt.Errorf("%w: ids payload: id %d = %d outside symbol table of %d",
+					ErrCorrupt, i, v, card)
+			}
+			ids = append(ids, int32(v))
+		}
+	}
+	return ids, nil
+}

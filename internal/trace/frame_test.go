@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFrameRoundTrip pins the frame codec: a sequence of frames written
+// with AppendFrame reads back type- and payload-identical through a
+// FrameReader, including empty payloads, and ends with a clean io.EOF.
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []struct {
+		typ     FrameType
+		payload []byte
+	}{
+		{FrameHello, []byte(`{"mode":"ids"}`)},
+		{FrameData, bytes.Repeat([]byte{0xAB}, 1000)},
+		{FrameSyms, nil},
+		{FrameAck, []byte{1, 2, 3}},
+		{FrameEnd, []byte{1}},
+	}
+	var wire []byte
+	for _, fr := range frames {
+		wire = AppendFrame(wire, fr.typ, fr.payload)
+	}
+	r := NewFrameReader(bytes.NewReader(wire), 0)
+	for i, want := range frames {
+		typ, payload, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != want.typ {
+			t.Fatalf("frame %d: type %s, want %s", i, typ, want.typ)
+		}
+		if !bytes.Equal(payload, want.payload) {
+			t.Fatalf("frame %d: payload %x, want %x", i, payload, want.payload)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last frame: err %v, want io.EOF", err)
+	}
+}
+
+// TestFrameSkippedPayload verifies Next drains an unread payload so the
+// stream stays aligned when a caller skips a frame type.
+func TestFrameSkippedPayload(t *testing.T) {
+	var wire []byte
+	wire = AppendFrame(wire, FrameData, []byte("skipped payload"))
+	wire = AppendFrame(wire, FrameEnd, []byte{0})
+	r := NewFrameReader(bytes.NewReader(wire), 0)
+	if typ, err := r.Next(); err != nil || typ != FrameData {
+		t.Fatalf("first Next: %s, %v", typ, err)
+	}
+	// Skip the data payload entirely.
+	typ, payload, err := r.ReadFrame()
+	if err != nil || typ != FrameEnd || !bytes.Equal(payload, []byte{0}) {
+		t.Fatalf("skipping payload broke alignment: %s %x %v", typ, payload, err)
+	}
+}
+
+// TestFrameDamage pins the connection-fatal taxonomy: a flipped payload
+// byte is ErrCorrupt, a truncated stream is ErrTruncated, and an absurd
+// length field is ErrCorrupt without any allocation attempt.
+func TestFrameDamage(t *testing.T) {
+	wire := AppendFrame(nil, FrameData, []byte("some payload bytes"))
+
+	flipped := bytes.Clone(wire)
+	flipped[len(flipped)-1] ^= 0x40
+	if _, _, err := NewFrameReader(bytes.NewReader(flipped), 0).ReadFrame(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped payload byte: err %v, want ErrCorrupt", err)
+	}
+
+	for cut := 1; cut < len(wire); cut++ {
+		_, _, err := NewFrameReader(bytes.NewReader(wire[:cut]), 0).ReadFrame()
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: err %v, want ErrTruncated", cut, err)
+		}
+	}
+
+	oversize := bytes.Clone(wire)
+	binary.LittleEndian.PutUint32(oversize[1:5], 1<<30)
+	if _, err := NewFrameReader(bytes.NewReader(oversize), 1<<20).Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversize length: want ErrCorrupt")
+	}
+}
+
+// TestSymsPayloadRoundTrip pins the symbol-extension codec.
+func TestSymsPayloadRoundTrip(t *testing.T) {
+	syms := []Branch{MakeBranch(1, 10, true), MakeBranch(2, 20, false), MakeBranch(1, 30, true)}
+	payload := AppendSymsPayload(nil, 7, syms)
+	start, got, err := DecodeSymsPayload(nil, payload)
+	if err != nil || start != 7 || len(got) != len(syms) {
+		t.Fatalf("round-trip: start %d, %d syms, err %v", start, len(got), err)
+	}
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d diverges", i)
+		}
+	}
+	if _, _, err := DecodeSymsPayload(nil, payload[:len(payload)-1]); err == nil {
+		t.Fatal("truncated syms payload decoded cleanly")
+	}
+	if _, _, err := DecodeSymsPayload(nil, append(bytes.Clone(payload), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: err %v, want ErrCorrupt", err)
+	}
+}
+
+// TestIDsPayloadRoundTrip pins the dense-ID codec, including the
+// cardinality bound: an ID at or past the negotiated table size is
+// corruption.
+func TestIDsPayloadRoundTrip(t *testing.T) {
+	ids := []int32{0, 5, 2, 5, 1, 4}
+	payload := AppendIDsPayload(nil, ids)
+	got, err := DecodeIDsPayload(nil, payload, 6)
+	if err != nil || len(got) != len(ids) {
+		t.Fatalf("round-trip: %d ids, err %v", len(got), err)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("id %d diverges", i)
+		}
+	}
+	if _, err := DecodeIDsPayload(nil, payload, 5); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-table id: err %v, want ErrCorrupt", err)
+	}
+	if _, err := DecodeIDsPayload(nil, payload[:len(payload)-1], 6); err == nil {
+		t.Fatal("truncated ids payload decoded cleanly")
+	}
+}
+
+// TestAppendDecodeBranches pins the in-memory OPDBRNC1 codec against the
+// io.Reader/Writer pair: AppendBranches produces byte-identical output
+// to WriteBranches, and DecodeBranchesLenient agrees with
+// ReadBranchesLenient on both intact and damaged inputs.
+func TestAppendDecodeBranches(t *testing.T) {
+	tr := Trace{MakeBranch(1, 100, true), MakeBranch(0, 2, false), MakeBranch(3, 50, true), MakeBranch(0, 2, false)}
+	var buf bytes.Buffer
+	if err := WriteBranches(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	appended := AppendBranches(nil, tr)
+	if !bytes.Equal(appended, buf.Bytes()) {
+		t.Fatalf("AppendBranches diverges from WriteBranches:\n%x\n%x", appended, buf.Bytes())
+	}
+	got, err := DecodeBranchesLenient(nil, appended)
+	if err != nil || len(got) != len(tr) {
+		t.Fatalf("decode: %d elements, err %v", len(got), err)
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("element %d diverges", i)
+		}
+	}
+	// Damage parity with the reader path across every truncation point.
+	for cut := 0; cut < len(appended); cut++ {
+		dGot, dErr := DecodeBranchesLenient(nil, appended[:cut])
+		rGot, rErr := ReadBranchesLenient(bytes.NewReader(appended[:cut]))
+		if (dErr == nil) != (rErr == nil) || len(dGot) != len(rGot) {
+			t.Fatalf("cut %d: decode (%d, %v) vs read (%d, %v)", cut, len(dGot), dErr, len(rGot), rErr)
+		}
+		if dErr != nil && !errors.Is(dErr, ErrTruncated) && !errors.Is(dErr, ErrCorrupt) && !errors.Is(dErr, ErrBadMagic) {
+			t.Fatalf("cut %d: error escaped the taxonomy: %v", cut, dErr)
+		}
+	}
+}
+
+// FuzzFrame feeds arbitrary bytes to the frame reader. Invariants: no
+// panic, no unbounded allocation (the payload cap rejects absurd length
+// fields), every failure lands in the package taxonomy or is a clean
+// io.EOF, and every frame that reads back re-frames byte-identically.
+func FuzzFrame(f *testing.F) {
+	var seed []byte
+	seed = AppendFrame(seed, FrameHello, []byte(`{"mode":"branch"}`))
+	seed = AppendFrame(seed, FrameData, AppendBranches(nil, Trace{MakeBranch(1, 0, true), MakeBranch(2, 16, false)}))
+	seed = AppendFrame(seed, FrameSyms, AppendSymsPayload(nil, 0, []Branch{MakeBranch(1, 1, true)}))
+	seed = AppendFrame(seed, FrameIDs, AppendIDsPayload(nil, []int32{0, 0}))
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3]) // torn final frame
+	f.Add(seed[:5])           // torn header
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewFrameReader(bytes.NewReader(data), 1<<20)
+		for {
+			typ, payload, err := r.ReadFrame()
+			if err != nil {
+				if err == io.EOF {
+					return
+				}
+				if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("error escaped the taxonomy: %v", err)
+				}
+				return
+			}
+			reframed := AppendFrame(nil, typ, payload)
+			r2 := NewFrameReader(bytes.NewReader(reframed), 1<<20)
+			typ2, payload2, err2 := r2.ReadFrame()
+			if err2 != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
+				t.Fatalf("re-framed frame diverges: %s vs %s, err %v", typ2, typ, err2)
+			}
+		}
+	})
+}

@@ -78,12 +78,46 @@ func (b *InternedBuilder) Add(e Branch) {
 // Len returns the number of elements added so far.
 func (b *InternedBuilder) Len() int { return len(b.in.ids) }
 
+// Intern assigns (or recalls) the dense ID of one profile element
+// WITHOUT appending to the builder's ID stream. This is the unbounded-
+// stream entry point: a streaming client interns each chunk's elements
+// through it into a per-chunk ID buffer of its own, so the builder's
+// footprint is the symbol table alone rather than four bytes per
+// element forever.
+func (b *InternedBuilder) Intern(e Branch) int32 {
+	id, ok := b.in.index[e]
+	if !ok {
+		id = int32(len(b.in.symbols))
+		b.in.index[e] = id
+		b.in.symbols = append(b.in.symbols, e)
+	}
+	return id
+}
+
+// Cardinality returns the number of distinct elements interned so far —
+// the next ID Intern will assign.
+func (b *InternedBuilder) Cardinality() int { return len(b.in.symbols) }
+
+// Symbols returns the ID → element table built so far. Read-only;
+// appending further elements may reallocate it.
+func (b *InternedBuilder) Symbols() []Branch { return b.in.symbols }
+
 // Build finalizes and returns the interned stream. The builder must not
 // be used afterwards.
 func (b *InternedBuilder) Build() *Interned {
 	in := b.in
 	b.in = Interned{}
 	return &in
+}
+
+// NewInternedTable wraps a bare symbol table (IDs assigned by position)
+// as an Interned with an empty ID stream — the binding surface for a
+// symbol table negotiated elsewhere, e.g. by a streaming ingest client
+// that interns on its side of the wire and ships the table across. The
+// slice is aliased, not copied: callers that extend the table must
+// re-wrap (and re-bind) afterwards.
+func NewInternedTable(syms []Branch) *Interned {
+	return &Interned{symbols: syms}
 }
 
 // Len returns the stream length in elements.
