@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fuzz-smoke bench bench-smoke bench-guard bench-json
+.PHONY: all build test check fuzz-smoke soak-smoke bench bench-smoke bench-guard bench-json
 
 all: build
 
@@ -33,6 +33,15 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzFrame -fuzztime=5s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzDetectorRestore -fuzztime=5s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=5s ./internal/durable
+
+# soak-smoke is a ~20s slice of the chaos soak under the race detector:
+# dozens of concurrent stream/poll/SSE sessions with injected disk
+# faults, connection kills, and stalled clients, asserting no deadlock,
+# no goroutine leaks, a zeroed byte accountant, and streamed ≡ offline
+# for every surviving session. OPD_SOAK_DURATION stretches it for real
+# soaking (e.g. OPD_SOAK_DURATION=5m).
+soak-smoke:
+	OPD_SOAK=1 OPD_SOAK_DURATION=$${OPD_SOAK_DURATION:-15s} $(GO) test -race -run TestChaosSoak -v ./internal/serve
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run '^$$' ./internal/core/... ./internal/sweep/... ./internal/telemetry/... ./internal/serve/...

@@ -30,6 +30,22 @@
 // chunk), "never" (leave it to the OS), or a duration like "100ms"
 // (periodic). Without -data-dir the server is purely in-memory.
 //
+// Overload resilience: -mem-budget caps the serving layer's accounted
+// memory — past 80% new sessions are shed with 429 + Retry-After and the
+// janitor pressure-evicts idle sessions; past the budget ingest chunks
+// are shed with a retryable error. -heartbeat bounds framed-stream read
+// silence (ping after one interval, disconnect after two);
+// -stream-write-timeout and -sse-write-timeout bound writes to slow
+// consumers (dropped subscribers resume via Last-Event-ID);
+// -watchdog-deadline condemns a session whose detector holds its mutex
+// too long, dumping its flight recorder first. -durability picks the
+// WAL-failure policy: "strict" fails chunks closed with 503, "degraded"
+// trips a per-session circuit breaker after -wal-failure-limit
+// consecutive failures and continues detection ephemerally (the session
+// reports degraded:true) until the disk heals and clears the
+// -min-disk-free watermark. Every shed, drop, trip, and resume is an
+// opd_resilience_* metric.
+//
 // Telemetry is always on: /metrics (Prometheus) and /debug/phasedet
 // (Prometheus/JSON + the phase-event ring) are mounted on the same mux,
 // together with /debug/pprof and per-session flight recorders at
@@ -93,6 +109,15 @@ func main() {
 		flightLen  = flag.Int("flight-chunks", 64, "chunk traces retained per session in the flight recorder")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error (debug logs every request)")
 		logFormat  = flag.String("log-format", "text", "log output format: \"text\" (key=value) or \"json\"")
+
+		memBudget    = flag.Int64("mem-budget", 512<<20, "accounted-memory budget in bytes: session opens shed past 80%, ingest chunks shed past 100% (negative disables shedding)")
+		durability   = flag.String("durability", "strict", "WAL-failure policy with -data-dir: \"strict\" (fail chunks closed) or \"degraded\" (trip a breaker, continue ephemerally)")
+		walFailLimit = flag.Int("wal-failure-limit", 3, "consecutive WAL failures before the degraded policy's breaker trips")
+		minDiskFree  = flag.Int64("min-disk-free", 128<<20, "disk-free bytes required before durability resumes after a degraded spell (negative disables the check)")
+		heartbeat    = flag.Duration("heartbeat", 30*time.Second, "framed-stream heartbeat interval: ping after one silent interval, disconnect after two (negative disables)")
+		streamWrite  = flag.Duration("stream-write-timeout", 15*time.Second, "per-write deadline on framed stream connections; slower peers are disconnected and resume via their cursor (negative disables)")
+		sseWrite     = flag.Duration("sse-write-timeout", 15*time.Second, "per-write deadline on SSE subscribers; slower consumers are dropped and resume via Last-Event-ID (negative disables)")
+		watchdog     = flag.Duration("watchdog-deadline", time.Minute, "condemn a session whose detector holds its mutex this long, dumping its flight recorder (negative disables)")
 	)
 	flag.Parse()
 
@@ -102,25 +127,82 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Fail fast on nonsense configuration: a typo'd cap or deadline must
+	// be a clear exit-2 at boot, not a server that silently sheds
+	// everything (or never sheds anything).
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "phased: %s\n", fmt.Sprintf(format, args...))
+		os.Exit(2)
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"-max-sessions", int64(*maxSess)},
+		{"-max-window", int64(*maxWindow)},
+		{"-max-chunk", *maxChunk},
+		{"-max-events", int64(*maxEvents)},
+		{"-snapshot-every", int64(*snapEvery)},
+		{"-flight-chunks", int64(*flightLen)},
+		{"-wal-failure-limit", int64(*walFailLimit)},
+	} {
+		if c.v < 0 {
+			fail("%s must not be negative (got %d)", c.name, c.v)
+		}
+	}
+	// Zero is ambiguous for a deadline — "no deadline" is spelled with a
+	// negative value — so reject it rather than guess.
+	for _, c := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"-heartbeat", *heartbeat},
+		{"-stream-write-timeout", *streamWrite},
+		{"-sse-write-timeout", *sseWrite},
+		{"-watchdog-deadline", *watchdog},
+		{"-shutdown-grace", *grace},
+	} {
+		if c.v == 0 {
+			fail("%s must be positive, or negative to disable (got 0)", c.name)
+		}
+	}
+	if *memBudget == 0 {
+		fail("-mem-budget must be positive, or negative to disable shedding (got 0)")
+	}
+	durPolicy, err := serve.ParseDurabilityPolicy(*durability)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *dataDir == "" && *durability != "strict" {
+		fail("-durability=%s requires -data-dir (nothing to degrade without a WAL)", *durability)
+	}
+
 	reg := telemetry.NewRegistry()
 	opts := serve.Options{
-		MaxSessions:       *maxSess,
-		MaxWindowElems:    *maxWindow,
-		MaxChunkBytes:     *maxChunk,
-		IdleTimeout:       *idle,
-		MaxAge:            *maxAge,
-		SweepInterval:     *sweepEvery,
-		MaxEventsRetained: *maxEvents,
-		Registry:          reg,
-		SnapshotEvery:     *snapEvery,
-		FlightChunks:      *flightLen,
-		Logger:            logger,
+		MaxSessions:        *maxSess,
+		MaxWindowElems:     *maxWindow,
+		MaxChunkBytes:      *maxChunk,
+		IdleTimeout:        *idle,
+		MaxAge:             *maxAge,
+		SweepInterval:      *sweepEvery,
+		MaxEventsRetained:  *maxEvents,
+		Registry:           reg,
+		SnapshotEvery:      *snapEvery,
+		FlightChunks:       *flightLen,
+		Logger:             logger,
+		MemBudgetBytes:     *memBudget,
+		Durability:         durPolicy,
+		WALFailureLimit:    *walFailLimit,
+		MinDiskFreeBytes:   *minDiskFree,
+		HeartbeatInterval:  *heartbeat,
+		StreamWriteTimeout: *streamWrite,
+		SSEWriteTimeout:    *sseWrite,
+		WatchdogDeadline:   *watchdog,
 	}
 	if *dataDir != "" {
 		policy, interval, err := durable.ParseSyncPolicy(*fsync)
 		if err != nil {
-			logger.Error("bad -fsync flag", "err", err)
-			os.Exit(2)
+			fail("%v", err)
 		}
 		store, err := durable.Open(durable.Options{
 			Dir:          *dataDir,
@@ -133,6 +215,15 @@ func main() {
 			os.Exit(1)
 		}
 		opts.Store = store
+		// A full disk is a guaranteed degraded spell (or a crash loop
+		// under strict): surface it at boot, not at the first chunk.
+		if *minDiskFree > 0 {
+			if free, err := durable.DiskFree(*dataDir); err == nil && free < uint64(*minDiskFree) {
+				logger.Warn("data dir below disk-free watermark at boot",
+					"dir", *dataDir, "free_bytes", free, "min_free_bytes", *minDiskFree,
+					"durability", *durability)
+			}
+		}
 	}
 	srv := serve.NewServer(opts)
 	if err := srv.Start(*addr); err != nil {

@@ -11,6 +11,13 @@
 // flag switches to the legacy one-shot path: a POST per chunk with the
 // SSE event stream watched on the side.
 //
+// The client is a well-behaved tenant of an overloaded server: a 429 on
+// session open is retried after the server's Retry-After hint, a
+// degraded session (server disk trouble, detection continuing without
+// durability) is logged loudly, and -max-retries caps reconnect attempts
+// — exhausting them exits with code 3 so scripts can tell "server kept
+// shedding us" from an ordinary failure (code 1).
+//
 //	go run ./examples/streamdetect
 //	go run ./examples/streamdetect -bench mpegaudio -scale 4 -chunk 2048
 //	go run ./examples/streamdetect -mode branch        # no symbol table
@@ -30,6 +37,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -43,7 +51,15 @@ import (
 const (
 	backoffMin = 200 * time.Millisecond
 	backoffMax = 5 * time.Second
+
+	// exitRetries distinguishes "the server kept shedding or dropping us
+	// until -max-retries ran out" from an ordinary failure (exit 1).
+	exitRetries = 3
 )
+
+// errRetriesExhausted reports that -max-retries reconnect (or shed-open
+// retry) attempts were spent without success.
+var errRetriesExhausted = errors.New("streamdetect: retry budget exhausted")
 
 func main() {
 	var (
@@ -58,6 +74,7 @@ func main() {
 		param    = flag.Float64("param", 0.6, "analyzer parameter")
 		mode     = flag.String("mode", "ids", "streaming ingest mode: ids (dense-ID hot path) | branch")
 		poll     = flag.Bool("poll", false, "use the legacy one-shot POST/SSE path instead of the framed stream")
+		retries  = flag.Int("max-retries", 0, "cap on reconnects and shed-open retries; 0 means unlimited, exceeding it exits with code 3")
 	)
 	flag.Parse()
 
@@ -84,13 +101,15 @@ func main() {
 	}
 	base := "http://" + host
 
-	// Open a session with the window/model/analyzer triple.
+	// Open a session with the window/model/analyzer triple. An
+	// overloaded server sheds opens with 429 + Retry-After; honor the
+	// hint instead of hammering it.
 	req := serve.ConfigRequest{CW: *cw, Policy: *policy, Model: *model, Analyzer: *analyzer, Param: *param}
 	var opened struct {
 		ID     string `json:"id"`
 		Config string `json:"config"`
 	}
-	if err := postJSON(base+"/v1/sessions", req, &opened); err != nil {
+	if err := openSession(base+"/v1/sessions", req, &opened, *retries); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("session:  %s (%s)\n\n", opened.ID[:8], opened.Config)
@@ -99,7 +118,7 @@ func main() {
 	if *poll {
 		sum, err = pollSession(base, opened.ID, branches, *chunk)
 	} else {
-		sum, err = streamSession(host, opened.ID, branches, *chunk, *mode == "ids")
+		sum, err = streamSession(host, opened.ID, branches, *chunk, *mode == "ids", *retries)
 	}
 	if err != nil {
 		fatal(err)
@@ -121,7 +140,7 @@ func main() {
 // safe), the reused symbol-table builder keeps dense-ID mode aligned,
 // and event delivery resumes after the last sequence number seen, so
 // nothing is missed or duplicated.
-func streamSession(host, id string, branches trace.Trace, chunk int, ids bool) (*serve.Summary, error) {
+func streamSession(host, id string, branches trace.Trace, chunk int, ids bool, maxRetries int) (*serve.Summary, error) {
 	var parts []trace.Trace
 	for i := 0; i < len(branches); i += chunk {
 		end := min(i+chunk, len(branches))
@@ -136,6 +155,7 @@ func streamSession(host, id string, branches trace.Trace, chunk int, ids bool) (
 	}
 
 	var builder *trace.InternedBuilder
+	wasDegraded := false
 	backoff := backoffMin
 	for attempt := 1; ; attempt++ {
 		sc, err := serve.DialStream(host, id, serve.StreamOptions{
@@ -147,6 +167,18 @@ func streamSession(host, id string, branches trace.Trace, chunk int, ids bool) (
 		if err == nil {
 			if sc.Applied() > 0 {
 				logger.Info("resuming", "applied_chunks", sc.Applied(), "total_chunks", len(parts))
+			}
+			// A degraded session keeps detecting, but acked chunks are not
+			// crash-safe until the server's disk heals — say so once per
+			// transition, loudly.
+			if d := sc.Degraded(); d != wasDegraded {
+				wasDegraded = d
+				if d {
+					logger.Warn("session degraded: server persisting nothing until its disk heals",
+						"degraded", true, "session", id)
+				} else {
+					logger.Info("session durability restored", "degraded", false, "session", id)
+				}
 			}
 			sum, serr := func() (*serve.Summary, error) {
 				for _, p := range parts {
@@ -172,6 +204,9 @@ func streamSession(host, id string, branches trace.Trace, chunk int, ids bool) (
 		var se *serve.StreamError
 		if errors.As(err, &se) && !se.Retryable {
 			return nil, err // mode conflict, closed session — retrying cannot help
+		}
+		if maxRetries > 0 && attempt >= maxRetries {
+			return nil, fmt.Errorf("%w: %d stream attempts, last error: %v", errRetriesExhausted, attempt, err)
 		}
 		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
 		logger.Warn("stream dropped, reconnecting",
@@ -318,21 +353,45 @@ func watchOnce(url, lastID string, lastOut *string) (gotEvents, ended, gone bool
 	return gotEvents, false, false
 }
 
-// postJSON posts v as JSON and decodes the response into out.
-func postJSON(url string, v, out any) error {
+// openSession posts the session config, honoring overload shedding: a
+// 429 is retried after the server's Retry-After hint (falling back to
+// capped exponential backoff when the header is absent or unparsable),
+// up to maxRetries attempts (0 = unlimited).
+func openSession(url string, v, out any, maxRetries int) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	backoff := backoffMin
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+				sleep = time.Duration(secs) * time.Second
+			}
+			if maxRetries > 0 && attempt >= maxRetries {
+				return fmt.Errorf("%w: server shed %d session opens", errRetriesExhausted, attempt)
+			}
+			logger.Warn("session open shed, retrying",
+				"attempt", attempt, "retry_after", sleep.Round(time.Millisecond))
+			time.Sleep(sleep)
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("%s: %s", url, resp.Status)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%s: %s", url, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // do issues a bodyless request and decodes the JSON response into out.
@@ -354,5 +413,8 @@ func do(client *http.Client, method, url string, out any) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "streamdetect:", err)
+	if errors.Is(err, errRetriesExhausted) {
+		os.Exit(exitRetries)
+	}
 	os.Exit(1)
 }

@@ -1,0 +1,9 @@
+//go:build !(linux || darwin)
+
+package durable
+
+// DiskFree is unsupported on this platform: it reports "plenty" so the
+// disk-free watermark never blocks durability where we cannot measure.
+func DiskFree(path string) (uint64, error) {
+	return 1 << 62, nil
+}

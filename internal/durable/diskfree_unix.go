@@ -1,0 +1,18 @@
+//go:build linux || darwin
+
+package durable
+
+import "syscall"
+
+// DiskFree reports the bytes available to unprivileged writers on the
+// filesystem holding path. The serve layer checks it against a
+// watermark at boot and before resuming durability after a degraded
+// spell — re-enabling WAL writes onto a full disk would just re-trip
+// the breaker.
+func DiskFree(path string) (uint64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return 0, err
+	}
+	return uint64(st.Bavail) * uint64(st.Bsize), nil
+}

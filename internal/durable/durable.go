@@ -91,6 +91,12 @@ type Options struct {
 	SegmentBytes int64
 	// Registry receives opd_durable_* telemetry. nil disables it.
 	Registry *telemetry.Registry
+	// Hook, when non-nil, runs before each disk operation with the
+	// operation name ("append", "fsync", "snapshot"); a non-nil return
+	// fails the operation with that error. It exists as a fault-injection
+	// seam — chaos tests arm it to simulate a failing disk without
+	// filesystem tricks. nil (the default) costs one branch.
+	Hook func(op string) error
 }
 
 func (o Options) withDefaults() Options {

@@ -69,6 +69,11 @@ func parseIdx(name, prefix, suffix string) (uint64, bool) {
 // duration in nanoseconds.
 func (l *SessionLog) syncFile(f *os.File) (int64, error) {
 	t0 := time.Now()
+	if l.opts.Hook != nil {
+		if err := l.opts.Hook("fsync"); err != nil {
+			return 0, err
+		}
+	}
 	if err := f.Sync(); err != nil {
 		return 0, err
 	}
@@ -158,6 +163,11 @@ func (l *SessionLog) AppendTimedMulti(parts ...[]byte) (AppendStats, error) {
 	if l.closed {
 		return stats, fmt.Errorf("durable: append to closed log %s", l.dir)
 	}
+	if l.opts.Hook != nil {
+		if err := l.opts.Hook("append"); err != nil {
+			return stats, fmt.Errorf("durable: appending record %d: %w", l.nextIdx, err)
+		}
+	}
 	if l.f == nil || l.segSize >= l.opts.SegmentBytes {
 		if err := l.rotate(); err != nil {
 			return stats, fmt.Errorf("durable: rotating segment: %w", err)
@@ -216,6 +226,11 @@ func (l *SessionLog) Snapshot(payload []byte) error {
 }
 
 func (l *SessionLog) writeSnapshot(idx uint64, payload []byte) error {
+	if l.opts.Hook != nil {
+		if err := l.opts.Hook("snapshot"); err != nil {
+			return fmt.Errorf("durable: writing snapshot: %w", err)
+		}
+	}
 	tmp := filepath.Join(l.dir, "snap.tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log/slog"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +76,52 @@ type Options struct {
 	// open/close/evict/fail, flight-recorder dumps, request logs). nil
 	// discards them.
 	Logger *slog.Logger
+
+	// MemBudgetBytes caps the serving layer's accounted memory (session
+	// base cost, window memory, retained events, stream buffers,
+	// in-flight ingest chunks). Past 80% of the budget new session opens
+	// are shed (429 + Retry-After) and the janitor pressure-evicts
+	// idle/largest sessions; past the budget ingest chunks are shed with
+	// a retryable error. 0 means 512 MiB; negative disables shedding
+	// (accounting still runs).
+	MemBudgetBytes int64
+	// Durability selects the WAL-failure policy for durable sessions:
+	// DurabilityStrict (default) fails chunks closed with 503,
+	// DurabilityDegraded trips a per-session breaker and continues
+	// detection ephemerally. Ignored without a Store.
+	Durability DurabilityPolicy
+	// WALFailureLimit is the degraded policy's breaker threshold:
+	// consecutive WAL failures before a session stops writing to disk.
+	// 0 means 3.
+	WALFailureLimit int
+	// WALProbeInterval is the tripped breaker's initial probe backoff;
+	// it doubles per failed probe up to WALProbeMax. 0 means 1s.
+	WALProbeInterval time.Duration
+	// WALProbeMax caps the probe backoff. 0 means 30s.
+	WALProbeMax time.Duration
+	// MinDiskFreeBytes is the disk-free watermark: durability does not
+	// start (at boot) or resume (after a degraded spell) unless the data
+	// directory's filesystem has at least this many bytes free. 0 means
+	// 128 MiB; negative disables the check.
+	MinDiskFreeBytes int64
+	// HeartbeatInterval bounds a framed stream connection's read
+	// silence: after one interval with no client frames the server sends
+	// a Ping, after a second it disconnects. 0 means 30s; negative
+	// disables.
+	HeartbeatInterval time.Duration
+	// StreamWriteTimeout bounds one write on a framed stream connection
+	// (acks, events, pings); a slower peer is disconnected and resumes
+	// via its cursor. 0 means 15s; negative disables.
+	StreamWriteTimeout time.Duration
+	// SSEWriteTimeout bounds one SSE event write; a slower subscriber is
+	// dropped (it resumes via Last-Event-ID) instead of blocking the
+	// event pump. 0 means 15s; negative disables.
+	SSEWriteTimeout time.Duration
+	// WatchdogDeadline bounds how long one chunk may hold a session's
+	// detect mutex. A session past it is condemned: its flight recorder
+	// is dumped, new work fast-fails, and it transitions to failed when
+	// the stuck apply returns. 0 means 60s; negative disables.
+	WatchdogDeadline time.Duration
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -108,6 +156,33 @@ func (o Options) withDefaults() Options {
 	if o.NewDetector == nil {
 		o.NewDetector = func(cfg core.Config) (*core.Detector, error) { return cfg.New() }
 	}
+	if o.MemBudgetBytes == 0 {
+		o.MemBudgetBytes = 512 << 20
+	}
+	if o.WALFailureLimit == 0 {
+		o.WALFailureLimit = 3
+	}
+	if o.WALProbeInterval == 0 {
+		o.WALProbeInterval = time.Second
+	}
+	if o.WALProbeMax == 0 {
+		o.WALProbeMax = 30 * time.Second
+	}
+	if o.MinDiskFreeBytes == 0 {
+		o.MinDiskFreeBytes = 128 << 20
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 30 * time.Second
+	}
+	if o.StreamWriteTimeout == 0 {
+		o.StreamWriteTimeout = 15 * time.Second
+	}
+	if o.SSEWriteTimeout == 0 {
+		o.SSEWriteTimeout = 15 * time.Second
+	}
+	if o.WatchdogDeadline == 0 {
+		o.WatchdogDeadline = 60 * time.Second
+	}
 	return o
 }
 
@@ -130,13 +205,16 @@ type Manager struct {
 	drain  atomic.Bool
 	probe  *telemetry.ServeProbe
 	dprobe *telemetry.DurableProbe
+	res    *resilienceCtl
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	stopped  chan struct{}
+	wdDone   chan struct{}
 }
 
-// NewManager builds a manager and starts its eviction janitor.
+// NewManager builds a manager and starts its eviction janitor (and,
+// when a watchdog deadline is configured, the stuck-session watchdog).
 func NewManager(opts Options) *Manager {
 	m := &Manager{
 		opts:    opts.withDefaults(),
@@ -144,11 +222,37 @@ func NewManager(opts Options) *Manager {
 		dprobe:  telemetry.NewDurableProbe(opts.Registry),
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
+		wdDone:  make(chan struct{}),
+	}
+	rprobe := telemetry.NewResilienceProbe(opts.Registry)
+	dataDir := ""
+	if m.opts.Store != nil {
+		dataDir = m.opts.Store.Dir()
+	}
+	m.res = &resilienceCtl{
+		gov:          newGovernor(m.opts.MemBudgetBytes, rprobe),
+		probe:        rprobe,
+		logger:       m.opts.Logger,
+		policy:       m.opts.Durability,
+		breakerLimit: m.opts.WALFailureLimit,
+		probeMin:     m.opts.WALProbeInterval,
+		probeMax:     m.opts.WALProbeMax,
+		minDiskFree:  m.opts.MinDiskFreeBytes,
+		dataDir:      dataDir,
+		heartbeat:    m.opts.HeartbeatInterval,
+		streamWrite:  m.opts.StreamWriteTimeout,
+		sseWrite:     m.opts.SSEWriteTimeout,
+		watchdog:     m.opts.WatchdogDeadline,
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{sessions: map[string]*Session{}}
 	}
 	go m.janitor()
+	if m.res.watchdog > 0 {
+		go m.watchdog()
+	} else {
+		close(m.wdDone)
+	}
 	return m
 }
 
@@ -189,6 +293,16 @@ func (m *Manager) Open(cfg core.Config) (*Session, error) {
 		return nil, fmt.Errorf("%w: cw+tw = %d elements, limit %d",
 			ErrWindowTooLarge, windowElems, m.opts.MaxWindowElems)
 	}
+	if g := m.res.gov; g.OverSoft() {
+		// Soft-watermark shedding: protect existing sessions by turning
+		// away new ones until eviction brings occupancy back down.
+		m.probe.SessionRejected()
+		m.res.probe.ShedOpen()
+		m.opts.Logger.Warn("session open shed: memory over soft watermark",
+			"used_bytes", g.Used(), "budget_bytes", m.opts.MemBudgetBytes)
+		return nil, fmt.Errorf("%w: accounted memory at %d of %d bytes",
+			ErrOverloaded, g.Used(), m.opts.MemBudgetBytes)
+	}
 	if n := m.active.Add(1); n > int64(m.opts.MaxSessions) {
 		m.active.Add(-1)
 		m.probe.SessionRejected()
@@ -200,9 +314,11 @@ func (m *Manager) Open(cfg core.Config) (*Session, error) {
 		m.active.Add(-1)
 		return nil, err
 	}
-	s := newSession(newID(), cfg, det, m.opts.MaxEventsRetained, m.opts.FlightChunks, m.probe, m.opts.Logger)
+	s := newSession(newID(), cfg, det, m.opts.MaxEventsRetained, m.opts.FlightChunks, m.probe, m.res, m.opts.Logger)
+	s.chargeMem(sessionBaseCost(cfg))
 	if m.opts.Store != nil {
 		if err := m.attachDurable(s); err != nil {
+			s.releaseMemAll()
 			m.active.Add(-1)
 			return nil, fmt.Errorf("%w: %w", ErrPersist, err)
 		}
@@ -243,6 +359,24 @@ func (m *Manager) removeDurable(id string) {
 	}
 }
 
+// sessionBaseCost is what one session charges the byte accountant at
+// open: fixed overhead plus its window memory (the detector's dominant
+// steady-state footprint).
+func sessionBaseCost(cfg core.Config) int64 {
+	tw := cfg.TWSize
+	if tw == 0 {
+		tw = cfg.CWSize
+	}
+	return sessionBaseBytes + int64(cfg.CWSize+tw)*windowElemBytes
+}
+
+// MemUsed reports the byte accountant's current occupancy.
+func (m *Manager) MemUsed() int64 { return m.res.gov.Used() }
+
+// DegradedSessions reports how many sessions are currently running
+// without durability (WAL breaker open).
+func (m *Manager) DegradedSessions() int64 { return m.res.degraded.Load() }
+
 // Get looks a live session up by ID.
 func (m *Manager) Get(id string) (*Session, bool) {
 	sh := m.shardFor(id)
@@ -260,11 +394,12 @@ func (m *Manager) Len() int { return int(m.active.Load()) }
 func (m *Manager) remove(id string) bool {
 	sh := m.shardFor(id)
 	sh.mu.Lock()
-	_, ok := sh.sessions[id]
+	s, ok := sh.sessions[id]
 	delete(sh.sessions, id)
 	sh.mu.Unlock()
 	if ok {
 		m.active.Add(-1)
+		s.releaseMemAll()
 	}
 	return ok
 }
@@ -296,7 +431,9 @@ func (m *Manager) janitor() {
 		case <-m.stop:
 			return
 		case <-t.C:
-			m.evictExpired(time.Now())
+			now := time.Now()
+			m.evictExpired(now)
+			m.shedPressure(now)
 		}
 	}
 }
@@ -328,6 +465,108 @@ func (m *Manager) evictExpired(now time.Time) {
 	}
 }
 
+// shedPressure reclaims memory while the accountant is over the soft
+// watermark: sessions are evicted — idle ones first (no client touch
+// within one sweep interval), largest tab first within a tier — until
+// occupancy drops below the watermark. Evicted sessions get the same
+// flush as an idle eviction, so their open phases still reach any live
+// stream before it ends.
+func (m *Manager) shedPressure(now time.Time) {
+	g := m.res.gov
+	if !g.OverSoft() {
+		return
+	}
+	type cand struct {
+		s     *Session
+		idle  time.Duration
+		bytes int64
+	}
+	var cands []cand
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			cands = append(cands, cand{s, now.Sub(s.idleSince()), s.memBytes.Load()})
+		}
+		sh.mu.RUnlock()
+	}
+	idleGrace := m.opts.SweepInterval
+	sort.Slice(cands, func(i, j int) bool {
+		ii, ji := cands[i].idle >= idleGrace, cands[j].idle >= idleGrace
+		if ii != ji {
+			return ii
+		}
+		if cands[i].bytes != cands[j].bytes {
+			return cands[i].bytes > cands[j].bytes
+		}
+		return cands[i].idle > cands[j].idle
+	})
+	for _, c := range cands {
+		if !g.OverSoft() {
+			return
+		}
+		c.s.close()
+		if m.remove(c.s.id) {
+			m.probe.SessionClosed(true)
+			m.res.probe.PressureEvict()
+			m.removeDurable(c.s.id)
+			m.opts.Logger.Warn("session pressure-evicted: memory over soft watermark",
+				"session", c.s.id, "session_bytes", c.bytes, "idle", c.idle.String(),
+				"used_bytes", g.Used(), "budget_bytes", m.opts.MemBudgetBytes)
+		}
+	}
+}
+
+// watchdog periodically scans for sessions whose in-flight chunk has
+// held the session mutex past the configured deadline and condemns
+// them: the flight recorder (independently locked, so readable without
+// the stuck mutex) is dumped, new work against the session fast-fails,
+// and the session transitions to failed when (if) the stuck apply
+// returns.
+func (m *Manager) watchdog() {
+	defer close(m.wdDone)
+	period := m.res.watchdog / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.scanStuck(time.Now())
+		}
+	}
+}
+
+// scanStuck condemns every session whose detect stage has overrun the
+// watchdog deadline.
+func (m *Manager) scanStuck(now time.Time) {
+	dl := m.res.watchdog.Nanoseconds()
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		var stuck []*Session
+		for _, s := range sh.sessions {
+			if st := s.detectStart.Load(); st != 0 && now.UnixNano()-st > dl && !s.condemned.Load() {
+				stuck = append(stuck, s)
+			}
+		}
+		sh.mu.RUnlock()
+		for _, s := range stuck {
+			if !s.condemned.CompareAndSwap(false, true) {
+				continue
+			}
+			m.res.probe.WatchdogTrip()
+			var sb strings.Builder
+			_ = s.flight.WriteDump(&sb)
+			m.opts.Logger.Error("watchdog condemned session: detect deadline exceeded",
+				"session", s.id, "config", s.configID,
+				"deadline", m.res.watchdog.String(), "flight", sb.String())
+		}
+	}
+}
+
 // Shutdown drains the manager: new opens are refused and the janitor
 // stops. Without a store, every live session is finished — buffered
 // partial groups applied, open phases flushed and their final events
@@ -339,6 +578,7 @@ func (m *Manager) Shutdown() {
 	m.drain.Store(true)
 	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.stopped
+	<-m.wdDone
 	for _, sh := range m.shards {
 		sh.mu.RLock()
 		all := make([]*Session, 0, len(sh.sessions))
@@ -412,7 +652,8 @@ func (m *Manager) recoverSession(rec *durable.Recovered) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := newSession(rec.ID, rs.cfg, rs.det, m.opts.MaxEventsRetained, m.opts.FlightChunks, m.probe, m.opts.Logger)
+	s := newSession(rec.ID, rs.cfg, rs.det, m.opts.MaxEventsRetained, m.opts.FlightChunks, m.probe, m.res, m.opts.Logger)
+	s.chargeMem(sessionBaseCost(rs.cfg) + int64(len(rs.events))*eventLogBytes)
 	s.events = append(s.events, rs.events...)
 	// Restored events get no wall time: SSE lag across a restart is
 	// meaningless, and a zero entry tells the stream path to skip them.

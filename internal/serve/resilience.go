@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"opd/internal/durable"
+	"opd/internal/telemetry"
+)
+
+// Overload and lifecycle-enforcement errors.
+var (
+	// ErrOverloaded reports a request shed by the byte accountant's
+	// watermarks. It is retryable: the condition is the server's load,
+	// not the request's content. Handlers map it to 429 (session opens)
+	// or 503 (ingest chunks), both with Retry-After.
+	ErrOverloaded = errors.New("serve: server overloaded")
+	// ErrCondemned reports a session poisoned by the watchdog: its
+	// detector held the session mutex past the configured deadline, so
+	// the server wrote off the session rather than let callers queue
+	// behind it forever.
+	ErrCondemned = errors.New("serve: session condemned by watchdog")
+)
+
+// DurabilityPolicy selects how a durable session responds to WAL
+// failures.
+type DurabilityPolicy int
+
+const (
+	// DurabilityStrict fails closed: a WAL append error rejects the
+	// chunk with ErrPersist (HTTP 503) and nothing is applied. An
+	// acknowledged chunk is always as durable as the fsync policy
+	// promises.
+	DurabilityStrict DurabilityPolicy = iota
+	// DurabilityDegraded prefers availability: after WALFailureLimit
+	// consecutive WAL failures the session trips a circuit breaker,
+	// stops writing to disk, and continues detection ephemerally —
+	// marked degraded:true everywhere the client can see. Probes with
+	// capped backoff retry the disk; when it heals, a fresh snapshot
+	// (which covers the full session state, including every chunk
+	// applied while degraded) restores durability.
+	DurabilityDegraded
+)
+
+// String names the policy as the -durability flag spells it.
+func (p DurabilityPolicy) String() string {
+	if p == DurabilityDegraded {
+		return "degraded"
+	}
+	return "strict"
+}
+
+// ParseDurabilityPolicy resolves a -durability flag value.
+func ParseDurabilityPolicy(s string) (DurabilityPolicy, error) {
+	switch s {
+	case "strict":
+		return DurabilityStrict, nil
+	case "degraded":
+		return DurabilityDegraded, nil
+	}
+	return 0, fmt.Errorf("serve: durability policy %q is not \"strict\" or \"degraded\"", s)
+}
+
+// resilienceCtl is the shared overload-defense state a Manager hands
+// every session and connection: the byte accountant, the resilience
+// telemetry probe, and the resolved policy knobs. One struct so the
+// session constructor doesn't grow a parameter per knob.
+type resilienceCtl struct {
+	gov    *Governor
+	probe  *telemetry.ResilienceProbe
+	logger *slog.Logger
+
+	policy       DurabilityPolicy
+	breakerLimit int
+	probeMin     time.Duration
+	probeMax     time.Duration
+	minDiskFree  int64
+	dataDir      string
+
+	heartbeat   time.Duration
+	streamWrite time.Duration
+	sseWrite    time.Duration
+	watchdog    time.Duration
+
+	// degraded counts sessions currently running without durability —
+	// the readable mirror of the opd_resilience_degraded_sessions gauge,
+	// surfaced by /readyz.
+	degraded atomic.Int64
+}
+
+// diskHealthy reports whether the data directory's filesystem clears
+// the disk-free watermark — checked at boot and before a degraded
+// session resumes durability (resuming onto a full disk would just
+// re-trip the breaker).
+func (rc *resilienceCtl) diskHealthy() bool {
+	if rc.minDiskFree <= 0 || rc.dataDir == "" {
+		return true
+	}
+	free, err := durable.DiskFree(rc.dataDir)
+	return err == nil && free >= uint64(rc.minDiskFree)
+}
+
+// A durabilityBreaker is one durable session's WAL circuit breaker
+// (DurabilityDegraded only). Guarded by the session mutex.
+type durabilityBreaker struct {
+	failures  int           // consecutive WAL failures while closed
+	open      bool          // tripped: session is running ephemerally
+	backoff   time.Duration // current probe interval
+	nextProbe time.Time     // no probe before this instant
+}

@@ -204,8 +204,13 @@ func (s *Server) Handler() http.Handler {
 				map[string]any{"status": "recovering"})
 			return
 		}
-		writeJSON(w, http.StatusOK,
-			map[string]any{"status": "ready", "sessions": s.manager.Len()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":            "ready",
+			"sessions":          s.manager.Len(),
+			"degraded_sessions": s.manager.DegradedSessions(),
+			"mem_used_bytes":    s.manager.MemUsed(),
+			"mem_budget_bytes":  s.manager.opts.MemBudgetBytes,
+		})
 	})
 	return s.logRequests(mux)
 }
@@ -235,6 +240,10 @@ func (sr *statusRecorder) Flush() {
 		f.Flush()
 	}
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// per-write deadline support through the logging wrapper.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
 
 // Hijack forwards to the underlying connection so the streaming ingest
 // upgrade works through the logging wrapper. The recorder keeps the
@@ -349,11 +358,20 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.manager.Open(cfg)
 	if err != nil {
 		switch {
+		case errors.Is(err, ErrOverloaded):
+			// Soft-watermark shed: the client should retry after the
+			// janitor has had a chance to reclaim memory.
+			w.Header().Set("Retry-After", strconv.Itoa(s.manager.res.gov.RetryAfterSeconds()))
+			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrTooManySessions):
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrWindowTooLarge):
 			writeError(w, http.StatusRequestEntityTooLarge, err)
 		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrPersist):
+			// Creating the session's WAL failed (disk fault): transient,
+			// not the client's doing — retryable, unlike a 400.
 			writeError(w, http.StatusServiceUnavailable, err)
 		default: // config validation
 			writeError(w, http.StatusBadRequest, err)
@@ -428,6 +446,23 @@ func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("serve: reading chunk: %w", rerr))
 		return
 	}
+	// Hard-watermark shedding: the chunk's transient buffers are charged
+	// to the byte accountant for the life of the request; past the hard
+	// watermark the chunk is shed with a retryable error — the bytes are
+	// already read, but nothing downstream (decode slices, WAL queue,
+	// detector work) is spent on it.
+	if g := s.manager.res.gov; !g.TryReserve(ct.Bytes) {
+		s.manager.res.probe.ShedChunk()
+		s.logger.Warn("chunk shed: memory over hard watermark",
+			"session", sess.ID(), "chunk_bytes", ct.Bytes, "used_bytes", g.Used())
+		w.Header().Set("Retry-After", strconv.Itoa(g.RetryAfterSeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error: fmt.Sprintf("serve: chunk shed, accounted memory at %d bytes; retry", g.Used()),
+			Kind:  "overloaded",
+		})
+		return
+	}
+	defer s.manager.res.gov.Release(ct.Bytes)
 	// The lenient decoder classifies damage without losing the decode
 	// position; a damaged chunk is rejected whole — nothing of it
 	// reaches the detector, so the client can repair and resend exactly
@@ -568,16 +603,33 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sess *Sess
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	// Slow-consumer defense: every write batch runs under a write
+	// deadline. A subscriber that cannot drain its socket within it is
+	// dropped — the event pump must never block behind one client — and
+	// resumes from its Last-Event-ID on reconnect.
+	rc := http.NewResponseController(w)
+	sseTimeout := s.manager.res.sseWrite
+	drop := func(cause error) {
+		s.manager.res.probe.SlowSubscriberDrop()
+		s.logger.Warn("slow SSE subscriber dropped",
+			"session", sess.ID(), "err", cause.Error(), "write_timeout", sseTimeout.String())
+	}
 	sub := sess.subscribe()
 	defer sess.unsubscribe(sub)
 	cursor := since
 	for {
 		evs, wall, next, terminated := sess.eventsSinceWall(cursor)
 		now := time.Now().UnixNano()
+		if sseTimeout > 0 && (len(evs) > 0 || terminated) {
+			_ = rc.SetWriteDeadline(time.Now().Add(sseTimeout))
+		}
 		for i, e := range evs {
 			data, _ := json.Marshal(e)
 			// The id: line feeds the client's Last-Event-ID on reconnect.
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data)
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data); err != nil {
+				drop(err)
+				return
+			}
 			// Delivery lag: detection wall time to SSE write. Events
 			// restored from a snapshot carry no wall time and are skipped.
 			if wall[i] > 0 {
@@ -585,12 +637,15 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sess *Sess
 			}
 		}
 		if len(evs) > 0 {
-			flusher.Flush()
+			if err := rc.Flush(); err != nil {
+				drop(err)
+				return
+			}
 		}
 		cursor = next
 		if terminated {
 			fmt.Fprintf(w, "event: end\ndata: {\"events_total\":%d}\n\n", next)
-			flusher.Flush()
+			_ = rc.Flush()
 			return
 		}
 		select {

@@ -119,6 +119,10 @@ type Summary struct {
 	AdjustedPhases  []interval.Interval `json:"adjusted_phases"`
 	EventsTotal     uint64              `json:"events_total"`
 	Error           string              `json:"error,omitempty"`
+	// Degraded marks a durable session whose WAL circuit breaker is
+	// open: detection continues but chunks applied during the spell are
+	// not crash-safe until durability resumes.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // A subscriber is one live event-stream consumer. It holds no event data
@@ -178,6 +182,21 @@ type Session struct {
 	snapEvery int
 	sinceSnap int
 
+	// Overload defense. res is the manager's shared resilience state
+	// (nil in bare unit-test sessions); memBytes is what this session
+	// has charged to the byte accountant (the pressure-eviction ranking
+	// key); brk is the degraded-durability circuit breaker (under mu).
+	// detectStart is the unix-nano instant the in-flight chunk acquired
+	// the session mutex (zero when none is in flight) — the watchdog's
+	// probe, readable without the possibly-stuck mutex. condemned
+	// latches when the watchdog gives up on the session: new work
+	// fast-fails before trying the mutex.
+	res         *resilienceCtl
+	memBytes    atomic.Int64
+	brk         durabilityBreaker
+	detectStart atomic.Int64
+	condemned   atomic.Bool
+
 	probe *telemetry.ServeProbe
 
 	// Observability: the flight recorder retains the last N chunk
@@ -195,11 +214,12 @@ type Session struct {
 
 // newSession wires a detector into a session, registering the phase
 // hooks that feed the event log.
-func newSession(id string, cfg core.Config, det *core.Detector, maxEvents, flightChunks int, probe *telemetry.ServeProbe, logger *slog.Logger) *Session {
+func newSession(id string, cfg core.Config, det *core.Detector, maxEvents, flightChunks int, probe *telemetry.ServeProbe, res *resilienceCtl, logger *slog.Logger) *Session {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Session{
+		res:       res,
 		id:        id,
 		configID:  cfg.ID(),
 		cfg:       cfg,
@@ -233,6 +253,35 @@ func (s *Session) ConfigID() string { return s.configID }
 // touch refreshes the idle-eviction clock.
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
 
+// chargeMem debits n bytes against the global accountant on this
+// session's tab. No-op without a resilience control (bare test
+// sessions).
+func (s *Session) chargeMem(n int64) {
+	if s.res == nil || n <= 0 {
+		return
+	}
+	s.res.gov.Reserve(n)
+	s.memBytes.Add(n)
+}
+
+// releaseMem returns n bytes from this session's tab.
+func (s *Session) releaseMem(n int64) {
+	if s.res == nil || n <= 0 {
+		return
+	}
+	s.res.gov.Release(n)
+	s.memBytes.Add(-n)
+}
+
+// releaseMemAll zeroes the session's tab when it leaves the manager.
+// Idempotent (Swap), since close and evict can race.
+func (s *Session) releaseMemAll() {
+	if s.res == nil {
+		return
+	}
+	s.res.gov.Release(s.memBytes.Swap(0))
+}
+
 // idleSince returns the time of the last client touch.
 func (s *Session) idleSince() time.Time { return time.Unix(0, s.lastUsed.Load()) }
 
@@ -246,11 +295,17 @@ func (s *Session) appendLocked(kind string, at, v1, v2 int64) {
 	seq := s.base + uint64(len(s.events))
 	s.events = append(s.events, Event{Seq: seq, Kind: kind, Src: s.configID, At: at, V1: v1, V2: v2})
 	s.wall = append(s.wall, t0.UnixNano())
+	s.chargeMem(eventLogBytes)
 	if s.maxEvents > 0 && len(s.events) > s.maxEvents {
 		drop := len(s.events) - s.maxEvents
 		s.events = append(s.events[:0], s.events[drop:]...)
 		s.wall = append(s.wall[:0], s.wall[drop:]...)
 		s.base += uint64(drop)
+		// Trimmed events leave the log, so they leave the accountant's
+		// books too, and the drop is visible in metrics — a poller whose
+		// cursor fell behind the trim point sees a Seq gap.
+		s.releaseMem(int64(drop) * eventLogBytes)
+		s.probe.EventsDropped(int64(drop))
 	}
 	s.probe.EventsEmitted(1)
 	s.wakeLocked()
@@ -346,8 +401,17 @@ func (s *Session) FeedIDsTraced(gen uint64, payload []byte, ids []int32, ct *tel
 // durable; apply must route the chunk into the detector.
 func (s *Session) feedTraced(want sessionMode, gen uint64, elements int64, ct *telemetry.ChunkTrace, wal func() (durable.AppendStats, error), apply func()) (err error) {
 	s.touch()
+	// A condemned session's mutex may never unlock again (that is why it
+	// was condemned); fail fast instead of queueing behind it.
+	if s.condemned.Load() {
+		return fmt.Errorf("%w: %w", ErrFailed, ErrCondemned)
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.detectStart.Store(time.Now().UnixNano())
+	defer func() {
+		s.detectStart.Store(0)
+		s.mu.Unlock()
+	}()
 	if err := s.usableLocked(); err != nil {
 		return err
 	}
@@ -370,6 +434,18 @@ func (s *Session) feedTraced(want sessionMode, gen uint64, elements int64, ct *t
 			s.wakeLocked()
 			err = fmt.Errorf("%w: %w", ErrFailed, s.failed)
 		}
+		if s.condemned.Load() && s.state == StateActive {
+			// The watchdog condemned this session while its apply ran;
+			// now that the mutex holder is back, make the poisoning
+			// official so pollers and streams see a terminal state.
+			s.failed = fmt.Errorf("%w: detect stage exceeded %v", ErrCondemned, s.res.watchdog)
+			s.state = StateFailed
+			s.probe.SessionFailed()
+			s.wakeLocked()
+			if err == nil {
+				err = fmt.Errorf("%w: %w", ErrFailed, s.failed)
+			}
+		}
 		if err != nil {
 			ct.Err = err.Error()
 		}
@@ -381,7 +457,7 @@ func (s *Session) feedTraced(want sessionMode, gen uint64, elements int64, ct *t
 	}()
 	if s.log != nil {
 		t0 := time.Now()
-		stats, perr := wal()
+		stats, perr := s.walAppendLocked(wal)
 		// The append stage is everything but the fsync: chunk encode,
 		// record framing, segment rotation, and the file write.
 		ct.StageNS[telemetry.StageWALFsync] = stats.FsyncNS
@@ -403,6 +479,87 @@ func (s *Session) feedTraced(want sessionMode, gen uint64, elements int64, ct *t
 		ct.StageNS[telemetry.StageSnapshot] = time.Since(t1).Nanoseconds()
 	}
 	return nil
+}
+
+// walAppendLocked runs one chunk's WAL append under the configured
+// durability policy. Strict (or no resilience control at all) is
+// today's contract: the append's error fails the chunk. Degraded wraps
+// the append in a per-session circuit breaker: after breakerLimit
+// consecutive failures the session stops touching the disk and applies
+// chunks ephemerally, probing the disk on a capped exponential backoff;
+// a successful probe re-snapshots the full session state — the WAL's
+// next index never advanced while degraded, so the snapshot supersedes
+// the stale tail and durability resumes exactly where detection is.
+func (s *Session) walAppendLocked(wal func() (durable.AppendStats, error)) (durable.AppendStats, error) {
+	if s.res == nil || s.res.policy != DurabilityDegraded {
+		stats, err := wal()
+		if err != nil && s.res != nil {
+			s.res.probe.WALFailure()
+		}
+		return stats, err
+	}
+	if s.brk.open {
+		now := time.Now()
+		if now.Before(s.brk.nextProbe) {
+			return durable.AppendStats{}, nil // still degraded: apply ephemerally
+		}
+		s.res.probe.DurabilityProbeAttempt()
+		if !s.healDurabilityLocked() {
+			s.brk.backoff = min(s.brk.backoff*2, s.res.probeMax)
+			s.brk.nextProbe = now.Add(s.brk.backoff)
+			return durable.AppendStats{}, nil
+		}
+		// Healed: fall through and append this chunk durably.
+	}
+	stats, err := wal()
+	if err == nil {
+		s.brk.failures = 0
+		return stats, nil
+	}
+	s.res.probe.WALFailure()
+	s.brk.failures++
+	if s.brk.failures < s.res.breakerLimit {
+		// Below the trip threshold the chunk still fails closed — a
+		// transient disk hiccup should not silently weaken durability.
+		return stats, err
+	}
+	s.brk.open = true
+	s.brk.failures = 0
+	s.brk.backoff = s.res.probeMin
+	s.brk.nextProbe = time.Now().Add(s.brk.backoff)
+	s.res.probe.BreakerTrip()
+	s.res.degraded.Add(1)
+	s.logger.Warn("durability breaker tripped; session continues ephemerally",
+		"session", s.id, "config", s.configID, "err", err.Error(),
+		"failure_limit", s.res.breakerLimit, "probe_backoff", s.brk.backoff.String())
+	return durable.AppendStats{}, nil
+}
+
+// healDurabilityLocked tries to end a degraded spell: the disk-free
+// watermark must clear and a fresh full-state snapshot must land.
+func (s *Session) healDurabilityLocked() bool {
+	if !s.res.diskHealthy() {
+		return false
+	}
+	if err := s.snapshotLocked(); err != nil {
+		return false
+	}
+	s.brk.open = false
+	s.brk.failures = 0
+	s.sinceSnap = 0
+	s.res.probe.DurabilityResumed()
+	s.res.degraded.Add(-1)
+	s.logger.Info("durability resumed after degraded spell",
+		"session", s.id, "config", s.configID)
+	return true
+}
+
+// Degraded reports whether the session is currently running without
+// durability (breaker open).
+func (s *Session) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.brk.open
 }
 
 // ExtendSymbols applies a symbol-table extension frame: start is the
@@ -433,7 +590,9 @@ func (s *Session) ExtendSymbols(gen uint64, payload []byte, start uint64, syms [
 		return err
 	}
 	if s.log != nil {
-		if _, err := s.log.AppendTimedMulti(walPrefixSyms, payload); err != nil {
+		if _, err := s.walAppendLocked(func() (durable.AppendStats, error) {
+			return s.log.AppendTimedMulti(walPrefixSyms, payload)
+		}); err != nil {
 			return fmt.Errorf("%w: %w", ErrPersist, err)
 		}
 	}
@@ -491,6 +650,7 @@ type streamState struct {
 	Consumed    int64
 	EventsTotal uint64
 	Symbols     int
+	Degraded    bool
 }
 
 // StreamHello negotiates a streaming connection's ingest mode and
@@ -527,6 +687,7 @@ func (s *Session) StreamHello(wantIDs bool) (streamState, error) {
 	st.Consumed = s.det.Consumed()
 	st.EventsTotal = s.base + uint64(len(s.events))
 	st.Symbols = len(s.symtab)
+	st.Degraded = s.brk.open
 	return st, nil
 }
 
@@ -649,7 +810,9 @@ func (s *Session) replayApply(apply func()) (err error) {
 // snapshot, so the session stays recoverable and the next cadence point
 // retries.
 func (s *Session) maybeSnapshotLocked() bool {
-	if s.log == nil {
+	if s.log == nil || s.brk.open {
+		// A degraded session's snapshots go through the heal probe, not
+		// the cadence — pointless disk writes while the breaker is open.
 		return false
 	}
 	s.sinceSnap++
@@ -686,7 +849,21 @@ func (s *Session) persistClose() {
 	if s.state == StateActive {
 		_ = s.snapshotLocked()
 	}
+	s.dropDegradedLocked()
 	_ = s.log.Close()
+}
+
+// dropDegradedLocked settles the degraded-sessions gauge when a
+// degraded session terminates without healing.
+func (s *Session) dropDegradedLocked() {
+	if !s.brk.open {
+		return
+	}
+	s.brk.open = false
+	if s.res != nil {
+		s.res.probe.DegradedGone()
+		s.res.degraded.Add(-1)
+	}
 }
 
 // close finishes the session: the detector flushes its buffered partial
@@ -711,13 +888,15 @@ func (s *Session) close() *Summary {
 			s.state = StateClosed
 		}()
 	}
+	sum := s.summaryLocked() // capture degraded:true before settling the gauge
+	s.dropDegradedLocked()
 	if s.log != nil {
 		// Terminal close: the session's durable state is about to be
 		// removed by the manager, so just release the file handle.
 		_ = s.log.Close()
 	}
 	s.wakeLocked()
-	return s.summaryLocked()
+	return sum
 }
 
 // summaryLocked snapshots the terminal (or current) results.
@@ -729,6 +908,7 @@ func (s *Session) summaryLocked() *Summary {
 		Consumed:        s.det.Consumed(),
 		SimComputations: s.det.SimilarityComputations(),
 		EventsTotal:     s.base + uint64(len(s.events)),
+		Degraded:        s.brk.open,
 	}
 	if s.state == StateClosed {
 		sum.Phases = append([]interval.Interval{}, s.det.Phases()...)

@@ -63,6 +63,10 @@ type streamHelloAck struct {
 	EventsTotal   uint64 `json:"events_total"`
 	Symbols       int    `json:"symbols"`
 	MaxFrameBytes int64  `json:"max_frame_bytes"`
+	// Degraded warns a resuming client that the session is currently
+	// running without durability (WAL breaker open): chunks acked during
+	// the spell are not crash-safe until durability resumes.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // appendAckPayload encodes a FrameAck payload:
@@ -160,10 +164,20 @@ func (sc *streamConn) writeFrame(t trace.FrameType, payload []byte) bool {
 	return sc.writeFrameLocked(t, payload, true)
 }
 
+// armWriteDeadline bounds the next write burst: a peer that cannot
+// drain its socket within the configured timeout fails the write, which
+// latches werr and tears the connection down. Callers hold wmu.
+func (sc *streamConn) armWriteDeadline() {
+	if d := sc.s.manager.res.streamWrite; d > 0 {
+		_ = sc.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+}
+
 func (sc *streamConn) writeFrameLocked(t trace.FrameType, payload []byte, flush bool) bool {
 	if sc.werr != nil {
 		return false
 	}
+	sc.armWriteDeadline()
 	sc.wbuf = trace.AppendFrame(sc.wbuf[:0], t, payload)
 	if _, err := sc.bw.Write(sc.wbuf); err != nil {
 		sc.werr = err
@@ -185,6 +199,7 @@ func (sc *streamConn) writeFrameLocked(t trace.FrameType, payload []byte, flush 
 func (sc *streamConn) flush() {
 	sc.wmu.Lock()
 	if sc.werr == nil {
+		sc.armWriteDeadline()
 		if err := sc.bw.Flush(); err != nil {
 			sc.werr = err
 		}
@@ -290,6 +305,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		sr.status = http.StatusSwitchingProtocols
 	}
 	defer conn.Close()
+	// The connection's buffered read/write sides are a real per-client
+	// cost; charge them for the connection's lifetime.
+	s.manager.res.gov.Reserve(streamConnBytes)
+	defer s.manager.res.gov.Release(streamConnBytes)
 	fmt.Fprintf(brw, "HTTP/1.1 101 Switching Protocols\r\nUpgrade: %s\r\nConnection: Upgrade\r\n\r\n", streamProtocol)
 	if err := brw.Flush(); err != nil {
 		return
@@ -305,6 +324,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // data-plane frame loop.
 func (s *Server) serveStream(sc *streamConn, fr *trace.FrameReader) {
 	sess := sc.sess
+	hb := s.manager.res.heartbeat
+	if hb > 0 {
+		// The handshake gets one heartbeat interval: a connection that
+		// upgrades and then says nothing is not worth a ping.
+		_ = sc.conn.SetReadDeadline(time.Now().Add(hb))
+	}
 	typ, payload, err := fr.ReadFrame()
 	if err != nil || typ != trace.FrameHello {
 		if err == nil {
@@ -336,6 +361,7 @@ func (s *Server) serveStream(sc *streamConn, fr *trace.FrameReader) {
 		EventsTotal:   st.EventsTotal,
 		Symbols:       st.Symbols,
 		MaxFrameBytes: s.manager.opts.MaxChunkBytes,
+		Degraded:      st.Degraded,
 	})
 	if err != nil || !sc.writeFrame(trace.FrameHelloAck, ack) {
 		return
@@ -367,6 +393,13 @@ func (s *Server) serveStream(sc *streamConn, fr *trace.FrameReader) {
 	var pendingAck int64  // elements applied but not yet acked
 	var pendingChunks int // chunks covered by pendingAck
 
+	// Heartbeat: each loop turn re-arms the read deadline. The first
+	// silent interval sends a Ping; a second one in a row disconnects —
+	// so a stalled client is gone within 2x the heartbeat interval, and
+	// its session stays resumable. Any frame from the client (Pong
+	// included) proves liveness and resets the cycle.
+	pinged := false
+
 	for {
 		// About to block if the client has nothing in flight: write the
 		// deferred ack for everything applied so far, then push the write
@@ -382,14 +415,39 @@ func (s *Server) serveStream(sc *streamConn, fr *trace.FrameReader) {
 			}
 			sc.flush()
 		}
+		if hb > 0 {
+			_ = sc.conn.SetReadDeadline(time.Now().Add(hb))
+		}
 		typ, err := fr.Next()
 		if err != nil {
+			var ne net.Error
+			if hb > 0 && errors.As(err, &ne) && ne.Timeout() {
+				if !pinged {
+					pinged = true
+					if !sc.writeFrame(trace.FramePing, nil) {
+						return
+					}
+					continue
+				}
+				s.manager.res.probe.HeartbeatDrop()
+				s.logger.Warn("stream heartbeat timeout; disconnecting",
+					"session", sess.ID(), "heartbeat", hb.String())
+				sc.sendErr(true, fmt.Errorf("serve: no frames for %v; reconnect and resume", 2*hb))
+				return
+			}
 			// io.EOF: the client hung up between frames; anything else is
 			// frame-level damage or a torn read — fatal either way, the
 			// session itself survives for a reconnect.
 			return
 		}
+		pinged = false
 		switch typ {
+		case trace.FramePong:
+			// Liveness proven; drain the (empty) payload and move on.
+			if _, err := fr.Payload(); err != nil {
+				return
+			}
+			continue
 		case trace.FrameData, trace.FrameIDs:
 			// Next blocked for as long as the client was idle; the read
 			// stage starts at the payload read.
@@ -400,6 +458,18 @@ func (s *Server) serveStream(sc *streamConn, fr *trace.FrameReader) {
 				return
 			}
 			ct.Bytes = int64(len(payload))
+			// Hard-watermark shedding, same contract as the one-shot
+			// endpoint: the shed is a retryable FrameErr and the cursor
+			// does not advance, so the client backs off and resends.
+			if g := s.manager.res.gov; !g.TryReserve(ct.Bytes) {
+				s.manager.res.probe.ShedChunk()
+				s.logger.Warn("stream chunk shed: memory over hard watermark",
+					"session", sess.ID(), "chunk_bytes", ct.Bytes, "used_bytes", g.Used())
+				if !sc.sendErr(true, fmt.Errorf("serve: chunk shed, accounted memory at %d bytes; retry", g.Used())) {
+					return
+				}
+				continue
+			}
 			t0 := time.Now()
 			var elements int64
 			var derr, ferr error
@@ -420,6 +490,7 @@ func (s *Server) serveStream(sc *streamConn, fr *trace.FrameReader) {
 					ferr = sess.FeedIDsTraced(sc.gen, payload, idbuf, &ct)
 				}
 			}
+			s.manager.res.gov.Release(ct.Bytes)
 			if derr != nil {
 				// In-payload damage: reject the chunk whole, stay in sync.
 				s.manager.probe.ChunkError()

@@ -69,11 +69,16 @@ type StreamClient struct {
 	symsSent int    // symbols the server is known to hold
 	sent     uint64 // chunks submitted via Send (including skipped)
 
+	// wmu serializes writers on the connection: the sending goroutine
+	// (Send/Flush/Drain/End) and the reader goroutine answering server
+	// heartbeat pings both assemble frames through bw/wbuf.
+	wmu  sync.Mutex
 	wbuf []byte // frame assembly
 	pbuf []byte // payload assembly
 	idb  []int32
 
 	mu          sync.Mutex
+	degraded    bool
 	cond        *sync.Cond
 	acked       uint64 // server's applied cursor from the latest ack
 	inPhase     bool
@@ -163,6 +168,7 @@ func DialStream(addr, sessionID string, opts StreamOptions) (*StreamClient, erro
 	c.acked = ack.Applied
 	c.symsSent = ack.Symbols
 	c.eventsTotal = ack.EventsTotal
+	c.degraded = ack.Degraded
 	if opts.EventsSince > 0 {
 		c.lastEvent = opts.EventsSince - 1
 	}
@@ -181,6 +187,8 @@ const flushThreshold = 32 << 10
 // the buffer and flushes by the burst (flushThreshold), and
 // Flush/Drain/End push the tail out.
 func (c *StreamClient) writeFrame(t trace.FrameType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	c.wbuf = trace.AppendFrame(c.wbuf[:0], t, payload)
 	if _, err := c.bw.Write(c.wbuf); err != nil {
 		return err
@@ -197,6 +205,8 @@ func (c *StreamClient) writeFrameFlush(t trace.FrameType, payload []byte) error 
 	if err := c.writeFrame(t, payload); err != nil {
 		return err
 	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	return c.bw.Flush()
 }
 
@@ -207,6 +217,8 @@ func (c *StreamClient) Flush() error {
 	if err := c.failed(); err != nil {
 		return err
 	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	return c.bw.Flush()
 }
 
@@ -262,11 +274,14 @@ func (c *StreamClient) Send(elems []trace.Branch) error {
 // Drain blocks until the server has acknowledged every chunk submitted
 // so far, or the stream fails.
 func (c *StreamClient) Drain() error {
-	if err := c.bw.Flush(); err != nil {
+	c.wmu.Lock()
+	ferr := c.bw.Flush()
+	c.wmu.Unlock()
+	if ferr != nil {
 		if lerr := c.failed(); lerr != nil {
 			return lerr
 		}
-		return err
+		return ferr
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -311,6 +326,15 @@ func (c *StreamClient) Builder() *trace.InternedBuilder { return c.builder }
 // Applied returns the server's resume cursor from the handshake: the
 // number of leading chunks this connection skipped.
 func (c *StreamClient) Applied() uint64 { return c.applied }
+
+// Degraded reports whether the session was running without durability
+// when this connection's handshake completed: chunks acked during a
+// degraded spell are not crash-safe until the server's disk heals.
+func (c *StreamClient) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
 
 // LastEventSeq returns the sequence number of the last event delivered,
 // for resuming event delivery on reconnect (EventsSince = seq + 1).
@@ -373,6 +397,14 @@ func (c *StreamClient) readLoop() {
 			c.mu.Unlock()
 			if c.onEvent != nil {
 				c.onEvent(ev)
+			}
+		case trace.FramePing:
+			// Server heartbeat: the stream has been silent past the
+			// read deadline. Answering proves the client is alive even
+			// when it has nothing to send.
+			if err := c.writeFrameFlush(trace.FramePong, nil); err != nil {
+				c.fail(fmt.Errorf("serve: answering heartbeat: %w", err))
+				return
 			}
 		case trace.FrameErr:
 			retryable, msg := parseErrPayload(payload)

@@ -73,6 +73,22 @@ const (
 	MetricServeChunkLatency     = "opd_serve_chunk_latency_ns"
 	MetricServeSSELag           = "opd_serve_sse_lag_ns"
 
+	MetricServeEventsDropped = "opd_serve_events_dropped_total"
+
+	MetricResilienceMemBytes       = "opd_resilience_mem_bytes"
+	MetricResilienceMemLimit       = "opd_resilience_mem_limit_bytes"
+	MetricResilienceShedOpens      = "opd_resilience_shed_opens_total"
+	MetricResilienceShedChunks     = "opd_resilience_shed_chunks_total"
+	MetricResiliencePressureEvicts = "opd_resilience_pressure_evictions_total"
+	MetricResilienceHeartbeatDrops = "opd_resilience_heartbeat_disconnects_total"
+	MetricResilienceSlowSubDrops   = "opd_resilience_slow_subscribers_dropped_total"
+	MetricResilienceWatchdogTrips  = "opd_resilience_watchdog_trips_total"
+	MetricResilienceWALFailures    = "opd_resilience_wal_failures_total"
+	MetricResilienceBreakerTrips   = "opd_resilience_breaker_trips_total"
+	MetricResilienceProbes         = "opd_resilience_durability_probes_total"
+	MetricResilienceResumes        = "opd_resilience_durability_resumes_total"
+	MetricResilienceDegraded       = "opd_resilience_degraded_sessions"
+
 	MetricDurableWALRecords        = "opd_durable_wal_records_total"
 	MetricDurableWALBytes          = "opd_durable_wal_bytes_total"
 	MetricDurableFsyncs            = "opd_durable_fsyncs_total"
@@ -498,17 +514,18 @@ func (p *IngestProbe) Salvaged(elements int64) {
 // ingest path (chunks, chunk decode errors, bytes, elements, phase events
 // emitted to clients).
 type ServeProbe struct {
-	opened   *Counter
-	active   *Gauge
-	closed   *Counter
-	evicted  *Counter
-	failed   *Counter
-	rejected *Counter
-	chunks   *Counter
-	chunkErr *Counter
-	bytes    *Counter
-	elements *Counter
-	events   *Counter
+	opened        *Counter
+	active        *Gauge
+	closed        *Counter
+	evicted       *Counter
+	failed        *Counter
+	rejected      *Counter
+	chunks        *Counter
+	chunkErr      *Counter
+	bytes         *Counter
+	elements      *Counter
+	events        *Counter
+	eventsDropped *Counter
 
 	// Per-stage chunk latency histograms, indexed by Stage, plus the
 	// end-to-end chunk latency and the event-append-to-SSE-write lag.
@@ -527,23 +544,25 @@ func NewServeProbe(reg *Registry) *ServeProbe {
 	reg.Help(MetricServeSessionsFailed, "Sessions poisoned by a panic in their detector (isolated; server keeps serving).")
 	reg.Help(MetricServeSessionsRejected, "Session opens refused by the session or window-memory caps.")
 	reg.Help(MetricServeChunkErrors, "Element chunks rejected as truncated/corrupt (the request fails; the session survives).")
+	reg.Help(MetricServeEventsDropped, "Phase events trimmed from session event logs by the retention cap (pollers past the trim point must restart).")
 	reg.Help(MetricServeStageLatency, "Per-stage chunk ingest latency in nanoseconds (read, decode, wal_append, wal_fsync, detect, publish, snapshot).")
 	reg.Help(MetricServeChunkLatency, "End-to-end server-side chunk ingest latency in nanoseconds.")
 	reg.Help(MetricServeSSELag, "Delay from phase-event publish to its SSE write, in nanoseconds.")
 	p := &ServeProbe{
-		opened:   reg.Counter(MetricServeSessionsOpened),
-		active:   reg.Gauge(MetricServeSessionsActive),
-		closed:   reg.Counter(MetricServeSessionsClosed),
-		evicted:  reg.Counter(MetricServeSessionsEvicted),
-		failed:   reg.Counter(MetricServeSessionsFailed),
-		rejected: reg.Counter(MetricServeSessionsRejected),
-		chunks:   reg.Counter(MetricServeChunks),
-		chunkErr: reg.Counter(MetricServeChunkErrors),
-		bytes:    reg.Counter(MetricServeIngestBytes),
-		elements: reg.Counter(MetricServeIngestElements),
-		events:   reg.Counter(MetricServeEventsEmitted),
-		chunkLat: reg.Latency(MetricServeChunkLatency),
-		sseLag:   reg.Latency(MetricServeSSELag),
+		opened:        reg.Counter(MetricServeSessionsOpened),
+		active:        reg.Gauge(MetricServeSessionsActive),
+		closed:        reg.Counter(MetricServeSessionsClosed),
+		evicted:       reg.Counter(MetricServeSessionsEvicted),
+		failed:        reg.Counter(MetricServeSessionsFailed),
+		rejected:      reg.Counter(MetricServeSessionsRejected),
+		chunks:        reg.Counter(MetricServeChunks),
+		chunkErr:      reg.Counter(MetricServeChunkErrors),
+		bytes:         reg.Counter(MetricServeIngestBytes),
+		elements:      reg.Counter(MetricServeIngestElements),
+		events:        reg.Counter(MetricServeEventsEmitted),
+		eventsDropped: reg.Counter(MetricServeEventsDropped),
+		chunkLat:      reg.Latency(MetricServeChunkLatency),
+		sseLag:        reg.Latency(MetricServeSSELag),
 	}
 	for st := Stage(0); st < NumStages; st++ {
 		p.stageLat[st] = reg.Latency(MetricServeStageLatency, L("stage", st.String()))
@@ -647,6 +666,176 @@ func (p *ServeProbe) EventsEmitted(n int64) {
 		return
 	}
 	p.events.Add(n)
+}
+
+// EventsDropped records phase events trimmed from a session's event log
+// by the retention cap.
+func (p *ServeProbe) EventsDropped(n int64) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.eventsDropped.Add(n)
+}
+
+// A ResilienceProbe instruments the serving layer's overload defenses:
+// the byte accountant's occupancy, load-shedding decisions (session opens
+// refused, ingest chunks refused, pressure evictions), connection
+// lifecycle enforcement (heartbeat disconnects, slow subscribers
+// dropped, watchdog condemnations), and the degraded-durability circuit
+// breaker (WAL failures, trips, heal probes, resumes). Every shed,
+// degrade, and timeout decision the server makes lands in exactly one of
+// these counters.
+type ResilienceProbe struct {
+	memBytes       *Gauge
+	memLimit       *Gauge
+	shedOpens      *Counter
+	shedChunks     *Counter
+	pressureEvicts *Counter
+	heartbeatDrops *Counter
+	slowSubDrops   *Counter
+	watchdogTrips  *Counter
+	walFailures    *Counter
+	breakerTrips   *Counter
+	probes         *Counter
+	resumes        *Counter
+	degraded       *Gauge
+}
+
+// NewResilienceProbe builds the resilience probe. Returns nil for a nil
+// registry.
+func NewResilienceProbe(reg *Registry) *ResilienceProbe {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(MetricResilienceMemBytes, "Bytes currently accounted by the serve-layer byte governor (event logs, in-flight chunks, stream buffers).")
+	reg.Help(MetricResilienceShedOpens, "Session opens shed because the byte governor was over its soft watermark (HTTP 429 + Retry-After).")
+	reg.Help(MetricResilienceShedChunks, "Ingest chunks shed because the byte governor was over its hard limit (retryable 503).")
+	reg.Help(MetricResiliencePressureEvicts, "Sessions evicted by the janitor under memory pressure (idle-longest first, then largest).")
+	reg.Help(MetricResilienceHeartbeatDrops, "Framed-stream connections disconnected after missing the heartbeat deadline (stalled client).")
+	reg.Help(MetricResilienceSlowSubDrops, "Event subscribers (SSE) dropped for stalling past the write deadline; clients resume via Last-Event-ID.")
+	reg.Help(MetricResilienceWatchdogTrips, "Sessions condemned by the watchdog for holding their detect mutex past the deadline (flight-dumped and poisoned).")
+	reg.Help(MetricResilienceWALFailures, "WAL append/fsync failures observed by the degraded-durability breaker.")
+	reg.Help(MetricResilienceBreakerTrips, "Per-session durability circuit breakers tripped open (session continues detection ephemerally).")
+	reg.Help(MetricResilienceProbes, "Durability heal probes attempted by degraded sessions (capped backoff).")
+	reg.Help(MetricResilienceResumes, "Degraded sessions that re-snapshotted successfully and resumed durable operation.")
+	reg.Help(MetricResilienceDegraded, "Sessions currently running with a tripped durability breaker (detection continues, ephemerally).")
+	return &ResilienceProbe{
+		memBytes:       reg.Gauge(MetricResilienceMemBytes),
+		memLimit:       reg.Gauge(MetricResilienceMemLimit),
+		shedOpens:      reg.Counter(MetricResilienceShedOpens),
+		shedChunks:     reg.Counter(MetricResilienceShedChunks),
+		pressureEvicts: reg.Counter(MetricResiliencePressureEvicts),
+		heartbeatDrops: reg.Counter(MetricResilienceHeartbeatDrops),
+		slowSubDrops:   reg.Counter(MetricResilienceSlowSubDrops),
+		watchdogTrips:  reg.Counter(MetricResilienceWatchdogTrips),
+		walFailures:    reg.Counter(MetricResilienceWALFailures),
+		breakerTrips:   reg.Counter(MetricResilienceBreakerTrips),
+		probes:         reg.Counter(MetricResilienceProbes),
+		resumes:        reg.Counter(MetricResilienceResumes),
+		degraded:       reg.Gauge(MetricResilienceDegraded),
+	}
+}
+
+// Mem records the governor's current occupancy and configured limit.
+func (p *ResilienceProbe) Mem(used, limit int64) {
+	if p == nil {
+		return
+	}
+	p.memBytes.Set(float64(used))
+	p.memLimit.Set(float64(limit))
+}
+
+// ShedOpen records one session open refused by the soft watermark.
+func (p *ResilienceProbe) ShedOpen() {
+	if p == nil {
+		return
+	}
+	p.shedOpens.Inc()
+}
+
+// ShedChunk records one ingest chunk refused by the hard limit.
+func (p *ResilienceProbe) ShedChunk() {
+	if p == nil {
+		return
+	}
+	p.shedChunks.Inc()
+}
+
+// PressureEvict records one session evicted to relieve memory pressure.
+func (p *ResilienceProbe) PressureEvict() {
+	if p == nil {
+		return
+	}
+	p.pressureEvicts.Inc()
+}
+
+// HeartbeatDrop records one stalled stream connection disconnected.
+func (p *ResilienceProbe) HeartbeatDrop() {
+	if p == nil {
+		return
+	}
+	p.heartbeatDrops.Inc()
+}
+
+// SlowSubscriberDrop records one event subscriber dropped for stalling.
+func (p *ResilienceProbe) SlowSubscriberDrop() {
+	if p == nil {
+		return
+	}
+	p.slowSubDrops.Inc()
+}
+
+// WatchdogTrip records one session condemned for a stuck detect.
+func (p *ResilienceProbe) WatchdogTrip() {
+	if p == nil {
+		return
+	}
+	p.watchdogTrips.Inc()
+}
+
+// WALFailure records one WAL append/fsync failure seen by the breaker.
+func (p *ResilienceProbe) WALFailure() {
+	if p == nil {
+		return
+	}
+	p.walFailures.Inc()
+}
+
+// BreakerTrip records one durability breaker tripping open; the degraded
+// gauge moves with it.
+func (p *ResilienceProbe) BreakerTrip() {
+	if p == nil {
+		return
+	}
+	p.breakerTrips.Inc()
+	p.degraded.Add(1)
+}
+
+// DurabilityProbeAttempt records one heal probe by a degraded session.
+func (p *ResilienceProbe) DurabilityProbeAttempt() {
+	if p == nil {
+		return
+	}
+	p.probes.Inc()
+}
+
+// DurabilityResumed records one degraded session healing back to durable
+// operation.
+func (p *ResilienceProbe) DurabilityResumed() {
+	if p == nil {
+		return
+	}
+	p.resumes.Inc()
+	p.degraded.Add(-1)
+}
+
+// DegradedGone records a degraded session leaving the manager without
+// healing (close, eviction, shutdown), keeping the gauge honest.
+func (p *ResilienceProbe) DegradedGone() {
+	if p == nil {
+		return
+	}
+	p.degraded.Add(-1)
 }
 
 // A DurableProbe instruments the durability layer: write-ahead-log

@@ -50,6 +50,10 @@ const (
 	// FrameEnd asks the server to end the stream: payload flag byte 1
 	// finishes (closes) the session, 0 detaches leaving it live.
 	FrameEnd FrameType = 0x05
+	// FramePong answers a server FramePing (empty payload). Any client
+	// frame proves liveness; Pong exists so an idle-but-healthy client
+	// has something to send.
+	FramePong FrameType = 0x06
 
 	// FrameHelloAck answers FrameHello with the negotiated parameters
 	// and the resume cursor (JSON).
@@ -67,6 +71,10 @@ const (
 	// FrameDone answers FrameEnd with the session summary (JSON) before
 	// the server closes the connection.
 	FrameDone FrameType = 0x85
+	// FramePing asks the client to prove liveness (empty payload). Sent
+	// after a heartbeat interval passes with no client frames; a client
+	// that stays silent for a second interval is disconnected.
+	FramePing FrameType = 0x86
 )
 
 // String names the frame type for logs and errors.
@@ -82,6 +90,8 @@ func (t FrameType) String() string {
 		return "ids"
 	case FrameEnd:
 		return "end"
+	case FramePong:
+		return "pong"
 	case FrameHelloAck:
 		return "hello_ack"
 	case FrameAck:
@@ -92,6 +102,8 @@ func (t FrameType) String() string {
 		return "err"
 	case FrameDone:
 		return "done"
+	case FramePing:
+		return "ping"
 	}
 	return fmt.Sprintf("frame(0x%02x)", uint8(t))
 }
@@ -141,6 +153,12 @@ func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
 // unwrapped, so callers can distinguish hangup from damage. The payload
 // has not been consumed yet: callers must read it with Payload before
 // calling Next again.
+//
+// The header is read with Peek, so an error that is neither EOF nor
+// damage — a read-deadline timeout, in particular — consumes nothing:
+// the caller may handle it (send a heartbeat ping, extend the deadline)
+// and call Next again with the stream still frame-aligned, even if part
+// of the header had already arrived.
 func (fr *FrameReader) Next() (FrameType, error) {
 	if fr.pending {
 		// The previous frame's payload was never drained; do it now so
@@ -149,16 +167,24 @@ func (fr *FrameReader) Next() (FrameType, error) {
 			return 0, err
 		}
 	}
-	var hdr [frameHeaderSize]byte
-	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+	hdr, err := fr.br.Peek(frameHeaderSize)
+	if err != nil {
 		if err == io.EOF {
-			return 0, io.EOF
+			if len(hdr) == 0 {
+				return 0, io.EOF
+			}
+			return 0, fmt.Errorf("%w: reading frame header: %w", ErrTruncated, io.ErrUnexpectedEOF)
 		}
-		return 0, fmt.Errorf("%w: reading frame header: %w", ErrTruncated, err)
+		// Timeout or transport error with the header still unconsumed;
+		// returned raw so the caller can recognize a retryable timeout.
+		return 0, err
 	}
 	fr.typ = FrameType(hdr[0])
 	fr.length = binary.LittleEndian.Uint32(hdr[1:5])
 	fr.crc = binary.LittleEndian.Uint32(hdr[5:9])
+	if _, err := fr.br.Discard(frameHeaderSize); err != nil {
+		return 0, fmt.Errorf("%w: reading frame header: %w", ErrTruncated, err)
+	}
 	if int(fr.length) > fr.max {
 		return fr.typ, fmt.Errorf("%w: frame payload of %d bytes exceeds limit %d",
 			ErrCorrupt, fr.length, fr.max)
