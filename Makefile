@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fuzz-smoke soak-smoke bench bench-smoke bench-guard bench-json
+.PHONY: all build test check fuzz-smoke soak-smoke load-smoke bench bench-smoke bench-guard bench-json bench-load
 
 all: build
 
@@ -43,6 +43,15 @@ fuzz-smoke:
 soak-smoke:
 	OPD_SOAK=1 OPD_SOAK_DURATION=$${OPD_SOAK_DURATION:-15s} $(GO) test -race -run TestChaosSoak -v ./internal/serve
 
+# load-smoke is a ~15s seeded loadgen run against an in-process server
+# under the race detector: dozens of sessions across every protocol
+# (framed stream, stream-branch, POST+SSE, POST+poll) with churn and an
+# RPS ramp, asserting nonzero throughput, zero errors outside the
+# overload contract, client/server ledger agreement, and that every
+# goroutine winds down. OPD_LOAD_DURATION stretches it.
+load-smoke:
+	OPD_LOAD=1 OPD_LOAD_DURATION=$${OPD_LOAD_DURATION:-12s} $(GO) test -race -run TestLoadSmoke -v ./internal/loadgen
+
 bench:
 	$(GO) test -bench . -benchtime 1s -run '^$$' ./internal/core/... ./internal/sweep/... ./internal/telemetry/... ./internal/serve/...
 
@@ -65,3 +74,12 @@ bench-guard:
 bench-json:
 	$(GO) run ./cmd/phasebench -bench-json BENCH_sweep.json
 	$(GO) run ./cmd/phasebench -bench-serve-json BENCH_serve.json
+
+# bench-load regenerates BENCH_load.json: the canonical loadgen suite
+# (1200 framed-stream sessions, a mixed-protocol churn run, and a
+# kill -9 durability/recovery run) against freshly spawned phased
+# processes. Takes a couple of minutes.
+bench-load:
+	mkdir -p .bin
+	$(GO) build -o .bin/phased ./cmd/phased
+	$(GO) run ./cmd/loadgen -suite -phased-bin .bin/phased -json BENCH_load.json

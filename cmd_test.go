@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -39,7 +40,7 @@ func listenAddr(line string) (string, bool) {
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"tracegen", "baseline", "detect", "phasebench", "vmrun", "phased"} {
+	for _, name := range []string{"tracegen", "baseline", "detect", "phasebench", "vmrun", "phased", "loadgen"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "./cmd/"+name)
 		cmd.Env = os.Environ()
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -572,5 +573,115 @@ func TestPhasedCrashRecoveryE2E(t *testing.T) {
 	}
 	if !strings.Contains(p2.logs(), "persisting open sessions") {
 		t.Errorf("phased log missing durable-shutdown line:\n%s", p2.logs())
+	}
+}
+
+// TestLoadgenFlagValidation pins cmd/loadgen's boot contract, matching
+// phased's conventions: nonsense flags are a clear exit-2 with a
+// "loadgen:" diagnostic, never a harness that silently does nothing.
+func TestLoadgenFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the executables")
+	}
+	bins := buildCmds(t)
+	bin := filepath.Join(bins, "loadgen")
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no target", []string{}, "need a target"},
+		{"both targets", []string{"-addr", "x:1", "-phased-bin", "y"}, "mutually exclusive"},
+		{"positional junk", []string{"-addr", "x:1", "junk"}, "unexpected argument"},
+		{"bad sessions", []string{"-addr", "x:1", "-sessions", "0"}, "sessions"},
+		{"bad ramp", []string{"-addr", "x:1", "-start-rps", "5", "-target-rps", "2"}, "below start"},
+		{"bad chunks", []string{"-addr", "x:1", "-chunk-min", "10", "-chunk-max", "5"}, "chunk size range"},
+		{"bad mix", []string{"-addr", "x:1", "-mix", "nosuch=1"}, "unknown benchmark"},
+		{"bad protocol", []string{"-addr", "x:1", "-protocols", "carrier-pigeon"}, "unknown protocol"},
+		{"kill without bin", []string{"-addr", "x:1", "-kill-after", "5s"}, "-kill-after needs -phased-bin"},
+		{"kill past end", []string{"-phased-bin", "y", "-kill-after", "40s", "-duration", "30s"}, "must fall inside"},
+		{"suite without bin", []string{"-addr", "x:1", "-suite"}, "-suite needs -phased-bin"},
+		{"run without suite", []string{"-addr", "x:1", "-run", "x"}, "pass -suite too"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+				t.Fatalf("loadgen %v: err %v, want exit 2\n%s", tc.args, err, out)
+			}
+			if !strings.Contains(string(out), "loadgen: "+tc.want) &&
+				!strings.Contains(string(out), tc.want) {
+				t.Fatalf("loadgen %v diagnostic missing %q:\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestLoadgenE2E drives the smallest real harness run: loadgen against
+// a phased process over every protocol, with a JSON report that has to
+// add up.
+func TestLoadgenE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the executables")
+	}
+	bins := buildCmds(t)
+	p := startPhased(t, filepath.Join(bins, "phased"))
+
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_load.json")
+	out, err := exec.Command(filepath.Join(bins, "loadgen"),
+		"-addr", strings.TrimPrefix(p.base, "http://"),
+		"-sessions", "6", "-start-rps", "6", "-duration", "2s",
+		"-chunk-min", "64", "-chunk-max", "256", "-scale", "1",
+		"-mix", "jlex,jess", "-protocols", "stream=2,post=1,poll=1",
+		"-json", jsonPath,
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out)
+	}
+	for _, want := range []string{"sessions:", "ingest:", "latency:", "errors:    none"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("loadgen report missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench struct {
+		GoVersion string `json:"go_version"`
+		Runs      []struct {
+			Name   string `json:"name"`
+			Ingest struct {
+				Chunks   int64 `json:"chunks"`
+				Elements int64 `json:"elements"`
+			} `json:"ingest"`
+			Sessions struct {
+				Opened    int64 `json:"opened"`
+				Completed int64 `json:"completed"`
+			} `json:"sessions"`
+			Errors struct {
+				Unexpected int64 `json:"unexpected"`
+			} `json:"errors"`
+			Server map[string]float64 `json:"server"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("BENCH_load.json: %v\n%s", err, data)
+	}
+	if bench.GoVersion == "" || len(bench.Runs) != 1 {
+		t.Fatalf("BENCH_load.json shape: %s", data)
+	}
+	run := bench.Runs[0]
+	if run.Ingest.Chunks == 0 || run.Sessions.Opened < 6 || run.Sessions.Completed == 0 {
+		t.Fatalf("no throughput in BENCH_load.json: %s", data)
+	}
+	if run.Errors.Unexpected != 0 {
+		t.Fatalf("unexpected errors: %s", data)
+	}
+	if got := run.Server["opd_serve_ingest_elements_total"]; got != float64(run.Ingest.Elements) {
+		t.Fatalf("server counted %.0f elements, harness counted %d", got, run.Ingest.Elements)
 	}
 }

@@ -11,12 +11,15 @@
 // flag switches to the legacy one-shot path: a POST per chunk with the
 // SSE event stream watched on the side.
 //
-// The client is a well-behaved tenant of an overloaded server: a 429 on
-// session open is retried after the server's Retry-After hint, a
-// degraded session (server disk trouble, detection continuing without
-// durability) is logged loudly, and -max-retries caps reconnect attempts
-// — exhausting them exits with code 3 so scripts can tell "server kept
-// shedding us" from an ordinary failure (code 1).
+// The reconnect, shed-retry, and resume mechanics all come from the
+// shared client reliability layer in internal/serve (OpenSession,
+// DialReliable, WatchEvents) — the same layer the loadgen harness
+// drives at scale. A 429 on session open is retried after the server's
+// Retry-After hint, a degraded session (server disk trouble, detection
+// continuing without durability) is logged loudly, and -max-retries
+// caps reconnect attempts — exhausting them exits with code 3 so
+// scripts can tell "server kept shedding us" from an ordinary failure
+// (code 1).
 //
 //	go run ./examples/streamdetect
 //	go run ./examples/streamdetect -bench mpegaudio -scale 4 -chunk 2048
@@ -26,7 +29,6 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -34,12 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
-	"math/rand/v2"
 	"net/http"
 	"os"
-	"strconv"
-	"strings"
-	"sync/atomic"
 	"time"
 
 	"opd/internal/serve"
@@ -48,18 +46,9 @@ import (
 	"opd/internal/trace"
 )
 
-const (
-	backoffMin = 200 * time.Millisecond
-	backoffMax = 5 * time.Second
-
-	// exitRetries distinguishes "the server kept shedding or dropping us
-	// until -max-retries ran out" from an ordinary failure (exit 1).
-	exitRetries = 3
-)
-
-// errRetriesExhausted reports that -max-retries reconnect (or shed-open
-// retry) attempts were spent without success.
-var errRetriesExhausted = errors.New("streamdetect: retry budget exhausted")
+// exitRetries distinguishes "the server kept shedding or dropping us
+// until -max-retries ran out" from an ordinary failure (exit 1).
+const exitRetries = 3
 
 func main() {
 	var (
@@ -101,24 +90,24 @@ func main() {
 	}
 	base := "http://" + host
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	pol := serve.RetryPolicy{MaxRetries: *retries, Logger: logger}
+
 	// Open a session with the window/model/analyzer triple. An
-	// overloaded server sheds opens with 429 + Retry-After; honor the
-	// hint instead of hammering it.
+	// overloaded server sheds opens with 429 + Retry-After; OpenSession
+	// honors the hint instead of hammering it.
 	req := serve.ConfigRequest{CW: *cw, Policy: *policy, Model: *model, Analyzer: *analyzer, Param: *param}
-	var opened struct {
-		ID     string `json:"id"`
-		Config string `json:"config"`
-	}
-	if err := openSession(base+"/v1/sessions", req, &opened, *retries); err != nil {
+	opened, err := serve.OpenSession(nil, base, req, serve.OpenOptions{RetryPolicy: pol})
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("session:  %s (%s)\n\n", opened.ID[:8], opened.Config)
 
 	var sum *serve.Summary
 	if *poll {
-		sum, err = pollSession(base, opened.ID, branches, *chunk)
+		sum, err = pollSession(base, opened.ID, branches, *chunk, pol)
 	} else {
-		sum, err = streamSession(host, opened.ID, branches, *chunk, *mode == "ids", *retries)
+		sum, err = streamSession(host, opened.ID, branches, *chunk, *mode == "ids", pol)
 	}
 	if err != nil {
 		fatal(err)
@@ -131,94 +120,45 @@ func main() {
 	}
 }
 
-// streamSession drives the persistent framed protocol: one connection
-// carries the whole trace out and acks/events back, ending with the
-// terminal summary. A dropped connection reconnects with capped
-// exponential backoff plus jitter; the handshake's applied cursor makes
-// the resend exact (the client skips every chunk the server already
-// applied — chunking is deterministic, so resending the whole list is
-// safe), the reused symbol-table builder keeps dense-ID mode aligned,
-// and event delivery resumes after the last sequence number seen, so
-// nothing is missed or duplicated.
-func streamSession(host, id string, branches trace.Trace, chunk int, ids bool, maxRetries int) (*serve.Summary, error) {
-	var parts []trace.Trace
+// streamSession drives the persistent framed protocol through the
+// shared ReliableStream: one connection carries the whole trace out and
+// acks/events back, ending with the terminal summary. A dropped
+// connection redials with jittered backoff and resumes from the
+// server's applied cursor; the symbol table and event cursor carry
+// across automatically.
+func streamSession(host, id string, branches trace.Trace, chunk int, ids bool, pol serve.RetryPolicy) (*serve.Summary, error) {
+	logger := pol.Logger
+	rs, err := serve.DialReliable(host, id, serve.ReliableOptions{
+		RetryPolicy: pol,
+		IDs:         ids,
+		OnEvent:     printEvent,
+		// A degraded session keeps detecting, but acked chunks are not
+		// crash-safe until the server's disk heals — say so once per
+		// transition, loudly.
+		OnDegraded: func(d bool) {
+			if d {
+				logger.Warn("session degraded: server persisting nothing until its disk heals",
+					"degraded", true, "session", id)
+			} else {
+				logger.Info("session durability restored", "degraded", false, "session", id)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+
 	for i := 0; i < len(branches); i += chunk {
 		end := min(i+chunk, len(branches))
-		parts = append(parts, branches[i:end])
-	}
-
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	var nextEvent atomic.Uint64 // resume point: last seen event seq + 1
-	onEvent := func(e serve.Event) {
-		nextEvent.Store(e.Seq + 1)
-		printEvent(e)
-	}
-
-	var builder *trace.InternedBuilder
-	wasDegraded := false
-	backoff := backoffMin
-	for attempt := 1; ; attempt++ {
-		sc, err := serve.DialStream(host, id, serve.StreamOptions{
-			IDs:         ids,
-			OnEvent:     onEvent,
-			EventsSince: nextEvent.Load(),
-			Builder:     builder,
-		})
-		if err == nil {
-			if sc.Applied() > 0 {
-				logger.Info("resuming", "applied_chunks", sc.Applied(), "total_chunks", len(parts))
-			}
-			// A degraded session keeps detecting, but acked chunks are not
-			// crash-safe until the server's disk heals — say so once per
-			// transition, loudly.
-			if d := sc.Degraded(); d != wasDegraded {
-				wasDegraded = d
-				if d {
-					logger.Warn("session degraded: server persisting nothing until its disk heals",
-						"degraded", true, "session", id)
-				} else {
-					logger.Info("session durability restored", "degraded", false, "session", id)
-				}
-			}
-			sum, serr := func() (*serve.Summary, error) {
-				for _, p := range parts {
-					if err := sc.Send(p); err != nil {
-						return nil, err
-					}
-				}
-				if err := sc.Drain(); err != nil {
-					return nil, err
-				}
-				return sc.End(true)
-			}()
-			if serr == nil {
-				sc.Close()
-				return sum, nil
-			}
-			err = serr
-			// Remember the symbol table built so far: the next connection
-			// re-interns only what the handshake says the server is missing.
-			builder = sc.Builder()
-			sc.Close()
-		}
-		var se *serve.StreamError
-		if errors.As(err, &se) && !se.Retryable {
-			return nil, err // mode conflict, closed session — retrying cannot help
-		}
-		if maxRetries > 0 && attempt >= maxRetries {
-			return nil, fmt.Errorf("%w: %d stream attempts, last error: %v", errRetriesExhausted, attempt, err)
-		}
-		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
-		logger.Warn("stream dropped, reconnecting",
-			"attempt", attempt,
-			"backoff", sleep.Round(time.Millisecond),
-			"err", err,
-		)
-		time.Sleep(sleep)
-		if backoff *= 2; backoff > backoffMax {
-			backoff = backoffMax
+		if err := rs.Send(branches[i:end]); err != nil {
+			return nil, err
 		}
 	}
+	if err := rs.Drain(); err != nil {
+		return nil, err
+	}
+	return rs.End(true)
 }
 
 // printEvent renders one phase-lifecycle event like the SSE watcher did.
@@ -232,11 +172,21 @@ func printEvent(e serve.Event) {
 }
 
 // pollSession is the legacy one-shot path: a POST per chunk of binary
-// trace bytes, with the SSE event stream watched in the background, and
-// a DELETE to finish.
-func pollSession(base, id string, branches trace.Trace, chunk int) (*serve.Summary, error) {
+// trace bytes, with the SSE event stream watched in the background via
+// the shared WatchEvents (Last-Event-ID resume), and a DELETE to
+// finish.
+func pollSession(base, id string, branches trace.Trace, chunk int, pol serve.RetryPolicy) (*serve.Summary, error) {
 	sseDone := make(chan struct{})
-	go watchEvents(base+"/v1/sessions/"+id+"/events?stream=1", sseDone)
+	go func() {
+		defer close(sseDone)
+		err := serve.WatchEvents(nil, base, id, serve.WatchOptions{
+			RetryPolicy: pol,
+			OnEvent:     printEvent,
+		})
+		if err != nil && !errors.Is(err, serve.ErrSessionGone) {
+			pol.Logger.Warn("event watcher stopped", "err", err)
+		}
+	}()
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	for i := 0; i < len(branches); i += chunk {
@@ -271,129 +221,6 @@ func pollSession(base, id string, branches trace.Trace, chunk int) (*serve.Summa
 	return &sum, nil
 }
 
-// watchEvents prints each SSE phase event as it arrives, until the
-// server sends the terminal "end" event. A dropped connection (network
-// blip, server restart) reconnects with capped exponential backoff plus
-// jitter, resuming exactly where the stream left off via the SSE
-// Last-Event-ID convention — the server replays retained events after
-// that sequence number, so nothing is missed or duplicated. A 404 means
-// the session itself is gone, so the watcher gives up.
-func watchEvents(url string, done chan<- struct{}) {
-	defer close(done)
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	backoff := backoffMin
-	lastID := ""
-	attempt := 0
-	for {
-		gotEvents, ended, gone := watchOnce(url, lastID, &lastID)
-		if ended || gone {
-			return
-		}
-		if gotEvents {
-			backoff, attempt = backoffMin, 0 // the connection was healthy; start over
-		}
-		attempt++
-		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
-		logger.Warn("sse stream dropped, reconnecting",
-			"attempt", attempt,
-			"backoff", sleep.Round(time.Millisecond),
-			"last_event_id", lastID,
-		)
-		time.Sleep(sleep)
-		if backoff *= 2; backoff > backoffMax {
-			backoff = backoffMax
-		}
-	}
-}
-
-// watchOnce runs one SSE connection, updating *lastID as id: lines
-// arrive. It reports whether any event was received, whether the server
-// sent the terminal "end" event, and whether the session is gone (404).
-func watchOnce(url, lastID string, lastOut *string) (gotEvents, ended, gone bool) {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return false, false, true
-	}
-	if lastID != "" {
-		req.Header.Set("Last-Event-ID", lastID)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return false, false, false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return false, false, true
-	}
-	if resp.StatusCode != http.StatusOK {
-		// 503 while a restarted server replays its data dir: retry.
-		return false, false, false
-	}
-	sc := bufio.NewScanner(resp.Body)
-	kind := ""
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "id: "):
-			*lastOut = strings.TrimPrefix(line, "id: ")
-		case strings.HasPrefix(line, "event: "):
-			kind = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			if kind == "end" {
-				return gotEvents, true, false
-			}
-			var e serve.Event
-			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
-				continue
-			}
-			gotEvents = true
-			printEvent(e)
-		}
-	}
-	return gotEvents, false, false
-}
-
-// openSession posts the session config, honoring overload shedding: a
-// 429 is retried after the server's Retry-After hint (falling back to
-// capped exponential backoff when the header is absent or unparsable),
-// up to maxRetries attempts (0 = unlimited).
-func openSession(url string, v, out any, maxRetries int) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	backoff := backoffMin
-	for attempt := 1; ; attempt++ {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			resp.Body.Close()
-			sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
-			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
-				sleep = time.Duration(secs) * time.Second
-			}
-			if maxRetries > 0 && attempt >= maxRetries {
-				return fmt.Errorf("%w: server shed %d session opens", errRetriesExhausted, attempt)
-			}
-			logger.Warn("session open shed, retrying",
-				"attempt", attempt, "retry_after", sleep.Round(time.Millisecond))
-			time.Sleep(sleep)
-			if backoff *= 2; backoff > backoffMax {
-				backoff = backoffMax
-			}
-			continue
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode/100 != 2 {
-			return fmt.Errorf("%s: %s", url, resp.Status)
-		}
-		return json.NewDecoder(resp.Body).Decode(out)
-	}
-}
-
 // do issues a bodyless request and decodes the JSON response into out.
 func do(client *http.Client, method, url string, out any) error {
 	req, err := http.NewRequest(method, url, nil)
@@ -413,7 +240,7 @@ func do(client *http.Client, method, url string, out any) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "streamdetect:", err)
-	if errors.Is(err, errRetriesExhausted) {
+	if errors.Is(err, serve.ErrRetriesExhausted) {
 		os.Exit(exitRetries)
 	}
 	os.Exit(1)

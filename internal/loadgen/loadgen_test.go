@@ -1,0 +1,293 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"opd/internal/serve"
+	"opd/internal/telemetry"
+)
+
+// TestPlanDeterminism pins the tentpole contract: identical seeds
+// synthesize identical workloads (chunk for chunk), different seeds
+// diverge.
+func TestPlanDeterminism(t *testing.T) {
+	spec := Spec{Sessions: 40, Lifetime: 3 * time.Second, Seed: 42,
+		Protocols: []Weighted{{"stream", 3}, {"post", 1}, {"poll", 1}}}
+	a, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same seed, different plans: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	if sa, sb := a.Session(7, 2), b.Session(7, 2); sa != sb {
+		t.Fatalf("same seed, different session plans: %+v vs %+v", sa, sb)
+	}
+
+	spec.Seed = 43
+	c, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatalf("different seeds, same fingerprint %x", a.Fingerprint())
+	}
+}
+
+// TestPlanShape checks the materialized plan honors the spec: chunk
+// sizes stay in range, lifetimes spread around the mean, the ramp steps
+// from start to target, and mixes only produce their own entries.
+func TestPlanShape(t *testing.T) {
+	spec := Spec{
+		Sessions: 50, StartRPS: 1, StepRPS: 2, TargetRPS: 5,
+		Slot: time.Second, ChunkMin: 100, ChunkMax: 200,
+		Lifetime: 10 * time.Second, Seed: 7,
+		Mix:       []Weighted{{"jess", 1}, {"db", 1}},
+		Protocols: []Weighted{{"stream", 1}, {"poll", 1}},
+	}
+	p, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := map[string]bool{}
+	protos := map[Protocol]bool{}
+	for slot := 0; slot < spec.Sessions; slot++ {
+		sp := p.Session(slot, 0)
+		benches[sp.Bench] = true
+		protos[sp.Protocol] = true
+		if sp.Lifetime < 5*time.Second || sp.Lifetime > 15*time.Second {
+			t.Fatalf("slot %d lifetime %v outside [lt/2, 3lt/2]", slot, sp.Lifetime)
+		}
+		if sp.WorkSeed < 1 || sp.WorkSeed > workSeedVariants {
+			t.Fatalf("slot %d work seed %d outside [1, %d]", slot, sp.WorkSeed, workSeedVariants)
+		}
+		for i := uint64(0); i < 32; i++ {
+			if n := sp.ChunkElems(spec.ChunkMin, spec.ChunkMax, i); n < 100 || n > 200 {
+				t.Fatalf("slot %d chunk %d size %d outside [100, 200]", slot, i, n)
+			}
+		}
+	}
+	for _, b := range []string{"jess", "db"} {
+		if !benches[b] {
+			t.Errorf("mix never produced %s over %d sessions", b, spec.Sessions)
+		}
+	}
+	if len(benches) != 2 {
+		t.Errorf("mix produced benches outside the spec: %v", benches)
+	}
+	if !protos[ProtoStream] || !protos[ProtoPoll] || len(protos) != 2 {
+		t.Errorf("protocol mix produced %v, want stream+poll only", protos)
+	}
+
+	for elapsed, want := range map[time.Duration]float64{
+		0: 1, 500 * time.Millisecond: 1, time.Second: 3, 2 * time.Second: 5, time.Minute: 5,
+	} {
+		if got := p.RateAt(elapsed); got != want {
+			t.Errorf("RateAt(%v) = %g, want %g", elapsed, got, want)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	all, err := ParseMix("all")
+	if err != nil || len(all) != 8 {
+		t.Fatalf("ParseMix(all) = %v, %v; want the 8 benchmarks", all, err)
+	}
+	m, err := ParseMix("jess=3, db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[0] != (Weighted{"jess", 3}) || m[1] != (Weighted{"db", 1}) {
+		t.Fatalf("ParseMix = %v", m)
+	}
+	for _, bad := range []string{"", "nosuch=1", "jess=0", "jess=-2", "jess=x", "jess=1,jess=2"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseProtocolMix(t *testing.T) {
+	m, err := ParseProtocolMix("stream=8,post=1,poll=1")
+	if err != nil || len(m) != 3 {
+		t.Fatalf("ParseProtocolMix = %v, %v", m, err)
+	}
+	for _, bad := range []string{"", "http=1", "stream=0", "stream=1,stream=1"} {
+		if _, err := ParseProtocolMix(bad); err == nil {
+			t.Errorf("ParseProtocolMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	base := Spec{}.withDefaults()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("defaulted spec invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"sessions", func(s *Spec) { s.Sessions = 0 }, "sessions"},
+		{"startRPS", func(s *Spec) { s.StartRPS = -1 }, "start RPS"},
+		{"target below start", func(s *Spec) { s.TargetRPS = 1; s.StartRPS = 2 }, "below start"},
+		{"ramp without step", func(s *Spec) { s.StartRPS = 1; s.TargetRPS = 5; s.StepRPS = 0 }, "needs a positive step"},
+		{"negative step", func(s *Spec) { s.StepRPS = -1 }, "step RPS"},
+		{"slot", func(s *Spec) { s.Slot = -time.Second }, "slot"},
+		{"duration", func(s *Spec) { s.Duration = -time.Second }, "duration"},
+		{"chunks", func(s *Spec) { s.ChunkMin = 10; s.ChunkMax = 5 }, "chunk size range"},
+		{"lifetime", func(s *Spec) { s.Lifetime = -time.Second }, "lifetime"},
+		{"scale", func(s *Spec) { s.Scale = -1 }, "scale"},
+		{"retries", func(s *Spec) { s.MaxRetries = -1 }, "max retries"},
+		{"bench", func(s *Spec) { s.Mix = []Weighted{{"nosuch", 1}} }, "unknown benchmark"},
+		{"bench weight", func(s *Spec) { s.Mix = []Weighted{{"jess", 0}} }, "weight"},
+		{"protocol", func(s *Spec) { s.Protocols = []Weighted{{"nosuch", 1}} }, "unknown protocol"},
+		{"protocol weight", func(s *Spec) { s.Protocols = []Weighted{{"stream", -1}} }, "weight"},
+	}
+	for _, tc := range cases {
+		s := base
+		tc.mut(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// startServer runs an in-process phased for harness tests.
+func startServer(t *testing.T, opts serve.Options) (addr string, reg *telemetry.Registry) {
+	t.Helper()
+	reg = telemetry.NewRegistry()
+	opts.Registry = reg
+	opts.IdleTimeout = -1
+	srv := serve.NewServer(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://"), reg
+}
+
+// TestRunnerEndToEnd drives a small mixed-protocol plan against an
+// in-process server and checks the report adds up.
+func TestRunnerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live server for a few seconds")
+	}
+	addr, reg := startServer(t, serve.Options{})
+	spec := Spec{
+		Sessions: 8, StartRPS: 8, TargetRPS: 8,
+		Duration: 2 * time.Second, ChunkMin: 64, ChunkMax: 256,
+		Scale: 1, Seed: 11,
+		Mix:       []Weighted{{"jlex", 1}, {"jess", 1}},
+		Protocols: []Weighted{{"stream", 1}, {"stream-branch", 1}, {"post", 1}, {"poll", 1}},
+	}
+	r, err := NewRunner(spec, addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run(context.Background())
+
+	if rep.Errors.Unexpected != 0 {
+		t.Fatalf("unexpected errors: %v", rep.Errors.Samples)
+	}
+	if rep.Sessions.Opened < int64(spec.Sessions) {
+		t.Fatalf("opened %d sessions, want >= %d", rep.Sessions.Opened, spec.Sessions)
+	}
+	if rep.Sessions.Completed == 0 || rep.Ingest.Chunks == 0 || rep.Ingest.Elements == 0 {
+		t.Fatalf("no progress: %+v %+v", rep.Sessions, rep.Ingest)
+	}
+	if len(rep.Latency) == 0 {
+		t.Fatal("no latency histograms populated")
+	}
+	if _, ok := rep.Latency["stream_ingest"]; !ok {
+		t.Fatalf("stream sessions ran but no stream_ingest latency: %v", rep.Latency)
+	}
+	if rep.ServerErr != "" {
+		t.Fatalf("server snapshot failed: %s", rep.ServerErr)
+	}
+	// The server's own books must agree with the client's.
+	if got := rep.Server[telemetry.MetricServeIngestElements]; got != float64(rep.Ingest.Elements) {
+		t.Fatalf("server counted %.0f elements, clients counted %d", got, rep.Ingest.Elements)
+	}
+	if got := float64(reg.Counter(telemetry.MetricServeSessionsOpened).Value()); got < float64(rep.Sessions.Opened) {
+		t.Fatalf("server opened %.0f sessions, clients opened %d", got, rep.Sessions.Opened)
+	}
+}
+
+// TestAdmissionShed is the overload-contract test: a ramp that crosses
+// the session cap observes 429 + Retry-After, honors it, and the shed
+// rate the clients record matches the server's resilience counter
+// exactly.
+func TestAdmissionShed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live server for a few seconds")
+	}
+	addr, reg := startServer(t, serve.Options{MaxSessions: 4})
+
+	// First, the raw contract: with the cap filled, one more open gets a
+	// 429 carrying a Retry-After hint.
+	base := "http://" + addr
+	for i := 0; i < 4; i++ {
+		if _, err := serve.OpenSession(nil, base, serve.ConfigRequest{CW: 100}, serve.OpenOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(`{"cw":100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("open past the cap: got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
+	capSheds := reg.Counter(telemetry.MetricResilienceShedOpens).Value()
+	if capSheds < 1 {
+		t.Fatalf("cap shed not counted in %s", telemetry.MetricResilienceShedOpens)
+	}
+
+	// Then the harness: 12 slots contending for the 4 remaining... zero
+	// remaining slots; every open sheds until the run deadline frees
+	// nothing (the 4 filler sessions above never close). The clients must
+	// honor every hint and count every shed the server counts.
+	spec := Spec{
+		Sessions: 12, StartRPS: 4, TargetRPS: 4,
+		Duration: 2 * time.Second, ChunkMin: 32, ChunkMax: 64,
+		Scale: 1, Seed: 5,
+		Mix:        []Weighted{{"jlex", 1}},
+		Protocols:  []Weighted{{"stream", 1}},
+		MaxRetries: 2, // bounded so the run ends with the deadline, not the grace window
+	}
+	r, err := NewRunner(spec, addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run(context.Background())
+
+	if rep.Errors.Unexpected != 0 {
+		t.Fatalf("unexpected errors: %v", rep.Errors.Samples)
+	}
+	if rep.Sheds.Opens == 0 {
+		t.Fatal("ramp crossed the session cap but no open sheds were observed")
+	}
+	if rep.Sessions.Opened != 0 {
+		t.Fatalf("cap was full, yet %d sessions opened", rep.Sessions.Opened)
+	}
+	serverSheds := reg.Counter(telemetry.MetricResilienceShedOpens).Value() - capSheds
+	if int64(rep.Sheds.Opens) != serverSheds {
+		t.Fatalf("clients observed %d open sheds, server counted %d", rep.Sheds.Opens, serverSheds)
+	}
+}

@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+)
+
+// mix64 is the SplitMix64 finalizer: a cheap, stateless, high-quality
+// 64-bit hash. Every random-looking draw in a plan is a pure function
+// of the spec seed through this hash, which is what makes identical
+// seeds produce identical synthesized workloads with no generator state
+// to thread or misorder.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw derives one deterministic 64-bit value from the plan seed and a
+// tuple of stream coordinates.
+func draw(seed uint64, coords ...uint64) uint64 {
+	x := seed
+	for _, c := range coords {
+		x = mix64(x ^ c)
+	}
+	return x
+}
+
+// Domain tags keep draws for different purposes statistically
+// independent even when their coordinates coincide.
+const (
+	domBench uint64 = 1 + iota
+	domWorkSeed
+	domProtocol
+	domLifetime
+	domChunk
+	domStagger
+)
+
+// workSeedVariants is how many distinct data seeds each benchmark is
+// run with. Small on purpose: planned sessions share the cached backing
+// traces ((benchmarks × variants) per scale), so a thousand sessions do
+// not cost a thousand VM executions.
+const workSeedVariants = 4
+
+// A SessionPlan is one planned session incarnation: which synthetic
+// workload backs it, how it talks to the server, and how long it lives.
+// It is a pure function of (spec seed, slot, incarnation).
+type SessionPlan struct {
+	Slot        int
+	Incarnation int
+	// Bench and WorkSeed name the backing synthetic trace
+	// (synth.RunSeeded(Bench, scale, WorkSeed)).
+	Bench    string
+	WorkSeed int32
+	Protocol Protocol
+	// Lifetime is this incarnation's deadline (0 = the whole run).
+	Lifetime time.Duration
+
+	seed uint64 // chunk-size stream key
+}
+
+// ChunkElems returns the element count of the i-th chunk this session
+// sends: a deterministic uniform draw from [ChunkMin, ChunkMax].
+func (sp SessionPlan) ChunkElems(minElems, maxElems int, i uint64) int {
+	span := uint64(maxElems - minElems + 1)
+	return minElems + int(draw(sp.seed, domChunk, i)%span)
+}
+
+// A Plan is a fully deterministic materialization of a Spec: every
+// session incarnation, chunk size, and pacing instant is a pure
+// function of the seed.
+type Plan struct {
+	spec Spec
+}
+
+// NewPlan resolves defaults and validates the spec.
+func NewPlan(spec Spec) (*Plan, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Plan{spec: spec}, nil
+}
+
+// Spec returns the resolved (defaulted) spec.
+func (p *Plan) Spec() Spec { return p.spec }
+
+// pick resolves a weighted mix with a deterministic draw.
+func pick(mix []Weighted, v uint64) string {
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	n := int(v % uint64(total))
+	for _, m := range mix {
+		if n -= m.Weight; n < 0 {
+			return m.Name
+		}
+	}
+	return mix[len(mix)-1].Name
+}
+
+// Session materializes the inc-th incarnation of a session slot.
+func (p *Plan) Session(slot, inc int) SessionPlan {
+	s, i := uint64(slot), uint64(inc)
+	key := draw(p.spec.Seed, s, i)
+	sp := SessionPlan{
+		Slot:        slot,
+		Incarnation: inc,
+		Bench:       pick(p.spec.Mix, draw(p.spec.Seed, domBench, s, i)),
+		WorkSeed:    int32(1 + draw(p.spec.Seed, domWorkSeed, s, i)%workSeedVariants),
+		seed:        key,
+	}
+	proto, _ := ParseProtocol(pick(p.spec.Protocols, draw(p.spec.Seed, domProtocol, s, i)))
+	sp.Protocol = proto
+	if lt := p.spec.Lifetime; lt > 0 {
+		// Uniform in [lt/2, 3lt/2]: mean lt, spread enough that churn
+		// does not synchronize into close/open waves.
+		span := uint64(lt)
+		sp.Lifetime = lt/2 + time.Duration(draw(p.spec.Seed, domLifetime, s, i)%(span+1))
+	}
+	return sp
+}
+
+// Stagger returns slot's deterministic start offset: session opens are
+// spread over the first ramp slot (capped at 5s, and at a quarter of
+// the run so short runs still start every slot) so a thousand slots do
+// not stampede the admission path in the same millisecond.
+func (p *Plan) Stagger(slot int) time.Duration {
+	window := min(p.spec.Slot, 5*time.Second, p.spec.Duration/4)
+	if window <= 0 {
+		return 0
+	}
+	base := window * time.Duration(slot) / time.Duration(p.spec.Sessions)
+	jitter := time.Duration(draw(p.spec.Seed, domStagger, uint64(slot)) % uint64(window/time.Duration(p.spec.Sessions)+1))
+	return base + jitter
+}
+
+// RateAt returns the planned per-session chunk rate after elapsed run
+// time: the invitro-style start/step/target slot ramp.
+func (p *Plan) RateAt(elapsed time.Duration) float64 {
+	slot := int(elapsed / p.spec.Slot)
+	r := p.spec.StartRPS + float64(slot)*p.spec.StepRPS
+	if r > p.spec.TargetRPS {
+		r = p.spec.TargetRPS
+	}
+	return r
+}
+
+// Interval returns the planned gap before the next send at the given
+// elapsed run time.
+func (p *Plan) Interval(elapsed time.Duration) time.Duration {
+	return time.Duration(float64(time.Second) / p.RateAt(elapsed))
+}
+
+// Fingerprint hashes the observable plan — the first incarnations of
+// every slot, with their protocols, workloads, lifetimes, staggers, and
+// leading chunk sizes — into one value. Two plans with equal
+// fingerprints synthesize identical workloads; the determinism test
+// pins this across runs.
+func (p *Plan) Fingerprint() uint64 {
+	const incarnations, chunks = 3, 16
+	h := mix64(p.spec.Seed)
+	for slot := 0; slot < p.spec.Sessions; slot++ {
+		h = mix64(h ^ uint64(p.Stagger(slot)))
+		for inc := 0; inc < incarnations; inc++ {
+			sp := p.Session(slot, inc)
+			for _, b := range []byte(sp.Bench) {
+				h = mix64(h ^ uint64(b))
+			}
+			h = mix64(h ^ uint64(sp.WorkSeed))
+			h = mix64(h ^ uint64(sp.Protocol))
+			h = mix64(h ^ uint64(sp.Lifetime))
+			for i := uint64(0); i < chunks; i++ {
+				h = mix64(h ^ uint64(sp.ChunkElems(p.spec.ChunkMin, p.spec.ChunkMax, i)))
+			}
+		}
+	}
+	return h
+}
+
+// String summarizes the plan for logs and reports.
+func (p *Plan) String() string {
+	s := p.spec
+	return fmt.Sprintf("sessions=%d ramp=%g+%g→%g/s slot=%v dur=%v chunks=[%d,%d] lifetime=%v scale=%d seed=%d",
+		s.Sessions, s.StartRPS, s.StepRPS, s.TargetRPS, s.Slot, s.Duration,
+		s.ChunkMin, s.ChunkMax, s.Lifetime, s.Scale, s.Seed)
+}

@@ -1,0 +1,613 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opd/internal/serve"
+	"opd/internal/synth"
+	"opd/internal/telemetry"
+	"opd/internal/trace"
+)
+
+// closeGrace is how long past the run deadline sessions get to close
+// cleanly (End/DELETE, terminal summaries, consumer teardown) before
+// the harness abandons them.
+const closeGrace = 15 * time.Second
+
+// pollInterval paces ProtoPoll event consumers.
+const pollInterval = 250 * time.Millisecond
+
+// A Runner drives one Plan against a live phased server and accumulates
+// client-observed measurements. All fields are internal; construct with
+// NewRunner, call Run once, read the Report.
+type Runner struct {
+	plan   *Plan
+	spec   Spec
+	addr   string // host:port for the framed stream dialer
+	base   string // http://host:port for the REST surface
+	client *http.Client
+	logger *slog.Logger
+
+	// Client-side latency histograms (the same telemetry primitive the
+	// server uses, so readouts are directly comparable).
+	streamIngest *telemetry.LatencyHistogram // Send+Drain RTT, framed stream
+	httpIngest   *telemetry.LatencyHistogram // POST RTT, one-shot path
+	streamEvent  *telemetry.LatencyHistogram // event delivery lag, framed stream
+	sseEvent     *telemetry.LatencyHistogram // event delivery lag, SSE consumers
+	pollEvent    *telemetry.LatencyHistogram // event delivery lag, polling consumers
+
+	opened        atomic.Int64 // sessions opened
+	completed     atomic.Int64 // sessions closed cleanly with a summary
+	failed        atomic.Int64 // sessions abandoned on error
+	lost          atomic.Int64 // sessions the server forgot (ErrSessionGone)
+	opensShed     atomic.Int64 // 429/503 session-open sheds observed (and honored)
+	chunkSheds    atomic.Int64 // ingest chunks shed (HTTP 429/503 or retryable stream errors)
+	reconnects    atomic.Int64 // framed-stream reconnect attempts
+	degradedTrans atomic.Int64 // sessions observed entering a degraded spell
+	exhausted     atomic.Int64 // operations that ran out of retry budget
+	chunks        atomic.Int64 // chunks acknowledged
+	elements      atomic.Int64 // elements acknowledged
+	events        atomic.Int64 // phase events delivered
+	unexpected    atomic.Int64 // errors outside the overload/retry contract
+
+	errMu      sync.Mutex
+	errSamples []string
+
+	// Recovery measurement: MarkKill stamps the kill -9 instant;
+	// the first acknowledged chunk after it stamps the recovery.
+	killedAt    atomic.Int64
+	recoveredNS atomic.Int64
+
+	// Backing synthetic traces, shared across sessions.
+	traceMu sync.Mutex
+	traces  map[string]*traceEntry
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   trace.Trace
+	err  error
+}
+
+// NewRunner validates the spec and targets addr (host:port).
+func NewRunner(spec Spec, addr string, logger *slog.Logger) (*Runner, error) {
+	plan, err := NewPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        4096,
+		MaxIdleConnsPerHost: 4096,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Runner{
+		plan:         plan,
+		spec:         plan.Spec(),
+		addr:         addr,
+		base:         "http://" + addr,
+		client:       &http.Client{Transport: tr},
+		logger:       logger,
+		streamIngest: telemetry.NewLatencyHistogram(),
+		httpIngest:   telemetry.NewLatencyHistogram(),
+		streamEvent:  telemetry.NewLatencyHistogram(),
+		sseEvent:     telemetry.NewLatencyHistogram(),
+		pollEvent:    telemetry.NewLatencyHistogram(),
+		traces:       map[string]*traceEntry{},
+	}, nil
+}
+
+// MarkKill records the instant the server was killed (-9) so the first
+// acknowledged chunk after it yields the ingest recovery time.
+func (r *Runner) MarkKill(t time.Time) {
+	r.killedAt.Store(t.UnixNano())
+	r.recoveredNS.Store(0)
+}
+
+func (r *Runner) markOK() {
+	if k := r.killedAt.Load(); k != 0 && r.recoveredNS.Load() == 0 {
+		r.recoveredNS.CompareAndSwap(0, time.Now().UnixNano()-k)
+	}
+}
+
+// policy builds the shared retry policy for one operation chain.
+func (r *Runner) policy(ctx context.Context) serve.RetryPolicy {
+	return serve.RetryPolicy{
+		MaxRetries: r.spec.MaxRetries,
+		Context:    ctx,
+		Backoff:    serve.Backoff{Min: 100 * time.Millisecond, Max: 3 * time.Second},
+	}
+}
+
+// backingTrace returns (generating once, caching) the synthetic trace
+// behind a session plan.
+func (r *Runner) backingTrace(sp SessionPlan) (trace.Trace, error) {
+	key := fmt.Sprintf("%s/%d/%d", sp.Bench, r.spec.Scale, sp.WorkSeed)
+	r.traceMu.Lock()
+	e, ok := r.traces[key]
+	if !ok {
+		e = &traceEntry{}
+		r.traces[key] = e
+	}
+	r.traceMu.Unlock()
+	e.once.Do(func() {
+		e.tr, _, e.err = synth.RunSeeded(sp.Bench, r.spec.Scale, sp.WorkSeed)
+	})
+	return e.tr, e.err
+}
+
+// A chunkSource cuts a backing trace into this session's deterministic
+// chunk sequence, wrapping around when the trace is exhausted (the
+// session replays its workload — phase detectors see a recurring
+// program, which is exactly the interesting case).
+type chunkSource struct {
+	tr       trace.Trace
+	sp       SessionPlan
+	min, max int
+	pos      int
+}
+
+func (cs *chunkSource) chunk(i uint64) []trace.Branch {
+	n := cs.sp.ChunkElems(cs.min, cs.max, i)
+	if cs.pos+n <= len(cs.tr) {
+		c := cs.tr[cs.pos : cs.pos+n]
+		cs.pos += n
+		if cs.pos == len(cs.tr) {
+			cs.pos = 0
+		}
+		return c
+	}
+	// Wrap: stitch tail + head into a fresh slice (rare).
+	c := make([]trace.Branch, 0, n)
+	c = append(c, cs.tr[cs.pos:]...)
+	rem := n - (len(cs.tr) - cs.pos)
+	for rem > len(cs.tr) {
+		c = append(c, cs.tr...)
+		rem -= len(cs.tr)
+	}
+	c = append(c, cs.tr[:rem]...)
+	cs.pos = rem
+	return c
+}
+
+// classify buckets an operation error: run-shutdown noise is dropped,
+// contract-level outcomes (retry budget, session gone) are counted, and
+// anything else is an unexpected error with a retained sample.
+func (r *Runner) classify(ctx context.Context, stage string, err error) {
+	switch {
+	case err == nil:
+	case ctx.Err() != nil, errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The run (or its grace window) ended; not a server defect.
+	case errors.Is(err, serve.ErrRetriesExhausted):
+		r.exhausted.Add(1)
+	case errors.Is(err, serve.ErrSessionGone):
+		r.lost.Add(1)
+	default:
+		r.unexpected.Add(1)
+		r.errMu.Lock()
+		if len(r.errSamples) < 16 {
+			r.errSamples = append(r.errSamples, fmt.Sprintf("%s: %v", stage, err))
+		}
+		r.errMu.Unlock()
+	}
+}
+
+// sleepUntil waits for t (or returns false if ctx dies or the deadline
+// passes first).
+func sleepUntil(ctx context.Context, t, deadline time.Time) bool {
+	now := time.Now()
+	if !t.After(now) {
+		return true
+	}
+	if t.After(deadline) {
+		t = deadline
+	}
+	timer := time.NewTimer(t.Sub(now))
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return time.Now().Before(deadline)
+	}
+}
+
+// Run drives the plan: one goroutine per session slot, each churning
+// through planned incarnations until the run deadline. It blocks until
+// every slot has wound down (sessions get closeGrace past the deadline
+// to close cleanly) and returns the measurement report. ctx cancels the
+// whole run early.
+func (r *Runner) Run(ctx context.Context) *Report {
+	t0 := time.Now()
+	runEnd := t0.Add(r.spec.Duration)
+	graceCtx, cancel := context.WithDeadline(ctx, runEnd.Add(closeGrace))
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for slot := 0; slot < r.spec.Sessions; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			r.runSlot(graceCtx, slot, t0, runEnd)
+		}(slot)
+	}
+	wg.Wait()
+	rep := r.report(t0, time.Since(t0))
+	// Drop the idle connection pool: a finished run must not pin
+	// goroutines (its own or the server's) to keep-alive sockets.
+	r.client.CloseIdleConnections()
+	return rep
+}
+
+// runSlot churns one session slot through its incarnations.
+func (r *Runner) runSlot(ctx context.Context, slot int, t0, runEnd time.Time) {
+	if !sleepUntil(ctx, t0.Add(r.plan.Stagger(slot)), runEnd) {
+		return
+	}
+	for inc := 0; ; inc++ {
+		if ctx.Err() != nil || !time.Now().Before(runEnd) {
+			return
+		}
+		sp := r.plan.Session(slot, inc)
+		ok := r.runIncarnation(ctx, sp, t0, runEnd)
+		if !ok {
+			// Errored incarnation: brief pause so a persistent failure
+			// does not spin the slot.
+			if err := sleepCtx(ctx, 500*time.Millisecond); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// sleepCtx waits d or until ctx dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// runIncarnation opens and drives one session to its deadline. Returns
+// false if it ended on an error (vs its planned lifetime).
+func (r *Runner) runIncarnation(ctx context.Context, sp SessionPlan, t0, runEnd time.Time) bool {
+	deadline := runEnd
+	if sp.Lifetime > 0 {
+		if d := time.Now().Add(sp.Lifetime); d.Before(deadline) {
+			deadline = d
+		}
+	}
+	tr, err := r.backingTrace(sp)
+	if err != nil {
+		r.classify(ctx, "synth", err)
+		return false
+	}
+	opened, err := serve.OpenSession(r.client, r.base, r.spec.Config, serve.OpenOptions{
+		RetryPolicy: r.policy(ctx),
+		OnShed:      func(int, time.Duration) { r.opensShed.Add(1) },
+	})
+	if err != nil {
+		r.classify(ctx, "open", err)
+		return false
+	}
+	r.opened.Add(1)
+	cs := &chunkSource{tr: tr, sp: sp, min: r.spec.ChunkMin, max: r.spec.ChunkMax}
+	switch sp.Protocol {
+	case ProtoStream, ProtoStreamBranch:
+		return r.driveStream(ctx, sp, opened.ID, cs, t0, deadline)
+	default:
+		return r.drivePost(ctx, sp, opened.ID, cs, t0, deadline)
+	}
+}
+
+// observeEvent is the shared event-latency proxy: events triggered by
+// the in-flight chunk are timed against that chunk's send instant
+// (detection, publish, and delivery ride between send and ack in the
+// closed loop), events landing between chunks are only counted.
+func (r *Runner) observeEvent(inflight *atomic.Int64, hist *telemetry.LatencyHistogram) func(serve.Event) {
+	return func(serve.Event) {
+		if s := inflight.Load(); s != 0 {
+			hist.Observe(time.Now().UnixNano() - s)
+		}
+		r.events.Add(1)
+	}
+}
+
+// driveStream paces one framed-stream session: Send+Drain per planned
+// tick (closed loop: a slow server stretches the effective interval),
+// then a clean End.
+func (r *Runner) driveStream(ctx context.Context, sp SessionPlan, id string, cs *chunkSource, t0, deadline time.Time) bool {
+	var inflight atomic.Int64
+	rs, err := serve.DialReliable(r.addr, id, serve.ReliableOptions{
+		RetryPolicy: r.policy(ctx),
+		IDs:         sp.Protocol == ProtoStream,
+		OnEvent:     r.observeEvent(&inflight, r.streamEvent),
+		OnDegraded: func(d bool) {
+			if d {
+				r.degradedTrans.Add(1)
+			}
+		},
+		OnReconnect: func(_ int, cause error) {
+			r.reconnects.Add(1)
+			var se *serve.StreamError
+			if errors.As(cause, &se) && se.Retryable {
+				r.chunkSheds.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		r.classify(ctx, "dial", err)
+		r.failed.Add(1)
+		return false
+	}
+	defer rs.Close()
+
+	next := time.Now()
+	for i := uint64(0); ; i++ {
+		if ctx.Err() != nil || !time.Now().Before(deadline) {
+			break
+		}
+		if !sleepUntil(ctx, next, deadline) {
+			break
+		}
+		chunk := cs.chunk(i)
+		start := time.Now()
+		inflight.Store(start.UnixNano())
+		err := rs.Send(chunk)
+		if err == nil {
+			err = rs.Drain()
+		}
+		inflight.Store(0)
+		if err != nil {
+			r.classify(ctx, "stream ingest", err)
+			r.failed.Add(1)
+			return false
+		}
+		r.streamIngest.ObserveSince(start)
+		r.chunks.Add(1)
+		r.elements.Add(int64(len(chunk)))
+		r.markOK()
+		next = next.Add(r.plan.Interval(time.Since(t0)))
+		if now := time.Now(); next.Before(now) {
+			next = now // closed loop: no burst catch-up after a stall
+		}
+	}
+	if _, err := rs.End(true); err != nil {
+		r.classify(ctx, "stream end", err)
+		r.failed.Add(1)
+		return false
+	}
+	r.completed.Add(1)
+	return true
+}
+
+// drivePost paces one one-shot-POST session with an SSE or polling
+// event consumer on the side, then closes it with DELETE.
+func (r *Runner) drivePost(ctx context.Context, sp SessionPlan, id string, cs *chunkSource, t0, deadline time.Time) bool {
+	var inflight atomic.Int64
+	consumerCtx, stopConsumer := context.WithCancel(ctx)
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		if sp.Protocol == ProtoPost {
+			pol := r.policy(consumerCtx)
+			err := serve.WatchEvents(r.client, r.base, id, serve.WatchOptions{
+				RetryPolicy: pol,
+				OnEvent:     r.observeEvent(&inflight, r.sseEvent),
+			})
+			if err != nil && !errors.Is(err, serve.ErrSessionGone) {
+				r.classify(consumerCtx, "sse consumer", err)
+			}
+			return
+		}
+		r.pollEvents(consumerCtx, id, &inflight)
+	}()
+	defer func() {
+		stopConsumer()
+		consumer.Wait()
+	}()
+
+	var buf bytes.Buffer
+	next := time.Now()
+	for i := uint64(0); ; i++ {
+		if ctx.Err() != nil || !time.Now().Before(deadline) {
+			break
+		}
+		if !sleepUntil(ctx, next, deadline) {
+			break
+		}
+		chunk := cs.chunk(i)
+		buf.Reset()
+		if err := trace.WriteBranches(&buf, chunk); err != nil {
+			r.classify(ctx, "encode", err)
+			r.failed.Add(1)
+			return false
+		}
+		inflight.Store(time.Now().UnixNano())
+		lat, err := r.postChunk(ctx, id, buf.Bytes())
+		inflight.Store(0)
+		if err != nil {
+			r.classify(ctx, "post ingest", err)
+			r.failed.Add(1)
+			return false
+		}
+		r.httpIngest.Observe(lat.Nanoseconds())
+		r.chunks.Add(1)
+		r.elements.Add(int64(len(chunk)))
+		r.markOK()
+		next = next.Add(r.plan.Interval(time.Since(t0)))
+		if now := time.Now(); next.Before(now) {
+			next = now
+		}
+	}
+	if err := r.closeSession(ctx, id); err != nil {
+		r.classify(ctx, "close", err)
+		r.failed.Add(1)
+		return false
+	}
+	r.completed.Add(1)
+	return true
+}
+
+// postChunk POSTs one chunk body, honoring the overload contract:
+// 429/503 sheds wait out Retry-After (or backoff) and retry; transport
+// errors (server restarting) retry the same way; 404 is ErrSessionGone.
+// The returned latency is the successful request's RTT — shed waits are
+// counted, not folded into the latency signal.
+func (r *Runner) postChunk(ctx context.Context, id string, body []byte) (time.Duration, error) {
+	pol := r.policy(ctx)
+	url := r.base + "/v1/sessions/" + id + "/elements"
+	backoff := pol.Backoff.Min
+	for attempt := 1; ; attempt++ {
+		start := time.Now()
+		status, retryAfter, err := r.postOnce(ctx, url, body)
+		if err == nil && status == http.StatusOK {
+			return time.Since(start), nil
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		switch {
+		case err == nil && status == http.StatusNotFound:
+			return 0, serve.ErrSessionGone
+		case err == nil && status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable:
+			return 0, fmt.Errorf("loadgen: chunk POST: unexpected status %d", status)
+		}
+		if err == nil {
+			r.chunkSheds.Add(1)
+		}
+		sleep, nextBackoff := pol.Backoff.Next(backoff)
+		backoff = nextBackoff
+		if retryAfter > 0 {
+			sleep = retryAfter
+		}
+		if pol.MaxRetries > 0 && attempt >= pol.MaxRetries {
+			return 0, fmt.Errorf("%w: %d chunk POST attempts, last: status %d, err %v",
+				serve.ErrRetriesExhausted, attempt, status, err)
+		}
+		if serr := sleepCtx(ctx, sleep); serr != nil {
+			return 0, serr
+		}
+	}
+}
+
+// postOnce issues one chunk POST attempt.
+func (r *Runner) postOnce(ctx context.Context, url string, body []byte) (status int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	return resp.StatusCode, retryAfter, nil
+}
+
+// closeSession DELETEs the session (flushing its open phase), retrying
+// transient failures. 404 counts as already closed.
+func (r *Runner) closeSession(ctx context.Context, id string) error {
+	backoff := 100 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, r.base+"/v1/sessions/"+id, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := r.client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				return nil
+			case resp.StatusCode == http.StatusNotFound:
+				return serve.ErrSessionGone
+			case resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusTooManyRequests:
+				return fmt.Errorf("loadgen: session close: unexpected status %d", resp.StatusCode)
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if r.spec.MaxRetries > 0 && attempt >= r.spec.MaxRetries {
+			return fmt.Errorf("%w: %d session-close attempts", serve.ErrRetriesExhausted, attempt)
+		}
+		if serr := sleepCtx(ctx, backoff); serr != nil {
+			return serr
+		}
+		if backoff *= 2; backoff > 3*time.Second {
+			backoff = 3 * time.Second
+		}
+	}
+}
+
+// pollEvents is the ProtoPoll consumer: GET /events?since=seq on an
+// interval, delivering fresh events through the latency proxy, until
+// the session terminates or the incarnation stops.
+func (r *Runner) pollEvents(ctx context.Context, id string, inflight *atomic.Int64) {
+	observe := r.observeEvent(inflight, r.pollEvent)
+	var since uint64
+	for {
+		if err := sleepCtx(ctx, pollInterval); err != nil {
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			fmt.Sprintf("%s/v1/sessions/%s/events?since=%d", r.base, id, since), nil)
+		if err != nil {
+			return
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			continue // server restarting; next tick retries
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<14))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNotFound {
+				return // session gone
+			}
+			continue
+		}
+		var out struct {
+			Events     []serve.Event `json:"events"`
+			Next       uint64        `json:"next"`
+			Terminated bool          `json:"terminated"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, e := range out.Events {
+			observe(e)
+		}
+		since = out.Next
+		if out.Terminated {
+			return
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"opd/internal/serve"
+	"opd/internal/telemetry"
+)
+
+// TestLoadSmoke is the CI-sized load run: a seeded in-process burst
+// across every protocol under -race, asserting nonzero throughput, zero
+// unexpected errors, and that the harness and server wind all their
+// goroutines down. Gated by OPD_LOAD (OPD_LOAD_DURATION overrides the
+// default 12s); `make load-smoke` runs it.
+func TestLoadSmoke(t *testing.T) {
+	if os.Getenv("OPD_LOAD") == "" {
+		t.Skip("set OPD_LOAD=1 to run the load smoke (OPD_LOAD_DURATION to bound it)")
+	}
+	dur := 12 * time.Second
+	if v := os.Getenv("OPD_LOAD_DURATION"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			dur = d
+		}
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	addr, reg := startServer(t, serve.Options{})
+	spec := Spec{
+		Sessions: 48, StartRPS: 2, StepRPS: 2, TargetRPS: 6,
+		Slot: dur / 3, Duration: dur,
+		ChunkMin: 128, ChunkMax: 512,
+		Lifetime: dur / 2, Scale: 1, Seed: 2026,
+		Protocols: []Weighted{{"stream", 5}, {"stream-branch", 2}, {"post", 2}, {"poll", 1}},
+	}
+	r, err := NewRunner(spec, addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run(context.Background())
+	rep.WriteHuman(testWriter{t})
+
+	if rep.Errors.Unexpected != 0 {
+		t.Fatalf("unexpected errors: %v", rep.Errors.Samples)
+	}
+	if rep.Ingest.Chunks == 0 || rep.Ingest.Elements == 0 || rep.Events == 0 {
+		t.Fatalf("no throughput: %+v, %d events", rep.Ingest, rep.Events)
+	}
+	if rep.Sessions.Opened < int64(spec.Sessions) {
+		t.Fatalf("opened %d sessions, want >= %d slots", rep.Sessions.Opened, spec.Sessions)
+	}
+	if rep.Sessions.Completed == 0 {
+		t.Fatal("no session completed cleanly")
+	}
+	if rep.ServerErr != "" {
+		t.Fatalf("server snapshot failed: %s", rep.ServerErr)
+	}
+	// The server's books must agree with the clients'.
+	if got := float64(reg.Counter(telemetry.MetricServeIngestElements).Value()); got != float64(rep.Ingest.Elements) {
+		t.Fatalf("server counted %.0f elements, clients counted %d", got, rep.Ingest.Elements)
+	}
+
+	// Everything the harness and server spawned must wind down.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseGoroutines+8 {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines did not settle: %d at start, %d now\n%s",
+		baseGoroutines, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// testWriter adapts t.Logf for WriteHuman.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

@@ -1,0 +1,277 @@
+// Package loadgen is the trace/workload synthesizer and closed-loop
+// load harness for phased. A Spec describes a workload the way the
+// vhive/invitro trace synthesizer does — session count, a per-session
+// request-rate ramp (start/step/target slots), a chunk-size
+// distribution, session-lifetime churn, a protocol mix, and a workload
+// mix drawn from the eight internal/synth benchmark signatures. A Plan
+// materializes the spec deterministically (identical seeds yield
+// identical synthesized workloads, chunk for chunk), and a Runner drives
+// the plan against a live phased over the real wire protocols, recording
+// client-observed ingest and event-delivery latency percentiles,
+// shed/rejection rates, and recovery time after a kill -9 under load.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"opd/internal/serve"
+	"opd/internal/synth"
+)
+
+// A Protocol is one way a planned session speaks to phased.
+type Protocol int
+
+const (
+	// ProtoStream is the persistent framed connection with dense-ID
+	// symbol negotiation (the hot path), events multiplexed back on the
+	// same connection.
+	ProtoStream Protocol = iota
+	// ProtoStreamBranch is the framed connection without symbol
+	// negotiation: chunks cross the wire as branch records.
+	ProtoStreamBranch
+	// ProtoPost is the legacy one-shot path: a POST per chunk, with an
+	// SSE subscriber consuming events on the side.
+	ProtoPost
+	// ProtoPoll is the one-shot POST path with a polling event consumer
+	// (GET /events?since=seq on an interval) instead of SSE.
+	ProtoPoll
+)
+
+var protocolNames = map[Protocol]string{
+	ProtoStream:       "stream",
+	ProtoStreamBranch: "stream-branch",
+	ProtoPost:         "post",
+	ProtoPoll:         "poll",
+}
+
+func (p Protocol) String() string {
+	if s, ok := protocolNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// ParseProtocol resolves a protocol-mix name.
+func ParseProtocol(s string) (Protocol, error) {
+	for p, name := range protocolNames {
+		if s == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("loadgen: unknown protocol %q (have stream, stream-branch, post, poll)", s)
+}
+
+// A Weighted is one entry of a workload or protocol mix.
+type Weighted struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+}
+
+// parseWeights parses "name=w,name=w,..." (a bare "name" means weight
+// 1), validating names against valid.
+func parseWeights(s, what string, valid func(string) error) ([]Weighted, error) {
+	var out []Weighted
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, hasW := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		w := 1
+		if hasW {
+			n, err := strconv.Atoi(strings.TrimSpace(wstr))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("loadgen: %s mix entry %q: weight must be a positive integer", what, part)
+			}
+			w = n
+		}
+		if err := valid(name); err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("loadgen: %s mix repeats %q", what, name)
+		}
+		seen[name] = true
+		out = append(out, Weighted{Name: name, Weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: empty %s mix", what)
+	}
+	return out, nil
+}
+
+// ParseMix parses a workload mix: "all" (every synth benchmark,
+// uniformly weighted) or "name=w,name=w" over the synth benchmark
+// names.
+func ParseMix(s string) ([]Weighted, error) {
+	if strings.TrimSpace(s) == "all" {
+		var out []Weighted
+		for _, name := range synth.Names() {
+			out = append(out, Weighted{Name: name, Weight: 1})
+		}
+		return out, nil
+	}
+	return parseWeights(s, "workload", func(name string) error {
+		if _, ok := synth.ByName(name); !ok {
+			names := synth.Names()
+			sort.Strings(names)
+			return fmt.Errorf("loadgen: unknown benchmark %q in workload mix (have %v, or \"all\")", name, names)
+		}
+		return nil
+	})
+}
+
+// ParseProtocolMix parses a protocol mix like "stream=8,post=1,poll=1".
+func ParseProtocolMix(s string) ([]Weighted, error) {
+	return parseWeights(s, "protocol", func(name string) error {
+		_, err := ParseProtocol(name)
+		return err
+	})
+}
+
+// A Spec describes a synthetic workload against phased. The zero value
+// of most fields takes a default (see withDefaults); Validate rejects
+// nonsense before any traffic is generated.
+type Spec struct {
+	// Sessions is the number of concurrent session slots. Each slot
+	// runs one session at a time; with Lifetime set, a slot churns
+	// through successive sessions.
+	Sessions int `json:"sessions"`
+	// StartRPS/StepRPS/TargetRPS shape the per-session chunk-rate ramp,
+	// invitro-style: the rate starts at StartRPS chunks/sec and steps by
+	// StepRPS every Slot until it reaches TargetRPS.
+	StartRPS  float64 `json:"start_rps"`
+	StepRPS   float64 `json:"step_rps"`
+	TargetRPS float64 `json:"target_rps"`
+	// Slot is the duration of one RPS slot.
+	Slot time.Duration `json:"slot_ns"`
+	// Duration bounds the run.
+	Duration time.Duration `json:"duration_ns"`
+	// ChunkMin/ChunkMax bound the per-chunk element count; each chunk's
+	// size is drawn deterministically from [ChunkMin, ChunkMax].
+	ChunkMin int `json:"chunk_min"`
+	ChunkMax int `json:"chunk_max"`
+	// Lifetime is the mean session lifetime for churn: each session
+	// lives a deterministic draw in [Lifetime/2, 3*Lifetime/2], then
+	// closes and its slot opens a fresh session. 0 disables churn
+	// (sessions live for the whole run).
+	Lifetime time.Duration `json:"lifetime_ns"`
+	// Scale is the synth benchmark scale for the backing traces.
+	Scale int `json:"scale"`
+	// Mix is the workload mix over the synth benchmark signatures.
+	Mix []Weighted `json:"mix"`
+	// Protocols is the protocol mix.
+	Protocols []Weighted `json:"protocols"`
+	// Seed makes the synthesized workload deterministic: identical
+	// seeds yield identical plans, chunk for chunk.
+	Seed uint64 `json:"seed"`
+	// Config is the detector configuration each session opens with. A
+	// zero CW takes 500.
+	Config serve.ConfigRequest `json:"config"`
+	// MaxRetries caps consecutive reconnect/shed-retry attempts per
+	// operation (0 = unlimited; the run deadline still bounds the run).
+	MaxRetries int `json:"max_retries,omitempty"`
+}
+
+// withDefaults resolves the zero-value conventions.
+func (s Spec) withDefaults() Spec {
+	if s.Sessions == 0 {
+		s.Sessions = 64
+	}
+	if s.StartRPS == 0 {
+		s.StartRPS = 2
+	}
+	if s.TargetRPS == 0 {
+		s.TargetRPS = s.StartRPS
+	}
+	if s.StepRPS == 0 {
+		s.StepRPS = s.TargetRPS - s.StartRPS
+	}
+	if s.Slot == 0 {
+		s.Slot = 5 * time.Second
+	}
+	if s.Duration == 0 {
+		s.Duration = 30 * time.Second
+	}
+	if s.ChunkMin == 0 {
+		s.ChunkMin = 512
+	}
+	if s.ChunkMax == 0 {
+		s.ChunkMax = 2048
+	}
+	if s.Scale == 0 {
+		s.Scale = 2
+	}
+	if len(s.Mix) == 0 {
+		s.Mix, _ = ParseMix("all")
+	}
+	if len(s.Protocols) == 0 {
+		s.Protocols = []Weighted{{Name: "stream", Weight: 1}}
+	}
+	if s.Config.CW == 0 {
+		s.Config.CW = 500
+	}
+	return s
+}
+
+// Validate rejects malformed specs with a descriptive error. It
+// validates the literal spec; call after withDefaults (NewPlan does) to
+// validate the resolved one.
+func (s Spec) Validate() error {
+	if s.Sessions < 1 {
+		return fmt.Errorf("loadgen: sessions must be >= 1 (got %d)", s.Sessions)
+	}
+	if s.StartRPS <= 0 {
+		return fmt.Errorf("loadgen: start RPS must be positive (got %g)", s.StartRPS)
+	}
+	if s.TargetRPS < s.StartRPS {
+		return fmt.Errorf("loadgen: target RPS %g below start RPS %g", s.TargetRPS, s.StartRPS)
+	}
+	if s.StepRPS < 0 {
+		return fmt.Errorf("loadgen: step RPS must not be negative (got %g)", s.StepRPS)
+	}
+	if s.TargetRPS > s.StartRPS && s.StepRPS == 0 {
+		return fmt.Errorf("loadgen: target RPS %g above start %g needs a positive step", s.TargetRPS, s.StartRPS)
+	}
+	if s.Slot <= 0 {
+		return fmt.Errorf("loadgen: slot duration must be positive (got %v)", s.Slot)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("loadgen: run duration must be positive (got %v)", s.Duration)
+	}
+	if s.ChunkMin < 1 || s.ChunkMax < s.ChunkMin {
+		return fmt.Errorf("loadgen: chunk size range [%d, %d] is not 1 <= min <= max", s.ChunkMin, s.ChunkMax)
+	}
+	if s.Lifetime < 0 {
+		return fmt.Errorf("loadgen: lifetime must not be negative (got %v)", s.Lifetime)
+	}
+	if s.Scale < 1 {
+		return fmt.Errorf("loadgen: scale must be >= 1 (got %d)", s.Scale)
+	}
+	if s.MaxRetries < 0 {
+		return fmt.Errorf("loadgen: max retries must not be negative (got %d)", s.MaxRetries)
+	}
+	for _, m := range s.Mix {
+		if _, ok := synth.ByName(m.Name); !ok {
+			return fmt.Errorf("loadgen: unknown benchmark %q in workload mix", m.Name)
+		}
+		if m.Weight <= 0 {
+			return fmt.Errorf("loadgen: workload mix weight for %q must be positive (got %d)", m.Name, m.Weight)
+		}
+	}
+	for _, p := range s.Protocols {
+		if _, err := ParseProtocol(p.Name); err != nil {
+			return err
+		}
+		if p.Weight <= 0 {
+			return fmt.Errorf("loadgen: protocol mix weight for %q must be positive (got %d)", p.Name, p.Weight)
+		}
+	}
+	return nil
+}

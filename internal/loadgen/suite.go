@@ -1,0 +1,177 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// A Scenario is one named suite run.
+type Scenario struct {
+	Name string
+	Spec Spec
+	// KillAfter, when positive, kill -9s the spawned server this far into
+	// the run and restarts it on the same address and data dir.
+	KillAfter time.Duration
+	// Extra phased flags (fsync policy, budgets) for this scenario.
+	Extra []string
+}
+
+// mustMix panics on a malformed built-in mix string — suite mixes are
+// compile-time constants, so a failure here is a programming error.
+func mustMix(parse func(string) ([]Weighted, error), s string) []Weighted {
+	m, err := parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// DefaultSuite is the canonical BENCH_load.json scenario set: two
+// workload mixes × two protocol populations, plus a crash/recovery run.
+// Rates are deliberately modest per session — the point of the first
+// scenario is breadth (a thousand-plus live framed streams), not a
+// per-session firehose.
+func DefaultSuite() []Scenario {
+	return []Scenario{
+		{
+			// ≥1000 concurrent framed-stream sessions, loop-dominated
+			// workloads, invitro-style ramp from 0.25 to 1 chunk/s/session.
+			Name: "stream-1200-loops",
+			Spec: Spec{
+				Sessions:  1200,
+				StartRPS:  0.25,
+				StepRPS:   0.25,
+				TargetRPS: 1,
+				Slot:      5 * time.Second,
+				Duration:  20 * time.Second,
+				ChunkMin:  256,
+				ChunkMax:  512,
+				Scale:     2,
+				Mix:       mustMix(ParseMix, "compress=3,db=3,mpegaudio=2,jlex=2"),
+				Protocols: mustMix(ParseProtocolMix, "stream=1"),
+				Seed:      1,
+			},
+		},
+		{
+			// Mixed protocols with session churn: recursion-heavy
+			// workloads over framed streams (with and without symbol
+			// negotiation), one-shot POSTs with SSE consumers, and polling
+			// consumers.
+			Name: "mixed-protocol-churn",
+			Spec: Spec{
+				Sessions:  240,
+				StartRPS:  1,
+				StepRPS:   1,
+				TargetRPS: 3,
+				Slot:      5 * time.Second,
+				Duration:  20 * time.Second,
+				ChunkMin:  512,
+				ChunkMax:  2048,
+				Lifetime:  8 * time.Second,
+				Scale:     2,
+				Mix:       mustMix(ParseMix, "jess=3,raytrace=3,javac=2,jack=2"),
+				Protocols: mustMix(ParseProtocolMix, "stream=5,stream-branch=2,post=2,poll=1"),
+				Seed:      2,
+			},
+		},
+		{
+			// Durable ingest with a kill -9 at 10s: sessions resume over
+			// their cursors after WAL replay; the report records restart,
+			// readyz, and first-ack recovery times.
+			Name: "kill9-recovery",
+			Spec: Spec{
+				Sessions:  96,
+				StartRPS:  2,
+				StepRPS:   0,
+				TargetRPS: 2,
+				Slot:      5 * time.Second,
+				Duration:  25 * time.Second,
+				ChunkMin:  256,
+				ChunkMax:  1024,
+				Scale:     2,
+				Mix:       mustMix(ParseMix, "all"),
+				Protocols: mustMix(ParseProtocolMix, "stream=3,post=1"),
+				Seed:      3,
+			},
+			KillAfter: 10 * time.Second,
+			Extra:     []string{"-fsync", "100ms", "-snapshot-every", "32"},
+		},
+	}
+}
+
+// RunScenario spawns a phased child for one scenario, drives it, and
+// (for crash scenarios) kills and recovers it mid-run.
+func RunScenario(ctx context.Context, bin, workDir string, sc Scenario, logger *slog.Logger, human io.Writer) (*Report, error) {
+	addr, err := PickAddr()
+	if err != nil {
+		return nil, err
+	}
+	dataDir := ""
+	if sc.KillAfter > 0 {
+		// Crash scenarios need durable state to recover; give each its
+		// own fresh dir so replay measures this run only.
+		dataDir = filepath.Join(workDir, "data-"+sc.Name)
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	srv, err := SpawnServer(ctx, bin, addr, dataDir, logger, sc.Extra...)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scenario %s: spawn: %w", sc.Name, err)
+	}
+	defer srv.Stop()
+
+	r, err := NewRunner(sc.Spec, addr, logger)
+	if err != nil {
+		return nil, err
+	}
+
+	var restart, ready time.Duration
+	var killErr error
+	killDone := make(chan struct{})
+	if sc.KillAfter > 0 {
+		go func() {
+			defer close(killDone)
+			if err := sleepCtx(ctx, sc.KillAfter); err != nil {
+				return
+			}
+			restart, ready, killErr = KillAndRecover(ctx, srv, r)
+		}()
+	} else {
+		close(killDone)
+	}
+
+	rep := r.Run(ctx)
+	<-killDone
+	if killErr != nil {
+		return nil, fmt.Errorf("loadgen: scenario %s: kill/recover: %w", sc.Name, killErr)
+	}
+	if rep.Recovery != nil {
+		rep.Recovery.RestartNS = restart.Nanoseconds()
+		rep.Recovery.ReadyNS = ready.Nanoseconds()
+	}
+	if human != nil {
+		fmt.Fprintf(human, "\n== %s ==\n", sc.Name)
+		rep.WriteHuman(human)
+	}
+	return rep, nil
+}
+
+// RunSuite runs every scenario against freshly spawned phased children
+// and assembles the BENCH_load.json document.
+func RunSuite(ctx context.Context, bin, workDir string, scenarios []Scenario, logger *slog.Logger, human io.Writer) (*BenchFile, error) {
+	bf := NewBenchFile()
+	for _, sc := range scenarios {
+		rep, err := RunScenario(ctx, bin, workDir, sc, logger, human)
+		if err != nil {
+			return nil, err
+		}
+		bf.Runs = append(bf.Runs, BenchRun{Name: sc.Name, Report: rep})
+	}
+	return bf, nil
+}

@@ -306,6 +306,7 @@ func (m *Manager) Open(cfg core.Config) (*Session, error) {
 	if n := m.active.Add(1); n > int64(m.opts.MaxSessions) {
 		m.active.Add(-1)
 		m.probe.SessionRejected()
+		m.res.probe.ShedOpen()
 		return nil, fmt.Errorf("%w: %d live, limit %d",
 			ErrTooManySessions, n-1, m.opts.MaxSessions)
 	}

@@ -1,0 +1,558 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"opd/internal/trace"
+)
+
+// This file is the client-side reliability layer shared by every phased
+// client in the repository (examples/streamdetect, internal/loadgen):
+// jittered exponential backoff, session opens that honor 429 +
+// Retry-After, a framed-stream wrapper that survives connection loss by
+// redialing and resuming from the server's applied cursor, and an SSE
+// watcher that resumes via Last-Event-ID. The resume mechanics mirror
+// the server contract in stream.go and session.go: chunking must be
+// deterministic, chunks below the handshake cursor are skipped, dense-ID
+// symbol tables carry across connections, and event delivery restarts
+// after the last sequence number seen.
+
+// ErrRetriesExhausted reports that a retry policy's budget was spent
+// without success. Callers that distinguish "the server kept shedding or
+// dropping us" from ordinary failure match it with errors.Is.
+var ErrRetriesExhausted = errors.New("serve: retry budget exhausted")
+
+// ErrSessionGone reports that the server no longer knows the session
+// (closed, evicted, or lost with a non-durable restart). Retrying cannot
+// help; the client must open a new session.
+var ErrSessionGone = errors.New("serve: session gone")
+
+// A Backoff is a jittered exponential backoff policy. The zero value
+// means 200ms..5s.
+type Backoff struct {
+	Min time.Duration
+	Max time.Duration
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Min <= 0 {
+		b.Min = 200 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Max < b.Min {
+		b.Max = b.Min
+	}
+	return b
+}
+
+// Next returns the jittered sleep for the current backoff value and the
+// doubled (capped) successor. The jitter spreads reconnect storms: the
+// sleep is uniform in [cur/2, cur].
+func (b Backoff) Next(cur time.Duration) (sleep, following time.Duration) {
+	b = b.withDefaults()
+	if cur < b.Min {
+		cur = b.Min
+	}
+	sleep = cur/2 + time.Duration(rand.Int64N(int64(cur/2)+1))
+	if following = cur * 2; following > b.Max {
+		following = b.Max
+	}
+	return sleep, following
+}
+
+// A RetryPolicy bounds and paces a reconnect loop.
+type RetryPolicy struct {
+	// MaxRetries caps consecutive failed attempts; 0 means unlimited.
+	// The count resets whenever an operation succeeds, so a long-lived
+	// client survives any number of separated drops but gives up on a
+	// server that never comes back.
+	MaxRetries int
+	// Backoff paces attempts (zero value: 200ms..5s, jittered).
+	Backoff Backoff
+	// Context aborts sleeps and marks the loop dead when cancelled. nil
+	// means context.Background().
+	Context context.Context
+	// Logger receives a structured line per retry. nil discards.
+	Logger *slog.Logger
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Context == nil {
+		p.Context = context.Background()
+	}
+	if p.Logger == nil {
+		p.Logger = slog.New(slog.DiscardHandler)
+	}
+	p.Backoff = p.Backoff.withDefaults()
+	return p
+}
+
+// sleepCtx waits d or until the context dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// An Opened is the server's response to a successful session open.
+type Opened struct {
+	ID            string `json:"id"`
+	Config        string `json:"config"`
+	MaxChunkBytes int64  `json:"max_chunk_bytes"`
+}
+
+// OpenOptions configures OpenSession.
+type OpenOptions struct {
+	RetryPolicy
+	// OnShed fires for every admission shed observed (HTTP 429 or a
+	// retryable 503), with the status and the delay about to be honored.
+	OnShed func(status int, retryAfter time.Duration)
+}
+
+// OpenSession opens a phased session like a well-behaved tenant of an
+// overloaded server: a 429 (admission shed) or 503 (recovering,
+// draining, WAL fault) is retried after the server's Retry-After hint —
+// falling back to jittered exponential backoff when the header is absent
+// — and connection errors (server restarting) retry the same way. Any
+// other non-2xx response fails immediately. base is the server's root
+// URL (e.g. "http://127.0.0.1:8080"); client nil means
+// http.DefaultClient.
+func OpenSession(client *http.Client, base string, req ConfigRequest, opts OpenOptions) (Opened, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	pol := opts.RetryPolicy.withDefaults()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Opened{}, err
+	}
+	url := strings.TrimSuffix(base, "/") + "/v1/sessions"
+	backoff := pol.Backoff.Min
+	for attempt := 1; ; attempt++ {
+		var opened Opened
+		status, retryAfter, err := postOpen(client, pol.Context, url, body, &opened)
+		if err == nil && status/100 == 2 {
+			return opened, nil
+		}
+		transient := err != nil || status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		if pol.Context.Err() != nil {
+			return Opened{}, pol.Context.Err()
+		}
+		if !transient {
+			return Opened{}, fmt.Errorf("serve: opening session: %s (%d)", http.StatusText(status), status)
+		}
+		sleep, nextBackoff := pol.Backoff.Next(backoff)
+		backoff = nextBackoff
+		if retryAfter > 0 {
+			sleep = retryAfter
+		}
+		if err == nil && opts.OnShed != nil {
+			opts.OnShed(status, sleep)
+		}
+		if pol.MaxRetries > 0 && attempt >= pol.MaxRetries {
+			return Opened{}, fmt.Errorf("%w: %d session-open attempts, last: status %d, err %v",
+				ErrRetriesExhausted, attempt, status, err)
+		}
+		pol.Logger.Warn("session open retried",
+			"attempt", attempt, "status", status, "sleep", sleep.Round(time.Millisecond), "err", err)
+		if serr := sleepCtx(pol.Context, sleep); serr != nil {
+			return Opened{}, serr
+		}
+	}
+}
+
+// postOpen issues one open attempt, returning the status, any
+// Retry-After hint, and a transport error (status 0).
+func postOpen(client *http.Client, ctx context.Context, url string, body []byte, out *Opened) (status int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<14))
+		return resp.StatusCode, retryAfter, nil
+	}
+	return resp.StatusCode, retryAfter, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ReliableOptions configures DialReliable.
+type ReliableOptions struct {
+	RetryPolicy
+	// IDs negotiates the dense-ID hot path; the symbol-table builder is
+	// carried across reconnects automatically.
+	IDs bool
+	// NoEvents disables event multiplexing (pure-ingest clients).
+	NoEvents bool
+	// OnEvent receives phase events, exactly once each across any number
+	// of reconnects (delivery resumes after the last Seq seen). Called
+	// from the connection's reader goroutine.
+	OnEvent func(Event)
+	// OnDegraded fires when the session's durability state changes at a
+	// (re)connect handshake: true entering a degraded spell, false when
+	// durability is restored.
+	OnDegraded func(degraded bool)
+	// OnReconnect fires before each redial attempt with the error that
+	// killed the previous connection.
+	OnReconnect func(attempt int, cause error)
+}
+
+// A ReliableStream is a StreamClient that survives connection loss: it
+// keeps the full send history (chunking must stay deterministic — that
+// history IS the chunk sequence), and on any retryable failure redials,
+// replays the history (the handshake cursor makes the replay exact:
+// chunks the server already applied are skipped on the wire), restores
+// the dense-ID symbol table, and resumes event delivery after the last
+// sequence number seen. Send/Drain/End/Close must be called from one
+// goroutine, like the StreamClient they wrap.
+type ReliableStream struct {
+	host, id string
+	opts     ReliableOptions
+	pol      RetryPolicy
+
+	chunks  [][]trace.Branch // full send history, replayed on reconnect
+	sc      *StreamClient
+	builder *trace.InternedBuilder
+
+	nextEvent  atomic.Uint64 // resume point: last seen event seq + 1
+	degraded   atomic.Bool
+	reconnects atomic.Int64
+
+	fails   int // consecutive failed cycles (for MaxRetries)
+	backoff time.Duration
+}
+
+// DialReliable connects a ReliableStream to a phased session, retrying
+// the initial dial under the same policy as reconnects.
+func DialReliable(host, id string, opts ReliableOptions) (*ReliableStream, error) {
+	r := &ReliableStream{host: host, id: id, opts: opts, pol: opts.RetryPolicy.withDefaults()}
+	r.backoff = r.pol.Backoff.Min
+	if err := r.connect(nil); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// retryableStreamErr reports whether redialing can help after err.
+func retryableStreamErr(err error) bool {
+	var se *StreamError
+	if errors.As(err, &se) {
+		return se.Retryable
+	}
+	var ue *UpgradeError
+	if errors.As(err, &ue) {
+		return ue.Transient()
+	}
+	// Anything else is a transport failure (connection lost, server
+	// restarting): retryable by definition.
+	return true
+}
+
+// connect dials until a handshake completes and the send history is
+// replayed, pacing attempts with the retry policy. cause is the error
+// that killed the previous connection (nil on the initial dial).
+func (r *ReliableStream) connect(cause error) error {
+	for {
+		if cause != nil {
+			if !retryableStreamErr(cause) {
+				var ue *UpgradeError
+				if errors.As(cause, &ue) && ue.Status == http.StatusNotFound {
+					return fmt.Errorf("%w: %v", ErrSessionGone, cause)
+				}
+				return cause
+			}
+			r.fails++
+			if r.pol.MaxRetries > 0 && r.fails >= r.pol.MaxRetries {
+				return fmt.Errorf("%w: %d stream attempts, last error: %v", ErrRetriesExhausted, r.fails, cause)
+			}
+			if r.opts.OnReconnect != nil {
+				r.opts.OnReconnect(r.fails, cause)
+			}
+			sleep, next := r.pol.Backoff.Next(r.backoff)
+			r.backoff = next
+			r.pol.Logger.Warn("stream dropped, reconnecting",
+				"session", r.id, "attempt", r.fails, "backoff", sleep.Round(time.Millisecond), "err", cause)
+			if err := sleepCtx(r.pol.Context, sleep); err != nil {
+				return err
+			}
+		}
+		if err := r.pol.Context.Err(); err != nil {
+			return err
+		}
+		sc, err := DialStream(r.host, r.id, StreamOptions{
+			IDs:         r.opts.IDs,
+			NoEvents:    r.opts.NoEvents,
+			OnEvent:     r.observeEvent,
+			EventsSince: r.nextEvent.Load(),
+			Builder:     r.builder,
+		})
+		if err != nil {
+			cause = err
+			continue
+		}
+		// Replay the history. Sends below the handshake cursor are
+		// skipped on the wire (but re-interned, keeping the symbol table
+		// aligned); a connection lost mid-replay just loops again.
+		replayErr := error(nil)
+		for _, c := range r.chunks {
+			if err := sc.Send(c); err != nil {
+				replayErr = err
+				break
+			}
+		}
+		if replayErr != nil {
+			r.builder = sc.Builder()
+			sc.Close()
+			cause = replayErr
+			continue
+		}
+		r.sc = sc
+		r.builder = sc.Builder()
+		if d := sc.Degraded(); d != r.degraded.Load() {
+			r.degraded.Store(d)
+			if r.opts.OnDegraded != nil {
+				r.opts.OnDegraded(d)
+			}
+		}
+		return nil
+	}
+}
+
+// observeEvent tracks the resume point and forwards to the caller.
+func (r *ReliableStream) observeEvent(e Event) {
+	r.nextEvent.Store(e.Seq + 1)
+	if r.opts.OnEvent != nil {
+		r.opts.OnEvent(e)
+	}
+}
+
+// drop discards a failed connection, keeping the symbol table for the
+// successor, and counts the reconnect.
+func (r *ReliableStream) drop() {
+	if r.sc != nil {
+		r.builder = r.sc.Builder()
+		r.sc.Close()
+		r.sc = nil
+		r.reconnects.Add(1)
+	}
+}
+
+// do runs op against a live connection, reconnecting (redial + replay)
+// on any retryable failure. A success resets the consecutive-failure
+// budget.
+func (r *ReliableStream) do(op func(sc *StreamClient) error) error {
+	for {
+		if r.sc == nil {
+			if err := r.connect(errors.New("serve: connection previously dropped")); err != nil {
+				return err
+			}
+		}
+		err := op(r.sc)
+		if err == nil {
+			r.fails = 0
+			r.backoff = r.pol.Backoff.Min
+			return nil
+		}
+		r.drop()
+		if cerr := r.connect(err); cerr != nil {
+			return cerr
+		}
+	}
+}
+
+// Send appends the next chunk to the history and submits it. Like
+// StreamClient.Send it pipelines; a connection lost here is repaired
+// transparently (the chunk rides the replay).
+func (r *ReliableStream) Send(elems []trace.Branch) error {
+	r.chunks = append(r.chunks, elems)
+	if r.sc == nil {
+		// connect replays the whole history, which now includes elems.
+		return r.connect(errors.New("serve: connection previously dropped"))
+	}
+	if err := r.sc.Send(elems); err != nil {
+		r.drop()
+		return r.connect(err)
+	}
+	return nil
+}
+
+// Drain blocks until the server has acknowledged the full history,
+// reconnecting and replaying as needed.
+func (r *ReliableStream) Drain() error {
+	return r.do(func(sc *StreamClient) error { return sc.Drain() })
+}
+
+// End closes the stream (finish true closes the session server-side) and
+// returns the terminal summary, reconnecting as needed. If the server
+// completed the close but the connection died before the summary
+// arrived, the redial reports ErrSessionGone.
+func (r *ReliableStream) End(finish bool) (*Summary, error) {
+	var sum *Summary
+	err := r.do(func(sc *StreamClient) error {
+		s, err := sc.End(finish)
+		sum = s
+		return err
+	})
+	return sum, err
+}
+
+// Close tears down the current connection (if any). The stream cannot be
+// used afterwards.
+func (r *ReliableStream) Close() error {
+	if r.sc == nil {
+		return nil
+	}
+	err := r.sc.Close()
+	r.sc = nil
+	return err
+}
+
+// Reconnects returns how many established connections were lost and
+// replaced over the stream's lifetime.
+func (r *ReliableStream) Reconnects() int64 { return r.reconnects.Load() }
+
+// Degraded reports the durability state from the most recent handshake.
+func (r *ReliableStream) Degraded() bool { return r.degraded.Load() }
+
+// Progress exposes the live connection's ack state (zeros between
+// connections).
+func (r *ReliableStream) Progress() (acked uint64, inPhase bool, eventsTotal uint64) {
+	if r.sc == nil {
+		return 0, false, 0
+	}
+	return r.sc.Progress()
+}
+
+// WatchOptions configures WatchEvents.
+type WatchOptions struct {
+	RetryPolicy
+	// OnEvent receives each phase event exactly once across reconnects.
+	OnEvent func(Event)
+	// Since resumes delivery at this sequence number (0 = from the
+	// start of the retained log).
+	Since uint64
+}
+
+// WatchEvents consumes a session's SSE event stream until the server
+// sends the terminal "end" event (session closed, open phase flushed).
+// A dropped connection reconnects with jittered backoff, resuming
+// exactly where the stream left off via the Last-Event-ID convention; a
+// healthy connection resets the backoff. Returns nil after the terminal
+// event, ErrSessionGone on 404, the context error on cancellation, and
+// ErrRetriesExhausted if the policy's budget runs out.
+func WatchEvents(client *http.Client, base, id string, opts WatchOptions) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	pol := opts.RetryPolicy.withDefaults()
+	url := strings.TrimSuffix(base, "/") + "/v1/sessions/" + id + "/events?stream=1"
+	lastID := ""
+	if opts.Since > 0 {
+		lastID = strconv.FormatUint(opts.Since-1, 10)
+	}
+	backoff := pol.Backoff.Min
+	fails := 0
+	for {
+		gotEvents, ended, gone, err := watchOnce(client, pol.Context, url, &lastID, opts.OnEvent)
+		switch {
+		case ended:
+			return nil
+		case gone:
+			return ErrSessionGone
+		case pol.Context.Err() != nil:
+			return pol.Context.Err()
+		}
+		if gotEvents {
+			backoff, fails = pol.Backoff.Min, 0
+		}
+		fails++
+		if pol.MaxRetries > 0 && fails >= pol.MaxRetries {
+			return fmt.Errorf("%w: %d SSE attempts, last error: %v", ErrRetriesExhausted, fails, err)
+		}
+		sleep, next := pol.Backoff.Next(backoff)
+		backoff = next
+		pol.Logger.Warn("sse stream dropped, reconnecting",
+			"session", id, "attempt", fails, "backoff", sleep.Round(time.Millisecond),
+			"last_event_id", lastID, "err", err)
+		if serr := sleepCtx(pol.Context, sleep); serr != nil {
+			return serr
+		}
+	}
+}
+
+// watchOnce runs one SSE connection, updating *lastID as id: lines
+// arrive and delivering events.
+func watchOnce(client *http.Client, ctx context.Context, url string, lastID *string, onEvent func(Event)) (gotEvents, ended, gone bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, false, true, err
+	}
+	if *lastID != "" {
+		req.Header.Set("Last-Event-ID", *lastID)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, false, false, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return false, false, true, nil
+	case resp.StatusCode != http.StatusOK:
+		// 503 while a restarted server replays its data dir: retry.
+		return false, false, false, fmt.Errorf("serve: sse: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	kind := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			*lastID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if kind == "end" {
+				return gotEvents, true, false, nil
+			}
+			var e Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				continue
+			}
+			gotEvents = true
+			if onEvent != nil {
+				onEvent(e)
+			}
+		}
+	}
+	return gotEvents, false, false, sc.Err()
+}

@@ -364,6 +364,9 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", strconv.Itoa(s.manager.res.gov.RetryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrTooManySessions):
+			// Like a soft-watermark shed, the cap clears as sessions
+			// close or the janitor evicts: give the client a hint.
+			w.Header().Set("Retry-After", strconv.Itoa(s.manager.res.gov.RetryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrWindowTooLarge):
 			writeError(w, http.StatusRequestEntityTooLarge, err)

@@ -28,6 +28,24 @@ func (e *StreamError) Error() string {
 	return fmt.Sprintf("serve: stream error (%s): %s", kind, e.Msg)
 }
 
+// An UpgradeError is a stream upgrade the server refused before the
+// connection ever spoke frames: the HTTP status and error body of the
+// non-101 response. 429 (admission shed) and 503 (recovering, draining,
+// overloaded) are transient; 404 means the session is gone.
+type UpgradeError struct {
+	Status int
+	Msg    string
+}
+
+func (e *UpgradeError) Error() string {
+	return fmt.Sprintf("serve: stream upgrade refused (%d): %s", e.Status, e.Msg)
+}
+
+// Transient reports whether redialing later can plausibly succeed.
+func (e *UpgradeError) Transient() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
 // StreamOptions configures DialStream.
 type StreamOptions struct {
 	// IDs negotiates dense-ID mode: the client interns elements into a
@@ -118,7 +136,7 @@ func DialStream(addr, sessionID string, opts StreamOptions) (*StreamClient, erro
 		if eb.Error == "" {
 			eb.Error = resp.Status
 		}
-		return fail(fmt.Errorf("serve: stream upgrade refused (%d): %s", resp.StatusCode, eb.Error))
+		return fail(&UpgradeError{Status: resp.StatusCode, Msg: eb.Error})
 	}
 	// Past the 101, the connection speaks frames; br may already hold
 	// the server's first ones.

@@ -708,7 +708,7 @@ func NewResilienceProbe(reg *Registry) *ResilienceProbe {
 		return nil
 	}
 	reg.Help(MetricResilienceMemBytes, "Bytes currently accounted by the serve-layer byte governor (event logs, in-flight chunks, stream buffers).")
-	reg.Help(MetricResilienceShedOpens, "Session opens shed because the byte governor was over its soft watermark (HTTP 429 + Retry-After).")
+	reg.Help(MetricResilienceShedOpens, "Session opens shed by admission control — byte-governor soft watermark or the session cap (HTTP 429 + Retry-After).")
 	reg.Help(MetricResilienceShedChunks, "Ingest chunks shed because the byte governor was over its hard limit (retryable 503).")
 	reg.Help(MetricResiliencePressureEvicts, "Sessions evicted by the janitor under memory pressure (idle-longest first, then largest).")
 	reg.Help(MetricResilienceHeartbeatDrops, "Framed-stream connections disconnected after missing the heartbeat deadline (stalled client).")
@@ -745,7 +745,8 @@ func (p *ResilienceProbe) Mem(used, limit int64) {
 	p.memLimit.Set(float64(limit))
 }
 
-// ShedOpen records one session open refused by the soft watermark.
+// ShedOpen records one session open refused by admission control (the
+// soft watermark or the session cap).
 func (p *ResilienceProbe) ShedOpen() {
 	if p == nil {
 		return
