@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fuzz-smoke soak-smoke load-smoke bench bench-smoke bench-guard bench-json bench-load
+.PHONY: all build test check fuzz-smoke soak-smoke load-smoke cluster-smoke bench bench-smoke bench-guard bench-json bench-load
 
 all: build
 
@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzFrame -fuzztime=5s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzDetectorRestore -fuzztime=5s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=5s ./internal/durable
+	$(GO) test -run=NONE -fuzz=FuzzStreamHandshake -fuzztime=5s ./internal/serve
 
 # soak-smoke is a ~20s slice of the chaos soak under the race detector:
 # dozens of concurrent stream/poll/SSE sessions with injected disk
@@ -51,6 +52,15 @@ soak-smoke:
 # goroutine winds down. OPD_LOAD_DURATION stretches it.
 load-smoke:
 	OPD_LOAD=1 OPD_LOAD_DURATION=$${OPD_LOAD_DURATION:-12s} $(GO) test -race -run TestLoadSmoke -v ./internal/loadgen
+
+# cluster-smoke is the gateway node-kill e2e under the race detector:
+# a three-node in-process cluster behind the gateway, live framed
+# streams, one node killed mid-feed — every stream must ride through
+# via re-home + replay with summaries and events bit-identical to the
+# offline detector, no session left routed to the dead node, and the
+# survivors' accountants at zero after shutdown.
+cluster-smoke:
+	OPD_CLUSTER=1 $(GO) test -race -run TestClusterKillMigration -v ./internal/cluster
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run '^$$' ./internal/core/... ./internal/sweep/... ./internal/telemetry/... ./internal/serve/...
@@ -76,10 +86,12 @@ bench-json:
 	$(GO) run ./cmd/phasebench -bench-serve-json BENCH_serve.json
 
 # bench-load regenerates BENCH_load.json: the canonical loadgen suite
-# (1200 framed-stream sessions, a mixed-protocol churn run, and a
-# kill -9 durability/recovery run) against freshly spawned phased
-# processes. Takes a couple of minutes.
+# (1200 framed-stream sessions, a mixed-protocol churn run, a kill -9
+# durability/recovery run, and a cluster node-kill run through the
+# phasedgw gateway) against freshly spawned processes. Takes a couple
+# of minutes.
 bench-load:
 	mkdir -p .bin
 	$(GO) build -o .bin/phased ./cmd/phased
-	$(GO) run ./cmd/loadgen -suite -phased-bin .bin/phased -json BENCH_load.json
+	$(GO) build -o .bin/phasedgw ./cmd/phasedgw
+	$(GO) run ./cmd/loadgen -suite -phased-bin .bin/phased -gateway-bin .bin/phasedgw -json BENCH_load.json

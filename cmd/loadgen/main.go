@@ -16,6 +16,12 @@
 //	loadgen -phased-bin ./phased -kill-after 10s -duration 25s
 //	loadgen -phased-bin ./phased -suite -json BENCH_load.json
 //
+// or drive a whole cluster — phased nodes behind a spawned phasedgw
+// gateway, with a node kill -9 that is never restarted (sessions are
+// live-migrated to the survivors instead):
+//
+//	loadgen -phased-bin ./phased -gateway-bin ./phasedgw -protocols stream -kill-after 10s -duration 25s
+//
 // Exit codes: 0 on a clean run, 1 on a run or server failure, 2 on bad
 // flags.
 package main
@@ -62,8 +68,10 @@ func main() {
 		analyzer = flag.String("analyzer", "threshold", "analyzer: threshold | average")
 		param    = flag.Float64("param", 0.6, "analyzer parameter")
 
-		killAfter = flag.Duration("kill-after", 0, "kill -9 the spawned server this far into the run and restart it (requires -phased-bin)")
-		suite     = flag.Bool("suite", false, "run the canonical benchmark suite instead of one ad-hoc run (requires -phased-bin)")
+		killAfter = flag.Duration("kill-after", 0, "kill -9 the spawned server this far into the run and restart it (requires -phased-bin; with -gateway-bin, kills node 1 and leaves it down)")
+		gwBin     = flag.String("gateway-bin", "", "phasedgw binary: run the load through a spawned gateway over -cluster-nodes phased children (requires -phased-bin)")
+		clusterN  = flag.Int("cluster-nodes", 3, "with -gateway-bin: how many phased nodes behind the gateway")
+		suite     = flag.Bool("suite", false, "run the canonical benchmark suite instead of one ad-hoc run (requires -phased-bin; with -gateway-bin, includes the cluster scenario)")
 		runName   = flag.String("run", "", "with -suite: run only the named scenario")
 		jsonOut   = flag.String("json", "", "write the machine-readable report here (BENCH_load.json format)")
 		verbose   = flag.Bool("v", false, "log harness progress to stderr")
@@ -91,6 +99,12 @@ func main() {
 	}
 	if *killAfter > 0 && *killAfter >= *duration {
 		fail("-kill-after %v must fall inside -duration %v", *killAfter, *duration)
+	}
+	if *gwBin != "" && *phasedBin == "" {
+		fail("-gateway-bin needs -phased-bin: the gateway fronts spawned phased nodes")
+	}
+	if *gwBin != "" && *clusterN < 2 {
+		fail("-cluster-nodes must be >= 2 (got %d)", *clusterN)
 	}
 	if *suite && *phasedBin == "" {
 		fail("-suite needs -phased-bin: each scenario spawns a fresh server")
@@ -165,13 +179,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, spec, *addr, *phasedBin, *dataDir, *killAfter, *suite, *runName, *jsonOut, logger); err != nil {
+	if err := run(ctx, spec, *addr, *phasedBin, *gwBin, *dataDir, *killAfter, *clusterN, *suite, *runName, *jsonOut, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, spec loadgen.Spec, addr, bin, dataDir string, killAfter time.Duration, suite bool, runName, jsonOut string, logger *slog.Logger) error {
+func run(ctx context.Context, spec loadgen.Spec, addr, bin, gwBin, dataDir string, killAfter time.Duration, clusterN int, suite bool, runName, jsonOut string, logger *slog.Logger) error {
 	bf := loadgen.NewBenchFile()
 
 	switch {
@@ -182,6 +196,9 @@ func run(ctx context.Context, spec loadgen.Spec, addr, bin, dataDir string, kill
 		}
 		defer os.RemoveAll(workDir)
 		scenarios := loadgen.DefaultSuite()
+		if gwBin != "" {
+			scenarios = append(scenarios, loadgen.ClusterScenario())
+		}
 		if runName != "" {
 			kept := scenarios[:0]
 			for _, sc := range scenarios {
@@ -194,10 +211,20 @@ func run(ctx context.Context, spec loadgen.Spec, addr, bin, dataDir string, kill
 			}
 			scenarios = kept
 		}
-		bf, err = loadgen.RunSuite(ctx, bin, workDir, scenarios, logger, os.Stdout)
+		bf, err = loadgen.RunSuite(ctx, bin, gwBin, workDir, scenarios, logger, os.Stdout)
 		if err != nil {
 			return err
 		}
+
+	case gwBin != "":
+		// Ad-hoc cluster run: the flag-built spec through a spawned
+		// gateway; -kill-after fells node 1 for good.
+		sc := loadgen.Scenario{Name: "adhoc-cluster", Spec: spec, KillAfter: killAfter, Cluster: clusterN}
+		rep, err := loadgen.RunClusterScenario(ctx, bin, gwBin, sc, logger, os.Stdout)
+		if err != nil {
+			return err
+		}
+		bf.Runs = append(bf.Runs, loadgen.BenchRun{Name: sc.Name, Report: rep})
 
 	case bin != "":
 		// Ad-hoc run against a spawned server.

@@ -1,0 +1,693 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"testing"
+	"time"
+
+	"opd/internal/core"
+	"opd/internal/interval"
+	"opd/internal/serve"
+	"opd/internal/telemetry"
+	"opd/internal/trace"
+)
+
+// phasedTrace builds a deterministic trace with phase structure (stable
+// runs separated by noisy stretches) — the same generator the serve
+// tests use, so results are comparable across suites.
+func phasedTrace(n int) trace.Trace {
+	tr := make(trace.Trace, 0, n)
+	rng := int64(7)
+	next := func(m int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int(rng >> 40)
+		if v < 0 {
+			v = -v
+		}
+		return v % m
+	}
+	for len(tr) < n {
+		for i := 0; i < 2500 && len(tr) < n; i++ {
+			tr = append(tr, trace.MakeBranch(0, 1+i%4, true))
+		}
+		for i := 0; i < 700 && len(tr) < n; i++ {
+			tr = append(tr, trace.MakeBranch(0, 10+next(400), next(2) == 0))
+		}
+	}
+	return tr
+}
+
+// offline runs cfg over tr the batch way, capturing the event log — the
+// ground truth every cluster path must reproduce bit-identically.
+func offline(cfg core.Config, tr trace.Trace) (*core.Detector, []serve.Event) {
+	d := cfg.MustNew()
+	var evs []serve.Event
+	id := cfg.ID()
+	d.SetPhaseStartHook(func(adj int64, _ []trace.Branch) {
+		evs = append(evs, serve.Event{Seq: uint64(len(evs)), Kind: "phase_start", Src: id, At: adj, V1: adj})
+	})
+	d.SetPhaseEndHook(func(iv interval.Interval, _ []trace.Branch) {
+		evs = append(evs, serve.Event{Seq: uint64(len(evs)), Kind: "phase_end", Src: id, At: iv.End, V1: iv.Start, V2: iv.Len()})
+	})
+	core.RunTrace(d, tr)
+	return d, evs
+}
+
+func equalEvents(a, b []serve.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fastPolicy keeps retry sleeps test-sized.
+func fastPolicy() serve.RetryPolicy {
+	return serve.RetryPolicy{Backoff: serve.Backoff{Min: 10 * time.Millisecond, Max: 100 * time.Millisecond}}
+}
+
+// startNode boots one in-process phased node on a loopback port.
+func startNode(t *testing.T) *serve.Server {
+	t.Helper()
+	srv := serve.NewServer(serve.Options{Registry: telemetry.NewRegistry()})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// startCluster boots n nodes and a gateway over them.
+func startCluster(t *testing.T, n int, opts Options) (*Gateway, []*serve.Server, string) {
+	t.Helper()
+	nodes := make([]*serve.Server, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		nodes[i] = startNode(t)
+		addrs[i] = nodes[i].Addr()
+	}
+	opts.Nodes = addrs
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = 50 * time.Millisecond
+	}
+	if opts.FailThreshold == 0 {
+		opts.FailThreshold = 2
+	}
+	gw, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = gw.Shutdown(ctx)
+	})
+	return gw, nodes, "http://" + gw.Addr()
+}
+
+// openSession opens a session through the gateway.
+func openSession(t *testing.T, base string, req serve.ConfigRequest) string {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("open: status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID
+}
+
+// sendChunk posts one element chunk through the gateway.
+func sendChunk(t *testing.T, base, id string, elems trace.Trace) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBranches(&buf, elems); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sessions/"+id+"/elements",
+		"application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("chunk: status %d: %s", resp.StatusCode, b)
+	}
+}
+
+// closeSession deletes the session through the gateway, returning the
+// terminal summary.
+func closeSession(t *testing.T, base, id string) *serve.Summary {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("close: status %d: %s", resp.StatusCode, b)
+	}
+	var sum serve.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	return &sum
+}
+
+// homeOf reads a session's current routing target.
+func homeOf(g *Gateway, id string) string {
+	e := g.lookup(id)
+	if e == nil {
+		return ""
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.node
+}
+
+// TestRingPlacement pins the consistent-hash ring: deterministic
+// ownership, a preference sequence that enumerates every node exactly
+// once, and a spread where every node owns a meaningful share of keys.
+func TestRingPlacement(t *testing.T) {
+	nodes := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080"}
+	r1, r2 := NewRing(nodes), NewRing(nodes)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("ring not deterministic for %q", key)
+		}
+		seq := r1.Seq(key)
+		if len(seq) != len(nodes) {
+			t.Fatalf("Seq(%q) = %v, want all %d nodes", key, seq, len(nodes))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("Seq(%q) repeats %s", key, n)
+			}
+			seen[n] = true
+		}
+		if seq[0] != r1.Owner(key) {
+			t.Fatalf("Seq(%q)[0] = %s, Owner = %s", key, seq[0], r1.Owner(key))
+		}
+		counts[seq[0]]++
+	}
+	for _, n := range nodes {
+		if share := float64(counts[n]) / keys; share < 0.15 {
+			t.Errorf("node %s owns %.1f%% of keys; ring badly unbalanced: %v", n, share*100, counts)
+		}
+	}
+	// Removing a node must not reshuffle keys between survivors.
+	r3 := NewRing(nodes[:2])
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		was, now := r1.Owner(key), r3.Owner(key)
+		if was != nodes[2] && was != now {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving nodes after removal; want 0", moved)
+	}
+}
+
+// TestProberBreaker pins the per-node circuit breaker: FailThreshold
+// consecutive data-plane errors mark a node down, a single success
+// recovers it, and draining excludes from placement without declaring
+// the node dead.
+func TestProberBreaker(t *testing.T) {
+	p := NewProber([]string{"a:1", "b:1"}, ProberOptions{FailThreshold: 3})
+	if !p.Up("a:1") || !p.Healthy("a:1") {
+		t.Fatal("nodes must start up")
+	}
+	p.ReportError("a:1")
+	p.ReportError("a:1")
+	if !p.Up("a:1") {
+		t.Fatal("down before FailThreshold")
+	}
+	p.ReportError("a:1")
+	if p.Up("a:1") || p.Healthy("a:1") {
+		t.Fatal("not down after FailThreshold consecutive errors")
+	}
+	if p.UpCount() != 1 {
+		t.Fatalf("UpCount = %d, want 1", p.UpCount())
+	}
+	// A success between failures resets the streak.
+	p.ReportOK("a:1")
+	if !p.Up("a:1") {
+		t.Fatal("success did not recover the node")
+	}
+	p.ReportError("a:1")
+	p.ReportError("a:1")
+	p.ReportOK("a:1")
+	p.ReportError("a:1")
+	p.ReportError("a:1")
+	if !p.Up("a:1") {
+		t.Fatal("interleaved successes must reset the failure streak")
+	}
+	p.SetDraining("b:1", true)
+	if !p.Up("b:1") || p.Healthy("b:1") {
+		t.Fatal("draining node must stay up but unhealthy")
+	}
+}
+
+// TestGatewayEndToEnd drives all plain wire paths through a 3-node
+// cluster: open (gateway-minted ID, ring placement), one-shot ingest,
+// polling, SSE via WatchEvents, and close — with summaries and event
+// logs bit-identical to offline.
+func TestGatewayEndToEnd(t *testing.T) {
+	tr := phasedTrace(20000)
+	req := serve.ConfigRequest{CW: 400, TW: 600, Skip: 32, Policy: "adaptive", Model: "weighted", Param: 0.5}
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantEvents := offline(cfg, tr)
+
+	gw, _, base := startCluster(t, 3, Options{Registry: telemetry.NewRegistry()})
+	const sessions = 4
+	ids := make([]string, sessions)
+	sinks := make([]eventSink, sessions)
+	watch := make([]chan error, sessions)
+	for i := range ids {
+		ids[i] = openSession(t, base, req)
+		if homeOf(gw, ids[i]) == "" {
+			t.Fatalf("session %s has no routing entry", ids[i])
+		}
+		watch[i] = make(chan error, 1)
+		go func(i int) {
+			watch[i] <- serve.WatchEvents(nil, base, ids[i], serve.WatchOptions{
+				RetryPolicy: fastPolicy(),
+				OnEvent:     sinks[i].add,
+			})
+		}(i)
+	}
+	for from := 0; from < len(tr); from += 1009 {
+		end := from + 1009
+		if end > len(tr) {
+			end = len(tr)
+		}
+		for _, id := range ids {
+			sendChunk(t, base, id, tr[from:end])
+		}
+	}
+	for i, id := range ids {
+		sum := closeSession(t, base, id)
+		if sum.Consumed != want.Consumed() {
+			t.Fatalf("session %d: consumed %d, want %d", i, sum.Consumed, want.Consumed())
+		}
+		if sum.SimComputations != want.SimilarityComputations() {
+			t.Errorf("session %d: sim %d, want %d", i, sum.SimComputations, want.SimilarityComputations())
+		}
+		select {
+		case err := <-watch[i]:
+			if err != nil {
+				t.Fatalf("session %d: watch: %v", i, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("session %d: watcher missed the terminal event", i)
+		}
+		if got := sinks[i].events(); !equalEvents(got, wantEvents) {
+			t.Errorf("session %d: SSE event log diverges (%d events, want %d)", i, len(got), len(wantEvents))
+		}
+	}
+	if n := gw.SessionCount(); n != 0 {
+		t.Errorf("routing table holds %d entries after all closes, want 0", n)
+	}
+}
+
+// eventSink collects events thread-safely.
+type eventSink struct {
+	mu  sync.Mutex
+	evs []serve.Event
+}
+
+func (s *eventSink) add(e serve.Event) {
+	s.mu.Lock()
+	s.evs = append(s.evs, e)
+	s.mu.Unlock()
+}
+
+func (s *eventSink) events() []serve.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]serve.Event(nil), s.evs...)
+}
+
+// TestGatewayCap pins the cluster-global admission cap: opens beyond
+// MaxSessions shed with 429 + Retry-After before any node is dialed.
+func TestGatewayCap(t *testing.T) {
+	_, _, base := startCluster(t, 2, Options{MaxSessions: 1})
+	openSession(t, base, serve.ConfigRequest{CW: 300})
+	body, _ := json.Marshal(serve.ConfigRequest{CW: 300})
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("open past the cluster cap: status %d, want 429", resp.StatusCode)
+	}
+	if _, ok := serve.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); !ok {
+		t.Fatalf("shed without a parseable Retry-After (%q)", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestGatewayStreamSplice pins the framed-stream path: a ReliableStream
+// dialed at the gateway is spliced to the session's home node and the
+// result is bit-identical to offline.
+func TestGatewayStreamSplice(t *testing.T) {
+	tr := phasedTrace(20000)
+	req := serve.ConfigRequest{CW: 300}
+	cfg, _ := req.Config()
+	want, wantEvents := offline(cfg, tr)
+
+	gw, _, base := startCluster(t, 3, Options{Registry: telemetry.NewRegistry()})
+	id := openSession(t, base, req)
+	var sink eventSink
+	rs, err := serve.DialReliable(gw.Addr(), id, serve.ReliableOptions{
+		RetryPolicy: fastPolicy(),
+		OnEvent:     sink.add,
+	})
+	if err != nil {
+		t.Fatalf("dial through gateway: %v", err)
+	}
+	defer rs.Close()
+	for from := 0; from < len(tr); from += 997 {
+		end := from + 997
+		if end > len(tr) {
+			end = len(tr)
+		}
+		if err := rs.Send(tr[from:end]); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	sum, err := rs.End(true)
+	if err != nil {
+		t.Fatalf("end: %v", err)
+	}
+	if sum.Consumed != want.Consumed() || sum.SimComputations != want.SimilarityComputations() {
+		t.Fatalf("summary diverges: consumed %d/%d, sim %d/%d",
+			sum.Consumed, want.Consumed(), sum.SimComputations, want.SimilarityComputations())
+	}
+	if got := sink.events(); !equalEvents(got, wantEvents) {
+		t.Errorf("spliced event log diverges (%d events, want %d)", len(got), len(wantEvents))
+	}
+}
+
+// TestGatewayDrainMigration is the live-migration proof: sessions fed
+// half their trace — one over a live framed stream — are drained off
+// their home node mid-flight, finish on their new homes, and every
+// summary and event log stays bit-identical to offline. The streamed
+// session's client rides through on at most a reconnect.
+func TestGatewayDrainMigration(t *testing.T) {
+	tr := phasedTrace(20000)
+	req := serve.ConfigRequest{CW: 400, TW: 600, Skip: 32, Policy: "adaptive", Model: "weighted", Param: 0.5}
+	cfg, _ := req.Config()
+	want, wantEvents := offline(cfg, tr)
+
+	gw, _, base := startCluster(t, 3, Options{Registry: telemetry.NewRegistry()})
+
+	// A handful of one-shot sessions plus one live stream.
+	const oneShots = 3
+	ids := make([]string, oneShots)
+	for i := range ids {
+		ids[i] = openSession(t, base, req)
+	}
+	streamID := openSession(t, base, req)
+	var sink eventSink
+	rs, err := serve.DialReliable(gw.Addr(), streamID, serve.ReliableOptions{
+		RetryPolicy: fastPolicy(),
+		OnEvent:     sink.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	half := len(tr) / 2
+	feed := func(id string, from, to int) {
+		for ; from < to; from += 1009 {
+			end := from + 1009
+			if end > to {
+				end = to
+			}
+			sendChunk(t, base, id, tr[from:end])
+		}
+	}
+	for _, id := range ids {
+		feed(id, 0, half)
+	}
+	for from := 0; from < half; from += 1009 {
+		end := from + 1009
+		if end > half {
+			end = half
+		}
+		if err := rs.Send(tr[from:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rs.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the streamed session's home via the admin endpoint (the
+	// others ride along if they share it).
+	victim := homeOf(gw, streamID)
+	resp, err := http.Post(base+"/admin/drain?node="+victim, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr DrainResult
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || dr.Failed != 0 || dr.Migrated < 1 {
+		t.Fatalf("drain: status %d, result %+v", resp.StatusCode, dr)
+	}
+	if got := homeOf(gw, streamID); got == victim || got == "" {
+		t.Fatalf("streamed session still homed on drained node %s (now %q)", victim, got)
+	}
+	// Nothing new may land on the drained node.
+	if probe := openSession(t, base, serve.ConfigRequest{CW: 300}); homeOf(gw, probe) == victim {
+		t.Fatalf("new session placed on draining node %s", victim)
+	}
+
+	// Finish everything and compare.
+	for from := half; from < len(tr); from += 1009 {
+		end := from + 1009
+		if end > len(tr) {
+			end = len(tr)
+		}
+		if err := rs.Send(tr[from:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := rs.End(true)
+	if err != nil {
+		t.Fatalf("end after drain: %v", err)
+	}
+	if sum.Consumed != want.Consumed() || sum.SimComputations != want.SimilarityComputations() {
+		t.Fatalf("streamed summary diverges after migration: consumed %d/%d, sim %d/%d",
+			sum.Consumed, want.Consumed(), sum.SimComputations, want.SimilarityComputations())
+	}
+	if got := sink.events(); !equalEvents(got, wantEvents) {
+		t.Errorf("streamed event log diverges across migration (%d events, want %d):\n got %v\nwant %v",
+			len(got), len(wantEvents), got, wantEvents)
+	}
+	for i, id := range ids {
+		feed(id, half, len(tr))
+		sum := closeSession(t, base, id)
+		if sum.Consumed != want.Consumed() || sum.SimComputations != want.SimilarityComputations() {
+			t.Fatalf("session %d diverges after drain: consumed %d/%d, sim %d/%d",
+				i, sum.Consumed, want.Consumed(), sum.SimComputations, want.SimilarityComputations())
+		}
+		if sum.EventsTotal != uint64(len(wantEvents)) {
+			t.Errorf("session %d: events_total %d, want %d", i, sum.EventsTotal, len(wantEvents))
+		}
+	}
+}
+
+// TestClusterKillMigration is the node-failure proof, gated by
+// OPD_CLUSTER (run via make cluster-smoke, under -race): sessions
+// streaming through a 3-node cluster survive one node dying without
+// warning — the prober detects it, reconnecting streams re-home onto
+// ring successors, deterministic replay rebuilds the lost state, and
+// every summary and event log is bit-identical to offline with zero
+// lost or duplicated events. Afterwards the gateway and surviving nodes
+// shut down to a zero accountant and the goroutine baseline.
+func TestClusterKillMigration(t *testing.T) {
+	if os.Getenv("OPD_CLUSTER") == "" {
+		t.Skip("set OPD_CLUSTER=1 to run the cluster node-kill test")
+	}
+	baseGoroutines := runtime.NumGoroutine()
+	tr := phasedTrace(20000)
+	req := serve.ConfigRequest{CW: 400, TW: 600, Skip: 32, Policy: "adaptive", Model: "weighted", Param: 0.5}
+	cfg, _ := req.Config()
+	want, wantEvents := offline(cfg, tr)
+
+	gw, nodes, base := startCluster(t, 3, Options{
+		Registry:      telemetry.NewRegistry(),
+		ProbeInterval: 50 * time.Millisecond,
+		FailThreshold: 2,
+	})
+
+	// Open streams until at least two live on the victim node (ID
+	// placement is hash-random), capped well above the expected need.
+	victim := nodes[0].Addr()
+	const maxSessions = 12
+	var ids []string
+	var streams []*serve.ReliableStream
+	var sinks []*eventSink
+	onVictim := 0
+	for len(ids) < maxSessions && (onVictim < 2 || len(ids) < 4) {
+		id := openSession(t, base, req)
+		sink := &eventSink{}
+		rs, err := serve.DialReliable(gw.Addr(), id, serve.ReliableOptions{
+			RetryPolicy: fastPolicy(),
+			OnEvent:     sink.add,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		streams = append(streams, rs)
+		sinks = append(sinks, sink)
+		if homeOf(gw, id) == victim {
+			onVictim++
+		}
+	}
+	if onVictim == 0 {
+		t.Fatalf("no session landed on the victim node across %d opens", len(ids))
+	}
+	t.Logf("%d sessions, %d homed on victim %s", len(ids), onVictim, victim)
+
+	parts := make([]trace.Trace, 0, len(tr)/997+1)
+	for from := 0; from < len(tr); from += 997 {
+		end := from + 997
+		if end > len(tr) {
+			end = len(tr)
+		}
+		parts = append(parts, tr[from:end])
+	}
+	killAt := len(parts) / 3
+	t0 := time.Now()
+	var killed time.Time
+	for i, p := range parts {
+		if i == killAt {
+			if err := nodes[0].Abort(); err != nil {
+				t.Fatal(err)
+			}
+			killed = time.Now()
+		}
+		for _, rs := range streams {
+			if err := rs.Send(p); err != nil {
+				t.Fatalf("send chunk %d: %v", i, err)
+			}
+		}
+	}
+	for si, rs := range streams {
+		sum, err := rs.End(true)
+		if err != nil {
+			t.Fatalf("end stream %d: %v", si, err)
+		}
+		if sum.Consumed != want.Consumed() {
+			t.Fatalf("stream %d: consumed %d, want %d", si, sum.Consumed, want.Consumed())
+		}
+		if sum.SimComputations != want.SimilarityComputations() {
+			t.Errorf("stream %d: sim %d, want %d", si, sum.SimComputations, want.SimilarityComputations())
+		}
+		if got := sinks[si].events(); !equalEvents(got, wantEvents) {
+			t.Errorf("stream %d: event log diverges across node kill (%d events, want %d)",
+				si, len(got), len(wantEvents))
+		}
+	}
+	t.Logf("fed %d sessions through a node kill in %v (kill at %v)",
+		len(ids), time.Since(t0).Round(time.Millisecond), killed.Sub(t0).Round(time.Millisecond))
+
+	// Nothing may still be routed to the dead node.
+	for _, id := range ids {
+		if homeOf(gw, id) == victim {
+			t.Errorf("session %s still routed to the dead node", id)
+		}
+	}
+
+	// Shutdown hygiene: gateway down first, then the survivors; both
+	// accountants at zero, goroutines back to baseline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		t.Errorf("gateway shutdown: %v", err)
+	}
+	for i, n := range nodes {
+		if i == 0 {
+			continue // killed; its manager is shut down by the cleanup
+		}
+		if err := n.Shutdown(ctx); err != nil {
+			t.Errorf("node %d shutdown: %v", i, err)
+		}
+		if used := n.Manager().MemUsed(); used != 0 {
+			t.Errorf("node %d accountant settled at %d bytes, want 0", i, used)
+		}
+		if live := n.Manager().Len(); live != 0 {
+			t.Errorf("node %d still holds %d sessions after shutdown", i, live)
+		}
+	}
+	settleGoroutines(t, baseGoroutines)
+}
+
+// settleGoroutines waits for the goroutine count to return to the
+// baseline, dumping stacks if it never does.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			var buf bytes.Buffer
+			_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+			t.Fatalf("goroutines settled at %d, baseline %d; dump:\n%s",
+				runtime.NumGoroutine(), base, buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"opd/internal/telemetry"
+)
+
+// ProberOptions configures the health prober.
+type ProberOptions struct {
+	// Interval is the periodic /readyz probe cadence. 0 means 500ms.
+	Interval time.Duration
+	// FailThreshold is how many consecutive failures (probe misses or
+	// data-plane transport errors) mark a node down. 0 means 3.
+	FailThreshold int
+	// Client issues the probes. nil builds one with a timeout of
+	// Interval (a probe slower than the cadence counts as a miss).
+	Client *http.Client
+	// Logger receives node state transitions. nil discards.
+	Logger *slog.Logger
+	// Probe receives gateway telemetry. nil disables.
+	Probe *telemetry.GatewayProbe
+}
+
+// A Prober tracks per-node health for the gateway: a periodic /readyz
+// poll, fused with data-plane error reports, drives a per-node circuit
+// breaker. A node starts up (optimistic: the first probe corrects the
+// guess within one interval), goes down after FailThreshold consecutive
+// failures, and recovers half-open — only a successful probe, never
+// traffic, brings it back, so a flapping node cannot absorb real
+// requests while it struggles.
+type Prober struct {
+	nodes []string
+	opts  ProberOptions
+
+	mu sync.Mutex
+	st map[string]*nodeState
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// nodeState is one node's breaker.
+type nodeState struct {
+	up       bool
+	fails    int // consecutive failures (probe or data-plane)
+	draining bool
+}
+
+// NewProber builds a prober over the node set. Call Start to begin
+// probing; Healthy answers from the latest state either way.
+func NewProber(nodes []string, opts ProberOptions) *Prober {
+	if opts.Interval <= 0 {
+		opts.Interval = 500 * time.Millisecond
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = 3
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: opts.Interval}
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
+	}
+	p := &Prober{
+		nodes: append([]string(nil), nodes...),
+		opts:  opts,
+		st:    make(map[string]*nodeState, len(nodes)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, n := range p.nodes {
+		p.st[n] = &nodeState{up: true}
+	}
+	opts.Probe.NodesUp(len(p.nodes))
+	return p
+}
+
+// Start launches the probe loop.
+func (p *Prober) Start() {
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.opts.Interval)
+		defer t.Stop()
+		for {
+			p.probeAll()
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it.
+func (p *Prober) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+// probeAll polls every node's /readyz once. 200 is healthy; anything
+// else — refused connection, timeout, 503 (recovering or draining) —
+// counts one failure.
+func (p *Prober) probeAll() {
+	for _, n := range p.nodes {
+		resp, err := p.opts.Client.Get("http://" + n + "/readyz")
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+			resp.Body.Close()
+		}
+		if ok {
+			p.ReportOK(n)
+		} else {
+			p.reportFailure(n, "probe")
+		}
+	}
+}
+
+// Healthy reports whether new work should be routed to the node: up
+// and not draining.
+func (p *Prober) Healthy(node string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.st[node]
+	return s != nil && s.up && !s.draining
+}
+
+// Up reports whether the node is reachable at all (a draining node is
+// up: its live sessions still answer).
+func (p *Prober) Up(node string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.st[node]
+	return s != nil && s.up
+}
+
+// UpCount returns how many nodes are currently up.
+func (p *Prober) UpCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, s := range p.st {
+		if s.up {
+			n++
+		}
+	}
+	return n
+}
+
+// SetDraining marks a node as draining: it stays up (sessions answer,
+// exports work) but Healthy excludes it, so no new sessions land there.
+func (p *Prober) SetDraining(node string, draining bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.st[node]; s != nil {
+		s.draining = draining
+	}
+}
+
+// ReportOK feeds a data-plane success (or a passed probe): the failure
+// streak resets, and a down node recovers.
+func (p *Prober) ReportOK(node string) {
+	p.mu.Lock()
+	s := p.st[node]
+	if s == nil {
+		p.mu.Unlock()
+		return
+	}
+	s.fails = 0
+	flipped := !s.up
+	s.up = true
+	up := p.upCountLocked()
+	p.mu.Unlock()
+	if flipped {
+		p.opts.Probe.NodeState(up)
+		p.opts.Logger.Info("node recovered", "node", node, "nodes_up", up)
+	}
+}
+
+// ReportError feeds a data-plane transport error (connection refused,
+// mid-flight drop). HTTP-level errors are not failures — a node
+// answering 4xx/5xx is alive.
+func (p *Prober) ReportError(node string) { p.reportFailure(node, "request") }
+
+func (p *Prober) reportFailure(node, kind string) {
+	p.mu.Lock()
+	s := p.st[node]
+	if s == nil {
+		p.mu.Unlock()
+		return
+	}
+	s.fails++
+	flipped := s.up && s.fails >= p.opts.FailThreshold
+	if flipped {
+		s.up = false
+	}
+	fails := s.fails
+	up := p.upCountLocked()
+	p.mu.Unlock()
+	if flipped {
+		p.opts.Probe.NodeState(up)
+		p.opts.Logger.Warn("node marked down", "node", node,
+			"consecutive_failures", fails, "kind", kind, "nodes_up", up)
+	}
+}
+
+func (p *Prober) upCountLocked() int {
+	n := 0
+	for _, s := range p.st {
+		if s.up {
+			n++
+		}
+	}
+	return n
+}

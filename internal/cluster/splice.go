@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// handleStream proxies the framed-stream upgrade as a raw TCP splice:
+// the gateway performs the upgrade handshake against the session's home
+// node, answers the client's upgrade with the node's 101, and then
+// copies bytes in both directions without parsing a single frame — the
+// zero-copy hot path stays zero-copy through the gateway.
+//
+// This is also where dead-node recovery happens: a reconnecting client
+// whose home node the prober has declared down is re-homed first —
+// the session is adopted fresh on the ring's next healthy node, and the
+// client's deterministic full-history replay (the reliability layer's
+// resume contract) rebuilds state bit-identical to what the dead node
+// held.
+func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e := g.lookup(id)
+	if e == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown session %q", id))
+		return
+	}
+	node, err := g.streamTarget(id, e)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	// The splice deliberately does NOT hold the entry lock for its life:
+	// a drain migration must be able to take the write lock while streams
+	// are live (the donor's export marks the session migrated, its stream
+	// loop answers with a retryable error, and the reconnect — which
+	// queues on the entry lock — lands on the new home). The price is a
+	// narrow stale-routing window, closed below by converting the donor's
+	// 404 into a retryable 503 whenever the gateway still knows the
+	// session.
+
+	// Failures below answer 503, not 502: the stream client treats 503 as
+	// transient, and its retry is exactly what drives dead-node re-homing
+	// (the dial errors reported here trip the prober, and the next
+	// attempt's streamTarget adopts the session elsewhere).
+	backend, err := net.DialTimeout("tcp", node, 10*time.Second)
+	if err != nil {
+		g.probe.Request(true)
+		g.prober.ReportError(node)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: node %s: %w", node, err))
+		return
+	}
+	_, err = fmt.Fprintf(backend, "POST /v1/sessions/%s/stream HTTP/1.1\r\nHost: %s\r\nUpgrade: %s\r\nConnection: Upgrade\r\nContent-Length: 0\r\n\r\n",
+		id, node, r.Header.Get("Upgrade"))
+	if err != nil {
+		backend.Close()
+		g.probe.Request(true)
+		g.prober.ReportError(node)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: node %s: %w", node, err))
+		return
+	}
+	br := bufio.NewReader(backend)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		backend.Close()
+		g.probe.Request(true)
+		g.prober.ReportError(node)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: node %s upgrade: %w", node, err))
+		return
+	}
+	g.probe.Request(false)
+	g.prober.ReportOK(node)
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		if resp.StatusCode == http.StatusNotFound && g.lookup(id) != nil {
+			// The node no longer knows a session the gateway still routes:
+			// the home moved between target resolution and the handshake
+			// (a racing drain). Retryable — the next attempt re-resolves.
+			resp.Body.Close()
+			backend.Close()
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("cluster: session %q re-homed mid-upgrade; retry", id))
+			return
+		}
+		// The node refused the upgrade (426, 503, a true 404): relay its
+		// answer as a plain response.
+		relay(w, resp)
+		resp.Body.Close()
+		backend.Close()
+		return
+	}
+
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		backend.Close()
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("cluster: connection cannot be hijacked"))
+		return
+	}
+	client, brw, err := hj.Hijack()
+	if err != nil {
+		backend.Close()
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("cluster: hijacking connection: %w", err))
+		return
+	}
+	if gr, ok := w.(*gwRecorder); ok {
+		gr.status = http.StatusSwitchingProtocols
+	}
+	fmt.Fprintf(brw, "HTTP/1.1 101 Switching Protocols\r\nUpgrade: %s\r\nConnection: Upgrade\r\n\r\n",
+		r.Header.Get("Upgrade"))
+	if err := brw.Flush(); err != nil {
+		client.Close()
+		backend.Close()
+		return
+	}
+	g.splice(id, client, brw.Reader, backend, br)
+}
+
+// splice copies bytes both ways until either side drops, then severs
+// both. Both conns are tracked so Shutdown can cut live splices.
+func (g *Gateway) splice(id string, client net.Conn, clientR *bufio.Reader, backend net.Conn, backendR *bufio.Reader) {
+	g.spliceMu.Lock()
+	g.splices[client] = struct{}{}
+	g.splices[backend] = struct{}{}
+	g.spliceMu.Unlock()
+	g.probe.Splice(1)
+	defer func() {
+		g.spliceMu.Lock()
+		delete(g.splices, client)
+		delete(g.splices, backend)
+		g.spliceMu.Unlock()
+		g.probe.Splice(-1)
+	}()
+
+	g.spliceWG.Add(1)
+	go func() {
+		defer g.spliceWG.Done()
+		// Client -> node. The client's buffered reader may hold frames
+		// pipelined behind the upgrade request; it drains them first.
+		_, _ = io.Copy(backend, clientR)
+		// EOF or error either way: the node must see the close to end
+		// the session's stream loop.
+		backend.Close()
+		client.Close()
+	}()
+	// Node -> client, on this handler goroutine so the request stays
+	// accounted until the splice dies. backendR holds any frames read
+	// behind the 101.
+	_, _ = io.Copy(client, backendR)
+	client.Close()
+	backend.Close()
+	g.logger.Debug("stream splice closed", "session", id)
+}
+
+// streamTarget resolves the node a stream (re)connect should splice to,
+// re-homing the session first if its recorded home is down.
+func (g *Gateway) streamTarget(id string, e *entry) (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if g.prober.Up(e.node) {
+		return e.node, nil
+	}
+	// Dead home: adopt fresh on the next healthy node in the preference
+	// order. The durable state on the dead node is abandoned — the
+	// reconnecting client's replay regenerates it exactly.
+	for _, succ := range g.ring.Seq(id) {
+		if succ == e.node || !g.prober.Healthy(succ) {
+			continue
+		}
+		// Deliberately not the client's request context: the re-home
+		// benefits every future client of this session, so one impatient
+		// dialer must not abort it halfway.
+		resp, err := g.adoptFresh(context.Background(), succ, id, e.cfg)
+		if err != nil {
+			g.prober.ReportError(succ)
+			continue
+		}
+		status := resp.StatusCode
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<14))
+		resp.Body.Close()
+		g.prober.ReportOK(succ)
+		if status == http.StatusCreated || status == http.StatusConflict {
+			old := e.node
+			e.node = succ
+			g.probe.Retarget()
+			g.probe.Migration(0)
+			g.logger.Info("session re-homed off dead node",
+				"session", id, "from", old, "to", succ)
+			return succ, nil
+		}
+	}
+	return "", fmt.Errorf("cluster: session %q: home %s down and no node would adopt", id, e.node)
+}

@@ -72,7 +72,10 @@ type RecoveryStats struct {
 	RestartNS int64 `json:"restart_ns"`
 	// ReadyNS is kill → /readyz 200 (boot replay finished).
 	ReadyNS int64 `json:"ready_ns"`
-	// IngestNS is kill → first chunk acknowledged to any client again.
+	// IngestNS is kill → first chunk acknowledged on a stream the kill
+	// disrupted (one that reconnected after it). For a cluster node
+	// kill that is the live-migration ride-through time: dead-node
+	// detection, re-home, and the client's replay.
 	IngestNS int64 `json:"ingest_recovery_ns"`
 }
 
@@ -169,6 +172,7 @@ func FilterCounters(snap telemetry.Snapshot) map[string]float64 {
 	keep := func(name string) bool {
 		return strings.HasPrefix(name, "opd_resilience_") ||
 			strings.HasPrefix(name, "opd_serve_sessions_") ||
+			strings.HasPrefix(name, "opd_gateway_") ||
 			name == "opd_serve_chunks_total" ||
 			name == "opd_serve_ingest_elements_total" ||
 			name == "opd_serve_events_emitted_total"
@@ -217,11 +221,19 @@ func (rep *Report) WriteHuman(w io.Writer) {
 			l.Count)
 	}
 	if rec := rep.Recovery; rec != nil {
-		fmt.Fprintf(w, "kill -9:   at %v — restart %v, ready %v, first ack %v\n",
-			time.Duration(rec.KilledAtNS).Round(time.Millisecond),
-			time.Duration(rec.RestartNS).Round(time.Millisecond),
-			time.Duration(rec.ReadyNS).Round(time.Millisecond),
-			time.Duration(rec.IngestNS).Round(time.Millisecond))
+		if rec.RestartNS == 0 && rec.ReadyNS == 0 {
+			// Cluster node kill: nothing restarts; recovery is the gateway
+			// re-homing the dead node's sessions onto survivors.
+			fmt.Fprintf(w, "kill -9:   at %v — node left down; first re-homed ack %v\n",
+				time.Duration(rec.KilledAtNS).Round(time.Millisecond),
+				time.Duration(rec.IngestNS).Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(w, "kill -9:   at %v — restart %v, ready %v, first ack %v\n",
+				time.Duration(rec.KilledAtNS).Round(time.Millisecond),
+				time.Duration(rec.RestartNS).Round(time.Millisecond),
+				time.Duration(rec.ReadyNS).Round(time.Millisecond),
+				time.Duration(rec.IngestNS).Round(time.Millisecond))
+		}
 	}
 	if rep.Errors.Unexpected > 0 {
 		fmt.Fprintf(w, "errors:    %d UNEXPECTED\n", rep.Errors.Unexpected)
@@ -232,6 +244,18 @@ func (rep *Report) WriteHuman(w io.Writer) {
 		fmt.Fprintf(w, "errors:    none outside the overload contract\n")
 	}
 	if rep.Server != nil {
+		if _, ok := rep.Server["opd_gateway_requests_total"]; ok {
+			// The snapshot came from a gateway, not a node: show the
+			// routing story instead of zero serve counters.
+			fmt.Fprintf(w, "gateway:   requests=%.0f errors=%.0f retargets=%.0f migrations=%.0f (failed=%.0f) node_flips=%.0f\n",
+				rep.Server["opd_gateway_requests_total"],
+				rep.Server["opd_gateway_request_errors_total"],
+				rep.Server["opd_gateway_retargets_total"],
+				rep.Server["opd_gateway_migrations_total"],
+				rep.Server["opd_gateway_migration_failures_total"],
+				rep.Server["opd_gateway_node_state_flips_total"])
+			return
+		}
 		fmt.Fprintf(w, "server:    shed_opens=%.0f shed_chunks=%.0f opened=%.0f closed=%.0f evicted=%.0f\n",
 			rep.Server["opd_resilience_shed_opens_total"],
 			rep.Server["opd_resilience_shed_chunks_total"],

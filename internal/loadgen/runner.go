@@ -9,7 +9,6 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -335,6 +334,11 @@ func (r *Runner) observeEvent(inflight *atomic.Int64, hist *telemetry.LatencyHis
 // then a clean End.
 func (r *Runner) driveStream(ctx context.Context, sp SessionPlan, id string, cs *chunkSource, t0, deadline time.Time) bool {
 	var inflight atomic.Int64
+	// disrupted flips when this stream reconnects while a kill is
+	// pending: only an ack that follows such a reconnect counts as
+	// recovery. Streams untouched by the kill (homed on surviving
+	// cluster nodes) must not mask the victims' recovery time.
+	var disrupted atomic.Bool
 	rs, err := serve.DialReliable(r.addr, id, serve.ReliableOptions{
 		RetryPolicy: r.policy(ctx),
 		IDs:         sp.Protocol == ProtoStream,
@@ -346,6 +350,9 @@ func (r *Runner) driveStream(ctx context.Context, sp SessionPlan, id string, cs 
 		},
 		OnReconnect: func(_ int, cause error) {
 			r.reconnects.Add(1)
+			if r.killedAt.Load() != 0 {
+				disrupted.Store(true)
+			}
 			var se *serve.StreamError
 			if errors.As(cause, &se) && se.Retryable {
 				r.chunkSheds.Add(1)
@@ -383,7 +390,9 @@ func (r *Runner) driveStream(ctx context.Context, sp SessionPlan, id string, cs 
 		r.streamIngest.ObserveSince(start)
 		r.chunks.Add(1)
 		r.elements.Add(int64(len(chunk)))
-		r.markOK()
+		if disrupted.Swap(false) {
+			r.markOK()
+		}
 		next = next.Add(r.plan.Interval(time.Since(t0)))
 		if now := time.Now(); next.Before(now) {
 			next = now // closed loop: no burst catch-up after a stall
@@ -521,8 +530,8 @@ func (r *Runner) postOnce(ctx context.Context, url string, body []byte) (status 
 		return 0, 0, err
 	}
 	defer resp.Body.Close()
-	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
-		retryAfter = time.Duration(secs) * time.Second
+	if d, ok := serve.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		retryAfter = d
 	}
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 	return resp.StatusCode, retryAfter, nil

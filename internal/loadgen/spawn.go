@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -20,16 +21,17 @@ import (
 //	time=... level=INFO msg=listening addr=127.0.0.1:43445 debug_url=...
 var spawnListenRe = regexp.MustCompile(`\bmsg=listening\b.*\baddr=(\S+)`)
 
-// A Server is a phased child process managed by the harness for
+// A Server is a child process managed by the harness for
 // crash/recovery scenarios: it can be killed with SIGKILL mid-run and
-// restarted on the same address and data dir, so clients reconnect and
-// resume against the recovered state.
+// restarted on the same address and argument list, so clients reconnect
+// and resume against the recovered state. Both phased nodes and the
+// phasedgw gateway are spawned this way — they share the structured
+// "listening" log line and the /readyz contract.
 type Server struct {
-	bin     string
-	dataDir string
-	addr    string
-	extra   []string
-	logger  *slog.Logger
+	bin    string
+	addr   string
+	args   []string
+	logger *slog.Logger
 
 	mu       sync.Mutex
 	cmd      *exec.Cmd
@@ -53,10 +55,23 @@ func PickAddr() (string, error) {
 // SpawnServer starts a phased child at bin with the given fixed addr
 // and data dir (plus any extra flags) and waits until it is serving.
 func SpawnServer(ctx context.Context, bin, addr, dataDir string, logger *slog.Logger, extra ...string) (*Server, error) {
+	args := append([]string{"-addr", addr, "-data-dir", dataDir}, extra...)
+	return spawn(ctx, bin, addr, args, logger)
+}
+
+// SpawnGateway starts a phasedgw child fronting the given phased nodes
+// and waits until it is serving (its /readyz answers 200 once the
+// prober has seen at least one node up).
+func SpawnGateway(ctx context.Context, bin, addr string, nodes []string, logger *slog.Logger, extra ...string) (*Server, error) {
+	args := append([]string{"-addr", addr, "-nodes", strings.Join(nodes, ",")}, extra...)
+	return spawn(ctx, bin, addr, args, logger)
+}
+
+func spawn(ctx context.Context, bin, addr string, args []string, logger *slog.Logger) (*Server, error) {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
-	s := &Server{bin: bin, dataDir: dataDir, addr: addr, extra: extra, logger: logger}
+	s := &Server{bin: bin, addr: addr, args: args, logger: logger}
 	if err := s.start(ctx); err != nil {
 		return nil, err
 	}
@@ -69,9 +84,7 @@ func (s *Server) Addr() string { return s.addr }
 // start launches the child and blocks until its "listening" log line
 // appears and /readyz answers 200 (boot replay finished).
 func (s *Server) start(ctx context.Context) error {
-	args := []string{"-addr", s.addr, "-data-dir", s.dataDir}
-	args = append(args, s.extra...)
-	cmd := exec.CommandContext(ctx, s.bin, args...)
+	cmd := exec.CommandContext(ctx, s.bin, s.args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		return err

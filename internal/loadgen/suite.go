@@ -15,10 +15,16 @@ type Scenario struct {
 	Name string
 	Spec Spec
 	// KillAfter, when positive, kill -9s the spawned server this far into
-	// the run and restarts it on the same address and data dir.
+	// the run and restarts it on the same address and data dir. In a
+	// cluster scenario the kill hits the first phased node instead, and
+	// nothing restarts it — recovery is the gateway re-homing the dead
+	// node's sessions.
 	KillAfter time.Duration
 	// Extra phased flags (fsync policy, budgets) for this scenario.
 	Extra []string
+	// Cluster, when >= 2, runs the scenario against this many phased
+	// nodes behind a spawned phasedgw gateway instead of one node.
+	Cluster int
 }
 
 // mustMix panics on a malformed built-in mix string — suite mixes are
@@ -104,6 +110,109 @@ func DefaultSuite() []Scenario {
 	}
 }
 
+// ClusterScenario is the gateway node-kill run: framed streams over a
+// three-node fleet behind phasedgw, with node 1 killed -9 mid-ramp and
+// never restarted. Its sessions ride the reliability layer's reconnect:
+// the gateway detects the dead node, adopts them fresh on a survivor,
+// and the clients' full-history replay regenerates state — the report's
+// ingest_recovery_ns is kill → first acknowledged chunk on a stream the
+// kill disrupted. Streams only: dead-node re-homing rides the stream
+// resume contract by design (ROADMAP, DESIGN §6f).
+func ClusterScenario() Scenario {
+	return Scenario{
+		Name: "cluster-node-kill",
+		Spec: Spec{
+			Sessions:  96,
+			StartRPS:  1,
+			StepRPS:   1,
+			TargetRPS: 3,
+			Slot:      5 * time.Second,
+			Duration:  25 * time.Second,
+			ChunkMin:  256,
+			ChunkMax:  1024,
+			Scale:     2,
+			Mix:       mustMix(ParseMix, "all"),
+			Protocols: mustMix(ParseProtocolMix, "stream=3,stream-branch=1"),
+			Seed:      4,
+		},
+		KillAfter: 10 * time.Second,
+		Cluster:   3,
+	}
+}
+
+// RunClusterScenario spawns a phased fleet and a phasedgw gateway for
+// one cluster scenario, drives the load through the gateway, and (for
+// kill scenarios) kill -9s the first node mid-run without restarting
+// it. Nodes run in-memory: a dead node's state is deliberately
+// abandoned — the adopting node rebuilds it from the clients' replay.
+func RunClusterScenario(ctx context.Context, bin, gwBin string, sc Scenario, logger *slog.Logger, human io.Writer) (*Report, error) {
+	if sc.Cluster < 2 {
+		return nil, fmt.Errorf("loadgen: scenario %s: cluster size %d < 2", sc.Name, sc.Cluster)
+	}
+	nodes := make([]*Server, 0, sc.Cluster)
+	addrs := make([]string, 0, sc.Cluster)
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	for i := 0; i < sc.Cluster; i++ {
+		addr, err := PickAddr()
+		if err != nil {
+			return nil, err
+		}
+		srv, err := SpawnServer(ctx, bin, addr, "", logger, sc.Extra...)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: scenario %s: spawn node %d: %w", sc.Name, i, err)
+		}
+		nodes = append(nodes, srv)
+		addrs = append(addrs, addr)
+	}
+	gwAddr, err := PickAddr()
+	if err != nil {
+		return nil, err
+	}
+	// A tight probe so the recovery number measures the contract, not a
+	// lazy default cadence.
+	gw, err := SpawnGateway(ctx, gwBin, gwAddr, addrs, logger,
+		"-probe-interval", "100ms", "-fail-threshold", "2")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scenario %s: spawn gateway: %w", sc.Name, err)
+	}
+	defer gw.Stop()
+
+	r, err := NewRunner(sc.Spec, gwAddr, logger)
+	if err != nil {
+		return nil, err
+	}
+
+	var killErr error
+	killDone := make(chan struct{})
+	if sc.KillAfter > 0 {
+		go func() {
+			defer close(killDone)
+			if err := sleepCtx(ctx, sc.KillAfter); err != nil {
+				return
+			}
+			killErr = nodes[0].Kill9()
+			r.MarkKill(time.Now())
+		}()
+	} else {
+		close(killDone)
+	}
+
+	rep := r.Run(ctx)
+	<-killDone
+	if killErr != nil {
+		return nil, fmt.Errorf("loadgen: scenario %s: node kill: %w", sc.Name, killErr)
+	}
+	if human != nil {
+		fmt.Fprintf(human, "\n== %s (%d nodes + gateway) ==\n", sc.Name, sc.Cluster)
+		rep.WriteHuman(human)
+	}
+	return rep, nil
+}
+
 // RunScenario spawns a phased child for one scenario, drives it, and
 // (for crash scenarios) kills and recovers it mid-run.
 func RunScenario(ctx context.Context, bin, workDir string, sc Scenario, logger *slog.Logger, human io.Writer) (*Report, error) {
@@ -163,11 +272,21 @@ func RunScenario(ctx context.Context, bin, workDir string, sc Scenario, logger *
 }
 
 // RunSuite runs every scenario against freshly spawned phased children
-// and assembles the BENCH_load.json document.
-func RunSuite(ctx context.Context, bin, workDir string, scenarios []Scenario, logger *slog.Logger, human io.Writer) (*BenchFile, error) {
+// (cluster scenarios additionally spawn a phasedgw at gwBin) and
+// assembles the BENCH_load.json document.
+func RunSuite(ctx context.Context, bin, gwBin, workDir string, scenarios []Scenario, logger *slog.Logger, human io.Writer) (*BenchFile, error) {
 	bf := NewBenchFile()
 	for _, sc := range scenarios {
-		rep, err := RunScenario(ctx, bin, workDir, sc, logger, human)
+		var rep *Report
+		var err error
+		if sc.Cluster > 0 {
+			if gwBin == "" {
+				return nil, fmt.Errorf("loadgen: scenario %s needs a gateway binary (-gateway-bin)", sc.Name)
+			}
+			rep, err = RunClusterScenario(ctx, bin, gwBin, sc, logger, human)
+		} else {
+			rep, err = RunScenario(ctx, bin, workDir, sc, logger, human)
+		}
 		if err != nil {
 			return nil, err
 		}

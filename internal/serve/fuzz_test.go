@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"opd/internal/trace"
+)
+
+// FuzzStreamHandshake drives the post-upgrade framed-stream protocol
+// with arbitrary client bytes, starting at the hello/hello-ack
+// handshake: malformed JSON hellos, oversized payloads, cursor
+// overflows, wrong first frames, and torn frame headers. The server
+// must never panic or hang — every input ends with serveStream
+// returning and the session still usable (or cleanly closed).
+func FuzzStreamHandshake(f *testing.F) {
+	helloFrame := func(h streamHello) []byte {
+		payload, err := json.Marshal(h)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return trace.AppendFrame(nil, trace.FrameHello, payload)
+	}
+	f.Add(helloFrame(streamHello{Mode: "branch"}))
+	f.Add(helloFrame(streamHello{Mode: "ids", EventsSince: 5}))
+	// Cursor overflow: resume from the far end of the sequence space.
+	f.Add(helloFrame(streamHello{Mode: "ids", EventsSince: math.MaxUint64}))
+	f.Add(helloFrame(streamHello{Mode: "nonsense"}))
+	// Malformed JSON and a payload far past any sane hello size.
+	f.Add(trace.AppendFrame(nil, trace.FrameHello, []byte(`{"mode":`)))
+	f.Add(trace.AppendFrame(nil, trace.FrameHello, make([]byte, 1<<16)))
+	// Wrong first frame, then raw bytes that are not a frame at all.
+	f.Add(trace.AppendFrame(nil, trace.FrameData, []byte("junk")))
+	f.Add([]byte{0x00, 0x01, 0x02})
+	// A full valid exchange: hello, then end-without-finish.
+	f.Add(append(helloFrame(streamHello{Mode: "branch"}),
+		trace.AppendFrame(nil, trace.FrameEnd, []byte{0})...))
+
+	// One server for every exec: the janitor, watchdog, and heartbeat
+	// are disabled so nothing races the deterministic byte replay.
+	srv := NewServer(Options{
+		IdleTimeout:        -1,
+		MaxAge:             -1,
+		SweepInterval:      time.Hour,
+		HeartbeatInterval:  -1,
+		StreamWriteTimeout: -1,
+		SSEWriteTimeout:    -1,
+		WatchdogDeadline:   -1,
+	})
+	defer srv.manager.Shutdown()
+	cfg, err := ConfigRequest{CW: 64}.Config()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sess, err := srv.manager.Open(cfg)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		client, server := net.Pipe()
+		sc := &streamConn{s: srv, sess: sess, conn: server,
+			rbuf: bufio.NewReader(server), bw: bufio.NewWriter(server)}
+		fr := trace.NewFrameReader(sc.rbuf, int(srv.manager.opts.MaxChunkBytes))
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.serveStream(sc, fr)
+			// serveStream may return before its own conn-closing defer is
+			// armed (pre-handshake failures): close here to unblock the
+			// client writer below.
+			server.Close()
+		}()
+		// Discard everything the server says; the pipe is synchronous, so
+		// without a drain the server's hello-ack write would deadlock
+		// against the client's payload write.
+		go func() { _, _ = io.Copy(io.Discard, client) }()
+		_, _ = client.Write(data)
+		client.Close()
+		<-done
+		_, _ = srv.manager.Close(sess.ID())
+	})
+}

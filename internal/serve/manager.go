@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"log/slog"
 	"sort"
 	"strings"
@@ -273,13 +274,21 @@ func newID() string {
 }
 
 // Open validates the configuration, checks the admission caps, and
-// creates a live session.
+// creates a live session under a freshly minted ID.
 func (m *Manager) Open(cfg core.Config) (*Session, error) {
 	if m.drain.Load() {
 		return nil, ErrDraining
 	}
+	return m.openAs(newID(), cfg)
+}
+
+// admit runs the shared admission gauntlet: config validity, the
+// window-memory cap, the byte governor's soft watermark, and the
+// session-count cap. On success the active-count slot is held; every
+// caller failure path must release it with active.Add(-1).
+func (m *Manager) admit(cfg core.Config) error {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	// The window-memory cap: CW + TW elements is the session's dominant
 	// steady-state footprint (counter slices scale with trace
@@ -290,7 +299,7 @@ func (m *Manager) Open(cfg core.Config) (*Session, error) {
 	}
 	if windowElems := cfg.CWSize + tw; windowElems > m.opts.MaxWindowElems {
 		m.probe.SessionRejected()
-		return nil, fmt.Errorf("%w: cw+tw = %d elements, limit %d",
+		return fmt.Errorf("%w: cw+tw = %d elements, limit %d",
 			ErrWindowTooLarge, windowElems, m.opts.MaxWindowElems)
 	}
 	if g := m.res.gov; g.OverSoft() {
@@ -300,32 +309,55 @@ func (m *Manager) Open(cfg core.Config) (*Session, error) {
 		m.res.probe.ShedOpen()
 		m.opts.Logger.Warn("session open shed: memory over soft watermark",
 			"used_bytes", g.Used(), "budget_bytes", m.opts.MemBudgetBytes)
-		return nil, fmt.Errorf("%w: accounted memory at %d of %d bytes",
+		return fmt.Errorf("%w: accounted memory at %d of %d bytes",
 			ErrOverloaded, g.Used(), m.opts.MemBudgetBytes)
 	}
 	if n := m.active.Add(1); n > int64(m.opts.MaxSessions) {
 		m.active.Add(-1)
 		m.probe.SessionRejected()
 		m.res.probe.ShedOpen()
-		return nil, fmt.Errorf("%w: %d live, limit %d",
+		return fmt.Errorf("%w: %d live, limit %d",
 			ErrTooManySessions, n-1, m.opts.MaxSessions)
+	}
+	return nil
+}
+
+// openAs admits and creates a live session under the given ID (minted
+// by Open, or caller-chosen on the adoption path, where a duplicate is
+// refused rather than overwritten).
+func (m *Manager) openAs(id string, cfg core.Config) (*Session, error) {
+	if err := m.admit(cfg); err != nil {
+		return nil, err
 	}
 	det, err := m.opts.NewDetector(cfg)
 	if err != nil {
 		m.active.Add(-1)
 		return nil, err
 	}
-	s := newSession(newID(), cfg, det, m.opts.MaxEventsRetained, m.opts.FlightChunks, m.probe, m.res, m.opts.Logger)
+	s := newSession(id, cfg, det, m.opts.MaxEventsRetained, m.opts.FlightChunks, m.probe, m.res, m.opts.Logger)
 	s.chargeMem(sessionBaseCost(cfg))
 	if m.opts.Store != nil {
 		if err := m.attachDurable(s); err != nil {
 			s.releaseMemAll()
 			m.active.Add(-1)
+			if errors.Is(err, fs.ErrExist) {
+				return nil, ErrAdoptExists
+			}
 			return nil, fmt.Errorf("%w: %w", ErrPersist, err)
 		}
 	}
 	sh := m.shardFor(s.id)
 	sh.mu.Lock()
+	if _, dup := sh.sessions[s.id]; dup {
+		sh.mu.Unlock()
+		if s.log != nil {
+			_ = s.log.Close()
+			_ = m.opts.Store.Remove(s.id)
+		}
+		s.releaseMemAll()
+		m.active.Add(-1)
+		return nil, ErrAdoptExists
+	}
 	sh.sessions[s.id] = s
 	sh.mu.Unlock()
 	m.probe.SessionOpened()

@@ -40,6 +40,41 @@ var ErrRetriesExhausted = errors.New("serve: retry budget exhausted")
 // help; the client must open a new session.
 var ErrSessionGone = errors.New("serve: session gone")
 
+// ErrReplayTruncated reports that a ReliableStream reconnect needed
+// history its replay budget had already trimmed: the server's resume
+// cursor is below the oldest retained chunk, so an exact replay is
+// impossible. The stream is dead; the caller must restart the trace
+// from a source of truth (or run with a larger ReplayBudgetBytes).
+var ErrReplayTruncated = errors.New("serve: replay history truncated below server cursor")
+
+// ParseRetryAfter parses an HTTP Retry-After value in either RFC 9110
+// form: a non-negative decimal delay in seconds ("120") or an HTTP-date
+// ("Fri, 08 Aug 2026 17:30:00 GMT", including the obsolete RFC 850 and
+// asctime layouts http.ParseTime accepts). A date already in the past
+// yields (0, true) — the header was valid, the wait is over. Malformed
+// or negative values return ok false and the caller falls back to its
+// own backoff.
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // A Backoff is a jittered exponential backoff policy. The zero value
 // means 200ms..5s.
 type Backoff struct {
@@ -194,8 +229,8 @@ func postOpen(client *http.Client, ctx context.Context, url string, body []byte,
 		return 0, 0, err
 	}
 	defer resp.Body.Close()
-	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
-		retryAfter = time.Duration(secs) * time.Second
+	if d, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		retryAfter = d
 	}
 	if resp.StatusCode/100 != 2 {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<14))
@@ -223,6 +258,13 @@ type ReliableOptions struct {
 	// OnReconnect fires before each redial attempt with the error that
 	// killed the previous connection.
 	OnReconnect func(attempt int, cause error)
+	// ReplayBudgetBytes bounds the send-history replay buffer (0 =
+	// unlimited, the historical behavior). When the estimated history
+	// size exceeds the budget, chunks the server has acknowledged are
+	// trimmed oldest-first — they can never need replaying unless the
+	// server loses state, in which case the reconnect fails with
+	// ErrReplayTruncated instead of silently resending a gapped trace.
+	ReplayBudgetBytes int64
 }
 
 // A ReliableStream is a StreamClient that survives connection loss: it
@@ -238,9 +280,17 @@ type ReliableStream struct {
 	opts     ReliableOptions
 	pol      RetryPolicy
 
-	chunks  [][]trace.Branch // full send history, replayed on reconnect
+	chunks  [][]trace.Branch // send history since histStart, replayed on reconnect
 	sc      *StreamClient
 	builder *trace.InternedBuilder
+
+	// histStart is the absolute chunk index of chunks[0]: how many
+	// acknowledged chunks the replay budget has trimmed. Reconnects dial
+	// with ChunkBase = histStart so the i-th retained chunk keeps its
+	// absolute index, and a handshake cursor below histStart is fatal
+	// (ErrReplayTruncated) — the history to catch that server up is gone.
+	histStart uint64
+	histBytes int64 // estimated retained history size against the budget
 
 	nextEvent  atomic.Uint64 // resume point: last seen event seq + 1
 	degraded   atomic.Bool
@@ -313,10 +363,21 @@ func (r *ReliableStream) connect(cause error) error {
 			OnEvent:     r.observeEvent,
 			EventsSince: r.nextEvent.Load(),
 			Builder:     r.builder,
+			ChunkBase:   r.histStart,
 		})
 		if err != nil {
 			cause = err
 			continue
+		}
+		if sc.Applied() < r.histStart {
+			// The server holds less of the trace than the budget kept:
+			// an exact replay is impossible (trimmed chunks were only
+			// dropped after this server acknowledged them, so it has
+			// lost state — a different node, or a non-durable restart).
+			r.builder = sc.Builder()
+			sc.Close()
+			return fmt.Errorf("%w: server cursor %d, oldest retained chunk %d",
+				ErrReplayTruncated, sc.Applied(), r.histStart)
 		}
 		// Replay the history. Sends below the handshake cursor are
 		// skipped on the wire (but re-interned, keeping the symbol table
@@ -379,6 +440,7 @@ func (r *ReliableStream) do(op func(sc *StreamClient) error) error {
 		if err == nil {
 			r.fails = 0
 			r.backoff = r.pol.Backoff.Min
+			r.trimHistory()
 			return nil
 		}
 		r.drop()
@@ -388,11 +450,35 @@ func (r *ReliableStream) do(op func(sc *StreamClient) error) error {
 	}
 }
 
+// chunkCost estimates a history chunk's retained size for the replay
+// budget: the element payload (a trace.Branch is two words) plus slice
+// bookkeeping.
+func chunkCost(elems []trace.Branch) int64 { return int64(len(elems))*16 + 48 }
+
+// trimHistory drops acknowledged chunks oldest-first while the history
+// exceeds the replay budget. Only chunks at an absolute index below the
+// server's acked cursor are eligible: anything newer may still need
+// replaying after a connection loss.
+func (r *ReliableStream) trimHistory() {
+	budget := r.opts.ReplayBudgetBytes
+	if budget <= 0 || r.histBytes <= budget || r.sc == nil {
+		return
+	}
+	acked, _, _ := r.sc.Progress()
+	for r.histBytes > budget && len(r.chunks) > 0 && r.histStart < acked {
+		r.histBytes -= chunkCost(r.chunks[0])
+		r.chunks[0] = nil // release the backing array to the GC
+		r.chunks = r.chunks[1:]
+		r.histStart++
+	}
+}
+
 // Send appends the next chunk to the history and submits it. Like
 // StreamClient.Send it pipelines; a connection lost here is repaired
 // transparently (the chunk rides the replay).
 func (r *ReliableStream) Send(elems []trace.Branch) error {
 	r.chunks = append(r.chunks, elems)
+	r.histBytes += chunkCost(elems)
 	if r.sc == nil {
 		// connect replays the whole history, which now includes elems.
 		return r.connect(errors.New("serve: connection previously dropped"))
@@ -401,6 +487,7 @@ func (r *ReliableStream) Send(elems []trace.Branch) error {
 		r.drop()
 		return r.connect(err)
 	}
+	r.trimHistory()
 	return nil
 }
 

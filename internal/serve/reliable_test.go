@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -309,4 +310,209 @@ func TestWatchEventsGone(t *testing.T) {
 	if !errors.Is(err, ErrSessionGone) {
 		t.Fatalf("watch on a missing session: %v, want ErrSessionGone", err)
 	}
+}
+
+// TestParseRetryAfter pins both RFC 9110 Retry-After forms — delta
+// seconds and HTTP-date (all three layouts http.ParseTime accepts) —
+// plus the malformed fallbacks.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+		ok   bool
+	}{
+		{"delta", "120", 120 * time.Second, true},
+		{"delta zero", "0", 0, true},
+		{"delta padded", "  7 ", 7 * time.Second, true},
+		{"delta negative", "-5", 0, false},
+		{"http-date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{"http-date past", now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+		{"rfc850 future", now.Add(2 * time.Minute).Format("Monday, 02-Jan-06 15:04:05 MST"), 2 * time.Minute, true},
+		{"asctime future", now.Add(time.Minute).Format(time.ANSIC), time.Minute, true},
+		{"empty", "", 0, false},
+		{"garbage", "soon", 0, false},
+		{"fractional", "1.5", 0, false},
+		{"bad date", "Fri, 99 Aug 2026 12:00:00 GMT", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParseRetryAfter(tc.v, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("%s: ParseRetryAfter(%q) = (%v, %v), want (%v, %v)",
+				tc.name, tc.v, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestRetryAfterDateHonored pins the wire round-trip of the HTTP-date
+// form: a server answering 429 with a date Retry-After sees the client
+// sleep roughly that long, proving the header survives parsing end to
+// end (the delta-seconds form is covered by TestOpenSessionShed).
+func TestRetryAfterDateHonored(t *testing.T) {
+	hits := make(chan time.Time, 4)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits <- time.Now()
+		w.Header().Set("Retry-After", time.Now().Add(time.Second).UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	pol := fastPolicy()
+	pol.MaxRetries = 2
+	var hinted time.Duration
+	_, err := OpenSession(nil, ts.URL, ConfigRequest{CW: 200}, OpenOptions{
+		RetryPolicy: pol,
+		OnShed:      func(_ int, retryAfter time.Duration) { hinted = retryAfter },
+	})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("open against a shedding server: %v, want ErrRetriesExhausted", err)
+	}
+	first, second := <-hits, <-hits
+	// The date form has one-second resolution, so the hint lands in
+	// (0, 1s] and the observed gap must reflect it (not the 10-50ms
+	// fallback backoff).
+	if hinted <= 0 || hinted > time.Second {
+		t.Fatalf("surfaced hint %v, want within (0, 1s]", hinted)
+	}
+	if gap := second.Sub(first); gap < 200*time.Millisecond {
+		t.Errorf("retry gap %v: HTTP-date Retry-After not honored", gap)
+	}
+}
+
+// TestReliableStreamReplayBudget pins the bounded replay buffer: under a
+// small budget the history is trimmed (only acknowledged chunks), a
+// reconnect against a server that kept its state still resumes exactly,
+// and a reconnect against a server that LOST its state fails loudly with
+// ErrReplayTruncated instead of silently feeding a gapped trace.
+func TestReliableStreamReplayBudget(t *testing.T) {
+	tr := phasedTrace(20000)
+	req := ConfigRequest{CW: 300}
+	cfg, _ := req.Config()
+	want, _ := offline(cfg, tr)
+	parts := chunks(tr, []int{500})
+	budget := 4 * chunkCost(parts[0]) // retains only a few chunks once acked
+
+	t.Run("trim and resume", func(t *testing.T) {
+		_, c := newTestServer(t, Options{Registry: telemetry.NewRegistry()})
+		proxy := newKillableProxy(t, streamAddr(c))
+		id, _ := c.open(req)
+		rs, err := DialReliable(proxy.addr(), id, ReliableOptions{
+			RetryPolicy:       fastPolicy(),
+			ReplayBudgetBytes: budget,
+		})
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer rs.Close()
+		for i, p := range parts {
+			if err := rs.Send(p); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+			switch i {
+			case len(parts) / 2:
+				if err := rs.Drain(); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+				if rs.histStart == 0 {
+					t.Fatal("acked history past the budget was not trimmed")
+				}
+				if rs.histBytes > budget {
+					t.Fatalf("retained history %d bytes exceeds budget %d", rs.histBytes, budget)
+				}
+				// Kill the connection: the reconnect replays only the
+				// retained suffix against the surviving server state.
+				proxy.killAll()
+			case 3 * len(parts) / 4:
+				// Drain first so the post-reconnect connection is live,
+				// then sever it too.
+				if err := rs.Drain(); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+				proxy.killAll()
+			}
+		}
+		sum, err := rs.End(true)
+		if err != nil {
+			t.Fatalf("end: %v", err)
+		}
+		if rs.Reconnects() < 2 {
+			t.Errorf("severed twice but reconnects=%d", rs.Reconnects())
+		}
+		if sum.Consumed != want.Consumed() {
+			t.Errorf("consumed %d, want %d", sum.Consumed, want.Consumed())
+		}
+		if !equalIntervals(sum.AdjustedPhases, want.AdjustedPhases()) {
+			t.Errorf("adjusted phases %v, want %v", sum.AdjustedPhases, want.AdjustedPhases())
+		}
+	})
+
+	t.Run("truncated on state loss", func(t *testing.T) {
+		srv, c := newTestServer(t, Options{Registry: telemetry.NewRegistry()})
+		proxy := newKillableProxy(t, streamAddr(c))
+		id, _ := c.open(req)
+		rs, err := DialReliable(proxy.addr(), id, ReliableOptions{
+			RetryPolicy:       fastPolicy(),
+			ReplayBudgetBytes: budget,
+		})
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer rs.Close()
+		for _, p := range parts[:len(parts)/2] {
+			if err := rs.Send(p); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		if err := rs.Drain(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		if rs.histStart == 0 {
+			t.Fatal("acked history past the budget was not trimmed")
+		}
+		// The server loses the session's state (as a non-durable restart
+		// or a dead-node re-home would): a fresh adoption restarts the
+		// cursor at zero, below the oldest retained chunk.
+		if _, ok := srv.manager.Close(id); !ok {
+			t.Fatal("close failed")
+		}
+		if _, err := srv.manager.AdoptFresh(id, cfg); err != nil {
+			t.Fatalf("adopt fresh: %v", err)
+		}
+		proxy.killAll()
+		err = rs.Send(parts[len(parts)/2])
+		for err == nil {
+			// The sever may land between pipelined sends; keep going
+			// until the reconnect machinery engages.
+			err = rs.Drain()
+			if err == nil {
+				err = rs.Send(parts[0])
+			}
+		}
+		if !errors.Is(err, ErrReplayTruncated) {
+			t.Fatalf("resume against reset state: %v, want ErrReplayTruncated", err)
+		}
+	})
+
+	t.Run("unlimited keeps everything", func(t *testing.T) {
+		_, c := newTestServer(t, Options{Registry: telemetry.NewRegistry()})
+		id, _ := c.open(req)
+		rs, err := DialReliable(streamAddr(c), id, ReliableOptions{RetryPolicy: fastPolicy()})
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer rs.Close()
+		for _, p := range parts {
+			if err := rs.Send(p); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		if err := rs.Drain(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		if rs.histStart != 0 || len(rs.chunks) != len(parts) {
+			t.Fatalf("default budget trimmed history: start %d, %d of %d chunks",
+				rs.histStart, len(rs.chunks), len(parts))
+		}
+	})
 }

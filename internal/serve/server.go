@@ -108,6 +108,12 @@ type Server struct {
 	// orchestrator can hold traffic during replay while /healthz (pure
 	// liveness) already answers.
 	ready atomic.Bool
+	// hijacked tracks connections the framed-stream handler has taken
+	// over from the HTTP server. http.Server.Close deliberately leaves
+	// hijacked connections alone, so Abort must sever them itself for a
+	// crash to actually look like a crash to live streams.
+	hijackMu sync.Mutex
+	hijacked map[net.Conn]struct{}
 }
 
 // NewServer builds a server (and its session manager) from options. A
@@ -115,7 +121,7 @@ type Server struct {
 // Recover first.
 func NewServer(opts Options) *Server {
 	telemetry.RegisterRuntimeGauges(opts.Registry)
-	s := &Server{manager: NewManager(opts), reg: opts.Registry}
+	s := &Server{manager: NewManager(opts), reg: opts.Registry, hijacked: make(map[net.Conn]struct{})}
 	s.logger = s.manager.opts.Logger
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	s.ready.Store(opts.Store == nil)
@@ -162,6 +168,11 @@ func (s *Server) requireReady(h http.HandlerFunc) http.HandlerFunc {
 //	                                  ingest protocol (see stream.go)
 //	GET    /v1/sessions/{id}/events   poll (?since=N) or SSE (Accept:
 //	                                  text/event-stream or ?stream=1)
+//	POST   /v1/sessions/{id}/adopt    adopt a session under a chosen ID:
+//	                                  JSON body opens fresh, octet-stream
+//	                                  restores a migration blob
+//	POST   /v1/sessions/{id}/export   the session's migration blob;
+//	                                  ?remove=1 hands the session off
 //	GET    /v1/sessions/{id}/flight   the session's flight recorder: the
 //	                                  last N chunk traces with per-stage
 //	                                  latencies (post-mortem surface)
@@ -182,6 +193,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.requireReady(s.handleClose))
 	mux.HandleFunc("POST /v1/sessions/{id}/elements", s.requireReady(s.handleElements))
 	mux.HandleFunc("POST /v1/sessions/{id}/stream", s.requireReady(s.handleStream))
+	mux.HandleFunc("POST /v1/sessions/{id}/adopt", s.requireReady(s.handleAdopt))
+	mux.HandleFunc("POST /v1/sessions/{id}/export", s.requireReady(s.handleExport))
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.requireReady(s.handleEvents))
 	mux.HandleFunc("GET /v1/sessions/{id}/flight", s.requireReady(s.handleFlight))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -202,6 +215,13 @@ func (s *Server) Handler() http.Handler {
 		if !s.ready.Load() {
 			writeJSON(w, http.StatusServiceUnavailable,
 				map[string]any{"status": "recovering"})
+			return
+		}
+		if s.manager.Draining() {
+			// Draining: live sessions still answer, but no new work should
+			// be routed here — the gateway prober treats this as not-ready.
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"status": "draining", "sessions": s.manager.Len()})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -298,6 +318,36 @@ func (s *Server) Start(addr string) error {
 // Addr returns the bound address (host:port) after Start.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// Abort closes the HTTP server and listener immediately without
+// draining the session manager — the in-process equivalent of a node
+// crash, used by cluster tests to kill a node under -race without the
+// process-level SIGKILL the load harness uses. Hijacked stream
+// connections are severed by hand: http.Server.Close does not touch
+// them, and a "crashed" node that keeps serving its live streams is no
+// crash at all.
+func (s *Server) Abort() error {
+	err := s.httpSrv.Close()
+	s.hijackMu.Lock()
+	for c := range s.hijacked {
+		_ = c.Close()
+	}
+	s.hijackMu.Unlock()
+	return err
+}
+
+// trackHijacked registers a connection taken over from the HTTP server
+// so Abort can sever it; the returned func deregisters it.
+func (s *Server) trackHijacked(c net.Conn) func() {
+	s.hijackMu.Lock()
+	s.hijacked[c] = struct{}{}
+	s.hijackMu.Unlock()
+	return func() {
+		s.hijackMu.Lock()
+		delete(s.hijacked, c)
+		s.hijackMu.Unlock()
+	}
+}
+
 // Shutdown drains the server gracefully: the session manager stops
 // admitting, finishes every live session — buffered partial groups
 // applied and open phases flushed via Detector.Finish, with final events
@@ -357,28 +407,7 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := s.manager.Open(cfg)
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrOverloaded):
-			// Soft-watermark shed: the client should retry after the
-			// janitor has had a chance to reclaim memory.
-			w.Header().Set("Retry-After", strconv.Itoa(s.manager.res.gov.RetryAfterSeconds()))
-			writeError(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, ErrTooManySessions):
-			// Like a soft-watermark shed, the cap clears as sessions
-			// close or the janitor evicts: give the client a hint.
-			w.Header().Set("Retry-After", strconv.Itoa(s.manager.res.gov.RetryAfterSeconds()))
-			writeError(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, ErrWindowTooLarge):
-			writeError(w, http.StatusRequestEntityTooLarge, err)
-		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, ErrPersist):
-			// Creating the session's WAL failed (disk fault): transient,
-			// not the client's doing — retryable, unlike a 400.
-			writeError(w, http.StatusServiceUnavailable, err)
-		default: // config validation
-			writeError(w, http.StatusBadRequest, err)
-		}
+		s.openErrStatus(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{
@@ -386,6 +415,121 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		"config":          sess.ConfigID(),
 		"max_chunk_bytes": s.manager.opts.MaxChunkBytes,
 	})
+}
+
+// openErrStatus maps a session-admission error onto its HTTP response.
+// Shared by handleOpen and the adoption paths so the gateway sees one
+// vocabulary: 429 with Retry-After for capacity sheds, 413 for oversized
+// windows, 503 for drain and disk faults, 400 for bad configs.
+func (s *Server) openErrStatus(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrTooManySessions):
+		// Capacity sheds clear as the janitor reclaims memory or sessions
+		// close: give the client a retry hint.
+		w.Header().Set("Retry-After", strconv.Itoa(s.manager.res.gov.RetryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrWindowTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, ErrAdoptExists):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrPersist):
+		// Creating the session's WAL failed (disk fault): transient, not
+		// the client's doing — retryable, unlike a 400.
+		writeError(w, http.StatusServiceUnavailable, err)
+	default: // config validation, malformed blob
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// handleAdopt gives a session a new home on this node. Two bodies:
+//
+//   - application/json: a ConfigRequest — open a brand-new session under
+//     the caller-chosen ID (the gateway mints IDs so the consistent-hash
+//     placement is decided before any node is contacted).
+//   - anything else: an OPDMIGR1 migration blob from a donor node's
+//     /export — restore the snapshot, replay the WAL tail, and serve the
+//     session here with state bit-identical to the donor's.
+func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if strings.Contains(r.Header.Get("Content-Type"), "application/json") {
+		var req ConfigRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding session request: %w", err))
+			return
+		}
+		cfg, err := req.Config()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		sess, err := s.manager.AdoptFresh(id, cfg)
+		if err != nil {
+			s.openErrStatus(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{
+			"id":              sess.ID(),
+			"config":          sess.ConfigID(),
+			"max_chunk_bytes": s.manager.opts.MaxChunkBytes,
+		})
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxMigrationBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: migration blob exceeds %d bytes", int64(maxMigrationBytes)))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading migration blob: %w", err))
+		return
+	}
+	sess, err := s.manager.Adopt(id, blob)
+	if err != nil {
+		s.openErrStatus(w, err)
+		return
+	}
+	consumed, inPhase, eventsTotal := sess.Progress()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":           sess.ID(),
+		"config":       sess.ConfigID(),
+		"consumed":     consumed,
+		"in_phase":     inPhase,
+		"events_total": eventsTotal,
+	})
+}
+
+// maxMigrationBytes caps the adoption body: a migration blob is one
+// session's snapshot plus its WAL tail since the last snapshot, both
+// bounded by the per-session memory accounting, so 256 MiB is generous.
+const maxMigrationBytes = 256 << 20
+
+// handleExport serves the session's migration blob. With ?remove=1 the
+// session is atomically marked migrated and removed from this node —
+// the blob becomes the only copy, so the caller (the gateway's drain
+// path) must deliver it to an adopting node or re-adopt it here.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	remove := r.URL.Query().Get("remove") != ""
+	blob, err := s.manager.Export(id, remove)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown session %q", id))
+		case errors.Is(err, ErrMigrated):
+			writeError(w, http.StatusGone, err)
+		default:
+			writeError(w, http.StatusConflict, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -647,7 +791,13 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sess *Sess
 		}
 		cursor = next
 		if terminated {
-			fmt.Fprintf(w, "event: end\ndata: {\"events_total\":%d}\n\n", next)
+			// A migrated session ends the stream without the terminal
+			// marker: the events continue at the session's new home, and
+			// suppressing "end" makes SSE watchers (WatchEvents) reconnect
+			// through the gateway instead of concluding the session is done.
+			if !sess.Migrated() {
+				fmt.Fprintf(w, "event: end\ndata: {\"events_total\":%d}\n\n", next)
+			}
 			_ = rc.Flush()
 			return
 		}

@@ -146,6 +146,11 @@ type Session struct {
 	det    *core.Detector
 	state  State
 	failed error // the wrapped *sweep.PanicError when state == StateFailed
+	// migrated latches when the session is exported to another node:
+	// queued work fails with ErrMigrated (retryable through the gateway)
+	// and event streams end without a terminal marker so clients
+	// reconnect to the new home instead of completing.
+	migrated bool
 
 	// Streaming ingest state. mode latches once (see sessionMode);
 	// symtab mirrors the client's negotiated symbol table in dense-ID
@@ -327,6 +332,9 @@ func (s *Session) wakeLocked() {
 
 // usableLocked reports whether the session can accept chunks.
 func (s *Session) usableLocked() error {
+	if s.migrated {
+		return ErrMigrated
+	}
 	switch s.state {
 	case StateFailed:
 		return fmt.Errorf("%w: %w", ErrFailed, s.failed)
@@ -966,7 +974,7 @@ func (s *Session) eventsSinceWall(since uint64) (evs []Event, wall []int64, next
 		evs = append(evs, s.events[since-s.base:]...)
 		wall = append(wall, s.wall[since-s.base:]...)
 	}
-	return evs, wall, end, s.state != StateActive
+	return evs, wall, end, s.state != StateActive || s.migrated
 }
 
 // subscribe registers a live event consumer.

@@ -305,6 +305,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		sr.status = http.StatusSwitchingProtocols
 	}
 	defer conn.Close()
+	defer s.trackHijacked(conn)()
 	// The connection's buffered read/write sides are a real per-client
 	// cost; charge them for the connection's lifetime.
 	s.manager.res.gov.Reserve(streamConnBytes)
@@ -502,9 +503,11 @@ func (s *Server) serveStream(sc *streamConn, fr *trace.FrameReader) {
 			}
 			if ferr != nil {
 				// The chunk was not applied. ErrPersist is retryable after
-				// a reconnect (the cursor has not advanced); everything
-				// else — closed, poisoned, wrong mode — is terminal.
-				sc.sendErr(errors.Is(ferr, ErrPersist), ferr)
+				// a reconnect (the cursor has not advanced), and so is
+				// ErrMigrated (the reconnect lands on the session's new
+				// home via the gateway); everything else — closed,
+				// poisoned, wrong mode — is terminal.
+				sc.sendErr(errors.Is(ferr, ErrPersist) || errors.Is(ferr, ErrMigrated), ferr)
 				return
 			}
 			s.manager.probe.Chunk(ct.Bytes, elements)
@@ -536,7 +539,7 @@ func (s *Server) serveStream(sc *streamConn, fr *trace.FrameReader) {
 				continue
 			}
 			if err := sess.ExtendSymbols(sc.gen, payload, start, symsBuf); err != nil {
-				sc.sendErr(errors.Is(err, ErrPersist), err)
+				sc.sendErr(errors.Is(err, ErrPersist) || errors.Is(err, ErrMigrated), err)
 				return
 			}
 

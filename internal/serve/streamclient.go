@@ -68,6 +68,12 @@ type StreamOptions struct {
 	// fresh builder (correct for both first connections and process
 	// restarts: re-interning the skipped chunks rebuilds it).
 	Builder *trace.InternedBuilder
+	// ChunkBase presets the connection's send counter: the first Send
+	// carries absolute chunk index ChunkBase. A reconnecting client that
+	// has trimmed acknowledged chunks from its replay history passes the
+	// absolute index of its oldest retained chunk so the resume cursor
+	// arithmetic stays aligned with the server's applied count.
+	ChunkBase uint64
 }
 
 // A StreamClient drives one persistent framed ingest connection. Send,
@@ -149,6 +155,7 @@ func DialStream(addr, sessionID string, opts StreamOptions) (*StreamClient, erro
 		onEvent: opts.OnEvent,
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.sent = opts.ChunkBase
 	if c.ids && c.builder == nil {
 		c.builder = trace.NewInternedBuilder(0)
 	}

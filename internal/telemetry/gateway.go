@@ -1,0 +1,135 @@
+package telemetry
+
+// Gateway metric families. The cluster gateway is a data-plane proxy:
+// its metrics are about routing (where requests went and why), node
+// health (the prober's view of the fleet), and migrations (sessions
+// re-homed off draining or dead nodes).
+const (
+	MetricGatewayRequests       = "opd_gateway_requests_total"
+	MetricGatewayRequestErrors  = "opd_gateway_request_errors_total"
+	MetricGatewayRetargets      = "opd_gateway_retargets_total"
+	MetricGatewayNodesUp        = "opd_gateway_nodes_up"
+	MetricGatewayNodeFlips      = "opd_gateway_node_state_flips_total"
+	MetricGatewaySessions       = "opd_gateway_sessions"
+	MetricGatewayMigrations     = "opd_gateway_migrations_total"
+	MetricGatewayMigrationFails = "opd_gateway_migration_failures_total"
+	MetricGatewayMigrationNS    = "opd_gateway_migration_latency_ns"
+	MetricGatewaySplices        = "opd_gateway_stream_splices"
+)
+
+// A GatewayProbe instruments the cluster gateway.
+type GatewayProbe struct {
+	requests   *Counter
+	reqErrors  *Counter
+	retargets  *Counter
+	nodesUp    *Gauge
+	nodeFlips  *Counter
+	sessions   *Gauge
+	migrations *Counter
+	migFails   *Counter
+	migLat     *LatencyHistogram
+	splices    *Gauge
+}
+
+// NewGatewayProbe builds the gateway probe. Returns nil for a nil
+// registry.
+func NewGatewayProbe(reg *Registry) *GatewayProbe {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(MetricGatewayRequests, "Requests proxied to phased nodes.")
+	reg.Help(MetricGatewayRequestErrors, "Proxied requests that failed at the transport (node unreachable or mid-flight drop).")
+	reg.Help(MetricGatewayRetargets, "Requests re-routed after their home node answered 404 or turned unhealthy.")
+	reg.Help(MetricGatewayNodesUp, "Nodes the health prober currently considers routable.")
+	reg.Help(MetricGatewayNodeFlips, "Node health transitions (up->down and down->up) observed by the prober.")
+	reg.Help(MetricGatewaySessions, "Sessions the gateway currently routes (registry size).")
+	reg.Help(MetricGatewayMigrations, "Sessions re-homed to another node (drain hand-offs and dead-node re-adoptions).")
+	reg.Help(MetricGatewayMigrationFails, "Migrations that found no adopting node (session lost to clients until re-adopted).")
+	reg.Help(MetricGatewayMigrationNS, "Per-session migration latency in nanoseconds (export through adopt ack).")
+	reg.Help(MetricGatewaySplices, "Live spliced stream connections (framed-ingest upgrades proxied byte-for-byte).")
+	return &GatewayProbe{
+		requests:   reg.Counter(MetricGatewayRequests),
+		reqErrors:  reg.Counter(MetricGatewayRequestErrors),
+		retargets:  reg.Counter(MetricGatewayRetargets),
+		nodesUp:    reg.Gauge(MetricGatewayNodesUp),
+		nodeFlips:  reg.Counter(MetricGatewayNodeFlips),
+		sessions:   reg.Gauge(MetricGatewaySessions),
+		migrations: reg.Counter(MetricGatewayMigrations),
+		migFails:   reg.Counter(MetricGatewayMigrationFails),
+		migLat:     reg.Latency(MetricGatewayMigrationNS),
+		splices:    reg.Gauge(MetricGatewaySplices),
+	}
+}
+
+// Request records one proxied request; failed marks transport-level
+// failures (the node never answered).
+func (p *GatewayProbe) Request(failed bool) {
+	if p == nil {
+		return
+	}
+	p.requests.Inc()
+	if failed {
+		p.reqErrors.Inc()
+	}
+}
+
+// Retarget records a request re-routed away from its recorded home.
+func (p *GatewayProbe) Retarget() {
+	if p == nil {
+		return
+	}
+	p.retargets.Inc()
+}
+
+// NodeState records a node health transition and the new up-count.
+func (p *GatewayProbe) NodeState(up int) {
+	if p == nil {
+		return
+	}
+	p.nodeFlips.Inc()
+	p.nodesUp.Set(float64(up))
+}
+
+// NodesUp sets the routable-node gauge without a flip (startup).
+func (p *GatewayProbe) NodesUp(up int) {
+	if p == nil {
+		return
+	}
+	p.nodesUp.Set(float64(up))
+}
+
+// Sessions sets the routed-session gauge.
+func (p *GatewayProbe) Sessions(n int) {
+	if p == nil {
+		return
+	}
+	p.sessions.Set(float64(n))
+}
+
+// Migration records one completed session hand-off and its latency.
+func (p *GatewayProbe) Migration(ns int64) {
+	if p == nil {
+		return
+	}
+	p.migrations.Inc()
+	if ns > 0 {
+		p.migLat.Observe(ns)
+	}
+}
+
+// MigrationFailed records a session no node would adopt.
+func (p *GatewayProbe) MigrationFailed() {
+	if p == nil {
+		return
+	}
+	p.migFails.Inc()
+}
+
+// Splice tracks a proxied stream connection's lifetime: +1 at upgrade,
+// -1 when either side drops.
+func (p *GatewayProbe) Splice(delta int) {
+	if p == nil {
+		return
+	}
+	p.splices.Add(float64(delta))
+}
